@@ -1,0 +1,314 @@
+//! ω-automata over finite alphabets.
+
+use std::collections::BTreeSet;
+
+use crate::error::AutomatonError;
+
+/// A state set in an acceptance condition.
+pub(crate) type StateSet = BTreeSet<usize>;
+
+/// Acceptance conditions over the infinitary set `inf(r)` of a run `r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Acceptance {
+    /// Büchi: `inf(r) ∩ F ≠ ∅`.
+    Buchi(StateSet),
+    /// Streett: `∀(U, V) ∈ F: inf(r) ⊆ U ∨ inf(r) ∩ V ≠ ∅`.
+    Streett(Vec<(StateSet, StateSet)>),
+    /// Rabin: `∃(U, V) ∈ F: inf(r) ∩ U = ∅ ∧ inf(r) ∩ V ≠ ∅`.
+    Rabin(Vec<(StateSet, StateSet)>),
+    /// Muller: `inf(r) ∈ F` (exact match).
+    Muller(Vec<StateSet>),
+}
+
+impl Acceptance {
+    /// Büchi acceptance from accepting states.
+    pub fn buchi<I: IntoIterator<Item = usize>>(accepting: I) -> Acceptance {
+        Acceptance::Buchi(accepting.into_iter().collect())
+    }
+
+    /// Streett acceptance from `(U, V)` pairs.
+    pub fn streett<I, U, V>(pairs: I) -> Acceptance
+    where
+        I: IntoIterator<Item = (U, V)>,
+        U: IntoIterator<Item = usize>,
+        V: IntoIterator<Item = usize>,
+    {
+        Acceptance::Streett(
+            pairs
+                .into_iter()
+                .map(|(u, v)| (u.into_iter().collect(), v.into_iter().collect()))
+                .collect(),
+        )
+    }
+
+    /// Rabin acceptance from `(U, V)` pairs.
+    pub fn rabin<I, U, V>(pairs: I) -> Acceptance
+    where
+        I: IntoIterator<Item = (U, V)>,
+        U: IntoIterator<Item = usize>,
+        V: IntoIterator<Item = usize>,
+    {
+        Acceptance::Rabin(
+            pairs
+                .into_iter()
+                .map(|(u, v)| (u.into_iter().collect(), v.into_iter().collect()))
+                .collect(),
+        )
+    }
+
+    /// Muller acceptance from the family of exact infinitary sets.
+    pub fn muller<I, S>(family: I) -> Acceptance
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = usize>,
+    {
+        Acceptance::Muller(family.into_iter().map(|s| s.into_iter().collect()).collect())
+    }
+}
+
+/// A (nondeterministic) ω-automaton `K = (S, s₀, Σ, Δ, F)` with one of
+/// the [`Acceptance`] conditions.
+///
+/// Symbols are dense indices into the alphabet name table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OmegaAutomaton {
+    num_states: usize,
+    initial: usize,
+    alphabet: Vec<String>,
+    /// `delta[state][symbol]` — successor list.
+    delta: Vec<Vec<Vec<usize>>>,
+    acceptance: Acceptance,
+}
+
+impl OmegaAutomaton {
+    /// Creates an automaton with no transitions and empty Büchi
+    /// acceptance (no accepting states).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range or the alphabet is empty.
+    pub fn new(num_states: usize, initial: usize, alphabet: Vec<String>) -> OmegaAutomaton {
+        assert!(initial < num_states, "initial state out of range");
+        assert!(!alphabet.is_empty(), "alphabet must be nonempty");
+        OmegaAutomaton {
+            num_states,
+            initial,
+            delta: vec![vec![Vec::new(); alphabet.len()]; num_states],
+            alphabet,
+            acceptance: Acceptance::Buchi(StateSet::new()),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// The alphabet symbol names.
+    pub fn alphabet(&self) -> &[String] {
+        &self.alphabet
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<usize> {
+        self.alphabet.iter().position(|s| s == name)
+    }
+
+    /// The acceptance condition.
+    pub fn acceptance(&self) -> &Acceptance {
+        &self.acceptance
+    }
+
+    /// Replaces the acceptance condition.
+    pub fn set_acceptance(&mut self, acceptance: Acceptance) {
+        self.acceptance = acceptance;
+    }
+
+    /// Adds the transition `from --symbol--> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn add_transition(&mut self, from: usize, symbol: usize, to: usize) {
+        assert!(from < self.num_states && to < self.num_states, "state out of range");
+        assert!(symbol < self.alphabet.len(), "symbol out of range");
+        let bucket = &mut self.delta[from][symbol];
+        if !bucket.contains(&to) {
+            bucket.push(to);
+        }
+    }
+
+    /// Successors of `state` on `symbol`.
+    pub fn successors(&self, state: usize, symbol: usize) -> &[usize] {
+        &self.delta[state][symbol]
+    }
+
+    /// Is the automaton deterministic (at most one successor per state
+    /// and symbol)?
+    pub fn is_deterministic(&self) -> bool {
+        self.delta.iter().all(|row| row.iter().all(|b| b.len() <= 1))
+    }
+
+    /// Is the automaton complete (at least one successor per state and
+    /// symbol)?
+    pub fn is_complete(&self) -> bool {
+        self.delta.iter().all(|row| row.iter().all(|b| !b.is_empty()))
+    }
+
+    /// Completes the automaton by routing missing transitions to a fresh
+    /// rejecting sink state (added only if needed). Returns the sink's
+    /// index if one was added.
+    ///
+    /// The sink is rejecting for Büchi/Rabin/Muller by construction (it
+    /// joins no acceptance set); for Streett it is added to no `V` set,
+    /// so runs trapped in the sink are rejected only if some `U` excludes
+    /// it — callers completing Streett automata should confirm the
+    /// intended semantics.
+    pub fn complete_with_sink(&mut self) -> Option<usize> {
+        if self.is_complete() {
+            return None;
+        }
+        let sink = self.num_states;
+        self.num_states += 1;
+        self.delta.push(vec![Vec::new(); self.alphabet.len()]);
+        for row in &mut self.delta {
+            for bucket in row.iter_mut() {
+                if bucket.is_empty() {
+                    bucket.push(sink);
+                }
+            }
+        }
+        Some(sink)
+    }
+
+    /// The acceptance expressed as Streett pairs, when possible:
+    /// Büchi `F` becomes the single pair `(∅, F)`; Streett is returned
+    /// as-is.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomatonError::UnsupportedAcceptance`] for Rabin and Muller
+    /// (their Streett forms are exponential / not expressible; Rabin
+    /// *system-side* acceptance is still supported by the containment
+    /// check through [`acceptance_alternatives`](Self::acceptance_alternatives)).
+    pub fn streett_pairs(&self) -> Result<Vec<(StateSet, StateSet)>, AutomatonError> {
+        match &self.acceptance {
+            Acceptance::Buchi(f) => Ok(vec![(StateSet::new(), f.clone())]),
+            Acceptance::Streett(pairs) => Ok(pairs.clone()),
+            Acceptance::Rabin(_) => Err(AutomatonError::UnsupportedAcceptance(
+                "Rabin system-side acceptance (use Streett or Büchi)",
+            )),
+            Acceptance::Muller(_) => Err(AutomatonError::UnsupportedAcceptance(
+                "Muller system-side acceptance (use Streett or Büchi)",
+            )),
+        }
+    }
+
+    /// The acceptance as a *disjunction of conjunctions* of
+    /// `GF p ∨ FG q` obligations — each inner vector a fairness-class
+    /// conjunct list, the whole acceptance their union:
+    ///
+    /// - Büchi / Streett: one alternative (their Streett pairs, each
+    ///   mapped to `FG(U) ∨ GF(V)`),
+    /// - Rabin: one alternative per pair `(U, V)`, namely
+    ///   `FG(Ū) ∧ GF(V)` (avoid `U` forever and hit `V` infinitely
+    ///   often) — `E` distributes over the path-level disjunction, so
+    ///   the containment check simply tries each alternative.
+    ///
+    /// Each obligation is returned as `(gf, fg)` with absent sides
+    /// `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomatonError::UnsupportedAcceptance`] for Muller acceptance.
+    #[allow(clippy::type_complexity)]
+    pub fn acceptance_alternatives(
+        &self,
+    ) -> Result<Vec<Vec<(Option<StateSet>, Option<StateSet>)>>, AutomatonError> {
+        let all: StateSet = (0..self.num_states).collect();
+        match &self.acceptance {
+            Acceptance::Buchi(_) | Acceptance::Streett(_) => {
+                let pairs = self.streett_pairs()?;
+                Ok(vec![pairs
+                    .into_iter()
+                    .map(|(u, v)| (Some(v), Some(u)))
+                    .collect()])
+            }
+            Acceptance::Rabin(pairs) => Ok(pairs
+                .iter()
+                .map(|(u, v)| {
+                    let not_u: StateSet = all.difference(u).copied().collect();
+                    vec![(Some(v.clone()), None), (None, Some(not_u))]
+                })
+                .collect()),
+            Acceptance::Muller(_) => Err(AutomatonError::UnsupportedAcceptance(
+                "Muller system-side acceptance",
+            )),
+        }
+    }
+
+    /// The *negation* of the acceptance as Streett-style pairs
+    /// `(GF Ūᵢ ∧ FG V̄ᵢ)` disjuncts — what `¬φ_{F′}` needs on the
+    /// specification side. Works for Büchi, Streett and Rabin
+    /// specifications:
+    ///
+    /// - `¬Streett{(U,V)} = ⋁ (GF Ū ∧ FG V̄)`,
+    /// - `¬Büchi F = FG F̄` (single disjunct with no GF part),
+    /// - `¬Rabin{(U,V)} = ⋀ (GF U ∨ FG V̄)` — a *conjunction*, returned
+    ///   as Streett pairs for direct conjunction into `φ`.
+    ///
+    /// Returns `NegatedAcceptance` describing which combination applies.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomatonError::UnsupportedAcceptance`] for Muller.
+    pub fn negated_acceptance(&self) -> Result<NegatedAcceptance, AutomatonError> {
+        let all: StateSet = (0..self.num_states).collect();
+        match &self.acceptance {
+            Acceptance::Buchi(f) => {
+                let complement: StateSet = all.difference(f).copied().collect();
+                Ok(NegatedAcceptance::Disjuncts(vec![(None, Some(complement))]))
+            }
+            Acceptance::Streett(pairs) => Ok(NegatedAcceptance::Disjuncts(
+                pairs
+                    .iter()
+                    .map(|(u, v)| {
+                        let not_u: StateSet = all.difference(u).copied().collect();
+                        let not_v: StateSet = all.difference(v).copied().collect();
+                        (Some(not_u), Some(not_v))
+                    })
+                    .collect(),
+            )),
+            Acceptance::Rabin(pairs) => Ok(NegatedAcceptance::Conjuncts(
+                pairs
+                    .iter()
+                    .map(|(u, v)| {
+                        let not_v: StateSet = all.difference(v).copied().collect();
+                        // GF U ∨ FG V̄.
+                        (Some(u.clone()), Some(not_v))
+                    })
+                    .collect(),
+            )),
+            Acceptance::Muller(_) => Err(AutomatonError::UnsupportedAcceptance(
+                "Muller specification-side negation",
+            )),
+        }
+    }
+}
+
+/// The negated specification acceptance, in fairness-class shape.
+///
+/// Each element is `(gf, fg)`: a `GF`-set and/or an `FG`-set over
+/// specification states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NegatedAcceptance {
+    /// `⋁ᵢ (GF gfᵢ ∧ FG fgᵢ)` — one containment check per disjunct.
+    Disjuncts(Vec<(Option<StateSet>, Option<StateSet>)>),
+    /// `⋀ᵢ (GF gfᵢ ∨ FG fgᵢ)` — conjoined into a single check.
+    Conjuncts(Vec<(Option<StateSet>, Option<StateSet>)>),
+}

@@ -1,0 +1,252 @@
+//! Language containment `L(K) ⊆ L(K′)` and counterexample extraction
+//! (Section 8 of the paper).
+
+use smc_bdd::Bdd;
+use smc_checker::{check_efairness, witness_efairness, CycleStrategy, FairnessConjunct};
+use smc_kripke::{ExplicitModel, State, SymbolicModel};
+
+use crate::automaton::{NegatedAcceptance, OmegaAutomaton};
+use crate::error::AutomatonError;
+use crate::run::accepts;
+use crate::word::OmegaWord;
+
+/// Result of a containment check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainmentOutcome {
+    /// `L(K) ⊆ L(K′)`.
+    Holds,
+    /// Containment fails; `word ∈ L(K) \ L(K′)`, demonstrated by the
+    /// accompanying lasso run over product states `(K-state, K′-state)`.
+    Fails {
+        /// The ultimately periodic counterexample word.
+        word: OmegaWord,
+        /// The product run (prefix + cycle).
+        run: Vec<(usize, usize)>,
+        /// Cycle start within `run`.
+        loopback: usize,
+    },
+}
+
+/// Builds the product state-transition system `M(K, K′)` of the paper:
+/// states `(s, s′)` reachable from the initial pair, with a transition
+/// when both automata can move on a *common* letter. Returns the
+/// explicit graph plus the pair behind each product index.
+///
+/// Product states are labeled `sys_{s}` and `spec_{s′}` so acceptance
+/// sets can be rebuilt as unions of labels.
+///
+/// # Errors
+///
+/// See [`check_containment`].
+pub fn product_model(
+    k: &OmegaAutomaton,
+    kp: &OmegaAutomaton,
+) -> Result<(ExplicitModel, Vec<(usize, usize)>), AutomatonError> {
+    if k.alphabet() != kp.alphabet() {
+        return Err(AutomatonError::AlphabetMismatch);
+    }
+    if !kp.is_deterministic() {
+        return Err(AutomatonError::SpecNotDeterministic);
+    }
+    if !k.is_complete() {
+        return Err(AutomatonError::NotComplete("system"));
+    }
+    if !kp.is_complete() {
+        return Err(AutomatonError::NotComplete("specification"));
+    }
+    let mut explicit = ExplicitModel::new();
+    let sys_aps: Vec<usize> = (0..k.num_states())
+        .map(|s| explicit.add_ap(&format!("sys_{s}")))
+        .collect();
+    let spec_aps: Vec<usize> = (0..kp.num_states())
+        .map(|s| explicit.add_ap(&format!("spec_{s}")))
+        .collect();
+    let mut index = std::collections::HashMap::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut worklist = Vec::new();
+    let initial = (k.initial(), kp.initial());
+    let id0 = explicit.add_state(&[sys_aps[initial.0], spec_aps[initial.1]]);
+    index.insert(initial, id0);
+    pairs.push(initial);
+    explicit.add_initial(id0);
+    worklist.push(initial);
+    while let Some((s, sp)) = worklist.pop() {
+        let from = index[&(s, sp)];
+        for a in 0..k.alphabet().len() {
+            let spec_next = kp.successors(sp, a)[0];
+            for &t in k.successors(s, a) {
+                let key = (t, spec_next);
+                let to = *index.entry(key).or_insert_with(|| {
+                    let id = explicit.add_state(&[sys_aps[t], spec_aps[spec_next]]);
+                    pairs.push(key);
+                    worklist.push(key);
+                    id
+                });
+                explicit.add_edge(from, to);
+            }
+        }
+    }
+    Ok((explicit, pairs))
+}
+
+/// Checks `L(K) ⊆ L(K′)` via the paper's reduction: containment fails
+/// iff the product satisfies `E(φ_F ∧ ¬φ_{F′})`, an instance of the CTL*
+/// fairness class; the witness lasso projects to an ultimately periodic
+/// word in the difference.
+///
+/// `K` may be a nondeterministic Büchi or Streett automaton; `K′` must
+/// be deterministic and complete with Büchi, Streett or Rabin
+/// acceptance.
+///
+/// # Errors
+///
+/// - [`AutomatonError::AlphabetMismatch`] / `SpecNotDeterministic` /
+///   `NotComplete` on malformed inputs,
+/// - [`AutomatonError::UnsupportedAcceptance`] for unsupported
+///   acceptance combinations (e.g. a Muller specification).
+pub fn check_containment(
+    k: &OmegaAutomaton,
+    kp: &OmegaAutomaton,
+) -> Result<ContainmentOutcome, AutomatonError> {
+    let (explicit, pairs) = product_model(k, kp)?;
+    let mut model = explicit.to_symbolic()?;
+
+    // φ_F for the system: Büchi/Streett give one alternative of
+    // FG(U) ∨ GF(V) conjuncts; Rabin gives one alternative per pair
+    // (E distributes over the path-level disjunction).
+    let mut sys_alternatives: Vec<Vec<FairnessConjunct>> = Vec::new();
+    for alt in k.acceptance_alternatives()? {
+        let mut conjuncts = Vec::with_capacity(alt.len());
+        for (gf, fg) in alt {
+            let gf_set = match gf {
+                Some(s) => Some(union_of(&mut model, "sys", s.iter().copied())?),
+                None => None,
+            };
+            let fg_set = match fg {
+                Some(s) => Some(union_of(&mut model, "sys", s.iter().copied())?),
+                None => None,
+            };
+            conjuncts.push(FairnessConjunct { gf: gf_set, fg: fg_set });
+        }
+        sys_alternatives.push(conjuncts);
+    }
+
+    // ¬φ_{F′}: disjuncts (or conjuncts, for Rabin) over spec states.
+    let neg = kp.negated_acceptance()?;
+    let spec_alternatives: Vec<Vec<FairnessConjunct>> = match neg {
+        NegatedAcceptance::Disjuncts(ds) => {
+            let mut alts = Vec::new();
+            for (gf, fg) in ds {
+                let mut conjuncts = Vec::new();
+                if let Some(gf) = gf {
+                    let set = union_of(&mut model, "spec", gf.iter().copied())?;
+                    conjuncts.push(FairnessConjunct::gf(set));
+                }
+                if let Some(fg) = fg {
+                    let set = union_of(&mut model, "spec", fg.iter().copied())?;
+                    conjuncts.push(FairnessConjunct::fg(set));
+                }
+                alts.push(conjuncts);
+            }
+            alts
+        }
+        NegatedAcceptance::Conjuncts(cs) => {
+            let mut conjuncts = Vec::new();
+            for (gf, fg) in cs {
+                let gf_set = match gf {
+                    Some(s) => Some(union_of(&mut model, "spec", s.iter().copied())?),
+                    None => None,
+                };
+                let fg_set = match fg {
+                    Some(s) => Some(union_of(&mut model, "spec", s.iter().copied())?),
+                    None => None,
+                };
+                conjuncts.push(FairnessConjunct { gf: gf_set, fg: fg_set });
+            }
+            vec![conjuncts]
+        }
+    };
+
+    // The full E(φ_F ∧ ¬φ_{F′}) is the disjunction over the cross
+    // product of system and spec alternatives.
+    let mut alternatives: Vec<Vec<FairnessConjunct>> = Vec::new();
+    for sys in &sys_alternatives {
+        for spec in &spec_alternatives {
+            let mut conjuncts = sys.clone();
+            conjuncts.extend(spec.iter().copied());
+            alternatives.push(conjuncts);
+        }
+    }
+
+    for conjuncts in &alternatives {
+        let (set, _) = check_efairness(&mut model, conjuncts);
+        let init = model.init();
+        if !model.manager_mut().intersects(init, set) {
+            continue;
+        }
+        // Containment fails: extract the witness lasso and project it to
+        // a word.
+        let start_set = model.manager_mut().and(init, set);
+        let start = model.pick_state(start_set).expect("nonempty");
+        let (trace, _, _) =
+            witness_efairness(&mut model, conjuncts, &start, CycleStrategy::Restart)
+                .map_err(AutomatonError::Check)?;
+        let run: Vec<usize> = trace.states.iter().map(decode_index).collect();
+        let loopback = trace.loopback.expect("fairness witnesses are lassos");
+        let word = word_of_run(k, kp, &pairs, &run, loopback);
+        let run_pairs: Vec<(usize, usize)> = run.iter().map(|&i| pairs[i]).collect();
+        debug_assert!(accepts(k, &word), "word must be accepted by the system");
+        debug_assert!(!accepts(kp, &word), "word must be rejected by the spec");
+        return Ok(ContainmentOutcome::Fails { word, run: run_pairs, loopback });
+    }
+    Ok(ContainmentOutcome::Holds)
+}
+
+/// The union of labeled product-state sets `{prefix}_{i}`.
+fn union_of(
+    model: &mut SymbolicModel,
+    prefix: &str,
+    states: impl Iterator<Item = usize>,
+) -> Result<Bdd, AutomatonError> {
+    let mut acc = Bdd::FALSE;
+    for s in states {
+        let set = model.ap(&format!("{prefix}_{s}"))?;
+        acc = model.manager_mut().or(acc, set);
+    }
+    Ok(acc)
+}
+
+/// Decodes a binary-encoded product state back to its index (the
+/// encoding used by `ExplicitModel::to_symbolic`).
+fn decode_index(s: &State) -> usize {
+    s.0.iter()
+        .enumerate()
+        .fold(0, |acc, (i, &b)| acc | usize::from(b) << i)
+}
+
+/// Recovers one common letter per run edge, producing the ultimately
+/// periodic counterexample word.
+fn word_of_run(
+    k: &OmegaAutomaton,
+    kp: &OmegaAutomaton,
+    pairs: &[(usize, usize)],
+    run: &[usize],
+    loopback: usize,
+) -> OmegaWord {
+    let letter = |from: usize, to: usize| -> usize {
+        let (s, sp) = pairs[from];
+        let (t, tp) = pairs[to];
+        (0..k.alphabet().len())
+            .find(|&a| {
+                k.successors(s, a).contains(&t) && kp.successors(sp, a).first() == Some(&tp)
+            })
+            .expect("product edges carry at least one common letter")
+    };
+    let mut letters = Vec::with_capacity(run.len());
+    for w in run.windows(2) {
+        letters.push(letter(w[0], w[1]));
+    }
+    letters.push(letter(*run.last().expect("nonempty run"), run[loopback]));
+    let cycle = letters.split_off(loopback);
+    OmegaWord::new(letters, cycle)
+}

@@ -1,0 +1,73 @@
+//! Error type for ω-automata operations.
+
+use std::error::Error;
+use std::fmt;
+
+use smc_checker::CheckError;
+use smc_kripke::KripkeError;
+
+/// Errors reported by automaton constructions and the containment check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomatonError {
+    /// The two automata have different alphabets.
+    AlphabetMismatch,
+    /// The specification automaton must be deterministic (checking
+    /// containment against a nondeterministic specification is
+    /// PSPACE-hard, as the paper notes).
+    SpecNotDeterministic,
+    /// Both automata must be complete for the product reduction.
+    NotComplete(&'static str),
+    /// The acceptance condition is unsupported in this position (e.g. a
+    /// Muller specification cannot be negated into the fairness class).
+    UnsupportedAcceptance(&'static str),
+    /// A state or symbol index is out of range.
+    IndexOutOfRange(String),
+    /// Error from the underlying model layer.
+    Kripke(KripkeError),
+    /// Error from the underlying checker.
+    Check(CheckError),
+}
+
+impl fmt::Display for AutomatonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomatonError::AlphabetMismatch => {
+                write!(f, "automata must share one alphabet")
+            }
+            AutomatonError::SpecNotDeterministic => {
+                write!(f, "specification automaton must be deterministic")
+            }
+            AutomatonError::NotComplete(which) => {
+                write!(f, "{which} automaton must be complete")
+            }
+            AutomatonError::UnsupportedAcceptance(what) => {
+                write!(f, "unsupported acceptance condition: {what}")
+            }
+            AutomatonError::IndexOutOfRange(what) => write!(f, "index out of range: {what}"),
+            AutomatonError::Kripke(e) => write!(f, "model error: {e}"),
+            AutomatonError::Check(e) => write!(f, "checker error: {e}"),
+        }
+    }
+}
+
+impl Error for AutomatonError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AutomatonError::Kripke(e) => Some(e),
+            AutomatonError::Check(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KripkeError> for AutomatonError {
+    fn from(e: KripkeError) -> AutomatonError {
+        AutomatonError::Kripke(e)
+    }
+}
+
+impl From<CheckError> for AutomatonError {
+    fn from(e: CheckError) -> AutomatonError {
+        AutomatonError::Check(e)
+    }
+}

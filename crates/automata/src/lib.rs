@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # smc-automata — ω-automata and language-containment counterexamples
+//!
+//! Section 8 of Clarke–Grumberg–McMillan–Zhao: verification by language
+//! containment. The system is an ω-automaton `K`, the specification a
+//! *deterministic complete* ω-automaton `K′`; the property is
+//! `L(K) ⊆ L(K′)`, decided by checking
+//!
+//! ```text
+//! M(K, K′) ⊨ ¬E(φ_F ∧ ¬φ_{F′})
+//! ```
+//!
+//! on the product state-transition system `M(K, K′)`, where `φ_F`
+//! expresses `K`'s Streett acceptance as `⋀ (FG U ∨ GF V)` and `¬φ_{F′}`
+//! the violation of `K′`'s as `⋁ (GF Ū′ ∧ FG V̄′)` — instances of the
+//! CTL* fairness class of Section 7. A failed containment yields an
+//! **ultimately periodic word** in `L(K) \ L(K′)`.
+//!
+//! Supported acceptance conditions: Streett (primary), Büchi (embedded
+//! into Streett), Rabin and Muller (checkable on words; deterministic
+//! Rabin specifications are negated directly into Streett constraints).
+//!
+//! ## Example
+//!
+//! ```
+//! use smc_automata::{Acceptance, OmegaAutomaton};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A Büchi automaton over {a, b} accepting words with infinitely
+//! // many a's.
+//! let mut k = OmegaAutomaton::new(2, 0, vec!["a".into(), "b".into()]);
+//! k.add_transition(0, 0, 1); // on a -> state 1 (accepting)
+//! k.add_transition(0, 1, 0);
+//! k.add_transition(1, 0, 1);
+//! k.add_transition(1, 1, 0);
+//! k.set_acceptance(Acceptance::buchi([1]));
+//! assert!(k.is_deterministic() && k.is_complete());
+//! # Ok(())
+//! # }
+//! ```
+
+mod automaton;
+mod containment;
+mod error;
+mod run;
+mod word;
+
+pub use automaton::{Acceptance, NegatedAcceptance, OmegaAutomaton};
+pub use containment::{check_containment, product_model, ContainmentOutcome};
+pub use error::AutomatonError;
+pub use run::accepts;
+pub use word::OmegaWord;
+
+#[cfg(test)]
+mod tests;

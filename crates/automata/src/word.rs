@@ -1,0 +1,71 @@
+//! Ultimately periodic ω-words — the finite representation of
+//! language-containment counterexamples.
+
+use std::fmt;
+
+/// An ultimately periodic infinite word `prefix · cycleᵚ` over symbol
+/// indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OmegaWord {
+    /// The finite prefix.
+    pub prefix: Vec<usize>,
+    /// The infinitely repeated period (nonempty).
+    pub cycle: Vec<usize>,
+}
+
+impl OmegaWord {
+    /// Creates a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle is empty (the word must be infinite).
+    pub fn new(prefix: Vec<usize>, cycle: Vec<usize>) -> OmegaWord {
+        assert!(!cycle.is_empty(), "the period of an ω-word must be nonempty");
+        OmegaWord { prefix, cycle }
+    }
+
+    /// The symbol at position `i` of the infinite word.
+    pub fn symbol_at(&self, i: usize) -> usize {
+        if i < self.prefix.len() {
+            self.prefix[i]
+        } else {
+            self.cycle[(i - self.prefix.len()) % self.cycle.len()]
+        }
+    }
+
+    /// Total length of the finite representation.
+    pub fn len(&self) -> usize {
+        self.prefix.len() + self.cycle.len()
+    }
+
+    /// Never true; an ω-word always has a nonempty period.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Renders the word with symbol names, e.g. `a b (c a)^ω`.
+    pub fn render(&self, alphabet: &[String]) -> String {
+        let name = |&s: &usize| alphabet[s].clone();
+        let prefix: Vec<String> = self.prefix.iter().map(name).collect();
+        let cycle: Vec<String> = self.cycle.iter().map(name).collect();
+        if prefix.is_empty() {
+            format!("({})^ω", cycle.join(" "))
+        } else {
+            format!("{} ({})^ω", prefix.join(" "), cycle.join(" "))
+        }
+    }
+}
+
+/// Prints raw symbol indices; use [`render`](OmegaWord::render) for
+/// symbol names.
+impl fmt::Display for OmegaWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefix: Vec<String> = self.prefix.iter().map(|s| s.to_string()).collect();
+        let cycle: Vec<String> = self.cycle.iter().map(|s| s.to_string()).collect();
+        if prefix.is_empty() {
+            write!(f, "({})^ω", cycle.join(" "))
+        } else {
+            write!(f, "{} ({})^ω", prefix.join(" "), cycle.join(" "))
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Memoized if-then-else and the boolean connectives derived from it.
+
+use crate::manager::{BddManager, CacheOp};
+use crate::node::Bdd;
+
+impl BddManager {
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// The single recursive workhorse; every binary connective is a
+    /// special case. Memoized through the computed table, so repeated
+    /// subproblems cost one hash lookup — this is what makes the fixpoint
+    /// iterations of symbolic model checking tractable.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        let key = (CacheOp::Ite, f.0, g.0, h.0);
+        if let Some(hit) = self.cache_get(key) {
+            return hit;
+        }
+        // Split on the topmost variable of the three operands.
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let lh = self.level(h);
+        let top = lf.min(lg).min(lh);
+        let var = self.level2var[top as usize];
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let result = self.mk(var, lo, hi);
+        self.cache_put(key, result);
+        result
+    }
+
+    /// Both cofactors of `b` with respect to the variable at `level`
+    /// (identity if `b`'s root is below that level).
+    #[inline]
+    pub(crate) fn cofactors_at(&self, b: Bdd, level: u32) -> (Bdd, Bdd) {
+        if self.level(b) == level {
+            let n = self.node(b);
+            (n.lo, n.hi)
+        } else {
+            (b, b)
+        }
+    }
+
+    /// Logical negation `¬f`.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::FALSE)
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::TRUE, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence `f ↔ g`.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::TRUE)
+    }
+
+    /// Difference `f ∧ ¬g` (set subtraction when BDDs denote state sets).
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Joint denial `¬(f ∨ g)`.
+    pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let o = self.or(f, g);
+        self.not(o)
+    }
+
+    /// Alternative denial `¬(f ∧ g)`.
+    pub fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let a = self.and(f, g);
+        self.not(a)
+    }
+
+    /// N-ary conjunction. Returns `true` for an empty iterator.
+    pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, operands: I) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for b in operands {
+            acc = self.and(acc, b);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// N-ary disjunction. Returns `false` for an empty iterator.
+    pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, operands: I) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for b in operands {
+            acc = self.or(acc, b);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Is `f ⊆ g` when both are viewed as sets of assignments
+    /// (i.e. does `f → g` hold universally)?
+    pub fn is_subset(&mut self, f: Bdd, g: Bdd) -> bool {
+        self.diff(f, g).is_false()
+    }
+
+    /// Do `f` and `g` share at least one satisfying assignment?
+    pub fn intersects(&mut self, f: Bdd, g: Bdd) -> bool {
+        !self.and(f, g).is_false()
+    }
+}

@@ -1,0 +1,30 @@
+//! Error type for the OBDD package.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`BddManager`](crate::BddManager) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BddError {
+    /// A variable with this name already exists in the manager.
+    DuplicateVarName(String),
+    /// The manager ran out of node ids (more than `u32::MAX - 2` live
+    /// nodes were requested).
+    TableFull,
+    /// A reorder request did not mention every variable exactly once.
+    InvalidOrder(String),
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::DuplicateVarName(name) => {
+                write!(f, "variable named {name:?} already exists")
+            }
+            BddError::TableFull => write!(f, "bdd node table is full"),
+            BddError::InvalidOrder(msg) => write!(f, "invalid variable order: {msg}"),
+        }
+    }
+}
+
+impl Error for BddError {}

@@ -1,0 +1,54 @@
+//! Mark-and-sweep garbage collection.
+//!
+//! Collection is always explicit: the manager never reclaims nodes on its
+//! own, so plain [`Bdd`](crate::Bdd) handles stay valid between the `gc`
+//! calls *you* make. Before calling [`BddManager::gc`], protect every
+//! handle you intend to keep with [`BddManager::protect`].
+
+use std::collections::HashSet;
+
+use crate::manager::BddManager;
+use crate::node::{Bdd, Node};
+
+impl BddManager {
+    /// Reclaims every node not reachable from the protected roots or the
+    /// additional `roots` slice. Returns the number of reclaimed nodes.
+    ///
+    /// Node ids of surviving nodes are stable, so protected handles remain
+    /// valid. The computed table is cleared (it may reference dead nodes).
+    pub fn gc(&mut self, roots: &[Bdd]) -> usize {
+        let mut live: HashSet<u32> = HashSet::new();
+        live.insert(Bdd::FALSE.0);
+        live.insert(Bdd::TRUE.0);
+        let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
+        stack.extend(self.protected.keys().copied());
+        while let Some(id) = stack.pop() {
+            if !live.insert(id) {
+                continue;
+            }
+            let n = self.nodes[id as usize];
+            if !n.lo.is_const() {
+                stack.push(n.lo.0);
+            }
+            if !n.hi.is_const() {
+                stack.push(n.hi.0);
+            }
+        }
+        let mut reclaimed = 0;
+        for table in &mut self.tables {
+            table.retain(|_, &mut id| {
+                let keep = live.contains(&id);
+                if !keep {
+                    reclaimed += 1;
+                    self.nodes[id as usize] = Node::terminal();
+                    self.free.push(id);
+                }
+                keep
+            });
+        }
+        self.cache.clear();
+        self.stats.gc_runs += 1;
+        self.stats.gc_reclaimed += reclaimed as u64;
+        reclaimed
+    }
+}

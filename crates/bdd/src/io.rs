@@ -1,0 +1,172 @@
+//! Saving and loading BDDs in a simple line-oriented text format.
+//!
+//! The format captures the variable names, the current variable order,
+//! the shared node graph of the requested roots, and the roots
+//! themselves:
+//!
+//! ```text
+//! smc-bdd v1
+//! vars 3
+//! var x
+//! var y
+//! var z
+//! order 0 2 1
+//! nodes 2
+//! 2 1 0 1
+//! 3 0 2 1
+//! roots 1
+//! 3
+//! ```
+//!
+//! Node ids 0 and 1 are the constants; interior nodes are renumbered
+//! densely in children-first order, so a file is loadable in one pass.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+use crate::manager::BddManager;
+use crate::node::{Bdd, Var};
+
+impl BddManager {
+    /// Writes the given roots (with their shared subgraph, the variable
+    /// table and the current order) to `writer`. Pass `&mut writer` if
+    /// you need it afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_bdds<W: Write>(&self, mut writer: W, roots: &[Bdd]) -> io::Result<()> {
+        writeln!(writer, "smc-bdd v1")?;
+        writeln!(writer, "vars {}", self.num_vars())?;
+        for i in 0..self.num_vars() {
+            writeln!(writer, "var {}", self.var_name(Var::from_index(i)))?;
+        }
+        write!(writer, "order")?;
+        for level in 0..self.num_vars() {
+            write!(writer, " {}", self.var_at_level(level).index())?;
+        }
+        writeln!(writer)?;
+        // Children-first enumeration of the shared graph.
+        let mut order: Vec<Bdd> = Vec::new();
+        let mut seen: HashMap<Bdd, ()> = HashMap::new();
+        for &r in roots {
+            self.postorder(r, &mut seen, &mut order);
+        }
+        let mut ids: HashMap<Bdd, u64> = HashMap::new();
+        ids.insert(Bdd::FALSE, 0);
+        ids.insert(Bdd::TRUE, 1);
+        writeln!(writer, "nodes {}", order.len())?;
+        for (k, &b) in order.iter().enumerate() {
+            let id = (k + 2) as u64;
+            ids.insert(b, id);
+            let n = self.node(b);
+            writeln!(writer, "{} {} {} {}", id, n.var, ids[&n.lo], ids[&n.hi])?;
+        }
+        writeln!(writer, "roots {}", roots.len())?;
+        for r in roots {
+            writeln!(writer, "{}", ids[r])?;
+        }
+        Ok(())
+    }
+
+    fn postorder(&self, b: Bdd, seen: &mut HashMap<Bdd, ()>, out: &mut Vec<Bdd>) {
+        if b.is_const() || seen.contains_key(&b) {
+            return;
+        }
+        seen.insert(b, ());
+        let n = self.node(b);
+        self.postorder(n.lo, seen, out);
+        self.postorder(n.hi, seen, out);
+        out.push(b);
+    }
+
+    /// Reads a file written by [`write_bdds`](Self::write_bdds) into a
+    /// **fresh** manager, returning the manager and the roots in file
+    /// order. Variable names and the saved order are restored.
+    ///
+    /// # Errors
+    ///
+    /// `io::ErrorKind::InvalidData` on malformed input; reader errors
+    /// pass through.
+    pub fn read_bdds<R: BufRead>(reader: R) -> io::Result<(BddManager, Vec<Bdd>)> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut lines = reader.lines();
+        let mut next_line = move || -> io::Result<String> {
+            lines
+                .next()
+                .transpose()?
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unexpected EOF"))
+        };
+        if next_line()?.trim() != "smc-bdd v1" {
+            return Err(bad("missing smc-bdd v1 header"));
+        }
+        let nvars: usize = field(&next_line()?, "vars").ok_or_else(|| bad("bad vars line"))?;
+        let mut manager = BddManager::new();
+        let mut vars = Vec::with_capacity(nvars);
+        for _ in 0..nvars {
+            let line = next_line()?;
+            let name = line
+                .strip_prefix("var ")
+                .ok_or_else(|| bad("bad var line"))?;
+            vars.push(
+                manager
+                    .new_var(name)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            );
+        }
+        let order_line = next_line()?;
+        let order_ids = order_line
+            .strip_prefix("order")
+            .ok_or_else(|| bad("bad order line"))?;
+        let order: Vec<Var> = order_ids
+            .split_whitespace()
+            .map(|t| t.parse::<usize>().map(Var::from_index))
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad("bad order line"))?;
+        manager
+            .reorder(&order)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let nnodes: usize =
+            field(&next_line()?, "nodes").ok_or_else(|| bad("bad nodes line"))?;
+        let mut by_id: HashMap<u64, Bdd> = HashMap::new();
+        by_id.insert(0, Bdd::FALSE);
+        by_id.insert(1, Bdd::TRUE);
+        for _ in 0..nnodes {
+            let line = next_line()?;
+            let mut parts = line.split_whitespace();
+            let id: u64 = parse(parts.next()).ok_or_else(|| bad("bad node id"))?;
+            let var: usize = parse(parts.next()).ok_or_else(|| bad("bad node var"))?;
+            let lo: u64 = parse(parts.next()).ok_or_else(|| bad("bad node lo"))?;
+            let hi: u64 = parse(parts.next()).ok_or_else(|| bad("bad node hi"))?;
+            if var >= nvars {
+                return Err(bad("node variable out of range"));
+            }
+            let lo = *by_id.get(&lo).ok_or_else(|| bad("forward lo reference"))?;
+            let hi = *by_id.get(&hi).ok_or_else(|| bad("forward hi reference"))?;
+            let v = manager.var(vars[var]);
+            let node = manager.ite(v, hi, lo);
+            by_id.insert(id, node);
+        }
+        let nroots: usize =
+            field(&next_line()?, "roots").ok_or_else(|| bad("bad roots line"))?;
+        let mut roots = Vec::with_capacity(nroots);
+        for _ in 0..nroots {
+            let id: u64 = next_line()?
+                .trim()
+                .parse()
+                .map_err(|_| bad("bad root id"))?;
+            let b = *by_id.get(&id).ok_or_else(|| bad("unknown root id"))?;
+            manager.protect(b);
+            roots.push(b);
+        }
+        Ok((manager, roots))
+    }
+}
+
+fn field<T: std::str::FromStr>(line: &str, key: &str) -> Option<T> {
+    line.strip_prefix(key)?.trim().parse().ok()
+}
+
+fn parse<T: std::str::FromStr>(token: Option<&str>) -> Option<T> {
+    token?.parse().ok()
+}

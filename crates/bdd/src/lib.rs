@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # smc-bdd — ordered binary decision diagrams
+//!
+//! A from-scratch OBDD package in the style of Brace/Rudell/Bryant,
+//! providing the representation layer for the symbolic model checker
+//! (Section 2 of Clarke–Grumberg–McMillan–Zhao, DAC 1995).
+//!
+//! ## Design
+//!
+//! - A [`BddManager`] owns every node. Nodes are hash-consed through
+//!   per-variable unique tables, so structural equality of functions is
+//!   pointer (id) equality — the constant-time equivalence check the paper
+//!   relies on for fixpoint convergence tests.
+//! - A [`Bdd`] is a `Copy` handle (a node id) into one manager. Handles
+//!   from different managers must not be mixed; every operation is a method
+//!   on the manager.
+//! - All binary operations route through a memoized if-then-else
+//!   ([`BddManager::ite`]) with a computed table.
+//! - Quantification ([`BddManager::exists`], [`BddManager::forall`]) and
+//!   the fused relational product ([`BddManager::and_exists`]) operate over
+//!   *cubes* (conjunctions of variables).
+//! - Garbage collection is explicit: protect the roots you need with
+//!   [`BddManager::protect`], then call [`BddManager::gc`]. The manager
+//!   never collects behind your back.
+//! - Dynamic variable reordering by sifting is available through
+//!   [`BddManager::sift`]; a target order can be forced with
+//!   [`BddManager::reorder`].
+//! - Don't-care minimization via the generalized cofactor
+//!   ([`BddManager::constrain`]), Graphviz export
+//!   ([`BddManager::to_dot`]) and a text save/load format
+//!   ([`BddManager::write_bdds`] / [`BddManager::read_bdds`]) round out
+//!   the tooling.
+//!
+//! ## Example
+//!
+//! ```
+//! use smc_bdd::BddManager;
+//!
+//! # fn main() -> Result<(), smc_bdd::BddError> {
+//! let mut m = BddManager::new();
+//! let x = m.new_var("x")?;
+//! let y = m.new_var("y")?;
+//! let fx = m.var(x);
+//! let fy = m.var(y);
+//! // x XOR y has exactly two satisfying assignments over {x, y}.
+//! let f = m.xor(fx, fy);
+//! assert_eq!(m.sat_count(f, 2), 2.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod apply;
+mod dot;
+mod error;
+mod gc;
+mod io;
+mod manager;
+mod node;
+mod quant;
+mod reorder;
+mod sat;
+mod subst;
+
+pub use error::BddError;
+pub use manager::{BddManager, BddManagerStats};
+pub use node::{Bdd, Var};
+pub use sat::{CubeIter, SatAssignment};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,363 @@
+//! The BDD manager: node storage, hash-consing, and bookkeeping.
+
+use std::collections::HashMap;
+
+use crate::error::BddError;
+use crate::node::{Bdd, Node, Var, TERMINAL_VAR};
+
+/// Operation tags for the computed table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum CacheOp {
+    Ite,
+    Exists,
+    Forall,
+    AndExists,
+    Constrain,
+}
+
+pub(crate) type CacheKey = (CacheOp, u32, u32, u32);
+
+/// Counters describing the state and workload of a [`BddManager`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BddManagerStats {
+    /// Number of live (reachable or protected) nodes after the last GC, or
+    /// total allocated nodes if no GC has run.
+    pub live_nodes: usize,
+    /// Total nodes ever created (including reclaimed ones).
+    pub created_nodes: u64,
+    /// Computed-table lookups.
+    pub cache_lookups: u64,
+    /// Computed-table hits.
+    pub cache_hits: u64,
+    /// Number of garbage collections performed.
+    pub gc_runs: u64,
+    /// Nodes reclaimed across all garbage collections.
+    pub gc_reclaimed: u64,
+}
+
+/// Owner of all BDD nodes: the unique tables, the computed table, the
+/// variable order and the protected-root set.
+///
+/// Every operation on [`Bdd`] handles is a method on the manager; see the
+/// [crate documentation](crate) for an overview and an example.
+#[derive(Debug)]
+pub struct BddManager {
+    /// Node storage. Slots 0 and 1 are the terminals.
+    pub(crate) nodes: Vec<Node>,
+    /// Free slots available for reuse (filled by GC).
+    pub(crate) free: Vec<u32>,
+    /// Per-variable unique tables: `(lo, hi) -> node id`.
+    pub(crate) tables: Vec<HashMap<(Bdd, Bdd), u32>>,
+    /// Computed table shared by the memoized recursive operations.
+    pub(crate) cache: HashMap<CacheKey, Bdd>,
+    /// Variable names in creation order.
+    var_names: Vec<String>,
+    /// Name -> variable lookup.
+    name_index: HashMap<String, Var>,
+    /// Variable index -> level in the current order.
+    pub(crate) var2level: Vec<u32>,
+    /// Level -> variable index in the current order.
+    pub(crate) level2var: Vec<u32>,
+    /// Externally protected roots (id -> protection count).
+    pub(crate) protected: HashMap<u32, usize>,
+    /// Whether the computed table is consulted (ablation switch A3).
+    pub(crate) cache_enabled: bool,
+    pub(crate) stats: BddManagerStats,
+}
+
+impl BddManager {
+    /// Creates an empty manager containing only the two terminal nodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smc_bdd::{Bdd, BddManager};
+    /// let m = BddManager::new();
+    /// assert!(Bdd::TRUE.is_true());
+    /// assert_eq!(m.num_vars(), 0);
+    /// ```
+    pub fn new() -> BddManager {
+        BddManager {
+            nodes: vec![Node::terminal(), Node::terminal()],
+            free: Vec::new(),
+            tables: Vec::new(),
+            cache: HashMap::new(),
+            var_names: Vec::new(),
+            name_index: HashMap::new(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            protected: HashMap::new(),
+            cache_enabled: true,
+            stats: BddManagerStats::default(),
+        }
+    }
+
+    /// Declares a fresh variable at the bottom of the current order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::DuplicateVarName`] if a variable with the same
+    /// name already exists.
+    pub fn new_var(&mut self, name: &str) -> Result<Var, BddError> {
+        if self.name_index.contains_key(name) {
+            return Err(BddError::DuplicateVarName(name.to_string()));
+        }
+        let var = Var(self.var_names.len() as u32);
+        self.var_names.push(name.to_string());
+        self.name_index.insert(name.to_string(), var);
+        self.var2level.push(self.level2var.len() as u32);
+        self.level2var.push(var.0);
+        self.tables.push(HashMap::new());
+        Ok(var)
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The name a variable was declared with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this manager.
+    pub fn var_name(&self, var: Var) -> &str {
+        &self.var_names[var.index()]
+    }
+
+    /// Looks a variable up by name.
+    pub fn var_by_name(&self, name: &str) -> Option<Var> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Current level (position in the order, 0 = top) of a variable.
+    pub fn level_of_var(&self, var: Var) -> usize {
+        self.var2level[var.index()] as usize
+    }
+
+    /// The variable currently at a given level of the order.
+    pub fn var_at_level(&self, level: usize) -> Var {
+        Var(self.level2var[level])
+    }
+
+    /// The projection function for `var` (the BDD of the formula "`var`").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this manager.
+    pub fn var(&mut self, var: Var) -> Bdd {
+        assert!(var.index() < self.num_vars(), "unknown variable {var}");
+        self.mk(var.0, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The negated projection function for `var` (the BDD of "`¬var`").
+    pub fn nvar(&mut self, var: Var) -> Bdd {
+        assert!(var.index() < self.num_vars(), "unknown variable {var}");
+        self.mk(var.0, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// A literal: `var` if `positive`, else `¬var`.
+    pub fn literal(&mut self, var: Var, positive: bool) -> Bdd {
+        if positive {
+            self.var(var)
+        } else {
+            self.nvar(var)
+        }
+    }
+
+    /// The constant for a boolean value.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    /// Hash-consing constructor. Maintains the reduced, ordered invariants:
+    /// never creates a node with equal children, never duplicates a node.
+    pub(crate) fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            self.level(lo) > self.var2level[var as usize]
+                && self.level(hi) > self.var2level[var as usize],
+            "mk would violate variable order"
+        );
+        if let Some(&id) = self.tables[var as usize].get(&(lo, hi)) {
+            return Bdd(id);
+        }
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = Node { var, lo, hi };
+                slot
+            }
+            None => {
+                let id = self.nodes.len() as u32;
+                assert!(id != u32::MAX, "bdd node table is full");
+                self.nodes.push(Node { var, lo, hi });
+                id
+            }
+        };
+        self.tables[var as usize].insert((lo, hi), id);
+        self.stats.created_nodes += 1;
+        Bdd(id)
+    }
+
+    /// The node behind a handle (copy).
+    #[inline]
+    pub(crate) fn node(&self, b: Bdd) -> Node {
+        self.nodes[b.0 as usize]
+    }
+
+    /// Level of the root variable of `b`; `u32::MAX` for terminals.
+    #[inline]
+    pub(crate) fn level(&self, b: Bdd) -> u32 {
+        let v = self.nodes[b.0 as usize].var;
+        if v == TERMINAL_VAR {
+            u32::MAX
+        } else {
+            self.var2level[v as usize]
+        }
+    }
+
+    /// The root variable of a non-terminal BDD.
+    pub fn var_of(&self, b: Bdd) -> Option<Var> {
+        let v = self.nodes[b.0 as usize].var;
+        if v == TERMINAL_VAR {
+            None
+        } else {
+            Some(Var(v))
+        }
+    }
+
+    /// The low (`var = 0`) child of a non-terminal BDD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is a terminal.
+    pub fn low(&self, b: Bdd) -> Bdd {
+        assert!(!b.is_const(), "terminal has no children");
+        self.nodes[b.0 as usize].lo
+    }
+
+    /// The high (`var = 1`) child of a non-terminal BDD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is a terminal.
+    pub fn high(&self, b: Bdd) -> Bdd {
+        assert!(!b.is_const(), "terminal has no children");
+        self.nodes[b.0 as usize].hi
+    }
+
+    /// Evaluates `b` under a total assignment indexed by variable index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than the highest variable index
+    /// occurring in `b`.
+    pub fn eval(&self, b: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = b;
+        loop {
+            match cur {
+                Bdd::FALSE => return false,
+                Bdd::TRUE => return true,
+                _ => {
+                    let n = self.node(cur);
+                    cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+                }
+            }
+        }
+    }
+
+    /// Number of decision nodes in the (shared) graph of `b`, excluding
+    /// terminals. The size measure used throughout the literature.
+    pub fn size(&self, b: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![b];
+        let mut count = 0;
+        while let Some(top) = stack.pop() {
+            if top.is_const() || !seen.insert(top) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(top);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Total live nodes in the manager (all unique-table entries).
+    pub fn num_nodes(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum::<usize>() + 2
+    }
+
+    /// Protects a root from garbage collection. Protection is counted:
+    /// protect twice, unprotect twice.
+    pub fn protect(&mut self, b: Bdd) {
+        *self.protected.entry(b.0).or_insert(0) += 1;
+    }
+
+    /// Removes one level of protection from a root.
+    ///
+    /// Unprotecting a handle that is not protected is a no-op.
+    pub fn unprotect(&mut self, b: Bdd) {
+        if let Some(count) = self.protected.get_mut(&b.0) {
+            *count -= 1;
+            if *count == 0 {
+                self.protected.remove(&b.0);
+            }
+        }
+    }
+
+    /// Enables or disables the computed table (ablation switch; on by
+    /// default). Disabling makes every recursive operation exponential and
+    /// exists only to quantify the value of memoization.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.cache.clear();
+        }
+    }
+
+    /// Drops every memoized result. Invoked internally by GC and reorder.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Workload statistics counters.
+    pub fn stats(&self) -> BddManagerStats {
+        let mut s = self.stats;
+        s.live_nodes = self.num_nodes();
+        s
+    }
+
+    #[inline]
+    pub(crate) fn cache_get(&mut self, key: CacheKey) -> Option<Bdd> {
+        if !self.cache_enabled {
+            return None;
+        }
+        self.stats.cache_lookups += 1;
+        let hit = self.cache.get(&key).copied();
+        if hit.is_some() {
+            self.stats.cache_hits += 1;
+        }
+        hit
+    }
+
+    #[inline]
+    pub(crate) fn cache_put(&mut self, key: CacheKey, value: Bdd) {
+        if self.cache_enabled {
+            self.cache.insert(key, value);
+        }
+    }
+}
+
+impl Default for BddManager {
+    fn default() -> BddManager {
+        BddManager::new()
+    }
+}

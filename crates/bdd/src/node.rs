@@ -1,0 +1,114 @@
+//! Node and handle types for the OBDD package.
+
+use std::fmt;
+
+/// A BDD variable.
+///
+/// Variables are created by [`BddManager::new_var`] and identified by a
+/// dense index that never changes, even when dynamic reordering moves the
+/// variable to a different *level* of the ordering.
+///
+/// [`BddManager::new_var`]: crate::BddManager::new_var
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The dense index of this variable (0-based, in creation order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from a dense index.
+    ///
+    /// Useful when variables are stored in parallel arrays. The index must
+    /// refer to a variable that exists in the manager the `Var` is used
+    /// with; operations on unknown variables panic.
+    #[inline]
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A handle to a BDD node owned by a [`BddManager`].
+///
+/// `Bdd` is a plain `Copy` id: cheap to store and compare. Because nodes
+/// are hash-consed, two handles are equal **iff** they denote the same
+/// boolean function (within one manager). Handles are only meaningful for
+/// the manager that created them.
+///
+/// [`BddManager`]: crate::BddManager
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant `false` function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant `true` function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Is this the constant `false`?
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Is this the constant `true`?
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self.0 == 1
+    }
+
+    /// Is this either constant?
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// The raw node id. Stable for the lifetime of the node (until a GC
+    /// reclaims it); exposed for debugging and hashing.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Bdd::FALSE => write!(f, "⊥"),
+            Bdd::TRUE => write!(f, "⊤"),
+            Bdd(id) => write!(f, "@{id}"),
+        }
+    }
+}
+
+/// Sentinel variable index used for terminal nodes (orders below every real
+/// variable) and for free slots on the GC free list.
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+/// An interior or terminal decision node.
+///
+/// The node for variable `v` with children `(lo, hi)` denotes
+/// `(¬v ∧ lo) ∨ (v ∧ hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Node {
+    /// Variable index (`TERMINAL_VAR` for the two terminals and free slots).
+    pub var: u32,
+    /// Child when the variable is 0.
+    pub lo: Bdd,
+    /// Child when the variable is 1.
+    pub hi: Bdd,
+}
+
+impl Node {
+    pub(crate) const fn terminal() -> Node {
+        Node { var: TERMINAL_VAR, lo: Bdd::FALSE, hi: Bdd::FALSE }
+    }
+}

@@ -1,0 +1,108 @@
+//! Variable substitution: permutation (renaming) and functional
+//! composition.
+
+use std::collections::HashMap;
+
+use crate::manager::BddManager;
+use crate::node::{Bdd, Var};
+
+impl BddManager {
+    /// Renames variables according to `map` (pairs `(from, to)`).
+    ///
+    /// Used by the model checker to move a state set between the current
+    /// (`v`) and next (`v'`) variable rails. The mapping must be injective
+    /// on the support of `f`; targets may appear anywhere in the order
+    /// (the result is rebuilt via `ite`, so order crossings are handled
+    /// correctly, just more slowly than a level-preserving shift).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` mentions a variable unknown to this manager.
+    pub fn rename(&mut self, f: Bdd, map: &[(Var, Var)]) -> Bdd {
+        for &(a, b) in map {
+            assert!(a.index() < self.num_vars(), "unknown variable {a}");
+            assert!(b.index() < self.num_vars(), "unknown variable {b}");
+        }
+        let table: HashMap<u32, u32> = map.iter().map(|&(a, b)| (a.0, b.0)).collect();
+        let mut memo = HashMap::new();
+        self.rename_rec(f, &table, &mut memo)
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: Bdd,
+        table: &HashMap<u32, u32>,
+        memo: &mut HashMap<Bdd, Bdd>,
+    ) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&hit) = memo.get(&f) {
+            return hit;
+        }
+        let n = self.node(f);
+        let lo = self.rename_rec(n.lo, table, memo);
+        let hi = self.rename_rec(n.hi, table, memo);
+        let var = table.get(&n.var).copied().unwrap_or(n.var);
+        // The renamed variable may sit anywhere in the order relative to
+        // the rebuilt children, so splice it in with ite rather than mk.
+        let v = self.var(Var(var));
+        let result = self.ite(v, hi, lo);
+        memo.insert(f, result);
+        result
+    }
+
+    /// Functional composition `f[var := g]`: substitutes the function `g`
+    /// for the variable `var` in `f`.
+    pub fn compose(&mut self, f: Bdd, var: Var, g: Bdd) -> Bdd {
+        assert!(var.index() < self.num_vars(), "unknown variable {var}");
+        let level = self.level_of_var(var) as u32;
+        let mut memo = HashMap::new();
+        self.compose_rec(f, level, g, &mut memo)
+    }
+
+    fn compose_rec(
+        &mut self,
+        f: Bdd,
+        level: u32,
+        g: Bdd,
+        memo: &mut HashMap<Bdd, Bdd>,
+    ) -> Bdd {
+        let lf = self.level(f);
+        if lf > level {
+            return f; // var cannot occur below this point
+        }
+        if let Some(&hit) = memo.get(&f) {
+            return hit;
+        }
+        let n = self.node(f);
+        let result = if lf == level {
+            self.ite(g, n.hi, n.lo)
+        } else {
+            let lo = self.compose_rec(n.lo, level, g, memo);
+            let hi = self.compose_rec(n.hi, level, g, memo);
+            let v = self.var(Var(n.var));
+            self.ite(v, hi, lo)
+        };
+        memo.insert(f, result);
+        result
+    }
+
+    /// Swaps two blocks of variables in `f` (renames each `a[i]` to `b[i]`
+    /// and each `b[i]` to `a[i]` simultaneously).
+    ///
+    /// This is the `v ↔ v'` exchange at the heart of image computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn swap_vars(&mut self, f: Bdd, a: &[Var], b: &[Var]) -> Bdd {
+        assert_eq!(a.len(), b.len(), "swap_vars requires equal-length blocks");
+        let mut map = Vec::with_capacity(a.len() * 2);
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            map.push((x, y));
+            map.push((y, x));
+        }
+        self.rename(f, &map)
+    }
+}

@@ -1,0 +1,776 @@
+//! Unit and property tests for the OBDD package, validated against a
+//! brute-force truth-table oracle.
+
+use proptest::prelude::*;
+
+use crate::{Bdd, BddError, BddManager, Var};
+
+/// A small boolean expression language used as the test oracle.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Const(bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, env: &[bool]) -> bool {
+        match self {
+            Expr::Var(i) => env[*i],
+            Expr::Const(b) => *b,
+            Expr::Not(e) => !e.eval(env),
+            Expr::And(a, b) => a.eval(env) && b.eval(env),
+            Expr::Or(a, b) => a.eval(env) || b.eval(env),
+            Expr::Xor(a, b) => a.eval(env) ^ b.eval(env),
+            Expr::Ite(c, t, e) => {
+                if c.eval(env) {
+                    t.eval(env)
+                } else {
+                    e.eval(env)
+                }
+            }
+        }
+    }
+
+    fn build(&self, m: &mut BddManager, vars: &[Var]) -> Bdd {
+        match self {
+            Expr::Var(i) => m.var(vars[*i]),
+            Expr::Const(b) => m.constant(*b),
+            Expr::Not(e) => {
+                let x = e.build(m, vars);
+                m.not(x)
+            }
+            Expr::And(a, b) => {
+                let (x, y) = (a.build(m, vars), b.build(m, vars));
+                m.and(x, y)
+            }
+            Expr::Or(a, b) => {
+                let (x, y) = (a.build(m, vars), b.build(m, vars));
+                m.or(x, y)
+            }
+            Expr::Xor(a, b) => {
+                let (x, y) = (a.build(m, vars), b.build(m, vars));
+                m.xor(x, y)
+            }
+            Expr::Ite(c, t, e) => {
+                let (x, y, z) = (c.build(m, vars), t.build(m, vars), e.build(m, vars));
+                m.ite(x, y, z)
+            }
+        }
+    }
+}
+
+fn arb_expr(nvars: usize) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..nvars).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn manager_with_vars(n: usize) -> (BddManager, Vec<Var>) {
+    let mut m = BddManager::new();
+    let vars = (0..n)
+        .map(|i| m.new_var(&format!("x{i}")).expect("fresh name"))
+        .collect();
+    (m, vars)
+}
+
+fn assignments(n: usize) -> impl Iterator<Item = Vec<bool>> {
+    (0u32..(1 << n)).map(move |bits| (0..n).map(|i| bits >> i & 1 == 1).collect())
+}
+
+// ---------------------------------------------------------------------
+// Basic algebra
+// ---------------------------------------------------------------------
+
+#[test]
+fn constants_are_distinct_terminals() {
+    let m = BddManager::new();
+    assert!(m.constant(true).is_true());
+    assert!(m.constant(false).is_false());
+    assert_ne!(Bdd::TRUE, Bdd::FALSE);
+}
+
+#[test]
+fn var_and_nvar_are_complements() {
+    let (mut m, vars) = manager_with_vars(1);
+    let x = m.var(vars[0]);
+    let nx = m.nvar(vars[0]);
+    assert_eq!(m.not(x), nx);
+    assert_eq!(m.and(x, nx), Bdd::FALSE);
+    assert_eq!(m.or(x, nx), Bdd::TRUE);
+}
+
+#[test]
+fn duplicate_variable_names_are_rejected() {
+    let mut m = BddManager::new();
+    m.new_var("x").expect("first");
+    assert_eq!(
+        m.new_var("x"),
+        Err(BddError::DuplicateVarName("x".to_string()))
+    );
+}
+
+#[test]
+fn hash_consing_makes_equal_functions_identical() {
+    let (mut m, vars) = manager_with_vars(3);
+    let (a, b, c) = (m.var(vars[0]), m.var(vars[1]), m.var(vars[2]));
+    // (a ∧ b) ∨ c twice, built differently.
+    let ab = m.and(a, b);
+    let lhs = m.or(ab, c);
+    let ca = m.or(c, ab);
+    assert_eq!(lhs, ca);
+    // De Morgan.
+    let nab = m.nand(a, b);
+    let na = m.not(a);
+    let nb = m.not(b);
+    let demorgan = m.or(na, nb);
+    assert_eq!(nab, demorgan);
+}
+
+#[test]
+fn implication_truth_table() {
+    let (mut m, vars) = manager_with_vars(2);
+    let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+    let imp = m.implies(a, b);
+    assert!(!m.eval(imp, &[true, false]));
+    assert!(m.eval(imp, &[false, false]));
+    assert!(m.eval(imp, &[false, true]));
+    assert!(m.eval(imp, &[true, true]));
+}
+
+#[test]
+fn n_ary_connectives_match_folds() {
+    let (mut m, vars) = manager_with_vars(4);
+    let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+    let conj = m.and_all(lits.iter().copied());
+    let disj = m.or_all(lits.iter().copied());
+    for env in assignments(4) {
+        assert_eq!(m.eval(conj, &env), env.iter().all(|&b| b));
+        assert_eq!(m.eval(disj, &env), env.iter().any(|&b| b));
+    }
+    assert_eq!(m.and_all(std::iter::empty()), Bdd::TRUE);
+    assert_eq!(m.or_all(std::iter::empty()), Bdd::FALSE);
+}
+
+#[test]
+fn subset_and_intersection_queries() {
+    let (mut m, vars) = manager_with_vars(2);
+    let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+    let ab = m.and(a, b);
+    assert!(m.is_subset(ab, a));
+    assert!(!m.is_subset(a, ab));
+    assert!(m.intersects(a, b));
+    let na = m.not(a);
+    assert!(!m.intersects(a, na));
+}
+
+// ---------------------------------------------------------------------
+// Cofactors, quantifiers, cubes
+// ---------------------------------------------------------------------
+
+#[test]
+fn restrict_is_cofactor() {
+    let (mut m, vars) = manager_with_vars(3);
+    let (a, b, c) = (m.var(vars[0]), m.var(vars[1]), m.var(vars[2]));
+    let bc = m.and(b, c);
+    let f = m.ite(a, bc, c);
+    let f1 = m.restrict(f, vars[0], true);
+    let f0 = m.restrict(f, vars[0], false);
+    assert_eq!(f1, bc);
+    assert_eq!(f0, c);
+}
+
+#[test]
+fn exists_and_forall_are_dual() {
+    let (mut m, vars) = manager_with_vars(4);
+    let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+    let c = m.var(vars[2]);
+    let ab = m.xor(a, b);
+    let f = m.and(ab, c);
+    let cube = m.cube(&vars[0..2]);
+    let ex = m.exists(f, cube);
+    let nf = m.not(f);
+    let fa_n = m.forall(nf, cube);
+    let dual = m.not(fa_n);
+    assert_eq!(ex, dual);
+    // ∃a,b. (a⊕b) ∧ c  =  c
+    assert_eq!(ex, c);
+    // ∀a,b. (a⊕b) ∧ c  =  false
+    let fa = m.forall(f, cube);
+    assert_eq!(fa, Bdd::FALSE);
+}
+
+#[test]
+fn and_exists_equals_two_pass() {
+    let (mut m, vars) = manager_with_vars(6);
+    let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+    let x = m.xor(lits[0], lits[3]);
+    let f = m.or(x, lits[4]);
+    let iffy = m.iff(lits[1], lits[5]);
+    let g = m.and(lits[0], iffy);
+    let cube = m.cube(&[vars[0], vars[1]]);
+    let fused = m.and_exists(f, g, cube);
+    let anded = m.and(f, g);
+    let two_pass = m.exists(anded, cube);
+    assert_eq!(fused, two_pass);
+}
+
+#[test]
+fn cube_recognition() {
+    let (mut m, vars) = manager_with_vars(3);
+    let cube = m.cube(&[vars[0], vars[2]]);
+    assert!(m.is_cube(cube));
+    assert_eq!(m.cube_vars(cube), vec![vars[0], vars[2]]);
+    let a = m.var(vars[0]);
+    let b = m.var(vars[1]);
+    let not_cube = m.or(a, b);
+    assert!(!m.is_cube(not_cube));
+    assert!(m.is_cube(Bdd::TRUE));
+    assert!(!m.is_cube(Bdd::FALSE));
+}
+
+#[test]
+fn constrain_agrees_on_the_care_set() {
+    let (mut m, vars) = manager_with_vars(3);
+    let (a, b, c) = (m.var(vars[0]), m.var(vars[1]), m.var(vars[2]));
+    let bc = m.xor(b, c);
+    let f = m.ite(a, bc, c);
+    let care = m.or(a, b);
+    let g = m.constrain(f, care);
+    let lhs = m.and(g, care);
+    let rhs = m.and(f, care);
+    assert_eq!(lhs, rhs, "constrain must agree with f on the care set");
+    // Identity cases.
+    assert_eq!(m.constrain(f, Bdd::TRUE), f);
+    assert_eq!(m.constrain(f, f), Bdd::TRUE);
+}
+
+#[test]
+#[should_panic(expected = "unsatisfiable")]
+fn constrain_rejects_empty_care_sets() {
+    let (mut m, vars) = manager_with_vars(1);
+    let a = m.var(vars[0]);
+    let _ = m.constrain(a, Bdd::FALSE);
+}
+
+#[test]
+fn support_lists_exactly_the_dependent_variables() {
+    let (mut m, vars) = manager_with_vars(4);
+    let (a, c) = (m.var(vars[0]), m.var(vars[2]));
+    let f = m.xor(a, c);
+    assert_eq!(m.support(f), vec![vars[0], vars[2]]);
+    assert_eq!(m.support(Bdd::TRUE), vec![]);
+}
+
+// ---------------------------------------------------------------------
+// Substitution
+// ---------------------------------------------------------------------
+
+#[test]
+fn rename_moves_functions_between_rails() {
+    let (mut m, vars) = manager_with_vars(4);
+    // Treat vars[0..2] as current, vars[2..4] as next.
+    let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+    let f = m.and(a, b);
+    let renamed = m.rename(f, &[(vars[0], vars[2]), (vars[1], vars[3])]);
+    let (c, d) = (m.var(vars[2]), m.var(vars[3]));
+    assert_eq!(renamed, m.and(c, d));
+}
+
+#[test]
+fn swap_vars_is_an_involution() {
+    let (mut m, vars) = manager_with_vars(4);
+    let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+    let c = m.var(vars[2]);
+    let ab = m.xor(a, b);
+    let f = m.or(ab, c);
+    let cur = [vars[0], vars[1]];
+    let nxt = [vars[2], vars[3]];
+    let g = m.swap_vars(f, &cur, &nxt);
+    let back = m.swap_vars(g, &cur, &nxt);
+    assert_eq!(back, f);
+}
+
+#[test]
+fn compose_substitutes_a_function() {
+    let (mut m, vars) = manager_with_vars(3);
+    let (a, b, c) = (m.var(vars[0]), m.var(vars[1]), m.var(vars[2]));
+    let f = m.xor(a, c); // a ⊕ c
+    let g = m.and(b, c); // b ∧ c
+    let h = m.compose(f, vars[0], g); // (b∧c) ⊕ c
+    for env in assignments(3) {
+        let expected = (env[1] && env[2]) ^ env[2];
+        assert_eq!(m.eval(h, &env), expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counting and enumeration
+// ---------------------------------------------------------------------
+
+#[test]
+fn sat_count_small_functions() {
+    let (mut m, vars) = manager_with_vars(3);
+    let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+    assert_eq!(m.sat_count(Bdd::TRUE, 3), 8.0);
+    assert_eq!(m.sat_count(Bdd::FALSE, 3), 0.0);
+    assert_eq!(m.sat_count(a, 3), 4.0);
+    let ab = m.and(a, b);
+    assert_eq!(m.sat_count(ab, 3), 2.0);
+    let axb = m.xor(a, b);
+    assert_eq!(m.sat_count(axb, 3), 4.0);
+    // Count over a narrower variable universe.
+    assert_eq!(m.sat_count(axb, 2), 2.0);
+}
+
+#[test]
+fn one_sat_returns_a_model() {
+    let (mut m, vars) = manager_with_vars(3);
+    let (a, b, c) = (m.var(vars[0]), m.var(vars[1]), m.var(vars[2]));
+    let nb = m.not(b);
+    let anb = m.and(a, nb);
+    let f = m.and(anb, c);
+    let sat = m.one_sat(f).expect("satisfiable");
+    let mut env = vec![false; 3];
+    for (v, val) in &sat {
+        env[v.index()] = *val;
+    }
+    assert!(m.eval(f, &env));
+    assert_eq!(m.one_sat(Bdd::FALSE), None);
+}
+
+#[test]
+fn one_sat_total_covers_all_requested_vars() {
+    let (mut m, vars) = manager_with_vars(4);
+    let b = m.var(vars[1]);
+    let total = m.one_sat_total(b, &vars).expect("satisfiable");
+    assert_eq!(total.len(), 4);
+    assert!(total[1]);
+}
+
+#[test]
+fn cubes_partition_the_on_set() {
+    let (mut m, vars) = manager_with_vars(3);
+    let (a, b) = (m.var(vars[0]), m.var(vars[1]));
+    let c = m.var(vars[2]);
+    let ab = m.xor(a, b);
+    let f = m.or(ab, c);
+    // Re-evaluate every total assignment against the cube list.
+    let cubes: Vec<_> = m.cubes(f).collect();
+    for env in assignments(3) {
+        let expected = m.eval(f, &env);
+        let covered = cubes
+            .iter()
+            .filter(|cube| cube.iter().all(|(v, val)| env[v.index()] == *val))
+            .count();
+        // Disjoint cover: exactly one cube for members, none otherwise.
+        assert_eq!(covered, usize::from(expected));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------
+
+#[test]
+fn gc_reclaims_garbage_and_keeps_roots() {
+    let (mut m, vars) = manager_with_vars(8);
+    let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+    let mut keep = Bdd::TRUE;
+    for chunk in lits.chunks(2) {
+        let x = m.xor(chunk[0], chunk[1]);
+        keep = m.and(keep, x);
+    }
+    // Build garbage.
+    for i in 0..lits.len() {
+        for j in 0..lits.len() {
+            let _ = m.iff(lits[i], lits[j]);
+        }
+    }
+    let before = m.num_nodes();
+    m.protect(keep);
+    let reclaimed = m.gc(&[]);
+    assert!(reclaimed > 0);
+    assert!(m.num_nodes() < before);
+    // The kept function still evaluates correctly.
+    for env in [[true; 8], [false; 8]] {
+        assert!(!m.eval(keep, &env));
+    }
+    let env = [true, false, true, false, true, false, true, false];
+    assert!(m.eval(keep, &env));
+    // Rebuilding the same function gives the same node back.
+    let mut rebuilt = Bdd::TRUE;
+    for chunk in vars.chunks(2) {
+        let x0 = m.var(chunk[0]);
+        let x1 = m.var(chunk[1]);
+        let x = m.xor(x0, x1);
+        rebuilt = m.and(rebuilt, x);
+    }
+    assert_eq!(rebuilt, keep);
+}
+
+#[test]
+fn protection_is_counted() {
+    let (mut m, vars) = manager_with_vars(2);
+    let a = m.var(vars[0]);
+    let b = m.var(vars[1]);
+    let f = m.xor(a, b);
+    m.protect(f);
+    m.protect(f);
+    m.unprotect(f);
+    m.gc(&[]);
+    // Still alive: size is computable and correct (one x0 node plus the
+    // positive and negated x1 nodes).
+    assert_eq!(m.size(f), 3);
+    m.unprotect(f);
+    let reclaimed = m.gc(&[]);
+    assert!(reclaimed > 0);
+}
+
+// ---------------------------------------------------------------------
+// Reordering
+// ---------------------------------------------------------------------
+
+#[test]
+fn swap_levels_preserves_semantics_and_handles() {
+    let (mut m, vars) = manager_with_vars(4);
+    let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+    let x01 = m.xor(lits[0], lits[1]);
+    let a23 = m.and(lits[2], lits[3]);
+    let f = m.or(x01, a23);
+    for level in [0, 1, 2, 0, 1] {
+        m.swap_levels(level);
+        for env in assignments(4) {
+            let expected = (env[0] ^ env[1]) || (env[2] && env[3]);
+            assert_eq!(m.eval(f, &env), expected, "after swap at level {level}");
+        }
+    }
+}
+
+#[test]
+fn reorder_to_target_order() {
+    let (mut m, vars) = manager_with_vars(4);
+    let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+    let x = m.xor(lits[0], lits[2]);
+    let f = m.and(x, lits[1]);
+    let order = [vars[3], vars[2], vars[1], vars[0]];
+    m.reorder(&order).expect("valid order");
+    for (level, v) in order.iter().enumerate() {
+        assert_eq!(m.level_of_var(*v), level);
+        assert_eq!(m.var_at_level(level), *v);
+    }
+    for env in assignments(4) {
+        assert_eq!(m.eval(f, &env), (env[0] ^ env[2]) && env[1]);
+    }
+}
+
+#[test]
+fn reorder_rejects_non_permutations() {
+    let (mut m, vars) = manager_with_vars(3);
+    assert!(m.reorder(&[vars[0], vars[1]]).is_err());
+    assert!(m.reorder(&[vars[0], vars[1], vars[1]]).is_err());
+    assert!(m
+        .reorder(&[vars[0], vars[1], Var::from_index(7)])
+        .is_err());
+}
+
+#[test]
+fn sifting_shrinks_an_interleaving_sensitive_function() {
+    // f = (x0∧y0) ∨ (x1∧y1) ∨ (x2∧y2) with all x's before all y's is
+    // exponentially larger than with interleaved order; sifting must find
+    // a substantially smaller order.
+    let mut m = BddManager::new();
+    let n = 6;
+    let xs: Vec<Var> = (0..n).map(|i| m.new_var(&format!("x{i}")).unwrap()).collect();
+    let ys: Vec<Var> = (0..n).map(|i| m.new_var(&format!("y{i}")).unwrap()).collect();
+    let mut f = Bdd::FALSE;
+    for i in 0..n {
+        let x = m.var(xs[i]);
+        let y = m.var(ys[i]);
+        let t = m.and(x, y);
+        f = m.or(f, t);
+    }
+    let before = m.size(f);
+    m.protect(f);
+    m.sift(&[f]);
+    let after = m.size(f);
+    assert!(
+        after < before,
+        "sifting should shrink the comb function: {before} -> {after}"
+    );
+    // Optimal interleaved size is 2n nodes.
+    assert!(after <= 2 * n + 2, "expected near-optimal size, got {after}");
+    // Semantics preserved.
+    let mut env = vec![false; 2 * n];
+    assert!(!m.eval(f, &env));
+    env[2] = true; // x2
+    env[n + 2] = true; // y2
+    assert!(m.eval(f, &env));
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+#[test]
+fn write_read_round_trip() {
+    let (mut m, vars) = manager_with_vars(4);
+    let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+    let x01 = m.xor(lits[0], lits[1]);
+    let a23 = m.and(lits[2], lits[3]);
+    let f = m.or(x01, a23);
+    let g = m.implies(lits[0], a23);
+    // Save under a permuted order to exercise order restoration.
+    m.reorder(&[vars[2], vars[0], vars[3], vars[1]]).unwrap();
+    let mut buffer = Vec::new();
+    m.write_bdds(&mut buffer, &[f, g]).unwrap();
+
+    let (loaded, roots) = BddManager::read_bdds(buffer.as_slice()).unwrap();
+    assert_eq!(roots.len(), 2);
+    assert_eq!(loaded.num_vars(), 4);
+    assert_eq!(loaded.var_name(vars[0]), "x0");
+    assert_eq!(loaded.level_of_var(vars[2]), 0, "order restored");
+    for env in assignments(4) {
+        let expected_f = (env[0] ^ env[1]) || (env[2] && env[3]);
+        let expected_g = !env[0] || (env[2] && env[3]);
+        assert_eq!(loaded.eval(roots[0], &env), expected_f);
+        assert_eq!(loaded.eval(roots[1], &env), expected_g);
+    }
+}
+
+#[test]
+fn read_rejects_malformed_input() {
+    for text in [
+        "",
+        "wrong header\n",
+        "smc-bdd v1\nvars x\n",
+        "smc-bdd v1\nvars 1\nvar a\norder 0\nnodes 1\n2 5 0 1\nroots 0\n",
+        "smc-bdd v1\nvars 1\nvar a\norder 0\nnodes 1\n2 0 7 1\nroots 0\n",
+        "smc-bdd v1\nvars 1\nvar a\norder 0\nnodes 0\nroots 1\n9\n",
+    ] {
+        assert!(BddManager::read_bdds(text.as_bytes()).is_err(), "{text:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_io_round_trip_preserves_semantics(expr in arb_expr(ORACLE_VARS)) {
+        let (mut m, vars) = manager_with_vars(ORACLE_VARS);
+        let f = expr.build(&mut m, &vars);
+        let mut buffer = Vec::new();
+        m.write_bdds(&mut buffer, &[f]).unwrap();
+        let (loaded, roots) = BddManager::read_bdds(buffer.as_slice()).unwrap();
+        for env in assignments(ORACLE_VARS) {
+            prop_assert_eq!(loaded.eval(roots[0], &env), expr.eval(&env));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DOT export
+// ---------------------------------------------------------------------
+
+#[test]
+fn dot_output_mentions_every_node() {
+    let (mut m, vars) = manager_with_vars(2);
+    let a = m.var(vars[0]);
+    let b = m.var(vars[1]);
+    let f = m.xor(a, b);
+    let dot = m.to_dot(&[f]);
+    assert!(dot.starts_with("digraph bdd {"));
+    assert!(dot.contains("x0"));
+    assert!(dot.contains("x1"));
+    assert!(dot.contains("root 0"));
+}
+
+// ---------------------------------------------------------------------
+// Statistics & cache ablation
+// ---------------------------------------------------------------------
+
+#[test]
+fn cache_can_be_disabled() {
+    let (mut m, vars) = manager_with_vars(6);
+    let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+    m.set_cache_enabled(false);
+    let mut f = Bdd::FALSE;
+    for chunk in lits.chunks(2) {
+        let t = m.and(chunk[0], chunk[1]);
+        f = m.or(f, t);
+    }
+    let stats = m.stats();
+    assert_eq!(stats.cache_lookups, 0);
+    m.set_cache_enabled(true);
+    let g = m.not(f);
+    let _ = m.not(g);
+    assert!(m.stats().cache_lookups > 0);
+}
+
+#[test]
+fn stats_track_nodes() {
+    let (mut m, vars) = manager_with_vars(2);
+    let a = m.var(vars[0]);
+    let b = m.var(vars[1]);
+    let _ = m.xor(a, b);
+    let stats = m.stats();
+    assert!(stats.created_nodes >= 3);
+    assert!(stats.live_nodes >= 3);
+}
+
+// ---------------------------------------------------------------------
+// Property tests against the truth-table oracle
+// ---------------------------------------------------------------------
+
+const ORACLE_VARS: usize = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_bdd_matches_oracle(expr in arb_expr(ORACLE_VARS)) {
+        let (mut m, vars) = manager_with_vars(ORACLE_VARS);
+        let f = expr.build(&mut m, &vars);
+        for env in assignments(ORACLE_VARS) {
+            prop_assert_eq!(m.eval(f, &env), expr.eval(&env));
+        }
+    }
+
+    #[test]
+    fn prop_canonicity(e1 in arb_expr(ORACLE_VARS), e2 in arb_expr(ORACLE_VARS)) {
+        let (mut m, vars) = manager_with_vars(ORACLE_VARS);
+        let f = e1.build(&mut m, &vars);
+        let g = e2.build(&mut m, &vars);
+        let semantically_equal =
+            assignments(ORACLE_VARS).all(|env| e1.eval(&env) == e2.eval(&env));
+        prop_assert_eq!(f == g, semantically_equal);
+    }
+
+    #[test]
+    fn prop_exists_matches_oracle(expr in arb_expr(ORACLE_VARS), which in 0..ORACLE_VARS) {
+        let (mut m, vars) = manager_with_vars(ORACLE_VARS);
+        let f = expr.build(&mut m, &vars);
+        let cube = m.cube(&[vars[which]]);
+        let ex = m.exists(f, cube);
+        for env in assignments(ORACLE_VARS) {
+            let mut e0 = env.clone();
+            e0[which] = false;
+            let mut e1 = env.clone();
+            e1[which] = true;
+            let expected = expr.eval(&e0) || expr.eval(&e1);
+            prop_assert_eq!(m.eval(ex, &env), expected);
+        }
+    }
+
+    #[test]
+    fn prop_and_exists_is_fused_correctly(
+        e1 in arb_expr(ORACLE_VARS),
+        e2 in arb_expr(ORACLE_VARS),
+        mask in 1u32..(1 << ORACLE_VARS),
+    ) {
+        let (mut m, vars) = manager_with_vars(ORACLE_VARS);
+        let f = e1.build(&mut m, &vars);
+        let g = e2.build(&mut m, &vars);
+        let quantified: Vec<Var> = (0..ORACLE_VARS)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| vars[i])
+            .collect();
+        let cube = m.cube(&quantified);
+        let fused = m.and_exists(f, g, cube);
+        let anded = m.and(f, g);
+        let two_pass = m.exists(anded, cube);
+        prop_assert_eq!(fused, two_pass);
+    }
+
+    #[test]
+    fn prop_constrain_agrees_on_care_set(
+        e1 in arb_expr(ORACLE_VARS),
+        e2 in arb_expr(ORACLE_VARS),
+    ) {
+        let (mut m, vars) = manager_with_vars(ORACLE_VARS);
+        let f = e1.build(&mut m, &vars);
+        let c = e2.build(&mut m, &vars);
+        prop_assume!(!c.is_false());
+        let g = m.constrain(f, c);
+        let lhs = m.and(g, c);
+        let rhs = m.and(f, c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn prop_sat_count_matches_enumeration(expr in arb_expr(ORACLE_VARS)) {
+        let (mut m, vars) = manager_with_vars(ORACLE_VARS);
+        let f = expr.build(&mut m, &vars);
+        let expected = assignments(ORACLE_VARS).filter(|env| expr.eval(env)).count();
+        prop_assert_eq!(m.sat_count(f, ORACLE_VARS), expected as f64);
+    }
+
+    #[test]
+    fn prop_cube_enumeration_is_exact(expr in arb_expr(ORACLE_VARS)) {
+        let (mut m, vars) = manager_with_vars(ORACLE_VARS);
+        let f = expr.build(&mut m, &vars);
+        let cubes: Vec<_> = m.cubes(f).collect();
+        for env in assignments(ORACLE_VARS) {
+            let covered = cubes
+                .iter()
+                .filter(|cube| cube.iter().all(|(v, val)| env[v.index()] == *val))
+                .count();
+            prop_assert_eq!(covered, usize::from(expr.eval(&env)));
+        }
+    }
+
+    #[test]
+    fn prop_sift_preserves_semantics(expr in arb_expr(ORACLE_VARS)) {
+        let (mut m, vars) = manager_with_vars(ORACLE_VARS);
+        let f = expr.build(&mut m, &vars);
+        m.protect(f);
+        m.sift(&[f]);
+        for env in assignments(ORACLE_VARS) {
+            prop_assert_eq!(m.eval(f, &env), expr.eval(&env));
+        }
+    }
+
+    #[test]
+    fn prop_reorder_round_trip(expr in arb_expr(ORACLE_VARS), seed in any::<u64>()) {
+        let (mut m, vars) = manager_with_vars(ORACLE_VARS);
+        let f = expr.build(&mut m, &vars);
+        // Deterministic pseudo-random permutation from the seed.
+        let mut order = vars.clone();
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        m.reorder(&order).expect("permutation");
+        for env in assignments(ORACLE_VARS) {
+            prop_assert_eq!(m.eval(f, &env), expr.eval(&env));
+        }
+    }
+
+    #[test]
+    fn prop_rename_then_rename_back(expr in arb_expr(3)) {
+        let (mut m, vars) = manager_with_vars(6);
+        let f = expr.build(&mut m, &vars[0..3]);
+        let fwd: Vec<(Var, Var)> = (0..3).map(|i| (vars[i], vars[i + 3])).collect();
+        let bwd: Vec<(Var, Var)> = (0..3).map(|i| (vars[i + 3], vars[i])).collect();
+        let g = m.rename(f, &fwd);
+        let back = m.rename(g, &bwd);
+        prop_assert_eq!(back, f);
+    }
+}

@@ -1,0 +1,79 @@
+//! EXP-1: the Seitz arbiter case study — model construction, safety and
+//! liveness checking, and counterexample generation, plus the n-user
+//! scaling sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use smc_checker::Checker;
+use smc_circuits::arbiter::{arbiter, seitz_arbiter};
+use smc_logic::ctl;
+
+fn bench_arbiter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp1_arbiter");
+    group.sample_size(20);
+
+    group.bench_function("build_model", |b| {
+        b.iter(|| {
+            let arb = seitz_arbiter();
+            std::hint::black_box(arb.build().expect("builds"))
+        })
+    });
+
+    group.bench_function("check_safety", |b| {
+        let arb = seitz_arbiter();
+        let spec = ctl::parse("AG !(meo1 & meo2)").expect("valid");
+        b.iter_batched(
+            || arb.build().expect("builds"),
+            |mut model| {
+                let mut checker = Checker::new(&mut model);
+                std::hint::black_box(checker.check(&spec).expect("known atoms"));
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("check_liveness", |b| {
+        let arb = seitz_arbiter();
+        let spec = ctl::parse("AG (tr1 -> AF ta1)").expect("valid");
+        b.iter_batched(
+            || arb.build().expect("builds"),
+            |mut model| {
+                let mut checker = Checker::new(&mut model);
+                std::hint::black_box(checker.check(&spec).expect("known atoms"));
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("counterexample", |b| {
+        let arb = seitz_arbiter();
+        let spec = ctl::parse("AG (tr1 -> AF ta1)").expect("valid");
+        b.iter_batched(
+            || arb.build().expect("builds"),
+            |mut model| {
+                let mut checker = Checker::new(&mut model);
+                std::hint::black_box(checker.counterexample(&spec).expect("fails"));
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    for n in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("n_user_liveness_cx", n), &n, |b, &n| {
+            let arb = arbiter(n);
+            let spec = ctl::parse("AG (ur1 -> AF ua1)").expect("valid");
+            b.iter_batched(
+                || arb.build().expect("builds"),
+                |mut model| {
+                    let mut checker = Checker::new(&mut model);
+                    std::hint::black_box(checker.counterexample(&spec).expect("fails"));
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbiter);
+criterion_main!(benches);

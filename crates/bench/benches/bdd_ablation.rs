@@ -1,0 +1,123 @@
+//! A3: BDD-layer ablations — the computed table, the fused relational
+//! product, and dynamic reordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use smc_bdd::{Bdd, BddManager, Var};
+use smc_checker::Checker;
+use smc_circuits::arbiter::seitz_arbiter;
+use smc_logic::ctl;
+
+fn bench_bdd_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_bdd_ablation");
+    group.sample_size(15);
+
+    // Computed table on/off for the arbiter safety check.
+    for cache in [true, false] {
+        let name = if cache { "cache_on" } else { "cache_off" };
+        group.bench_function(BenchmarkId::new("safety_check", name), |b| {
+            let arb = seitz_arbiter();
+            let spec = ctl::parse("AG !(meo1 & meo2)").expect("valid");
+            b.iter_batched(
+                || {
+                    let mut model = arb.build().expect("builds");
+                    model.manager_mut().set_cache_enabled(cache);
+                    model
+                },
+                |mut model| {
+                    let mut checker = Checker::new(&mut model);
+                    std::hint::black_box(checker.check(&spec).expect("known"));
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // Fused vs. two-pass relational product on arbiter image steps.
+    for fused in [true, false] {
+        let name = if fused { "fused" } else { "two_pass" };
+        group.bench_function(BenchmarkId::new("relational_product", name), |b| {
+            let arb = seitz_arbiter();
+            let mut model = arb.build().expect("builds");
+            let init = model.init();
+            let trans = model.trans();
+            let cur: Vec<Var> = model.cur_vars().to_vec();
+            let m = model.manager_mut();
+            let cube = m.cube(&cur);
+            b.iter(|| {
+                if fused {
+                    let img = m.and_exists(init, trans, cube);
+                    m.clear_cache();
+                    std::hint::black_box(img)
+                } else {
+                    let conj = m.and(init, trans);
+                    let img = m.exists(conj, cube);
+                    m.clear_cache();
+                    std::hint::black_box(img)
+                }
+            })
+        });
+    }
+
+    // Partitioned vs. monolithic transition relation on a wide counter
+    // (A2: early quantification keeps intermediate image BDDs small).
+    for partitioned in [true, false] {
+        let name = if partitioned { "partitioned" } else { "monolithic" };
+        group.bench_function(BenchmarkId::new("reachability", name), |b| {
+            b.iter_batched(
+                || {
+                    let bits = 24;
+                    let mut builder = smc_kripke::SymbolicModelBuilder::new();
+                    let ids: Vec<_> = (0..bits)
+                        .map(|i| builder.bool_var(&format!("b{i}")).expect("fresh"))
+                        .collect();
+                    builder.init_zero();
+                    for (i, id) in ids.iter().enumerate() {
+                        builder.next_fn(*id, move |m, cur| {
+                            let carry = m.and_all(cur[..i].iter().copied());
+                            m.xor(cur[i], carry)
+                        });
+                    }
+                    if partitioned {
+                        builder.partition_transitions();
+                    }
+                    builder.build().expect("builds")
+                },
+                |mut model| {
+                    std::hint::black_box(model.reachable_count());
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // Sifting on an order-sensitive function.
+    group.bench_function("sifting_comb_function", |b| {
+        b.iter_batched(
+            || {
+                let mut m = BddManager::new();
+                let n = 7;
+                let xs: Vec<Var> = (0..n).map(|i| m.new_var(&format!("x{i}")).unwrap()).collect();
+                let ys: Vec<Var> = (0..n).map(|i| m.new_var(&format!("y{i}")).unwrap()).collect();
+                let mut f = Bdd::FALSE;
+                for i in 0..n {
+                    let x = m.var(xs[i]);
+                    let y = m.var(ys[i]);
+                    let t = m.and(x, y);
+                    f = m.or(f, t);
+                }
+                m.protect(f);
+                (m, f)
+            },
+            |(mut m, f)| {
+                std::hint::black_box(m.sift(&[f]));
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_bdd_ablation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! EXP-7: the Section 9 observation — how does the cost of *finding the
+//! witness* compare to the cost of *checking* as models grow?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use smc_checker::Checker;
+use smc_circuits::families::muller_pipeline;
+use smc_circuits::FairnessMode;
+use smc_logic::ctl;
+
+fn bench_check_vs_witness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp7_check_vs_witness");
+    group.sample_size(20);
+    let spec = ctl::parse("EG true").expect("valid");
+    for n in [4usize, 8, 12] {
+        let net = muller_pipeline(n);
+        group.bench_with_input(BenchmarkId::new("check_only", n), &n, |b, _| {
+            b.iter_batched(
+                || net.build(FairnessMode::PerGate).expect("builds"),
+                |mut model| {
+                    let mut checker = Checker::new(&mut model);
+                    std::hint::black_box(checker.check(&spec).expect("known"));
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("check_plus_witness", n), &n, |b, _| {
+            b.iter_batched(
+                || net.build(FairnessMode::PerGate).expect("builds"),
+                |mut model| {
+                    let mut checker = Checker::new(&mut model);
+                    let _ = checker.check(&spec).expect("known");
+                    std::hint::black_box(checker.witness(&spec).expect("holds"));
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check_vs_witness);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! EXP-6: Streett/Büchi language-containment checking with
+//! counterexample extraction, as the automata grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use smc_automata::{check_containment, Acceptance, OmegaAutomaton};
+
+/// A deterministic complete Büchi automaton over {a, b} with `n`
+/// states: a counter that accepts words with infinitely many runs of
+/// `n` consecutive a's.
+fn run_counter(n: usize) -> OmegaAutomaton {
+    let mut k = OmegaAutomaton::new(n, 0, vec!["a".into(), "b".into()]);
+    for s in 0..n {
+        k.add_transition(s, 0, (s + 1) % n); // a advances
+        k.add_transition(s, 1, 0); // b resets
+    }
+    k.set_acceptance(Acceptance::buchi([n - 1]));
+    k
+}
+
+/// The "infinitely many a" automaton.
+fn inf_a() -> OmegaAutomaton {
+    let mut k = OmegaAutomaton::new(2, 0, vec!["a".into(), "b".into()]);
+    for s in 0..2 {
+        k.add_transition(s, 0, 1);
+        k.add_transition(s, 1, 0);
+    }
+    k.set_acceptance(Acceptance::buchi([1]));
+    k
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp6_containment");
+    group.sample_size(30);
+    for n in [2usize, 4, 8, 16] {
+        // run_counter(n) ⊆ inf_a holds (a run of n a's implies a's i.o.);
+        // the reverse fails with a counterexample word.
+        group.bench_with_input(BenchmarkId::new("holds", n), &n, |b, &n| {
+            let sys = run_counter(n);
+            let spec = inf_a();
+            b.iter(|| std::hint::black_box(check_containment(&sys, &spec).expect("ok")))
+        });
+        group.bench_with_input(BenchmarkId::new("fails_with_word", n), &n, |b, &n| {
+            let sys = inf_a();
+            let spec = run_counter(n);
+            b.iter(|| std::hint::black_box(check_containment(&sys, &spec).expect("ok")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_containment);
+criterion_main!(benches);

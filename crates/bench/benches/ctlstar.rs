@@ -1,0 +1,72 @@
+//! EXP-5: checking and witnessing the CTL* fairness class
+//! `E ⋀ (GF p ∨ FG q)` as the number of conjuncts grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use smc_bench::{random_fair_graph, to_symbolic_with_fairness};
+use smc_bdd::Bdd;
+use smc_checker::{check_efairness, witness_efairness, CycleStrategy, FairnessConjunct};
+
+fn conjuncts_for(model: &mut smc_kripke::SymbolicModel, k: usize) -> Vec<FairnessConjunct> {
+    // Alternate GF / FG obligations over the available labels.
+    let p = model.ap("p").expect("label");
+    let f0 = model.ap("f0").expect("label");
+    let f1 = model.ap("f1").expect("label");
+    let sets = [p, f0, f1];
+    (0..k)
+        .map(|i| {
+            let set = sets[i % sets.len()];
+            if i % 2 == 0 {
+                FairnessConjunct::gf(set)
+            } else {
+                // FG of a *disjunction* keeps the branch satisfiable.
+                FairnessConjunct { gf: Some(set), fg: Some(Bdd::TRUE) }
+            }
+        })
+        .collect()
+}
+
+fn bench_ctlstar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp5_ctlstar");
+    group.sample_size(30);
+    let graph = random_fair_graph(48, 11, 2);
+    for k in [1usize, 2, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("check", k), &k, |b, &k| {
+            b.iter_batched(
+                || {
+                    let mut model = to_symbolic_with_fairness(&graph, 0).expect("total");
+                    let conjuncts = conjuncts_for(&mut model, k);
+                    (model, conjuncts)
+                },
+                |(mut model, conjuncts)| {
+                    std::hint::black_box(check_efairness(&mut model, &conjuncts));
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("witness", k), &k, |b, &k| {
+            b.iter_batched(
+                || {
+                    let mut model = to_symbolic_with_fairness(&graph, 0).expect("total");
+                    let conjuncts = conjuncts_for(&mut model, k);
+                    let (set, _) = check_efairness(&mut model, &conjuncts);
+                    let init = model.init();
+                    let start_set = model.manager_mut().and(init, set);
+                    let start = model.pick_state(start_set).expect("satisfiable workload");
+                    (model, conjuncts, start)
+                },
+                |(mut model, conjuncts, start)| {
+                    std::hint::black_box(
+                        witness_efairness(&mut model, &conjuncts, &start, CycleStrategy::Restart)
+                            .expect("holds"),
+                    );
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ctlstar);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! EXP-4 (Theorem 1): exact minimal finite witness search vs. the
+//! greedy heuristic on Hamiltonian-style instances — the exact search
+//! blows up with the number of per-state fairness constraints, the
+//! heuristic stays polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use smc_bench::hamiltonian_instance;
+use smc_explicit::{greedy_fair_lasso, minimal_fair_lasso};
+
+fn bench_minimal_witness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp4_minimal_witness");
+    group.sample_size(20);
+    for n in [4usize, 8, 12, 14] {
+        let (graph, masks) = hamiltonian_instance(n);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(minimal_fair_lasso(&graph, &masks, 0)))
+        });
+        let body = vec![true; n];
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(greedy_fair_lasso(&graph, &masks, &body, 0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimal_witness);
+criterion_main!(benches);

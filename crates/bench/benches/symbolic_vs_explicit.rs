@@ -1,0 +1,62 @@
+//! EXP-8: symbolic (BDD) checking vs. explicit enumeration + checking —
+//! the motivation for OBDD-based model checking (Sections 1 and 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use smc_checker::Checker;
+use smc_circuits::families::inverter_ring;
+use smc_circuits::FairnessMode;
+use smc_explicit::ExplicitChecker;
+use smc_logic::ctl;
+
+fn bench_symbolic_vs_explicit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp8_symbolic_vs_explicit");
+    group.sample_size(15);
+    let spec = ctl::parse("AG (EF inv0)").expect("valid");
+    for n in [5usize, 9, 11] {
+        let net = inverter_ring(n);
+        group.bench_with_input(BenchmarkId::new("symbolic", n), &n, |b, _| {
+            b.iter_batched(
+                || net.build(FairnessMode::PerGate).expect("builds"),
+                |mut model| {
+                    let mut checker = Checker::new(&mut model);
+                    std::hint::black_box(checker.check(&spec).expect("known"));
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("explicit", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut model = net.build(FairnessMode::PerGate).expect("builds");
+                    let (graph, _) = model.enumerate(1 << 20).expect("fits");
+                    graph
+                },
+                |graph| {
+                    let mut checker = ExplicitChecker::new(&graph);
+                    checker.auto_fairness();
+                    std::hint::black_box(checker.check(&spec).expect("known"));
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        // The explicit engine also pays the enumeration itself; measure
+        // the full pipeline (this is what "state explosion" kills).
+        group.bench_with_input(BenchmarkId::new("explicit_with_enumeration", n), &n, |b, _| {
+            b.iter_batched(
+                || net.build(FairnessMode::PerGate).expect("builds"),
+                |mut model| {
+                    let (graph, _) = model.enumerate(1 << 20).expect("fits");
+                    let mut checker = ExplicitChecker::new(&graph);
+                    checker.auto_fairness();
+                    std::hint::black_box(checker.check(&spec).expect("known"));
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic_vs_explicit);
+criterion_main!(benches);

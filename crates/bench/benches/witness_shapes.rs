@@ -1,0 +1,59 @@
+//! EXP-2 / EXP-3 / A1: fair-EG witness construction across SCC shapes
+//! (Figures 1 and 2) under both cycle-closing strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use smc_bench::{scc_chain, single_scc_ring, to_symbolic_with_fairness};
+use smc_checker::{Checker, CycleStrategy};
+use smc_logic::ctl;
+
+fn bench_witness_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp2_exp3_witness_shapes");
+    group.sample_size(30);
+    let spec = ctl::parse("EG true").expect("valid");
+
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("fig1_single_scc", n), &n, |b, &n| {
+            let graph = single_scc_ring(n);
+            b.iter_batched(
+                || {
+                    let mut model = to_symbolic_with_fairness(&graph, 0).expect("total");
+                    let p = model.ap("p").expect("label");
+                    model.add_fairness(p);
+                    model
+                },
+                |mut model| {
+                    let mut checker = Checker::new(&mut model);
+                    std::hint::black_box(checker.witness(&spec).expect("holds"));
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    for k in [3usize, 8, 16] {
+        for strategy in [CycleStrategy::Restart, CycleStrategy::StaySet] {
+            let id = format!("fig2_chain_{k}_{strategy:?}");
+            group.bench_function(BenchmarkId::new("fig2_scc_descent", id), |b| {
+                let graph = scc_chain(k);
+                b.iter_batched(
+                    || {
+                        let mut model = to_symbolic_with_fairness(&graph, 0).expect("total");
+                        let p = model.ap("p").expect("label");
+                        model.add_fairness(p);
+                        model
+                    },
+                    |mut model| {
+                        let mut checker = Checker::new(&mut model).with_strategy(strategy);
+                        std::hint::black_box(checker.witness(&spec).expect("holds"));
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_witness_shapes);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! A reconstruction of the Seitz asynchronous arbiter of the paper's
+//! Figure 3.
+//!
+//! The paper's schematic names the signals `ur`, `tr`, `ta`, `sr`, `sa`,
+//! `ua` per user, the mutual-exclusion (ME) element with inputs
+//! `mei1/mei2` and outputs `meo1/meo2`, and OR/AND gates on the request
+//! paths; the precise 1994 netlist is not recoverable from the text, so
+//! this module rebuilds the topology the counterexample narrative
+//! implies (see DESIGN.md, "Substitutions"):
+//!
+//! - `mei_i = OR(ur_i, ta_i)` — the delayed OR gate of the trace,
+//! - `meo_1 = mei_1 ∧ ¬meo_2`, `meo_2 = mei_2 ∧ ¬meo_1` — the
+//!   cross-coupled ME element,
+//! - `tr_i = AND(ur_i, meo_i)` — the AND gate re-raising the trial
+//!   request,
+//! - `ta_i` follows `tr_i` (trial acknowledge),
+//! - `sr = OR(ta_1, ta_2)`, `sa` follows `sr` (service handshake),
+//! - `ua_i = AND(ta_i, sa)` — the user acknowledge,
+//! - users `ur_i` are environment inputs obeying the 4-phase handshake
+//!   (`ur` may change only when `ur = ua`), with **no** obligation to
+//!   request or release.
+//!
+//! Under per-gate fairness the circuit satisfies the safety spec
+//! (mutual exclusion of the grants) but fails liveness
+//! `AG (ur2 → AF ua2)`: user 1 may hold the ME element forever. The
+//! checker's counterexample exhibits the starvation lasso, reproducing
+//! the qualitative shape of the paper's case study.
+
+use smc_kripke::SymbolicModel;
+
+use crate::netlist::{Comb, FairnessMode, Netlist, NetlistError, NodeId};
+
+/// The signal handles of one user port.
+#[derive(Debug, Clone, Copy)]
+pub struct UserPort {
+    /// User request (environment input).
+    pub ur: NodeId,
+    /// Trial request into the service stage.
+    pub tr: NodeId,
+    /// Trial acknowledge.
+    pub ta: NodeId,
+    /// User acknowledge.
+    pub ua: NodeId,
+    /// ME element input for this user.
+    pub mei: NodeId,
+    /// ME element output (grant) for this user.
+    pub meo: NodeId,
+}
+
+/// The assembled arbiter: the netlist plus the named ports.
+#[derive(Debug, Clone)]
+pub struct Arbiter {
+    /// The underlying netlist.
+    pub netlist: Netlist,
+    /// Per-user signal handles.
+    pub users: Vec<UserPort>,
+    /// Service request (OR of the trial acknowledges).
+    pub sr: NodeId,
+    /// Service acknowledge.
+    pub sa: NodeId,
+}
+
+impl Arbiter {
+    /// Builds the symbolic model with per-gate fairness (the paper's
+    /// setting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from the netlist compilation.
+    pub fn build(&self) -> Result<SymbolicModel, NetlistError> {
+        self.netlist.build(FairnessMode::PerGate)
+    }
+
+    /// Builds without fairness constraints (for ablations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from the netlist compilation.
+    pub fn build_unfair(&self) -> Result<SymbolicModel, NetlistError> {
+        self.netlist.build(FairnessMode::None)
+    }
+}
+
+/// Constructs the two-user Seitz-style arbiter.
+pub fn seitz_arbiter() -> Arbiter {
+    arbiter(2)
+}
+
+/// Constructs an `n`-user generalisation: the ME element becomes a
+/// one-hot arbiter (`meo_i = mei_i ∧ ¬⋁_{j≠i} meo_j`); everything else
+/// is replicated per user. `n = 2` is the paper's circuit.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn arbiter(n: usize) -> Arbiter {
+    assert!(n >= 2, "an arbiter needs at least two users");
+    let mut net = Netlist::new();
+    // Declare everything first (the circuit is full of feedback).
+    let expect = "fresh names by construction";
+    let mut users = Vec::with_capacity(n);
+    for i in 1..=n {
+        let ur = net.declare(&format!("ur{i}"), false).expect(expect);
+        let tr = net.declare(&format!("tr{i}"), false).expect(expect);
+        let ta = net.declare(&format!("ta{i}"), false).expect(expect);
+        let ua = net.declare(&format!("ua{i}"), false).expect(expect);
+        let mei = net.declare(&format!("mei{i}"), false).expect(expect);
+        let meo = net.declare(&format!("meo{i}"), false).expect(expect);
+        users.push(UserPort { ur, tr, ta, ua, mei, meo });
+    }
+    let sr = net.declare("sr", false).expect(expect);
+    let sa = net.declare("sa", false).expect(expect);
+
+    for (i, u) in users.iter().enumerate() {
+        // 4-phase user: may toggle the request exactly when ur = ua.
+        let guard = Comb::not(Comb::xor(Comb::node(u.ur), Comb::node(u.ua)));
+        net.make_input(u.ur, guard).expect("declared above");
+        // OR gate on the ME input path (the "slow OR1" of the trace).
+        net.make_gate(u.mei, Comb::or([Comb::node(u.ur), Comb::node(u.ta)]))
+            .expect("declared above");
+        // ME element: grant i iff requested and no other grant is up.
+        let others = Comb::or(
+            users
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, o)| Comb::node(o.meo)),
+        );
+        net.make_gate(
+            u.meo,
+            Comb::and([Comb::node(u.mei), Comb::not(others)]),
+        )
+        .expect("declared above");
+        // Trial request and acknowledge.
+        net.make_gate(u.tr, Comb::and([Comb::node(u.ur), Comb::node(u.meo)]))
+            .expect("declared above");
+        net.make_gate(u.ta, Comb::node(u.tr)).expect("declared above");
+        // User acknowledge.
+        net.make_gate(u.ua, Comb::and([Comb::node(u.ta), Comb::node(sa)]))
+            .expect("declared above");
+    }
+    // Service handshake.
+    net.make_gate(sr, Comb::or(users.iter().map(|u| Comb::node(u.ta))))
+        .expect("declared above");
+    net.make_gate(sa, Comb::node(sr)).expect("declared above");
+
+    Arbiter { netlist: net, users, sr, sa }
+}

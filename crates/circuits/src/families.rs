@@ -1,0 +1,105 @@
+//! Scalable speed-independent circuit families for benchmarks.
+
+use smc_kripke::SymbolicModel;
+
+use crate::netlist::{Comb, FairnessMode, Netlist, NetlistError};
+
+/// A ring of `n` inverters (`n` odd gives a free-running oscillator).
+/// Node `i` inverts node `(i + n - 1) mod n`; the all-zero initial state
+/// leaves at least one gate excited for odd `n`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn inverter_ring(n: usize) -> Netlist {
+    assert!(n >= 2, "a ring needs at least two inverters");
+    let mut net = Netlist::new();
+    let nodes: Vec<_> = (0..n)
+        .map(|i| net.declare(&format!("inv{i}"), false).expect("fresh names"))
+        .collect();
+    for i in 0..n {
+        let prev = nodes[(i + n - 1) % n];
+        net.make_gate(nodes[i], Comb::not(Comb::node(prev)))
+            .expect("declared above");
+    }
+    net
+}
+
+/// A Muller C-element pipeline of depth `n` (a classic asynchronous
+/// FIFO control): stage `i` is a C-element of the previous stage and
+/// the inverted next stage; the head is fed by a free environment
+/// input.
+///
+/// # Panics
+///
+/// Panics if `n < 1`.
+pub fn muller_pipeline(n: usize) -> Netlist {
+    assert!(n >= 1, "a pipeline needs at least one stage");
+    let mut net = Netlist::new();
+    let input = net.declare("in", false).expect("fresh names");
+    let stages: Vec<_> = (0..n)
+        .map(|i| net.declare(&format!("c{i}"), false).expect("fresh names"))
+        .collect();
+    net.make_input(input, Comb::Const(true)).expect("declared above");
+    for i in 0..n {
+        let left = if i == 0 { input } else { stages[i - 1] };
+        // C(left, ¬right); the last stage sees constant-high "space".
+        let right = if i + 1 < n {
+            Comb::not(Comb::node(stages[i + 1]))
+        } else {
+            Comb::Const(true)
+        };
+        let c = Comb::or([
+            Comb::and([Comb::node(left), right.clone()]),
+            Comb::and([
+                Comb::node(stages[i]),
+                Comb::or([Comb::node(left), right]),
+            ]),
+        ]);
+        net.make_gate(stages[i], c).expect("declared above");
+    }
+    net
+}
+
+/// A self-timed ring of `n` Muller C-elements (a closed micropipeline):
+/// stage `i` is `C(c_{i-1}, ¬c_{i+1})` with indices mod `n` — it copies
+/// its predecessor once its successor has consumed the previous value.
+/// Stage 0 starts high (one data token in the ring); transitions then
+/// circulate forever, making every stage toggle infinitely often under
+/// per-gate fairness.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (smaller rings have no room for a token to move).
+pub fn c_element_ring(n: usize) -> Netlist {
+    assert!(n >= 3, "a C-element ring needs at least three stages");
+    let mut net = Netlist::new();
+    let expect = "fresh names by construction";
+    let stages: Vec<_> = (0..n)
+        .map(|i| net.declare(&format!("c{i}"), i == 0).expect(expect))
+        .collect();
+    for i in 0..n {
+        let prev = stages[(i + n - 1) % n];
+        let next = stages[(i + 1) % n];
+        // C(prev, ¬next) with output hold:
+        //   (prev ∧ ¬next) ∨ (c_i ∧ (prev ∨ ¬next))
+        let a = Comb::node(prev);
+        let b = Comb::not(Comb::node(next));
+        let target = Comb::or([
+            Comb::and([a.clone(), b.clone()]),
+            Comb::and([Comb::node(stages[i]), Comb::or([a, b])]),
+        ]);
+        net.make_gate(stages[i], target).expect(expect);
+    }
+    net
+}
+
+/// Builds the family member and its symbolic model with per-gate
+/// fairness — convenience for benches.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the compilation.
+pub fn build_fair(net: &Netlist) -> Result<SymbolicModel, NetlistError> {
+    net.build(FairnessMode::PerGate)
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # smc-circuits — speed-independent gate-level circuits
+//!
+//! The modeling substrate for the paper's case study (Section 6): gate
+//! netlists under **speed-independent** semantics. Every gate may take
+//! arbitrarily long to respond to its inputs:
+//!
+//! - each node holds its current boolean value;
+//! - a gate is *excited* when its output differs from its target
+//!   function of the current node values;
+//! - a step fires **one** excited gate (or lets an environment input
+//!   toggle when its protocol guard allows, or stutters);
+//! - one fairness constraint per gate — *"the gate is stable
+//!   (unexcited) infinitely often"* — encodes the paper's "every gate
+//!   eventually responds": a gate left excited forever violates it.
+//!
+//! [`arbiter`] reconstructs the Seitz asynchronous arbiter of Figure 3
+//! (the exact 1994 netlist is not recoverable from the paper; see
+//! DESIGN.md for the substitution argument), and [`families`] provides
+//! scalable circuits for the benchmark sweeps.
+//!
+//! ## Example
+//!
+//! ```
+//! use smc_circuits::{Comb, FairnessMode, Netlist};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A ring of three inverters (a speed-independent oscillator).
+//! let mut n = Netlist::new();
+//! let a = n.declare("a", false)?;
+//! let b = n.declare("b", false)?;
+//! let c = n.declare("c", true)?;
+//! n.make_gate(a, Comb::not(Comb::node(c)))?;
+//! n.make_gate(b, Comb::not(Comb::node(a)))?;
+//! n.make_gate(c, Comb::not(Comb::node(b)))?;
+//! let mut model = n.build(FairnessMode::PerGate)?;
+//! assert!(model.reachable_count() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arbiter;
+pub mod families;
+mod netlist;
+
+pub use netlist::{Comb, FairnessMode, Netlist, NetlistError, NodeId};
+
+#[cfg(test)]
+mod tests;

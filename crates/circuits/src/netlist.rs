@@ -1,0 +1,441 @@
+//! Gate netlists and their speed-independent symbolic semantics.
+
+use std::error::Error;
+use std::fmt;
+
+use smc_bdd::{Bdd, BddManager, Var};
+use smc_kripke::{KripkeError, SymbolicModel};
+
+/// A node (gate output, environment input) in a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Position of the node in declaration order (= its state bit).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A combinational expression over node values — gate target functions
+/// and input protocol guards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Comb {
+    /// Constant.
+    Const(bool),
+    /// The current value of a node.
+    Node(NodeId),
+    /// Negation.
+    Not(Box<Comb>),
+    /// N-ary conjunction.
+    And(Vec<Comb>),
+    /// N-ary disjunction.
+    Or(Vec<Comb>),
+    /// Exclusive or.
+    Xor(Box<Comb>, Box<Comb>),
+}
+
+impl Comb {
+    /// A node reference.
+    pub fn node(id: NodeId) -> Comb {
+        Comb::Node(id)
+    }
+
+    /// Negation.
+    pub fn not(c: Comb) -> Comb {
+        Comb::Not(Box::new(c))
+    }
+
+    /// Conjunction of operands.
+    pub fn and<I: IntoIterator<Item = Comb>>(operands: I) -> Comb {
+        Comb::And(operands.into_iter().collect())
+    }
+
+    /// Disjunction of operands.
+    pub fn or<I: IntoIterator<Item = Comb>>(operands: I) -> Comb {
+        Comb::Or(operands.into_iter().collect())
+    }
+
+    /// Exclusive or.
+    pub fn xor(a: Comb, b: Comb) -> Comb {
+        Comb::Xor(Box::new(a), Box::new(b))
+    }
+
+    /// The Muller C-element target: output rises when both inputs are
+    /// high, falls when both are low, otherwise holds:
+    /// `(a ∧ b) ∨ (out ∧ (a ∨ b))`.
+    pub fn c_element(a: NodeId, b: NodeId, out: NodeId) -> Comb {
+        Comb::or([
+            Comb::and([Comb::node(a), Comb::node(b)]),
+            Comb::and([Comb::node(out), Comb::or([Comb::node(a), Comb::node(b)])]),
+        ])
+    }
+}
+
+/// How fairness constraints are attached by [`Netlist::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FairnessMode {
+    /// One constraint per gate: "the gate is stable infinitely often" —
+    /// the paper's "every gate eventually responds".
+    #[default]
+    PerGate,
+    /// No fairness constraints (gates may lag forever).
+    None,
+}
+
+/// Errors reported while assembling a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A node with this name already exists.
+    DuplicateName(String),
+    /// The node already has a definition.
+    AlreadyDefined(String),
+    /// Some declared node was never defined as a gate or input.
+    Undefined(String),
+    /// Error from the model layer.
+    Kripke(KripkeError),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "node {n:?} declared twice"),
+            NetlistError::AlreadyDefined(n) => write!(f, "node {n:?} defined twice"),
+            NetlistError::Undefined(n) => write!(f, "node {n:?} has no definition"),
+            NetlistError::Kripke(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for NetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetlistError::Kripke(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KripkeError> for NetlistError {
+    fn from(e: KripkeError) -> NetlistError {
+        NetlistError::Kripke(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum NodeDef {
+    /// Declared but not yet defined.
+    Pending,
+    /// A gate with a target function.
+    Gate(Comb),
+    /// An environment input that may toggle whenever the guard holds.
+    Input(Comb),
+}
+
+#[derive(Debug, Clone)]
+struct NetNode {
+    name: String,
+    init: bool,
+    def: NodeDef,
+}
+
+/// A gate-level netlist under construction.
+///
+/// Declare every node first (so feedback loops can reference forward
+/// nodes), then define each as a gate ([`make_gate`](Self::make_gate))
+/// or an environment input ([`make_input`](Self::make_input)), and
+/// finally [`build`](Self::build) the symbolic model.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    nodes: Vec<NetNode>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new() -> Netlist {
+        Netlist::default()
+    }
+
+    /// Declares a node with an initial value.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn declare(&mut self, name: &str, init: bool) -> Result<NodeId, NetlistError> {
+        if self.nodes.iter().any(|n| n.name == name) {
+            return Err(NetlistError::DuplicateName(name.to_string()));
+        }
+        self.nodes.push(NetNode { name: name.to_string(), init, def: NodeDef::Pending });
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Defines a node as a gate computing `target`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::AlreadyDefined`] on double definition.
+    pub fn make_gate(&mut self, id: NodeId, target: Comb) -> Result<(), NetlistError> {
+        let node = &mut self.nodes[id.0];
+        if !matches!(node.def, NodeDef::Pending) {
+            return Err(NetlistError::AlreadyDefined(node.name.clone()));
+        }
+        node.def = NodeDef::Gate(target);
+        Ok(())
+    }
+
+    /// Defines a node as an environment input free to toggle whenever
+    /// `guard` holds (pass `Comb::Const(true)` for a fully free input).
+    /// Inputs carry no fairness obligation: the environment may stall.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::AlreadyDefined`] on double definition.
+    pub fn make_input(&mut self, id: NodeId, guard: Comb) -> Result<(), NetlistError> {
+        let node = &mut self.nodes[id.0];
+        if !matches!(node.def, NodeDef::Pending) {
+            return Err(NetlistError::AlreadyDefined(node.name.clone()));
+        }
+        node.def = NodeDef::Input(guard);
+        Ok(())
+    }
+
+    /// Number of declared nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The name of a node.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Renders the netlist as an SMV program with the same
+    /// speed-independent semantics, checkable with the `smc` CLI.
+    ///
+    /// The interleaving is encoded with a free scheduler variable
+    /// `sel : 0..n`: a step fires the gate `sel` points at when it is
+    /// excited (or, for inputs, when its protocol guard holds) and
+    /// stutters otherwise (including the spare value `sel = n`).
+    /// Per-gate fairness becomes `FAIRNESS <gate> <-> <target>` (the
+    /// stability predicate). Node names must be valid SMV identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node has no definition (call after fully defining
+    /// the netlist).
+    pub fn to_smv(&self) -> String {
+        use std::fmt::Write as _;
+        let n = self.nodes.len();
+        assert!(
+            self.nodes.iter().all(|nd| !matches!(nd.def, NodeDef::Pending)),
+            "netlist has undefined nodes"
+        );
+        let mut out = String::from("MODULE main\nVAR\n");
+        let _ = writeln!(out, "  sel : 0..{n};");
+        for node in &self.nodes {
+            let _ = writeln!(out, "  {} : boolean;", node.name);
+        }
+        out.push_str("ASSIGN\n");
+        for node in &self.nodes {
+            let _ = writeln!(
+                out,
+                "  init({}) := {};",
+                node.name,
+                if node.init { "TRUE" } else { "FALSE" }
+            );
+        }
+        out.push_str("TRANS\n");
+        let mut clauses: Vec<String> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let name = &node.name;
+            let fire_condition = match &node.def {
+                NodeDef::Pending => unreachable!("checked above"),
+                // An excited gate toggles toward its target.
+                NodeDef::Gate(target) => {
+                    format!("({} <-> !({}))", name, self.comb_to_smv(target))
+                }
+                // An input toggles while its protocol guard holds.
+                NodeDef::Input(guard) => self.comb_to_smv(guard),
+            };
+            // Gate i toggles exactly when selected *and* fireable; in
+            // every other case it holds (so a sel pointing at a stable
+            // gate is a global stutter, keeping the relation total).
+            clauses.push(format!(
+                "  ((sel = {i} & {fire_condition}) -> (next({name}) <-> !{name}))"
+            ));
+            clauses.push(format!(
+                "  (!(sel = {i} & {fire_condition}) -> (next({name}) <-> {name}))"
+            ));
+        }
+        out.push_str(&clauses.join(" &\n"));
+        out.push('\n');
+        for node in &self.nodes {
+            if let NodeDef::Gate(target) = &node.def {
+                let _ = writeln!(
+                    out,
+                    "FAIRNESS {} <-> ({})",
+                    node.name,
+                    self.comb_to_smv(target)
+                );
+            }
+        }
+        out
+    }
+
+    fn comb_to_smv(&self, comb: &Comb) -> String {
+        match comb {
+            Comb::Const(true) => "TRUE".to_string(),
+            Comb::Const(false) => "FALSE".to_string(),
+            Comb::Node(id) => self.nodes[id.0].name.clone(),
+            Comb::Not(c) => format!("!({})", self.comb_to_smv(c)),
+            Comb::And(cs) => {
+                if cs.is_empty() {
+                    "TRUE".to_string()
+                } else {
+                    let parts: Vec<String> =
+                        cs.iter().map(|c| format!("({})", self.comb_to_smv(c))).collect();
+                    parts.join(" & ")
+                }
+            }
+            Comb::Or(cs) => {
+                if cs.is_empty() {
+                    "FALSE".to_string()
+                } else {
+                    let parts: Vec<String> =
+                        cs.iter().map(|c| format!("({})", self.comb_to_smv(c))).collect();
+                    parts.join(" | ")
+                }
+            }
+            Comb::Xor(a, b) => format!(
+                "!(({}) <-> ({}))",
+                self.comb_to_smv(a),
+                self.comb_to_smv(b)
+            ),
+        }
+    }
+
+    /// Compiles the netlist to a symbolic Kripke structure with
+    /// speed-independent interleaving semantics.
+    ///
+    /// The transition relation is: fire exactly one excited gate, or
+    /// toggle one input whose guard holds, or stutter. Atomic
+    /// propositions: every node name (its current value), plus
+    /// `<name>.stable` for each gate.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Undefined`] if a declared node lacks a
+    /// definition; [`NetlistError::Kripke`] for degenerate models.
+    pub fn build(&self, fairness_mode: FairnessMode) -> Result<SymbolicModel, NetlistError> {
+        for node in &self.nodes {
+            if matches!(node.def, NodeDef::Pending) {
+                return Err(NetlistError::Undefined(node.name.clone()));
+            }
+        }
+        let mut manager = BddManager::new();
+        let mut names = Vec::with_capacity(self.nodes.len());
+        let mut cur: Vec<Var> = Vec::with_capacity(self.nodes.len());
+        let mut nxt: Vec<Var> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            cur.push(
+                manager
+                    .new_var(&node.name)
+                    .map_err(|e| NetlistError::Kripke(KripkeError::Bdd(e)))?,
+            );
+            nxt.push(
+                manager
+                    .new_var(&format!("{}'", node.name))
+                    .map_err(|e| NetlistError::Kripke(KripkeError::Bdd(e)))?,
+            );
+            names.push(node.name.clone());
+        }
+        let cur_lits: Vec<Bdd> = cur.iter().map(|&v| manager.var(v)).collect();
+        let nxt_lits: Vec<Bdd> = nxt.iter().map(|&v| manager.var(v)).collect();
+
+        // Per-node "everything else holds" frames, built once.
+        let hold: Vec<Bdd> = (0..self.nodes.len())
+            .map(|i| manager.iff(cur_lits[i], nxt_lits[i]))
+            .collect();
+        let mut hold_all = Bdd::TRUE;
+        for &h in &hold {
+            hold_all = manager.and(hold_all, h);
+        }
+        // frame_except[i] = ∧_{j≠i} hold[j] — via prefix/suffix products.
+        let n = self.nodes.len();
+        let mut prefix = vec![Bdd::TRUE; n + 1];
+        for i in 0..n {
+            prefix[i + 1] = manager.and(prefix[i], hold[i]);
+        }
+        let mut suffix = vec![Bdd::TRUE; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = manager.and(suffix[i + 1], hold[i]);
+        }
+
+        let mut trans = hold_all; // stuttering step
+        let mut fairness = Vec::new();
+        let mut labels: Vec<(String, Bdd)> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let frame = manager.and(prefix[i], suffix[i + 1]);
+            let toggles = manager.xor(cur_lits[i], nxt_lits[i]);
+            match &node.def {
+                NodeDef::Pending => unreachable!("checked before compilation"),
+                NodeDef::Gate(target) => {
+                    let target_bdd = eval_comb(&mut manager, target, &cur_lits);
+                    let excited = manager.xor(cur_lits[i], target_bdd);
+                    let fire = manager.and_all([excited, toggles, frame]);
+                    trans = manager.or(trans, fire);
+                    let stable = manager.not(excited);
+                    labels.push((format!("{}.stable", node.name), stable));
+                    if fairness_mode == FairnessMode::PerGate {
+                        fairness.push(stable);
+                    }
+                }
+                NodeDef::Input(guard) => {
+                    let guard_bdd = eval_comb(&mut manager, guard, &cur_lits);
+                    let toggle = manager.and_all([guard_bdd, toggles, frame]);
+                    trans = manager.or(trans, toggle);
+                }
+            }
+        }
+
+        let mut init = Bdd::TRUE;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let lit = manager.literal(cur[i], node.init);
+            init = manager.and(init, lit);
+        }
+
+        let model =
+            SymbolicModel::assemble(manager, names, cur, nxt, init, trans, fairness, labels)?;
+        Ok(model)
+    }
+}
+
+/// Evaluates a combinational expression over current-state literals.
+fn eval_comb(manager: &mut BddManager, comb: &Comb, cur: &[Bdd]) -> Bdd {
+    match comb {
+        Comb::Const(b) => manager.constant(*b),
+        Comb::Node(id) => cur[id.0],
+        Comb::Not(c) => {
+            let x = eval_comb(manager, c, cur);
+            manager.not(x)
+        }
+        Comb::And(cs) => {
+            let operands: Vec<Bdd> = cs.iter().map(|c| eval_comb(manager, c, cur)).collect();
+            manager.and_all(operands)
+        }
+        Comb::Or(cs) => {
+            let operands: Vec<Bdd> = cs.iter().map(|c| eval_comb(manager, c, cur)).collect();
+            manager.or_all(operands)
+        }
+        Comb::Xor(a, b) => {
+            let x = eval_comb(manager, a, cur);
+            let y = eval_comb(manager, b, cur);
+            manager.xor(x, y)
+        }
+    }
+}

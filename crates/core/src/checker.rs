@@ -1,0 +1,451 @@
+//! The user-facing checker: `Check`/`CheckFair` dispatch (Sections 4–5)
+//! and recursive witness/counterexample explanation (Section 6).
+
+use std::collections::HashMap;
+
+use smc_bdd::Bdd;
+use smc_kripke::{State, SymbolicModel};
+use smc_logic::ctlstar::StateFormula;
+use smc_logic::Ctl;
+
+use crate::error::CheckError;
+use crate::fair::{fair_eg, fair_states};
+use crate::fairness_class::{
+    check_efairness, witness_efairness, FairnessConjunct, ResolvedSide,
+};
+use crate::fixpoint::{check_eu, check_ex};
+use crate::witness::{
+    splice, witness_eg_fair, witness_eu, witness_ex, CycleStrategy, Trace, WitnessStats,
+};
+
+/// The result of checking one specification.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The formula as given by the caller.
+    pub formula: Ctl,
+    /// The BDD of all states satisfying the formula (under the model's
+    /// fairness constraints).
+    pub states: Bdd,
+    /// Does every initial state satisfy the formula?
+    holds: bool,
+}
+
+impl Verdict {
+    /// Does the specification hold (in every initial state)?
+    pub fn holds(&self) -> bool {
+        self.holds
+    }
+}
+
+/// A verdict together with its explanatory trace: a *witness* when an
+/// existentially quantified specification holds, a *counterexample* when
+/// a universally quantified one fails.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// The demonstration trace, when one is meaningful.
+    pub trace: Option<Trace>,
+}
+
+/// Symbolic CTL model checker with fairness constraints and the witness
+/// generator of Clarke–Grumberg–McMillan–Zhao.
+///
+/// Borrows the model mutably (all BDD work happens in the model's
+/// manager). Sub-formula results are memoized per checker instance.
+///
+/// # Examples
+///
+/// ```
+/// use smc_kripke::SymbolicModelBuilder;
+/// use smc_logic::ctl;
+/// use smc_checker::Checker;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SymbolicModelBuilder::new();
+/// let x = b.bool_var("x")?;
+/// b.init_zero();
+/// b.next_fn(x, |m, cur| m.not(cur[0]));
+/// let mut model = b.build()?;
+/// let mut checker = Checker::new(&mut model);
+/// let verdict = checker.check(&ctl::parse("AG (AF x)")?)?;
+/// assert!(verdict.holds());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Checker<'m> {
+    model: &'m mut SymbolicModel,
+    strategy: CycleStrategy,
+    fair: Option<Bdd>,
+    cache: HashMap<Ctl, Bdd>,
+    last_stats: Option<WitnessStats>,
+}
+
+impl<'m> Checker<'m> {
+    /// Creates a checker over a model, using the default
+    /// [`CycleStrategy::Restart`].
+    pub fn new(model: &'m mut SymbolicModel) -> Checker<'m> {
+        Checker { model, strategy: CycleStrategy::default(), fair: None, cache: HashMap::new(), last_stats: None }
+    }
+
+    /// Selects the cycle-closing strategy for fair-`EG` witnesses.
+    pub fn with_strategy(mut self, strategy: CycleStrategy) -> Checker<'m> {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The model being checked.
+    pub fn model(&mut self) -> &mut SymbolicModel {
+        self.model
+    }
+
+    /// Statistics of the most recent fair-`EG` witness construction.
+    pub fn last_witness_stats(&self) -> Option<WitnessStats> {
+        self.last_stats
+    }
+
+    /// Reclaims BDD garbage accumulated by the checks so far: drops the
+    /// sub-formula memo (whose entries would otherwise pin their nodes)
+    /// and collects everything unreachable from the model's protected
+    /// structure. Subsequent checks recompute what they need; however,
+    /// any [`Verdict::states`] BDD handles from *earlier* checks become
+    /// invalid unless the caller protected them first. Returns the
+    /// number of reclaimed nodes.
+    pub fn gc(&mut self) -> usize {
+        self.cache.clear();
+        let keep: Vec<_> = self.fair.into_iter().collect();
+        for &b in &keep {
+            self.model.manager_mut().protect(b);
+        }
+        let reclaimed = self.model.manager_mut().gc(&[]);
+        for &b in &keep {
+            self.model.manager_mut().unprotect(b);
+        }
+        reclaimed
+    }
+
+    /// Checks a specification: evaluates its satisfying state set and
+    /// compares against the initial states.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::UnknownAtom`] for undeclared atomic propositions.
+    pub fn check(&mut self, formula: &Ctl) -> Result<Verdict, CheckError> {
+        let states = self.check_states(formula)?;
+        let init = self.model.init();
+        let holds = self.model.manager_mut().is_subset(init, states);
+        Ok(Verdict { formula: formula.clone(), states, holds })
+    }
+
+    /// Checks a specification and, when the verdict calls for one,
+    /// attaches a witness (specification holds) or a counterexample
+    /// (specification fails).
+    pub fn check_with_trace(&mut self, formula: &Ctl) -> Result<CheckOutcome, CheckError> {
+        let verdict = self.check(formula)?;
+        let trace = if verdict.holds() {
+            if has_temporal(formula) {
+                Some(self.witness(formula)?)
+            } else {
+                None
+            }
+        } else {
+            Some(self.counterexample(formula)?)
+        };
+        Ok(CheckOutcome { verdict, trace })
+    }
+
+    /// The set of states satisfying a formula under the model's fairness
+    /// constraints.
+    pub fn check_states(&mut self, formula: &Ctl) -> Result<Bdd, CheckError> {
+        let enf = formula.to_existential_form();
+        self.check_enf(&enf)
+    }
+
+    /// Constructs a witness for a formula that holds in some initial
+    /// state: a trace demonstrating *why* it holds (Section 6).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::NothingToExplain`] if no initial state satisfies the
+    /// formula.
+    pub fn witness(&mut self, formula: &Ctl) -> Result<Trace, CheckError> {
+        let enf = formula.to_existential_form();
+        let states = self.check_enf(&enf)?;
+        let init = self.model.init();
+        let start_set = self.model.manager_mut().and(init, states);
+        let start = self
+            .model
+            .pick_state(start_set)
+            .ok_or(CheckError::NothingToExplain)?;
+        let trace = self.explain(&start, &enf)?;
+        let mut trace = self.extend_to_fair_lasso(trace)?;
+        trace.compress_prefix();
+        Ok(trace)
+    }
+
+    /// Constructs a counterexample for a formula that fails in some
+    /// initial state: a witness for the negation.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::NothingToExplain`] if every initial state satisfies
+    /// the formula.
+    pub fn counterexample(&mut self, formula: &Ctl) -> Result<Trace, CheckError> {
+        let negated = Ctl::not(formula.clone()).to_existential_form();
+        let states = self.check_enf(&negated)?;
+        let init = self.model.init();
+        let start_set = self.model.manager_mut().and(init, states);
+        let start = self
+            .model
+            .pick_state(start_set)
+            .ok_or(CheckError::NothingToExplain)?;
+        let trace = self.explain(&start, &negated)?;
+        let mut trace = self.extend_to_fair_lasso(trace)?;
+        trace.compress_prefix();
+        Ok(trace)
+    }
+
+    /// Checks a CTL* formula of the fairness class
+    /// `E ⋀ⱼ (GF pⱼ ∨ FG qⱼ)` (Section 7).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::OutsideFairnessClass`] if the formula is not in the
+    /// class.
+    pub fn check_ctlstar(&mut self, formula: &StateFormula) -> Result<(bool, Bdd), CheckError> {
+        let conjuncts = self.fairness_conjuncts(formula)?;
+        let (set, _) = check_efairness(self.model, &conjuncts);
+        let init = self.model.init();
+        let holds_somewhere = self.model.manager_mut().intersects(init, set);
+        Ok((holds_somewhere, set))
+    }
+
+    /// Constructs a witness for a fairness-class CTL* formula holding in
+    /// some initial state, together with the side chosen for each
+    /// disjunct.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::OutsideFairnessClass`] for formulas outside the
+    /// class, [`CheckError::NothingToExplain`] if no initial state
+    /// satisfies it.
+    pub fn witness_ctlstar(
+        &mut self,
+        formula: &StateFormula,
+    ) -> Result<(Trace, Vec<ResolvedSide>), CheckError> {
+        let conjuncts = self.fairness_conjuncts(formula)?;
+        let (set, _) = check_efairness(self.model, &conjuncts);
+        let init = self.model.init();
+        let start_set = self.model.manager_mut().and(init, set);
+        let start = self
+            .model
+            .pick_state(start_set)
+            .ok_or(CheckError::NothingToExplain)?;
+        let (trace, sides, stats) =
+            witness_efairness(self.model, &conjuncts, &start, self.strategy)?;
+        self.last_stats = Some(stats);
+        Ok((trace, sides))
+    }
+
+    // -----------------------------------------------------------------
+    // Internals
+    // -----------------------------------------------------------------
+
+    fn fairness_conjuncts(
+        &mut self,
+        formula: &StateFormula,
+    ) -> Result<Vec<FairnessConjunct>, CheckError> {
+        let class = formula
+            .classify_fairness()
+            .ok_or_else(|| CheckError::OutsideFairnessClass(formula.to_string()))?;
+        let mut out = Vec::with_capacity(class.conjuncts.len());
+        for c in &class.conjuncts {
+            let gf = c.gf.as_ref().map(|p| self.check_states(p)).transpose()?;
+            let fg = c.fg.as_ref().map(|q| self.check_states(q)).transpose()?;
+            out.push(FairnessConjunct { gf, fg });
+        }
+        Ok(out)
+    }
+
+    /// The `fair` state set (`CheckFair(EG true)`), memoized. `true` when
+    /// the model declares no fairness constraints.
+    pub fn fair(&mut self) -> Bdd {
+        if let Some(f) = self.fair {
+            return f;
+        }
+        let f = if self.model.fairness().is_empty() {
+            Bdd::TRUE
+        } else {
+            fair_states(self.model)
+        };
+        self.fair = Some(f);
+        f
+    }
+
+    /// `Check` over existential-normal-form formulas, with memoization.
+    fn check_enf(&mut self, formula: &Ctl) -> Result<Bdd, CheckError> {
+        if let Some(&hit) = self.cache.get(formula) {
+            return Ok(hit);
+        }
+        let result = match formula {
+            Ctl::True => Bdd::TRUE,
+            Ctl::False => Bdd::FALSE,
+            Ctl::Atom(name) => self.model.ap(name)?,
+            Ctl::Not(f) => {
+                let s = self.check_enf(f)?;
+                self.model.manager_mut().not(s)
+            }
+            Ctl::And(f, g) => {
+                let sf = self.check_enf(f)?;
+                let sg = self.check_enf(g)?;
+                self.model.manager_mut().and(sf, sg)
+            }
+            Ctl::Or(f, g) => {
+                let sf = self.check_enf(f)?;
+                let sg = self.check_enf(g)?;
+                self.model.manager_mut().or(sf, sg)
+            }
+            Ctl::Ex(f) => {
+                // CheckFairEX(f) = CheckEX(f ∧ fair).
+                let sf = self.check_enf(f)?;
+                let fair = self.fair();
+                let target = self.model.manager_mut().and(sf, fair);
+                check_ex(self.model, target)
+            }
+            Ctl::Eu(f, g) => {
+                // CheckFairEU(f, g) = CheckEU(f, g ∧ fair).
+                let sf = self.check_enf(f)?;
+                let sg = self.check_enf(g)?;
+                let fair = self.fair();
+                let target = self.model.manager_mut().and(sg, fair);
+                check_eu(self.model, sf, target)
+            }
+            Ctl::Eg(f) => {
+                let sf = self.check_enf(f)?;
+                let constraints = self.model.fairness().to_vec();
+                fair_eg(self.model, sf, &constraints)
+            }
+            // Non-basis operators: normalize and recurse (defensive; the
+            // public entry points normalize up front).
+            other => {
+                let enf = other.to_existential_form();
+                debug_assert_ne!(&enf, other, "normalisation must make progress");
+                self.check_enf(&enf)?
+            }
+        };
+        self.cache.insert(formula.clone(), result);
+        Ok(result)
+    }
+
+    /// Recursive trace construction: from a state satisfying `formula`
+    /// (in existential normal form), produce a path demonstrating the
+    /// outermost temporal operators.
+    ///
+    /// Conjunctions recurse into their (first) temporal conjunct;
+    /// disjunctions into whichever disjunct holds; negations and atoms
+    /// contribute the single current state.
+    fn explain(&mut self, state: &State, formula: &Ctl) -> Result<Trace, CheckError> {
+        match formula {
+            Ctl::True | Ctl::False | Ctl::Atom(_) => Ok(Trace::finite(vec![state.clone()])),
+            // Push negations through the boolean skeleton so the temporal
+            // operators underneath (e.g. the EG inside ¬(¬r ∨ ¬EG ¬a)
+            // arising from a failed AG(r → AF a)) stay explainable.
+            // Negated temporal operators themselves contribute only the
+            // current state: their demonstrations would be universal.
+            Ctl::Not(inner) => match inner.as_ref() {
+                Ctl::Not(g) => self.explain(state, g),
+                Ctl::And(a, b) => {
+                    let pushed =
+                        Ctl::or(Ctl::not(a.as_ref().clone()), Ctl::not(b.as_ref().clone()));
+                    self.explain(state, &pushed)
+                }
+                Ctl::Or(a, b) => {
+                    let pushed =
+                        Ctl::and(Ctl::not(a.as_ref().clone()), Ctl::not(b.as_ref().clone()));
+                    self.explain(state, &pushed)
+                }
+                _ => Ok(Trace::finite(vec![state.clone()])),
+            },
+            Ctl::And(f, g) => match (has_temporal(f), has_temporal(g)) {
+                (true, _) => self.explain(state, f),
+                (false, true) => self.explain(state, g),
+                (false, false) => Ok(Trace::finite(vec![state.clone()])),
+            },
+            Ctl::Or(f, g) => {
+                let sf = self.check_enf(f)?;
+                if self.model.eval_state(sf, state) {
+                    self.explain(state, f)
+                } else {
+                    self.explain(state, g)
+                }
+            }
+            Ctl::Ex(f) => {
+                let sf = self.check_enf(f)?;
+                let fair = self.fair();
+                let target = self.model.manager_mut().and(sf, fair);
+                let next = witness_ex(self.model, target, state)?;
+                let tail = self.explain(&next, f)?;
+                Ok(splice(vec![state.clone(), next], tail))
+            }
+            Ctl::Eu(f, g) => {
+                let sf = self.check_enf(f)?;
+                let sg = self.check_enf(g)?;
+                let fair = self.fair();
+                let target = self.model.manager_mut().and(sg, fair);
+                let path = witness_eu(self.model, sf, target, state)?;
+                let last = path.last().expect("nonempty path").clone();
+                let tail = self.explain(&last, g)?;
+                Ok(splice(path, tail))
+            }
+            Ctl::Eg(f) => {
+                let sf = self.check_enf(f)?;
+                let constraints = self.model.fairness().to_vec();
+                let (lasso, stats) =
+                    witness_eg_fair(self.model, sf, &constraints, state, self.strategy)?;
+                self.last_stats = Some(stats);
+                Ok(lasso)
+            }
+            other => {
+                let enf = other.to_existential_form();
+                debug_assert_ne!(&enf, other, "normalisation must make progress");
+                self.explain(state, &enf)
+            }
+        }
+    }
+
+    /// Witnesses of reachability-style formulas are finite; when the
+    /// model has fairness constraints the paper extends them to infinite
+    /// fair paths by appending a fair `EG true` lasso.
+    fn extend_to_fair_lasso(&mut self, trace: Trace) -> Result<Trace, CheckError> {
+        if trace.is_lasso() || self.model.fairness().is_empty() {
+            return Ok(trace);
+        }
+        let last = trace.states.last().expect("nonempty trace").clone();
+        let constraints = self.model.fairness().to_vec();
+        let (lasso, stats) =
+            witness_eg_fair(self.model, Bdd::TRUE, &constraints, &last, self.strategy)?;
+        self.last_stats = Some(stats);
+        Ok(splice(trace.states, lasso))
+    }
+}
+
+/// Does the formula contain any temporal operator (so that a trace
+/// demonstrates something beyond the current state)?
+fn has_temporal(formula: &Ctl) -> bool {
+    match formula {
+        Ctl::True | Ctl::False | Ctl::Atom(_) => false,
+        Ctl::Not(f) => has_temporal(f),
+        Ctl::And(f, g) | Ctl::Or(f, g) | Ctl::Implies(f, g) | Ctl::Iff(f, g) => {
+            has_temporal(f) || has_temporal(g)
+        }
+        Ctl::Ex(_)
+        | Ctl::Ef(_)
+        | Ctl::Eg(_)
+        | Ctl::Eu(_, _)
+        | Ctl::Ax(_)
+        | Ctl::Af(_)
+        | Ctl::Ag(_)
+        | Ctl::Au(_, _) => true,
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the symbolic checker.
+
+use std::error::Error;
+use std::fmt;
+
+use smc_kripke::KripkeError;
+
+/// Errors reported by the symbolic model checker and witness generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// An atomic proposition in the formula is not declared in the model.
+    UnknownAtom(String),
+    /// A model-layer error (deadlock, enumeration bound, ...).
+    Kripke(KripkeError),
+    /// A witness was requested for a formula that does not hold (or a
+    /// counterexample for one that does).
+    NothingToExplain,
+    /// A CTL* formula is outside the supported fairness class
+    /// `E ⋀ (GF p ∨ FG q)`.
+    OutsideFairnessClass(String),
+    /// Internal invariant violation while constructing a witness. Should
+    /// never happen; reported instead of panicking so callers can file
+    /// useful bug reports.
+    WitnessConstruction(String),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::UnknownAtom(name) => {
+                write!(f, "unknown atomic proposition {name:?}")
+            }
+            CheckError::Kripke(e) => write!(f, "model error: {e}"),
+            CheckError::NothingToExplain => {
+                write!(f, "no witness/counterexample exists for this verdict")
+            }
+            CheckError::OutsideFairnessClass(s) => {
+                write!(f, "formula outside the E(GF/FG) fairness class: {s}")
+            }
+            CheckError::WitnessConstruction(msg) => {
+                write!(f, "internal witness construction failure: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for CheckError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckError::Kripke(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KripkeError> for CheckError {
+    fn from(e: KripkeError) -> CheckError {
+        match e {
+            KripkeError::UnknownAtom(name) => CheckError::UnknownAtom(name),
+            other => CheckError::Kripke(other),
+        }
+    }
+}

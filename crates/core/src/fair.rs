@@ -1,0 +1,156 @@
+//! Fair-CTL machinery (Section 5): the nested fixpoint for `EG` under
+//! fairness constraints, with the ring-saving variant the witness
+//! generator relies on (Section 6).
+
+use smc_bdd::Bdd;
+use smc_kripke::SymbolicModel;
+
+use crate::fixpoint::{check_ex, check_eu, eu_rings};
+
+/// `CheckFairEG(f)` under constraints `H`:
+///
+/// ```text
+/// gfp Z [ f ∧ ⋀ₖ EX( E[f U (Z ∧ hₖ)] ) ]
+/// ```
+///
+/// With `H` empty the constraint conjunction is vacuous and this degrades
+/// to plain `EG f` (every path is fair).
+pub fn fair_eg(model: &mut SymbolicModel, f: Bdd, constraints: &[Bdd]) -> Bdd {
+    fair_eg_with_rings(model, f, constraints).0
+}
+
+/// The ring sequences saved from the **last** outer iteration of
+/// [`fair_eg`], one per fairness constraint.
+///
+/// `rings[k][i]` is the set of states from which a state in
+/// `(EG_fair f) ∧ hₖ` can be reached in `i` or fewer steps while staying
+/// inside `f` — the paper's `Q_i^h`. The witness generator probes these
+/// for increasing `i` to find the *nearest* constraint and then descends
+/// them ring by ring.
+pub type FairRings = Vec<Vec<Bdd>>;
+
+/// [`fair_eg`] that also returns the saved approximation sequences.
+///
+/// The extra pass costs one more round of inner `EU` computations after
+/// the fixpoint converges — exactly the bookkeeping Section 6 prescribes
+/// ("in the last iteration of the outer fixpoint, we save the sequence of
+/// approximations").
+pub fn fair_eg_with_rings(
+    model: &mut SymbolicModel,
+    f: Bdd,
+    constraints: &[Bdd],
+) -> (Bdd, FairRings) {
+    // Empty H behaves like the single vacuous constraint `true`; the
+    // caller-visible ring list stays aligned with `constraints`, so the
+    // normalization lives in the witness layer, not here.
+    let mut z = f;
+    loop {
+        let next = fair_eg_step(model, f, constraints, z);
+        if next == z {
+            break;
+        }
+        z = next;
+    }
+    // One more inner round at the fixpoint to harvest the rings.
+    let mut rings = Vec::with_capacity(constraints.len());
+    for &h in constraints {
+        let target = model.manager_mut().and(z, h);
+        rings.push(eu_rings(model, f, target));
+    }
+    (z, rings)
+}
+
+/// One outer iteration: `f ∧ ⋀ₖ EX(E[f U (Z ∧ hₖ)])`.
+fn fair_eg_step(model: &mut SymbolicModel, f: Bdd, constraints: &[Bdd], z: Bdd) -> Bdd {
+    let mut acc = f;
+    for &h in constraints {
+        if acc.is_false() {
+            break;
+        }
+        let target = model.manager_mut().and(z, h);
+        let eu = check_eu(model, f, target);
+        let ex = check_ex(model, eu);
+        acc = model.manager_mut().and(acc, ex);
+    }
+    if constraints.is_empty() {
+        // Plain EG step.
+        let ex = check_ex(model, z);
+        acc = model.manager_mut().and(f, ex);
+    }
+    acc
+}
+
+/// The `fair` state set of Section 5: `CheckFair(EG true)` — states at
+/// the start of some fair computation path.
+pub fn fair_states(model: &mut SymbolicModel) -> Bdd {
+    let constraints = model.fairness().to_vec();
+    fair_eg(model, Bdd::TRUE, &constraints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_kripke::SymbolicModelBuilder;
+
+    /// A free boolean toggler: x may stay or flip each step.
+    fn free_bit() -> SymbolicModel {
+        let mut b = SymbolicModelBuilder::new();
+        b.bool_var("x").unwrap();
+        b.init_zero();
+        // No next_fn: x is unconstrained.
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fair_eg_without_constraints_is_plain_eg() {
+        let mut m = free_bit();
+        let x = m.ap("x").unwrap();
+        let plain = crate::fixpoint::check_eg(&mut m, x);
+        let fair = fair_eg(&mut m, x, &[]);
+        assert_eq!(plain, fair);
+        // x can be held at 1 forever, so EG x = {x}.
+        assert_eq!(m.state_count(fair), 1.0);
+    }
+
+    #[test]
+    fn fairness_can_empty_an_eg_set() {
+        // EG x under the fairness constraint "¬x holds infinitely often"
+        // is empty: any path visiting ¬x infinitely often leaves x.
+        let mut m = free_bit();
+        let x = m.ap("x").unwrap();
+        let nx = m.manager_mut().not(x);
+        let fair = fair_eg(&mut m, x, &[nx]);
+        assert!(fair.is_false());
+        // Under the constraint "x infinitely often" EG x survives.
+        let fair2 = fair_eg(&mut m, x, &[x]);
+        assert_eq!(m.state_count(fair2), 1.0);
+    }
+
+    #[test]
+    fn fair_states_with_unsatisfiable_constraint_is_empty() {
+        let mut b = SymbolicModelBuilder::new();
+        let x = b.bool_var("x").unwrap();
+        b.init_zero();
+        b.next_fn(x, |m, cur| m.not(cur[0]));
+        b.fairness_fn(|m, _| m.constant(false));
+        let mut m = b.build().unwrap();
+        assert!(fair_states(&mut m).is_false());
+    }
+
+    #[test]
+    fn rings_reach_every_fair_eg_state() {
+        let mut m = free_bit();
+        let x = m.ap("x").unwrap();
+        let nx = m.manager_mut().not(x);
+        // EG true under constraints {x infinitely often, ¬x infinitely
+        // often}: both states qualify (toggle forever).
+        let (egf, rings) = fair_eg_with_rings(&mut m, Bdd::TRUE, &[x, nx]);
+        assert_eq!(m.state_count(egf), 2.0);
+        assert_eq!(rings.len(), 2);
+        for ring in &rings {
+            // The outermost ring covers all of EG-fair.
+            let last = *ring.last().unwrap();
+            assert!(m.manager_mut().is_subset(egf, last));
+        }
+    }
+}

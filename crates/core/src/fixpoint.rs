@@ -1,0 +1,145 @@
+//! The basic CTL fixpoint operators of Section 4: `CheckEX`, `CheckEU`,
+//! `CheckEG`, plus the ring-recording variant of `CheckEU` that the
+//! witness generator replays backwards.
+
+use smc_bdd::Bdd;
+use smc_kripke::SymbolicModel;
+
+/// `CheckEX(f) = ∃v̄′. f(v̄′) ∧ N(v̄, v̄′)` — the states with a successor in
+/// `f`.
+pub fn check_ex(model: &mut SymbolicModel, f: Bdd) -> Bdd {
+    model.preimage(f)
+}
+
+/// `CheckEU(f, g)`: least fixpoint of `λZ. g ∨ (f ∧ EX Z)`.
+pub fn check_eu(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Bdd {
+    let mut z = g;
+    loop {
+        let ex = check_ex(model, z);
+        let step = model.manager_mut().and(f, ex);
+        let next = model.manager_mut().or(g, step);
+        if next == z {
+            return z;
+        }
+        z = next;
+    }
+}
+
+/// `CheckEU` with the full increasing approximation sequence
+/// `Q₀ ⊆ Q₁ ⊆ …` (the "onion rings"): `Qᵢ` is the set of states that can
+/// reach `g` in `i` or fewer steps while passing only through `f`-states.
+///
+/// Section 6 of the paper saves exactly these sequences (from the last
+/// outer fair-`EG` iteration) so witness construction can walk a shortest
+/// ring-decreasing path to each fairness constraint. The last element is
+/// the `E[f U g]` fixpoint.
+pub fn eu_rings(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Vec<Bdd> {
+    let mut rings = vec![g];
+    let mut z = g;
+    loop {
+        let ex = check_ex(model, z);
+        let step = model.manager_mut().and(f, ex);
+        let next = model.manager_mut().or(g, step);
+        if next == z {
+            return rings;
+        }
+        rings.push(next);
+        z = next;
+    }
+}
+
+/// `CheckEG(f)`: greatest fixpoint of `λZ. f ∧ EX Z` (no fairness).
+pub fn check_eg(model: &mut SymbolicModel, f: Bdd) -> Bdd {
+    let mut z = f;
+    loop {
+        let ex = check_ex(model, z);
+        let next = model.manager_mut().and(f, ex);
+        if next == z {
+            return z;
+        }
+        z = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_kripke::SymbolicModelBuilder;
+
+    /// Two-bit counter where bit1 is stuck once set: 00 -> 01 -> 10 -> 11 -> 11.
+    fn saturating_counter() -> SymbolicModel {
+        let mut b = SymbolicModelBuilder::new();
+        let lo = b.bool_var("lo").unwrap();
+        let hi = b.bool_var("hi").unwrap();
+        b.init_zero();
+        b.next_fn(lo, |m, cur| {
+            // lo' = !lo unless saturated at 11
+            let sat = m.and(cur[0], cur[1]);
+            let toggled = m.not(cur[0]);
+            m.ite(sat, cur[0], toggled)
+        });
+        b.next_fn(hi, |m, cur| {
+            let sat = m.and(cur[0], cur[1]);
+            let carry = m.xor(cur[1], cur[0]);
+            m.ite(sat, cur[1], carry)
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ex_of_saturated_state() {
+        let mut m = saturating_counter();
+        let hi = m.ap("hi").unwrap();
+        let lo = m.ap("lo").unwrap();
+        let sat = m.manager_mut().and(hi, lo);
+        // Predecessors of 11 are 10 and 11 itself.
+        let pre = check_ex(&mut m, sat);
+        let states = m.states_in(pre, 8).unwrap();
+        let bits: Vec<String> = states.iter().map(|s| s.to_bit_string()).collect();
+        assert_eq!(bits, vec!["01", "11"]); // (lo,hi) bit order: "01" is lo=0,hi=1
+    }
+
+    #[test]
+    fn eu_reaches_the_saturated_state() {
+        let mut m = saturating_counter();
+        let hi = m.ap("hi").unwrap();
+        let lo = m.ap("lo").unwrap();
+        let sat = m.manager_mut().and(hi, lo);
+        let all = check_eu(&mut m, Bdd::TRUE, sat);
+        // Every state eventually reaches 11.
+        assert_eq!(m.state_count(all), 4.0);
+    }
+
+    #[test]
+    fn eu_rings_grow_monotonically() {
+        let mut m = saturating_counter();
+        let hi = m.ap("hi").unwrap();
+        let lo = m.ap("lo").unwrap();
+        let sat = m.manager_mut().and(hi, lo);
+        let rings = eu_rings(&mut m, Bdd::TRUE, sat);
+        // 11 at distance 0; 10 at 1; 01 at 2; 00 at 3.
+        assert_eq!(rings.len(), 4);
+        for w in rings.windows(2) {
+            let (small, big) = (w[0], w[1]);
+            assert!(m.manager_mut().is_subset(small, big));
+            assert_ne!(small, big);
+        }
+        assert_eq!(m.state_count(rings[0]), 1.0);
+        assert_eq!(m.state_count(rings[3]), 4.0);
+        assert_eq!(*rings.last().unwrap(), check_eu(&mut m, Bdd::TRUE, sat));
+    }
+
+    #[test]
+    fn eg_finds_the_absorbing_state() {
+        let mut m = saturating_counter();
+        let hi = m.ap("hi").unwrap();
+        let lo = m.ap("lo").unwrap();
+        let sat = m.manager_mut().and(hi, lo);
+        // EG (hi ∧ lo): only the absorbing 11 state loops forever in it.
+        let eg = check_eg(&mut m, sat);
+        assert_eq!(m.state_count(eg), 1.0);
+        // EG true = everything (relation is total).
+        let all = check_eg(&mut m, Bdd::TRUE);
+        assert_eq!(m.state_count(all), 4.0);
+    }
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! # smc-checker — symbolic model checking with witnesses
+//!
+//! The primary contribution of Clarke, Grumberg, McMillan and Zhao,
+//! *"Efficient Generation of Counterexamples and Witnesses in Symbolic
+//! Model Checking"* (DAC 1995): a BDD-based CTL model checker whose
+//! verdicts come with *explanations* —
+//!
+//! - a **witness** execution when an existentially quantified property
+//!   holds (e.g. a concrete fair path for `EG f`),
+//! - a **counterexample** execution when a universally quantified
+//!   property fails (e.g. the arbiter trace showing a request that is
+//!   never acknowledged).
+//!
+//! The layers:
+//!
+//! - [`fixpoint`] — `CheckEX` / `CheckEU` / `CheckEG` (Section 4),
+//! - [`fair`] — fairness constraints and the nested fair-`EG` fixpoint
+//!   with saved approximation rings (Section 5),
+//! - [`witness`] — the lasso construction with nearest-constraint
+//!   hopping, SCC-descent restarts and the stay-set refinement
+//!   (Section 6),
+//! - [`fairness_class`] — checking and witnessing the CTL* class
+//!   `E ⋀ (GF p ∨ FG q)` (Section 7),
+//! - [`Checker`] — the user-facing facade tying it all together.
+//!
+//! ## Example
+//!
+//! ```
+//! use smc_kripke::SymbolicModelBuilder;
+//! use smc_logic::ctl;
+//! use smc_checker::Checker;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // One free bit; fairness forces x=1 infinitely often.
+//! let mut b = SymbolicModelBuilder::new();
+//! b.bool_var("x")?;
+//! b.init_zero();
+//! b.fairness_fn(|_, cur| cur[0]);
+//! let mut model = b.build()?;
+//!
+//! let mut checker = Checker::new(&mut model);
+//! // Under fairness, every fair path hits x eventually.
+//! let verdict = checker.check(&ctl::parse("AF x")?)?;
+//! assert!(verdict.holds());
+//!
+//! // And the witness for the dual EG-style property is a lasso.
+//! let witness = checker.witness(&ctl::parse("EF x")?)?;
+//! assert!(witness.is_lasso());
+//! # Ok(())
+//! # }
+//! ```
+
+mod checker;
+mod error;
+pub mod fair;
+pub mod fairness_class;
+pub mod fixpoint;
+pub mod witness;
+
+pub use checker::{CheckOutcome, Checker, Verdict};
+pub use error::CheckError;
+pub use fairness_class::{check_efairness, witness_efairness, FairnessConjunct, ResolvedSide};
+pub use witness::{CycleStrategy, Trace, WitnessStats};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,66 @@
+//! Witnesses for the reachability-flavoured operators: `E[f U g]` and
+//! `EX f`.
+//!
+//! Under fairness these reduce to the unconstrained operators against a
+//! fairness-restricted target (Section 5: `E[f U g] ≡ E[f U (g ∧ fair)]`,
+//! `EX f ≡ EX (f ∧ fair)`); the finite witness is then extended to an
+//! infinite fair path by the fair-`EG` lasso of [`crate::witness::eg`].
+
+use smc_bdd::Bdd;
+use smc_kripke::{State, SymbolicModel};
+
+use crate::error::CheckError;
+use crate::fixpoint::eu_rings;
+
+/// Constructs a shortest `E[f U g]` witness: a path from `start` through
+/// `f`-states to a `g`-state, walking the `EU` approximation rings
+/// backwards. Returns the path including both endpoints (a single state
+/// if `start` already satisfies `g`).
+///
+/// # Errors
+///
+/// [`CheckError::NothingToExplain`] if `start ⊭ E[f U g]`.
+pub fn witness_eu(
+    model: &mut SymbolicModel,
+    f: Bdd,
+    g: Bdd,
+    start: &State,
+) -> Result<Vec<State>, CheckError> {
+    let rings = eu_rings(model, f, g);
+    let mut j = match (0..rings.len()).find(|&i| model.eval_state(rings[i], start)) {
+        Some(j) => j,
+        None => return Err(CheckError::NothingToExplain),
+    };
+    let mut path = vec![start.clone()];
+    let mut current = start.clone();
+    while j > 0 && !model.eval_state(rings[0], &current) {
+        let succ = model.successors(&current);
+        let (jj, next) = (0..j)
+            .find_map(|jj| {
+                let cand = model.manager_mut().and(succ, rings[jj]);
+                model.pick_state(cand).map(|st| (jj, st))
+            })
+            .ok_or_else(|| {
+                CheckError::WitnessConstruction("EU ring descent stuck".into())
+            })?;
+        path.push(next.clone());
+        current = next;
+        j = jj;
+    }
+    Ok(path)
+}
+
+/// Constructs an `EX f` witness step: a successor of `start` inside `f`.
+///
+/// # Errors
+///
+/// [`CheckError::NothingToExplain`] if no successor satisfies `f`.
+pub fn witness_ex(
+    model: &mut SymbolicModel,
+    f: Bdd,
+    start: &State,
+) -> Result<State, CheckError> {
+    let succ = model.successors(start);
+    let cand = model.manager_mut().and(succ, f);
+    model.pick_state(cand).ok_or(CheckError::NothingToExplain)
+}

@@ -1,0 +1,16 @@
+//! Cycle-closing strategy selection (ablation A1 of DESIGN.md).
+
+/// How the fair-`EG` witness procedure reacts when a cycle attempt might
+/// fail (Section 6 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CycleStrategy {
+    /// The simple strategy: run the full constraint-visiting pass, try to
+    /// close the cycle, and restart from the frontier state on failure.
+    #[default]
+    Restart,
+    /// The "slightly more sophisticated approach": precompute the stay
+    /// set `E[(EG f) U {t}]` once the cycle anchor `t` is known and
+    /// restart the moment the walk leaves it, detecting doomed cycles
+    /// before wasting the rest of the pass.
+    StaySet,
+}

@@ -1,0 +1,267 @@
+//! EMC-style explicit-state CTL checking with fair-SCC semantics.
+
+use smc_kripke::{tarjan_scc, ExplicitModel};
+use smc_logic::Ctl;
+
+use crate::error::ExplicitError;
+
+/// A state set as a dense membership mask.
+pub(crate) type Mask = Vec<bool>;
+
+/// Explicit-state CTL model checker with fairness constraints.
+///
+/// Fairness constraints are state masks that must hold infinitely often
+/// along fair paths; add them with
+/// [`add_fairness_mask`](Self::add_fairness_mask) /
+/// [`add_fairness_ap`](Self::add_fairness_ap), or import the `__fair_k`
+/// labels produced by
+/// [`SymbolicModel::enumerate`](smc_kripke::SymbolicModel::enumerate)
+/// with [`auto_fairness`](Self::auto_fairness).
+#[derive(Debug)]
+pub struct ExplicitChecker<'m> {
+    model: &'m ExplicitModel,
+    fairness: Vec<Mask>,
+    fair_cache: Option<Mask>,
+}
+
+impl<'m> ExplicitChecker<'m> {
+    /// Creates a checker with no fairness constraints.
+    pub fn new(model: &'m ExplicitModel) -> ExplicitChecker<'m> {
+        ExplicitChecker { model, fairness: Vec::new(), fair_cache: None }
+    }
+
+    /// The model under check.
+    pub fn model(&self) -> &ExplicitModel {
+        self.model
+    }
+
+    /// The registered fairness constraints.
+    pub fn fairness(&self) -> &[Mask] {
+        &self.fairness
+    }
+
+    /// Adds a fairness constraint as a state mask.
+    ///
+    /// # Errors
+    ///
+    /// [`ExplicitError::BadFairnessMask`] on width mismatch.
+    pub fn add_fairness_mask(&mut self, mask: Mask) -> Result<(), ExplicitError> {
+        if mask.len() != self.model.num_states() {
+            return Err(ExplicitError::BadFairnessMask {
+                expected: self.model.num_states(),
+                got: mask.len(),
+            });
+        }
+        self.fairness.push(mask);
+        self.fair_cache = None;
+        Ok(())
+    }
+
+    /// Adds a fairness constraint naming an atomic proposition.
+    ///
+    /// # Errors
+    ///
+    /// [`ExplicitError::UnknownAtom`] if the proposition is not interned.
+    pub fn add_fairness_ap(&mut self, name: &str) -> Result<(), ExplicitError> {
+        let ap = self
+            .model
+            .ap_id(name)
+            .ok_or_else(|| ExplicitError::UnknownAtom(name.to_string()))?;
+        let mask = (0..self.model.num_states())
+            .map(|s| self.model.holds(s, ap))
+            .collect();
+        self.add_fairness_mask(mask)
+    }
+
+    /// Imports every `__fair_k` label (as produced by symbolic
+    /// enumeration) as a fairness constraint, in index order. Returns how
+    /// many were found.
+    pub fn auto_fairness(&mut self) -> usize {
+        let mut k = 0;
+        while self.add_fairness_ap(&format!("__fair_{k}")).is_ok() {
+            k += 1;
+        }
+        k
+    }
+
+    /// Checks a specification against every initial state.
+    ///
+    /// # Errors
+    ///
+    /// [`ExplicitError::UnknownAtom`] for undeclared propositions.
+    pub fn check(&mut self, formula: &Ctl) -> Result<bool, ExplicitError> {
+        let sat = self.check_states(formula)?;
+        Ok(self.model.initial().iter().all(|&s| sat[s]))
+    }
+
+    /// The satisfaction mask of a formula under the fairness constraints.
+    pub fn check_states(&mut self, formula: &Ctl) -> Result<Mask, ExplicitError> {
+        let enf = formula.to_existential_form();
+        self.eval(&enf)
+    }
+
+    /// The `fair` state set: states at the start of some fair path.
+    pub fn fair_states(&mut self) -> Mask {
+        if let Some(f) = &self.fair_cache {
+            return f.clone();
+        }
+        let all = vec![true; self.model.num_states()];
+        let f = self.eg_fair(&all);
+        self.fair_cache = Some(f.clone());
+        f
+    }
+
+    fn eval(&mut self, formula: &Ctl) -> Result<Mask, ExplicitError> {
+        let n = self.model.num_states();
+        Ok(match formula {
+            Ctl::True => vec![true; n],
+            Ctl::False => vec![false; n],
+            Ctl::Atom(name) => {
+                let ap = self
+                    .model
+                    .ap_id(name)
+                    .ok_or_else(|| ExplicitError::UnknownAtom(name.clone()))?;
+                (0..n).map(|s| self.model.holds(s, ap)).collect()
+            }
+            Ctl::Not(f) => {
+                let m = self.eval(f)?;
+                m.into_iter().map(|b| !b).collect()
+            }
+            Ctl::And(f, g) => {
+                let a = self.eval(f)?;
+                let b = self.eval(g)?;
+                a.into_iter().zip(b).map(|(x, y)| x && y).collect()
+            }
+            Ctl::Or(f, g) => {
+                let a = self.eval(f)?;
+                let b = self.eval(g)?;
+                a.into_iter().zip(b).map(|(x, y)| x || y).collect()
+            }
+            Ctl::Ex(f) => {
+                let mut target = self.eval(f)?;
+                let fair = self.fair_states_if_constrained();
+                if let Some(fair) = fair {
+                    for (t, f) in target.iter_mut().zip(fair) {
+                        *t = *t && f;
+                    }
+                }
+                self.ex(&target)
+            }
+            Ctl::Eu(f, g) => {
+                let path = self.eval(f)?;
+                let mut target = self.eval(g)?;
+                if let Some(fair) = self.fair_states_if_constrained() {
+                    for (t, f) in target.iter_mut().zip(fair) {
+                        *t = *t && f;
+                    }
+                }
+                self.eu(&path, &target)
+            }
+            Ctl::Eg(f) => {
+                let body = self.eval(f)?;
+                self.eg_fair(&body)
+            }
+            other => {
+                let enf = other.to_existential_form();
+                debug_assert_ne!(&enf, other);
+                self.eval(&enf)?
+            }
+        })
+    }
+
+    fn fair_states_if_constrained(&mut self) -> Option<Mask> {
+        if self.fairness.is_empty() {
+            None
+        } else {
+            Some(self.fair_states())
+        }
+    }
+
+    /// `EX target`: states with a successor in `target`.
+    pub(crate) fn ex(&self, target: &Mask) -> Mask {
+        (0..self.model.num_states())
+            .map(|s| self.model.successors(s).iter().any(|&t| target[t]))
+            .collect()
+    }
+
+    /// `E[path U target]`: backward BFS from `target` through `path`.
+    pub(crate) fn eu(&self, path: &Mask, target: &Mask) -> Mask {
+        let n = self.model.num_states();
+        let mut sat = target.clone();
+        let mut queue: Vec<usize> = (0..n).filter(|&s| sat[s]).collect();
+        while let Some(s) = queue.pop() {
+            for &p in self.model.predecessors(s) {
+                if !sat[p] && path[p] {
+                    sat[p] = true;
+                    queue.push(p);
+                }
+            }
+        }
+        sat
+    }
+
+    /// Fair `EG body`: restrict to the `body` subgraph, find the fair
+    /// SCCs (nontrivial, intersecting every fairness constraint), and
+    /// take backward reachability through `body`.
+    pub(crate) fn eg_fair(&self, body: &Mask) -> Mask {
+        let seeds = self.fair_scc_states(body);
+        // Backward reachability from the seeds through body states. A
+        // state in a seed SCC trivially satisfies EG.
+        let mut sat = seeds;
+        let mut queue: Vec<usize> = (0..self.model.num_states()).filter(|&s| sat[s]).collect();
+        while let Some(s) = queue.pop() {
+            for &p in self.model.predecessors(s) {
+                if !sat[p] && body[p] {
+                    sat[p] = true;
+                    queue.push(p);
+                }
+            }
+        }
+        sat
+    }
+
+    /// The states of fair SCCs of the `body` subgraph: nontrivial SCCs
+    /// (or self-loops) fully inside `body` that intersect every fairness
+    /// constraint.
+    pub(crate) fn fair_scc_states(&self, body: &Mask) -> Mask {
+        let n = self.model.num_states();
+        // Build the body-restricted subgraph as an ExplicitModel view:
+        // reuse Tarjan over a filtered copy.
+        let mut sub = ExplicitModel::new();
+        let mut to_sub = vec![usize::MAX; n];
+        let mut from_sub = Vec::new();
+        for s in 0..n {
+            if body[s] {
+                to_sub[s] = sub.add_state(&[]);
+                from_sub.push(s);
+            }
+        }
+        for s in 0..n {
+            if body[s] {
+                for &t in self.model.successors(s) {
+                    if body[t] {
+                        sub.add_edge(to_sub[s], to_sub[t]);
+                    }
+                }
+            }
+        }
+        let comps = tarjan_scc(&sub);
+        let mut seeds = vec![false; n];
+        for comp in comps {
+            let nontrivial = comp.len() > 1
+                || sub.successors(comp[0]).contains(&comp[0]);
+            if !nontrivial {
+                continue;
+            }
+            let fair = self.fairness.iter().all(|h| {
+                comp.iter().any(|&sub_s| h[from_sub[sub_s]])
+            });
+            if fair {
+                for &sub_s in &comp {
+                    seeds[from_sub[sub_s]] = true;
+                }
+            }
+        }
+        seeds
+    }
+}

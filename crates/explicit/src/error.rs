@@ -1,0 +1,33 @@
+//! Error type for the explicit-state checker.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the explicit-state checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExplicitError {
+    /// An atomic proposition in the formula is not interned in the model.
+    UnknownAtom(String),
+    /// A fairness mask has the wrong width.
+    BadFairnessMask {
+        /// The model's state count.
+        expected: usize,
+        /// The mask's length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ExplicitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplicitError::UnknownAtom(name) => {
+                write!(f, "unknown atomic proposition {name:?}")
+            }
+            ExplicitError::BadFairnessMask { expected, got } => {
+                write!(f, "fairness mask has {got} entries, model has {expected} states")
+            }
+        }
+    }
+}
+
+impl Error for ExplicitError {}

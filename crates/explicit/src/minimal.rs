@@ -1,0 +1,186 @@
+//! Exact minimal finite witnesses (Theorem 1).
+//!
+//! Finding a minimal-length finite witness for fair `EG true` is
+//! NP-complete (reduction from Hamiltonian cycle). This module implements
+//! the exact search anyway — BFS over the product of the state space and
+//! the *subset lattice of fairness constraints*, `O(n² · 2^k · m)` — to
+//! serve as the optimum baseline in experiment EXP-4: how close does the
+//! paper's greedy heuristic get, and how does exact search blow up as
+//! constraints are added?
+
+use std::collections::VecDeque;
+
+use smc_kripke::ExplicitModel;
+
+/// A lasso over explicit state indices: `states[loopback..]` is the
+/// cycle, whose last state has an edge back to `states[loopback]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplicitLasso {
+    /// The trace states (prefix then cycle), as model indices.
+    pub states: Vec<usize>,
+    /// Start of the cycle.
+    pub loopback: usize,
+}
+
+impl ExplicitLasso {
+    /// Total length (the paper's witness-length metric: prefix + cycle).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when there are no states (never produced by the searches).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Cycle length.
+    pub fn cycle_len(&self) -> usize {
+        self.states.len() - self.loopback
+    }
+
+    /// The cycle portion.
+    pub fn cycle(&self) -> &[usize] {
+        &self.states[self.loopback..]
+    }
+
+    /// Validates the lasso: consecutive edges exist, the loopback edge
+    /// exists, and the cycle intersects every fairness constraint.
+    pub fn is_valid(&self, model: &ExplicitModel, fairness: &[Vec<bool>]) -> bool {
+        if self.states.is_empty() || self.loopback >= self.states.len() {
+            return false;
+        }
+        for w in self.states.windows(2) {
+            if !model.successors(w[0]).contains(&w[1]) {
+                return false;
+            }
+        }
+        let last = *self.states.last().expect("nonempty");
+        if !model.successors(last).contains(&self.states[self.loopback]) {
+            return false;
+        }
+        fairness
+            .iter()
+            .all(|h| self.cycle().iter().any(|&s| h[s]))
+    }
+}
+
+/// Finds a **minimal-length** finite witness for `EG true` under the
+/// given fairness constraints, starting at `start`: the shortest lasso
+/// whose cycle visits every constraint. Returns `None` when no fair path
+/// leaves `start`.
+///
+/// Exhaustive (exponential in the number of constraints): for every
+/// cycle-start candidate `c`, a BFS over `(state, visited-constraints)`
+/// pairs finds the shortest constraint-covering cycle through `c`; the
+/// best `prefix + cycle` combination wins.
+pub fn minimal_fair_lasso(
+    model: &ExplicitModel,
+    fairness: &[Vec<bool>],
+    start: usize,
+) -> Option<ExplicitLasso> {
+    let n = model.num_states();
+    let k = fairness.len();
+    assert!(k < usize::BITS as usize - 1, "too many fairness constraints");
+    let full: usize = (1 << k) - 1;
+    let mask_of = |s: usize| -> usize {
+        fairness
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h[s])
+            .fold(0, |m, (i, _)| m | 1 << i)
+    };
+
+    // Forward BFS distances (and parents) from `start`.
+    let mut dist = vec![usize::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    dist[start] = 0;
+    let mut queue = VecDeque::from([start]);
+    while let Some(s) = queue.pop_front() {
+        for &t in model.successors(s) {
+            if dist[t] == usize::MAX {
+                dist[t] = dist[s] + 1;
+                parent[t] = s;
+                queue.push_back(t);
+            }
+        }
+    }
+
+    let mut best: Option<(usize, ExplicitLasso)> = None;
+    for c in 0..n {
+        if dist[c] == usize::MAX {
+            continue;
+        }
+        // Prune: even a 1-cycle cannot beat the best found so far.
+        if let Some((best_len, _)) = &best {
+            if dist[c] + 1 >= *best_len {
+                continue;
+            }
+        }
+        if let Some(cycle) = shortest_covering_cycle(model, c, full, &mask_of) {
+            let total = dist[c] + cycle.len();
+            let better = best.as_ref().is_none_or(|(l, _)| total < *l);
+            if better {
+                // Reconstruct the prefix start -> c.
+                let mut prefix = Vec::new();
+                let mut cur = c;
+                while cur != start {
+                    prefix.push(cur);
+                    cur = parent[cur];
+                }
+                prefix.push(start);
+                prefix.reverse();
+                prefix.pop(); // c re-appears as the cycle head
+                let loopback = prefix.len();
+                let mut states = prefix;
+                states.extend(cycle);
+                best = Some((total, ExplicitLasso { states, loopback }));
+            }
+        }
+    }
+    best.map(|(_, lasso)| lasso)
+}
+
+/// Shortest closed walk `c -> … -> c` (length ≥ 1) whose states cover
+/// all constraints in `full`. Returns the cycle states with `c` first
+/// (the returning edge to `c` is implicit).
+fn shortest_covering_cycle(
+    model: &ExplicitModel,
+    c: usize,
+    full: usize,
+    mask_of: &dyn Fn(usize) -> usize,
+) -> Option<Vec<usize>> {
+    let n = model.num_states();
+    let width = full + 1;
+    let idx = |s: usize, m: usize| s * width + m;
+    let start_mask = mask_of(c) & full;
+    let mut parent: Vec<usize> = vec![usize::MAX; n * width];
+    let mut seen = vec![false; n * width];
+    let mut queue = VecDeque::from([(c, start_mask)]);
+    seen[idx(c, start_mask)] = true;
+    while let Some((s, m)) = queue.pop_front() {
+        for &t in model.successors(s) {
+            let tm = (m | mask_of(t)) & full;
+            if t == c && tm == full {
+                // Found: reconstruct backwards from (s, m).
+                let mut cycle = Vec::new();
+                let mut cur = idx(s, m);
+                loop {
+                    cycle.push(cur / width);
+                    let p = parent[cur];
+                    if p == usize::MAX {
+                        break;
+                    }
+                    cur = p;
+                }
+                cycle.reverse();
+                return Some(cycle);
+            }
+            if !seen[idx(t, tm)] {
+                seen[idx(t, tm)] = true;
+                parent[idx(t, tm)] = idx(s, m);
+                queue.push_back((t, tm));
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,166 @@
+//! Greedy fair lasso construction on explicit graphs — the paper's
+//! Section 6 heuristic transplanted to adjacency lists, used as the
+//! comparison point against [`minimal_fair_lasso`](crate::minimal_fair_lasso)
+//! in experiment EXP-4.
+
+use std::collections::VecDeque;
+
+use smc_kripke::ExplicitModel;
+
+use crate::checker::ExplicitChecker;
+use crate::minimal::ExplicitLasso;
+
+/// Constructs a fair `EG body` lasso from `start` with the greedy
+/// nearest-constraint heuristic (BFS distances playing the role of the
+/// saved BDD rings). Returns `None` if `start` does not satisfy fair
+/// `EG body`.
+pub fn greedy_fair_lasso(
+    model: &ExplicitModel,
+    fairness: &[Vec<bool>],
+    body: &[bool],
+    start: usize,
+) -> Option<ExplicitLasso> {
+    let mut checker = ExplicitChecker::new(model);
+    for h in fairness {
+        checker
+            .add_fairness_mask(h.clone())
+            .expect("mask widths validated by caller");
+    }
+    let body: Vec<bool> = body.to_vec();
+    let egf = checker.eg_fair(&body);
+    if !egf[start] {
+        return None;
+    }
+    // BFS distance to each constraint's target set (egf ∧ h) backwards
+    // through body states — the explicit analogue of the saved rings.
+    let dists: Vec<Vec<usize>> = fairness
+        .iter()
+        .map(|h| {
+            let targets: Vec<usize> =
+                (0..model.num_states()).filter(|&s| egf[s] && h[s]).collect();
+            bfs_backward(model, &targets, &body)
+        })
+        .collect();
+    // With no constraints, close any cycle (one vacuous "constraint"
+    // whose target is every EG state).
+    let dists = if dists.is_empty() {
+        let targets: Vec<usize> = (0..model.num_states()).filter(|&s| egf[s]).collect();
+        vec![bfs_backward(model, &targets, &body)]
+    } else {
+        dists
+    };
+
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut s = start;
+    // Bounded by the number of SCCs; the state count is a safe cap.
+    for _ in 0..=model.num_states() {
+        let mut attempt = vec![s];
+        let mut current = s;
+        let mut anchor: Option<(usize, usize)> = None; // (index, state)
+        let mut pending: Vec<usize> = (0..dists.len()).collect();
+        while !pending.is_empty() {
+            // Nearest pending constraint via any successor.
+            let (k, mut t) = nearest(model, &dists, &pending, current)?;
+            attempt.push(t);
+            if anchor.is_none() {
+                anchor = Some((attempt.len() - 1, t));
+            }
+            current = t;
+            // Descend the distance field to a target state.
+            while dists[k][current] > 0 {
+                t = *model
+                    .successors(current)
+                    .iter()
+                    .find(|&&u| dists[k][u] < dists[k][current])
+                    .expect("BFS distance field is consistent");
+                attempt.push(t);
+                current = t;
+            }
+            pending.retain(|&x| x != k);
+        }
+        let (anchor_index, anchor_state) = anchor.expect("at least one constraint");
+        // Close the cycle with a shortest nontrivial body-path back to
+        // the anchor.
+        if let Some(arc) = shortest_path_via_successors(model, &body, current, anchor_state) {
+            // `arc` excludes `current` and ends at `anchor_state`; drop
+            // the final anchor (the loop edge is implicit).
+            attempt.extend(arc.iter().take(arc.len() - 1).copied());
+            let loopback = prefix.len() + anchor_index;
+            prefix.extend(attempt);
+            return Some(ExplicitLasso { states: prefix, loopback });
+        }
+        // Restart from the frontier.
+        attempt.pop();
+        prefix.extend(attempt);
+        s = current;
+    }
+    None
+}
+
+/// Multi-source backward BFS distances through `body` states.
+fn bfs_backward(model: &ExplicitModel, targets: &[usize], body: &[bool]) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; model.num_states()];
+    let mut queue = VecDeque::new();
+    for &t in targets {
+        dist[t] = 0;
+        queue.push_back(t);
+    }
+    while let Some(s) = queue.pop_front() {
+        for &p in model.predecessors(s) {
+            if body[p] && dist[p] == usize::MAX {
+                dist[p] = dist[s] + 1;
+                queue.push_back(p);
+            }
+        }
+    }
+    dist
+}
+
+/// The pending constraint whose target is nearest through a successor of
+/// `current`, with that successor.
+fn nearest(
+    model: &ExplicitModel,
+    dists: &[Vec<usize>],
+    pending: &[usize],
+    current: usize,
+) -> Option<(usize, usize)> {
+    pending
+        .iter()
+        .flat_map(|&k| {
+            model
+                .successors(current)
+                .iter()
+                .filter(move |&&t| dists[k][t] != usize::MAX)
+                .map(move |&t| (dists[k][t], k, t))
+        })
+        .min()
+        .map(|(_, k, t)| (k, t))
+}
+
+/// Shortest path from a successor of `from` to `to` through `body`
+/// states, returned without `from` (so a direct edge yields `[to]`).
+fn shortest_path_via_successors(
+    model: &ExplicitModel,
+    body: &[bool],
+    from: usize,
+    to: usize,
+) -> Option<Vec<usize>> {
+    let dist = bfs_backward(model, &[to], body);
+    let first = model
+        .successors(from)
+        .iter()
+        .copied()
+        .filter(|&t| dist[t] != usize::MAX)
+        .min_by_key(|&t| dist[t])?;
+    let mut path = vec![first];
+    let mut cur = first;
+    while cur != to {
+        cur = *model
+            .successors(cur)
+            .iter()
+            .find(|&&u| dist[u] != usize::MAX && dist[u] < dist[cur])
+            .expect("distance field is consistent");
+        path.push(cur);
+    }
+    Some(path)
+}

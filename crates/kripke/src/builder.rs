@@ -1,0 +1,292 @@
+//! Functional-assignment builder for symbolic models.
+
+use smc_bdd::{Bdd, BddManager, Var};
+
+use crate::error::KripkeError;
+use crate::symbolic::SymbolicModel;
+
+/// Identifier of a state variable inside a [`SymbolicModelBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateVarId(usize);
+
+impl StateVarId {
+    /// Position of the variable in declaration order; also its index in
+    /// the `cur` slice passed to `next_fn`/`init_fn` closures.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Builds a [`SymbolicModel`] from per-variable next-state functions,
+/// raw transition constraints, fairness constraints and labels — the
+/// "ASSIGN style" of SMV.
+///
+/// Variables without a next-state function or covering constraint evolve
+/// nondeterministically (they model free inputs).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct SymbolicModelBuilder {
+    manager: BddManager,
+    names: Vec<String>,
+    cur: Vec<Var>,
+    nxt: Vec<Var>,
+    next_parts: Vec<Option<Bdd>>,
+    trans_parts: Vec<Bdd>,
+    init: Option<Bdd>,
+    fairness: Vec<Bdd>,
+    labels: Vec<(String, Bdd)>,
+    self_loop_deadlocks: bool,
+    partitioned: bool,
+}
+
+impl SymbolicModelBuilder {
+    /// Creates an empty builder with a fresh BDD manager.
+    pub fn new() -> SymbolicModelBuilder {
+        SymbolicModelBuilder {
+            manager: BddManager::new(),
+            names: Vec::new(),
+            cur: Vec::new(),
+            nxt: Vec::new(),
+            next_parts: Vec::new(),
+            trans_parts: Vec::new(),
+            init: None,
+            fairness: Vec::new(),
+            labels: Vec::new(),
+            self_loop_deadlocks: false,
+            partitioned: false,
+        }
+    }
+
+    /// Declares a boolean state variable. Current and next copies are
+    /// interleaved in the BDD order.
+    ///
+    /// # Errors
+    ///
+    /// [`KripkeError::DuplicateVar`] if the name is taken.
+    pub fn bool_var(&mut self, name: &str) -> Result<StateVarId, KripkeError> {
+        if self.names.iter().any(|n| n == name) {
+            return Err(KripkeError::DuplicateVar(name.to_string()));
+        }
+        let cur = self.manager.new_var(name)?;
+        let nxt = self.manager.new_var(&format!("{name}'"))?;
+        self.names.push(name.to_string());
+        self.cur.push(cur);
+        self.nxt.push(nxt);
+        self.next_parts.push(None);
+        Ok(StateVarId(self.names.len() - 1))
+    }
+
+    /// The underlying manager, for building constraint BDDs by hand.
+    pub fn manager_mut(&mut self) -> &mut BddManager {
+        &mut self.manager
+    }
+
+    /// Current-state literal of a variable.
+    pub fn cur(&mut self, id: StateVarId) -> Bdd {
+        let v = self.cur[id.0];
+        self.manager.var(v)
+    }
+
+    /// Next-state literal of a variable.
+    pub fn next(&mut self, id: StateVarId) -> Bdd {
+        let v = self.nxt[id.0];
+        self.manager.var(v)
+    }
+
+    /// Current-state literals of every variable, in declaration order —
+    /// the `cur` slice handed to the closures below.
+    fn cur_literals(&mut self) -> Vec<Bdd> {
+        let vars = self.cur.clone();
+        vars.into_iter().map(|v| self.manager.var(v)).collect()
+    }
+
+    /// Sets the deterministic next-state function of a variable:
+    /// constrains `var′ ↔ f(current state)`.
+    ///
+    /// The closure receives the manager and the current-state literals in
+    /// declaration order. A second call for the same variable replaces the
+    /// first.
+    pub fn next_fn<F>(&mut self, id: StateVarId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut BddManager, &[Bdd]) -> Bdd,
+    {
+        let cur = self.cur_literals();
+        let value = f(&mut self.manager, &cur);
+        let nxt = self.manager.var(self.nxt[id.0]);
+        let part = self.manager.iff(nxt, value);
+        self.next_parts[id.0] = Some(part);
+        self
+    }
+
+    /// Constrains a variable's next value to lie in a *set* of values
+    /// described by a relation over current and next literals
+    /// (nondeterministic assignment). Conjoined with any other constraint
+    /// on the same variable.
+    pub fn next_rel<F>(&mut self, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut BddManager, &[Bdd], &[Bdd]) -> Bdd,
+    {
+        let cur = self.cur_literals();
+        let nxt_vars = self.nxt.clone();
+        let nxt: Vec<Bdd> = nxt_vars.into_iter().map(|v| self.manager.var(v)).collect();
+        let part = f(&mut self.manager, &cur, &nxt);
+        self.trans_parts.push(part);
+        self
+    }
+
+    /// Adds a raw conjunct to the transition relation.
+    pub fn constrain_trans(&mut self, part: Bdd) -> &mut Self {
+        self.trans_parts.push(part);
+        self
+    }
+
+    /// Declares the all-zeros state as the only initial state.
+    pub fn init_zero(&mut self) -> &mut Self {
+        let mut acc = Bdd::TRUE;
+        for i in (0..self.cur.len()).rev() {
+            let lit = self.manager.nvar(self.cur[i]);
+            acc = self.manager.and(acc, lit);
+        }
+        self.init = Some(acc);
+        self
+    }
+
+    /// Sets the initial-state set from a predicate over the current
+    /// literals.
+    pub fn init_fn<F>(&mut self, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut BddManager, &[Bdd]) -> Bdd,
+    {
+        let cur = self.cur_literals();
+        let set = f(&mut self.manager, &cur);
+        self.init = Some(set);
+        self
+    }
+
+    /// Sets the initial-state set from a raw BDD.
+    pub fn set_init(&mut self, init: Bdd) -> &mut Self {
+        self.init = Some(init);
+        self
+    }
+
+    /// Adds a fairness constraint from a predicate over the current
+    /// literals (Section 5 of the paper: the set must hold infinitely
+    /// often on fair paths).
+    pub fn fairness_fn<F>(&mut self, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut BddManager, &[Bdd]) -> Bdd,
+    {
+        let cur = self.cur_literals();
+        let set = f(&mut self.manager, &cur);
+        self.fairness.push(set);
+        self
+    }
+
+    /// Adds a fairness constraint from a raw BDD.
+    pub fn add_fairness(&mut self, constraint: Bdd) -> &mut Self {
+        self.fairness.push(constraint);
+        self
+    }
+
+    /// Registers a named atomic proposition from a predicate over the
+    /// current literals.
+    pub fn label_fn<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut BddManager, &[Bdd]) -> Bdd,
+    {
+        let cur = self.cur_literals();
+        let set = f(&mut self.manager, &cur);
+        self.labels.push((name.to_string(), set));
+        self
+    }
+
+    /// Registers a named atomic proposition from a raw BDD.
+    pub fn add_label(&mut self, name: &str, set: Bdd) -> &mut Self {
+        self.labels.push((name.to_string(), set));
+        self
+    }
+
+    /// Makes `build` close deadlocked states with self-loops instead of
+    /// failing (useful for ad-hoc graph models).
+    pub fn self_loop_deadlocks(&mut self) -> &mut Self {
+        self.self_loop_deadlocks = true;
+        self
+    }
+
+    /// Makes `build` install a conjunctive transition-relation partition
+    /// (one part per `next_fn`/`next_rel`/`constrain_trans` conjunct) so
+    /// image computations use early quantification. Ignored when
+    /// deadlock self-loops are requested (the patched relation is no
+    /// longer a pure conjunction).
+    pub fn partition_transitions(&mut self) -> &mut Self {
+        self.partitioned = true;
+        self
+    }
+
+    /// Finishes the model: conjoins all transition parts, validates that
+    /// initial states exist and that the relation is total on the
+    /// reachable states.
+    ///
+    /// # Errors
+    ///
+    /// - [`KripkeError::NoVariables`] with no declared variables,
+    /// - [`KripkeError::EmptyInit`] if no initial states were declared or
+    ///   the declared set is empty,
+    /// - [`KripkeError::Deadlock`] if a reachable state has no successor
+    ///   (unless [`self_loop_deadlocks`](Self::self_loop_deadlocks) was
+    ///   requested).
+    pub fn build(mut self) -> Result<SymbolicModel, KripkeError> {
+        if self.names.is_empty() {
+            return Err(KripkeError::NoVariables);
+        }
+        let init = self.init.ok_or(KripkeError::EmptyInit)?;
+        let mut parts: Vec<Bdd> = self.next_parts.iter().flatten().copied().collect();
+        parts.extend(self.trans_parts.iter().copied());
+        let mut trans = Bdd::TRUE;
+        for &part in &parts {
+            trans = self.manager.and(trans, part);
+        }
+        if self.self_loop_deadlocks {
+            // deadlock(v̄) ∧ (v̄′ = v̄)
+            let nxt_cube = self.manager.cube(&self.nxt);
+            let has_succ = self.manager.exists(trans, nxt_cube);
+            let dead = self.manager.not(has_succ);
+            if !dead.is_false() {
+                let mut identity = Bdd::TRUE;
+                for i in 0..self.cur.len() {
+                    let c = self.manager.var(self.cur[i]);
+                    let n = self.manager.var(self.nxt[i]);
+                    let eq = self.manager.iff(c, n);
+                    identity = self.manager.and(identity, eq);
+                }
+                let loops = self.manager.and(dead, identity);
+                trans = self.manager.or(trans, loops);
+            }
+        }
+        let mut model = SymbolicModel::assemble(
+            self.manager,
+            self.names,
+            self.cur,
+            self.nxt,
+            init,
+            trans,
+            self.fairness,
+            self.labels,
+        )?;
+        if self.partitioned && !self.self_loop_deadlocks {
+            model.set_partition(parts);
+        }
+        model.check_total()?;
+        Ok(model)
+    }
+}
+
+impl Default for SymbolicModelBuilder {
+    fn default() -> SymbolicModelBuilder {
+        SymbolicModelBuilder::new()
+    }
+}

@@ -1,0 +1,225 @@
+//! Adjacency-list Kripke structures for the explicit-state baseline.
+
+use std::collections::HashMap;
+
+use crate::error::KripkeError;
+use crate::symbolic::SymbolicModel;
+use smc_bdd::{Bdd, BddManager, Var};
+
+/// An explicit labeled state-transition graph.
+///
+/// States are dense indices; atomic propositions are interned strings.
+/// This is the input representation of the `smc-explicit` baseline
+/// checker (the EMC-style algorithm the paper contrasts with symbolic
+/// checking) and of the SCC analyses behind witness shapes.
+#[derive(Debug, Clone, Default)]
+pub struct ExplicitModel {
+    ap: Vec<String>,
+    ap_index: HashMap<String, usize>,
+    labels: Vec<Vec<usize>>,
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+    initial: Vec<usize>,
+}
+
+impl ExplicitModel {
+    /// Creates an empty model.
+    pub fn new() -> ExplicitModel {
+        ExplicitModel::default()
+    }
+
+    /// Interns an atomic proposition, returning its id. Idempotent.
+    pub fn add_ap(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.ap_index.get(name) {
+            return id;
+        }
+        let id = self.ap.len();
+        self.ap.push(name.to_string());
+        self.ap_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an atomic proposition id.
+    pub fn ap_id(&self, name: &str) -> Option<usize> {
+        self.ap_index.get(name).copied()
+    }
+
+    /// The interned atomic propositions.
+    pub fn ap_names(&self) -> &[String] {
+        &self.ap
+    }
+
+    /// Adds a state labeled with the given proposition ids; returns its
+    /// index.
+    pub fn add_state(&mut self, labels: &[usize]) -> usize {
+        let id = self.succ.len();
+        let mut l = labels.to_vec();
+        l.sort_unstable();
+        l.dedup();
+        self.labels.push(l);
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Labels an existing state with one more proposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn add_label(&mut self, state: usize, ap: usize) {
+        let l = &mut self.labels[state];
+        if let Err(pos) = l.binary_search(&ap) {
+            l.insert(pos, ap);
+        }
+    }
+
+    /// Adds a directed transition. Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.succ.len() && to < self.succ.len(), "state out of range");
+        if !self.succ[from].contains(&to) {
+            self.succ[from].push(to);
+            self.pred[to].push(from);
+        }
+    }
+
+    /// Marks a state as initial.
+    pub fn add_initial(&mut self, state: usize) {
+        assert!(state < self.succ.len(), "state out of range");
+        if !self.initial.contains(&state) {
+            self.initial.push(state);
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of transitions.
+    pub fn num_edges(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// The initial states.
+    pub fn initial(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// Successors of a state.
+    pub fn successors(&self, state: usize) -> &[usize] {
+        &self.succ[state]
+    }
+
+    /// Predecessors of a state.
+    pub fn predecessors(&self, state: usize) -> &[usize] {
+        &self.pred[state]
+    }
+
+    /// Does proposition `ap` hold in `state`?
+    pub fn holds(&self, state: usize, ap: usize) -> bool {
+        self.labels[state].binary_search(&ap).is_ok()
+    }
+
+    /// The propositions holding in a state.
+    pub fn labels(&self, state: usize) -> &[usize] {
+        &self.labels[state]
+    }
+
+    /// All states where proposition `ap` holds.
+    pub fn states_with(&self, ap: usize) -> Vec<usize> {
+        (0..self.num_states()).filter(|&s| self.holds(s, ap)).collect()
+    }
+
+    /// Is every state the source of at least one edge?
+    pub fn is_total(&self) -> bool {
+        self.succ.iter().all(|s| !s.is_empty())
+    }
+
+    /// Adds a self-loop to every deadlocked state, making the relation
+    /// total. Returns how many loops were added.
+    pub fn close_deadlocks(&mut self) -> usize {
+        let mut added = 0;
+        for s in 0..self.num_states() {
+            if self.succ[s].is_empty() {
+                self.add_edge(s, s);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Encodes the explicit graph as a [`SymbolicModel`]: state `i` maps
+    /// to the binary encoding of `i` over `⌈log₂ n⌉` state bits named
+    /// `b0, b1, …`; each atomic proposition becomes a registered label.
+    ///
+    /// The inverse of [`SymbolicModel::enumerate`] up to state renaming —
+    /// the bridge the cross-validation tests and benchmarks use to feed
+    /// identical models to both engines.
+    ///
+    /// # Errors
+    ///
+    /// - [`KripkeError::NoVariables`] for an empty graph,
+    /// - [`KripkeError::EmptyInit`] with no initial states,
+    /// - [`KripkeError::Deadlock`] if some reachable state has no
+    ///   successor.
+    pub fn to_symbolic(&self) -> Result<SymbolicModel, KripkeError> {
+        let n = self.num_states();
+        if n == 0 {
+            return Err(KripkeError::NoVariables);
+        }
+        let bits = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+        let bits = bits.max(1);
+        let mut manager = BddManager::new();
+        let mut names = Vec::with_capacity(bits);
+        let mut cur: Vec<Var> = Vec::with_capacity(bits);
+        let mut nxt: Vec<Var> = Vec::with_capacity(bits);
+        for i in 0..bits {
+            let name = format!("b{i}");
+            cur.push(manager.new_var(&name)?);
+            nxt.push(manager.new_var(&format!("{name}'"))?);
+            names.push(name);
+        }
+        let encode = |manager: &mut BddManager, vars: &[Var], value: usize| -> Bdd {
+            let mut acc = Bdd::TRUE;
+            for (i, &v) in vars.iter().enumerate().rev() {
+                let lit = manager.literal(v, value >> i & 1 == 1);
+                acc = manager.and(acc, lit);
+            }
+            acc
+        };
+        let mut trans = Bdd::FALSE;
+        for s in 0..n {
+            let from = encode(&mut manager, &cur, s);
+            let mut targets = Bdd::FALSE;
+            for &t in self.successors(s) {
+                let to = encode(&mut manager, &nxt, t);
+                targets = manager.or(targets, to);
+            }
+            let edge = manager.and(from, targets);
+            trans = manager.or(trans, edge);
+        }
+        let mut init = Bdd::FALSE;
+        for &s in self.initial() {
+            let enc = encode(&mut manager, &cur, s);
+            init = manager.or(init, enc);
+        }
+        let mut labels = Vec::with_capacity(self.ap.len());
+        for (ap_id, name) in self.ap.iter().enumerate() {
+            let mut set = Bdd::FALSE;
+            for s in self.states_with(ap_id) {
+                let enc = encode(&mut manager, &cur, s);
+                set = manager.or(set, enc);
+            }
+            labels.push((name.clone(), set));
+        }
+        let mut model =
+            SymbolicModel::assemble(manager, names, cur, nxt, init, trans, Vec::new(), labels)?;
+        model.check_total()?;
+        Ok(model)
+    }
+}

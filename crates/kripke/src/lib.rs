@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # smc-kripke — labeled state-transition systems
+//!
+//! The model layer for symbolic model checking: Kripke structures
+//! `M = (AP, S, L, N, S₀)` (Section 3 of Clarke–Grumberg–McMillan–Zhao,
+//! DAC 1995) in two representations:
+//!
+//! - [`SymbolicModel`]: states are assignments to boolean state variables;
+//!   the transition relation `N(v̄, v̄′)`, the initial set and all labels are
+//!   BDDs over an interleaved current/next variable order. This is the
+//!   representation the symbolic checker operates on.
+//! - [`ExplicitModel`]: an adjacency-list graph with per-state label sets.
+//!   Used by the explicit-state baseline checker, by the SCC analyses that
+//!   explain witness shapes (Figures 1–2 of the paper), and as a
+//!   cross-validation oracle for the symbolic engine.
+//!
+//! [`SymbolicModelBuilder`] offers a convenient functional-assignment
+//! style for building symbolic models;
+//! [`enumerate`](SymbolicModel::enumerate) converts small symbolic models
+//! to explicit form.
+//!
+//! ## Example
+//!
+//! ```
+//! use smc_kripke::SymbolicModelBuilder;
+//!
+//! # fn main() -> Result<(), smc_kripke::KripkeError> {
+//! // A 2-bit binary counter.
+//! let mut b = SymbolicModelBuilder::new();
+//! let lo = b.bool_var("lo")?;
+//! let hi = b.bool_var("hi")?;
+//! b.init_zero();
+//! b.next_fn(lo, |m, cur| m.not(cur[0]));
+//! b.next_fn(hi, |m, cur| m.xor(cur[0], cur[1]));
+//! let mut model = b.build()?;
+//! assert_eq!(model.reachable_count(), 4.0);
+//! # let _ = (lo, hi);
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod error;
+mod explicit;
+mod scc;
+mod state;
+mod symbolic;
+
+pub use builder::{StateVarId, SymbolicModelBuilder};
+pub use error::KripkeError;
+pub use explicit::ExplicitModel;
+pub use scc::{condensation, tarjan_scc, Condensation};
+pub use state::State;
+pub use symbolic::SymbolicModel;
+
+#[cfg(test)]
+mod tests;

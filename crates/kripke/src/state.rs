@@ -1,0 +1,69 @@
+//! Concrete states: total assignments to the state variables.
+
+use std::fmt;
+
+/// A single concrete state — one total assignment to the boolean state
+/// variables, in declaration order.
+///
+/// `State` is what witness traces are made of: the symbolic engine picks
+/// concrete states out of BDD-represented sets with
+/// [`SymbolicModel::pick_state`](crate::SymbolicModel::pick_state).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct State(pub Vec<bool>);
+
+impl State {
+    /// The assignment of state bit `i`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        self.0[i]
+    }
+
+    /// Number of state bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the state has no bits (a degenerate model).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Renders the state as `name=value` pairs using the given names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is shorter than the state.
+    pub fn render(&self, names: &[String]) -> String {
+        self.0
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| format!("{}={}", names[i], u8::from(v)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Compact bit-string rendering, most significant variable last.
+    pub fn to_bit_string(&self) -> String {
+        self.0.iter().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_bit_string())
+    }
+}
+
+impl From<Vec<bool>> for State {
+    fn from(bits: Vec<bool>) -> State {
+        State(bits)
+    }
+}
+
+impl FromIterator<bool> for State {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> State {
+        State(iter.into_iter().collect())
+    }
+}

@@ -1,0 +1,524 @@
+//! BDD-represented Kripke structures and the image/preimage operators.
+
+use std::collections::HashMap;
+
+use smc_bdd::{Bdd, BddManager, Var};
+
+use crate::error::KripkeError;
+use crate::explicit::ExplicitModel;
+use crate::state::State;
+
+/// A Kripke structure in symbolic (BDD) form.
+///
+/// State variables come in current/next pairs interleaved in the BDD
+/// order (`v₀, v₀′, v₁, v₁′, …`), the layout that keeps transition
+/// relations of sequential circuits small. The structure owns its
+/// [`BddManager`]; all further BDD work (the model checker's fixpoints,
+/// witness extraction) goes through [`manager_mut`](Self::manager_mut).
+///
+/// Construct models with [`SymbolicModelBuilder`](crate::SymbolicModelBuilder),
+/// the `smc-smv` language frontend, or the gate-level netlists of
+/// `smc-circuits`.
+#[derive(Debug)]
+pub struct SymbolicModel {
+    manager: BddManager,
+    names: Vec<String>,
+    cur: Vec<Var>,
+    nxt: Vec<Var>,
+    cur_cube: Bdd,
+    nxt_cube: Bdd,
+    init: Bdd,
+    trans: Bdd,
+    fairness: Vec<Bdd>,
+    labels: Vec<(String, Bdd)>,
+    label_index: HashMap<String, usize>,
+    name_index: HashMap<String, usize>,
+    reachable: Option<Bdd>,
+    /// Conjunctive partition of `trans` with the early-quantification
+    /// schedules for image/preimage (None = monolithic relation).
+    partition: Option<Partition>,
+}
+
+/// A conjunctive transition-relation partition `N = ⋀ parts`, with the
+/// precomputed early-quantification schedules.
+#[derive(Debug, Clone)]
+struct Partition {
+    parts: Vec<Bdd>,
+    /// `img_cubes[i]`: current-state variables quantified right after
+    /// conjoining `parts[i]` during image computation (they occur in no
+    /// later part).
+    img_cubes: Vec<Bdd>,
+    /// `pre_cubes[i]`: next-state variables quantified right after
+    /// conjoining `parts[i]` during preimage computation.
+    pre_cubes: Vec<Bdd>,
+}
+
+impl SymbolicModel {
+    /// Assembles a model from raw parts. Prefer the builder; this exists
+    /// for frontends (SMV compiler, circuit netlists) that construct the
+    /// BDDs themselves.
+    ///
+    /// `cur`/`nxt` are the per-variable current/next BDD variables, in the
+    /// same order as `names`. All BDDs must live in `manager`.
+    ///
+    /// # Errors
+    ///
+    /// - [`KripkeError::NoVariables`] if `names` is empty.
+    /// - [`KripkeError::EmptyInit`] if `init` is unsatisfiable.
+    /// - [`KripkeError::DuplicateLabel`] if a label name repeats.
+    pub fn assemble(
+        mut manager: BddManager,
+        names: Vec<String>,
+        cur: Vec<Var>,
+        nxt: Vec<Var>,
+        init: Bdd,
+        trans: Bdd,
+        fairness: Vec<Bdd>,
+        labels: Vec<(String, Bdd)>,
+    ) -> Result<SymbolicModel, KripkeError> {
+        if names.is_empty() {
+            return Err(KripkeError::NoVariables);
+        }
+        assert_eq!(names.len(), cur.len());
+        assert_eq!(names.len(), nxt.len());
+        if init.is_false() {
+            return Err(KripkeError::EmptyInit);
+        }
+        let mut label_index = HashMap::new();
+        for (i, (name, _)) in labels.iter().enumerate() {
+            if label_index.insert(name.clone(), i).is_some() {
+                return Err(KripkeError::DuplicateLabel(name.clone()));
+            }
+        }
+        let name_index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let cur_cube = manager.cube(&cur);
+        let nxt_cube = manager.cube(&nxt);
+        // Keep the long-lived structure BDDs safe across user GCs.
+        for b in [init, trans, cur_cube, nxt_cube] {
+            manager.protect(b);
+        }
+        for &b in &fairness {
+            manager.protect(b);
+        }
+        for (_, b) in &labels {
+            manager.protect(*b);
+        }
+        Ok(SymbolicModel {
+            manager,
+            names,
+            cur,
+            nxt,
+            cur_cube,
+            nxt_cube,
+            init,
+            trans,
+            fairness,
+            labels,
+            label_index,
+            name_index,
+            reachable: None,
+            partition: None,
+        })
+    }
+
+    /// Installs a conjunctive partition of the transition relation
+    /// (`⋀ parts` must equal [`trans`](Self::trans)) and precomputes the
+    /// early-quantification schedules. Subsequent [`image`](Self::image)
+    /// and [`preimage`](Self::preimage) calls use the partitioned
+    /// algorithm: after conjoining each part, every variable that occurs
+    /// in no later part is quantified immediately, keeping intermediate
+    /// BDDs small.
+    ///
+    /// Pass an empty vector to revert to the monolithic relation.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the conjunction of the parts differs
+    /// from the stored transition relation.
+    pub fn set_partition(&mut self, parts: Vec<Bdd>) {
+        if parts.is_empty() {
+            self.partition = None;
+            return;
+        }
+        debug_assert_eq!(
+            self.manager.and_all(parts.iter().copied()),
+            self.trans,
+            "partition must conjoin to the transition relation"
+        );
+        // For each part, which current/next variables appear in it.
+        let supports: Vec<Vec<Var>> =
+            parts.iter().map(|&p| self.manager.support(p)).collect();
+        // A variable is quantified at the *last* part mentioning it (or
+        // immediately at part 0 if it occurs nowhere).
+        let mut img_sched: Vec<Vec<Var>> = vec![Vec::new(); parts.len()];
+        let mut pre_sched: Vec<Vec<Var>> = vec![Vec::new(); parts.len()];
+        for &v in &self.cur {
+            let last = (0..parts.len())
+                .rev()
+                .find(|&i| supports[i].contains(&v))
+                .unwrap_or(0);
+            img_sched[last].push(v);
+        }
+        for &v in &self.nxt {
+            let last = (0..parts.len())
+                .rev()
+                .find(|&i| supports[i].contains(&v))
+                .unwrap_or(0);
+            pre_sched[last].push(v);
+        }
+        let img_cubes = img_sched
+            .into_iter()
+            .map(|vars| self.manager.cube(&vars))
+            .collect();
+        let pre_cubes = pre_sched
+            .into_iter()
+            .map(|vars| self.manager.cube(&vars))
+            .collect();
+        for &p in &parts {
+            self.manager.protect(p);
+        }
+        self.partition = Some(Partition { parts, img_cubes, pre_cubes });
+    }
+
+    /// Is a conjunctive partition installed?
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// The BDD manager holding every set and relation of this model.
+    pub fn manager(&self) -> &BddManager {
+        &self.manager
+    }
+
+    /// Mutable access to the manager, for running BDD operations.
+    pub fn manager_mut(&mut self) -> &mut BddManager {
+        &mut self.manager
+    }
+
+    /// Number of boolean state variables.
+    pub fn num_state_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Names of the state variables, in declaration order.
+    pub fn state_var_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The current-state BDD variable of state bit `i`.
+    pub fn cur_var(&self, i: usize) -> Var {
+        self.cur[i]
+    }
+
+    /// The next-state BDD variable of state bit `i`.
+    pub fn nxt_var(&self, i: usize) -> Var {
+        self.nxt[i]
+    }
+
+    /// All current-state variables.
+    pub fn cur_vars(&self) -> &[Var] {
+        &self.cur
+    }
+
+    /// All next-state variables.
+    pub fn nxt_vars(&self) -> &[Var] {
+        &self.nxt
+    }
+
+    /// The initial-state set `S₀`.
+    pub fn init(&self) -> Bdd {
+        self.init
+    }
+
+    /// The transition relation `N(v̄, v̄′)`.
+    pub fn trans(&self) -> Bdd {
+        self.trans
+    }
+
+    /// The fairness constraints, each a state set required to hold
+    /// infinitely often along fair paths (Section 5 of the paper).
+    pub fn fairness(&self) -> &[Bdd] {
+        &self.fairness
+    }
+
+    /// Adds a fairness constraint after construction.
+    pub fn add_fairness(&mut self, constraint: Bdd) {
+        self.manager.protect(constraint);
+        self.fairness.push(constraint);
+    }
+
+    /// Registered label names followed by the state-variable atoms —
+    /// everything [`ap`](Self::ap) can resolve.
+    pub fn ap_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.labels.iter().map(|(n, _)| n.clone()).collect();
+        for n in &self.names {
+            if !self.label_index.contains_key(n) {
+                names.push(n.clone());
+            }
+        }
+        names
+    }
+
+    /// Resolves an atomic proposition to its state set. Registered labels
+    /// take precedence; otherwise a state-variable name denotes the set of
+    /// states where that variable is 1.
+    ///
+    /// # Errors
+    ///
+    /// [`KripkeError::UnknownAtom`] if the name is neither a label nor a
+    /// state variable.
+    pub fn ap(&mut self, name: &str) -> Result<Bdd, KripkeError> {
+        if let Some(&i) = self.label_index.get(name) {
+            return Ok(self.labels[i].1);
+        }
+        if let Some(&i) = self.name_index.get(name) {
+            return Ok(self.manager.var(self.cur[i]));
+        }
+        Err(KripkeError::UnknownAtom(name.to_string()))
+    }
+
+    /// Forward image: the set of successors of `set`,
+    /// `Img(S)(v̄) = (∃v̄. S(v̄) ∧ N(v̄, v̄′))[v̄′ := v̄]`.
+    ///
+    /// With a [partition](Self::set_partition) installed, conjoins the
+    /// parts one at a time with early quantification.
+    pub fn image(&mut self, set: Bdd) -> Bdd {
+        let next_img = if let Some(partition) = self.partition.clone() {
+            let mut acc = set;
+            for (i, &part) in partition.parts.iter().enumerate() {
+                acc = self.manager.and_exists(acc, part, partition.img_cubes[i]);
+            }
+            acc
+        } else {
+            self.manager.and_exists(set, self.trans, self.cur_cube)
+        };
+        self.manager.swap_vars(next_img, &self.cur, &self.nxt)
+    }
+
+    /// Backward image: the set of predecessors of `set`,
+    /// `Pre(S)(v̄) = ∃v̄′. N(v̄, v̄′) ∧ S(v̄′)`.
+    ///
+    /// This is exactly the paper's `CheckEX`. With a
+    /// [partition](Self::set_partition) installed, conjoins the parts one
+    /// at a time with early quantification of next-state variables.
+    pub fn preimage(&mut self, set: Bdd) -> Bdd {
+        let primed = self.manager.swap_vars(set, &self.cur, &self.nxt);
+        if let Some(partition) = self.partition.clone() {
+            let mut acc = primed;
+            for (i, &part) in partition.parts.iter().enumerate() {
+                acc = self.manager.and_exists(acc, part, partition.pre_cubes[i]);
+            }
+            acc
+        } else {
+            self.manager.and_exists(self.trans, primed, self.nxt_cube)
+        }
+    }
+
+    /// The reachable state set (least fixpoint of `λZ. S₀ ∨ Img(Z)`),
+    /// cached after the first call.
+    pub fn reachable(&mut self) -> Bdd {
+        if let Some(r) = self.reachable {
+            return r;
+        }
+        let mut frontier = self.init;
+        let mut reach = self.init;
+        while !frontier.is_false() {
+            let img = self.image(frontier);
+            frontier = self.manager.diff(img, reach);
+            reach = self.manager.or(reach, frontier);
+        }
+        self.manager.protect(reach);
+        self.reachable = Some(reach);
+        reach
+    }
+
+    /// Number of reachable states (exact below 2^53).
+    pub fn reachable_count(&mut self) -> f64 {
+        let r = self.reachable();
+        self.state_count(r)
+    }
+
+    /// Number of states in a current-variable state set.
+    pub fn state_count(&self, set: Bdd) -> f64 {
+        // Count over the current variables only: quantify nothing, just
+        // normalize to num_state_vars worth of variables. Because the set
+        // may only mention current vars, counting over all manager vars
+        // and dividing by 2^{#other vars} is exact.
+        let total_vars = self.manager.num_vars();
+        let count_all = self.manager.sat_count(set, total_vars);
+        count_all / 2f64.powi((total_vars - self.names.len()) as i32)
+    }
+
+    /// Picks one concrete state out of a state set, or `None` if empty.
+    pub fn pick_state(&self, set: Bdd) -> Option<State> {
+        self.manager
+            .one_sat_total(set, &self.cur)
+            .map(State::from)
+    }
+
+    /// The singleton BDD for a concrete state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state width differs from the model's.
+    pub fn state_bdd(&mut self, state: &State) -> Bdd {
+        assert_eq!(state.len(), self.names.len(), "state width mismatch");
+        let mut acc = Bdd::TRUE;
+        for i in (0..state.len()).rev() {
+            let lit = self.manager.literal(self.cur[i], state.bit(i));
+            acc = self.manager.and(acc, lit);
+        }
+        acc
+    }
+
+    /// The successor set of one concrete state.
+    pub fn successors(&mut self, state: &State) -> Bdd {
+        let s = self.state_bdd(state);
+        self.image(s)
+    }
+
+    /// Renders a state with the model's variable names.
+    pub fn render_state(&self, state: &State) -> String {
+        state.render(&self.names)
+    }
+
+    /// Evaluates a current-variable state set at one concrete state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state width differs from the model's or if `set`
+    /// depends on next-state variables.
+    pub fn eval_state(&self, set: Bdd, state: &State) -> bool {
+        assert_eq!(state.len(), self.names.len(), "state width mismatch");
+        let mut dense = vec![false; self.manager.num_vars()];
+        for (i, &bit) in state.0.iter().enumerate() {
+            dense[self.cur[i].index()] = bit;
+        }
+        self.manager.eval(set, &dense)
+    }
+
+    /// Checks that every reachable state has at least one successor (CTL
+    /// paths are infinite, so the relation must be total on the reachable
+    /// part).
+    ///
+    /// # Errors
+    ///
+    /// [`KripkeError::Deadlock`] naming one deadlocked state.
+    pub fn check_total(&mut self) -> Result<(), KripkeError> {
+        let reach = self.reachable();
+        let has_succ = self.manager.exists(self.trans, self.nxt_cube);
+        let dead = self.manager.diff(reach, has_succ);
+        if dead.is_false() {
+            Ok(())
+        } else {
+            let s = self.pick_state(dead).expect("nonempty set");
+            Err(KripkeError::Deadlock(self.render_state(&s)))
+        }
+    }
+
+    /// Enumerates every concrete state in a state set.
+    ///
+    /// # Errors
+    ///
+    /// [`KripkeError::TooManyStates`] if more than `bound` states would be
+    /// produced.
+    pub fn states_in(&self, set: Bdd, bound: usize) -> Result<Vec<State>, KripkeError> {
+        let mut out = Vec::new();
+        let n = self.names.len();
+        for cube in self.manager.cubes(set) {
+            // Positions of current vars fixed by the cube.
+            let mut fixed: Vec<Option<bool>> = vec![None; n];
+            for (v, val) in &cube {
+                if let Some(pos) = self.cur.iter().position(|c| c == v) {
+                    fixed[pos] = Some(*val);
+                }
+            }
+            let free: Vec<usize> = (0..n).filter(|&i| fixed[i].is_none()).collect();
+            let combos = 1usize
+                .checked_shl(free.len() as u32)
+                .ok_or(KripkeError::TooManyStates { bound })?;
+            for bits in 0..combos {
+                let mut s = vec![false; n];
+                for i in 0..n {
+                    if let Some(v) = fixed[i] {
+                        s[i] = v;
+                    }
+                }
+                for (k, &i) in free.iter().enumerate() {
+                    s[i] = bits >> k & 1 == 1;
+                }
+                out.push(State(s));
+                if out.len() > bound {
+                    return Err(KripkeError::TooManyStates { bound });
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Converts the reachable fragment to an explicit Kripke structure,
+    /// for the baseline checker and cross-validation. Labels every state
+    /// with the atoms of [`ap_names`](Self::ap_names) that hold in it.
+    ///
+    /// Returns the explicit model plus the concrete state of each explicit
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// [`KripkeError::TooManyStates`] if the reachable set exceeds
+    /// `bound`.
+    pub fn enumerate(
+        &mut self,
+        bound: usize,
+    ) -> Result<(ExplicitModel, Vec<State>), KripkeError> {
+        let reach = self.reachable();
+        let states = self.states_in(reach, bound)?;
+        let index: HashMap<&State, usize> =
+            states.iter().enumerate().map(|(i, s)| (s, i)).collect();
+        let mut explicit = ExplicitModel::new();
+        let ap_names = self.ap_names();
+        let ap_sets: Vec<Bdd> = ap_names
+            .iter()
+            .map(|n| self.ap(n).expect("ap_names are resolvable"))
+            .collect();
+        let ap_ids: Vec<usize> = ap_names.iter().map(|n| explicit.add_ap(n)).collect();
+        for s in &states {
+            let labels: Vec<usize> = ap_sets
+                .iter()
+                .zip(&ap_ids)
+                .filter(|(set, _)| self.eval_state(**set, s))
+                .map(|(_, id)| *id)
+                .collect();
+            explicit.add_state(&labels);
+        }
+        for (i, s) in states.iter().enumerate() {
+            let succ_set = self.successors(s);
+            let succ_in_reach = self.manager.and(succ_set, reach);
+            for t in self.states_in(succ_in_reach, bound)? {
+                let j = index[&t];
+                explicit.add_edge(i, j);
+            }
+        }
+        let init = self.init;
+        let reach_init = self.manager.and(init, reach);
+        for s in self.states_in(reach_init, bound)? {
+            explicit.add_initial(index[&s]);
+        }
+        // Fairness constraints carry over as labels named __fair_k.
+        for (k, &fc) in self.fairness.clone().iter().enumerate() {
+            let ap = explicit.add_ap(&format!("__fair_{k}"));
+            for (i, s) in states.iter().enumerate() {
+                if self.eval_state(fc, s) {
+                    explicit.add_label(i, ap);
+                }
+            }
+        }
+        Ok((explicit, states))
+    }
+}

@@ -1,0 +1,286 @@
+//! CTL* syntax and the Section 7 fairness class.
+//!
+//! Full CTL* model checking is expensive; the paper identifies the class
+//!
+//! ```text
+//! E ⋀ⱼ (GF pⱼ ∨ FG qⱼ)
+//! ```
+//!
+//! (one existential quantifier over a conjunction of infinitely-often /
+//! eventually-always disjunctions) as efficiently checkable and shows how
+//! to generate witnesses for it by case-splitting each disjunct. This
+//! module provides the general AST ([`StateFormula`], [`PathFormula`]), a
+//! parser, and [`StateFormula::classify_fairness`], which recognizes
+//! members of the class and normalizes them to [`EFairness`].
+
+use std::fmt;
+
+use crate::ctl::Ctl;
+use crate::error::ParseError;
+
+/// A CTL* state formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StateFormula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// An atomic proposition.
+    Atom(String),
+    /// Negation.
+    Not(Box<StateFormula>),
+    /// Conjunction.
+    And(Box<StateFormula>, Box<StateFormula>),
+    /// Disjunction.
+    Or(Box<StateFormula>, Box<StateFormula>),
+    /// `E φ` for a path formula φ.
+    Exists(Box<PathFormula>),
+    /// `A φ` for a path formula φ.
+    Forall(Box<PathFormula>),
+}
+
+/// A CTL* path formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PathFormula {
+    /// A state formula read along the path (evaluated at the first state).
+    State(Box<StateFormula>),
+    /// Negation.
+    Not(Box<PathFormula>),
+    /// Conjunction.
+    And(Box<PathFormula>, Box<PathFormula>),
+    /// Disjunction.
+    Or(Box<PathFormula>, Box<PathFormula>),
+    /// `X φ` — next.
+    Next(Box<PathFormula>),
+    /// `F φ` — sometime.
+    Future(Box<PathFormula>),
+    /// `G φ` — globally.
+    Globally(Box<PathFormula>),
+    /// `φ U ψ` — until.
+    Until(Box<PathFormula>, Box<PathFormula>),
+}
+
+/// One conjunct `GF p ∨ FG q` of the fairness class. Either side may be
+/// absent, representing the degenerate disjuncts `GF p` or `FG q`.
+/// The `p`/`q` are **propositional** state formulas, carried as [`Ctl`]
+/// for direct reuse by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GfFgDisjunct {
+    /// The `GF p` side ("p holds infinitely often"), if present.
+    pub gf: Option<Ctl>,
+    /// The `FG q` side ("eventually q holds forever"), if present.
+    pub fg: Option<Ctl>,
+}
+
+impl GfFgDisjunct {
+    /// A pure `GF p` conjunct.
+    pub fn gf(p: Ctl) -> GfFgDisjunct {
+        GfFgDisjunct { gf: Some(p), fg: None }
+    }
+
+    /// A pure `FG q` conjunct.
+    pub fn fg(q: Ctl) -> GfFgDisjunct {
+        GfFgDisjunct { gf: None, fg: Some(q) }
+    }
+
+    /// The full `GF p ∨ FG q` conjunct.
+    pub fn gf_or_fg(p: Ctl, q: Ctl) -> GfFgDisjunct {
+        GfFgDisjunct { gf: Some(p), fg: Some(q) }
+    }
+}
+
+/// A normalized member of the Section 7 class
+/// `E ⋀ⱼ (GF pⱼ ∨ FG qⱼ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EFairness {
+    /// The conjuncts under the existential quantifier.
+    pub conjuncts: Vec<GfFgDisjunct>,
+}
+
+impl EFairness {
+    /// Wraps conjuncts.
+    pub fn new(conjuncts: Vec<GfFgDisjunct>) -> EFairness {
+        EFairness { conjuncts }
+    }
+}
+
+impl StateFormula {
+    /// An atomic proposition.
+    pub fn atom(name: impl Into<String>) -> StateFormula {
+        StateFormula::Atom(name.into())
+    }
+
+    /// `E φ`.
+    pub fn exists(path: PathFormula) -> StateFormula {
+        StateFormula::Exists(Box::new(path))
+    }
+
+    /// `A φ`.
+    pub fn forall(path: PathFormula) -> StateFormula {
+        StateFormula::Forall(Box::new(path))
+    }
+
+    /// Converts a *pure-state* CTL* formula (no path operators) into the
+    /// propositional fragment of [`Ctl`]. Returns `None` when the formula
+    /// contains a quantifier.
+    pub fn to_propositional(&self) -> Option<Ctl> {
+        match self {
+            StateFormula::True => Some(Ctl::True),
+            StateFormula::False => Some(Ctl::False),
+            StateFormula::Atom(a) => Some(Ctl::Atom(a.clone())),
+            StateFormula::Not(f) => Some(Ctl::not(f.to_propositional()?)),
+            StateFormula::And(f, g) => {
+                Some(Ctl::and(f.to_propositional()?, g.to_propositional()?))
+            }
+            StateFormula::Or(f, g) => {
+                Some(Ctl::or(f.to_propositional()?, g.to_propositional()?))
+            }
+            StateFormula::Exists(_) | StateFormula::Forall(_) => None,
+        }
+    }
+
+    /// Recognizes a formula of the class `E ⋀ⱼ (GF pⱼ ∨ FG qⱼ)` and
+    /// normalizes it. The `pⱼ`, `qⱼ` must be propositional state
+    /// formulas. Returns `None` for formulas outside the class.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smc_logic::ctlstar;
+    ///
+    /// # fn main() -> Result<(), smc_logic::ParseError> {
+    /// let f = ctlstar::parse("E ((G F p | F G q) & G F r)")?;
+    /// let fair = f.classify_fairness().expect("in the class");
+    /// assert_eq!(fair.conjuncts.len(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn classify_fairness(&self) -> Option<EFairness> {
+        match self {
+            StateFormula::Exists(path) => {
+                let mut conjuncts = Vec::new();
+                collect_conjuncts(path, &mut conjuncts)?;
+                Some(EFairness::new(conjuncts))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Splits `⋀` under the quantifier and classifies each conjunct.
+fn collect_conjuncts(path: &PathFormula, out: &mut Vec<GfFgDisjunct>) -> Option<()> {
+    match path {
+        PathFormula::And(a, b) => {
+            collect_conjuncts(a, out)?;
+            collect_conjuncts(b, out)
+        }
+        other => {
+            out.push(classify_disjunct(other)?);
+            Some(())
+        }
+    }
+}
+
+/// Classifies `GF p`, `FG q`, or `GF p ∨ FG q` (either order).
+fn classify_disjunct(path: &PathFormula) -> Option<GfFgDisjunct> {
+    if let Some(p) = as_gf(path) {
+        return Some(GfFgDisjunct::gf(p));
+    }
+    if let Some(q) = as_fg(path) {
+        return Some(GfFgDisjunct::fg(q));
+    }
+    if let PathFormula::Or(a, b) = path {
+        if let (Some(p), Some(q)) = (as_gf(a), as_fg(b)) {
+            return Some(GfFgDisjunct::gf_or_fg(p, q));
+        }
+        if let (Some(q), Some(p)) = (as_fg(a), as_gf(b)) {
+            return Some(GfFgDisjunct::gf_or_fg(p, q));
+        }
+    }
+    None
+}
+
+/// Matches `G F p` with propositional `p`.
+fn as_gf(path: &PathFormula) -> Option<Ctl> {
+    if let PathFormula::Globally(inner) = path {
+        if let PathFormula::Future(p) = inner.as_ref() {
+            return path_to_propositional(p);
+        }
+    }
+    None
+}
+
+/// Matches `F G q` with propositional `q`.
+fn as_fg(path: &PathFormula) -> Option<Ctl> {
+    if let PathFormula::Future(inner) = path {
+        if let PathFormula::Globally(q) = inner.as_ref() {
+            return path_to_propositional(q);
+        }
+    }
+    None
+}
+
+/// Converts a path formula that is really a boolean combination of state
+/// atoms (no temporal operators, no quantifiers) into propositional
+/// [`Ctl`].
+fn path_to_propositional(path: &PathFormula) -> Option<Ctl> {
+    match path {
+        PathFormula::State(s) => s.to_propositional(),
+        PathFormula::Not(p) => Some(Ctl::not(path_to_propositional(p)?)),
+        PathFormula::And(a, b) => Some(Ctl::and(
+            path_to_propositional(a)?,
+            path_to_propositional(b)?,
+        )),
+        PathFormula::Or(a, b) => Some(Ctl::or(
+            path_to_propositional(a)?,
+            path_to_propositional(b)?,
+        )),
+        PathFormula::Next(_)
+        | PathFormula::Future(_)
+        | PathFormula::Globally(_)
+        | PathFormula::Until(_, _) => None,
+    }
+}
+
+impl fmt::Display for StateFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateFormula::True => write!(f, "true"),
+            StateFormula::False => write!(f, "false"),
+            StateFormula::Atom(a) => write!(f, "{a}"),
+            StateFormula::Not(inner) => write!(f, "!({inner})"),
+            StateFormula::And(a, b) => write!(f, "({a} & {b})"),
+            StateFormula::Or(a, b) => write!(f, "({a} | {b})"),
+            StateFormula::Exists(p) => write!(f, "E ({p})"),
+            StateFormula::Forall(p) => write!(f, "A ({p})"),
+        }
+    }
+}
+
+impl fmt::Display for PathFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathFormula::State(s) => write!(f, "{s}"),
+            PathFormula::Not(inner) => write!(f, "!({inner})"),
+            PathFormula::And(a, b) => write!(f, "({a} & {b})"),
+            PathFormula::Or(a, b) => write!(f, "({a} | {b})"),
+            PathFormula::Next(p) => write!(f, "X ({p})"),
+            PathFormula::Future(p) => write!(f, "F ({p})"),
+            PathFormula::Globally(p) => write!(f, "G ({p})"),
+            PathFormula::Until(a, b) => write!(f, "({a} U {b})"),
+        }
+    }
+}
+
+/// Parses a CTL* state formula.
+///
+/// `E` / `A` followed by a parenthesized path formula introduce path
+/// quantification; inside, the path operators `X`, `F`, `G` and the infix
+/// `U` are available alongside the boolean connectives.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending byte offset.
+pub fn parse(input: &str) -> Result<StateFormula, ParseError> {
+    crate::parser::parse_ctlstar(input)
+}

@@ -1,0 +1,161 @@
+//! Token stream shared by the CTL and CTL* parsers.
+
+use crate::error::ParseError;
+
+/// Lexical tokens of the formula language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Token {
+    /// An atomic proposition name.
+    Ident(String),
+    True,
+    False,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    /// Path quantifier `E` (also the prefix of `EX`/`EF`/`EG`).
+    E,
+    /// Path quantifier `A`.
+    A,
+    Ex,
+    Ef,
+    Eg,
+    Ax,
+    Af,
+    Ag,
+    /// Path operator `X` (nexttime).
+    X,
+    /// Path operator `F` (sometime).
+    F,
+    /// Path operator `G` (globally).
+    G,
+    /// Path operator `U` (until).
+    U,
+}
+
+/// A token with its starting byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Spanned {
+    pub token: Token,
+    pub pos: usize,
+}
+
+/// Names that cannot be used as atomic propositions.
+pub const RESERVED_WORDS: &[&str] = &[
+    "true", "false", "E", "A", "EX", "EF", "EG", "AX", "AF", "AG", "X", "F", "G", "U", "TRUE",
+    "FALSE",
+];
+
+/// Tokenizes a formula string.
+///
+/// Identifiers may contain letters, digits, `_`, `.` and a trailing `'`
+/// (so primed circuit nodes parse naturally). The reserved words of
+/// [`RESERVED_WORDS`] lex as keywords, never as atoms.
+pub(crate) fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+                continue;
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, pos });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { token: Token::LBracket, pos });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { token: Token::RBracket, pos });
+                i += 1;
+            }
+            '!' => {
+                out.push(Spanned { token: Token::Not, pos });
+                i += 1;
+            }
+            '&' => {
+                out.push(Spanned { token: Token::And, pos });
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'&' {
+                    i += 1; // accept && as well
+                }
+            }
+            '|' => {
+                out.push(Spanned { token: Token::Or, pos });
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'|' {
+                    i += 1;
+                }
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Spanned { token: Token::Implies, pos });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(pos, "expected '->'"));
+                }
+            }
+            '<' => {
+                if i + 2 < bytes.len() && bytes[i + 1] == b'-' && bytes[i + 2] == b'>' {
+                    out.push(Spanned { token: Token::Iff, pos });
+                    i += 3;
+                } else {
+                    return Err(ParseError::new(pos, "expected '<->'"));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // Allow trailing primes for next-state-style atom names.
+                while i < bytes.len() && bytes[i] == b'\'' {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let token = match word {
+                    "true" | "TRUE" => Token::True,
+                    "false" | "FALSE" => Token::False,
+                    "E" => Token::E,
+                    "A" => Token::A,
+                    "EX" => Token::Ex,
+                    "EF" => Token::Ef,
+                    "EG" => Token::Eg,
+                    "AX" => Token::Ax,
+                    "AF" => Token::Af,
+                    "AG" => Token::Ag,
+                    "X" => Token::X,
+                    "F" => Token::F,
+                    "G" => Token::G,
+                    "U" => Token::U,
+                    _ => Token::Ident(word.to_string()),
+                };
+                out.push(Spanned { token, pos });
+            }
+            other => {
+                return Err(ParseError::new(pos, format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}

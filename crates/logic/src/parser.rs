@@ -1,0 +1,407 @@
+//! Recursive-descent parsers for CTL and CTL*.
+
+use crate::ctl::Ctl;
+use crate::ctlstar::{PathFormula, StateFormula};
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Spanned, Token};
+
+struct Cursor {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Cursor {
+    fn new(input: &str) -> Result<Cursor, ParseError> {
+        Ok(Cursor { tokens: tokenize(input)?, pos: 0, input_len: input.len() })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.input_len, |s| s.pos)
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: Token, what: &str) -> Result<(), ParseError> {
+        if self.eat(&token) {
+            Ok(())
+        } else {
+            Err(ParseError::new(self.here(), format!("expected {what}")))
+        }
+    }
+
+    fn fail<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError::new(self.here(), message))
+    }
+
+    fn finish(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(ParseError::new(self.here(), "unexpected trailing input"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CTL
+// ---------------------------------------------------------------------
+
+pub(crate) fn parse_ctl(input: &str) -> Result<Ctl, ParseError> {
+    let mut c = Cursor::new(input)?;
+    let f = ctl_iff(&mut c)?;
+    c.finish()?;
+    Ok(f)
+}
+
+fn ctl_iff(c: &mut Cursor) -> Result<Ctl, ParseError> {
+    let mut lhs = ctl_implies(c)?;
+    while c.eat(&Token::Iff) {
+        let rhs = ctl_implies(c)?;
+        lhs = Ctl::iff(lhs, rhs);
+    }
+    Ok(lhs)
+}
+
+fn ctl_implies(c: &mut Cursor) -> Result<Ctl, ParseError> {
+    let lhs = ctl_or(c)?;
+    if c.eat(&Token::Implies) {
+        let rhs = ctl_implies(c)?; // right associative
+        Ok(Ctl::implies(lhs, rhs))
+    } else {
+        Ok(lhs)
+    }
+}
+
+fn ctl_or(c: &mut Cursor) -> Result<Ctl, ParseError> {
+    let mut lhs = ctl_and(c)?;
+    while c.eat(&Token::Or) {
+        let rhs = ctl_and(c)?;
+        lhs = Ctl::Or(Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn ctl_and(c: &mut Cursor) -> Result<Ctl, ParseError> {
+    let mut lhs = ctl_unary(c)?;
+    while c.eat(&Token::And) {
+        let rhs = ctl_unary(c)?;
+        lhs = Ctl::And(Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn ctl_unary(c: &mut Cursor) -> Result<Ctl, ParseError> {
+    match c.peek() {
+        Some(Token::Not) => {
+            c.bump();
+            Ok(Ctl::Not(Box::new(ctl_unary(c)?)))
+        }
+        Some(Token::Ex) => {
+            c.bump();
+            Ok(Ctl::ex(ctl_unary(c)?))
+        }
+        Some(Token::Ef) => {
+            c.bump();
+            Ok(Ctl::ef(ctl_unary(c)?))
+        }
+        Some(Token::Eg) => {
+            c.bump();
+            Ok(Ctl::eg(ctl_unary(c)?))
+        }
+        Some(Token::Ax) => {
+            c.bump();
+            Ok(Ctl::ax(ctl_unary(c)?))
+        }
+        Some(Token::Af) => {
+            c.bump();
+            Ok(Ctl::af(ctl_unary(c)?))
+        }
+        Some(Token::Ag) => {
+            c.bump();
+            Ok(Ctl::ag(ctl_unary(c)?))
+        }
+        Some(Token::E) => {
+            c.bump();
+            let (f, g) = ctl_until_body(c)?;
+            Ok(Ctl::eu(f, g))
+        }
+        Some(Token::A) => {
+            c.bump();
+            let (f, g) = ctl_until_body(c)?;
+            Ok(Ctl::au(f, g))
+        }
+        Some(Token::LParen) => {
+            c.bump();
+            let f = ctl_iff(c)?;
+            c.expect(Token::RParen, "')'")?;
+            Ok(f)
+        }
+        Some(Token::True) => {
+            c.bump();
+            Ok(Ctl::True)
+        }
+        Some(Token::False) => {
+            c.bump();
+            Ok(Ctl::False)
+        }
+        Some(Token::Ident(_)) => {
+            if let Some(Token::Ident(name)) = c.bump() {
+                Ok(Ctl::Atom(name))
+            } else {
+                unreachable!("peeked an identifier")
+            }
+        }
+        _ => c.fail("expected a formula"),
+    }
+}
+
+fn ctl_until_body(c: &mut Cursor) -> Result<(Ctl, Ctl), ParseError> {
+    c.expect(Token::LBracket, "'[' after path quantifier")?;
+    let f = ctl_iff(c)?;
+    c.expect(Token::U, "'U'")?;
+    let g = ctl_iff(c)?;
+    c.expect(Token::RBracket, "']'")?;
+    Ok((f, g))
+}
+
+// ---------------------------------------------------------------------
+// CTL*
+// ---------------------------------------------------------------------
+
+pub(crate) fn parse_ctlstar(input: &str) -> Result<StateFormula, ParseError> {
+    let mut c = Cursor::new(input)?;
+    let f = state_iff(&mut c)?;
+    c.finish()?;
+    Ok(f)
+}
+
+fn state_iff(c: &mut Cursor) -> Result<StateFormula, ParseError> {
+    let mut lhs = state_implies(c)?;
+    while c.eat(&Token::Iff) {
+        let rhs = state_implies(c)?;
+        lhs = state_iff_desugar(lhs, rhs);
+    }
+    Ok(lhs)
+}
+
+fn state_iff_desugar(a: StateFormula, b: StateFormula) -> StateFormula {
+    StateFormula::Or(
+        Box::new(StateFormula::And(Box::new(a.clone()), Box::new(b.clone()))),
+        Box::new(StateFormula::And(
+            Box::new(StateFormula::Not(Box::new(a))),
+            Box::new(StateFormula::Not(Box::new(b))),
+        )),
+    )
+}
+
+fn state_implies(c: &mut Cursor) -> Result<StateFormula, ParseError> {
+    let lhs = state_or(c)?;
+    if c.eat(&Token::Implies) {
+        let rhs = state_implies(c)?;
+        Ok(StateFormula::Or(
+            Box::new(StateFormula::Not(Box::new(lhs))),
+            Box::new(rhs),
+        ))
+    } else {
+        Ok(lhs)
+    }
+}
+
+fn state_or(c: &mut Cursor) -> Result<StateFormula, ParseError> {
+    let mut lhs = state_and(c)?;
+    while c.eat(&Token::Or) {
+        let rhs = state_and(c)?;
+        lhs = StateFormula::Or(Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn state_and(c: &mut Cursor) -> Result<StateFormula, ParseError> {
+    let mut lhs = state_unary(c)?;
+    while c.eat(&Token::And) {
+        let rhs = state_unary(c)?;
+        lhs = StateFormula::And(Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn state_unary(c: &mut Cursor) -> Result<StateFormula, ParseError> {
+    match c.peek() {
+        Some(Token::Not) => {
+            c.bump();
+            Ok(StateFormula::Not(Box::new(state_unary(c)?)))
+        }
+        Some(Token::E) => {
+            c.bump();
+            Ok(StateFormula::exists(quantified_path(c)?))
+        }
+        Some(Token::A) => {
+            c.bump();
+            Ok(StateFormula::forall(quantified_path(c)?))
+        }
+        Some(Token::LParen) => {
+            c.bump();
+            let f = state_iff(c)?;
+            c.expect(Token::RParen, "')'")?;
+            Ok(f)
+        }
+        Some(Token::True) => {
+            c.bump();
+            Ok(StateFormula::True)
+        }
+        Some(Token::False) => {
+            c.bump();
+            Ok(StateFormula::False)
+        }
+        Some(Token::Ident(_)) => {
+            if let Some(Token::Ident(name)) = c.bump() {
+                Ok(StateFormula::Atom(name))
+            } else {
+                unreachable!("peeked an identifier")
+            }
+        }
+        _ => c.fail("expected a state formula"),
+    }
+}
+
+/// The path formula right after `E`/`A`: either a parenthesized path
+/// formula or a prefix chain like `G F p`.
+fn quantified_path(c: &mut Cursor) -> Result<PathFormula, ParseError> {
+    if c.peek() == Some(&Token::LParen) {
+        c.bump();
+        let p = path_iff(c)?;
+        c.expect(Token::RParen, "')'")?;
+        Ok(p)
+    } else {
+        path_unary(c)
+    }
+}
+
+fn path_iff(c: &mut Cursor) -> Result<PathFormula, ParseError> {
+    let mut lhs = path_implies(c)?;
+    while c.eat(&Token::Iff) {
+        let rhs = path_implies(c)?;
+        lhs = PathFormula::Or(
+            Box::new(PathFormula::And(Box::new(lhs.clone()), Box::new(rhs.clone()))),
+            Box::new(PathFormula::And(
+                Box::new(PathFormula::Not(Box::new(lhs))),
+                Box::new(PathFormula::Not(Box::new(rhs))),
+            )),
+        );
+    }
+    Ok(lhs)
+}
+
+fn path_implies(c: &mut Cursor) -> Result<PathFormula, ParseError> {
+    let lhs = path_or(c)?;
+    if c.eat(&Token::Implies) {
+        let rhs = path_implies(c)?;
+        Ok(PathFormula::Or(
+            Box::new(PathFormula::Not(Box::new(lhs))),
+            Box::new(rhs),
+        ))
+    } else {
+        Ok(lhs)
+    }
+}
+
+fn path_or(c: &mut Cursor) -> Result<PathFormula, ParseError> {
+    let mut lhs = path_and(c)?;
+    while c.eat(&Token::Or) {
+        let rhs = path_and(c)?;
+        lhs = PathFormula::Or(Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn path_and(c: &mut Cursor) -> Result<PathFormula, ParseError> {
+    let mut lhs = path_until(c)?;
+    while c.eat(&Token::And) {
+        let rhs = path_until(c)?;
+        lhs = PathFormula::And(Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn path_until(c: &mut Cursor) -> Result<PathFormula, ParseError> {
+    let lhs = path_unary(c)?;
+    if c.eat(&Token::U) {
+        let rhs = path_until(c)?; // right associative
+        Ok(PathFormula::Until(Box::new(lhs), Box::new(rhs)))
+    } else {
+        Ok(lhs)
+    }
+}
+
+fn path_unary(c: &mut Cursor) -> Result<PathFormula, ParseError> {
+    match c.peek() {
+        Some(Token::Not) => {
+            c.bump();
+            Ok(PathFormula::Not(Box::new(path_unary(c)?)))
+        }
+        Some(Token::X) => {
+            c.bump();
+            Ok(PathFormula::Next(Box::new(path_unary(c)?)))
+        }
+        Some(Token::F) => {
+            c.bump();
+            Ok(PathFormula::Future(Box::new(path_unary(c)?)))
+        }
+        Some(Token::G) => {
+            c.bump();
+            Ok(PathFormula::Globally(Box::new(path_unary(c)?)))
+        }
+        Some(Token::E) => {
+            c.bump();
+            let inner = quantified_path(c)?;
+            Ok(PathFormula::State(Box::new(StateFormula::exists(inner))))
+        }
+        Some(Token::A) => {
+            c.bump();
+            let inner = quantified_path(c)?;
+            Ok(PathFormula::State(Box::new(StateFormula::forall(inner))))
+        }
+        Some(Token::LParen) => {
+            c.bump();
+            let p = path_iff(c)?;
+            c.expect(Token::RParen, "')'")?;
+            Ok(p)
+        }
+        Some(Token::True) => {
+            c.bump();
+            Ok(PathFormula::State(Box::new(StateFormula::True)))
+        }
+        Some(Token::False) => {
+            c.bump();
+            Ok(PathFormula::State(Box::new(StateFormula::False)))
+        }
+        Some(Token::Ident(_)) => {
+            if let Some(Token::Ident(name)) = c.bump() {
+                Ok(PathFormula::State(Box::new(StateFormula::Atom(name))))
+            } else {
+                unreachable!("peeked an identifier")
+            }
+        }
+        _ => c.fail("expected a path formula"),
+    }
+}

@@ -1,0 +1,274 @@
+//! Tests for the logic layer: parsing, printing, normalisation and the
+//! fairness-class classifier.
+
+use proptest::prelude::*;
+
+use crate::ctl::{self, Ctl};
+use crate::ctlstar::{self, PathFormula, StateFormula};
+
+// ---------------------------------------------------------------------
+// CTL parsing and printing
+// ---------------------------------------------------------------------
+
+#[test]
+fn parse_simple_atoms_and_constants() {
+    assert_eq!(ctl::parse("p").unwrap(), Ctl::atom("p"));
+    assert_eq!(ctl::parse("true").unwrap(), Ctl::True);
+    assert_eq!(ctl::parse("false").unwrap(), Ctl::False);
+    assert_eq!(ctl::parse("req_1.ack'").unwrap(), Ctl::atom("req_1.ack'"));
+}
+
+#[test]
+fn parse_precedence() {
+    // & binds tighter than |, -> is right associative and loosest but <->.
+    let f = ctl::parse("a | b & c").unwrap();
+    assert_eq!(f, Ctl::Or(Box::new(Ctl::atom("a")), Box::new(Ctl::And(Box::new(Ctl::atom("b")), Box::new(Ctl::atom("c"))))));
+    let g = ctl::parse("a -> b -> c").unwrap();
+    assert_eq!(
+        g,
+        Ctl::implies(Ctl::atom("a"), Ctl::implies(Ctl::atom("b"), Ctl::atom("c")))
+    );
+    let h = ctl::parse("!a & b").unwrap();
+    assert_eq!(
+        h,
+        Ctl::And(Box::new(Ctl::Not(Box::new(Ctl::atom("a")))), Box::new(Ctl::atom("b")))
+    );
+}
+
+#[test]
+fn parse_temporal_operators() {
+    assert_eq!(ctl::parse("EX p").unwrap(), Ctl::ex(Ctl::atom("p")));
+    assert_eq!(ctl::parse("EF p").unwrap(), Ctl::ef(Ctl::atom("p")));
+    assert_eq!(ctl::parse("EG p").unwrap(), Ctl::eg(Ctl::atom("p")));
+    assert_eq!(ctl::parse("AX p").unwrap(), Ctl::ax(Ctl::atom("p")));
+    assert_eq!(ctl::parse("AF p").unwrap(), Ctl::af(Ctl::atom("p")));
+    assert_eq!(ctl::parse("AG p").unwrap(), Ctl::ag(Ctl::atom("p")));
+    assert_eq!(
+        ctl::parse("E [p U q]").unwrap(),
+        Ctl::eu(Ctl::atom("p"), Ctl::atom("q"))
+    );
+    assert_eq!(
+        ctl::parse("A [p U q]").unwrap(),
+        Ctl::au(Ctl::atom("p"), Ctl::atom("q"))
+    );
+}
+
+#[test]
+fn parse_the_paper_liveness_spec() {
+    // Section 6: AG(tr1 -> AF ta1)
+    let f = ctl::parse("AG (tr1 -> AF ta1)").unwrap();
+    assert_eq!(
+        f,
+        Ctl::ag(Ctl::implies(Ctl::atom("tr1"), Ctl::af(Ctl::atom("ta1"))))
+    );
+    assert!(f.is_universal());
+    assert_eq!(f.atoms(), vec!["tr1", "ta1"]);
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    let err = ctl::parse("p & ").unwrap_err();
+    assert_eq!(err.position, 4);
+    let err = ctl::parse("p @ q").unwrap_err();
+    assert_eq!(err.position, 2);
+    assert!(ctl::parse("E [p q]").is_err());
+    assert!(ctl::parse("(p").is_err());
+    assert!(ctl::parse("p q").is_err());
+}
+
+#[test]
+fn display_round_trips_through_the_parser() {
+    for src in [
+        "AG (tr1 -> AF ta1)",
+        "E [p U q & r]",
+        "!(a | b) <-> c",
+        "EG (p & EX q)",
+        "A [true U !p]",
+        "AG AF (p | !q)",
+    ] {
+        let f = ctl::parse(src).unwrap();
+        let printed = f.to_string();
+        let reparsed = ctl::parse(&printed).unwrap();
+        assert_eq!(f, reparsed, "printing {src:?} as {printed:?} changed it");
+    }
+}
+
+#[test]
+fn existential_form_uses_only_the_basis() {
+    fn only_basis(f: &Ctl) -> bool {
+        match f {
+            Ctl::True | Ctl::False | Ctl::Atom(_) => true,
+            Ctl::Not(g) | Ctl::Ex(g) | Ctl::Eg(g) => only_basis(g),
+            Ctl::And(a, b) | Ctl::Or(a, b) | Ctl::Eu(a, b) => only_basis(a) && only_basis(b),
+            _ => false,
+        }
+    }
+    for src in [
+        "AG (tr1 -> AF ta1)",
+        "A [p U q]",
+        "AX (p <-> q)",
+        "EF (p -> q)",
+        "AG AF p",
+    ] {
+        let f = ctl::parse(src).unwrap().to_existential_form();
+        assert!(only_basis(&f), "{src} normalized to {f}");
+    }
+}
+
+#[test]
+fn smart_constructors_simplify() {
+    assert_eq!(Ctl::not(Ctl::not(Ctl::atom("p"))), Ctl::atom("p"));
+    assert_eq!(Ctl::not(Ctl::True), Ctl::False);
+    assert_eq!(Ctl::and(Ctl::True, Ctl::atom("p")), Ctl::atom("p"));
+    assert_eq!(Ctl::and(Ctl::False, Ctl::atom("p")), Ctl::False);
+    assert_eq!(Ctl::or(Ctl::False, Ctl::atom("p")), Ctl::atom("p"));
+    assert_eq!(Ctl::or(Ctl::True, Ctl::atom("p")), Ctl::True);
+}
+
+// ---------------------------------------------------------------------
+// CTL*
+// ---------------------------------------------------------------------
+
+#[test]
+fn parse_ctlstar_quantified_paths() {
+    let f = ctlstar::parse("E (G F p)").unwrap();
+    assert_eq!(
+        f,
+        StateFormula::exists(PathFormula::Globally(Box::new(PathFormula::Future(
+            Box::new(PathFormula::State(Box::new(StateFormula::atom("p"))))
+        ))))
+    );
+    // Prefix form without parens.
+    let g = ctlstar::parse("E G F p").unwrap();
+    assert_eq!(f, g);
+}
+
+#[test]
+fn parse_ctlstar_until() {
+    let f = ctlstar::parse("A (p U q U r)").unwrap();
+    // Right associative: p U (q U r).
+    let StateFormula::Forall(path) = f else {
+        panic!("expected A");
+    };
+    let PathFormula::Until(_, rest) = *path else {
+        panic!("expected U");
+    };
+    assert!(matches!(*rest, PathFormula::Until(_, _)));
+}
+
+#[test]
+fn classify_the_fairness_class() {
+    let f = ctlstar::parse("E ((G F p | F G q) & G F r & F G s)").unwrap();
+    let fair = f.classify_fairness().expect("in the class");
+    assert_eq!(fair.conjuncts.len(), 3);
+    assert_eq!(fair.conjuncts[0].gf, Some(Ctl::atom("p")));
+    assert_eq!(fair.conjuncts[0].fg, Some(Ctl::atom("q")));
+    assert_eq!(fair.conjuncts[1].gf, Some(Ctl::atom("r")));
+    assert_eq!(fair.conjuncts[1].fg, None);
+    assert_eq!(fair.conjuncts[2].gf, None);
+    assert_eq!(fair.conjuncts[2].fg, Some(Ctl::atom("s")));
+}
+
+#[test]
+fn classify_accepts_swapped_disjuncts_and_boolean_atoms() {
+    let f = ctlstar::parse("E (F G (q & !s) | G F (p | r))").unwrap();
+    let fair = f.classify_fairness().expect("in the class");
+    assert_eq!(fair.conjuncts.len(), 1);
+    assert!(fair.conjuncts[0].gf.is_some());
+    assert!(fair.conjuncts[0].fg.is_some());
+}
+
+#[test]
+fn classify_rejects_out_of_class_formulas() {
+    for src in [
+        "A (G F p)",           // universal quantifier
+        "E (p U q)",           // until is not in the class
+        "E (G F p | G F q)",   // GF ∨ GF is not GF ∨ FG
+        "E (G F X p)",         // non-propositional body
+        "E (G F E (G F p))",   // nested quantifier in the body
+        "p & q",                // no quantifier at all
+    ] {
+        let f = ctlstar::parse(src).unwrap();
+        assert!(f.classify_fairness().is_none(), "{src} wrongly classified");
+    }
+}
+
+#[test]
+fn ctlstar_display_is_reparsable() {
+    for src in [
+        "E ((G F p | F G q) & G F r)",
+        "A (p U q)",
+        "E (X X p)",
+        "!E (G F p) | A (F G q)",
+    ] {
+        let f = ctlstar::parse(src).unwrap();
+        let printed = f.to_string();
+        let reparsed = ctlstar::parse(&printed).unwrap();
+        assert_eq!(f, reparsed, "printing {src:?} as {printed:?} changed it");
+    }
+}
+
+#[test]
+fn propositional_extraction() {
+    let f = ctlstar::parse("p & !q | false").unwrap();
+    let p = f.to_propositional().expect("propositional");
+    assert_eq!(p.atoms(), vec!["p", "q"]);
+    let g = ctlstar::parse("E (G F p)").unwrap();
+    assert!(g.to_propositional().is_none());
+}
+
+// ---------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------
+
+fn arb_ctl() -> impl Strategy<Value = Ctl> {
+    let leaf = prop_oneof![
+        Just(Ctl::True),
+        Just(Ctl::False),
+        "[a-z][a-z0-9_]{0,4}".prop_map(Ctl::Atom),
+    ];
+    leaf.prop_recursive(5, 48, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Ctl::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(f, g)| Ctl::And(Box::new(f), Box::new(g))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(f, g)| Ctl::Or(Box::new(f), Box::new(g))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(f, g)| Ctl::Implies(Box::new(f), Box::new(g))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(f, g)| Ctl::Iff(Box::new(f), Box::new(g))),
+            inner.clone().prop_map(|f| Ctl::Ex(Box::new(f))),
+            inner.clone().prop_map(|f| Ctl::Ef(Box::new(f))),
+            inner.clone().prop_map(|f| Ctl::Eg(Box::new(f))),
+            inner.clone().prop_map(|f| Ctl::Ax(Box::new(f))),
+            inner.clone().prop_map(|f| Ctl::Af(Box::new(f))),
+            inner.clone().prop_map(|f| Ctl::Ag(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(f, g)| Ctl::Eu(Box::new(f), Box::new(g))),
+            (inner.clone(), inner)
+                .prop_map(|(f, g)| Ctl::Au(Box::new(f), Box::new(g))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pretty-printing any formula and reparsing yields the same AST.
+    #[test]
+    fn prop_ctl_print_parse_round_trip(f in arb_ctl()) {
+        let printed = f.to_string();
+        let reparsed = ctl::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        prop_assert_eq!(f, reparsed);
+    }
+
+    /// Existential normalisation is idempotent.
+    #[test]
+    fn prop_existential_form_idempotent(f in arb_ctl()) {
+        let once = f.to_existential_form();
+        let twice = once.to_existential_form();
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,207 @@
+//! Abstract syntax of the SMV subset.
+
+use smc_logic::Ctl;
+
+/// A parsed program: one or more modules, among them `main`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The modules, in source order.
+    pub modules: Vec<Module>,
+}
+
+impl Program {
+    /// The `main` module, if declared.
+    pub fn main(&self) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == "main")
+    }
+
+    /// Looks a module up by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// One `MODULE name(params) …` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name (`main` is the entry point).
+    pub name: String,
+    /// Formal parameters (bound to expressions at instantiation).
+    pub params: Vec<String>,
+    /// The sections, in source order.
+    pub sections: Vec<Section>,
+}
+
+/// One section of a module.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Section {
+    /// `VAR` declarations.
+    Var(Vec<Decl>),
+    /// `ASSIGN` blocks: `init(x) := e;` / `next(x) := e;`.
+    Assign(Vec<Assign>),
+    /// `DEFINE` macros: `name := e;`.
+    Define(Vec<(String, Expr)>),
+    /// A raw `INIT` constraint.
+    Init(Expr),
+    /// A raw `TRANS` constraint (may mention `next(…)`).
+    Trans(Expr),
+    /// A `FAIRNESS` constraint.
+    Fairness(Expr),
+    /// A CTL `SPEC`.
+    Spec(Spec),
+}
+
+/// A variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Variable name.
+    pub name: String,
+    /// Its type.
+    pub ty: VarType,
+}
+
+/// Variable types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VarType {
+    /// `boolean`.
+    Boolean,
+    /// An enumeration `{a, b, c}`.
+    Enum(Vec<String>),
+    /// An integer range `lo..hi` (inclusive).
+    Range(i64, i64),
+    /// A module instantiation `name(args)`; flattened away before
+    /// compilation.
+    Instance(String, Vec<Expr>),
+}
+
+/// One `ASSIGN` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// The assigned variable.
+    pub var: String,
+    /// `init(...)` or `next(...)`.
+    pub kind: AssignKind,
+    /// The right-hand side (may be a choice set or `case`).
+    pub rhs: Expr,
+}
+
+/// Which rail an assignment constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignKind {
+    /// `init(x) := …`.
+    Init,
+    /// `next(x) := …`.
+    Next,
+}
+
+/// One branch of a `case … esac`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseBranch {
+    /// The guard condition.
+    pub condition: Expr,
+    /// The branch value.
+    pub value: Expr,
+}
+
+/// SMV expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Identifier: a variable, enum symbol or `DEFINE` macro.
+    Ident(String),
+    /// `next(x)` — the next-state copy (TRANS only).
+    Next(String),
+    /// `!e`.
+    Not(Box<Expr>),
+    /// `e & e`.
+    And(Box<Expr>, Box<Expr>),
+    /// `e | e`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `e -> e`.
+    Implies(Box<Expr>, Box<Expr>),
+    /// `e <-> e`.
+    Iff(Box<Expr>, Box<Expr>),
+    /// `e = e`.
+    Eq(Box<Expr>, Box<Expr>),
+    /// `e != e`.
+    Neq(Box<Expr>, Box<Expr>),
+    /// `e < e`.
+    Lt(Box<Expr>, Box<Expr>),
+    /// `e <= e`.
+    Le(Box<Expr>, Box<Expr>),
+    /// `e > e`.
+    Gt(Box<Expr>, Box<Expr>),
+    /// `e >= e`.
+    Ge(Box<Expr>, Box<Expr>),
+    /// `e + e`.
+    Add(Box<Expr>, Box<Expr>),
+    /// `e - e`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// `e * e`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `e mod e`.
+    Mod(Box<Expr>, Box<Expr>),
+    /// `case cond : value ; … esac` (first matching branch).
+    Case(Vec<CaseBranch>),
+    /// Nondeterministic choice `{e, e, …}` (assignment RHS only).
+    Set(Vec<Expr>),
+}
+
+/// A CTL specification whose leaves are SMV expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Spec {
+    /// A propositional leaf.
+    Expr(Expr),
+    /// Negation.
+    Not(Box<Spec>),
+    /// Conjunction.
+    And(Box<Spec>, Box<Spec>),
+    /// Disjunction.
+    Or(Box<Spec>, Box<Spec>),
+    /// Implication.
+    Implies(Box<Spec>, Box<Spec>),
+    /// Equivalence.
+    Iff(Box<Spec>, Box<Spec>),
+    /// `EX`.
+    Ex(Box<Spec>),
+    /// `EF`.
+    Ef(Box<Spec>),
+    /// `EG`.
+    Eg(Box<Spec>),
+    /// `E [φ U ψ]`.
+    Eu(Box<Spec>, Box<Spec>),
+    /// `AX`.
+    Ax(Box<Spec>),
+    /// `AF`.
+    Af(Box<Spec>),
+    /// `AG`.
+    Ag(Box<Spec>),
+    /// `A [φ U ψ]`.
+    Au(Box<Spec>, Box<Spec>),
+}
+
+impl Spec {
+    /// Maps the spec to a [`Ctl`] formula by converting each leaf with
+    /// `leaf` (the compiler registers a model label per leaf).
+    pub fn to_ctl<E>(&self, leaf: &mut impl FnMut(&Expr) -> Result<Ctl, E>) -> Result<Ctl, E> {
+        Ok(match self {
+            Spec::Expr(e) => leaf(e)?,
+            Spec::Not(s) => Ctl::not(s.to_ctl(leaf)?),
+            Spec::And(a, b) => Ctl::and(a.to_ctl(leaf)?, b.to_ctl(leaf)?),
+            Spec::Or(a, b) => Ctl::or(a.to_ctl(leaf)?, b.to_ctl(leaf)?),
+            Spec::Implies(a, b) => Ctl::implies(a.to_ctl(leaf)?, b.to_ctl(leaf)?),
+            Spec::Iff(a, b) => Ctl::iff(a.to_ctl(leaf)?, b.to_ctl(leaf)?),
+            Spec::Ex(s) => Ctl::ex(s.to_ctl(leaf)?),
+            Spec::Ef(s) => Ctl::ef(s.to_ctl(leaf)?),
+            Spec::Eg(s) => Ctl::eg(s.to_ctl(leaf)?),
+            Spec::Eu(a, b) => Ctl::eu(a.to_ctl(leaf)?, b.to_ctl(leaf)?),
+            Spec::Ax(s) => Ctl::ax(s.to_ctl(leaf)?),
+            Spec::Af(s) => Ctl::af(s.to_ctl(leaf)?),
+            Spec::Ag(s) => Ctl::ag(s.to_ctl(leaf)?),
+            Spec::Au(a, b) => Ctl::au(a.to_ctl(leaf)?, b.to_ctl(leaf)?),
+        })
+    }
+}

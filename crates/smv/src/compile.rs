@@ -1,0 +1,652 @@
+//! Compiling SMV programs to symbolic Kripke structures.
+
+use std::collections::HashMap;
+
+use smc_bdd::{Bdd, BddManager, Var};
+use smc_kripke::{State, SymbolicModel};
+use smc_logic::Ctl;
+
+use crate::ast::{Assign, AssignKind, Expr, Module, Program, Section, Spec};
+use crate::error::SmvError;
+use crate::flatten::flatten;
+use crate::value::Value;
+
+/// A compiled specification: the original AST and the [`Ctl`] formula
+/// whose atoms are labels registered in the model.
+#[derive(Debug, Clone)]
+pub struct CompiledSpec {
+    /// The source text's AST.
+    pub source: Spec,
+    /// The checkable formula.
+    pub formula: Ctl,
+}
+
+/// Per-variable layout and domain information.
+#[derive(Debug, Clone)]
+struct VarInfo {
+    name: String,
+    domain: Vec<Value>,
+    /// Index of the first state bit in declaration order.
+    first_bit: usize,
+    nbits: usize,
+}
+
+/// The result of compiling a program: the symbolic model plus the
+/// compiled `SPEC`s and the value decoding tables.
+#[derive(Debug)]
+pub struct CompiledModel {
+    /// The symbolic Kripke structure (fairness constraints included).
+    pub model: SymbolicModel,
+    /// The compiled specifications, in source order.
+    pub specs: Vec<CompiledSpec>,
+    vars: Vec<VarInfo>,
+}
+
+impl CompiledModel {
+    /// Decodes one variable's value in a concrete state.
+    pub fn value_of(&self, state: &State, var: &str) -> Option<Value> {
+        let info = self.vars.iter().find(|v| v.name == var)?;
+        let mut index = 0usize;
+        for b in 0..info.nbits {
+            if state.bit(info.first_bit + b) {
+                index |= 1 << b;
+            }
+        }
+        info.domain.get(index).cloned()
+    }
+
+    /// Renders a state as `name=value` pairs with decoded enum/range
+    /// values (unlike the bit-level rendering of the raw model).
+    pub fn render_state(&self, state: &State) -> String {
+        self.vars
+            .iter()
+            .map(|v| {
+                let value = self
+                    .value_of(state, &v.name)
+                    .map_or_else(|| "?".to_string(), |v| v.to_string());
+                format!("{}={}", v.name, value)
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The declared variable names, in order.
+    pub fn var_names(&self) -> Vec<&str> {
+        self.vars.iter().map(|v| v.name.as_str()).collect()
+    }
+}
+
+/// Parses and compiles an SMV program.
+///
+/// # Errors
+///
+/// [`SmvError::Parse`] for syntax errors, [`SmvError::Semantic`] for
+/// unknown identifiers / type errors / non-exhaustive `case`s / values
+/// outside a variable's domain, [`SmvError::Kripke`] if the resulting
+/// model is degenerate (empty initial set, deadlock).
+pub fn compile(source: &str) -> Result<CompiledModel, SmvError> {
+    let program = crate::parser::parse(source)?;
+    compile_program(&program)
+}
+
+/// Compiles an already-parsed program: flattens the module hierarchy
+/// into `main`, then compiles; see [`compile`].
+pub fn compile_program(program: &Program) -> Result<CompiledModel, SmvError> {
+    let flat = flatten(program)?;
+    compile_module(&flat)
+}
+
+/// Compiles a single flattened (instance-free) module.
+pub fn compile_module(program: &Module) -> Result<CompiledModel, SmvError> {
+    // ---- Collect declarations. ----
+    let mut vars: Vec<VarInfo> = Vec::new();
+    let mut var_index: HashMap<String, usize> = HashMap::new();
+    let mut defines: HashMap<String, Expr> = HashMap::new();
+    let mut enum_symbols: HashMap<String, ()> = HashMap::new();
+    let mut bit_count = 0usize;
+    for section in &program.sections {
+        match section {
+            Section::Var(decls) => {
+                for d in decls {
+                    if var_index.contains_key(&d.name) {
+                        return Err(SmvError::semantic(format!(
+                            "variable {:?} declared twice",
+                            d.name
+                        )));
+                    }
+                    let domain: Vec<Value> = match &d.ty {
+                        crate::ast::VarType::Boolean => {
+                            vec![Value::Bool(false), Value::Bool(true)]
+                        }
+                        crate::ast::VarType::Enum(symbols) => {
+                            for s in symbols {
+                                enum_symbols.insert(s.clone(), ());
+                            }
+                            symbols.iter().map(|s| Value::Sym(s.clone())).collect()
+                        }
+                        crate::ast::VarType::Range(lo, hi) => {
+                            (*lo..=*hi).map(Value::Int).collect()
+                        }
+                        crate::ast::VarType::Instance(m, _) => {
+                            return Err(SmvError::semantic(format!(
+                                "unflattened instance of module {m:?} (use compile_program)"
+                            )));
+                        }
+                    };
+                    let nbits = bits_for(domain.len());
+                    var_index.insert(d.name.clone(), vars.len());
+                    vars.push(VarInfo {
+                        name: d.name.clone(),
+                        domain,
+                        first_bit: bit_count,
+                        nbits,
+                    });
+                    bit_count += nbits;
+                }
+            }
+            Section::Define(ds) => {
+                for (name, expr) in ds {
+                    if defines.insert(name.clone(), expr.clone()).is_some() {
+                        return Err(SmvError::semantic(format!(
+                            "macro {name:?} defined twice"
+                        )));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if vars.is_empty() {
+        return Err(SmvError::semantic("program declares no variables"));
+    }
+    for name in var_index.keys() {
+        if defines.contains_key(name) {
+            return Err(SmvError::semantic(format!(
+                "{name:?} is both a variable and a macro"
+            )));
+        }
+    }
+
+    // ---- Allocate interleaved BDD variables. ----
+    let mut manager = BddManager::new();
+    let mut names: Vec<String> = Vec::with_capacity(bit_count);
+    let mut cur: Vec<Var> = Vec::with_capacity(bit_count);
+    let mut nxt: Vec<Var> = Vec::with_capacity(bit_count);
+    for info in &vars {
+        for b in 0..info.nbits {
+            let bit_name = if info.nbits == 1 {
+                info.name.clone()
+            } else {
+                format!("{}.{}", info.name, b)
+            };
+            cur.push(manager.new_var(&bit_name).map_err(|e| {
+                SmvError::semantic(format!("bdd variable allocation failed: {e}"))
+            })?);
+            nxt.push(manager.new_var(&format!("{bit_name}'")).map_err(|e| {
+                SmvError::semantic(format!("bdd variable allocation failed: {e}"))
+            })?);
+            names.push(bit_name);
+        }
+    }
+
+    let mut ctx = Ctx {
+        manager,
+        vars: &vars,
+        var_index: &var_index,
+        defines: &defines,
+        cur,
+        nxt,
+        valid: Bdd::TRUE,
+    };
+
+    // ---- Domain-validity constraints. ----
+    let mut valid_cur = Bdd::TRUE;
+    let mut valid_nxt = Bdd::TRUE;
+    for i in 0..vars.len() {
+        let vc = ctx.valid_encoding(i, Rail::Cur);
+        let vn = ctx.valid_encoding(i, Rail::Nxt);
+        valid_cur = ctx.manager.and(valid_cur, vc);
+        valid_nxt = ctx.manager.and(valid_nxt, vn);
+    }
+    ctx.valid = ctx.manager.and(valid_cur, valid_nxt);
+
+    // ---- Sections. ----
+    let mut init = valid_cur;
+    let mut trans = valid_nxt;
+    let mut fairness: Vec<Bdd> = Vec::new();
+    let mut spec_asts: Vec<Spec> = Vec::new();
+    let mut assigned_init: HashMap<String, ()> = HashMap::new();
+    let mut assigned_next: HashMap<String, ()> = HashMap::new();
+    for section in &program.sections {
+        match section {
+            Section::Var(_) | Section::Define(_) => {}
+            Section::Assign(assigns) => {
+                for a in assigns {
+                    let part = compile_assign(&mut ctx, a, &mut assigned_init, &mut assigned_next)?;
+                    match a.kind {
+                        AssignKind::Init => init = ctx.manager.and(init, part),
+                        AssignKind::Next => trans = ctx.manager.and(trans, part),
+                    }
+                }
+            }
+            Section::Init(e) => {
+                let b = ctx.eval_bool(e, false)?;
+                init = ctx.manager.and(init, b);
+            }
+            Section::Trans(e) => {
+                let b = ctx.eval_bool(e, true)?;
+                trans = ctx.manager.and(trans, b);
+            }
+            Section::Fairness(e) => {
+                fairness.push(ctx.eval_bool(e, false)?);
+            }
+            Section::Spec(s) => spec_asts.push(s.clone()),
+        }
+    }
+
+    // ---- Compile SPEC leaves to labels. ----
+    let mut labels: Vec<(String, Bdd)> = Vec::new();
+    let mut compiled_specs: Vec<CompiledSpec> = Vec::new();
+    for (i, spec) in spec_asts.iter().enumerate() {
+        let mut leaf_count = 0usize;
+        let formula = spec.to_ctl(&mut |expr: &Expr| -> Result<Ctl, SmvError> {
+            // Trivial leaves keep their own identity.
+            match expr {
+                Expr::Bool(true) => return Ok(Ctl::True),
+                Expr::Bool(false) => return Ok(Ctl::False),
+                _ => {}
+            }
+            let set = ctx.eval_bool(expr, false)?;
+            let name = format!("__spec{i}_{leaf_count}");
+            leaf_count += 1;
+            labels.push((name.clone(), set));
+            Ok(Ctl::Atom(name))
+        })?;
+        compiled_specs.push(CompiledSpec { source: spec.clone(), formula });
+    }
+
+    // Register per-variable boolean atoms so boolean vars are usable in
+    // externally parsed CTL directly (single-bit vars already carry
+    // their own name as a state bit).
+    let Ctx { manager, cur, nxt, .. } = ctx;
+    let model = SymbolicModel::assemble(manager, names, cur, nxt, init, trans, fairness, labels)?;
+    let mut compiled = CompiledModel { model, specs: compiled_specs, vars };
+    compiled.model.check_total()?;
+    Ok(compiled)
+}
+
+fn bits_for(domain: usize) -> usize {
+    debug_assert!(domain >= 1);
+    if domain <= 2 {
+        1
+    } else {
+        usize::BITS as usize - (domain - 1).leading_zeros() as usize
+    }
+}
+
+/// Which variable rail an occurrence refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rail {
+    Cur,
+    Nxt,
+}
+
+/// A guarded value partition: pairs `(value, guard)` with disjoint
+/// guards covering the (valid) state space.
+type ValueMap = Vec<(Value, Bdd)>;
+
+struct Ctx<'p> {
+    manager: BddManager,
+    vars: &'p [VarInfo],
+    var_index: &'p HashMap<String, usize>,
+    defines: &'p HashMap<String, Expr>,
+    cur: Vec<Var>,
+    nxt: Vec<Var>,
+    /// Conjunction of all domain-validity constraints; `case`
+    /// exhaustiveness is only required over valid encodings.
+    valid: Bdd,
+}
+
+impl Ctx<'_> {
+    /// The BDD asserting that variable `i` (on the given rail) encodes
+    /// the domain value with index `value_index`.
+    fn encode(&mut self, var: usize, value_index: usize, rail: Rail) -> Bdd {
+        let info = &self.vars[var];
+        let mut acc = Bdd::TRUE;
+        for b in (0..info.nbits).rev() {
+            let bit = match rail {
+                Rail::Cur => self.cur[info.first_bit + b],
+                Rail::Nxt => self.nxt[info.first_bit + b],
+            };
+            let lit = self.manager.literal(bit, value_index >> b & 1 == 1);
+            acc = self.manager.and(acc, lit);
+        }
+        acc
+    }
+
+    /// The BDD asserting that variable `i`'s encoding is inside its
+    /// domain.
+    fn valid_encoding(&mut self, var: usize, rail: Rail) -> Bdd {
+        let n = self.vars[var].domain.len();
+        if n == 1 << self.vars[var].nbits {
+            return Bdd::TRUE;
+        }
+        let mut acc = Bdd::FALSE;
+        for idx in 0..n {
+            let enc = self.encode(var, idx, rail);
+            acc = self.manager.or(acc, enc);
+        }
+        acc
+    }
+
+    /// Evaluates an expression to a guarded value partition.
+    ///
+    /// `allow_next` permits `next(x)` occurrences (TRANS only);
+    /// `sets_ok` permits nondeterministic choice sets (assignment RHS
+    /// positions only) — in a set position the returned "partition" is a
+    /// may-relation rather than a function.
+    fn eval(
+        &mut self,
+        expr: &Expr,
+        allow_next: bool,
+        sets_ok: bool,
+        depth: usize,
+    ) -> Result<ValueMap, SmvError> {
+        if depth > 64 {
+            return Err(SmvError::semantic("macro recursion too deep"));
+        }
+        match expr {
+            Expr::Bool(b) => Ok(vec![(Value::Bool(*b), Bdd::TRUE)]),
+            Expr::Int(i) => Ok(vec![(Value::Int(*i), Bdd::TRUE)]),
+            Expr::Ident(name) => {
+                if let Some(&i) = self.var_index.get(name) {
+                    return Ok(self.var_map(i, Rail::Cur));
+                }
+                if let Some(def) = self.defines.get(name) {
+                    let def = def.clone();
+                    return self.eval(&def, allow_next, sets_ok, depth + 1);
+                }
+                // Enumeration symbol?
+                if self.vars.iter().any(|v| v.domain.contains(&Value::Sym(name.clone()))) {
+                    return Ok(vec![(Value::Sym(name.clone()), Bdd::TRUE)]);
+                }
+                Err(SmvError::semantic(format!("unknown identifier {name:?}")))
+            }
+            Expr::Next(name) => {
+                if !allow_next {
+                    return Err(SmvError::semantic(
+                        "next(...) is only allowed inside TRANS",
+                    ));
+                }
+                let &i = self
+                    .var_index
+                    .get(name)
+                    .ok_or_else(|| SmvError::semantic(format!("unknown variable {name:?}")))?;
+                Ok(self.var_map(i, Rail::Nxt))
+            }
+            Expr::Not(e) => {
+                let b = self.eval_bool_inner(e, allow_next, depth)?;
+                let nb = self.manager.not(b);
+                Ok(bool_map(nb, b))
+            }
+            Expr::And(a, b) => self.bool_binop(a, b, allow_next, depth, BddManager::and),
+            Expr::Or(a, b) => self.bool_binop(a, b, allow_next, depth, BddManager::or),
+            Expr::Implies(a, b) => self.bool_binop(a, b, allow_next, depth, BddManager::implies),
+            Expr::Iff(a, b) => self.bool_binop(a, b, allow_next, depth, BddManager::iff),
+            Expr::Eq(a, b) => self.compare(a, b, allow_next, depth, "=", |x, y| Ok(x == y)),
+            Expr::Neq(a, b) => self.compare(a, b, allow_next, depth, "!=", |x, y| Ok(x != y)),
+            Expr::Lt(a, b) => self.compare(a, b, allow_next, depth, "<", int_cmp(|x, y| x < y)),
+            Expr::Le(a, b) => self.compare(a, b, allow_next, depth, "<=", int_cmp(|x, y| x <= y)),
+            Expr::Gt(a, b) => self.compare(a, b, allow_next, depth, ">", int_cmp(|x, y| x > y)),
+            Expr::Ge(a, b) => self.compare(a, b, allow_next, depth, ">=", int_cmp(|x, y| x >= y)),
+            Expr::Add(a, b) => self.arith(a, b, allow_next, depth, "+", |x, y| Ok(x + y)),
+            Expr::Sub(a, b) => self.arith(a, b, allow_next, depth, "-", |x, y| Ok(x - y)),
+            Expr::Mul(a, b) => self.arith(a, b, allow_next, depth, "*", |x, y| Ok(x * y)),
+            Expr::Mod(a, b) => self.arith(a, b, allow_next, depth, "mod", |x, y| {
+                if y == 0 {
+                    Err(SmvError::semantic("modulo by zero"))
+                } else {
+                    Ok(x.rem_euclid(y))
+                }
+            }),
+            Expr::Case(branches) => {
+                let mut remaining = Bdd::TRUE;
+                let mut out: ValueMap = Vec::new();
+                for branch in branches {
+                    let cond = self.eval_bool_inner(&branch.condition, allow_next, depth)?;
+                    let guard = self.manager.and(remaining, cond);
+                    if !guard.is_false() {
+                        let value_map =
+                            self.eval(&branch.value, allow_next, sets_ok, depth + 1)?;
+                        for (v, g) in value_map {
+                            let gg = self.manager.and(g, guard);
+                            if !gg.is_false() {
+                                merge(&mut self.manager, &mut out, v, gg);
+                            }
+                        }
+                    }
+                    let ncond = self.manager.not(cond);
+                    remaining = self.manager.and(remaining, ncond);
+                    if remaining.is_false() {
+                        break;
+                    }
+                }
+                let uncovered = self.manager.and(remaining, self.valid);
+                if !uncovered.is_false() {
+                    return Err(SmvError::semantic(
+                        "non-exhaustive case (add a TRUE branch)",
+                    ));
+                }
+                Ok(out)
+            }
+            Expr::Set(elements) => {
+                if !sets_ok {
+                    return Err(SmvError::semantic(
+                        "choice sets {…} are only allowed on assignment right-hand sides",
+                    ));
+                }
+                let mut out: ValueMap = Vec::new();
+                for e in elements {
+                    for (v, g) in self.eval(e, allow_next, false, depth + 1)? {
+                        merge(&mut self.manager, &mut out, v, g);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn var_map(&mut self, var: usize, rail: Rail) -> ValueMap {
+        (0..self.vars[var].domain.len())
+            .map(|idx| {
+                let value = self.vars[var].domain[idx].clone();
+                let guard = self.encode(var, idx, rail);
+                (value, guard)
+            })
+            .collect()
+    }
+
+    /// Evaluates a boolean expression to the BDD of its `TRUE` guard.
+    fn eval_bool(&mut self, expr: &Expr, allow_next: bool) -> Result<Bdd, SmvError> {
+        self.eval_bool_inner(expr, allow_next, 0)
+    }
+
+    fn eval_bool_inner(
+        &mut self,
+        expr: &Expr,
+        allow_next: bool,
+        depth: usize,
+    ) -> Result<Bdd, SmvError> {
+        let map = self.eval(expr, allow_next, false, depth + 1)?;
+        let mut acc = Bdd::FALSE;
+        for (v, g) in map {
+            match v {
+                Value::Bool(true) => acc = self.manager.or(acc, g),
+                Value::Bool(false) => {}
+                other => {
+                    return Err(SmvError::semantic(format!(
+                        "expected a boolean, found {} value {other}",
+                        other.type_name()
+                    )));
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    fn bool_binop(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        allow_next: bool,
+        depth: usize,
+        op: fn(&mut BddManager, Bdd, Bdd) -> Bdd,
+    ) -> Result<ValueMap, SmvError> {
+        let x = self.eval_bool_inner(a, allow_next, depth)?;
+        let y = self.eval_bool_inner(b, allow_next, depth)?;
+        let t = op(&mut self.manager, x, y);
+        let f = self.manager.not(t);
+        Ok(bool_map(t, f))
+    }
+
+    fn compare(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        allow_next: bool,
+        depth: usize,
+        opname: &str,
+        cmp: impl Fn(&Value, &Value) -> Result<bool, SmvError>,
+    ) -> Result<ValueMap, SmvError> {
+        let ma = self.eval(a, allow_next, false, depth + 1)?;
+        let mb = self.eval(b, allow_next, false, depth + 1)?;
+        let mut t = Bdd::FALSE;
+        for (va, ga) in &ma {
+            for (vb, gb) in &mb {
+                if va.type_name() != vb.type_name() {
+                    return Err(SmvError::semantic(format!(
+                        "type mismatch in {}: {} {} {}",
+                        opname,
+                        va.type_name(),
+                        opname,
+                        vb.type_name()
+                    )));
+                }
+                if cmp(va, vb)? {
+                    let g = self.manager.and(*ga, *gb);
+                    t = self.manager.or(t, g);
+                }
+            }
+        }
+        let f = self.manager.not(t);
+        Ok(bool_map(t, f))
+    }
+
+    fn arith(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        allow_next: bool,
+        depth: usize,
+        opname: &str,
+        op: impl Fn(i64, i64) -> Result<i64, SmvError>,
+    ) -> Result<ValueMap, SmvError> {
+        let ma = self.eval(a, allow_next, false, depth + 1)?;
+        let mb = self.eval(b, allow_next, false, depth + 1)?;
+        let mut out: ValueMap = Vec::new();
+        for (va, ga) in &ma {
+            for (vb, gb) in &mb {
+                let (Some(x), Some(y)) = (va.as_int(), vb.as_int()) else {
+                    return Err(SmvError::semantic(format!(
+                        "arithmetic {} needs integers, found {} and {}",
+                        opname,
+                        va.type_name(),
+                        vb.type_name()
+                    )));
+                };
+                let g = self.manager.and(*ga, *gb);
+                if !g.is_false() {
+                    let v = Value::Int(op(x, y)?);
+                    merge(&mut self.manager, &mut out, v, g);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn bool_map(t: Bdd, f: Bdd) -> ValueMap {
+    vec![(Value::Bool(true), t), (Value::Bool(false), f)]
+}
+
+fn merge(manager: &mut BddManager, map: &mut ValueMap, value: Value, guard: Bdd) {
+    if let Some((_, g)) = map.iter_mut().find(|(v, _)| *v == value) {
+        *g = manager.or(*g, guard);
+    } else {
+        map.push((value, guard));
+    }
+}
+
+/// Compiles one `ASSIGN` into an `init` or `trans` conjunct.
+fn compile_assign(
+    ctx: &mut Ctx<'_>,
+    assign: &Assign,
+    assigned_init: &mut HashMap<String, ()>,
+    assigned_next: &mut HashMap<String, ()>,
+) -> Result<Bdd, SmvError> {
+    let &var = ctx
+        .var_index
+        .get(&assign.var)
+        .ok_or_else(|| SmvError::semantic(format!("unknown variable {:?}", assign.var)))?;
+    let book = match assign.kind {
+        AssignKind::Init => &mut *assigned_init,
+        AssignKind::Next => &mut *assigned_next,
+    };
+    if book.insert(assign.var.clone(), ()).is_some() {
+        return Err(SmvError::semantic(format!(
+            "variable {:?} assigned twice",
+            assign.var
+        )));
+    }
+    let rail = match assign.kind {
+        AssignKind::Init => Rail::Cur,
+        AssignKind::Next => Rail::Nxt,
+    };
+    let map = ctx.eval(&assign.rhs, false, true, 0)?;
+    let mut part = Bdd::FALSE;
+    for (value, guard) in map {
+        let idx = ctx.vars[var]
+            .domain
+            .iter()
+            .position(|v| *v == value)
+            .ok_or_else(|| {
+                SmvError::semantic(format!(
+                    "value {value} is outside the domain of {:?}",
+                    assign.var
+                ))
+            })?;
+        let enc = ctx.encode(var, idx, rail);
+        let conj = ctx.manager.and(guard, enc);
+        part = ctx.manager.or(part, conj);
+    }
+    if part.is_false() {
+        return Err(SmvError::semantic(format!(
+            "assignment to {:?} is unsatisfiable",
+            assign.var
+        )));
+    }
+    Ok(part)
+}
+
+fn int_cmp(
+    f: impl Fn(i64, i64) -> bool,
+) -> impl Fn(&Value, &Value) -> Result<bool, SmvError> {
+    move |a, b| match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) => Ok(f(x, y)),
+        _ => Err(SmvError::semantic(format!(
+            "ordering comparison needs integers, found {} and {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the SMV frontend.
+
+use std::error::Error;
+use std::fmt;
+
+use smc_kripke::KripkeError;
+
+/// Errors reported while parsing or compiling an SMV program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmvError {
+    /// Lexical or syntactic error at a byte offset.
+    Parse {
+        /// Byte offset in the source.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Static-semantics error (unknown identifier, type mismatch, value
+    /// outside a variable's domain, ...).
+    Semantic(String),
+    /// Error from the model layer (deadlock, empty initial set, ...).
+    Kripke(KripkeError),
+}
+
+impl SmvError {
+    pub(crate) fn parse(position: usize, message: impl Into<String>) -> SmvError {
+        SmvError::Parse { position, message: message.into() }
+    }
+
+    pub(crate) fn semantic(message: impl Into<String>) -> SmvError {
+        SmvError::Semantic(message.into())
+    }
+}
+
+impl fmt::Display for SmvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmvError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            SmvError::Semantic(message) => write!(f, "semantic error: {message}"),
+            SmvError::Kripke(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for SmvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SmvError::Kripke(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KripkeError> for SmvError {
+    fn from(e: KripkeError) -> SmvError {
+        SmvError::Kripke(e)
+    }
+}

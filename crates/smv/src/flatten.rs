@@ -1,0 +1,235 @@
+//! Module flattening: expanding `VAR inst : module(args);` instances
+//! into the parent, with `inst.`-prefixed names and parameters bound to
+//! (parent-scope) expressions.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Assign, CaseBranch, Decl, Expr, Module, Program, Section, Spec, VarType};
+use crate::error::SmvError;
+
+/// Flattens a multi-module program into a single parameterless module
+/// equivalent to `main`.
+///
+/// # Errors
+///
+/// [`SmvError::Semantic`] when `main` is missing or parameterized, an
+/// instantiated module is unknown, argument counts mismatch, the
+/// instantiation graph is cyclic, or `next(…)` is applied to a
+/// non-variable parameter.
+pub fn flatten(program: &Program) -> Result<Module, SmvError> {
+    let main = program
+        .main()
+        .ok_or_else(|| SmvError::semantic("no MODULE main"))?;
+    if !main.params.is_empty() {
+        return Err(SmvError::semantic("MODULE main cannot take parameters"));
+    }
+    let mut sections = Vec::new();
+    let mut visiting = vec!["main".to_string()];
+    expand(program, main, "", &HashMap::new(), &mut sections, &mut visiting)?;
+    Ok(Module { name: "main".to_string(), params: Vec::new(), sections })
+}
+
+fn expand(
+    program: &Program,
+    module: &Module,
+    prefix: &str,
+    bindings: &HashMap<String, Expr>,
+    out: &mut Vec<Section>,
+    visiting: &mut Vec<String>,
+) -> Result<(), SmvError> {
+    // Names declared in this module (variables, instances, macros):
+    // these get prefixed; everything else is a parameter or an
+    // enumeration literal.
+    let mut locals: HashSet<String> = HashSet::new();
+    for section in &module.sections {
+        match section {
+            Section::Var(decls) => {
+                for d in decls {
+                    locals.insert(d.name.clone());
+                }
+            }
+            Section::Define(defs) => {
+                for (name, _) in defs {
+                    locals.insert(name.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    let ctx = Renamer { prefix, locals: &locals, bindings };
+
+    for section in &module.sections {
+        match section {
+            Section::Var(decls) => {
+                let mut plain = Vec::new();
+                for d in decls {
+                    match &d.ty {
+                        VarType::Instance(mname, args) => {
+                            if !plain.is_empty() {
+                                out.push(Section::Var(std::mem::take(&mut plain)));
+                            }
+                            let sub = program.module(mname).ok_or_else(|| {
+                                SmvError::semantic(format!("unknown module {mname:?}"))
+                            })?;
+                            if visiting.contains(mname) {
+                                return Err(SmvError::semantic(format!(
+                                    "recursive instantiation of module {mname:?}"
+                                )));
+                            }
+                            if args.len() != sub.params.len() {
+                                return Err(SmvError::semantic(format!(
+                                    "module {mname:?} takes {} parameter(s), got {}",
+                                    sub.params.len(),
+                                    args.len()
+                                )));
+                            }
+                            // Arguments are expressions in the *current*
+                            // scope: rename them here, then bind.
+                            let mut sub_bindings = HashMap::new();
+                            for (p, a) in sub.params.iter().zip(args) {
+                                sub_bindings.insert(p.clone(), ctx.expr(a)?);
+                            }
+                            let sub_prefix = format!("{prefix}{}.", d.name);
+                            visiting.push(mname.clone());
+                            expand(program, sub, &sub_prefix, &sub_bindings, out, visiting)?;
+                            visiting.pop();
+                        }
+                        other => {
+                            plain.push(Decl {
+                                name: format!("{prefix}{}", d.name),
+                                ty: other.clone(),
+                            });
+                        }
+                    }
+                }
+                if !plain.is_empty() {
+                    out.push(Section::Var(plain));
+                }
+            }
+            Section::Assign(assigns) => {
+                let mut renamed = Vec::with_capacity(assigns.len());
+                for a in assigns {
+                    renamed.push(Assign {
+                        var: ctx.name(&a.var),
+                        kind: a.kind,
+                        rhs: ctx.expr(&a.rhs)?,
+                    });
+                }
+                out.push(Section::Assign(renamed));
+            }
+            Section::Define(defs) => {
+                let mut renamed = Vec::with_capacity(defs.len());
+                for (name, e) in defs {
+                    renamed.push((format!("{prefix}{name}"), ctx.expr(e)?));
+                }
+                out.push(Section::Define(renamed));
+            }
+            Section::Init(e) => out.push(Section::Init(ctx.expr(e)?)),
+            Section::Trans(e) => out.push(Section::Trans(ctx.expr(e)?)),
+            Section::Fairness(e) => out.push(Section::Fairness(ctx.expr(e)?)),
+            Section::Spec(s) => out.push(Section::Spec(ctx.spec(s)?)),
+        }
+    }
+    Ok(())
+}
+
+struct Renamer<'a> {
+    prefix: &'a str,
+    locals: &'a HashSet<String>,
+    bindings: &'a HashMap<String, Expr>,
+}
+
+impl Renamer<'_> {
+    /// Renames a bare name (assignment targets, dotted heads).
+    fn name(&self, name: &str) -> String {
+        let head = name.split('.').next().unwrap_or(name);
+        if self.locals.contains(head) {
+            format!("{}{}", self.prefix, name)
+        } else {
+            name.to_string()
+        }
+    }
+
+    fn expr(&self, e: &Expr) -> Result<Expr, SmvError> {
+        Ok(match e {
+            Expr::Bool(_) | Expr::Int(_) => e.clone(),
+            Expr::Ident(name) => {
+                if let Some(bound) = self.bindings.get(name) {
+                    bound.clone()
+                } else {
+                    Expr::Ident(self.name(name))
+                }
+            }
+            Expr::Next(name) => {
+                if let Some(bound) = self.bindings.get(name) {
+                    match bound {
+                        Expr::Ident(n) => Expr::Next(n.clone()),
+                        other => {
+                            return Err(SmvError::semantic(format!(
+                                "next({name}) where {name} is bound to the \
+                                 non-variable expression {other:?}"
+                            )));
+                        }
+                    }
+                } else {
+                    Expr::Next(self.name(name))
+                }
+            }
+            Expr::Not(a) => Expr::Not(Box::new(self.expr(a)?)),
+            Expr::And(a, b) => Expr::And(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Or(a, b) => Expr::Or(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Implies(a, b) => {
+                Expr::Implies(Box::new(self.expr(a)?), Box::new(self.expr(b)?))
+            }
+            Expr::Iff(a, b) => Expr::Iff(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Eq(a, b) => Expr::Eq(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Neq(a, b) => Expr::Neq(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Lt(a, b) => Expr::Lt(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Le(a, b) => Expr::Le(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Gt(a, b) => Expr::Gt(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Ge(a, b) => Expr::Ge(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Add(a, b) => Expr::Add(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Sub(a, b) => Expr::Sub(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Mul(a, b) => Expr::Mul(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Mod(a, b) => Expr::Mod(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
+            Expr::Case(branches) => Expr::Case(
+                branches
+                    .iter()
+                    .map(|b| {
+                        Ok(CaseBranch {
+                            condition: self.expr(&b.condition)?,
+                            value: self.expr(&b.value)?,
+                        })
+                    })
+                    .collect::<Result<_, SmvError>>()?,
+            ),
+            Expr::Set(elements) => Expr::Set(
+                elements
+                    .iter()
+                    .map(|e| self.expr(e))
+                    .collect::<Result<_, SmvError>>()?,
+            ),
+        })
+    }
+
+    fn spec(&self, s: &Spec) -> Result<Spec, SmvError> {
+        Ok(match s {
+            Spec::Expr(e) => Spec::Expr(self.expr(e)?),
+            Spec::Not(a) => Spec::Not(Box::new(self.spec(a)?)),
+            Spec::And(a, b) => Spec::And(Box::new(self.spec(a)?), Box::new(self.spec(b)?)),
+            Spec::Or(a, b) => Spec::Or(Box::new(self.spec(a)?), Box::new(self.spec(b)?)),
+            Spec::Implies(a, b) => {
+                Spec::Implies(Box::new(self.spec(a)?), Box::new(self.spec(b)?))
+            }
+            Spec::Iff(a, b) => Spec::Iff(Box::new(self.spec(a)?), Box::new(self.spec(b)?)),
+            Spec::Ex(a) => Spec::Ex(Box::new(self.spec(a)?)),
+            Spec::Ef(a) => Spec::Ef(Box::new(self.spec(a)?)),
+            Spec::Eg(a) => Spec::Eg(Box::new(self.spec(a)?)),
+            Spec::Eu(a, b) => Spec::Eu(Box::new(self.spec(a)?), Box::new(self.spec(b)?)),
+            Spec::Ax(a) => Spec::Ax(Box::new(self.spec(a)?)),
+            Spec::Af(a) => Spec::Af(Box::new(self.spec(a)?)),
+            Spec::Ag(a) => Spec::Ag(Box::new(self.spec(a)?)),
+            Spec::Au(a, b) => Spec::Au(Box::new(self.spec(a)?), Box::new(self.spec(b)?)),
+        })
+    }
+}

@@ -1,0 +1,226 @@
+//! Tokenizer for the SMV subset.
+
+use crate::error::SmvError;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(i64),
+    // Keywords.
+    Module,
+    Var,
+    Assign,
+    Define,
+    Init,
+    Trans,
+    Fairness,
+    Spec,
+    Boolean,
+    Case,
+    Esac,
+    NextKw,
+    InitKw,
+    True,
+    False,
+    Mod,
+    // Punctuation / operators.
+    Colon,
+    Semi,
+    Comma,
+    Assigned, // :=
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    DotDot,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SpannedTok {
+    pub tok: Tok,
+    pub pos: usize,
+}
+
+pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SmvError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let pos = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                out.push(SpannedTok { tok: Tok::Implies, pos });
+                i += 2;
+            }
+            '-' => {
+                out.push(SpannedTok { tok: Tok::Minus, pos });
+                i += 1;
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(SpannedTok { tok: Tok::Assigned, pos });
+                i += 2;
+            }
+            ':' => {
+                out.push(SpannedTok { tok: Tok::Colon, pos });
+                i += 1;
+            }
+            ';' => {
+                out.push(SpannedTok { tok: Tok::Semi, pos });
+                i += 1;
+            }
+            ',' => {
+                out.push(SpannedTok { tok: Tok::Comma, pos });
+                i += 1;
+            }
+            '(' => {
+                out.push(SpannedTok { tok: Tok::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                out.push(SpannedTok { tok: Tok::RParen, pos });
+                i += 1;
+            }
+            '{' => {
+                out.push(SpannedTok { tok: Tok::LBrace, pos });
+                i += 1;
+            }
+            '}' => {
+                out.push(SpannedTok { tok: Tok::RBrace, pos });
+                i += 1;
+            }
+            '[' => {
+                out.push(SpannedTok { tok: Tok::LBracket, pos });
+                i += 1;
+            }
+            ']' => {
+                out.push(SpannedTok { tok: Tok::RBracket, pos });
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(SpannedTok { tok: Tok::Neq, pos });
+                i += 2;
+            }
+            '!' => {
+                out.push(SpannedTok { tok: Tok::Not, pos });
+                i += 1;
+            }
+            '&' => {
+                out.push(SpannedTok { tok: Tok::And, pos });
+                i += 1;
+            }
+            '|' => {
+                out.push(SpannedTok { tok: Tok::Or, pos });
+                i += 1;
+            }
+            '=' => {
+                out.push(SpannedTok { tok: Tok::Eq, pos });
+                i += 1;
+            }
+            '<' if i + 2 < bytes.len() && bytes[i + 1] == b'-' && bytes[i + 2] == b'>' => {
+                out.push(SpannedTok { tok: Tok::Iff, pos });
+                i += 3;
+            }
+            '<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(SpannedTok { tok: Tok::Le, pos });
+                i += 2;
+            }
+            '<' => {
+                out.push(SpannedTok { tok: Tok::Lt, pos });
+                i += 1;
+            }
+            '>' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(SpannedTok { tok: Tok::Ge, pos });
+                i += 2;
+            }
+            '>' => {
+                out.push(SpannedTok { tok: Tok::Gt, pos });
+                i += 1;
+            }
+            '+' => {
+                out.push(SpannedTok { tok: Tok::Plus, pos });
+                i += 1;
+            }
+            '*' => {
+                out.push(SpannedTok { tok: Tok::Star, pos });
+                i += 1;
+            }
+            '.' if i + 1 < bytes.len() && bytes[i + 1] == b'.' => {
+                out.push(SpannedTok { tok: Tok::DotDot, pos });
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| SmvError::parse(start, format!("bad integer {text:?}")))?;
+                out.push(SpannedTok { tok: Tok::Int(value), pos });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' && !(i + 1 < bytes.len() && bytes[i + 1] == b'.') {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let tok = match word {
+                    "MODULE" => Tok::Module,
+                    "VAR" => Tok::Var,
+                    "ASSIGN" => Tok::Assign,
+                    "DEFINE" => Tok::Define,
+                    "INIT" => Tok::Init,
+                    "TRANS" => Tok::Trans,
+                    "FAIRNESS" => Tok::Fairness,
+                    "SPEC" => Tok::Spec,
+                    "boolean" => Tok::Boolean,
+                    "case" => Tok::Case,
+                    "esac" => Tok::Esac,
+                    "next" => Tok::NextKw,
+                    "init" => Tok::InitKw,
+                    "TRUE" | "true" => Tok::True,
+                    "FALSE" | "false" => Tok::False,
+                    "mod" => Tok::Mod,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(SpannedTok { tok, pos });
+            }
+            other => {
+                return Err(SmvError::parse(pos, format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,531 @@
+//! Recursive-descent parser for the SMV subset.
+
+use crate::ast::{
+    Assign, AssignKind, CaseBranch, Decl, Expr, Module, Program, Section, Spec, VarType,
+};
+use crate::error::SmvError;
+use crate::lexer::{tokenize, SpannedTok, Tok};
+
+/// Parses an SMV source text into its AST (one or more `MODULE`s).
+///
+/// # Errors
+///
+/// [`SmvError::Parse`] with the offending byte offset.
+pub fn parse(input: &str) -> Result<Program, SmvError> {
+    let mut p = Parser { toks: tokenize(input)?, pos: 0, len: input.len() };
+    let mut modules = Vec::new();
+    while p.peek().is_some() {
+        modules.push(p.module()?);
+    }
+    if modules.is_empty() {
+        return Err(SmvError::parse(0, "expected MODULE"));
+    }
+    Ok(Program { modules })
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.len, |t| t.pos)
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), SmvError> {
+        if self.eat(&tok) {
+            Ok(())
+        } else {
+            Err(SmvError::parse(self.here(), format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SmvError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                if let Some(Tok::Ident(name)) = self.bump() {
+                    Ok(name)
+                } else {
+                    unreachable!("peeked an identifier")
+                }
+            }
+            _ => Err(SmvError::parse(self.here(), format!("expected {what}"))),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, SmvError> {
+        self.expect(Tok::Module, "MODULE")?;
+        let name = self.ident("module name")?;
+        let mut params = Vec::new();
+        if self.eat(&Tok::LParen) {
+            if self.peek() != Some(&Tok::RParen) {
+                params.push(self.ident("parameter name")?);
+                while self.eat(&Tok::Comma) {
+                    params.push(self.ident("parameter name")?);
+                }
+            }
+            self.expect(Tok::RParen, "')'")?;
+        }
+        let mut sections = Vec::new();
+        while let Some(tok) = self.peek() {
+            if tok == &Tok::Module {
+                break;
+            }
+            let section = match tok {
+                Tok::Var => {
+                    self.bump();
+                    Section::Var(self.decls()?)
+                }
+                Tok::Assign => {
+                    self.bump();
+                    Section::Assign(self.assigns()?)
+                }
+                Tok::Define => {
+                    self.bump();
+                    Section::Define(self.defines()?)
+                }
+                Tok::Init => {
+                    self.bump();
+                    Section::Init(self.expr()?)
+                }
+                Tok::Trans => {
+                    self.bump();
+                    Section::Trans(self.expr()?)
+                }
+                Tok::Fairness => {
+                    self.bump();
+                    Section::Fairness(self.expr()?)
+                }
+                Tok::Spec => {
+                    self.bump();
+                    Section::Spec(self.spec()?)
+                }
+                _ => {
+                    return Err(SmvError::parse(self.here(), "expected a section keyword"));
+                }
+            };
+            sections.push(section);
+        }
+        Ok(Module { name, params, sections })
+    }
+
+    fn decls(&mut self) -> Result<Vec<Decl>, SmvError> {
+        let mut decls = Vec::new();
+        while let Some(Tok::Ident(_)) = self.peek() {
+            let name = self.ident("variable name")?;
+            self.expect(Tok::Colon, "':'")?;
+            let ty = self.var_type()?;
+            self.expect(Tok::Semi, "';'")?;
+            decls.push(Decl { name, ty });
+        }
+        Ok(decls)
+    }
+
+    fn var_type(&mut self) -> Result<VarType, SmvError> {
+        match self.peek() {
+            Some(Tok::Boolean) => {
+                self.bump();
+                Ok(VarType::Boolean)
+            }
+            // A module instantiation: `name` or `name(args)`.
+            Some(Tok::Ident(_)) => {
+                let module = self.ident("module name")?;
+                let mut args = Vec::new();
+                if self.eat(&Tok::LParen) {
+                    if self.peek() != Some(&Tok::RParen) {
+                        args.push(self.expr()?);
+                        while self.eat(&Tok::Comma) {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(Tok::RParen, "')'")?;
+                }
+                Ok(VarType::Instance(module, args))
+            }
+            Some(Tok::LBrace) => {
+                self.bump();
+                let mut symbols = vec![self.ident("enumeration symbol")?];
+                while self.eat(&Tok::Comma) {
+                    symbols.push(self.ident("enumeration symbol")?);
+                }
+                self.expect(Tok::RBrace, "'}'")?;
+                Ok(VarType::Enum(symbols))
+            }
+            Some(Tok::Int(_)) | Some(Tok::Minus) => {
+                let lo = self.int_literal()?;
+                self.expect(Tok::DotDot, "'..'")?;
+                let hi = self.int_literal()?;
+                if lo > hi {
+                    return Err(SmvError::parse(self.here(), "empty integer range"));
+                }
+                Ok(VarType::Range(lo, hi))
+            }
+            _ => Err(SmvError::parse(self.here(), "expected a type")),
+        }
+    }
+
+    fn int_literal(&mut self) -> Result<i64, SmvError> {
+        let negative = self.eat(&Tok::Minus);
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(if negative { -v } else { v }),
+            _ => Err(SmvError::parse(self.here(), "expected an integer")),
+        }
+    }
+
+    fn assigns(&mut self) -> Result<Vec<Assign>, SmvError> {
+        let mut assigns = Vec::new();
+        loop {
+            let kind = match self.peek() {
+                Some(Tok::InitKw) => AssignKind::Init,
+                Some(Tok::NextKw) => AssignKind::Next,
+                _ => break,
+            };
+            self.bump();
+            self.expect(Tok::LParen, "'('")?;
+            let var = self.ident("variable name")?;
+            self.expect(Tok::RParen, "')'")?;
+            self.expect(Tok::Assigned, "':='")?;
+            let rhs = self.expr()?;
+            self.expect(Tok::Semi, "';'")?;
+            assigns.push(Assign { var, kind, rhs });
+        }
+        Ok(assigns)
+    }
+
+    fn defines(&mut self) -> Result<Vec<(String, Expr)>, SmvError> {
+        let mut defines = Vec::new();
+        while matches!(self.peek(), Some(Tok::Ident(_))) {
+            let name = self.ident("macro name")?;
+            self.expect(Tok::Assigned, "':='")?;
+            let rhs = self.expr()?;
+            self.expect(Tok::Semi, "';'")?;
+            defines.push((name, rhs));
+        }
+        Ok(defines)
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions (loosest to tightest: <-> , -> , | , & , ! , compare,
+    // + - , * mod, primary)
+    // -----------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, SmvError> {
+        let mut lhs = self.expr_implies()?;
+        while self.eat(&Tok::Iff) {
+            let rhs = self.expr_implies()?;
+            lhs = Expr::Iff(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_implies(&mut self) -> Result<Expr, SmvError> {
+        let lhs = self.expr_or()?;
+        if self.eat(&Tok::Implies) {
+            let rhs = self.expr_implies()?;
+            Ok(Expr::Implies(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn expr_or(&mut self) -> Result<Expr, SmvError> {
+        let mut lhs = self.expr_and()?;
+        while self.eat(&Tok::Or) {
+            let rhs = self.expr_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_and(&mut self) -> Result<Expr, SmvError> {
+        let mut lhs = self.expr_not()?;
+        while self.eat(&Tok::And) {
+            let rhs = self.expr_not()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_not(&mut self) -> Result<Expr, SmvError> {
+        if self.eat(&Tok::Not) {
+            Ok(Expr::Not(Box::new(self.expr_not()?)))
+        } else {
+            self.expr_cmp()
+        }
+    }
+
+    fn expr_cmp(&mut self) -> Result<Expr, SmvError> {
+        let lhs = self.expr_add()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Expr::Eq as fn(_, _) -> _,
+            Some(Tok::Neq) => Expr::Neq,
+            Some(Tok::Lt) => Expr::Lt,
+            Some(Tok::Le) => Expr::Le,
+            Some(Tok::Gt) => Expr::Gt,
+            Some(Tok::Ge) => Expr::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.expr_add()?;
+        Ok(op(Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn expr_add(&mut self) -> Result<Expr, SmvError> {
+        let mut lhs = self.expr_mul()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let rhs = self.expr_mul()?;
+                lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&Tok::Minus) {
+                let rhs = self.expr_mul()?;
+                lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn expr_mul(&mut self) -> Result<Expr, SmvError> {
+        let mut lhs = self.expr_primary()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                let rhs = self.expr_primary()?;
+                lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&Tok::Mod) {
+                let rhs = self.expr_primary()?;
+                lhs = Expr::Mod(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn expr_primary(&mut self) -> Result<Expr, SmvError> {
+        match self.peek() {
+            Some(Tok::True) => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            Some(Tok::False) => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            Some(Tok::Int(_)) => {
+                if let Some(Tok::Int(v)) = self.bump() {
+                    Ok(Expr::Int(v))
+                } else {
+                    unreachable!("peeked an int")
+                }
+            }
+            Some(Tok::Minus) => {
+                self.bump();
+                match self.bump() {
+                    Some(Tok::Int(v)) => Ok(Expr::Int(-v)),
+                    _ => Err(SmvError::parse(self.here(), "expected an integer after '-'")),
+                }
+            }
+            Some(Tok::Ident(_)) => Ok(Expr::Ident(self.ident("identifier")?)),
+            Some(Tok::NextKw) => {
+                self.bump();
+                self.expect(Tok::LParen, "'('")?;
+                let var = self.ident("variable name")?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(Expr::Next(var))
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::LBrace) => {
+                self.bump();
+                let mut elements = vec![self.expr()?];
+                while self.eat(&Tok::Comma) {
+                    elements.push(self.expr()?);
+                }
+                self.expect(Tok::RBrace, "'}'")?;
+                Ok(Expr::Set(elements))
+            }
+            Some(Tok::Case) => {
+                self.bump();
+                let mut branches = Vec::new();
+                while !self.eat(&Tok::Esac) {
+                    let condition = self.expr()?;
+                    self.expect(Tok::Colon, "':'")?;
+                    let value = self.expr()?;
+                    self.expect(Tok::Semi, "';'")?;
+                    branches.push(CaseBranch { condition, value });
+                }
+                if branches.is_empty() {
+                    return Err(SmvError::parse(self.here(), "empty case"));
+                }
+                Ok(Expr::Case(branches))
+            }
+            _ => Err(SmvError::parse(self.here(), "expected an expression")),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // SPEC formulas: CTL with expression leaves. The temporal keywords
+    // lex as ordinary identifiers, so the spec parser recognizes them by
+    // name.
+    // -----------------------------------------------------------------
+
+    fn spec(&mut self) -> Result<Spec, SmvError> {
+        let mut lhs = self.spec_implies()?;
+        while self.eat(&Tok::Iff) {
+            let rhs = self.spec_implies()?;
+            lhs = Spec::Iff(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn spec_implies(&mut self) -> Result<Spec, SmvError> {
+        let lhs = self.spec_or()?;
+        if self.eat(&Tok::Implies) {
+            let rhs = self.spec_implies()?;
+            Ok(Spec::Implies(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn spec_or(&mut self) -> Result<Spec, SmvError> {
+        let mut lhs = self.spec_and()?;
+        while self.eat(&Tok::Or) {
+            let rhs = self.spec_and()?;
+            lhs = Spec::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn spec_and(&mut self) -> Result<Spec, SmvError> {
+        let mut lhs = self.spec_unary()?;
+        while self.eat(&Tok::And) {
+            let rhs = self.spec_unary()?;
+            lhs = Spec::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn temporal_keyword(&self) -> Option<&'static str> {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            for kw in ["EX", "EF", "EG", "AX", "AF", "AG", "E", "A"] {
+                if name == kw {
+                    return Some(kw);
+                }
+            }
+        }
+        None
+    }
+
+    fn spec_unary(&mut self) -> Result<Spec, SmvError> {
+        if self.eat(&Tok::Not) {
+            return Ok(Spec::Not(Box::new(self.spec_unary()?)));
+        }
+        match self.temporal_keyword() {
+            Some("EX") => {
+                self.bump();
+                Ok(Spec::Ex(Box::new(self.spec_unary()?)))
+            }
+            Some("EF") => {
+                self.bump();
+                Ok(Spec::Ef(Box::new(self.spec_unary()?)))
+            }
+            Some("EG") => {
+                self.bump();
+                Ok(Spec::Eg(Box::new(self.spec_unary()?)))
+            }
+            Some("AX") => {
+                self.bump();
+                Ok(Spec::Ax(Box::new(self.spec_unary()?)))
+            }
+            Some("AF") => {
+                self.bump();
+                Ok(Spec::Af(Box::new(self.spec_unary()?)))
+            }
+            Some("AG") => {
+                self.bump();
+                Ok(Spec::Ag(Box::new(self.spec_unary()?)))
+            }
+            Some("E") if self.peek2() == Some(&Tok::LBracket) => {
+                self.bump();
+                self.bump();
+                let f = self.spec()?;
+                self.spec_until_sep()?;
+                let g = self.spec()?;
+                self.expect(Tok::RBracket, "']'")?;
+                Ok(Spec::Eu(Box::new(f), Box::new(g)))
+            }
+            Some("A") if self.peek2() == Some(&Tok::LBracket) => {
+                self.bump();
+                self.bump();
+                let f = self.spec()?;
+                self.spec_until_sep()?;
+                let g = self.spec()?;
+                self.expect(Tok::RBracket, "']'")?;
+                Ok(Spec::Au(Box::new(f), Box::new(g)))
+            }
+            _ => self.spec_leaf(),
+        }
+    }
+
+    fn spec_until_sep(&mut self) -> Result<(), SmvError> {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if name == "U" {
+                self.bump();
+                return Ok(());
+            }
+        }
+        Err(SmvError::parse(self.here(), "expected 'U'"))
+    }
+
+    fn spec_leaf(&mut self) -> Result<Spec, SmvError> {
+        if self.peek() == Some(&Tok::LParen) {
+            // Could be a parenthesized spec or a parenthesized expression;
+            // parse as a spec (expressions embed as leaves anyway).
+            self.bump();
+            let s = self.spec()?;
+            self.expect(Tok::RParen, "')'")?;
+            return Ok(s);
+        }
+        // A propositional leaf: parse a comparison-level expression so
+        // `state = busy` binds before the surrounding CTL connectives.
+        let start = self.pos;
+        match self.expr_cmp() {
+            Ok(e) => Ok(Spec::Expr(e)),
+            Err(e) => {
+                self.pos = start;
+                Err(e)
+            }
+        }
+    }
+}

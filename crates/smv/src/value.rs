@@ -1,0 +1,53 @@
+//! Runtime values of SMV expressions.
+
+use std::fmt;
+
+/// A value of the finite SMV value universe: booleans, bounded integers
+/// and enumeration symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// A bounded integer.
+    Int(i64),
+    /// An enumeration symbol.
+    Sym(String),
+}
+
+impl Value {
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// A short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "integer",
+            Value::Sym(_) => "symbol",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(true) => write!(f, "TRUE"),
+            Value::Bool(false) => write!(f, "FALSE"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Language containment between ω-automata with counterexample words
+//! (Section 8 of the paper).
+//!
+//! Run with: `cargo run --example containment`
+
+use smc::automata::{accepts, check_containment, Acceptance, ContainmentOutcome, OmegaAutomaton};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let alphabet: Vec<String> = vec!["req".into(), "ack".into(), "idle".into()];
+    let (req, ack, _idle) = (0, 1, 2);
+
+    // The system: after a `req`, eventually an `ack` (Büchi: visit the
+    // "acknowledged" state infinitely often unless no request pending).
+    // It is sloppy: it also allows dropping a request forever.
+    let mut system = OmegaAutomaton::new(2, 0, alphabet.clone());
+    for s in 0..2 {
+        for a in 0..3 {
+            // From any state, any letter is possible; `ack` returns to
+            // state 0, `req` moves to state 1 (pending), `idle` keeps.
+            let target = match a {
+                a if a == ack => 0,
+                a if a == req => 1,
+                _ => s,
+            };
+            system.add_transition(s, a, target);
+        }
+    }
+    // Accept every run (trivially: all states accepting).
+    system.set_acceptance(Acceptance::buchi([0, 1]));
+
+    // The specification: every `req` is eventually followed by an `ack`
+    // — as a deterministic Streett automaton over the same structure:
+    // pair (U = {0}, V = {0}) means "stay out of the pending state
+    // eventually, or acknowledge infinitely often".
+    let mut spec = system.clone();
+    spec.set_acceptance(Acceptance::streett([(vec![0], vec![0])]));
+
+    println!("checking L(system) ⊆ L(spec) ...");
+    match check_containment(&system, &spec)? {
+        ContainmentOutcome::Holds => println!("containment holds"),
+        ContainmentOutcome::Fails { word, run, loopback } => {
+            println!("containment FAILS");
+            println!("  counterexample word: {}", word.render(&alphabet));
+            println!("  accepted by system : {}", accepts(&system, &word));
+            println!("  accepted by spec   : {}", accepts(&spec, &word));
+            println!("  product run ({} states, cycle from {}):", run.len(), loopback);
+            for (i, (s, sp)) in run.iter().enumerate() {
+                let marker = if i == loopback { " <- cycle start" } else { "" };
+                println!("    ({s}, {sp}){marker}");
+            }
+        }
+    }
+    Ok(())
+}

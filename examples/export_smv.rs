@@ -1,0 +1,18 @@
+//! Exports the Seitz arbiter netlist as an SMV program (to stdout),
+//! so it can be checked with the CLI:
+//!
+//! ```sh
+//! cargo run --example export_smv > arbiter.smv
+//! cargo run --bin smc -- check --trace arbiter.smv
+//! ```
+
+use smc::circuits::arbiter::seitz_arbiter;
+
+fn main() {
+    let arb = seitz_arbiter();
+    let mut source = arb.netlist.to_smv();
+    source.push_str("SPEC AG !(meo1 & meo2)\n");
+    source.push_str("SPEC AG (tr1 -> AF ta1)\n");
+    source.push_str("SPEC AG (ur2 -> AF ua2)\n");
+    print!("{source}");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a tiny model, check CTL specifications, and print
+//! witnesses and counterexamples.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use smc::checker::Checker;
+use smc::kripke::SymbolicModelBuilder;
+use smc::logic::ctl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 3-bit binary counter, plus a fairness constraint demanding the
+    // top bit be set infinitely often (vacuously true here — the counter
+    // wraps — but it demonstrates the fair-CTL machinery).
+    let mut b = SymbolicModelBuilder::new();
+    let bits: Vec<_> = (0..3)
+        .map(|i| b.bool_var(&format!("b{i}")))
+        .collect::<Result<_, _>>()?;
+    b.init_zero();
+    for (i, bit) in bits.iter().enumerate() {
+        b.next_fn(*bit, move |m, cur| {
+            let carry = m.and_all(cur[..i].iter().copied());
+            m.xor(cur[i], carry)
+        });
+    }
+    b.label_fn("max", |m, cur| m.and_all(cur.iter().copied()));
+    let mut model = b.build()?;
+
+    println!("reachable states: {}", model.reachable_count());
+
+    let mut checker = Checker::new(&mut model);
+
+    // A liveness property that holds: the counter always reaches its
+    // maximum value again.
+    let spec = ctl::parse("AG (AF max)")?;
+    let verdict = checker.check(&spec)?;
+    println!("{spec}  ->  {}", if verdict.holds() { "holds" } else { "FAILS" });
+
+    // A witness for the existential version: a concrete path to `max`.
+    let witness = checker.witness(&ctl::parse("EF max")?)?;
+    println!("\nwitness for EF max ({} states):", witness.len());
+    print!("{}", witness.render(checker.model()));
+
+    // A property that fails, with its counterexample.
+    let bad = ctl::parse("AG !max")?;
+    let outcome = checker.check_with_trace(&bad)?;
+    println!("\n{bad}  ->  {}", if outcome.verdict.holds() { "holds" } else { "FAILS" });
+    if let Some(cx) = outcome.trace {
+        println!("counterexample ({} states):", cx.len());
+        print!("{}", cx.render(checker.model()));
+    }
+    Ok(())
+}

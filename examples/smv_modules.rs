@@ -1,0 +1,126 @@
+//! Hierarchical SMV: a round-robin scheduler built from parameterized
+//! worker modules — first a buggy version debugged via its
+//! counterexample, then the corrected one.
+//!
+//! Run with: `cargo run --example smv_modules`
+
+use smc::checker::Checker;
+use smc::smv::compile;
+
+/// The scheduler advances `turn` unless the current worker is already
+/// *running* — but a worker only starts running one step after being
+/// scheduled, so `turn` can move on while the old worker still runs:
+/// two workers end up running at once.
+const BUGGY: &str = r#"
+MODULE worker(scheduled)
+VAR state : {idle, waiting, running};
+ASSIGN
+  init(state) := idle;
+  next(state) := case
+      state = idle                 : {idle, waiting};
+      state = waiting & scheduled  : running;
+      state = waiting              : waiting;
+      state = running              : {running, idle};
+    esac;
+DEFINE done := state = idle;
+
+MODULE main
+VAR
+  turn : 0..2;
+  w0 : worker(turn = 0);
+  w1 : worker(turn = 1);
+  w2 : worker(turn = 2);
+ASSIGN
+  init(turn) := 0;
+  next(turn) := case
+      turn = 0 & w0.state = running : 0;
+      turn = 1 & w1.state = running : 1;
+      turn = 2 & w2.state = running : 2;
+      TRUE                          : (turn + 1) mod 3;
+    esac;
+FAIRNESS w0.done
+FAIRNESS w1.done
+FAIRNESS w2.done
+SPEC AG !(w0.state = running & w1.state = running)
+SPEC AG (w1.state = waiting -> AF w1.state = running)
+"#;
+
+/// The fix the counterexample suggests: hold the turn from the moment
+/// the worker is scheduled (waiting or running), not just once running.
+const FIXED: &str = r#"
+MODULE worker(scheduled)
+VAR state : {idle, waiting, running};
+ASSIGN
+  init(state) := idle;
+  next(state) := case
+      state = idle                 : {idle, waiting};
+      state = waiting & scheduled  : running;
+      state = waiting              : waiting;
+      state = running              : {running, idle};
+    esac;
+DEFINE done := state = idle;
+DEFINE busy := state = waiting | state = running;
+
+MODULE main
+VAR
+  turn : 0..2;
+  w0 : worker(turn = 0);
+  w1 : worker(turn = 1);
+  w2 : worker(turn = 2);
+ASSIGN
+  init(turn) := 0;
+  next(turn) := case
+      turn = 0 & w0.busy : 0;
+      turn = 1 & w1.busy : 1;
+      turn = 2 & w2.busy : 2;
+      TRUE               : (turn + 1) mod 3;
+    esac;
+FAIRNESS w0.done
+FAIRNESS w1.done
+FAIRNESS w2.done
+SPEC AG !(w0.state = running & w1.state = running)
+SPEC AG (w1.state = waiting -> AF w1.state = running)
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== buggy scheduler ===");
+    run(BUGGY)?;
+    println!("\n=== fixed scheduler (turn held while the worker is busy) ===");
+    run(FIXED)?;
+    Ok(())
+}
+
+fn run(source: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut compiled = compile(source)?;
+    println!(
+        "{} state bits, {} reachable states; variables: {}",
+        compiled.model.num_state_vars(),
+        compiled.model.reachable_count(),
+        compiled.var_names().join(" ")
+    );
+    let specs: Vec<_> = compiled.specs.iter().map(|s| s.formula.clone()).collect();
+    let mut results = Vec::new();
+    {
+        let mut checker = Checker::new(&mut compiled.model);
+        for spec in &specs {
+            let outcome = checker.check_with_trace(spec)?;
+            results.push((outcome.verdict.holds(), outcome.trace));
+        }
+    }
+    for (i, (holds, trace)) in results.iter().enumerate() {
+        println!("SPEC {i}: {}", if *holds { "holds" } else { "FAILS" });
+        if let (false, Some(cx)) = (holds, trace) {
+            println!("  counterexample ({} states):", cx.len());
+            for (j, state) in cx.states.iter().enumerate() {
+                if Some(j) == cx.loopback {
+                    println!("  -- loop starts here --");
+                }
+                println!("  state {j}: {}", compiled.render_state(state));
+            }
+            if let Some(l) = cx.loopback {
+                println!("  -- loop back to state {l} --");
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Modeling a mutual-exclusion protocol in the SMV-like language,
+//! checking its specifications, and decoding counterexample traces.
+//!
+//! Run with: `cargo run --example smv_mutex`
+
+use smc::checker::Checker;
+use smc::smv::compile;
+
+const SOURCE: &str = r#"
+MODULE main
+VAR
+  p1 : {idle, trying, critical};
+  p2 : {idle, trying, critical};
+  turn : boolean;
+ASSIGN
+  init(p1) := idle;
+  init(p2) := idle;
+  next(p1) := case
+      p1 = idle                            : {idle, trying};
+      p1 = trying & p2 != critical & !turn : critical;
+      p1 = trying                          : trying;
+      TRUE                                 : idle;
+    esac;
+  next(p2) := case
+      p2 = idle                            : {idle, trying};
+      p2 = trying & p1 != critical & turn  : critical;
+      p2 = trying                          : trying;
+      TRUE                                 : idle;
+    esac;
+  next(turn) := !turn;
+SPEC AG !(p1 = critical & p2 = critical)
+SPEC AG (p1 = trying -> AF p1 = critical)
+SPEC AG (p1 = critical -> AF p1 = idle)
+SPEC AG p1 = idle
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut compiled = compile(SOURCE)?;
+    println!("mutex protocol: {} reachable states\n", compiled.model.reachable_count());
+
+    let specs: Vec<_> = compiled.specs.iter().map(|s| s.formula.clone()).collect();
+    let mut checker = Checker::new(&mut compiled.model);
+    let mut failing = None;
+    for (i, spec) in specs.iter().enumerate() {
+        let verdict = checker.check(spec)?;
+        println!(
+            "SPEC {i}: {}",
+            if verdict.holds() { "holds" } else { "FAILS" }
+        );
+        if !verdict.holds() && failing.is_none() {
+            failing = Some(spec.clone());
+        }
+    }
+
+    if let Some(spec) = failing {
+        let cx = checker.counterexample(&spec)?;
+        println!("\ncounterexample ({} states):", cx.len());
+        for (i, state) in cx.states.iter().enumerate() {
+            if Some(i) == cx.loopback {
+                println!("-- loop starts here --");
+            }
+            println!("state {i}: {}", compiled.render_state(state));
+        }
+        if let Some(l) = cx.loopback {
+            println!("-- loop back to state {l} --");
+        }
+    }
+    Ok(())
+}

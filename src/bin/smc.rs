@@ -1,0 +1,212 @@
+//! `smc` — command-line front end for the symbolic model checker.
+//!
+//! ```text
+//! smc check  [--trace] [--strategy restart|stayset] FILE.smv
+//! smc spec   FILE.smv FORMULA        check one ad-hoc CTL formula
+//! smc reach  FILE.smv                reachability statistics
+//! smc help
+//! ```
+
+use std::process::ExitCode;
+
+use smc::checker::{Checker, CycleStrategy};
+use smc::smv::{compile, CompiledModel};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+    match command.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "spec" => cmd_spec(&args[1..]),
+        "reach" => cmd_reach(&args[1..]),
+        "dot" => cmd_dot(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            print_usage();
+            Ok(ExitCode::from(2))
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "smc — symbolic model checking with counterexamples and witnesses
+
+USAGE:
+    smc check  [--trace] [--strategy restart|stayset] FILE.smv
+    smc spec   FILE.smv FORMULA
+    smc reach  FILE.smv
+    smc dot    FILE.smv (init|trans|reach)
+    smc help
+
+COMMANDS:
+    check   check every SPEC of the program; with --trace, print a
+            counterexample for each failing spec (and a witness for each
+            holding temporal spec)
+    spec    check one CTL formula against the model (atoms are boolean
+            variables or spec labels)
+    reach   print model statistics (variables, reachable states)
+    dot     write the requested BDD as Graphviz DOT to stdout
+
+EXIT CODE: 0 if everything checked holds, 1 if some spec fails,
+           2 on usage or input errors."
+    );
+}
+
+struct CheckOptions {
+    trace: bool,
+    strategy: CycleStrategy,
+    file: String,
+}
+
+fn parse_check_options(args: &[String]) -> Result<CheckOptions, String> {
+    let mut trace = false;
+    let mut strategy = CycleStrategy::Restart;
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => trace = true,
+            "--strategy" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("restart") => strategy = CycleStrategy::Restart,
+                    Some("stayset") => strategy = CycleStrategy::StaySet,
+                    other => {
+                        return Err(format!(
+                            "--strategy expects 'restart' or 'stayset', got {other:?}"
+                        ))
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    return Err("expected exactly one input file".to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let file = file.ok_or_else(|| "expected an input file".to_string())?;
+    Ok(CheckOptions { trace, strategy, file })
+}
+
+fn load(path: &str) -> Result<CompiledModel, Box<dyn std::error::Error>> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    Ok(compile(&source)?)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let opts = parse_check_options(args)?;
+    let mut compiled = load(&opts.file)?;
+    if compiled.specs.is_empty() {
+        println!("{}: no SPEC sections", opts.file);
+        return Ok(ExitCode::SUCCESS);
+    }
+    let specs: Vec<_> = compiled.specs.iter().map(|s| s.formula.clone()).collect();
+    // Run every check first (the checker borrows the model mutably),
+    // then render with the decode tables.
+    let mut results = Vec::with_capacity(specs.len());
+    {
+        let mut checker = Checker::new(&mut compiled.model).with_strategy(opts.strategy);
+        for spec in &specs {
+            if opts.trace {
+                let outcome = checker.check_with_trace(spec)?;
+                results.push((outcome.verdict.holds(), outcome.trace));
+            } else {
+                results.push((checker.check(spec)?.holds(), None));
+            }
+        }
+    }
+    let mut all_hold = true;
+    for (i, (verdict, trace)) in results.into_iter().enumerate() {
+        all_hold &= verdict;
+        println!("SPEC {i}: {}", if verdict { "holds" } else { "FAILS" });
+        if let Some(trace) = trace {
+            let kind = if verdict { "witness" } else { "counterexample" };
+            println!(
+                "-- {kind}: {} states{} --",
+                trace.len(),
+                trace
+                    .loopback
+                    .map(|_| format!(", cycle of {}", trace.cycle_len()))
+                    .unwrap_or_default()
+            );
+            for (j, state) in trace.states.iter().enumerate() {
+                if Some(j) == trace.loopback {
+                    println!("-- loop starts here --");
+                }
+                println!("state {j}: {}", compiled.render_state(state));
+            }
+            if let Some(l) = trace.loopback {
+                println!("-- loop back to state {l} --");
+            }
+        }
+    }
+    Ok(if all_hold { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let [file, formula] = args else {
+        return Err("usage: smc spec FILE.smv FORMULA".into());
+    };
+    let mut compiled = load(file)?;
+    let spec = smc::logic::ctl::parse(formula)?;
+    let mut checker = Checker::new(&mut compiled.model);
+    let verdict = checker.check(&spec)?;
+    println!("{spec}: {}", if verdict.holds() { "holds" } else { "FAILS" });
+    Ok(if verdict.holds() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn cmd_dot(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let [file, what] = args else {
+        return Err("usage: smc dot FILE.smv (init|trans|reach)".into());
+    };
+    let mut compiled = load(file)?;
+    let bdd = match what.as_str() {
+        "init" => compiled.model.init(),
+        "trans" => compiled.model.trans(),
+        "reach" => compiled.model.reachable(),
+        other => return Err(format!("unknown BDD {other:?} (init|trans|reach)").into()),
+    };
+    print!("{}", compiled.model.manager().to_dot(&[bdd]));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_reach(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let [file] = args else {
+        return Err("usage: smc reach FILE.smv".into());
+    };
+    let mut compiled = load(file)?;
+    println!("file            : {file}");
+    println!("variables       : {}", compiled.var_names().join(" "));
+    println!("state bits      : {}", compiled.model.num_state_vars());
+    println!("fairness        : {}", compiled.model.fairness().len());
+    println!("reachable states: {}", compiled.model.reachable_count());
+    let init = compiled.model.init();
+    if let Some(s0) = compiled.model.pick_state(init) {
+        println!("an initial state: {}", compiled.render_state(&s0));
+    }
+    Ok(ExitCode::SUCCESS)
+}

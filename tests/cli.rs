@@ -1,0 +1,191 @@
+//! Integration tests for the `smc` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn smc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("smc_cli_test_{name}_{}.smv", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+const TOGGLE: &str = r#"
+MODULE main
+VAR x : boolean;
+ASSIGN
+  init(x) := FALSE;
+  next(x) := !x;
+SPEC AG (AF x)
+SPEC AG x
+"#;
+
+#[test]
+fn check_reports_verdicts_and_exit_code() {
+    let path = write_temp("check", TOGGLE);
+    let out = smc().arg("check").arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SPEC 0: holds"), "{stdout}");
+    assert!(stdout.contains("SPEC 1: FAILS"), "{stdout}");
+    assert_eq!(out.status.code(), Some(1), "failing spec exits 1");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_with_trace_prints_counterexample() {
+    let path = write_temp("trace", TOGGLE);
+    let out = smc()
+        .arg("check")
+        .arg("--trace")
+        .arg(&path)
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("counterexample"), "{stdout}");
+    // AG x fails already in the initial state x=FALSE.
+    assert!(stdout.contains("x=FALSE"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn spec_checks_ad_hoc_formulas() {
+    let path = write_temp("spec", TOGGLE);
+    let ok = smc()
+        .arg("spec")
+        .arg(&path)
+        .arg("EF x")
+        .output()
+        .expect("runs");
+    assert_eq!(ok.status.code(), Some(0));
+    let bad = smc()
+        .arg("spec")
+        .arg(&path)
+        .arg("EG x")
+        .output()
+        .expect("runs");
+    assert_eq!(bad.status.code(), Some(1));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn reach_prints_statistics() {
+    let path = write_temp("reach", TOGGLE);
+    let out = smc().arg("reach").arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("reachable states: 2"), "{stdout}");
+    assert!(stdout.contains("state bits      : 1"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = smc().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = smc().arg("frobnicate").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = smc().arg("check").arg("/nonexistent.smv").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = smc()
+        .arg("check")
+        .arg("--strategy")
+        .arg("bogus")
+        .arg("x.smv")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn strategy_flag_is_accepted() {
+    let path = write_temp("strategy", TOGGLE);
+    for strategy in ["restart", "stayset"] {
+        let out = smc()
+            .arg("check")
+            .arg("--trace")
+            .arg("--strategy")
+            .arg(strategy)
+            .arg(&path)
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(1), "{strategy}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn dot_exports_graphviz() {
+    let path = write_temp("dot", TOGGLE);
+    for what in ["init", "trans", "reach"] {
+        let out = smc().arg("dot").arg(&path).arg(what).output().expect("runs");
+        assert_eq!(out.status.code(), Some(0), "{what}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.starts_with("digraph bdd {"), "{what}: {stdout}");
+    }
+    let bad = smc().arg("dot").arg(&path).arg("nope").output().expect("runs");
+    assert_eq!(bad.status.code(), Some(2));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bundled_models_check_as_documented() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    // counter8: every spec holds -> exit 0.
+    let out = smc()
+        .arg("check")
+        .arg(format!("{root}/models/counter8.smv"))
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    // mutex: safety holds, liveness holds (alternating turn).
+    let out = smc()
+        .arg("check")
+        .arg(format!("{root}/models/mutex.smv"))
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    // retry_protocol: the AF spec fails with a lasso counterexample.
+    let out = smc()
+        .arg("check")
+        .arg("--trace")
+        .arg(format!("{root}/models/retry_protocol.smv"))
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SPEC 0: FAILS"), "{stdout}");
+    assert!(stdout.contains("SPEC 1: holds"), "{stdout}");
+    assert!(stdout.contains("loop back"), "{stdout}");
+    assert!(stdout.contains("sender=sending"), "{stdout}");
+}
+
+#[test]
+fn exported_arbiter_round_trips_through_the_cli() {
+    // export_smv | smc check: the exported circuit must show the paper's
+    // verdicts (safety holds, liveness fails).
+    let arb_source = {
+        // Rebuild the exported text without spawning the example binary.
+        let arb = smc::circuits::arbiter::seitz_arbiter();
+        let mut s = arb.netlist.to_smv();
+        s.push_str("SPEC AG !(meo1 & meo2)\nSPEC AG (tr1 -> AF ta1)\n");
+        s
+    };
+    let path = write_temp("arbiter_export", &arb_source);
+    let out = smc().arg("check").arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SPEC 0: holds"), "{stdout}");
+    assert!(stdout.contains("SPEC 1: FAILS"), "{stdout}");
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn help_is_available() {
+    let out = smc().arg("help").output().expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}

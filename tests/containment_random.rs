@@ -1,0 +1,107 @@
+//! Randomized validation of the language-containment pipeline
+//! (Section 8): failed containments produce words verified against both
+//! automata; successful containments survive a bounded exhaustive word
+//! search for violations.
+
+use proptest::prelude::*;
+
+use smc::automata::{accepts, check_containment, Acceptance, ContainmentOutcome, OmegaAutomaton, OmegaWord};
+
+/// A random complete nondeterministic Büchi automaton.
+fn arb_system() -> impl Strategy<Value = OmegaAutomaton> {
+    (2usize..5, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize % m
+        };
+        let mut k = OmegaAutomaton::new(n, 0, vec!["a".into(), "b".into()]);
+        for s in 0..n {
+            for sym in 0..2 {
+                // At least one successor; sometimes two.
+                k.add_transition(s, sym, next(n));
+                if next(3) == 0 {
+                    k.add_transition(s, sym, next(n));
+                }
+            }
+        }
+        let accepting: Vec<usize> = (0..n).filter(|_| next(2) == 0).collect();
+        let accepting = if accepting.is_empty() { vec![0] } else { accepting };
+        k.set_acceptance(Acceptance::buchi(accepting));
+        k
+    })
+}
+
+/// A random complete *deterministic* Büchi automaton.
+fn arb_spec() -> impl Strategy<Value = OmegaAutomaton> {
+    (2usize..4, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize % m
+        };
+        let mut k = OmegaAutomaton::new(n, 0, vec!["a".into(), "b".into()]);
+        for s in 0..n {
+            for sym in 0..2 {
+                k.add_transition(s, sym, next(n));
+            }
+        }
+        let accepting: Vec<usize> = (0..n).filter(|_| next(2) == 0).collect();
+        let accepting = if accepting.is_empty() { vec![0] } else { accepting };
+        k.set_acceptance(Acceptance::buchi(accepting));
+        k
+    })
+}
+
+/// All lasso words with bounded prefix/period over a binary alphabet.
+fn small_words() -> Vec<OmegaWord> {
+    let mut out = Vec::new();
+    for plen in 0..3usize {
+        for clen in 1..4usize {
+            for pbits in 0..(1u32 << plen) {
+                for cbits in 0..(1u32 << clen) {
+                    let prefix = (0..plen).map(|i| (pbits >> i & 1) as usize).collect();
+                    let cycle = (0..clen).map(|i| (cbits >> i & 1) as usize).collect();
+                    out.push(OmegaWord::new(prefix, cycle));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn containment_outcomes_are_validated(system in arb_system(), spec in arb_spec()) {
+        match check_containment(&system, &spec).expect("well-formed inputs") {
+            ContainmentOutcome::Fails { word, .. } => {
+                prop_assert!(accepts(&system, &word), "word must be in L(K)");
+                prop_assert!(!accepts(&spec, &word), "word must be outside L(K')");
+            }
+            ContainmentOutcome::Holds => {
+                // No small word may witness a violation.
+                for word in small_words() {
+                    prop_assert!(
+                        !(accepts(&system, &word) && !accepts(&spec, &word)),
+                        "containment claimed but {} violates it",
+                        word
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn containment_is_reflexive_for_deterministic_automata(spec in arb_spec()) {
+        prop_assert_eq!(
+            check_containment(&spec, &spec).expect("well-formed"),
+            ContainmentOutcome::Holds
+        );
+    }
+}

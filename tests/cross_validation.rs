@@ -1,0 +1,129 @@
+//! Cross-validation: the symbolic checker and the explicit-state
+//! baseline must agree on every formula over every (small) model,
+//! with and without fairness constraints.
+
+use proptest::prelude::*;
+
+use smc::checker::Checker;
+use smc::explicit::ExplicitChecker;
+use smc::kripke::{ExplicitModel, State};
+use smc::logic::Ctl;
+
+/// Deterministic random graph with labels `p`, `q` and up to two
+/// fairness label sets `f0`, `f1`.
+fn arb_model() -> impl Strategy<Value = (ExplicitModel, usize)> {
+    (2usize..9, any::<u64>(), 0usize..3).prop_map(|(n, seed, nfair)| {
+        let mut state = seed | 1;
+        let mut next = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize % m
+        };
+        let mut g = ExplicitModel::new();
+        let p = g.add_ap("p");
+        let q = g.add_ap("q");
+        let f0 = g.add_ap("f0");
+        let f1 = g.add_ap("f1");
+        for _ in 0..n {
+            let mut labels = Vec::new();
+            if next(2) == 0 {
+                labels.push(p);
+            }
+            if next(3) == 0 {
+                labels.push(q);
+            }
+            if nfair >= 1 && next(2) == 0 {
+                labels.push(f0);
+            }
+            if nfair >= 2 && next(2) == 0 {
+                labels.push(f1);
+            }
+            g.add_state(&labels);
+        }
+        for s in 0..n {
+            // Guarantee totality, then sprinkle more edges.
+            g.add_edge(s, next(n));
+            for _ in 0..next(3) {
+                g.add_edge(s, next(n));
+            }
+        }
+        g.add_initial(next(n));
+        (g, nfair)
+    })
+}
+
+/// Random CTL formulas over the atoms p, q.
+fn arb_ctl() -> impl Strategy<Value = Ctl> {
+    let leaf = prop_oneof![
+        Just(Ctl::True),
+        Just(Ctl::False),
+        Just(Ctl::atom("p")),
+        Just(Ctl::atom("q")),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Ctl::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ctl::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ctl::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ctl::implies(a, b)),
+            inner.clone().prop_map(Ctl::ex),
+            inner.clone().prop_map(Ctl::ef),
+            inner.clone().prop_map(Ctl::eg),
+            inner.clone().prop_map(Ctl::ax),
+            inner.clone().prop_map(Ctl::af),
+            inner.clone().prop_map(Ctl::ag),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ctl::eu(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Ctl::au(a, b)),
+        ]
+    })
+}
+
+/// Encodes an explicit state index the way `to_symbolic` does.
+fn encode(i: usize, bits: usize) -> State {
+    State((0..bits).map(|b| i >> b & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn symbolic_and_explicit_checkers_agree(
+        (graph, nfair) in arb_model(),
+        formula in arb_ctl(),
+    ) {
+        let n = graph.num_states();
+        let bits = (usize::BITS as usize - (n - 1).leading_zeros() as usize).max(1);
+
+        // Symbolic side.
+        let mut model = graph.to_symbolic().expect("total by construction");
+        for k in 0..nfair {
+            let set = model.ap(&format!("f{k}")).expect("label registered");
+            model.add_fairness(set);
+        }
+        let mut symbolic = Checker::new(&mut model);
+        let sym_set = symbolic.check_states(&formula).expect("known atoms");
+
+        // Explicit side.
+        let mut explicit = ExplicitChecker::new(&graph);
+        for k in 0..nfair {
+            explicit.add_fairness_ap(&format!("f{k}")).expect("label registered");
+        }
+        let exp_mask = explicit.check_states(&formula).expect("known atoms");
+
+        for s in 0..n {
+            let state = encode(s, bits);
+            let sym = symbolic.model().eval_state(sym_set, &state);
+            prop_assert_eq!(
+                sym, exp_mask[s],
+                "disagreement at state {} for {} (fairness: {})",
+                s, formula, nfair
+            );
+        }
+
+        // Verdicts agree too.
+        let sym_verdict = symbolic.check(&formula).expect("known atoms").holds();
+        let exp_verdict = explicit.check(&formula).expect("known atoms");
+        prop_assert_eq!(sym_verdict, exp_verdict);
+    }
+}

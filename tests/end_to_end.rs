@@ -1,0 +1,156 @@
+//! End-to-end pipelines spanning the whole workspace: SMV text to
+//! counterexample, circuits to liveness debugging, CTL* witnesses on
+//! compiled models.
+
+use smc::checker::Checker;
+use smc::circuits::arbiter::seitz_arbiter;
+use smc::logic::{ctl, ctlstar};
+use smc::smv::compile;
+
+#[test]
+fn smv_source_to_replayed_counterexample() {
+    let mut compiled = compile(
+        r#"
+        MODULE main
+        VAR
+          sender : {idle, sending, done};
+          retry  : boolean;
+        ASSIGN
+          init(sender) := idle;
+          next(sender) := case
+              sender = idle    : {idle, sending};
+              sender = sending & retry : sending;
+              sender = sending : {sending, done};
+              TRUE             : idle;
+            esac;
+          next(retry) := {TRUE, FALSE};
+        SPEC AG (sender = sending -> AF sender = done)
+        "#,
+    )
+    .expect("compiles");
+    let spec = compiled.specs[0].formula.clone();
+    let mut checker = Checker::new(&mut compiled.model);
+    // The retry loop can spin forever: liveness fails.
+    assert!(!checker.check(&spec).unwrap().holds());
+    let cx = checker.counterexample(&spec).unwrap();
+    assert!(cx.is_lasso());
+    assert!(cx.is_path_of(checker.model()));
+    // Decode: every cycle state stays in `sending`.
+    for s in cx.cycle() {
+        assert_eq!(
+            compiled.value_of(s, "sender"),
+            Some(smc::smv::Value::Sym("sending".into()))
+        );
+    }
+}
+
+#[test]
+fn smv_fairness_rescues_liveness() {
+    let mut compiled = compile(
+        r#"
+        MODULE main
+        VAR
+          sender : {idle, sending, done};
+        ASSIGN
+          init(sender) := idle;
+          next(sender) := case
+              sender = idle    : {idle, sending};
+              sender = sending : {sending, done};
+              TRUE             : idle;
+            esac;
+        FAIRNESS sender != sending
+        SPEC AG (sender = sending -> AF sender = done)
+        "#,
+    )
+    .expect("compiles");
+    let spec = compiled.specs[0].formula.clone();
+    let mut checker = Checker::new(&mut compiled.model);
+    assert!(checker.check(&spec).unwrap().holds(), "fairness forbids spinning");
+}
+
+#[test]
+fn arbiter_counterexample_structure_matches_the_paper() {
+    // EXP-1, asserted end to end: the failing liveness spec produces a
+    // fair lasso whose every state is reachable, whose cycle starves the
+    // user, and which visits every gate's fairness constraint.
+    let arb = seitz_arbiter();
+    let mut model = arb.build().expect("builds");
+    let reach = model.reachable();
+    let ua2 = model.ap("ua2").unwrap();
+    let ur2 = model.ap("ur2").unwrap();
+    let nfair = model.fairness().len();
+    let mut checker = Checker::new(&mut model);
+    let spec = ctl::parse("AG (ur2 -> AF ua2)").unwrap();
+    let cx = checker.counterexample(&spec).unwrap();
+    let model = checker.model();
+    assert!(cx.is_lasso());
+    assert!(cx.is_path_of(model));
+    for s in &cx.states {
+        assert!(model.eval_state(reach, s), "counterexamples use reachable states");
+    }
+    // Some state on the trace raises the request...
+    assert!(cx.states.iter().any(|s| model.eval_state(ur2, s)));
+    // ...and the cycle withholds the acknowledgement while fair.
+    for s in cx.cycle() {
+        assert!(!model.eval_state(ua2, s));
+    }
+    for k in 0..nfair {
+        let constraint = model.fairness()[k];
+        assert!(cx.cycle_visits(model, constraint));
+    }
+}
+
+#[test]
+fn ctlstar_witness_on_a_compiled_smv_model() {
+    let mut compiled = compile(
+        r#"
+        MODULE main
+        VAR
+          busy : boolean;
+          tick : boolean;
+        ASSIGN
+          init(busy) := FALSE;
+          next(busy) := {TRUE, FALSE};
+          next(tick) := !tick;
+        INIT !tick
+        "#,
+    )
+    .expect("compiles");
+    // E (GF busy ∧ GF !busy): the model can alternate forever.
+    let formula = ctlstar::parse("E (G F busy & G F !busy)").unwrap();
+    let busy = compiled.model.ap("busy").unwrap();
+    let mut checker = Checker::new(&mut compiled.model);
+    let (holds, _) = checker.check_ctlstar(&formula).unwrap();
+    assert!(holds);
+    let (w, sides) = checker.witness_ctlstar(&formula).unwrap();
+    assert_eq!(sides.len(), 2);
+    let model = checker.model();
+    assert!(w.is_lasso());
+    assert!(w.is_path_of(model));
+    assert!(w.cycle().iter().any(|s| model.eval_state(busy, s)));
+    assert!(w.cycle().iter().any(|s| !model.eval_state(busy, s)));
+}
+
+#[test]
+fn explicit_enumeration_agrees_with_circuit_model() {
+    // Enumerate a small circuit and compare state counts and totals.
+    let net = smc::circuits::families::inverter_ring(3);
+    let mut model = net.build(smc::circuits::FairnessMode::PerGate).expect("builds");
+    let count = model.reachable_count();
+    let (explicit, states) = model.enumerate(64).expect("small");
+    assert_eq!(states.len() as f64, count);
+    assert!(explicit.is_total());
+    // The checker agrees with itself across representations: EF of the
+    // all-ones state.
+    let mut sym = Checker::new(&mut model);
+    let sym_holds = sym
+        .check(&ctl::parse("EF (inv0 & inv1 & inv2)").unwrap())
+        .unwrap()
+        .holds();
+    let mut exp = smc::explicit::ExplicitChecker::new(&explicit);
+    exp.auto_fairness();
+    let exp_holds = exp
+        .check(&ctl::parse("EF (inv0 & inv1 & inv2)").unwrap())
+        .unwrap();
+    assert_eq!(sym_holds, exp_holds);
+}

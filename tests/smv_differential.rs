@@ -1,0 +1,145 @@
+//! Differential testing of the SMV compiler: random boolean programs
+//! are compiled to BDDs and simultaneously interpreted directly; the
+//! transition graphs must match exactly.
+
+use proptest::prelude::*;
+
+use smc::kripke::State;
+use smc::smv::compile;
+
+/// A random boolean expression over `vars` variables, rendered as SMV
+/// text and evaluated directly.
+#[derive(Debug, Clone)]
+enum Bexp {
+    Var(usize),
+    Const(bool),
+    Not(Box<Bexp>),
+    And(Box<Bexp>, Box<Bexp>),
+    Or(Box<Bexp>, Box<Bexp>),
+    Iff(Box<Bexp>, Box<Bexp>),
+    Ite(Box<Bexp>, Box<Bexp>, Box<Bexp>),
+}
+
+impl Bexp {
+    fn eval(&self, env: &[bool]) -> bool {
+        match self {
+            Bexp::Var(i) => env[*i],
+            Bexp::Const(b) => *b,
+            Bexp::Not(a) => !a.eval(env),
+            Bexp::And(a, b) => a.eval(env) && b.eval(env),
+            Bexp::Or(a, b) => a.eval(env) || b.eval(env),
+            Bexp::Iff(a, b) => a.eval(env) == b.eval(env),
+            Bexp::Ite(c, t, e) => {
+                if c.eval(env) {
+                    t.eval(env)
+                } else {
+                    e.eval(env)
+                }
+            }
+        }
+    }
+
+    fn to_smv(&self) -> String {
+        match self {
+            Bexp::Var(i) => format!("v{i}"),
+            Bexp::Const(true) => "TRUE".to_string(),
+            Bexp::Const(false) => "FALSE".to_string(),
+            Bexp::Not(a) => format!("!({})", a.to_smv()),
+            Bexp::And(a, b) => format!("({} & {})", a.to_smv(), b.to_smv()),
+            Bexp::Or(a, b) => format!("({} | {})", a.to_smv(), b.to_smv()),
+            Bexp::Iff(a, b) => format!("({} <-> {})", a.to_smv(), b.to_smv()),
+            Bexp::Ite(c, t, e) => format!(
+                "case {} : {}; TRUE : {}; esac",
+                c.to_smv(),
+                t.to_smv(),
+                e.to_smv()
+            ),
+        }
+    }
+}
+
+fn arb_bexp(nvars: usize) -> impl Strategy<Value = Bexp> {
+    let leaf = prop_oneof![
+        (0..nvars).prop_map(Bexp::Var),
+        any::<bool>().prop_map(Bexp::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Bexp::Not(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Bexp::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Bexp::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Bexp::Iff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Bexp::Ite(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Deterministic programs: next(v_i) := e_i. The compiled model's
+    /// successor function must equal direct evaluation everywhere.
+    #[test]
+    fn compiled_transitions_match_direct_evaluation(
+        exprs in proptest::collection::vec(arb_bexp(3), 3..=3),
+        inits in proptest::collection::vec(any::<bool>(), 3..=3),
+    ) {
+        let n = exprs.len();
+        let mut src = String::from("MODULE main\nVAR\n");
+        for i in 0..n {
+            src.push_str(&format!("  v{i} : boolean;\n"));
+        }
+        src.push_str("ASSIGN\n");
+        for (i, (e, init)) in exprs.iter().zip(&inits).enumerate() {
+            src.push_str(&format!(
+                "  init(v{i}) := {};\n",
+                if *init { "TRUE" } else { "FALSE" }
+            ));
+            src.push_str(&format!("  next(v{i}) := {};\n", e.to_smv()));
+        }
+        let mut compiled = compile(&src).expect("generated programs are valid");
+
+        // Initial state agrees.
+        let init_set = compiled.model.init();
+        let init_state = compiled.model.pick_state(init_set).expect("nonempty");
+        prop_assert_eq!(&init_state.0, &inits);
+        prop_assert_eq!(compiled.model.state_count(init_set), 1.0);
+
+        // Every state's unique successor agrees with direct evaluation.
+        for bits in 0..(1u32 << n) {
+            let env: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let state = State(env.clone());
+            let succ_set = compiled.model.successors(&state);
+            let succs = compiled.model.states_in(succ_set, 8).expect("deterministic");
+            let expected: Vec<bool> = exprs.iter().map(|e| e.eval(&env)).collect();
+            prop_assert_eq!(succs, vec![State(expected)], "from {:?}", env);
+        }
+    }
+
+    /// Raw TRANS with next(): `TRANS next(v0) = e` leaves other
+    /// variables free; successor sets must match the direct semantics.
+    #[test]
+    fn trans_constraints_match_direct_evaluation(expr in arb_bexp(2)) {
+        let src = format!(
+            "MODULE main\nVAR v0 : boolean; v1 : boolean;\n\
+             INIT !v0 & !v1\nTRANS next(v0) = ({})",
+            expr.to_smv()
+        );
+        let mut compiled = compile(&src).expect("valid");
+        for bits in 0..4u32 {
+            let env: Vec<bool> = (0..2).map(|i| bits >> i & 1 == 1).collect();
+            let state = State(env.clone());
+            let succ_set = compiled.model.successors(&state);
+            let succs = compiled.model.states_in(succ_set, 8).expect("small");
+            let v0_next = expr.eval(&env);
+            let expected: Vec<State> = [false, true]
+                .into_iter()
+                .map(|v1| State(vec![v0_next, v1]))
+                .collect();
+            let mut expected = expected;
+            expected.sort();
+            prop_assert_eq!(succs, expected, "from {:?}", env);
+        }
+    }
+}

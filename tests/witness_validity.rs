@@ -1,0 +1,168 @@
+//! Witness soundness on random models: every trace the generator emits
+//! must replay on the model and demonstrate its formula.
+
+use proptest::prelude::*;
+
+use smc::checker::{Checker, CycleStrategy};
+use smc::kripke::ExplicitModel;
+use smc::logic::ctl;
+
+/// Deterministic random total graph with labels and fairness sets.
+fn arb_fair_model() -> impl Strategy<Value = (ExplicitModel, usize)> {
+    (2usize..10, any::<u64>(), 1usize..3).prop_map(|(n, seed, nfair)| {
+        let mut state = seed | 1;
+        let mut next = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize % m
+        };
+        let mut g = ExplicitModel::new();
+        let p = g.add_ap("p");
+        let f0 = g.add_ap("f0");
+        let f1 = g.add_ap("f1");
+        for s in 0..n {
+            let mut labels = Vec::new();
+            if next(2) == 0 {
+                labels.push(p);
+            }
+            if next(2) == 0 {
+                labels.push(f0);
+            }
+            if nfair >= 2 && (next(2) == 0 || s == 0) {
+                labels.push(f1);
+            }
+            g.add_state(&labels);
+        }
+        for s in 0..n {
+            g.add_edge(s, next(n));
+            g.add_edge(s, next(n));
+        }
+        g.add_initial(0);
+        (g, nfair)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every fair EG witness: replays, stays inside the body, and visits
+    /// every fairness constraint on its cycle — under both strategies.
+    #[test]
+    fn fair_eg_witnesses_are_sound(
+        (graph, nfair) in arb_fair_model(),
+        use_p_body in any::<bool>(),
+        stay_set in any::<bool>(),
+    ) {
+        let mut model = graph.to_symbolic().expect("total");
+        let mut fair_sets = Vec::new();
+        for k in 0..nfair {
+            let set = model.ap(&format!("f{k}")).expect("registered");
+            model.add_fairness(set);
+            fair_sets.push(set);
+        }
+        let body_spec = if use_p_body { "EG p" } else { "EG true" };
+        let body = model.ap("p").expect("registered");
+        let strategy = if stay_set { CycleStrategy::StaySet } else { CycleStrategy::Restart };
+        let mut checker = Checker::new(&mut model).with_strategy(strategy);
+        let formula = ctl::parse(body_spec).expect("valid");
+        match checker.witness(&formula) {
+            Ok(w) => {
+                prop_assert!(w.is_lasso(), "EG witnesses are lassos");
+                let model = checker.model();
+                prop_assert!(w.is_path_of(model), "trace must replay");
+                if use_p_body {
+                    prop_assert!(w.all_states_in(model, body), "EG body everywhere");
+                }
+                for (k, &set) in fair_sets.iter().enumerate() {
+                    prop_assert!(
+                        w.cycle_visits(model, set),
+                        "cycle must visit fairness constraint {}", k
+                    );
+                }
+            }
+            Err(smc::checker::CheckError::NothingToExplain) => {
+                // Formula fails at the initial state: fine.
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
+        }
+    }
+
+    /// EU witnesses are shortest: their length matches the BFS distance
+    /// from the initial state to the (fair) target set.
+    #[test]
+    fn eu_witnesses_are_shortest((graph, nfair) in arb_fair_model()) {
+        let mut model = graph.to_symbolic().expect("total");
+        for k in 0..nfair {
+            let set = model.ap(&format!("f{k}")).expect("registered");
+            model.add_fairness(set);
+        }
+        let mut checker = Checker::new(&mut model);
+        let formula = ctl::parse("E [true U p]").expect("valid");
+        let Ok(w) = checker.witness(&formula) else { return Ok(()); };
+        // The witness (up to the first p-state) must be a shortest path
+        // from init to p ∩ fair. Compute the BFS oracle on the graph.
+        let fair_formula = ctl::parse("p & EG true").expect("valid");
+        let target_set = checker.check_states(&fair_formula).expect("known");
+        let model = checker.model();
+        let n = graph.num_states();
+        let bits = (usize::BITS as usize - (n - 1).leading_zeros() as usize).max(1);
+        let target: Vec<bool> = (0..n)
+            .map(|s| {
+                let st = smc::kripke::State((0..bits).map(|b| s >> b & 1 == 1).collect());
+                model.eval_state(target_set, &st)
+            })
+            .collect();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::from([graph.initial()[0]]);
+        dist[graph.initial()[0]] = 0;
+        while let Some(s) = queue.pop_front() {
+            if target[s] {
+                continue;
+            }
+            for &t in graph.successors(s) {
+                if dist[t] == usize::MAX {
+                    dist[t] = dist[s] + 1;
+                    queue.push_back(t);
+                }
+            }
+        }
+        let oracle = (0..n).filter(|&s| target[s]).map(|s| dist[s]).min().expect("witness exists");
+        // Index of the first target state on the witness.
+        let hit = w
+            .states
+            .iter()
+            .position(|st| model.eval_state(target_set, st))
+            .expect("the witness reaches the target");
+        prop_assert_eq!(hit, oracle, "EU witness is not shortest");
+    }
+
+    /// Counterexamples for AG (p -> AF q)-style liveness replay and
+    /// demonstrate the violation.
+    #[test]
+    fn liveness_counterexamples_are_sound((graph, nfair) in arb_fair_model()) {
+        let mut model = graph.to_symbolic().expect("total");
+        for k in 0..nfair {
+            let set = model.ap(&format!("f{k}")).expect("registered");
+            model.add_fairness(set);
+        }
+        let p_set = model.ap("p").expect("registered");
+        let mut checker = Checker::new(&mut model);
+        let spec = ctl::parse("AG (AF p)").expect("valid");
+        let verdict = checker.check(&spec).expect("known");
+        if verdict.holds() {
+            prop_assert!(matches!(
+                checker.counterexample(&spec),
+                Err(smc::checker::CheckError::NothingToExplain)
+            ));
+        } else {
+            let cx = checker.counterexample(&spec).expect("must exist");
+            let model = checker.model();
+            prop_assert!(cx.is_path_of(model));
+            prop_assert!(cx.is_lasso(), "AF violation needs a p-avoiding cycle");
+            for s in cx.cycle() {
+                prop_assert!(!model.eval_state(p_set, s), "cycle must avoid p");
+            }
+        }
+    }
+}
