@@ -1,4 +1,11 @@
-//! Memoized if-then-else and the boolean connectives derived from it.
+//! Memoized boolean operations: specialized and/or/xor/not recursions
+//! plus the general if-then-else.
+//!
+//! The binary connectives on the model-checking hot path (conjunction,
+//! disjunction, difference) get dedicated two-operand recursions with
+//! commutativity-normalized cache keys, so `a ∧ b` and `b ∧ a` share one
+//! computed-table entry and the key is two ids instead of three. `ite`
+//! remains the general case for everything irregular.
 
 use crate::manager::{BddManager, CacheOp};
 use crate::node::Bdd;
@@ -6,10 +13,11 @@ use crate::node::Bdd;
 impl BddManager {
     /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`.
     ///
-    /// The single recursive workhorse; every binary connective is a
-    /// special case. Memoized through the computed table, so repeated
-    /// subproblems cost one hash lookup — this is what makes the fixpoint
-    /// iterations of symbolic model checking tractable.
+    /// The general recursive workhorse; the symmetric connectives use the
+    /// specialized recursions below, everything else is a special case of
+    /// this. Memoized through the computed table, so repeated subproblems
+    /// cost one hash lookup — this is what makes the fixpoint iterations
+    /// of symbolic model checking tractable.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
         // Terminal cases.
         if f.is_true() {
@@ -23,6 +31,17 @@ impl BddManager {
         }
         if g.is_true() && h.is_false() {
             return f;
+        }
+        // Route the symmetric shapes to the specialized recursions so the
+        // two entry points share one memo line.
+        if h.is_false() {
+            return self.and(f, g);
+        }
+        if g.is_true() {
+            return self.or(f, h);
+        }
+        if g.is_false() && h.is_true() {
+            return self.not(f);
         }
         let key = (CacheOp::Ite, f.0, g.0, h.0);
         if let Some(hit) = self.cache_get(key) {
@@ -56,36 +75,138 @@ impl BddManager {
         }
     }
 
-    /// Logical negation `¬f`.
+    /// Logical negation `¬f`. Dedicated memoized recursion.
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        self.ite(f, Bdd::FALSE, Bdd::TRUE)
+        if f.is_false() {
+            return Bdd::TRUE;
+        }
+        if f.is_true() {
+            return Bdd::FALSE;
+        }
+        let key = (CacheOp::Not, f.0, 0, 0);
+        if let Some(hit) = self.cache_get(key) {
+            return hit;
+        }
+        let n = self.node(f);
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let result = self.mk(n.var, lo, hi);
+        self.cache_put(key, result);
+        result
     }
 
-    /// Conjunction `f ∧ g`.
+    /// Conjunction `f ∧ g`. Dedicated memoized recursion; the cache key is
+    /// normalized by operand id so both argument orders share one entry.
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.ite(f, g, Bdd::FALSE)
+        if f == g {
+            return f;
+        }
+        if f.is_false() || g.is_false() {
+            return Bdd::FALSE;
+        }
+        if f.is_true() {
+            return g;
+        }
+        if g.is_true() {
+            return f;
+        }
+        let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let key = (CacheOp::And, a.0, b.0, 0);
+        if let Some(hit) = self.cache_get(key) {
+            return hit;
+        }
+        let la = self.level(a);
+        let lb = self.level(b);
+        let top = la.min(lb);
+        let var = self.level2var[top as usize];
+        let (a0, a1) = self.cofactors_at(a, top);
+        let (b0, b1) = self.cofactors_at(b, top);
+        let lo = self.and(a0, b0);
+        let hi = self.and(a1, b1);
+        let result = self.mk(var, lo, hi);
+        self.cache_put(key, result);
+        result
     }
 
-    /// Disjunction `f ∨ g`.
+    /// Disjunction `f ∨ g`. Dedicated memoized recursion with a
+    /// commutativity-normalized cache key.
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.ite(f, Bdd::TRUE, g)
+        if f == g {
+            return f;
+        }
+        if f.is_true() || g.is_true() {
+            return Bdd::TRUE;
+        }
+        if f.is_false() {
+            return g;
+        }
+        if g.is_false() {
+            return f;
+        }
+        let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let key = (CacheOp::Or, a.0, b.0, 0);
+        if let Some(hit) = self.cache_get(key) {
+            return hit;
+        }
+        let la = self.level(a);
+        let lb = self.level(b);
+        let top = la.min(lb);
+        let var = self.level2var[top as usize];
+        let (a0, a1) = self.cofactors_at(a, top);
+        let (b0, b1) = self.cofactors_at(b, top);
+        let lo = self.or(a0, b0);
+        let hi = self.or(a1, b1);
+        let result = self.mk(var, lo, hi);
+        self.cache_put(key, result);
+        result
     }
 
-    /// Exclusive or `f ⊕ g`.
+    /// Exclusive or `f ⊕ g`. Dedicated memoized recursion with a
+    /// commutativity-normalized cache key.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        if f == g {
+            return Bdd::FALSE;
+        }
+        if f.is_false() {
+            return g;
+        }
+        if g.is_false() {
+            return f;
+        }
+        if f.is_true() {
+            return self.not(g);
+        }
+        if g.is_true() {
+            return self.not(f);
+        }
+        let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let key = (CacheOp::Xor, a.0, b.0, 0);
+        if let Some(hit) = self.cache_get(key) {
+            return hit;
+        }
+        let la = self.level(a);
+        let lb = self.level(b);
+        let top = la.min(lb);
+        let var = self.level2var[top as usize];
+        let (a0, a1) = self.cofactors_at(a, top);
+        let (b0, b1) = self.cofactors_at(b, top);
+        let lo = self.xor(a0, b0);
+        let hi = self.xor(a1, b1);
+        let result = self.mk(var, lo, hi);
+        self.cache_put(key, result);
+        result
     }
 
     /// Equivalence `f ↔ g`.
     pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.ite(f, g, ng)
+        let x = self.xor(f, g);
+        self.not(x)
     }
 
     /// Implication `f → g`.
     pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.ite(f, g, Bdd::TRUE)
+        let nf = self.not(f);
+        self.or(nf, g)
     }
 
     /// Difference `f ∧ ¬g` (set subtraction when BDDs denote state sets).

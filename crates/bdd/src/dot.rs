@@ -1,6 +1,5 @@
 //! Graphviz DOT export for debugging and documentation.
 
-use std::collections::HashSet;
 use std::fmt::Write as _;
 
 use crate::manager::BddManager;
@@ -16,14 +15,17 @@ impl BddManager {
         out.push_str("  node [shape=circle];\n");
         out.push_str("  f [label=\"0\", shape=box];\n");
         out.push_str("  t [label=\"1\", shape=box];\n");
-        let mut seen: HashSet<Bdd> = HashSet::new();
-        let mut stack: Vec<Bdd> = roots.to_vec();
+        let mut scratch = self.scratch.borrow_mut();
+        let sc = &mut *scratch;
+        sc.begin(self.nodes.len());
+        sc.stack.extend(roots.iter().map(|b| b.0));
         for (i, r) in roots.iter().enumerate() {
             let _ = writeln!(out, "  root{i} [label=\"root {i}\", shape=plaintext];");
             let _ = writeln!(out, "  root{i} -> {};", dot_id(*r));
         }
-        while let Some(b) = stack.pop() {
-            if b.is_const() || !seen.insert(b) {
+        while let Some(id) = sc.stack.pop() {
+            let b = Bdd(id);
+            if b.is_const() || !sc.mark(id) {
                 continue;
             }
             let n = self.node(b);
@@ -31,8 +33,8 @@ impl BddManager {
             let _ = writeln!(out, "  {} [label=\"{}\"];", dot_id(b), escape(name));
             let _ = writeln!(out, "  {} -> {} [style=dashed];", dot_id(b), dot_id(n.lo));
             let _ = writeln!(out, "  {} -> {};", dot_id(b), dot_id(n.hi));
-            stack.push(n.lo);
-            stack.push(n.hi);
+            sc.stack.push(n.lo.0);
+            sc.stack.push(n.hi.0);
         }
         out.push_str("}\n");
         out

@@ -5,8 +5,6 @@
 //! calls *you* make. Before calling [`BddManager::gc`], protect every
 //! handle you intend to keep with [`BddManager::protect`].
 
-use std::collections::HashSet;
-
 use crate::manager::BddManager;
 use crate::node::{Bdd, Node};
 
@@ -15,38 +13,50 @@ impl BddManager {
     /// additional `roots` slice. Returns the number of reclaimed nodes.
     ///
     /// Node ids of surviving nodes are stable, so protected handles remain
-    /// valid. The computed table is cleared (it may reference dead nodes).
+    /// valid. The computed table is invalidated (it may reference dead
+    /// nodes); with the generational bounded cache this is O(1).
     pub fn gc(&mut self, roots: &[Bdd]) -> usize {
-        let mut live: HashSet<u32> = HashSet::new();
-        live.insert(Bdd::FALSE.0);
-        live.insert(Bdd::TRUE.0);
-        let mut stack: Vec<u32> = roots.iter().map(|b| b.0).collect();
-        stack.extend(self.protected.keys().copied());
-        while let Some(id) = stack.pop() {
-            if !live.insert(id) {
+        // Destructure so the epoch-marked scratch, the node pool and the
+        // unique tables can be borrowed independently.
+        let BddManager {
+            nodes,
+            free,
+            tables,
+            scratch,
+            protected,
+            ..
+        } = self;
+        let sc = scratch.get_mut();
+        sc.begin(nodes.len());
+        sc.mark(Bdd::FALSE.0);
+        sc.mark(Bdd::TRUE.0);
+        sc.stack.extend(roots.iter().map(|b| b.0));
+        sc.stack.extend(protected.keys().copied());
+        while let Some(id) = sc.stack.pop() {
+            if !sc.mark(id) {
                 continue;
             }
-            let n = self.nodes[id as usize];
+            let n = nodes[id as usize];
             if !n.lo.is_const() {
-                stack.push(n.lo.0);
+                sc.stack.push(n.lo.0);
             }
             if !n.hi.is_const() {
-                stack.push(n.hi.0);
+                sc.stack.push(n.hi.0);
             }
         }
         let mut reclaimed = 0;
-        for table in &mut self.tables {
-            table.retain(|_, &mut id| {
-                let keep = live.contains(&id);
+        for table in tables.iter_mut() {
+            table.retain_ids(|id| {
+                let keep = sc.marked(id);
                 if !keep {
                     reclaimed += 1;
-                    self.nodes[id as usize] = Node::terminal();
-                    self.free.push(id);
+                    nodes[id as usize] = Node::terminal();
+                    free.push(id);
                 }
                 keep
             });
         }
-        self.cache.clear();
+        self.cache.invalidate_all();
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += reclaimed as u64;
         reclaimed

@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 
-use crate::manager::BddManager;
+use crate::manager::{BddManager, VisitScratch};
 use crate::node::{Bdd, Var};
 
 impl BddManager {
@@ -46,11 +46,16 @@ impl BddManager {
             write!(writer, " {}", self.var_at_level(level).index())?;
         }
         writeln!(writer)?;
-        // Children-first enumeration of the shared graph.
+        // Children-first enumeration of the shared graph; visited marks
+        // come from the manager's epoch scratch, not a fresh set.
         let mut order: Vec<Bdd> = Vec::new();
-        let mut seen: HashMap<Bdd, ()> = HashMap::new();
-        for &r in roots {
-            self.postorder(r, &mut seen, &mut order);
+        {
+            let mut scratch = self.scratch.borrow_mut();
+            let sc = &mut *scratch;
+            sc.begin(self.nodes.len());
+            for &r in roots {
+                self.postorder(r, sc, &mut order);
+            }
         }
         let mut ids: HashMap<Bdd, u64> = HashMap::new();
         ids.insert(Bdd::FALSE, 0);
@@ -69,14 +74,13 @@ impl BddManager {
         Ok(())
     }
 
-    fn postorder(&self, b: Bdd, seen: &mut HashMap<Bdd, ()>, out: &mut Vec<Bdd>) {
-        if b.is_const() || seen.contains_key(&b) {
+    fn postorder(&self, b: Bdd, sc: &mut VisitScratch, out: &mut Vec<Bdd>) {
+        if b.is_const() || !sc.mark(b.0) {
             return;
         }
-        seen.insert(b, ());
         let n = self.node(b);
-        self.postorder(n.lo, seen, out);
-        self.postorder(n.hi, seen, out);
+        self.postorder(n.lo, sc, out);
+        self.postorder(n.hi, sc, out);
         out.push(b);
     }
 

@@ -15,8 +15,13 @@
 //! - A [`Bdd`] is a `Copy` handle (a node id) into one manager. Handles
 //!   from different managers must not be mixed; every operation is a method
 //!   on the manager.
-//! - All binary operations route through a memoized if-then-else
-//!   ([`BddManager::ite`]) with a computed table.
+//! - The symmetric connectives ([`BddManager::and`], [`BddManager::or`],
+//!   [`BddManager::xor`]) and negation ([`BddManager::not`]) have
+//!   dedicated memoized recursions with commutativity-normalized cache
+//!   keys; irregular shapes route through the general memoized
+//!   if-then-else ([`BddManager::ite`]). The computed table is a bounded,
+//!   lossy, 2-way set-associative cache (see [`BddManagerStats`] for the
+//!   per-operation hit/eviction counters).
 //! - Quantification ([`BddManager::exists`], [`BddManager::forall`]) and
 //!   the fused relational product ([`BddManager::and_exists`]) operate over
 //!   *cubes* (conjunctions of variables).
@@ -63,7 +68,7 @@ mod sat;
 mod subst;
 
 pub use error::BddError;
-pub use manager::{BddManager, BddManagerStats};
+pub use manager::{BddManager, BddManagerStats, OpCounters, CACHE_OP_NAMES, NUM_CACHE_OPS};
 pub use node::{Bdd, Var};
 pub use sat::{CubeIter, SatAssignment};
 

@@ -1,21 +1,338 @@
 //! The BDD manager: node storage, hash-consing, and bookkeeping.
+//!
+//! Hot-path layout: the per-variable unique tables and the computed table
+//! are hand-rolled open-addressing tables over plain `u32` slots — no
+//! SipHash, no per-entry allocation. The computed table is a bounded,
+//! lossy, 2-way set-associative cache that is invalidated in O(1) by a
+//! generation bump when GC or reordering makes memoized results stale.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use crate::error::BddError;
 use crate::node::{Bdd, Node, Var, TERMINAL_VAR};
 
-/// Operation tags for the computed table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) enum CacheOp {
-    Ite,
-    Exists,
-    Forall,
-    AndExists,
-    Constrain,
+/// Sentinel for "no node id" in the open-addressed tables.
+const EMPTY: u32 = u32::MAX;
+
+/// Multiplicative mixer (splitmix64 finalizer) — the in-repo stand-in
+/// for a fast non-cryptographic hasher.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
+#[inline]
+fn hash_pair(lo: u32, hi: u32) -> u64 {
+    mix64(((lo as u64) << 32) | hi as u64)
+}
+
+// ---------------------------------------------------------------------
+// Unique tables
+// ---------------------------------------------------------------------
+
+/// One variable's unique table: open addressing with linear probing and
+/// backward-shift deletion. Each slot carries the `(lo, hi)` key inline
+/// next to the node id, so a probe is one cache line touch and two
+/// compares — no rehashing of `Node`s, no boxed buckets.
+#[derive(Debug, Clone)]
+pub(crate) struct UniqueTable {
+    /// `(lo, hi, id)` triples, flat; `id == EMPTY` marks a free slot.
+    slots: Vec<(u32, u32, u32)>,
+    len: usize,
+}
+
+impl UniqueTable {
+    pub(crate) fn new() -> UniqueTable {
+        UniqueTable { slots: Vec::new(), len: 0 }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, lo: Bdd, hi: Bdd) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.mask();
+        let mut i = hash_pair(lo.0, hi.0) as usize & mask;
+        loop {
+            let (slo, shi, sid) = self.slots[i];
+            if sid == EMPTY {
+                return None;
+            }
+            if slo == lo.0 && shi == hi.0 {
+                return Some(sid);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts a key known to be absent.
+    pub(crate) fn insert(&mut self, lo: Bdd, hi: Bdd, id: u32) {
+        if self.slots.is_empty() {
+            self.slots.resize(16, (0, 0, EMPTY));
+        } else if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut i = hash_pair(lo.0, hi.0) as usize & mask;
+        while self.slots[i].2 != EMPTY {
+            debug_assert!(
+                !(self.slots[i].0 == lo.0 && self.slots[i].1 == hi.0),
+                "duplicate unique-table insert"
+            );
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (lo.0, hi.0, id);
+        self.len += 1;
+    }
+
+    /// Removes a key if present, returning its id. Uses backward-shift
+    /// deletion so probe chains stay dense (no tombstones).
+    pub(crate) fn remove(&mut self, lo: Bdd, hi: Bdd) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.mask();
+        let mut i = hash_pair(lo.0, hi.0) as usize & mask;
+        loop {
+            let (slo, shi, sid) = self.slots[i];
+            if sid == EMPTY {
+                return None;
+            }
+            if slo == lo.0 && shi == hi.0 {
+                self.len -= 1;
+                // Backward shift: move later chain members up until a
+                // free slot or a slot already at its home position.
+                let removed = sid;
+                let mut hole = i;
+                let mut j = (i + 1) & mask;
+                loop {
+                    let (jlo, jhi, jid) = self.slots[j];
+                    if jid == EMPTY {
+                        break;
+                    }
+                    let home = hash_pair(jlo, jhi) as usize & mask;
+                    // Can j's entry fill the hole without breaking its
+                    // own probe chain? (standard circular-distance test)
+                    let dist_home_hole = hole.wrapping_sub(home) & mask;
+                    let dist_home_j = j.wrapping_sub(home) & mask;
+                    if dist_home_hole <= dist_home_j {
+                        self.slots[hole] = self.slots[j];
+                        hole = j;
+                    }
+                    j = (j + 1) & mask;
+                }
+                self.slots[hole] = (0, 0, EMPTY);
+                return Some(removed);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// All node ids currently stored (snapshot).
+    pub(crate) fn ids(&self) -> Vec<u32> {
+        self.slots.iter().filter(|s| s.2 != EMPTY).map(|s| s.2).collect()
+    }
+
+    /// Drops every entry whose id fails the predicate.
+    pub(crate) fn retain_ids(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        let old: Vec<(u32, u32, u32)> =
+            self.slots.iter().copied().filter(|s| s.2 != EMPTY).collect();
+        for s in &mut self.slots {
+            *s = (0, 0, EMPTY);
+        }
+        self.len = 0;
+        for (lo, hi, id) in old {
+            if keep(id) {
+                self.insert(Bdd(lo), Bdd(hi), id);
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0, EMPTY); new_cap]);
+        let mask = self.mask();
+        for (lo, hi, id) in old {
+            if id == EMPTY {
+                continue;
+            }
+            let mut i = hash_pair(lo, hi) as usize & mask;
+            while self.slots[i].2 != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = (lo, hi, id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Computed table
+// ---------------------------------------------------------------------
+
+/// Operation tags for the computed table. The discriminant doubles as
+/// the index into the per-operation stats counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub(crate) enum CacheOp {
+    Ite = 0,
+    And = 1,
+    Or = 2,
+    Xor = 3,
+    Not = 4,
+    Exists = 5,
+    Forall = 6,
+    AndExists = 7,
+    Constrain = 8,
+}
+
+/// Number of distinct [`CacheOp`] tags.
+pub const NUM_CACHE_OPS: usize = 9;
+
+/// Human-readable names for the per-operation stat rows, indexed like
+/// [`BddManagerStats::per_op`].
+pub const CACHE_OP_NAMES: [&str; NUM_CACHE_OPS] = [
+    "ite", "and", "or", "xor", "not", "exists", "forall", "and_exists", "constrain",
+];
+
 pub(crate) type CacheKey = (CacheOp, u32, u32, u32);
+
+/// One computed-table entry; `gen` ties it to the cache generation so
+/// the whole table is invalidated by bumping the generation counter.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    a: u32,
+    b: u32,
+    c: u32,
+    op: u8,
+    result: u32,
+    gen: u32,
+}
+
+const EMPTY_ENTRY: CacheEntry = CacheEntry { a: 0, b: 0, c: 0, op: 0, result: EMPTY, gen: 0 };
+
+/// Bounded, lossy computed table: 2-way set-associative (direct-mapped
+/// at capacity 1), evicting on set overflow instead of growing. Memory
+/// stays fixed no matter how long a fixpoint runs; GC/reorder
+/// invalidation is an O(1) generation bump.
+#[derive(Debug, Clone)]
+pub(crate) struct ComputedCache {
+    entries: Vec<CacheEntry>,
+    ways: usize,
+    set_mask: usize,
+    gen: u32,
+}
+
+impl ComputedCache {
+    /// Default capacity (entries). 2^17 × 24 B ≈ 3 MiB.
+    pub(crate) const DEFAULT_CAPACITY: usize = 1 << 17;
+
+    pub(crate) fn with_capacity(capacity: usize) -> ComputedCache {
+        let ways = if capacity <= 1 { 1 } else { 2 };
+        let sets = (capacity / ways).next_power_of_two().max(1);
+        ComputedCache {
+            entries: vec![EMPTY_ENTRY; sets * ways],
+            ways,
+            set_mask: sets - 1,
+            gen: 1,
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn set_of(&self, key: &CacheKey) -> usize {
+        let h = mix64(
+            ((key.0 as u64) << 56) ^ ((key.1 as u64) << 34) ^ ((key.2 as u64) << 17) ^ key.3 as u64,
+        );
+        (h as usize & self.set_mask) * self.ways
+    }
+
+    #[inline]
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<Bdd> {
+        let base = self.set_of(key);
+        for w in 0..self.ways {
+            let e = self.entries[base + w];
+            if e.result != EMPTY
+                && e.gen == self.gen
+                && e.op == key.0 as u8
+                && e.a == key.1
+                && e.b == key.2
+                && e.c == key.3
+            {
+                if w != 0 {
+                    // Most-recently-used to way 0.
+                    self.entries.swap(base, base + w);
+                }
+                return Some(Bdd(self.entries[base].result));
+            }
+        }
+        None
+    }
+
+    /// Inserts, returning `true` if a live entry was evicted.
+    #[inline]
+    pub(crate) fn put(&mut self, key: &CacheKey, value: Bdd) -> bool {
+        let base = self.set_of(key);
+        let last = base + self.ways - 1;
+        let victim = self.entries[last];
+        let evicted = victim.result != EMPTY && victim.gen == self.gen;
+        // Shift ways down (LRU out of the last way), new entry in way 0.
+        for w in (base + 1..=last).rev() {
+            self.entries[w] = self.entries[w - 1];
+        }
+        self.entries[base] = CacheEntry {
+            a: key.1,
+            b: key.2,
+            c: key.3,
+            op: key.0 as u8,
+            result: value.0,
+            gen: self.gen,
+        };
+        evicted
+    }
+
+    /// Invalidates every entry in O(1).
+    pub(crate) fn invalidate_all(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Generation wrapped: physically clear so stale entries from
+            // 2^32 generations ago cannot resurface.
+            for e in &mut self.entries {
+                *e = EMPTY_ENTRY;
+            }
+            self.gen = 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+/// Computed-table traffic for one operation kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Computed-table lookups issued by this operation.
+    pub lookups: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Live entries this operation's inserts evicted.
+    pub evictions: u64,
+}
 
 /// Counters describing the state and workload of a [`BddManager`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -25,15 +342,86 @@ pub struct BddManagerStats {
     pub live_nodes: usize,
     /// Total nodes ever created (including reclaimed ones).
     pub created_nodes: u64,
-    /// Computed-table lookups.
+    /// Computed-table lookups (all operations).
     pub cache_lookups: u64,
-    /// Computed-table hits.
+    /// Computed-table hits (all operations).
     pub cache_hits: u64,
+    /// Live computed-table entries evicted by bounded-cache collisions.
+    pub cache_evictions: u64,
     /// Number of garbage collections performed.
     pub gc_runs: u64,
     /// Nodes reclaimed across all garbage collections.
     pub gc_reclaimed: u64,
+    /// Per-operation computed-table counters, indexed by operation; see
+    /// [`per_op`](Self::per_op) for named access.
+    pub op_counters: [OpCounters; NUM_CACHE_OPS],
 }
+
+impl BddManagerStats {
+    /// Per-operation computed-table counters with their names
+    /// (`ite`, `and`, `or`, `xor`, `not`, `exists`, `forall`,
+    /// `and_exists`, `constrain`).
+    pub fn per_op(&self) -> impl Iterator<Item = (&'static str, OpCounters)> + '_ {
+        CACHE_OP_NAMES.iter().copied().zip(self.op_counters.iter().copied())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Traversal scratch
+// ---------------------------------------------------------------------
+
+/// Epoch-marked scratch shared by every graph walk (`size`, sat
+/// counting, save/export, GC marking). A node is "visited this walk" iff
+/// `marks[id] == epoch`; starting a new walk is one increment, not an
+/// allocation.
+#[derive(Debug, Default)]
+pub(crate) struct VisitScratch {
+    marks: Vec<u32>,
+    epoch: u32,
+    /// Reusable stack for iterative walks.
+    pub(crate) stack: Vec<u32>,
+    /// Per-node numeric memo (used by sat counting); `vals[id]` is valid
+    /// only when `marks[id]` matches the current epoch.
+    pub(crate) vals: Vec<f64>,
+}
+
+impl VisitScratch {
+    /// Starts a new walk over a graph of `nodes` slots.
+    pub(crate) fn begin(&mut self, nodes: usize) {
+        if self.marks.len() < nodes {
+            self.marks.resize(nodes, self.epoch);
+            self.vals.resize(nodes, 0.0);
+        }
+        if self.epoch == u32::MAX {
+            self.marks.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.stack.clear();
+    }
+
+    /// Marks a node; returns `true` on first visit this walk.
+    #[inline]
+    pub(crate) fn mark(&mut self, id: u32) -> bool {
+        let m = &mut self.marks[id as usize];
+        if *m == self.epoch {
+            false
+        } else {
+            *m = self.epoch;
+            true
+        }
+    }
+
+    /// Has the node been marked this walk?
+    #[inline]
+    pub(crate) fn marked(&self, id: u32) -> bool {
+        self.marks[id as usize] == self.epoch
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manager
+// ---------------------------------------------------------------------
 
 /// Owner of all BDD nodes: the unique tables, the computed table, the
 /// variable order and the protected-root set.
@@ -47,9 +435,9 @@ pub struct BddManager {
     /// Free slots available for reuse (filled by GC).
     pub(crate) free: Vec<u32>,
     /// Per-variable unique tables: `(lo, hi) -> node id`.
-    pub(crate) tables: Vec<HashMap<(Bdd, Bdd), u32>>,
+    pub(crate) tables: Vec<UniqueTable>,
     /// Computed table shared by the memoized recursive operations.
-    pub(crate) cache: HashMap<CacheKey, Bdd>,
+    pub(crate) cache: ComputedCache,
     /// Variable names in creation order.
     var_names: Vec<String>,
     /// Name -> variable lookup.
@@ -63,6 +451,9 @@ pub struct BddManager {
     /// Whether the computed table is consulted (ablation switch A3).
     pub(crate) cache_enabled: bool,
     pub(crate) stats: BddManagerStats,
+    /// Shared traversal scratch; `RefCell` so `&self` walks (`size`,
+    /// `sat_count`, exports) can reuse it without allocating.
+    pub(crate) scratch: RefCell<VisitScratch>,
 }
 
 impl BddManager {
@@ -81,7 +472,7 @@ impl BddManager {
             nodes: vec![Node::terminal(), Node::terminal()],
             free: Vec::new(),
             tables: Vec::new(),
-            cache: HashMap::new(),
+            cache: ComputedCache::with_capacity(ComputedCache::DEFAULT_CAPACITY),
             var_names: Vec::new(),
             name_index: HashMap::new(),
             var2level: Vec::new(),
@@ -89,6 +480,7 @@ impl BddManager {
             protected: HashMap::new(),
             cache_enabled: true,
             stats: BddManagerStats::default(),
+            scratch: RefCell::new(VisitScratch::default()),
         }
     }
 
@@ -107,7 +499,7 @@ impl BddManager {
         self.name_index.insert(name.to_string(), var);
         self.var2level.push(self.level2var.len() as u32);
         self.level2var.push(var.0);
-        self.tables.push(HashMap::new());
+        self.tables.push(UniqueTable::new());
         Ok(var)
     }
 
@@ -185,7 +577,7 @@ impl BddManager {
                 && self.level(hi) > self.var2level[var as usize],
             "mk would violate variable order"
         );
-        if let Some(&id) = self.tables[var as usize].get(&(lo, hi)) {
+        if let Some(id) = self.tables[var as usize].get(lo, hi) {
             return Bdd(id);
         }
         let id = match self.free.pop() {
@@ -200,7 +592,7 @@ impl BddManager {
                 id
             }
         };
-        self.tables[var as usize].insert((lo, hi), id);
+        self.tables[var as usize].insert(lo, hi, id);
         self.stats.created_nodes += 1;
         Bdd(id)
     }
@@ -275,17 +667,25 @@ impl BddManager {
     /// Number of decision nodes in the (shared) graph of `b`, excluding
     /// terminals. The size measure used throughout the literature.
     pub fn size(&self, b: Bdd) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![b];
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        scratch.begin(self.nodes.len());
         let mut count = 0;
-        while let Some(top) = stack.pop() {
-            if top.is_const() || !seen.insert(top) {
+        if !b.is_const() {
+            scratch.stack.push(b.0);
+        }
+        while let Some(top) = scratch.stack.pop() {
+            if !scratch.mark(top) {
                 continue;
             }
             count += 1;
-            let n = self.node(top);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            let n = self.nodes[top as usize];
+            if !n.lo.is_const() {
+                scratch.stack.push(n.lo.0);
+            }
+            if !n.hi.is_const() {
+                scratch.stack.push(n.hi.0);
+            }
         }
         count
     }
@@ -293,6 +693,13 @@ impl BddManager {
     /// Total live nodes in the manager (all unique-table entries).
     pub fn num_nodes(&self) -> usize {
         self.tables.iter().map(|t| t.len()).sum::<usize>() + 2
+    }
+
+    /// High-water mark of the node pool: the largest number of node slots
+    /// ever simultaneously allocated (GC recycles slots, so this only
+    /// grows when live data outgrew every previous peak).
+    pub fn peak_nodes(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Protects a root from garbage collection. Protection is counted:
@@ -319,13 +726,27 @@ impl BddManager {
     pub fn set_cache_enabled(&mut self, enabled: bool) {
         self.cache_enabled = enabled;
         if !enabled {
-            self.cache.clear();
+            self.cache.invalidate_all();
         }
     }
 
-    /// Drops every memoized result. Invoked internally by GC and reorder.
+    /// Resizes the bounded computed table to approximately `entries`
+    /// slots (rounded to the implementation's set geometry; minimum 1).
+    /// Existing memoized results are dropped. A 1-entry cache is the
+    /// maximally-evicting configuration used by the ablation tests.
+    pub fn set_cache_capacity(&mut self, entries: usize) {
+        self.cache = ComputedCache::with_capacity(entries.max(1));
+    }
+
+    /// Current computed-table capacity in entries.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Drops every memoized result. Invoked internally by GC and reorder;
+    /// O(1) — the bounded table is invalidated by a generation bump.
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.cache.invalidate_all();
     }
 
     /// Workload statistics counters.
@@ -340,9 +761,12 @@ impl BddManager {
         if !self.cache_enabled {
             return None;
         }
+        let op = &mut self.stats.op_counters[key.0 as usize];
+        op.lookups += 1;
         self.stats.cache_lookups += 1;
-        let hit = self.cache.get(&key).copied();
+        let hit = self.cache.get(&key);
         if hit.is_some() {
+            self.stats.op_counters[key.0 as usize].hits += 1;
             self.stats.cache_hits += 1;
         }
         hit
@@ -350,8 +774,9 @@ impl BddManager {
 
     #[inline]
     pub(crate) fn cache_put(&mut self, key: CacheKey, value: Bdd) {
-        if self.cache_enabled {
-            self.cache.insert(key, value);
+        if self.cache_enabled && self.cache.put(&key, value) {
+            self.stats.op_counters[key.0 as usize].evictions += 1;
+            self.stats.cache_evictions += 1;
         }
     }
 }
@@ -359,5 +784,80 @@ impl BddManager {
 impl Default for BddManager {
     fn default() -> BddManager {
         BddManager::new()
+    }
+}
+
+#[cfg(test)]
+mod table_tests {
+    use super::*;
+
+    #[test]
+    fn unique_table_insert_get_remove() {
+        let mut t = UniqueTable::new();
+        for i in 0..1000u32 {
+            t.insert(Bdd(i), Bdd(i + 1), i + 2);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(t.get(Bdd(i), Bdd(i + 1)), Some(i + 2));
+        }
+        assert_eq!(t.get(Bdd(5), Bdd(5)), None);
+        // Remove every third entry; the rest must stay reachable
+        // (exercises backward-shift deletion across probe chains).
+        for i in (0..1000u32).step_by(3) {
+            assert_eq!(t.remove(Bdd(i), Bdd(i + 1)), Some(i + 2));
+        }
+        for i in 0..1000u32 {
+            let expect = if i % 3 == 0 { None } else { Some(i + 2) };
+            assert_eq!(t.get(Bdd(i), Bdd(i + 1)), expect, "key {i}");
+        }
+        assert_eq!(t.remove(Bdd(0), Bdd(1)), None);
+    }
+
+    #[test]
+    fn unique_table_retain() {
+        let mut t = UniqueTable::new();
+        for i in 0..100u32 {
+            t.insert(Bdd(i), Bdd(i + 1), i);
+        }
+        t.retain_ids(|id| id % 2 == 0);
+        assert_eq!(t.len(), 50);
+        for i in 0..100u32 {
+            let expect = if i % 2 == 0 { Some(i) } else { None };
+            assert_eq!(t.get(Bdd(i), Bdd(i + 1)), expect);
+        }
+    }
+
+    #[test]
+    fn computed_cache_bounded_and_generational() {
+        let mut c = ComputedCache::with_capacity(64);
+        let key = |i: u32| (CacheOp::And, i, i + 1, 0);
+        for i in 0..64 {
+            c.put(&key(i), Bdd(i));
+        }
+        // Bounded: some entries may have been evicted, but any reported
+        // hit must be exact.
+        for i in 0..64 {
+            if let Some(v) = c.get(&key(i)) {
+                assert_eq!(v, Bdd(i));
+            }
+        }
+        c.invalidate_all();
+        for i in 0..64 {
+            assert_eq!(c.get(&key(i)), None, "stale hit after invalidation");
+        }
+    }
+
+    #[test]
+    fn computed_cache_single_entry_evicts() {
+        let mut c = ComputedCache::with_capacity(1);
+        assert_eq!(c.capacity(), 1);
+        let k1 = (CacheOp::And, 2, 3, 0);
+        let k2 = (CacheOp::Or, 2, 3, 0);
+        assert!(!c.put(&k1, Bdd(7)));
+        assert_eq!(c.get(&k1), Some(Bdd(7)));
+        assert!(c.put(&k2, Bdd(8)), "second insert must evict");
+        assert_eq!(c.get(&k1), None);
+        assert_eq!(c.get(&k2), Some(Bdd(8)));
     }
 }

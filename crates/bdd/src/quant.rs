@@ -245,17 +245,25 @@ impl BddManager {
 
     /// The set of variables `f` depends on, in order of the current levels.
     pub fn support(&mut self, f: Bdd) -> Vec<Var> {
-        let mut seen = std::collections::HashSet::new();
         let mut vars = std::collections::BTreeSet::new(); // level-ordered
-        let mut stack = vec![f];
-        while let Some(top) = stack.pop() {
-            if top.is_const() || !seen.insert(top) {
+        let mut scratch = self.scratch.borrow_mut();
+        let sc = &mut *scratch;
+        sc.begin(self.nodes.len());
+        if !f.is_const() {
+            sc.stack.push(f.0);
+        }
+        while let Some(id) = sc.stack.pop() {
+            if !sc.mark(id) {
                 continue;
             }
-            let n = self.node(top);
+            let n = self.nodes[id as usize];
             vars.insert(self.var2level[n.var as usize]);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            if !n.lo.is_const() {
+                sc.stack.push(n.lo.0);
+            }
+            if !n.hi.is_const() {
+                sc.stack.push(n.hi.0);
+            }
         }
         vars.into_iter().map(|lvl| Var(self.level2var[lvl as usize])).collect()
     }

@@ -28,7 +28,7 @@ impl BddManager {
         let w = self.level2var[level + 1]; // variable moving up
 
         // Snapshot the ids at the upper level before mutating anything.
-        let upper_ids: Vec<u32> = self.tables[u as usize].values().copied().collect();
+        let upper_ids: Vec<u32> = self.tables[u as usize].ids();
 
         // Update the order first so `mk` (which debug-asserts ordering)
         // sees the new levels.
@@ -63,13 +63,17 @@ impl BddManager {
             let lo = self.mk(u, a0, b0);
             let hi = self.mk(u, a1, b1);
             debug_assert_ne!(lo, hi, "swap produced a redundant node");
-            self.tables[u as usize].remove(&(n.lo, n.hi));
+            self.tables[u as usize].remove(n.lo, n.hi);
             self.nodes[id as usize] = Node { var: w, lo, hi };
-            let prev = self.tables[w as usize].insert((lo, hi), id);
-            debug_assert!(prev.is_none(), "swap produced a duplicate node");
+            debug_assert!(
+                self.tables[w as usize].get(lo, hi).is_none(),
+                "swap produced a duplicate node"
+            );
+            self.tables[w as usize].insert(lo, hi, id);
         }
-        // Memoized results depend on levels; they are now stale.
-        self.cache.clear();
+        // Memoized results depend on levels; they are now stale. The
+        // generational bounded cache invalidates in O(1).
+        self.cache.invalidate_all();
     }
 
     /// Reorders the variables to exactly `order` (top to bottom) by a

@@ -6,7 +6,7 @@
 //! the resulting set"*); [`BddManager::one_sat`] provides it in time linear
 //! in the number of variables.
 
-use crate::manager::BddManager;
+use crate::manager::{BddManager, VisitScratch};
 use crate::node::{Bdd, Var};
 
 /// A (partial) satisfying assignment: the variables on one root-to-`true`
@@ -60,16 +60,20 @@ impl BddManager {
     /// number of levels spanned by `f`'s support.
     pub fn sat_count(&self, f: Bdd, nvars: usize) -> f64 {
         let nlevels = self.num_vars() as i32;
-        let mut memo: std::collections::HashMap<Bdd, f64> = std::collections::HashMap::new();
         // `count_rec(f)` counts over the levels in [level(f), nlevels);
         // scale up for the levels skipped above the root, then normalize
-        // from the manager's variable count to the requested one.
-        let c = self.count_rec(f, &mut memo);
+        // from the manager's variable count to the requested one. The
+        // per-node memo lives in the manager's epoch-marked scratch, so
+        // repeated counts allocate nothing.
+        let mut scratch = self.scratch.borrow_mut();
+        let sc = &mut *scratch;
+        sc.begin(self.nodes.len());
+        let c = self.count_rec(f, sc);
         let top = self.level(f).min(nlevels as u32) as i32;
         c * 2f64.powi(top) * 2f64.powi(nvars as i32 - nlevels)
     }
 
-    fn count_rec(&self, f: Bdd, memo: &mut std::collections::HashMap<Bdd, f64>) -> f64 {
+    fn count_rec(&self, f: Bdd, sc: &mut VisitScratch) -> f64 {
         // Number of satisfying assignments over levels [level(f), nlevels).
         if f.is_false() {
             return 0.0;
@@ -77,18 +81,19 @@ impl BddManager {
         if f.is_true() {
             return 1.0;
         }
-        if let Some(&hit) = memo.get(&f) {
-            return hit;
+        if sc.marked(f.0) {
+            return sc.vals[f.0 as usize];
         }
         let nlevels = self.num_vars() as u32;
         let n = self.node(f);
         let lvl = self.level(f) as i32;
         let lo_lvl = self.level(n.lo).min(nlevels) as i32;
         let hi_lvl = self.level(n.hi).min(nlevels) as i32;
-        let lo = self.count_rec(n.lo, memo) * 2f64.powi(lo_lvl - lvl - 1);
-        let hi = self.count_rec(n.hi, memo) * 2f64.powi(hi_lvl - lvl - 1);
+        let lo = self.count_rec(n.lo, sc) * 2f64.powi(lo_lvl - lvl - 1);
+        let hi = self.count_rec(n.hi, sc) * 2f64.powi(hi_lvl - lvl - 1);
         let result = lo + hi;
-        memo.insert(f, result);
+        sc.mark(f.0);
+        sc.vals[f.0 as usize] = result;
         result
     }
 

@@ -633,6 +633,61 @@ fn stats_track_nodes() {
     assert!(stats.live_nodes >= 3);
 }
 
+#[test]
+fn per_op_counters_attribute_cache_traffic() {
+    let (mut m, vars) = manager_with_vars(8);
+    let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+    let mut f = Bdd::FALSE;
+    for chunk in lits.chunks(2) {
+        let t = m.and(chunk[0], chunk[1]);
+        f = m.or(f, t);
+    }
+    let g = m.xor(f, lits[0]);
+    let _ = m.not(g);
+    let stats = m.stats();
+    let by_name: std::collections::HashMap<_, _> = stats.per_op().collect();
+    for op in ["and", "or", "xor", "not"] {
+        assert!(by_name[op].lookups > 0, "{op} issued no cache lookups");
+    }
+    let total: u64 = stats.op_counters.iter().map(|o| o.lookups).sum();
+    assert_eq!(total, stats.cache_lookups, "per-op lookups must sum to total");
+    let hits: u64 = stats.op_counters.iter().map(|o| o.hits).sum();
+    assert_eq!(hits, stats.cache_hits, "per-op hits must sum to total");
+}
+
+#[test]
+fn single_entry_cache_evicts_and_stays_correct() {
+    let (mut m, vars) = manager_with_vars(6);
+    m.set_cache_capacity(1);
+    assert_eq!(m.cache_capacity(), 1);
+    let lits: Vec<Bdd> = vars.iter().map(|&v| m.var(v)).collect();
+    // Alternate operations so every insert collides with the previous one.
+    let mut acc = Bdd::FALSE;
+    for pair in lits.chunks(2) {
+        let t = m.and(pair[0], pair[1]);
+        acc = m.or(acc, t);
+        acc = m.xor(acc, pair[0]);
+    }
+    let stats = m.stats();
+    assert!(
+        stats.cache_evictions > 0,
+        "a 1-entry cache under mixed operations must evict"
+    );
+    // Semantics survive maximal eviction: compare against a fresh
+    // default-capacity manager.
+    let (mut m2, vars2) = manager_with_vars(6);
+    let lits2: Vec<Bdd> = vars2.iter().map(|&v| m2.var(v)).collect();
+    let mut acc2 = Bdd::FALSE;
+    for pair in lits2.chunks(2) {
+        let t = m2.and(pair[0], pair[1]);
+        acc2 = m2.or(acc2, t);
+        acc2 = m2.xor(acc2, pair[0]);
+    }
+    for env in assignments(6) {
+        assert_eq!(m.eval(acc, &env), m2.eval(acc2, &env));
+    }
+}
+
 // ---------------------------------------------------------------------
 // Property tests against the truth-table oracle
 // ---------------------------------------------------------------------
@@ -760,6 +815,56 @@ proptest! {
         m.reorder(&order).expect("permutation");
         for env in assignments(ORACLE_VARS) {
             prop_assert_eq!(m.eval(f, &env), expr.eval(&env));
+        }
+    }
+
+    #[test]
+    fn prop_specialized_ops_agree_with_ite_and_oracle(
+        e1 in arb_expr(ORACLE_VARS),
+        e2 in arb_expr(ORACLE_VARS),
+        cache_config in 0u8..3,
+    ) {
+        let (mut m, vars) = manager_with_vars(ORACLE_VARS);
+        match cache_config {
+            1 => m.set_cache_enabled(false),
+            2 => m.set_cache_capacity(1), // maximally-evicting bounded cache
+            _ => {}
+        }
+        let f = e1.build(&mut m, &vars);
+        let g = e2.build(&mut m, &vars);
+
+        let and = m.and(f, g);
+        let or = m.or(f, g);
+        let xor = m.xor(f, g);
+        let not_f = m.not(f);
+        let not_g = m.not(g);
+
+        // Agreement with the ite-desugared forms.
+        prop_assert_eq!(and, m.ite(f, g, Bdd::FALSE));
+        prop_assert_eq!(or, m.ite(f, Bdd::TRUE, g));
+        prop_assert_eq!(xor, m.ite(f, not_g, g));
+        prop_assert_eq!(not_f, m.ite(f, Bdd::FALSE, Bdd::TRUE));
+
+        // Cross-checks through independent recursion paths: De Morgan and
+        // the Shannon expansion of xor only use other specialized ops.
+        let nf_or_ng = m.or(not_f, not_g);
+        prop_assert_eq!(and, m.not(nf_or_ng));
+        let f_and_ng = m.and(f, not_g);
+        let nf_and_g = m.and(not_f, g);
+        prop_assert_eq!(xor, m.or(f_and_ng, nf_and_g));
+
+        // Commutativity (normalized cache keys must not change results).
+        prop_assert_eq!(and, m.and(g, f));
+        prop_assert_eq!(or, m.or(g, f));
+        prop_assert_eq!(xor, m.xor(g, f));
+
+        // Truth-table oracle.
+        for env in assignments(ORACLE_VARS) {
+            let (a, b) = (e1.eval(&env), e2.eval(&env));
+            prop_assert_eq!(m.eval(and, &env), a && b);
+            prop_assert_eq!(m.eval(or, &env), a || b);
+            prop_assert_eq!(m.eval(xor, &env), a ^ b);
+            prop_assert_eq!(m.eval(not_f, &env), !a);
         }
     }
 

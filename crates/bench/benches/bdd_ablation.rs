@@ -91,6 +91,23 @@ fn bench_bdd_ablation(c: &mut Criterion) {
         });
     }
 
+    // Traversal scratch: repeated size/sat_count on the arbiter's
+    // transition relation. These used to allocate a fresh hash set/map
+    // per call; with the epoch-marked scratch they only bump a counter.
+    {
+        let arb = seitz_arbiter();
+        let model = arb.build().expect("builds");
+        let trans = model.trans();
+        let nvars = model.manager().num_vars();
+        let m = model.manager();
+        group.bench_function("traversal/size", |b| {
+            b.iter(|| std::hint::black_box(m.size(trans)))
+        });
+        group.bench_function("traversal/sat_count", |b| {
+            b.iter(|| std::hint::black_box(m.sat_count(trans, nvars)))
+        });
+    }
+
     // Sifting on an order-sensitive function.
     group.bench_function("sifting_comb_function", |b| {
         b.iter_batched(

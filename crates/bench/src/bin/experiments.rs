@@ -2,6 +2,11 @@
 //! (EXPERIMENTS.md): paper-reported values next to measured ones.
 //!
 //! Run with: `cargo run -p smc-bench --release --bin experiments`
+//!
+//! With `--json [PATH]` it instead runs the kernel benchmark (arbiter
+//! check + counterexample, relational-product microbenchmark) and writes
+//! a machine-readable summary to PATH (default `BENCH_kernel.json`) so
+//! CI can diff performance across revisions; see `scripts/bench.sh`.
 
 use std::time::Instant;
 
@@ -17,6 +22,14 @@ use smc_kripke::condensation;
 use smc_logic::{ctl, ctlstar};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_kernel.json");
+        return bench_kernel_json(path);
+    }
     exp1_arbiter()?;
     exp2_exp3_witness_shapes()?;
     exp4_minimal_witness()?;
@@ -374,4 +387,139 @@ fn verdict(holds: bool) -> &'static str {
     } else {
         "fails"
     }
+}
+
+/// Medians over the seed kernel (commit 154077c: `HashMap` tables,
+/// ite-desugared connectives, full-set fixpoints), measured with the same
+/// 9-repetition harness on the same machine. Kept in the JSON so the
+/// speedup of the current kernel is visible in one file.
+const SEED_REACH_S: f64 = 0.052020;
+const SEED_CHECK_S: f64 = 0.005617;
+const SEED_WITNESS_S: f64 = 0.017923;
+const SEED_RELPROD_S: f64 = 0.001167;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// The kernel benchmark behind `--json`: times the Seitz-arbiter liveness
+/// check and counterexample extraction plus the fused relational-product
+/// microbenchmark (medians over 9 repetitions), and writes the numbers
+/// (with the manager's cache and node counters, and the speedup against
+/// the recorded seed-kernel baseline) as JSON for CI to diff.
+fn bench_kernel_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    // Arbiter check + counterexample, the paper's headline workload.
+    let spec = ctl::parse("AG (tr1 -> AF ta1)")?;
+    let mut reach_times = Vec::new();
+    let mut check_times = Vec::new();
+    let mut witness_times = Vec::new();
+    let mut reach = 0.0;
+    let mut holds = true;
+    let mut cx_len = 0;
+    let mut stats = Default::default();
+    let mut peak = 0;
+    for _ in 0..9 {
+        let arb = seitz_arbiter();
+        let mut model = arb.build()?;
+        let t0 = Instant::now();
+        reach = model.reachable_count();
+        reach_times.push(t0.elapsed().as_secs_f64());
+        let mut checker = Checker::new(&mut model);
+        let t1 = Instant::now();
+        holds = checker.check(&spec)?.holds();
+        check_times.push(t1.elapsed().as_secs_f64());
+        let t2 = Instant::now();
+        cx_len = checker.counterexample(&spec)?.len();
+        witness_times.push(t2.elapsed().as_secs_f64());
+        stats = checker.model().manager().stats();
+        peak = checker.model().manager().peak_nodes();
+    }
+    let reach_time = median(reach_times);
+    let check_time = median(check_times);
+    let witness_time = median(witness_times);
+
+    // Relational-product microbenchmark (ablation A3's fused image).
+    let mut relprod_times = Vec::new();
+    for _ in 0..9 {
+        let arb2 = seitz_arbiter();
+        let mut model2 = arb2.build()?;
+        let init = model2.init();
+        let trans = model2.trans();
+        let cur: Vec<_> = model2.cur_vars().to_vec();
+        let m = model2.manager_mut();
+        let cube = m.cube(&cur);
+        let t3 = Instant::now();
+        for _ in 0..200 {
+            let _ = m.and_exists(init, trans, cube);
+            m.clear_cache();
+        }
+        relprod_times.push(t3.elapsed().as_secs_f64());
+    }
+    let relprod_time = median(relprod_times);
+
+    let hit_rate = if stats.cache_lookups == 0 {
+        0.0
+    } else {
+        stats.cache_hits as f64 / stats.cache_lookups as f64
+    };
+    let mut per_op = String::new();
+    for (name, op) in stats.per_op() {
+        if !per_op.is_empty() {
+            per_op.push_str(",\n");
+        }
+        per_op.push_str(&format!(
+            "    {{\"op\": \"{name}\", \"lookups\": {}, \"hits\": {}, \"evictions\": {}}}",
+            op.lookups, op.hits, op.evictions
+        ));
+    }
+    let json = format!(
+        "{{\n\
+         \x20 \"bench\": \"kernel\",\n\
+         \x20 \"arbiter\": {{\n\
+         \x20   \"reachable_states\": {reach},\n\
+         \x20   \"liveness_spec_holds\": {holds},\n\
+         \x20   \"reach_seconds\": {reach_time:.6},\n\
+         \x20   \"check_seconds\": {check_time:.6},\n\
+         \x20   \"witness_seconds\": {witness_time:.6},\n\
+         \x20   \"counterexample_length\": {cx_len},\n\
+         \x20   \"cache_lookups\": {},\n\
+         \x20   \"cache_hits\": {},\n\
+         \x20   \"cache_hit_rate\": {hit_rate:.4},\n\
+         \x20   \"cache_evictions\": {},\n\
+         \x20   \"peak_live_nodes\": {peak},\n\
+         \x20   \"created_nodes\": {},\n\
+         \x20   \"gc_runs\": {}\n\
+         \x20 }},\n\
+         \x20 \"relational_product\": {{\n\
+         \x20   \"fused_images\": 200,\n\
+         \x20   \"fused_seconds\": {relprod_time:.6}\n\
+         \x20 }},\n\
+         \x20 \"seed_baseline\": {{\n\
+         \x20   \"commit\": \"154077c\",\n\
+         \x20   \"reach_seconds\": {SEED_REACH_S:.6},\n\
+         \x20   \"check_seconds\": {SEED_CHECK_S:.6},\n\
+         \x20   \"witness_seconds\": {SEED_WITNESS_S:.6},\n\
+         \x20   \"fused_seconds\": {SEED_RELPROD_S:.6}\n\
+         \x20 }},\n\
+         \x20 \"speedup_vs_seed\": {{\n\
+         \x20   \"reach\": {:.2},\n\
+         \x20   \"check_plus_witness\": {:.2},\n\
+         \x20   \"relational_product\": {:.2}\n\
+         \x20 }},\n\
+         \x20 \"per_op\": [\n{per_op}\n  ]\n\
+         }}\n",
+        stats.cache_lookups,
+        stats.cache_hits,
+        stats.cache_evictions,
+        stats.created_nodes,
+        stats.gc_runs,
+        SEED_REACH_S / reach_time,
+        (SEED_CHECK_S + SEED_WITNESS_S) / (check_time + witness_time),
+        SEED_RELPROD_S / relprod_time,
+    );
+    std::fs::write(path, &json)?;
+    println!("wrote {path}");
+    print!("{json}");
+    Ok(())
 }

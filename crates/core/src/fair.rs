@@ -5,7 +5,7 @@
 use smc_bdd::Bdd;
 use smc_kripke::SymbolicModel;
 
-use crate::fixpoint::{check_ex, check_eu, eu_rings};
+use crate::fixpoint::{check_eg, check_ex, check_eu, eu_rings};
 
 /// `CheckFairEG(f)` under constraints `H`:
 ///
@@ -42,16 +42,30 @@ pub fn fair_eg_with_rings(
 ) -> (Bdd, FairRings) {
     // Empty H behaves like the single vacuous constraint `true`; the
     // caller-visible ring list stays aligned with `constraints`, so the
-    // normalization lives in the witness layer, not here.
+    // normalization lives in the witness layer, not here. Without
+    // constraints the nested fixpoint degenerates to plain EG, which the
+    // candidate-based `check_eg` computes with the same iterates.
+    if constraints.is_empty() {
+        return (check_eg(model, f), Vec::new());
+    }
+    // `seeds[k]` is the previous outer iteration's inner EU result for
+    // constraint k. Targets `Z ∧ hₖ` shrink monotonically with Z, so
+    // E[f U t] = E[(f ∧ seed) U t]: every state on a witnessing prefix for
+    // the smaller target already sat in the previous (larger) EU set.
+    // Restricting f this way lets the inner fixpoints run over the
+    // already-narrowed state space.
+    let mut seeds: Vec<Bdd> = vec![f; constraints.len()];
     let mut z = f;
     loop {
-        let next = fair_eg_step(model, f, constraints, z);
+        let next = fair_eg_step(model, f, constraints, z, &mut seeds);
         if next == z {
             break;
         }
         z = next;
     }
-    // One more inner round at the fixpoint to harvest the rings.
+    // One more inner round at the fixpoint to harvest the rings — with
+    // the *unrestricted* f, so the recorded ring sequences are exactly
+    // the ones the textbook iteration would produce.
     let mut rings = Vec::with_capacity(constraints.len());
     for &h in constraints {
         let target = model.manager_mut().and(z, h);
@@ -60,22 +74,26 @@ pub fn fair_eg_with_rings(
     (z, rings)
 }
 
-/// One outer iteration: `f ∧ ⋀ₖ EX(E[f U (Z ∧ hₖ)])`.
-fn fair_eg_step(model: &mut SymbolicModel, f: Bdd, constraints: &[Bdd], z: Bdd) -> Bdd {
+/// One outer iteration: `f ∧ ⋀ₖ EX(E[f U (Z ∧ hₖ)])`, with each inner EU
+/// restricted by (and refreshing) its seed from the previous iteration.
+fn fair_eg_step(
+    model: &mut SymbolicModel,
+    f: Bdd,
+    constraints: &[Bdd],
+    z: Bdd,
+    seeds: &mut [Bdd],
+) -> Bdd {
     let mut acc = f;
-    for &h in constraints {
+    for (k, &h) in constraints.iter().enumerate() {
         if acc.is_false() {
             break;
         }
         let target = model.manager_mut().and(z, h);
-        let eu = check_eu(model, f, target);
+        let f_seeded = model.manager_mut().and(f, seeds[k]);
+        let eu = check_eu(model, f_seeded, target);
+        seeds[k] = eu;
         let ex = check_ex(model, eu);
         acc = model.manager_mut().and(acc, ex);
-    }
-    if constraints.is_empty() {
-        // Plain EG step.
-        let ex = check_ex(model, z);
-        acc = model.manager_mut().and(f, ex);
     }
     acc
 }

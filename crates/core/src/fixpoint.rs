@@ -12,17 +12,26 @@ pub fn check_ex(model: &mut SymbolicModel, f: Bdd) -> Bdd {
 }
 
 /// `CheckEU(f, g)`: least fixpoint of `λZ. g ∨ (f ∧ EX Z)`.
+///
+/// Iterates on the *frontier*: each round takes the preimage of only the
+/// states added in the previous round. Any `f`-state with a successor in
+/// an older ring was itself added in an older round, so the accumulated
+/// sets are identical to the textbook full-preimage iteration — at the
+/// cost of a preimage of the (small) delta instead of the whole set.
 pub fn check_eu(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Bdd {
     let mut z = g;
-    loop {
-        let ex = check_ex(model, z);
+    let mut frontier = g;
+    while !frontier.is_false() {
+        let ex = check_ex(model, frontier);
         let step = model.manager_mut().and(f, ex);
-        let next = model.manager_mut().or(g, step);
-        if next == z {
-            return z;
+        let add = model.manager_mut().diff(step, z);
+        if add.is_false() {
+            break;
         }
-        z = next;
+        z = model.manager_mut().or(z, add);
+        frontier = add;
     }
+    z
 }
 
 /// `CheckEU` with the full increasing approximation sequence
@@ -34,31 +43,55 @@ pub fn check_eu(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Bdd {
 /// ring-decreasing path to each fairness constraint. The last element is
 /// the `E[f U g]` fixpoint.
 pub fn eu_rings(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Vec<Bdd> {
+    // Frontier iteration; the recorded rings are bit-identical to the
+    // full-preimage version (see `check_eu` for why), which the witness
+    // generator's ring-descent depends on.
     let mut rings = vec![g];
     let mut z = g;
-    loop {
-        let ex = check_ex(model, z);
+    let mut frontier = g;
+    while !frontier.is_false() {
+        let ex = check_ex(model, frontier);
         let step = model.manager_mut().and(f, ex);
-        let next = model.manager_mut().or(g, step);
-        if next == z {
-            return rings;
+        let add = model.manager_mut().diff(step, z);
+        if add.is_false() {
+            break;
         }
-        rings.push(next);
-        z = next;
+        z = model.manager_mut().or(z, add);
+        rings.push(z);
+        frontier = add;
     }
+    rings
 }
 
 /// `CheckEG(f)`: greatest fixpoint of `λZ. f ∧ EX Z` (no fairness).
+///
+/// After the first full step, iterates on *candidates*: a state drops out
+/// of `Z` only if it just lost its last successor in `Z`, i.e. it has a
+/// successor among the states removed last round. Only those candidates
+/// get their (restricted) preimage re-checked; the rest of `Z` carries
+/// over unchanged. The iterates equal the textbook `Zₖ₊₁ = f ∧ EX Zₖ`
+/// sequence exactly.
 pub fn check_eg(model: &mut SymbolicModel, f: Bdd) -> Bdd {
-    let mut z = f;
-    loop {
-        let ex = check_ex(model, z);
-        let next = model.manager_mut().and(f, ex);
-        if next == z {
+    let pre_f = check_ex(model, f);
+    let mut z = model.manager_mut().and(f, pre_f);
+    let mut prev = f;
+    while z != prev {
+        // removed = prev \ z: the states that left Z last round.
+        let removed = model.manager_mut().diff(prev, z);
+        // Candidates: states of Z with a successor among the removed —
+        // every other state keeps a successor in Z and survives as-is.
+        let cand = model.preimage_within(removed, z);
+        if cand.is_false() {
             return z;
         }
+        // Which candidates still have some successor in Z?
+        let keep = model.preimage_within(z, cand);
+        let rest = model.manager_mut().diff(z, cand);
+        let next = model.manager_mut().or(rest, keep);
+        prev = z;
         z = next;
     }
+    z
 }
 
 #[cfg(test)]

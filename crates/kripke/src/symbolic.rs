@@ -287,14 +287,19 @@ impl SymbolicModel {
     /// With a [partition](Self::set_partition) installed, conjoins the
     /// parts one at a time with early quantification.
     pub fn image(&mut self, set: Bdd) -> Bdd {
-        let next_img = if let Some(partition) = self.partition.clone() {
+        let trans = self.trans;
+        let cur_cube = self.cur_cube;
+        // Split-borrow so the partition is read in place (no clone on the
+        // hot path) while the manager runs the products.
+        let SymbolicModel { manager, partition, .. } = self;
+        let next_img = if let Some(p) = partition.as_ref() {
             let mut acc = set;
-            for (i, &part) in partition.parts.iter().enumerate() {
-                acc = self.manager.and_exists(acc, part, partition.img_cubes[i]);
+            for (i, &part) in p.parts.iter().enumerate() {
+                acc = manager.and_exists(acc, part, p.img_cubes[i]);
             }
             acc
         } else {
-            self.manager.and_exists(set, self.trans, self.cur_cube)
+            manager.and_exists(set, trans, cur_cube)
         };
         self.manager.swap_vars(next_img, &self.cur, &self.nxt)
     }
@@ -307,15 +312,57 @@ impl SymbolicModel {
     /// at a time with early quantification of next-state variables.
     pub fn preimage(&mut self, set: Bdd) -> Bdd {
         let primed = self.manager.swap_vars(set, &self.cur, &self.nxt);
-        if let Some(partition) = self.partition.clone() {
+        let trans = self.trans;
+        let nxt_cube = self.nxt_cube;
+        let SymbolicModel { manager, partition, .. } = self;
+        if let Some(p) = partition.as_ref() {
             let mut acc = primed;
-            for (i, &part) in partition.parts.iter().enumerate() {
-                acc = self.manager.and_exists(acc, part, partition.pre_cubes[i]);
+            for (i, &part) in p.parts.iter().enumerate() {
+                acc = manager.and_exists(acc, part, p.pre_cubes[i]);
             }
             acc
         } else {
-            self.manager.and_exists(self.trans, primed, self.nxt_cube)
+            manager.and_exists(trans, primed, nxt_cube)
         }
+    }
+
+    /// Restricted backward image: `within ∧ Pre(set)`, computed with the
+    /// transition relation minimized against `within` (Coudert–Madre
+    /// [`constrain`](BddManager::constrain)) so only transitions leaving
+    /// `within` participate in the product.
+    ///
+    /// This is the workhorse of the frontier-based `EG` fixpoint: each
+    /// iteration only re-examines the (typically few) candidate states
+    /// that may have lost their last successor, rather than taking the
+    /// preimage of the full accumulated set.
+    pub fn preimage_within(&mut self, set: Bdd, within: Bdd) -> Bdd {
+        if within.is_false() || set.is_false() {
+            return Bdd::FALSE;
+        }
+        if within.is_true() {
+            return self.preimage(set);
+        }
+        let primed = self.manager.swap_vars(set, &self.cur, &self.nxt);
+        let trans = self.trans;
+        let nxt_cube = self.nxt_cube;
+        let SymbolicModel { manager, partition, .. } = self;
+        let pre = if let Some(p) = partition.as_ref() {
+            // Constraining each part by `within` (current vars only) is
+            // sound: the constrained parts agree with the originals on
+            // `within`, no next-state variable enters any part's support,
+            // so the early-quantification schedule stays valid, and the
+            // final conjunction with `within` restores exactness.
+            let mut acc = primed;
+            for (i, &part) in p.parts.iter().enumerate() {
+                let cpart = manager.constrain(part, within);
+                acc = manager.and_exists(acc, cpart, p.pre_cubes[i]);
+            }
+            acc
+        } else {
+            let ctrans = manager.constrain(trans, within);
+            manager.and_exists(ctrans, primed, nxt_cube)
+        };
+        self.manager.and(within, pre)
     }
 
     /// The reachable state set (least fixpoint of `λZ. S₀ ∨ Img(Z)`),

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Runs the kernel benchmark and writes a machine-readable summary to
+# BENCH_kernel.json (override with the first argument) so CI can diff
+# performance numbers across revisions.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_kernel.json}"
+cargo run --release -p smc-bench --bin experiments -- --json "$OUT"

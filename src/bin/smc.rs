@@ -9,6 +9,7 @@
 
 use std::process::ExitCode;
 
+use smc::bdd::BddManagerStats;
 use smc::checker::{Checker, CycleStrategy};
 use smc::smv::{compile, CompiledModel};
 
@@ -50,19 +51,22 @@ fn print_usage() {
         "smc — symbolic model checking with counterexamples and witnesses
 
 USAGE:
-    smc check  [--trace] [--strategy restart|stayset] FILE.smv
+    smc check  [--trace] [--stats] [--strategy restart|stayset] FILE.smv
     smc spec   FILE.smv FORMULA
-    smc reach  FILE.smv
+    smc reach  [--stats] FILE.smv
     smc dot    FILE.smv (init|trans|reach)
     smc help
 
 COMMANDS:
     check   check every SPEC of the program; with --trace, print a
             counterexample for each failing spec (and a witness for each
-            holding temporal spec)
+            holding temporal spec); with --stats, print BDD manager
+            counters (per-operation cache hits/misses/evictions, GC runs)
+            after checking
     spec    check one CTL formula against the model (atoms are boolean
             variables or spec labels)
-    reach   print model statistics (variables, reachable states)
+    reach   print model statistics (variables, reachable states); with
+            --stats, also print the BDD manager counters
     dot     write the requested BDD as Graphviz DOT to stdout
 
 EXIT CODE: 0 if everything checked holds, 1 if some spec fails,
@@ -72,18 +76,21 @@ EXIT CODE: 0 if everything checked holds, 1 if some spec fails,
 
 struct CheckOptions {
     trace: bool,
+    stats: bool,
     strategy: CycleStrategy,
     file: String,
 }
 
 fn parse_check_options(args: &[String]) -> Result<CheckOptions, String> {
     let mut trace = false;
+    let mut stats = false;
     let mut strategy = CycleStrategy::Restart;
     let mut file = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--trace" => trace = true,
+            "--stats" => stats = true,
             "--strategy" => {
                 i += 1;
                 match args.get(i).map(String::as_str) {
@@ -108,7 +115,47 @@ fn parse_check_options(args: &[String]) -> Result<CheckOptions, String> {
         i += 1;
     }
     let file = file.ok_or_else(|| "expected an input file".to_string())?;
-    Ok(CheckOptions { trace, strategy, file })
+    Ok(CheckOptions { trace, stats, strategy, file })
+}
+
+/// Renders the manager counters the way ablation A3 consumes them: one
+/// aggregate line, one line per operation with cache traffic, one GC line.
+fn print_stats(stats: &BddManagerStats) {
+    println!("-- bdd manager stats --");
+    println!(
+        "nodes           : {} live, {} created",
+        stats.live_nodes, stats.created_nodes
+    );
+    let pct = |hits: u64, lookups: u64| {
+        if lookups == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / lookups as f64
+        }
+    };
+    println!(
+        "computed table  : {} lookups, {} hits ({:.1}%), {} evictions",
+        stats.cache_lookups,
+        stats.cache_hits,
+        pct(stats.cache_hits, stats.cache_lookups),
+        stats.cache_evictions
+    );
+    for (name, op) in stats.per_op() {
+        if op.lookups == 0 {
+            continue;
+        }
+        println!(
+            "  {name:<11}: {} lookups, {} hits ({:.1}%), {} evictions",
+            op.lookups,
+            op.hits,
+            pct(op.hits, op.lookups),
+            op.evictions
+        );
+    }
+    println!(
+        "gc              : {} runs, {} nodes reclaimed",
+        stats.gc_runs, stats.gc_reclaimed
+    );
 }
 
 fn load(path: &str) -> Result<CompiledModel, Box<dyn std::error::Error>> {
@@ -164,6 +211,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
         }
     }
+    if opts.stats {
+        print_stats(&compiled.model.manager().stats());
+    }
     Ok(if all_hold { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
 
@@ -195,8 +245,10 @@ fn cmd_dot(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn cmd_reach(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let [file] = args else {
-        return Err("usage: smc reach FILE.smv".into());
+    let (stats_flag, file) = match args {
+        [file] if file != "--stats" => (false, file),
+        [flag, file] | [file, flag] if flag == "--stats" => (true, file),
+        _ => return Err("usage: smc reach [--stats] FILE.smv".into()),
     };
     let mut compiled = load(file)?;
     println!("file            : {file}");
@@ -207,6 +259,9 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let init = compiled.model.init();
     if let Some(s0) = compiled.model.pick_state(init) {
         println!("an initial state: {}", compiled.render_state(&s0));
+    }
+    if stats_flag {
+        print_stats(&compiled.model.manager().stats());
     }
     Ok(ExitCode::SUCCESS)
 }
