@@ -179,7 +179,7 @@ pub fn check_containment(
     }
 
     for conjuncts in &alternatives {
-        let (set, _) = check_efairness(&mut model, conjuncts);
+        let (set, _) = check_efairness(&mut model, conjuncts).map_err(AutomatonError::Check)?;
         let init = model.init();
         if !model.manager_mut().intersects(init, set) {
             continue;
@@ -187,7 +187,9 @@ pub fn check_containment(
         // Containment fails: extract the witness lasso and project it to
         // a word.
         let start_set = model.manager_mut().and(init, set);
-        let start = model.pick_state(start_set).expect("nonempty");
+        let start = model.pick_state(start_set).ok_or_else(|| {
+            AutomatonError::Check(smc_checker::CheckError::NothingToExplain)
+        })?;
         let (trace, _, _) =
             witness_efairness(&mut model, conjuncts, &start, CycleStrategy::Restart)
                 .map_err(AutomatonError::Check)?;

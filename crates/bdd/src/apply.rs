@@ -19,6 +19,9 @@ impl BddManager {
     /// cost one hash lookup — this is what makes the fixpoint iterations
     /// of symbolic model checking tractable.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        if self.op_entry() {
+            return Bdd::FALSE;
+        }
         // Terminal cases.
         if f.is_true() {
             return g;
@@ -77,6 +80,9 @@ impl BddManager {
 
     /// Logical negation `¬f`. Dedicated memoized recursion.
     pub fn not(&mut self, f: Bdd) -> Bdd {
+        if self.op_entry() {
+            return Bdd::FALSE;
+        }
         if f.is_false() {
             return Bdd::TRUE;
         }
@@ -98,6 +104,9 @@ impl BddManager {
     /// Conjunction `f ∧ g`. Dedicated memoized recursion; the cache key is
     /// normalized by operand id so both argument orders share one entry.
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        if self.op_entry() {
+            return Bdd::FALSE;
+        }
         if f == g {
             return f;
         }
@@ -131,6 +140,9 @@ impl BddManager {
     /// Disjunction `f ∨ g`. Dedicated memoized recursion with a
     /// commutativity-normalized cache key.
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        if self.op_entry() {
+            return Bdd::FALSE;
+        }
         if f == g {
             return f;
         }
@@ -164,6 +176,9 @@ impl BddManager {
     /// Exclusive or `f ⊕ g`. Dedicated memoized recursion with a
     /// commutativity-normalized cache key.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        if self.op_entry() {
+            return Bdd::FALSE;
+        }
         if f == g {
             return Bdd::FALSE;
         }

@@ -13,6 +13,12 @@ pub enum BddError {
     TableFull,
     /// A reorder request did not mention every variable exactly once.
     InvalidOrder(String),
+    /// A governed computation hit its budget (or an injected fault); see
+    /// [`TripReason`](crate::TripReason) for what tripped. Delivered by
+    /// [`BddManager::check_budget`](crate::BddManager::check_budget) and
+    /// [`BddManager::checkpoint`](crate::BddManager::checkpoint) after the
+    /// allocation transaction has been rolled back.
+    ResourceExhausted(crate::governor::TripReason),
 }
 
 impl fmt::Display for BddError {
@@ -23,6 +29,9 @@ impl fmt::Display for BddError {
             }
             BddError::TableFull => write!(f, "bdd node table is full"),
             BddError::InvalidOrder(msg) => write!(f, "invalid variable order: {msg}"),
+            BddError::ResourceExhausted(reason) => {
+                write!(f, "resource budget exhausted: {reason}")
+            }
         }
     }
 }

@@ -1,0 +1,126 @@
+//! Deterministic fault injection for the governor's recovery paths.
+//!
+//! Compiled only for tests (`cfg(test)`) or under the `fault-injection`
+//! feature; release builds of the library carry none of these hooks.
+//!
+//! A [`FaultPlan`] arms up to three failure modes against a manager:
+//!
+//! * **Table full** at the Nth allocation — trips
+//!   [`TripReason::TableFull`](crate::TripReason::TableFull) exactly as
+//!   if the node table had overflowed.
+//! * **Spurious cancellation** at the Nth allocation — trips
+//!   [`TripReason::Cancelled`](crate::TripReason::Cancelled) without any
+//!   token being cancelled.
+//! * **Cache wipes** every Kth allocation — invalidates the computed
+//!   table, exercising recomputation paths (results must not change:
+//!   recomputed subresults re-find their nodes in the unique tables).
+//!
+//! Allocation counts are measured from the moment the plan is injected
+//! and each trigger fires at most once, so a rolled-back-and-retried
+//! query does not re-fault. Plans can also be derived from a seed with
+//! [`FaultPlan::seeded`] for randomized-but-reproducible campaigns.
+
+use crate::governor::TripReason;
+use crate::manager::BddManager;
+
+/// A deterministic schedule of injected faults (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Trip `TableFull` at this allocation (1-based, counted from
+    /// injection).
+    pub table_full_at: Option<u64>,
+    /// Trip `Cancelled` at this allocation (1-based, counted from
+    /// injection).
+    pub cancel_at: Option<u64>,
+    /// Invalidate the computed cache every this-many allocations.
+    pub wipe_cache_every: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (arms the governor's hooks but injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Derives a pseudo-random plan from `seed`: one fault (table-full,
+    /// cancellation, or periodic cache wipes) at an allocation count in
+    /// `1..=horizon`.
+    pub fn seeded(seed: u64, horizon: u64) -> FaultPlan {
+        let horizon = horizon.max(1);
+        let a = crate::manager::mix64(seed);
+        let b = crate::manager::mix64(a);
+        let at = 1 + b % horizon;
+        let mut plan = FaultPlan::new();
+        match a % 3 {
+            0 => plan.table_full_at = Some(at),
+            1 => plan.cancel_at = Some(at),
+            _ => plan.wipe_cache_every = Some(at),
+        }
+        plan
+    }
+}
+
+/// Armed fault triggers, stored against absolute allocation counts so
+/// rollbacks (which never rewind the allocation odometer) cannot re-arm
+/// them.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    table_full_at: Option<u64>,
+    cancel_at: Option<u64>,
+    wipe_every: Option<u64>,
+    next_wipe: u64,
+}
+
+impl BddManager {
+    /// Installs a fault plan, converting its relative allocation counts
+    /// to absolute trigger points. Replaces any previous plan.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        let base = self.governor.allocs;
+        let wipe = plan.wipe_cache_every.filter(|&k| k > 0);
+        self.governor.faults = Some(FaultState {
+            table_full_at: plan.table_full_at.map(|n| base + n.max(1)),
+            cancel_at: plan.cancel_at.map(|n| base + n.max(1)),
+            wipe_every: wipe,
+            next_wipe: wipe.map(|k| base + k).unwrap_or(u64::MAX),
+        });
+        self.governor.active = true;
+    }
+
+    /// Removes the fault plan (pending budget/trip state is untouched).
+    pub fn clear_faults(&mut self) {
+        self.governor.faults = None;
+        if self.governor.budget.is_none() && self.governor.tripped.is_none() {
+            self.governor.active = false;
+        }
+    }
+
+    /// Called from allocation bookkeeping; fires any trigger whose
+    /// allocation count has arrived. Triggers are one-shot.
+    pub(crate) fn fault_hooks_on_alloc(&mut self) {
+        let allocs = self.governor.allocs;
+        let Some(faults) = self.governor.faults.as_mut() else { return };
+        let mut wipe = false;
+        if faults.next_wipe <= allocs {
+            wipe = true;
+            let step = faults.wipe_every.unwrap_or(u64::MAX);
+            faults.next_wipe = allocs.saturating_add(step);
+        }
+        let mut trip = None;
+        if faults.table_full_at.is_some_and(|at| allocs >= at) {
+            faults.table_full_at = None;
+            trip = Some(TripReason::TableFull);
+        }
+        if faults.cancel_at.is_some_and(|at| allocs >= at) {
+            faults.cancel_at = None;
+            trip.get_or_insert(TripReason::Cancelled);
+        }
+        if wipe {
+            self.cache.invalidate_all();
+        }
+        if let Some(reason) = trip {
+            if self.governor.tripped.is_none() {
+                self.governor.tripped = Some(reason);
+            }
+        }
+    }
+}

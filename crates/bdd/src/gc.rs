@@ -16,6 +16,9 @@ impl BddManager {
     /// valid. The computed table is invalidated (it may reference dead
     /// nodes); with the generational bounded cache this is O(1).
     pub fn gc(&mut self, roots: &[Bdd]) -> usize {
+        // Collection is a safe point: commit the allocation transaction.
+        // Rolling back across a GC would double-free reclaimed slots.
+        self.txn_commit();
         // Destructure so the epoch-marked scratch, the node pool and the
         // unique tables can be borrowed independently.
         let BddManager {

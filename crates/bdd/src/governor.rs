@@ -1,0 +1,511 @@
+//! The resource governor: budgets, deadlines, cooperative cancellation
+//! and transactional allocation.
+//!
+//! A [`Budget`] installed with [`BddManager::set_budget`] bounds a
+//! computation four ways — wall-clock deadline, live-node census, total
+//! allocation count, and (for the fixpoint layers above) an iteration
+//! cap — and carries an optional [`CancelToken`] that other threads can
+//! flip. The manager consults the governor on every node allocation and
+//! at every memoized-operation entry; the fixpoint and witness layers
+//! call [`BddManager::checkpoint`] at their iteration boundaries.
+//!
+//! Because the `Bdd`-returning operations cannot report errors without
+//! poisoning every signature in the stack, enforcement is *cooperative*:
+//! when a limit trips, the governor records a [`TripReason`], every
+//! subsequent operation entry returns immediately with a dummy handle and
+//! allocates nothing, and the next [`BddManager::checkpoint`] /
+//! [`BddManager::check_budget`] call surfaces the structured
+//! [`BddError::ResourceExhausted`]. At that point the allocation
+//! *transaction* — every node created since the last safe point — is
+//! rolled back, leaving the unique tables, free list and creation
+//! counters exactly as they were, so a retried query replays the same
+//! node ids and produces bit-identical results.
+//!
+//! Under live-node pressure a checkpoint first escalates through the
+//! graceful-degradation ladder (garbage collection → sifting reorder →
+//! computed-cache shrink) and errors only if the live census still
+//! exceeds the budget.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::BddError;
+use crate::manager::BddManager;
+use crate::node::{Bdd, Node};
+
+/// Operation entries between deadline/cancellation polls (each poll costs
+/// a clock read / atomic load; recursion entries are ~ns).
+const TICK_INTERVAL: u32 = 2048;
+
+/// Allocations between hard live-node census checks (the census sums the
+/// per-variable unique-table lengths).
+const HARD_CHECK_INTERVAL: u32 = 256;
+
+/// A cooperative cancellation flag, checkable from other threads.
+///
+/// Cloning shares the flag; [`cancel`](Self::cancel) from any clone (or
+/// thread) trips every manager whose active [`Budget`] carries it at the
+/// next governor poll.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Why a governed computation was stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TripReason {
+    /// The wall-clock deadline of the budget passed.
+    DeadlineExpired,
+    /// The budget's [`CancelToken`] was cancelled (or a spurious
+    /// cancellation was injected by the fault harness).
+    Cancelled,
+    /// The live-node census exceeded the budget even after the
+    /// degradation ladder (GC, sifting, cache shrink) ran.
+    NodeLimit {
+        /// Live nodes at the failing census.
+        live: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The total-allocation budget was spent.
+    AllocLimit {
+        /// Nodes allocated since the budget was installed.
+        allocated: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A fixpoint exceeded its iteration cap.
+    IterationLimit {
+        /// The iteration that overran the cap.
+        iterations: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+    /// The node table is full (node ids are `u32`), or a table-full fault
+    /// was injected.
+    TableFull,
+}
+
+impl std::fmt::Display for TripReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TripReason::DeadlineExpired => write!(f, "wall-clock deadline expired"),
+            TripReason::Cancelled => write!(f, "cancelled"),
+            TripReason::NodeLimit { live, limit } => {
+                write!(f, "{live} live nodes exceed the limit of {limit}")
+            }
+            TripReason::AllocLimit { allocated, limit } => {
+                write!(f, "{allocated} nodes allocated, budget was {limit}")
+            }
+            TripReason::IterationLimit { iterations, limit } => {
+                write!(f, "fixpoint iteration {iterations} exceeds the cap of {limit}")
+            }
+            TripReason::TableFull => write!(f, "node table is full"),
+        }
+    }
+}
+
+/// Resource bounds for governed computations. All limits are optional;
+/// an empty budget never trips but still arms the transactional
+/// allocation log (and the fault hooks, if any are injected).
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use smc_bdd::{BddManager, Budget};
+///
+/// let mut m = BddManager::new();
+/// m.set_budget(Budget::new().with_timeout(Duration::from_secs(5)).with_node_limit(1 << 20));
+/// // ... run governed work, polling m.check_budget() / m.checkpoint(..) ...
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) node_limit: Option<usize>,
+    pub(crate) alloc_limit: Option<u64>,
+    pub(crate) max_iterations: Option<u64>,
+    pub(crate) cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// An unbounded budget.
+    pub fn new() -> Budget {
+        Budget::default()
+    }
+
+    /// Trip when `timeout` has elapsed from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> Budget {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Trip at an absolute instant.
+    pub fn with_deadline(mut self, at: Instant) -> Budget {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Soft cap on live nodes. Checkpoints over the cap run the
+    /// degradation ladder (GC → sift → cache shrink) and trip only if
+    /// the live census still exceeds it; allocations trip outright at
+    /// twice the cap (the hard limit).
+    pub fn with_node_limit(mut self, nodes: usize) -> Budget {
+        self.node_limit = Some(nodes);
+        self
+    }
+
+    /// Cap on total node allocations while this budget is installed.
+    pub fn with_alloc_limit(mut self, allocations: u64) -> Budget {
+        self.alloc_limit = Some(allocations);
+        self
+    }
+
+    /// Cap on fixpoint iterations, enforced by the iteration counts the
+    /// fixpoint layers pass to [`BddManager::checkpoint`].
+    pub fn with_max_iterations(mut self, iterations: u64) -> Budget {
+        self.max_iterations = Some(iterations);
+        self
+    }
+
+    /// Attach a cancellation token (shared with the caller / other
+    /// threads).
+    pub fn with_cancel_token(mut self, token: &CancelToken) -> Budget {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// The configured iteration cap, if any.
+    pub fn max_iterations(&self) -> Option<u64> {
+        self.max_iterations
+    }
+
+    /// The configured live-node cap, if any.
+    pub fn node_limit(&self) -> Option<usize> {
+        self.node_limit
+    }
+
+    /// Does this budget bound anything at all?
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none()
+            && self.node_limit.is_none()
+            && self.alloc_limit.is_none()
+            && self.max_iterations.is_none()
+            && self.cancel.is_none()
+    }
+}
+
+/// Internal governor state carried by the manager.
+#[derive(Debug, Default)]
+pub(crate) struct Governor {
+    /// Fast gate for the hot paths: true iff a budget is installed, a
+    /// fault plan is armed, or a trip is pending delivery.
+    pub(crate) active: bool,
+    /// While true (adjacent-level swaps rewiring nodes in place), the
+    /// governor neither bails out of `mk` nor logs allocations — a
+    /// half-applied swap would corrupt the manager.
+    pub(crate) suspended: bool,
+    pub(crate) budget: Option<Budget>,
+    pub(crate) tripped: Option<TripReason>,
+    /// Node ids allocated since the last safe point, in allocation order.
+    pub(crate) txn_log: Vec<u32>,
+    /// Total allocations observed while the governor was active (never
+    /// reset; trigger points are stored as absolute counts against it).
+    pub(crate) allocs: u64,
+    /// `allocs` value when the current budget was installed.
+    pub(crate) alloc_base: u64,
+    /// Absolute `allocs` count at which the allocation budget trips.
+    pub(crate) alloc_ceiling: Option<u64>,
+    /// Countdown to the next deadline/cancellation poll.
+    pub(crate) tick: u32,
+    /// Countdown to the next hard live-node census.
+    pub(crate) hard_tick: u32,
+    /// Degradation-ladder escalation: 0 = GC only, 1 = sifted, 2 = cache
+    /// shrunk. Sticky until a new budget is installed.
+    pub(crate) ladder_stage: u8,
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub(crate) faults: Option<crate::faults::FaultState>,
+}
+
+impl Governor {
+    fn recompute_active(&mut self) {
+        self.active = self.budget.is_some() || self.tripped.is_some() || self.faults_armed();
+    }
+
+    #[cfg(any(test, feature = "fault-injection"))]
+    fn faults_armed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    #[cfg(not(any(test, feature = "fault-injection")))]
+    fn faults_armed(&self) -> bool {
+        false
+    }
+}
+
+impl BddManager {
+    /// Installs a resource budget. Replaces any previous budget, clears a
+    /// pending trip and resets the degradation ladder; allocations made
+    /// so far are committed (they will not be rolled back by a later
+    /// failure).
+    pub fn set_budget(&mut self, budget: Budget) {
+        let g = &mut self.governor;
+        g.txn_log.clear();
+        g.tripped = None;
+        g.ladder_stage = 0;
+        g.tick = 0;
+        g.hard_tick = 0;
+        g.alloc_base = g.allocs;
+        g.alloc_ceiling = budget.alloc_limit.map(|l| g.allocs.saturating_add(l));
+        g.budget = Some(budget);
+        g.recompute_active();
+    }
+
+    /// Removes the budget (and any pending trip); allocations made so far
+    /// are committed.
+    pub fn clear_budget(&mut self) {
+        let g = &mut self.governor;
+        g.txn_log.clear();
+        g.tripped = None;
+        g.budget = None;
+        g.alloc_ceiling = None;
+        g.recompute_active();
+    }
+
+    /// The currently installed budget, if any.
+    pub fn budget(&self) -> Option<&Budget> {
+        self.governor.budget.as_ref()
+    }
+
+    /// The pending trip reason, if a limit has tripped and the error has
+    /// not yet been delivered by [`check_budget`](Self::check_budget) /
+    /// [`checkpoint`](Self::checkpoint).
+    pub fn trip_reason(&self) -> Option<&TripReason> {
+        self.governor.tripped.as_ref()
+    }
+
+    /// Fast per-recursion-entry gate used by the memoized operations.
+    /// Returns `true` when the computation has tripped and the operation
+    /// should unwind immediately with a dummy handle.
+    #[inline]
+    pub(crate) fn op_entry(&mut self) -> bool {
+        if !self.governor.active {
+            return false;
+        }
+        self.op_entry_governed()
+    }
+
+    fn op_entry_governed(&mut self) -> bool {
+        if self.governor.suspended {
+            return false;
+        }
+        if self.governor.tripped.is_some() {
+            return true;
+        }
+        self.governor.tick += 1;
+        if self.governor.tick >= TICK_INTERVAL {
+            self.governor.tick = 0;
+            self.poll_signals();
+        }
+        self.governor.tripped.is_some()
+    }
+
+    /// Polls deadline and cancellation (unconditionally, not tick-gated).
+    fn poll_signals(&mut self) {
+        if self.governor.tripped.is_some() {
+            return;
+        }
+        let Some(budget) = &self.governor.budget else { return };
+        if let Some(deadline) = budget.deadline {
+            if Instant::now() >= deadline {
+                self.governor.tripped = Some(TripReason::DeadlineExpired);
+                return;
+            }
+        }
+        if let Some(token) = &budget.cancel {
+            if token.is_cancelled() {
+                self.governor.tripped = Some(TripReason::Cancelled);
+            }
+        }
+    }
+
+    /// Bookkeeping for one fresh node allocation: transaction logging,
+    /// fault hooks, allocation budget and the hard live-node limit.
+    pub(crate) fn note_alloc(&mut self, id: u32) {
+        self.governor.txn_log.push(id);
+        self.governor.allocs += 1;
+        #[cfg(any(test, feature = "fault-injection"))]
+        self.fault_hooks_on_alloc();
+        if self.governor.tripped.is_some() {
+            return;
+        }
+        if let Some(ceiling) = self.governor.alloc_ceiling {
+            if self.governor.allocs > ceiling {
+                self.governor.tripped = Some(TripReason::AllocLimit {
+                    allocated: self.governor.allocs - self.governor.alloc_base,
+                    limit: ceiling - self.governor.alloc_base,
+                });
+                return;
+            }
+        }
+        let Some(soft) = self.governor.budget.as_ref().and_then(|b| b.node_limit) else {
+            return;
+        };
+        self.governor.hard_tick += 1;
+        if self.governor.hard_tick >= HARD_CHECK_INTERVAL {
+            self.governor.hard_tick = 0;
+            // Hard limit: twice the soft cap (the ladder runs at safe
+            // points; this stops a single runaway operation in between).
+            let hard = soft.saturating_mul(2).max(soft.saturating_add(4096));
+            let live = self.num_nodes();
+            if live > hard {
+                self.governor.tripped = Some(TripReason::NodeLimit { live, limit: soft });
+            }
+        }
+    }
+
+    /// Commits the allocation transaction: nodes created so far survive a
+    /// later rollback.
+    pub(crate) fn txn_commit(&mut self) {
+        self.governor.txn_log.clear();
+    }
+
+    /// Rolls back every allocation since the last safe point: the nodes
+    /// leave their unique tables, their slots return to the free list in
+    /// replay order (a retry pops the same ids in the same order), the
+    /// creation counter rewinds, and the computed table is invalidated so
+    /// no memoized result can reference a reclaimed slot.
+    fn txn_rollback(&mut self) {
+        if self.governor.txn_log.is_empty() {
+            return;
+        }
+        while let Some(id) = self.governor.txn_log.pop() {
+            let n = self.nodes[id as usize];
+            let removed = self.tables[n.var as usize].remove(n.lo, n.hi);
+            debug_assert_eq!(removed, Some(id), "rollback of an un-interned node");
+            self.nodes[id as usize] = Node::terminal();
+            self.free.push(id);
+            self.stats.created_nodes -= 1;
+        }
+        self.cache.invalidate_all();
+    }
+
+    /// Polls the budget (deadline, cancellation, pending trips) without
+    /// running the degradation ladder. Call this at safe points where
+    /// every needed handle is reachable from your own bindings; no
+    /// garbage collection happens here.
+    ///
+    /// On `Ok` the allocation transaction is committed. On `Err` it is
+    /// rolled back (see [`checkpoint`](Self::checkpoint)) and the trip is
+    /// cleared so the manager is immediately reusable.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::ResourceExhausted`] with the [`TripReason`].
+    pub fn check_budget(&mut self) -> Result<(), BddError> {
+        if !self.governor.active {
+            return Ok(());
+        }
+        self.poll_signals();
+        if let Some(reason) = self.governor.tripped.take() {
+            self.txn_rollback();
+            self.governor.recompute_active();
+            return Err(BddError::ResourceExhausted(reason));
+        }
+        self.txn_commit();
+        Ok(())
+    }
+
+    /// Full safe-point check for iterative algorithms: polls the budget,
+    /// enforces the iteration cap against `iterations`, and under
+    /// live-node pressure escalates the degradation ladder — collect
+    /// garbage (keeping `roots` and the protected set), then once per
+    /// budget sift the variable order, then shrink the computed cache —
+    /// before giving up.
+    ///
+    /// `roots` must cover every live intermediate the caller still needs;
+    /// handles not reachable from `roots` or the protected set may be
+    /// reclaimed.
+    ///
+    /// On `Ok` the allocation transaction is committed; on a trip it is
+    /// rolled back first (iteration-cap and ladder failures commit — the
+    /// completed iterations are consistent).
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::ResourceExhausted`] with the [`TripReason`].
+    pub fn checkpoint(&mut self, iterations: u64, roots: &[Bdd]) -> Result<(), BddError> {
+        if !self.governor.active {
+            return Ok(());
+        }
+        self.poll_signals();
+        if let Some(reason) = self.governor.tripped.take() {
+            self.txn_rollback();
+            self.governor.recompute_active();
+            return Err(BddError::ResourceExhausted(reason));
+        }
+        self.txn_commit();
+        let Some(budget) = &self.governor.budget else {
+            return Ok(());
+        };
+        if let Some(limit) = budget.max_iterations {
+            if iterations > limit {
+                return Err(BddError::ResourceExhausted(TripReason::IterationLimit {
+                    iterations,
+                    limit,
+                }));
+            }
+        }
+        if let Some(limit) = budget.node_limit {
+            if self.num_nodes() > limit {
+                self.relieve_pressure(limit, roots)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The degradation ladder, run at a checkpoint whose live census
+    /// exceeds the soft node limit.
+    fn relieve_pressure(&mut self, limit: usize, roots: &[Bdd]) -> Result<(), BddError> {
+        self.gc(roots);
+        if self.num_nodes() > limit && self.governor.ladder_stage < 1 {
+            self.governor.ladder_stage = 1;
+            self.sift(roots);
+        }
+        if self.num_nodes() > limit && self.governor.ladder_stage < 2 {
+            self.governor.ladder_stage = 2;
+            let cap = self.cache_capacity();
+            self.set_cache_capacity((cap / 4).max(1));
+        }
+        let live = self.num_nodes();
+        if live > limit {
+            return Err(BddError::ResourceExhausted(TripReason::NodeLimit { live, limit }));
+        }
+        Ok(())
+    }
+
+    /// Degradation-ladder escalation stage of the current budget:
+    /// 0 = GC only so far, 1 = sifting ran, 2 = the computed cache was
+    /// shrunk. Diagnostic; resets when a budget is installed.
+    pub fn ladder_stage(&self) -> u8 {
+        self.governor.ladder_stage
+    }
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! # smc-bdd — ordered binary decision diagrams
 //!
@@ -58,7 +59,10 @@
 mod apply;
 mod dot;
 mod error;
+#[cfg(any(test, feature = "fault-injection"))]
+mod faults;
 mod gc;
+mod governor;
 mod io;
 mod manager;
 mod node;
@@ -68,6 +72,9 @@ mod sat;
 mod subst;
 
 pub use error::BddError;
+#[cfg(any(test, feature = "fault-injection"))]
+pub use faults::FaultPlan;
+pub use governor::{Budget, CancelToken, TripReason};
 pub use manager::{BddManager, BddManagerStats, OpCounters, CACHE_OP_NAMES, NUM_CACHE_OPS};
 pub use node::{Bdd, Var};
 pub use sat::{CubeIter, SatAssignment};

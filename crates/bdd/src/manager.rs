@@ -18,7 +18,7 @@ const EMPTY: u32 = u32::MAX;
 /// Multiplicative mixer (splitmix64 finalizer) — the in-repo stand-in
 /// for a fast non-cryptographic hasher.
 #[inline]
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
@@ -454,6 +454,9 @@ pub struct BddManager {
     /// Shared traversal scratch; `RefCell` so `&self` walks (`size`,
     /// `sat_count`, exports) can reuse it without allocating.
     pub(crate) scratch: RefCell<VisitScratch>,
+    /// Resource governor: budget, trip state, allocation transaction log
+    /// (see [`crate::governor`]).
+    pub(crate) governor: crate::governor::Governor,
 }
 
 impl BddManager {
@@ -481,6 +484,7 @@ impl BddManager {
             cache_enabled: true,
             stats: BddManagerStats::default(),
             scratch: RefCell::new(VisitScratch::default()),
+            governor: crate::governor::Governor::default(),
         }
     }
 
@@ -580,6 +584,13 @@ impl BddManager {
         if let Some(id) = self.tables[var as usize].get(lo, hi) {
             return Bdd(id);
         }
+        let governed = self.governor.active && !self.governor.suspended;
+        if governed && self.governor.tripped.is_some() {
+            // Tripped: allocate nothing, hand back a valid dummy handle.
+            // The caller stack unwinds via the op-entry gates and the
+            // next check_budget()/checkpoint() surfaces the error.
+            return lo;
+        }
         let id = match self.free.pop() {
             Some(slot) => {
                 self.nodes[slot as usize] = Node { var, lo, hi };
@@ -587,13 +598,24 @@ impl BddManager {
             }
             None => {
                 let id = self.nodes.len() as u32;
-                assert!(id != u32::MAX, "bdd node table is full");
+                if id == u32::MAX {
+                    // Node ids are u32; instead of dying, trip the
+                    // governor (even an unbudgeted manager surfaces this
+                    // as ResourceExhausted(TableFull) at the next poll).
+                    self.governor.tripped =
+                        Some(crate::governor::TripReason::TableFull);
+                    self.governor.active = true;
+                    return lo;
+                }
                 self.nodes.push(Node { var, lo, hi });
                 id
             }
         };
         self.tables[var as usize].insert(lo, hi, id);
         self.stats.created_nodes += 1;
+        if governed {
+            self.note_alloc(id);
+        }
         Bdd(id)
     }
 
@@ -774,6 +796,11 @@ impl BddManager {
 
     #[inline]
     pub(crate) fn cache_put(&mut self, key: CacheKey, value: Bdd) {
+        if self.governor.active && self.governor.tripped.is_some() {
+            // A tripped computation yields dummy handles; caching them
+            // would poison future (post-recovery) lookups.
+            return;
+        }
         if self.cache_enabled && self.cache.put(&key, value) {
             self.stats.op_counters[key.0 as usize].evictions += 1;
             self.stats.cache_evictions += 1;
@@ -788,6 +815,7 @@ impl Default for BddManager {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod table_tests {
     use super::*;
 

@@ -29,6 +29,9 @@ impl BddManager {
     /// Implements the paper's `∃x f = f|x=0 ∨ f|x=1`, generalized to a set
     /// of variables and memoized.
     pub fn exists(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        if self.op_entry() {
+            return Bdd::FALSE;
+        }
         if f.is_const() || cube.is_true() {
             return f;
         }
@@ -70,6 +73,9 @@ impl BddManager {
 
     /// Universal quantification `∀ vars . f` over a positive cube.
     pub fn forall(&mut self, f: Bdd, cube: Bdd) -> Bdd {
+        if self.op_entry() {
+            return Bdd::FALSE;
+        }
         if f.is_const() || cube.is_true() {
             return f;
         }
@@ -113,6 +119,9 @@ impl BddManager {
     /// `∃v'. f(v') ∧ R(v, v')`. Fusing the conjunction and quantification
     /// avoids materializing the (often much larger) intermediate `f ∧ g`.
     pub fn and_exists(&mut self, f: Bdd, g: Bdd, cube: Bdd) -> Bdd {
+        if self.op_entry() {
+            return Bdd::FALSE;
+        }
         if f.is_false() || g.is_false() {
             return Bdd::FALSE;
         }
@@ -177,6 +186,11 @@ impl BddManager {
     ///
     /// Panics if `c` is unsatisfiable (the cofactor is undefined).
     pub fn constrain(&mut self, f: Bdd, c: Bdd) -> Bdd {
+        if self.op_entry() {
+            // Also shields the assert below from garbage operands that a
+            // tripped computation hands down.
+            return Bdd::FALSE;
+        }
         assert!(!c.is_false(), "constrain by an unsatisfiable care set");
         if c.is_true() || f.is_const() {
             return f;

@@ -24,6 +24,14 @@ impl BddManager {
             level + 1 < self.num_vars(),
             "swap_levels: level {level} out of range"
         );
+        // A half-applied swap would corrupt the manager, so the governor
+        // is suspended for its duration: `mk` neither bails on a trip nor
+        // logs allocations (rolling back an in-place-rewired node would
+        // free a load-bearing slot). The swap is a safe point, so the
+        // current transaction commits first.
+        self.txn_commit();
+        let was_suspended = self.governor.suspended;
+        self.governor.suspended = true;
         let u = self.level2var[level]; // variable moving down
         let w = self.level2var[level + 1]; // variable moving up
 
@@ -74,6 +82,7 @@ impl BddManager {
         // Memoized results depend on levels; they are now stale. The
         // generational bounded cache invalidates in O(1).
         self.cache.invalidate_all();
+        self.governor.suspended = was_suspended;
     }
 
     /// Reorders the variables to exactly `order` (top to bottom) by a

@@ -1,5 +1,6 @@
 //! Unit and property tests for the OBDD package, validated against a
 //! brute-force truth-table oracle.
+#![allow(clippy::unwrap_used)]
 
 use proptest::prelude::*;
 
@@ -877,5 +878,227 @@ proptest! {
         let g = m.rename(f, &fwd);
         let back = m.rename(g, &bwd);
         prop_assert_eq!(back, f);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Resource governor and fault injection
+// ---------------------------------------------------------------------
+
+use crate::{Budget, CancelToken, FaultPlan, TripReason};
+use std::time::{Duration, Instant};
+
+/// Unwraps the trip reason out of a governor error.
+fn trip(e: BddError) -> TripReason {
+    match e {
+        BddError::ResourceExhausted(reason) => reason,
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+}
+
+/// A deterministic multi-step build: the parity (xor chain) of `vars`.
+fn parity(m: &mut BddManager, vars: &[Var]) -> Bdd {
+    let mut acc = Bdd::FALSE;
+    for &v in vars {
+        let x = m.var(v);
+        acc = m.xor(acc, x);
+    }
+    acc
+}
+
+#[test]
+fn expired_deadline_trips_and_manager_recovers() {
+    let (mut m, vars) = manager_with_vars(8);
+    m.set_budget(Budget::new().with_deadline(Instant::now() - Duration::from_millis(1)));
+    let err = m.check_budget().expect_err("deadline already passed");
+    assert_eq!(trip(err), TripReason::DeadlineExpired);
+    // The deadline is still in the past, so the next poll re-trips.
+    assert!(m.check_budget().is_err());
+    m.clear_budget();
+    assert!(m.check_budget().is_ok());
+    // Post-recovery results match a never-budgeted manager bit for bit.
+    let f = parity(&mut m, &vars);
+    let (mut fresh, fresh_vars) = manager_with_vars(8);
+    assert_eq!(f, parity(&mut fresh, &fresh_vars));
+}
+
+#[test]
+fn cancel_token_trips_from_outside() {
+    let (mut m, vars) = manager_with_vars(4);
+    let token = CancelToken::new();
+    m.set_budget(Budget::new().with_cancel_token(&token));
+    let f = parity(&mut m, &vars);
+    assert!(m.check_budget().is_ok(), "uncancelled token never trips");
+    token.cancel();
+    assert!(token.is_cancelled());
+    assert_eq!(trip(m.check_budget().expect_err("cancelled")), TripReason::Cancelled);
+    m.clear_budget();
+    // The handle committed by the pre-cancellation checkpoint survives.
+    let g = parity(&mut m, &vars);
+    assert_eq!(f, g);
+}
+
+#[test]
+fn tripped_manager_allocates_nothing() {
+    let (mut m, vars) = manager_with_vars(4);
+    // A spurious cancellation at the very first allocation leaves the trip
+    // pending: until check_budget delivers it, every operation must unwind
+    // with a dummy handle and touch no tables.
+    m.inject_faults(FaultPlan { cancel_at: Some(1), ..FaultPlan::new() });
+    let x = m.var(vars[0]);
+    assert_eq!(m.trip_reason(), Some(&TripReason::Cancelled));
+    let created = m.stats().created_nodes;
+    let y = m.var(vars[1]);
+    let dummy = m.and(x, y);
+    assert_eq!(m.stats().created_nodes, created, "tripped ops must not allocate");
+    assert!(y.is_false(), "tripped mk unwinds with a dummy handle");
+    assert!(dummy.is_false(), "tripped ops unwind with a dummy handle");
+    let err = m.check_budget().expect_err("pending trip is delivered");
+    assert_eq!(trip(err), TripReason::Cancelled);
+    m.clear_faults();
+    // Recovery on the same manager is bit-identical to a fresh one.
+    let f = parity(&mut m, &vars);
+    let (mut fresh, fresh_vars) = manager_with_vars(4);
+    assert_eq!(f, parity(&mut fresh, &fresh_vars));
+}
+
+#[test]
+fn alloc_limit_rolls_back_and_retry_is_bit_identical() {
+    let (mut m, vars) = manager_with_vars(8);
+    let live_before = m.stats().live_nodes;
+    let created_before = m.stats().created_nodes;
+    m.set_budget(Budget::new().with_alloc_limit(4));
+    let _garbage = parity(&mut m, &vars);
+    let err = m.check_budget().expect_err("parity of 8 needs more than 4 nodes");
+    match trip(err) {
+        TripReason::AllocLimit { allocated, limit } => {
+            assert_eq!(limit, 4);
+            assert!(allocated > limit);
+        }
+        other => panic!("expected AllocLimit, got {other:?}"),
+    }
+    // Transactional: the failed attempt left no trace in the tables.
+    assert_eq!(m.stats().live_nodes, live_before);
+    assert_eq!(m.stats().created_nodes, created_before);
+    // Retrying on the SAME manager replays the same slots: the result is
+    // id-identical to what a never-budgeted manager produces.
+    m.clear_budget();
+    let retry = parity(&mut m, &vars);
+    let (mut fresh, fresh_vars) = manager_with_vars(8);
+    assert_eq!(retry, parity(&mut fresh, &fresh_vars));
+}
+
+#[test]
+fn table_full_fault_is_transactional() {
+    // Satellite regression: an injected TableFull mid-construction must
+    // leave the manager exactly as it was at the last safe point.
+    let (mut m, vars) = manager_with_vars(8);
+    let warm = parity(&mut m, &vars[..3]);
+    assert!(m.check_budget().is_ok());
+    let live_before = m.stats().live_nodes;
+    let created_before = m.stats().created_nodes;
+    m.inject_faults(FaultPlan { table_full_at: Some(3), ..FaultPlan::new() });
+    let _garbage = parity(&mut m, &vars);
+    let err = m.check_budget().expect_err("table-full fault fired");
+    assert_eq!(trip(err), TripReason::TableFull);
+    assert_eq!(m.stats().live_nodes, live_before);
+    assert_eq!(m.stats().created_nodes, created_before);
+    // Triggers are one-shot against the allocation odometer: the retry
+    // does not re-fault even with the plan still armed.
+    let retry = parity(&mut m, &vars);
+    assert!(m.check_budget().is_ok());
+    m.clear_faults();
+    let (mut fresh, fresh_vars) = manager_with_vars(8);
+    let reference = parity(&mut fresh, &fresh_vars[..3]);
+    assert_eq!(warm, reference);
+    assert_eq!(retry, parity(&mut fresh, &fresh_vars));
+}
+
+#[test]
+fn cache_wipes_do_not_change_results() {
+    let (mut m, vars) = manager_with_vars(8);
+    m.inject_faults(FaultPlan { wipe_cache_every: Some(2), ..FaultPlan::new() });
+    let f = parity(&mut m, &vars);
+    assert!(m.check_budget().is_ok(), "cache wipes are not a trip");
+    m.clear_faults();
+    let (mut fresh, fresh_vars) = manager_with_vars(8);
+    assert_eq!(f, parity(&mut fresh, &fresh_vars));
+}
+
+#[test]
+fn iteration_cap_enforced_at_checkpoints() {
+    let (mut m, _) = manager_with_vars(2);
+    m.set_budget(Budget::new().with_max_iterations(3));
+    assert!(m.checkpoint(1, &[]).is_ok());
+    assert!(m.checkpoint(3, &[]).is_ok());
+    let err = m.checkpoint(4, &[]).expect_err("cap is 3");
+    assert_eq!(trip(err), TripReason::IterationLimit { iterations: 4, limit: 3 });
+    // Completed iterations stay committed; the manager is still usable.
+    assert!(m.checkpoint(2, &[]).is_ok());
+    m.clear_budget();
+}
+
+#[test]
+fn node_pressure_is_relieved_by_collecting_garbage() {
+    let (mut m, vars) = manager_with_vars(10);
+    // Pile up dead intermediates: prefix parities no one holds on to.
+    for n in 1..=vars.len() {
+        let _ = parity(&mut m, &vars[..n]);
+    }
+    let root = parity(&mut m, &vars);
+    let limit = m.size(root) + vars.len() + 8;
+    assert!(m.num_nodes() > limit, "test needs real garbage pressure");
+    m.set_budget(Budget::new().with_node_limit(limit));
+    m.checkpoint(1, &[root]).expect("GC alone relieves garbage pressure");
+    assert!(m.num_nodes() <= limit);
+    m.clear_budget();
+}
+
+#[test]
+fn node_limit_trips_when_live_set_cannot_shrink() {
+    let (mut m, vars) = manager_with_vars(10);
+    let root = parity(&mut m, &vars);
+    // Parity is order-invariant: every level keeps its nodes no matter how
+    // the ladder sifts, so a cap below the live set cannot be met.
+    m.set_budget(Budget::new().with_node_limit(4));
+    let err = m.checkpoint(1, &[root]).expect_err("live set exceeds the cap");
+    match trip(err) {
+        TripReason::NodeLimit { live, limit } => {
+            assert_eq!(limit, 4);
+            assert!(live > limit);
+        }
+        other => panic!("expected NodeLimit, got {other:?}"),
+    }
+    // The whole ladder ran before giving up.
+    assert_eq!(m.ladder_stage(), 2);
+    // The root survived the ladder (GC + sifting) intact.
+    m.clear_budget();
+    for env in assignments(10) {
+        let odd = env.iter().filter(|&&b| b).count() % 2 == 1;
+        assert_eq!(m.eval(root, &env), odd);
+    }
+}
+
+#[test]
+fn seeded_fault_campaign_never_corrupts() {
+    let (mut reference, ref_vars) = manager_with_vars(6);
+    let want = parity(&mut reference, &ref_vars);
+    for seed in 0..24u64 {
+        let (mut m, vars) = manager_with_vars(6);
+        m.inject_faults(FaultPlan::seeded(seed, 24));
+        let first = parity(&mut m, &vars);
+        match m.check_budget() {
+            Ok(()) => assert_eq!(first, want, "seed {seed}: un-tripped run must be exact"),
+            Err(e) => {
+                let _ = trip(e);
+                // Recovery on the same manager must be bit-identical.
+                let retry = parity(&mut m, &vars);
+                m.check_budget().unwrap_or_else(|e| {
+                    panic!("seed {seed}: one-shot triggers must not re-fire: {e:?}")
+                });
+                assert_eq!(retry, want, "seed {seed}: retry diverged");
+            }
+        }
+        m.clear_faults();
     }
 }

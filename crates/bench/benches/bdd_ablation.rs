@@ -84,7 +84,7 @@ fn bench_bdd_ablation(c: &mut Criterion) {
                     builder.build().expect("builds")
                 },
                 |mut model| {
-                    std::hint::black_box(model.reachable_count());
+                    std::hint::black_box(model.reachable_count().unwrap());
                 },
                 criterion::BatchSize::LargeInput,
             )

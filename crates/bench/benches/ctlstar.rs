@@ -39,7 +39,7 @@ fn bench_ctlstar(c: &mut Criterion) {
                     (model, conjuncts)
                 },
                 |(mut model, conjuncts)| {
-                    std::hint::black_box(check_efairness(&mut model, &conjuncts));
+                    std::hint::black_box(check_efairness(&mut model, &conjuncts).unwrap());
                 },
                 criterion::BatchSize::LargeInput,
             )
@@ -49,7 +49,7 @@ fn bench_ctlstar(c: &mut Criterion) {
                 || {
                     let mut model = to_symbolic_with_fairness(&graph, 0).expect("total");
                     let conjuncts = conjuncts_for(&mut model, k);
-                    let (set, _) = check_efairness(&mut model, &conjuncts);
+                    let (set, _) = check_efairness(&mut model, &conjuncts).unwrap();
                     let init = model.init();
                     let start_set = model.manager_mut().and(init, set);
                     let start = model.pick_state(start_set).expect("satisfiable workload");

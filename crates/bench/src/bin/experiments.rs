@@ -58,7 +58,7 @@ fn exp1_arbiter() -> Result<(), Box<dyn std::error::Error>> {
     let arb = seitz_arbiter();
     let t0 = Instant::now();
     let mut model = arb.build()?;
-    let reach = model.reachable_count();
+    let reach = model.reachable_count().expect("unbudgeted reachability cannot trip");
     row("reachable states", "33,633", &format!("{reach}"));
 
     let mut checker = Checker::new(&mut model);
@@ -236,7 +236,7 @@ fn exp7_check_vs_witness() -> Result<(), Box<dyn std::error::Error>> {
     for n in [4, 6, 8] {
         let net = muller_pipeline(n);
         let mut model = net.build(FairnessMode::PerGate)?;
-        let states = model.reachable_count();
+        let states = model.reachable_count().expect("unbudgeted reachability cannot trip");
         let spec = ctl::parse("EG true")?;
         let mut checker = Checker::new(&mut model);
         let t0 = Instant::now();
@@ -269,7 +269,7 @@ fn exp8_symbolic_vs_explicit() -> Result<(), Box<dyn std::error::Error>> {
     for n in [5, 9, 13] {
         let net = inverter_ring(n);
         let mut model = net.build(FairnessMode::PerGate)?;
-        let states = model.reachable_count();
+        let states = model.reachable_count().expect("unbudgeted reachability cannot trip");
         let t0 = Instant::now();
         let mut sym = Checker::new(&mut model);
         let sym_holds = sym.check(&spec)?.holds();
@@ -423,7 +423,7 @@ fn bench_kernel_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         let arb = seitz_arbiter();
         let mut model = arb.build()?;
         let t0 = Instant::now();
-        reach = model.reachable_count();
+        reach = model.reachable_count().expect("unbudgeted reachability cannot trip");
         reach_times.push(t0.elapsed().as_secs_f64());
         let mut checker = Checker::new(&mut model);
         let t1 = Instant::now();

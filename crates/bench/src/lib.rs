@@ -169,7 +169,7 @@ mod tests {
             let g = random_fair_graph(12, seed, 2);
             assert!(g.is_total());
             let mut model = to_symbolic_with_fairness(&g, 2).expect("total");
-            assert!(model.reachable_count() >= 1.0);
+            assert!(model.reachable_count().unwrap() >= 1.0);
             assert_eq!(model.fairness().len(), 2);
         }
     }

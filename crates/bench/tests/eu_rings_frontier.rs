@@ -104,7 +104,7 @@ fn eu_rings_bit_identical_to_full_preimage_iteration() {
         let np = model.manager_mut().not(p);
         for (f, g) in [(Bdd::TRUE, p), (np, p), (p, np)] {
             let expected = eu_rings_reference(&mut model, f, g);
-            let actual = eu_rings(&mut model, f, g);
+            let actual = eu_rings(&mut model, f, g).unwrap();
             assert_eq!(
                 expected.len(),
                 actual.len(),
@@ -115,7 +115,7 @@ fn eu_rings_bit_identical_to_full_preimage_iteration() {
             }
             assert_eq!(
                 *actual.last().unwrap(),
-                check_eu(&mut model, f, g),
+                check_eu(&mut model, f, g).unwrap(),
                 "{name}: last ring must be the EU fixpoint"
             );
         }
@@ -129,7 +129,7 @@ fn frontier_eg_matches_full_preimage_iteration() {
         let np = model.manager_mut().not(p);
         for f in [Bdd::TRUE, p, np] {
             let expected = eg_reference(&mut model, f);
-            let actual = check_eg(&mut model, f);
+            let actual = check_eg(&mut model, f).unwrap();
             assert_eq!(expected, actual, "{name}: EG diverged");
         }
     }
@@ -143,7 +143,7 @@ fn seeded_fair_eg_rings_bit_identical() {
         for constraints in [vec![], vec![p], vec![p, np]] {
             let (z_ref, rings_ref) =
                 fair_eg_with_rings_reference(&mut model, Bdd::TRUE, &constraints);
-            let (z, rings) = fair_eg_with_rings(&mut model, Bdd::TRUE, &constraints);
+            let (z, rings) = fair_eg_with_rings(&mut model, Bdd::TRUE, &constraints).unwrap();
             assert_eq!(z_ref, z, "{name}: fair EG fixpoint diverged");
             assert_eq!(rings_ref.len(), rings.len(), "{name}: ring lists diverged");
             for (k, (rr, r)) in rings_ref.iter().zip(&rings).enumerate() {

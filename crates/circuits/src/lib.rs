@@ -35,7 +35,7 @@
 //! n.make_gate(b, Comb::not(Comb::node(a)))?;
 //! n.make_gate(c, Comb::not(Comb::node(b)))?;
 //! let mut model = n.build(FairnessMode::PerGate)?;
-//! assert!(model.reachable_count() > 1.0);
+//! assert!(model.reachable_count()? > 1.0);
 //! # Ok(())
 //! # }
 //! ```

@@ -29,7 +29,7 @@ fn netlist_validation() {
     assert_eq!(n.len(), 1);
     assert_eq!(n.name(a), "a");
     let mut model = n.build(FairnessMode::PerGate).expect("builds");
-    assert_eq!(model.reachable_count(), 1.0);
+    assert_eq!(model.reachable_count().unwrap(), 1.0);
 }
 
 #[test]
@@ -39,7 +39,7 @@ fn single_gate_settles() {
     let a = n.declare("a", false).unwrap();
     n.make_gate(a, Comb::Const(true)).unwrap();
     let mut model = n.build(FairnessMode::PerGate).expect("builds");
-    assert_eq!(model.reachable_count(), 2.0);
+    assert_eq!(model.reachable_count().unwrap(), 2.0);
     let mut c = Checker::new(&mut model);
     // Fairness forces the gate to respond: AF a.
     assert!(c.check(&ctl::parse("AF a").unwrap()).unwrap().holds());
@@ -57,7 +57,7 @@ fn inverter_ring_oscillates_under_fairness() {
     let mut model = net.build(FairnessMode::PerGate).expect("builds");
     // One-gate-at-a-time interleaving reaches 7 of the 8 states from
     // 000 (the complement pattern stays out of reach).
-    assert_eq!(model.reachable_count(), 7.0);
+    assert_eq!(model.reachable_count().unwrap(), 7.0);
     let mut c = Checker::new(&mut model);
     // The oscillator never settles: every fair path toggles inv0 forever.
     assert!(c.check(&ctl::parse("AG (AF inv0 & AF !inv0)").unwrap()).unwrap().holds());
@@ -93,7 +93,7 @@ fn c_element_ring_circulates_forever() {
         let mut model = net.build(FairnessMode::PerGate).expect("builds");
         // The ring has n(n-1) reachable states (rise/fall wavefront
         // positions around the ring).
-        assert_eq!(model.reachable_count(), (n * (n - 1)) as f64, "n={n}");
+        assert_eq!(model.reachable_count().unwrap(), (n * (n - 1)) as f64, "n={n}");
         let mut c = Checker::new(&mut model);
         // Under fairness every stage toggles infinitely often...
         assert!(c
@@ -176,7 +176,7 @@ fn arbiter_reachable_state_space() {
     // reachable states (the paper's original netlist had 33,633 — same
     // order of magnitude, different exact netlist; see DESIGN.md).
     assert_eq!(model.num_state_vars(), 14);
-    assert_eq!(model.reachable_count(), 12288.0);
+    assert_eq!(model.reachable_count().unwrap(), 12288.0);
 }
 
 #[test]

@@ -14,9 +14,11 @@ use crate::fairness_class::{
     check_efairness, witness_efairness, FairnessConjunct, ResolvedSide,
 };
 use crate::fixpoint::{check_eu, check_ex};
+use crate::govern::{self, Progress};
 use crate::witness::{
     splice, witness_eg_fair, witness_eu, witness_ex, CycleStrategy, Trace, WitnessStats,
 };
+use crate::Phase;
 
 /// The result of checking one specification.
 #[derive(Debug, Clone)]
@@ -80,13 +82,55 @@ pub struct Checker<'m> {
     fair: Option<Bdd>,
     cache: HashMap<Ctl, Bdd>,
     last_stats: Option<WitnessStats>,
+    pin_depth: u32,
 }
 
 impl<'m> Checker<'m> {
     /// Creates a checker over a model, using the default
     /// [`CycleStrategy::Restart`].
     pub fn new(model: &'m mut SymbolicModel) -> Checker<'m> {
-        Checker { model, strategy: CycleStrategy::default(), fair: None, cache: HashMap::new(), last_stats: None }
+        Checker {
+            model,
+            strategy: CycleStrategy::default(),
+            fair: None,
+            cache: HashMap::new(),
+            last_stats: None,
+            pin_depth: 0,
+        }
+    }
+
+    /// Runs a public entry point with the memo pinned: every cached state
+    /// set (and the fair set) is protected so the governor's degradation
+    /// ladder — which may GC mid-fixpoint, keeping only roots and
+    /// protected nodes — cannot invalidate a memoized handle. Entries
+    /// inserted *during* the call are protected at insert time (see
+    /// `check_enf`); the outermost exit releases everything, restoring
+    /// the unpinned between-calls state. Re-entrant: nested public calls
+    /// neither double-pin nor release early.
+    fn pinned<T>(
+        &mut self,
+        body: impl FnOnce(&mut Self) -> Result<T, CheckError>,
+    ) -> Result<T, CheckError> {
+        if self.pin_depth == 0 {
+            for &b in self.cache.values() {
+                self.model.manager_mut().protect(b);
+            }
+            if let Some(f) = self.fair {
+                self.model.manager_mut().protect(f);
+            }
+        }
+        self.pin_depth += 1;
+        let result = body(self);
+        self.pin_depth -= 1;
+        if self.pin_depth == 0 {
+            for &b in self.cache.values() {
+                self.model.manager_mut().unprotect(b);
+            }
+            if let Some(f) = self.fair {
+                self.model.manager_mut().unprotect(f);
+            }
+        }
+        result
     }
 
     /// Selects the cycle-closing strategy for fair-`EG` witnesses.
@@ -106,7 +150,7 @@ impl<'m> Checker<'m> {
     }
 
     /// Reclaims BDD garbage accumulated by the checks so far: drops the
-    /// sub-formula memo (whose entries would otherwise pin their nodes)
+    /// sub-formula memo (whose entries pin their nodes via protection)
     /// and collects everything unreachable from the model's protected
     /// structure. Subsequent checks recompute what they need; however,
     /// any [`Verdict::states`] BDD handles from *earlier* checks become
@@ -132,34 +176,41 @@ impl<'m> Checker<'m> {
     ///
     /// [`CheckError::UnknownAtom`] for undeclared atomic propositions.
     pub fn check(&mut self, formula: &Ctl) -> Result<Verdict, CheckError> {
-        let states = self.check_states(formula)?;
-        let init = self.model.init();
-        let holds = self.model.manager_mut().is_subset(init, states);
-        Ok(Verdict { formula: formula.clone(), states, holds })
+        self.pinned(|c| {
+            let states = c.check_states(formula)?;
+            let init = c.model.init();
+            let holds = c.model.manager_mut().is_subset(init, states);
+            // A trip makes the subset test meaningless; the resource
+            // error must win over a garbage verdict.
+            govern::poll(c.model, Phase::Check, Progress::default())?;
+            Ok(Verdict { formula: formula.clone(), states, holds })
+        })
     }
 
     /// Checks a specification and, when the verdict calls for one,
     /// attaches a witness (specification holds) or a counterexample
     /// (specification fails).
     pub fn check_with_trace(&mut self, formula: &Ctl) -> Result<CheckOutcome, CheckError> {
-        let verdict = self.check(formula)?;
-        let trace = if verdict.holds() {
-            if has_temporal(formula) {
-                Some(self.witness(formula)?)
+        self.pinned(|c| {
+            let verdict = c.check(formula)?;
+            let trace = if verdict.holds() {
+                if has_temporal(formula) {
+                    Some(c.witness(formula)?)
+                } else {
+                    None
+                }
             } else {
-                None
-            }
-        } else {
-            Some(self.counterexample(formula)?)
-        };
-        Ok(CheckOutcome { verdict, trace })
+                Some(c.counterexample(formula)?)
+            };
+            Ok(CheckOutcome { verdict, trace })
+        })
     }
 
     /// The set of states satisfying a formula under the model's fairness
     /// constraints.
     pub fn check_states(&mut self, formula: &Ctl) -> Result<Bdd, CheckError> {
         let enf = formula.to_existential_form();
-        self.check_enf(&enf)
+        self.pinned(|c| c.check_enf(&enf))
     }
 
     /// Constructs a witness for a formula that holds in some initial
@@ -171,17 +222,23 @@ impl<'m> Checker<'m> {
     /// formula.
     pub fn witness(&mut self, formula: &Ctl) -> Result<Trace, CheckError> {
         let enf = formula.to_existential_form();
-        let states = self.check_enf(&enf)?;
-        let init = self.model.init();
-        let start_set = self.model.manager_mut().and(init, states);
-        let start = self
-            .model
-            .pick_state(start_set)
-            .ok_or(CheckError::NothingToExplain)?;
-        let trace = self.explain(&start, &enf)?;
-        let mut trace = self.extend_to_fair_lasso(trace)?;
-        trace.compress_prefix();
-        Ok(trace)
+        self.pinned(|c| {
+            let states = c.check_enf(&enf)?;
+            let init = c.model.init();
+            let start_set = c.model.manager_mut().and(init, states);
+            // Poll before interpreting the pick: a trip leaves
+            // `start_set` a dummy and the budget error must beat
+            // NothingToExplain.
+            govern::poll(c.model, Phase::Check, Progress::default())?;
+            let start = c
+                .model
+                .pick_state(start_set)
+                .ok_or(CheckError::NothingToExplain)?;
+            let trace = c.explain(&start, &enf)?;
+            let mut trace = c.extend_to_fair_lasso(trace)?;
+            trace.compress_prefix();
+            Ok(trace)
+        })
     }
 
     /// Constructs a counterexample for a formula that fails in some
@@ -193,17 +250,20 @@ impl<'m> Checker<'m> {
     /// the formula.
     pub fn counterexample(&mut self, formula: &Ctl) -> Result<Trace, CheckError> {
         let negated = Ctl::not(formula.clone()).to_existential_form();
-        let states = self.check_enf(&negated)?;
-        let init = self.model.init();
-        let start_set = self.model.manager_mut().and(init, states);
-        let start = self
-            .model
-            .pick_state(start_set)
-            .ok_or(CheckError::NothingToExplain)?;
-        let trace = self.explain(&start, &negated)?;
-        let mut trace = self.extend_to_fair_lasso(trace)?;
-        trace.compress_prefix();
-        Ok(trace)
+        self.pinned(|c| {
+            let states = c.check_enf(&negated)?;
+            let init = c.model.init();
+            let start_set = c.model.manager_mut().and(init, states);
+            govern::poll(c.model, Phase::Check, Progress::default())?;
+            let start = c
+                .model
+                .pick_state(start_set)
+                .ok_or(CheckError::NothingToExplain)?;
+            let trace = c.explain(&start, &negated)?;
+            let mut trace = c.extend_to_fair_lasso(trace)?;
+            trace.compress_prefix();
+            Ok(trace)
+        })
     }
 
     /// Checks a CTL* formula of the fairness class
@@ -214,11 +274,14 @@ impl<'m> Checker<'m> {
     /// [`CheckError::OutsideFairnessClass`] if the formula is not in the
     /// class.
     pub fn check_ctlstar(&mut self, formula: &StateFormula) -> Result<(bool, Bdd), CheckError> {
-        let conjuncts = self.fairness_conjuncts(formula)?;
-        let (set, _) = check_efairness(self.model, &conjuncts);
-        let init = self.model.init();
-        let holds_somewhere = self.model.manager_mut().intersects(init, set);
-        Ok((holds_somewhere, set))
+        self.pinned(|c| {
+            let conjuncts = c.fairness_conjuncts(formula)?;
+            let (set, _) = check_efairness(c.model, &conjuncts)?;
+            let init = c.model.init();
+            let holds_somewhere = c.model.manager_mut().intersects(init, set);
+            govern::poll(c.model, Phase::Check, Progress::default())?;
+            Ok((holds_somewhere, set))
+        })
     }
 
     /// Constructs a witness for a fairness-class CTL* formula holding in
@@ -234,18 +297,21 @@ impl<'m> Checker<'m> {
         &mut self,
         formula: &StateFormula,
     ) -> Result<(Trace, Vec<ResolvedSide>), CheckError> {
-        let conjuncts = self.fairness_conjuncts(formula)?;
-        let (set, _) = check_efairness(self.model, &conjuncts);
-        let init = self.model.init();
-        let start_set = self.model.manager_mut().and(init, set);
-        let start = self
-            .model
-            .pick_state(start_set)
-            .ok_or(CheckError::NothingToExplain)?;
-        let (trace, sides, stats) =
-            witness_efairness(self.model, &conjuncts, &start, self.strategy)?;
-        self.last_stats = Some(stats);
-        Ok((trace, sides))
+        self.pinned(|c| {
+            let conjuncts = c.fairness_conjuncts(formula)?;
+            let (set, _) = check_efairness(c.model, &conjuncts)?;
+            let init = c.model.init();
+            let start_set = c.model.manager_mut().and(init, set);
+            govern::poll(c.model, Phase::Check, Progress::default())?;
+            let start = c
+                .model
+                .pick_state(start_set)
+                .ok_or(CheckError::NothingToExplain)?;
+            let (trace, sides, stats) =
+                witness_efairness(c.model, &conjuncts, &start, c.strategy)?;
+            c.last_stats = Some(stats);
+            Ok((trace, sides))
+        })
     }
 
     // -----------------------------------------------------------------
@@ -270,17 +336,28 @@ impl<'m> Checker<'m> {
 
     /// The `fair` state set (`CheckFair(EG true)`), memoized. `true` when
     /// the model declares no fairness constraints.
-    pub fn fair(&mut self) -> Bdd {
-        if let Some(f) = self.fair {
-            return f;
-        }
-        let f = if self.model.fairness().is_empty() {
-            Bdd::TRUE
-        } else {
-            fair_states(self.model)
-        };
-        self.fair = Some(f);
-        f
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::ResourceExhausted`] if the manager's budget trips
+    /// during the fixpoint.
+    pub fn fair(&mut self) -> Result<Bdd, CheckError> {
+        self.pinned(|c| {
+            if let Some(f) = c.fair {
+                return Ok(f);
+            }
+            let f = if c.model.fairness().is_empty() {
+                Bdd::TRUE
+            } else {
+                fair_states(c.model)?
+            };
+            // Commit and pin before memoizing (see `check_enf`); the pin
+            // is released when the outermost public call exits.
+            govern::poll(c.model, Phase::Check, Progress::default())?;
+            c.model.manager_mut().protect(f);
+            c.fair = Some(f);
+            Ok(f)
+        })
     }
 
     /// `Check` over existential-normal-form formulas, with memoization.
@@ -309,7 +386,7 @@ impl<'m> Checker<'m> {
             Ctl::Ex(f) => {
                 // CheckFairEX(f) = CheckEX(f ∧ fair).
                 let sf = self.check_enf(f)?;
-                let fair = self.fair();
+                let fair = self.fair()?;
                 let target = self.model.manager_mut().and(sf, fair);
                 check_ex(self.model, target)
             }
@@ -317,14 +394,14 @@ impl<'m> Checker<'m> {
                 // CheckFairEU(f, g) = CheckEU(f, g ∧ fair).
                 let sf = self.check_enf(f)?;
                 let sg = self.check_enf(g)?;
-                let fair = self.fair();
+                let fair = self.fair()?;
                 let target = self.model.manager_mut().and(sg, fair);
-                check_eu(self.model, sf, target)
+                check_eu(self.model, sf, target)?
             }
             Ctl::Eg(f) => {
                 let sf = self.check_enf(f)?;
                 let constraints = self.model.fairness().to_vec();
-                fair_eg(self.model, sf, &constraints)
+                fair_eg(self.model, sf, &constraints)?
             }
             // Non-basis operators: normalize and recurse (defensive; the
             // public entry points normalize up front).
@@ -334,6 +411,13 @@ impl<'m> Checker<'m> {
                 self.check_enf(&enf)?
             }
         };
+        // Commit the result's nodes before memoizing — a later trip's
+        // transaction rollback must not invalidate a cached handle — and
+        // pin them so the degradation ladder's GC keeps every memo entry
+        // live. The pin is released when the outermost public call exits
+        // (see `pinned`).
+        govern::poll(self.model, Phase::Check, Progress::default())?;
+        self.model.manager_mut().protect(result);
         self.cache.insert(formula.clone(), result);
         Ok(result)
     }
@@ -382,7 +466,7 @@ impl<'m> Checker<'m> {
             }
             Ctl::Ex(f) => {
                 let sf = self.check_enf(f)?;
-                let fair = self.fair();
+                let fair = self.fair()?;
                 let target = self.model.manager_mut().and(sf, fair);
                 let next = witness_ex(self.model, target, state)?;
                 let tail = self.explain(&next, f)?;
@@ -391,10 +475,15 @@ impl<'m> Checker<'m> {
             Ctl::Eu(f, g) => {
                 let sf = self.check_enf(f)?;
                 let sg = self.check_enf(g)?;
-                let fair = self.fair();
+                let fair = self.fair()?;
                 let target = self.model.manager_mut().and(sg, fair);
                 let path = witness_eu(self.model, sf, target, state)?;
-                let last = path.last().expect("nonempty path").clone();
+                let last = path
+                    .last()
+                    .ok_or_else(|| {
+                        CheckError::WitnessConstruction("empty EU witness path".into())
+                    })?
+                    .clone();
                 let tail = self.explain(&last, g)?;
                 Ok(splice(path, tail))
             }
@@ -421,7 +510,13 @@ impl<'m> Checker<'m> {
         if trace.is_lasso() || self.model.fairness().is_empty() {
             return Ok(trace);
         }
-        let last = trace.states.last().expect("nonempty trace").clone();
+        let last = trace
+            .states
+            .last()
+            .ok_or_else(|| {
+                CheckError::WitnessConstruction("cannot fair-extend an empty trace".into())
+            })?
+            .clone();
         let constraints = self.model.fairness().to_vec();
         let (lasso, stats) =
             witness_eg_fair(self.model, Bdd::TRUE, &constraints, &last, self.strategy)?;

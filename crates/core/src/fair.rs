@@ -5,7 +5,10 @@
 use smc_bdd::Bdd;
 use smc_kripke::SymbolicModel;
 
+use crate::error::CheckError;
 use crate::fixpoint::{check_eg, check_ex, check_eu, eu_rings};
+use crate::govern::{self, Progress};
+use crate::Phase;
 
 /// `CheckFairEG(f)` under constraints `H`:
 ///
@@ -15,8 +18,16 @@ use crate::fixpoint::{check_eg, check_ex, check_eu, eu_rings};
 ///
 /// With `H` empty the constraint conjunction is vacuous and this degrades
 /// to plain `EG f` (every path is fair).
-pub fn fair_eg(model: &mut SymbolicModel, f: Bdd, constraints: &[Bdd]) -> Bdd {
-    fair_eg_with_rings(model, f, constraints).0
+///
+/// # Errors
+///
+/// [`CheckError::ResourceExhausted`] if the manager's budget trips.
+pub fn fair_eg(
+    model: &mut SymbolicModel,
+    f: Bdd,
+    constraints: &[Bdd],
+) -> Result<Bdd, CheckError> {
+    Ok(fair_eg_with_rings(model, f, constraints)?.0)
 }
 
 /// The ring sequences saved from the **last** outer iteration of
@@ -39,15 +50,32 @@ pub fn fair_eg_with_rings(
     model: &mut SymbolicModel,
     f: Bdd,
     constraints: &[Bdd],
-) -> (Bdd, FairRings) {
+) -> Result<(Bdd, FairRings), CheckError> {
     // Empty H behaves like the single vacuous constraint `true`; the
     // caller-visible ring list stays aligned with `constraints`, so the
     // normalization lives in the witness layer, not here. Without
     // constraints the nested fixpoint degenerates to plain EG, which the
     // candidate-based `check_eg` computes with the same iterates.
     if constraints.is_empty() {
-        return (check_eg(model, f), Vec::new());
+        return Ok((check_eg(model, f)?, Vec::new()));
     }
+    // The nested EU fixpoints checkpoint internally; a ladder GC there
+    // must not collect this level's working set, so f and the constraints
+    // are shielded for the whole computation (and the loop shields its
+    // evolving handles around each inner call).
+    let mut shield = vec![f];
+    shield.extend_from_slice(constraints);
+    govern::protect_all(model, &shield);
+    let result = fair_eg_with_rings_inner(model, f, constraints);
+    govern::unprotect_all(model, &shield);
+    result
+}
+
+fn fair_eg_with_rings_inner(
+    model: &mut SymbolicModel,
+    f: Bdd,
+    constraints: &[Bdd],
+) -> Result<(Bdd, FairRings), CheckError> {
     // `seeds[k]` is the previous outer iteration's inner EU result for
     // constraint k. Targets `Z ∧ hₖ` shrink monotonically with Z, so
     // E[f U t] = E[(f ∧ seed) U t]: every state on a witnessing prefix for
@@ -56,8 +84,23 @@ pub fn fair_eg_with_rings(
     // already-narrowed state space.
     let mut seeds: Vec<Bdd> = vec![f; constraints.len()];
     let mut z = f;
+    let mut outer = 0u64;
     loop {
-        let next = fair_eg_step(model, f, constraints, z, &mut seeds);
+        let mut guard = vec![z];
+        guard.extend_from_slice(&seeds);
+        govern::protect_all(model, &guard);
+        let step = fair_eg_step(model, f, constraints, z, &mut seeds);
+        govern::unprotect_all(model, &guard);
+        let next = step?;
+        outer += 1;
+        let mut roots = vec![z, next];
+        roots.extend_from_slice(&seeds);
+        govern::checkpoint(
+            model,
+            Phase::FairEg,
+            Progress { iterations: outer, rings: 0, approx: Some(z) },
+            &roots,
+        )?;
         if next == z {
             break;
         }
@@ -66,12 +109,24 @@ pub fn fair_eg_with_rings(
     // One more inner round at the fixpoint to harvest the rings — with
     // the *unrestricted* f, so the recorded ring sequences are exactly
     // the ones the textbook iteration would produce.
-    let mut rings = Vec::with_capacity(constraints.len());
-    for &h in constraints {
-        let target = model.manager_mut().and(z, h);
-        rings.push(eu_rings(model, f, target));
-    }
-    (z, rings)
+    let mut rings: FairRings = Vec::with_capacity(constraints.len());
+    model.manager_mut().protect(z);
+    let mut harvested: Vec<Bdd> = vec![z];
+    let harvest: Result<(), CheckError> = (|| {
+        for &h in constraints {
+            let target = model.manager_mut().and(z, h);
+            let seq = eu_rings(model, f, target)?;
+            // Already-harvested sequences must survive the next inner
+            // round's checkpoints.
+            govern::protect_all(model, &seq);
+            harvested.extend(seq.iter().copied());
+            rings.push(seq);
+        }
+        Ok(())
+    })();
+    govern::unprotect_all(model, &harvested);
+    harvest?;
+    Ok((z, rings))
 }
 
 /// One outer iteration: `f ∧ ⋀ₖ EX(E[f U (Z ∧ hₖ)])`, with each inner EU
@@ -82,30 +137,47 @@ fn fair_eg_step(
     constraints: &[Bdd],
     z: Bdd,
     seeds: &mut [Bdd],
-) -> Bdd {
+) -> Result<Bdd, CheckError> {
     let mut acc = f;
-    for (k, &h) in constraints.iter().enumerate() {
-        if acc.is_false() {
-            break;
+    let mut shield: Vec<Bdd> = Vec::new();
+    let mut step = |model: &mut SymbolicModel, shield: &mut Vec<Bdd>| {
+        for (k, &h) in constraints.iter().enumerate() {
+            if acc.is_false() {
+                break;
+            }
+            let target = model.manager_mut().and(z, h);
+            let f_seeded = model.manager_mut().and(f, seeds[k]);
+            // Keep this round's working set safe across the inner EU's
+            // checkpoints (which may run the degradation ladder's GC).
+            govern::protect_all(model, &[acc, target, f_seeded]);
+            shield.extend([acc, target, f_seeded]);
+            let eu = check_eu(model, f_seeded, target)?;
+            seeds[k] = eu;
+            model.manager_mut().protect(eu);
+            shield.push(eu);
+            let ex = check_ex(model, eu);
+            acc = model.manager_mut().and(acc, ex);
         }
-        let target = model.manager_mut().and(z, h);
-        let f_seeded = model.manager_mut().and(f, seeds[k]);
-        let eu = check_eu(model, f_seeded, target);
-        seeds[k] = eu;
-        let ex = check_ex(model, eu);
-        acc = model.manager_mut().and(acc, ex);
-    }
-    acc
+        Ok(acc)
+    };
+    let result = step(model, &mut shield);
+    govern::unprotect_all(model, &shield);
+    result
 }
 
 /// The `fair` state set of Section 5: `CheckFair(EG true)` — states at
 /// the start of some fair computation path.
-pub fn fair_states(model: &mut SymbolicModel) -> Bdd {
+///
+/// # Errors
+///
+/// [`CheckError::ResourceExhausted`] if the manager's budget trips.
+pub fn fair_states(model: &mut SymbolicModel) -> Result<Bdd, CheckError> {
     let constraints = model.fairness().to_vec();
     fair_eg(model, Bdd::TRUE, &constraints)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use smc_kripke::SymbolicModelBuilder;
@@ -123,8 +195,8 @@ mod tests {
     fn fair_eg_without_constraints_is_plain_eg() {
         let mut m = free_bit();
         let x = m.ap("x").unwrap();
-        let plain = crate::fixpoint::check_eg(&mut m, x);
-        let fair = fair_eg(&mut m, x, &[]);
+        let plain = crate::fixpoint::check_eg(&mut m, x).unwrap();
+        let fair = fair_eg(&mut m, x, &[]).unwrap();
         assert_eq!(plain, fair);
         // x can be held at 1 forever, so EG x = {x}.
         assert_eq!(m.state_count(fair), 1.0);
@@ -137,10 +209,10 @@ mod tests {
         let mut m = free_bit();
         let x = m.ap("x").unwrap();
         let nx = m.manager_mut().not(x);
-        let fair = fair_eg(&mut m, x, &[nx]);
+        let fair = fair_eg(&mut m, x, &[nx]).unwrap();
         assert!(fair.is_false());
         // Under the constraint "x infinitely often" EG x survives.
-        let fair2 = fair_eg(&mut m, x, &[x]);
+        let fair2 = fair_eg(&mut m, x, &[x]).unwrap();
         assert_eq!(m.state_count(fair2), 1.0);
     }
 
@@ -152,7 +224,7 @@ mod tests {
         b.next_fn(x, |m, cur| m.not(cur[0]));
         b.fairness_fn(|m, _| m.constant(false));
         let mut m = b.build().unwrap();
-        assert!(fair_states(&mut m).is_false());
+        assert!(fair_states(&mut m).unwrap().is_false());
     }
 
     #[test]
@@ -162,7 +234,7 @@ mod tests {
         let nx = m.manager_mut().not(x);
         // EG true under constraints {x infinitely often, ¬x infinitely
         // often}: both states qualify (toggle forever).
-        let (egf, rings) = fair_eg_with_rings(&mut m, Bdd::TRUE, &[x, nx]);
+        let (egf, rings) = fair_eg_with_rings(&mut m, Bdd::TRUE, &[x, nx]).unwrap();
         assert_eq!(m.state_count(egf), 2.0);
         assert_eq!(rings.len(), 2);
         for ring in &rings {

@@ -20,7 +20,9 @@ use smc_kripke::{State, SymbolicModel};
 use crate::error::CheckError;
 use crate::fair::fair_eg;
 use crate::fixpoint::{check_eu, check_ex};
+use crate::govern::{self, Progress};
 use crate::witness::{splice, witness_eg_fair, witness_eu, CycleStrategy, Trace, WitnessStats};
+use crate::Phase;
 
 /// One conjunct `GF p ∨ FG q` with the propositional sides already
 /// evaluated to state sets. Either side may be absent (degenerate
@@ -63,10 +65,63 @@ pub enum ResolvedSide {
 /// Evaluates `E ⋀ⱼ (GF pⱼ ∨ FG qⱼ)`; returns the satisfying state set
 /// and the inner greatest fixpoint (the states where the suffix
 /// obligations can be discharged forever).
-pub fn check_efairness(model: &mut SymbolicModel, conjuncts: &[FairnessConjunct]) -> (Bdd, Bdd) {
+///
+/// # Errors
+///
+/// [`CheckError::ResourceExhausted`] if the manager's budget trips.
+pub fn check_efairness(
+    model: &mut SymbolicModel,
+    conjuncts: &[FairnessConjunct],
+) -> Result<(Bdd, Bdd), CheckError> {
+    // Shield the conjunct sides across the nested EU checkpoints (see
+    // the fair-EG machinery for the same pattern).
+    let mut shield: Vec<Bdd> = Vec::new();
+    for c in conjuncts {
+        shield.extend(c.gf);
+        shield.extend(c.fg);
+    }
+    govern::protect_all(model, &shield);
+    let result = check_efairness_inner(model, conjuncts);
+    govern::unprotect_all(model, &shield);
+    result
+}
+
+fn check_efairness_inner(
+    model: &mut SymbolicModel,
+    conjuncts: &[FairnessConjunct],
+) -> Result<(Bdd, Bdd), CheckError> {
     let mut y = Bdd::TRUE;
+    let mut iters = 0u64;
     loop {
-        let mut next = Bdd::TRUE;
+        model.manager_mut().protect(y);
+        let step = check_efairness_step(model, conjuncts, y);
+        model.manager_mut().unprotect(y);
+        let next = step?;
+        iters += 1;
+        govern::checkpoint(
+            model,
+            Phase::EFairness,
+            Progress { iterations: iters, rings: 0, approx: Some(y) },
+            &[y, next],
+        )?;
+        if next == y {
+            break;
+        }
+        y = next;
+    }
+    let ef = check_eu(model, Bdd::TRUE, y)?;
+    Ok((ef, y))
+}
+
+/// One gfp iteration: `⋀ⱼ ((qⱼ ∧ EX Y) ∨ EX E[Y U (pⱼ ∧ Y)])`.
+fn check_efairness_step(
+    model: &mut SymbolicModel,
+    conjuncts: &[FairnessConjunct],
+    y: Bdd,
+) -> Result<Bdd, CheckError> {
+    let mut next = Bdd::TRUE;
+    let mut shield: Vec<Bdd> = Vec::new();
+    let mut step = |model: &mut SymbolicModel, shield: &mut Vec<Bdd>| {
         for c in conjuncts {
             let mut term = Bdd::FALSE;
             if let Some(q) = c.fg {
@@ -76,7 +131,11 @@ pub fn check_efairness(model: &mut SymbolicModel, conjuncts: &[FairnessConjunct]
             }
             if let Some(p) = c.gf {
                 let py = model.manager_mut().and(p, y);
-                let eu = check_eu(model, y, py);
+                // The in-flight accumulators must survive the inner EU's
+                // checkpoints (ladder GC keeps only roots + protected).
+                govern::protect_all(model, &[next, term]);
+                shield.extend([next, term]);
+                let eu = check_eu(model, y, py)?;
                 let ex = check_ex(model, eu);
                 term = model.manager_mut().or(term, ex);
             }
@@ -85,13 +144,11 @@ pub fn check_efairness(model: &mut SymbolicModel, conjuncts: &[FairnessConjunct]
                 break;
             }
         }
-        if next == y {
-            break;
-        }
-        y = next;
-    }
-    let ef = check_eu(model, Bdd::TRUE, y);
-    (ef, y)
+        Ok(next)
+    };
+    let result = step(model, &mut shield);
+    govern::unprotect_all(model, &shield);
+    result
 }
 
 /// Constructs a witness path for `E ⋀ⱼ (GF pⱼ ∨ FG qⱼ)` from `start`,
@@ -108,7 +165,7 @@ pub fn witness_efairness(
     start: &State,
     strategy: CycleStrategy,
 ) -> Result<(Trace, Vec<ResolvedSide>, WitnessStats), CheckError> {
-    let (all, _) = check_efairness(model, conjuncts);
+    let (all, _) = check_efairness(model, conjuncts)?;
     if !model.eval_state(all, start) {
         return Err(CheckError::NothingToExplain);
     }
@@ -120,15 +177,14 @@ pub fn witness_efairness(
         let side = match (resolved[j].gf, resolved[j].fg) {
             (Some(_), None) | (None, None) => ResolvedSide::Gf,
             (None, Some(_)) => ResolvedSide::Fg,
-            (Some(_), Some(q)) => {
+            (Some(p), Some(q)) => {
                 let mut trial = resolved.clone();
                 trial[j] = FairnessConjunct::fg(q);
-                let (set, _) = check_efairness(model, &trial);
+                let (set, _) = check_efairness(model, &trial)?;
                 if model.eval_state(set, start) {
                     resolved[j] = FairnessConjunct::fg(q);
                     ResolvedSide::Fg
                 } else {
-                    let p = resolved[j].gf.expect("two-sided");
                     resolved[j] = FairnessConjunct::gf(p);
                     ResolvedSide::Gf
                 }
@@ -148,14 +204,29 @@ pub fn witness_efairness(
             ps.push(p);
         }
     }
-    let egf = fair_eg(model, qs, &ps);
+    let egf = fair_eg(model, qs, &ps)?;
     if egf.is_false() {
         return Err(CheckError::WitnessConstruction(
             "case split selected an unsatisfiable branch".into(),
         ));
     }
-    let prefix = witness_eu(model, Bdd::TRUE, egf, start)?;
-    let entry = prefix.last().expect("nonempty prefix").clone();
-    let (lasso, stats) = witness_eg_fair(model, qs, &ps, &entry, strategy)?;
-    Ok((splice(prefix, lasso), sides, stats))
+    // qs/ps/egf must survive the checkpoints inside the two witness
+    // constructions below.
+    let mut shield = vec![qs, egf];
+    shield.extend_from_slice(&ps);
+    govern::protect_all(model, &shield);
+    let tail: Result<(Trace, WitnessStats), CheckError> = (|| {
+        let prefix = witness_eu(model, Bdd::TRUE, egf, start)?;
+        let entry = prefix
+            .last()
+            .ok_or_else(|| {
+                CheckError::WitnessConstruction("empty EU witness prefix".into())
+            })?
+            .clone();
+        let (lasso, stats) = witness_eg_fair(model, qs, &ps, &entry, strategy)?;
+        Ok((splice(prefix, lasso), stats))
+    })();
+    govern::unprotect_all(model, &shield);
+    let (trace, stats) = tail?;
+    Ok((trace, sides, stats))
 }

@@ -1,12 +1,27 @@
 //! The basic CTL fixpoint operators of Section 4: `CheckEX`, `CheckEU`,
 //! `CheckEG`, plus the ring-recording variant of `CheckEU` that the
 //! witness generator replays backwards.
+//!
+//! Every fixpoint loop is a governed, fallible computation: each
+//! iteration ends at a [`BddManager::checkpoint`](smc_bdd::BddManager)
+//! safe point, so an installed [`Budget`](smc_bdd::Budget) can bound the
+//! run (and the degradation ladder can collect intermediates that are not
+//! passed as roots). A trip surfaces as
+//! [`CheckError::ResourceExhausted`] with the fixpoint's phase, completed
+//! iteration count and last approximation size attached.
 
 use smc_bdd::Bdd;
 use smc_kripke::SymbolicModel;
 
+use crate::error::CheckError;
+use crate::govern::{self, Progress};
+use crate::Phase;
+
 /// `CheckEX(f) = ∃v̄′. f(v̄′) ∧ N(v̄, v̄′)` — the states with a successor in
 /// `f`.
+///
+/// A single preimage, no iteration: stays infallible. Callers inside
+/// governed loops pick up any trip at their next checkpoint.
 pub fn check_ex(model: &mut SymbolicModel, f: Bdd) -> Bdd {
     model.preimage(f)
 }
@@ -18,20 +33,33 @@ pub fn check_ex(model: &mut SymbolicModel, f: Bdd) -> Bdd {
 /// an older ring was itself added in an older round, so the accumulated
 /// sets are identical to the textbook full-preimage iteration — at the
 /// cost of a preimage of the (small) delta instead of the whole set.
-pub fn check_eu(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Bdd {
+///
+/// # Errors
+///
+/// [`CheckError::ResourceExhausted`] if the manager's budget trips.
+pub fn check_eu(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Result<Bdd, CheckError> {
     let mut z = g;
     let mut frontier = g;
+    let mut iters = 0u64;
     while !frontier.is_false() {
         let ex = check_ex(model, frontier);
         let step = model.manager_mut().and(f, ex);
         let add = model.manager_mut().diff(step, z);
+        iters += 1;
+        let progress = Progress { iterations: iters, rings: 0, approx: Some(z) };
         if add.is_false() {
+            govern::checkpoint(model, Phase::EuFixpoint, progress, &[f, g, z])?;
             break;
         }
-        z = model.manager_mut().or(z, add);
+        let next = model.manager_mut().or(z, add);
+        govern::checkpoint(model, Phase::EuFixpoint, progress, &[f, g, next, add])?;
+        z = next;
         frontier = add;
     }
-    z
+    // Covers the zero-iteration case (g = ∅), where no checkpoint ran and
+    // a pending trip must not escape as a bogus Ok.
+    govern::poll(model, Phase::EuFixpoint, Progress::iters(iters))?;
+    Ok(z)
 }
 
 /// `CheckEU` with the full increasing approximation sequence
@@ -42,25 +70,50 @@ pub fn check_eu(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Bdd {
 /// outer fair-`EG` iteration) so witness construction can walk a shortest
 /// ring-decreasing path to each fairness constraint. The last element is
 /// the `E[f U g]` fixpoint.
-pub fn eu_rings(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Vec<Bdd> {
+///
+/// # Errors
+///
+/// [`CheckError::ResourceExhausted`] if the manager's budget trips; the
+/// partial report carries the number of rings recorded so far.
+pub fn eu_rings(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Result<Vec<Bdd>, CheckError> {
     // Frontier iteration; the recorded rings are bit-identical to the
     // full-preimage version (see `check_eu` for why), which the witness
     // generator's ring-descent depends on.
     let mut rings = vec![g];
     let mut z = g;
     let mut frontier = g;
+    let mut iters = 0u64;
     while !frontier.is_false() {
         let ex = check_ex(model, frontier);
         let step = model.manager_mut().and(f, ex);
         let add = model.manager_mut().diff(step, z);
-        if add.is_false() {
+        iters += 1;
+        let progress = Progress {
+            iterations: iters,
+            rings: rings.len() as u64,
+            approx: Some(z),
+        };
+        let done = add.is_false();
+        let next = if done { z } else { model.manager_mut().or(z, add) };
+        // Every recorded ring must survive a ladder GC, so the whole
+        // prefix rides along as checkpoint roots.
+        let mut roots = rings.clone();
+        roots.extend([f, g, next, add]);
+        govern::checkpoint(model, Phase::EuFixpoint, progress, &roots)?;
+        if done {
             break;
         }
-        z = model.manager_mut().or(z, add);
+        z = next;
         rings.push(z);
         frontier = add;
     }
-    rings
+    // Zero-iteration case: no checkpoint ran, deliver any pending trip.
+    govern::poll(
+        model,
+        Phase::EuFixpoint,
+        Progress { iterations: iters, rings: rings.len() as u64, approx: Some(z) },
+    )?;
+    Ok(rings)
 }
 
 /// `CheckEG(f)`: greatest fixpoint of `λZ. f ∧ EX Z` (no fairness).
@@ -71,30 +124,41 @@ pub fn eu_rings(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Vec<Bdd> {
 /// get their (restricted) preimage re-checked; the rest of `Z` carries
 /// over unchanged. The iterates equal the textbook `Zₖ₊₁ = f ∧ EX Zₖ`
 /// sequence exactly.
-pub fn check_eg(model: &mut SymbolicModel, f: Bdd) -> Bdd {
+///
+/// # Errors
+///
+/// [`CheckError::ResourceExhausted`] if the manager's budget trips.
+pub fn check_eg(model: &mut SymbolicModel, f: Bdd) -> Result<Bdd, CheckError> {
     let pre_f = check_ex(model, f);
     let mut z = model.manager_mut().and(f, pre_f);
     let mut prev = f;
+    let mut iters = 0u64;
+    govern::checkpoint(model, Phase::EgFixpoint, Progress::iters(0), &[f, z])?;
     while z != prev {
         // removed = prev \ z: the states that left Z last round.
         let removed = model.manager_mut().diff(prev, z);
         // Candidates: states of Z with a successor among the removed —
         // every other state keeps a successor in Z and survives as-is.
         let cand = model.preimage_within(removed, z);
+        iters += 1;
+        let progress = Progress { iterations: iters, rings: 0, approx: Some(z) };
         if cand.is_false() {
-            return z;
+            govern::checkpoint(model, Phase::EgFixpoint, progress, &[f, z])?;
+            return Ok(z);
         }
         // Which candidates still have some successor in Z?
         let keep = model.preimage_within(z, cand);
         let rest = model.manager_mut().diff(z, cand);
         let next = model.manager_mut().or(rest, keep);
+        govern::checkpoint(model, Phase::EgFixpoint, progress, &[f, z, next])?;
         prev = z;
         z = next;
     }
-    z
+    Ok(z)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use smc_kripke::SymbolicModelBuilder;
@@ -138,7 +202,7 @@ mod tests {
         let hi = m.ap("hi").unwrap();
         let lo = m.ap("lo").unwrap();
         let sat = m.manager_mut().and(hi, lo);
-        let all = check_eu(&mut m, Bdd::TRUE, sat);
+        let all = check_eu(&mut m, Bdd::TRUE, sat).unwrap();
         // Every state eventually reaches 11.
         assert_eq!(m.state_count(all), 4.0);
     }
@@ -149,7 +213,7 @@ mod tests {
         let hi = m.ap("hi").unwrap();
         let lo = m.ap("lo").unwrap();
         let sat = m.manager_mut().and(hi, lo);
-        let rings = eu_rings(&mut m, Bdd::TRUE, sat);
+        let rings = eu_rings(&mut m, Bdd::TRUE, sat).unwrap();
         // 11 at distance 0; 10 at 1; 01 at 2; 00 at 3.
         assert_eq!(rings.len(), 4);
         for w in rings.windows(2) {
@@ -159,7 +223,7 @@ mod tests {
         }
         assert_eq!(m.state_count(rings[0]), 1.0);
         assert_eq!(m.state_count(rings[3]), 4.0);
-        assert_eq!(*rings.last().unwrap(), check_eu(&mut m, Bdd::TRUE, sat));
+        assert_eq!(*rings.last().unwrap(), check_eu(&mut m, Bdd::TRUE, sat).unwrap());
     }
 
     #[test]
@@ -169,10 +233,10 @@ mod tests {
         let lo = m.ap("lo").unwrap();
         let sat = m.manager_mut().and(hi, lo);
         // EG (hi ∧ lo): only the absorbing 11 state loops forever in it.
-        let eg = check_eg(&mut m, sat);
+        let eg = check_eg(&mut m, sat).unwrap();
         assert_eq!(m.state_count(eg), 1.0);
         // EG true = everything (relation is total).
-        let all = check_eg(&mut m, Bdd::TRUE);
+        let all = check_eg(&mut m, Bdd::TRUE).unwrap();
         assert_eq!(m.state_count(all), 4.0);
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! # smc-checker — symbolic model checking with witnesses
 //!
@@ -57,10 +58,12 @@ mod error;
 pub mod fair;
 pub mod fairness_class;
 pub mod fixpoint;
+mod govern;
 pub mod witness;
 
 pub use checker::{CheckOutcome, Checker, Verdict};
-pub use error::CheckError;
+pub use error::{CheckError, PartialProgress, Phase};
+pub use smc_bdd::{Budget, CancelToken, TripReason};
 pub use fairness_class::{check_efairness, witness_efairness, FairnessConjunct, ResolvedSide};
 pub use witness::{CycleStrategy, Trace, WitnessStats};
 

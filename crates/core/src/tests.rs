@@ -1,5 +1,6 @@
 //! Tests for the symbolic checker and the witness generator, including
 //! the Figure 1 / Figure 2 witness-shape scenarios.
+#![allow(clippy::unwrap_used)]
 
 use smc_kripke::{condensation, ExplicitModel, State, SymbolicModel, SymbolicModelBuilder};
 use smc_logic::{ctl, ctlstar};

@@ -27,8 +27,10 @@ use smc_kripke::{State, SymbolicModel};
 use crate::error::CheckError;
 use crate::fair::fair_eg_with_rings;
 use crate::fixpoint::eu_rings;
+use crate::govern::{self, Progress};
 use crate::witness::strategy::CycleStrategy;
 use crate::witness::trace::Trace;
+use crate::Phase;
 
 /// Bookkeeping from one witness construction, for the experiments that
 /// compare strategies (ablation A1) and witness shapes (EXP-2/EXP-3).
@@ -57,7 +59,8 @@ const MAX_RESTARTS: usize = 1_000_000;
 ///
 /// [`CheckError::NothingToExplain`] if `start` does not satisfy fair
 /// `EG f`; [`CheckError::WitnessConstruction`] on internal invariant
-/// violations.
+/// violations; [`CheckError::ResourceExhausted`] if the manager's budget
+/// trips.
 pub fn witness_eg_fair(
     model: &mut SymbolicModel,
     f: Bdd,
@@ -72,17 +75,38 @@ pub fn witness_eg_fair(
     } else {
         constraints.to_vec()
     };
-    let (egf, rings) = fair_eg_with_rings(model, f, &constraints);
+    let (egf, rings) = fair_eg_with_rings(model, f, &constraints)?;
     if !model.eval_state(egf, start) {
         return Err(CheckError::NothingToExplain);
     }
 
+    // The saved rings (and egf, and f) are probed across the whole
+    // restart loop, which runs governed EU fixpoints (stay sets, closing
+    // arcs) whose checkpoints may trigger the degradation ladder's GC.
+    // Shield all of them for the duration.
+    let mut shield = vec![f, egf];
+    shield.extend(rings.iter().flatten().copied());
+    govern::protect_all(model, &shield);
+    let result = witness_eg_fair_inner(model, f, egf, &constraints, &rings, start, strategy);
+    govern::unprotect_all(model, &shield);
+    result
+}
+
+fn witness_eg_fair_inner(
+    model: &mut SymbolicModel,
+    f: Bdd,
+    egf: Bdd,
+    constraints: &[Bdd],
+    rings: &[Vec<Bdd>],
+    start: &State,
+    strategy: CycleStrategy,
+) -> Result<(Trace, WitnessStats), CheckError> {
     let mut stats = WitnessStats::default();
     let mut prefix: Vec<State> = Vec::new();
     let mut s = start.clone();
 
     loop {
-        match attempt_cycle(model, f, egf, &constraints, &rings, &s, strategy, &mut stats)? {
+        match attempt_cycle(model, f, egf, constraints, rings, &s, strategy, &mut stats)? {
             AttemptOutcome::Closed { states, anchor_index } => {
                 let loopback = prefix.len() + anchor_index;
                 prefix.extend(states);
@@ -91,9 +115,15 @@ pub fn witness_eg_fair(
             AttemptOutcome::Restart { mut walked, from } => {
                 stats.restarts += 1;
                 if stats.restarts > MAX_RESTARTS {
-                    return Err(CheckError::WitnessConstruction(
-                        "restart budget exhausted; fair_eg rings are inconsistent".into(),
-                    ));
+                    let depths: Vec<usize> = rings.iter().map(|r| r.len()).collect();
+                    return Err(CheckError::WitnessConstruction(format!(
+                        "restart budget exhausted after {} restarts ({} stay exits); \
+                         fair_eg rings are inconsistent ({} constraints, ring depths {:?})",
+                        stats.restarts,
+                        stats.stay_exits,
+                        constraints.len(),
+                        depths,
+                    )));
                 }
                 // The walked states become prefix; the restart state is
                 // re-pushed as the head of the next attempt.
@@ -126,6 +156,35 @@ fn attempt_cycle(
     strategy: CycleStrategy,
     stats: &mut WitnessStats,
 ) -> Result<AttemptOutcome, CheckError> {
+    // The stay set, once computed, must survive the closing arc's
+    // governed EU fixpoint — it rides in a shield for the rest of the
+    // attempt, released here on every exit path.
+    let mut shield: Vec<Bdd> = Vec::new();
+    let result = attempt_cycle_inner(
+        model, f, egf, constraints, rings, s, strategy, stats, &mut shield,
+    );
+    govern::unprotect_all(model, &shield);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn attempt_cycle_inner(
+    model: &mut SymbolicModel,
+    f: Bdd,
+    egf: Bdd,
+    constraints: &[Bdd],
+    rings: &[Vec<Bdd>],
+    s: &State,
+    strategy: CycleStrategy,
+    stats: &mut WitnessStats,
+    shield: &mut Vec<Bdd>,
+) -> Result<AttemptOutcome, CheckError> {
+    let total_rings: u64 = rings.iter().map(|r| r.len() as u64).sum();
+    let progress = |attempt: &[State]| Progress {
+        iterations: attempt.len() as u64,
+        rings: total_rings,
+        approx: None,
+    };
     let mut attempt: Vec<State> = vec![s.clone()];
     let mut current = s.clone();
     let mut anchor: Option<(usize, State)> = None;
@@ -138,7 +197,7 @@ fn attempt_cycle(
         if anchor.is_some() {
             pending.retain(|&k| !model.eval_state(rings[k][0], &current));
         }
-        let Some(pos) = nearest_constraint(model, &current, &pending, rings)? else {
+        let Some(pos) = nearest_constraint(model, &current, &pending, rings, total_rings)? else {
             break;
         };
         let (k, ring_index, t) = pos;
@@ -149,7 +208,10 @@ fn attempt_cycle(
                 // E[(EG f) U {t}]: the states from which the cycle can
                 // still be closed.
                 let t_bdd = model.state_bdd(&t);
-                stay = Some(crate::fixpoint::check_eu(model, egf, t_bdd));
+                let set = crate::fixpoint::check_eu(model, egf, t_bdd)?;
+                model.manager_mut().protect(set);
+                shield.push(set);
+                stay = Some(set);
             }
         }
         current = t;
@@ -162,16 +224,20 @@ fn attempt_cycle(
         while j > 0 && !model.eval_state(rings[k][0], &current) {
             let succ = model.successors(&current);
             // Greedy: jump to the smallest ring any successor touches.
-            let (jj, next) = (0..j)
-                .find_map(|jj| {
-                    let cand = model.manager_mut().and(succ, rings[k][jj]);
-                    model.pick_state(cand).map(|st| (jj, st))
-                })
-                .ok_or_else(|| {
-                    CheckError::WitnessConstruction(format!(
-                        "ring descent stuck at ring {j} of constraint {k}"
-                    ))
-                })?;
+            let step = (0..j).find_map(|jj| {
+                let cand = model.manager_mut().and(succ, rings[k][jj]);
+                model.pick_state(cand).map(|st| (jj, st))
+            });
+            // Poll before concluding anything from this step: after a
+            // trip the BDDs above are dummies and the budget error must
+            // win over a bogus "descent stuck" report. Polls never GC,
+            // so the loose ring handles stay valid.
+            govern::poll(model, Phase::WitnessEg, progress(&attempt))?;
+            let (jj, next) = step.ok_or_else(|| {
+                CheckError::WitnessConstruction(format!(
+                    "ring descent stuck at ring {j} of constraint {k}"
+                ))
+            })?;
             attempt.push(next.clone());
             current = next;
             j = jj;
@@ -190,28 +256,33 @@ fn attempt_cycle(
 
     // Close the cycle: a nontrivial f-path current -> anchor.
     let anchor_bdd = model.state_bdd(&anchor_state);
-    let close_rings = eu_rings(model, f, anchor_bdd);
+    let close_rings = eu_rings(model, f, anchor_bdd)?;
     let succ = model.successors(&current);
-    let reach_anchor = *close_rings.last().expect("rings nonempty");
+    govern::poll(model, Phase::WitnessEg, progress(&attempt))?;
+    let reach_anchor = *close_rings.last().ok_or_else(|| {
+        CheckError::WitnessConstruction("closing EU produced no rings".into())
+    })?;
     let first_step = model.manager_mut().and(succ, reach_anchor);
     if first_step.is_false() {
         return Ok(AttemptOutcome::Restart { walked: attempt, from: current });
     }
     // Walk the closing arc, stopping just before re-entering the anchor.
-    let mut close_current = pick_min_ring_state(model, first_step, &close_rings)
-        .ok_or_else(|| CheckError::WitnessConstruction("closing arc lost".into()))?;
+    let picked = pick_min_ring_state(model, first_step, &close_rings);
+    govern::poll(model, Phase::WitnessEg, progress(&attempt))?;
+    let mut close_current =
+        picked.ok_or_else(|| CheckError::WitnessConstruction("closing arc lost".into()))?;
     while close_current.1 > 0 {
         attempt.push(close_current.0.clone());
         let succ = model.successors(&close_current.0);
         let j = close_current.1;
-        close_current = (0..j)
-            .find_map(|jj| {
-                let cand = model.manager_mut().and(succ, close_rings[jj]);
-                model.pick_state(cand).map(|st| (st, jj))
-            })
-            .ok_or_else(|| {
-                CheckError::WitnessConstruction("closing arc ring descent stuck".into())
-            })?;
+        let step = (0..j).find_map(|jj| {
+            let cand = model.manager_mut().and(succ, close_rings[jj]);
+            model.pick_state(cand).map(|st| (st, jj))
+        });
+        govern::poll(model, Phase::WitnessEg, progress(&attempt))?;
+        close_current = step.ok_or_else(|| {
+            CheckError::WitnessConstruction("closing arc ring descent stuck".into())
+        })?;
     }
     // close_current.1 == 0 means the next state is the anchor itself; the
     // lasso edge `last -> anchor` closes the loop implicitly.
@@ -228,6 +299,7 @@ fn nearest_constraint(
     current: &State,
     pending: &[usize],
     rings: &[Vec<Bdd>],
+    total_rings: u64,
 ) -> Result<Option<(usize, usize, State)>, CheckError> {
     if pending.is_empty() {
         return Ok(None);
@@ -249,6 +321,13 @@ fn nearest_constraint(
             }
         }
     }
+    // A tripped budget makes every probe above come back empty; the
+    // resource error must win over the invariant-violation report.
+    govern::poll(
+        model,
+        Phase::WitnessEg,
+        Progress { iterations: 0, rings: total_rings, approx: None },
+    )?;
     Err(CheckError::WitnessConstruction(
         "no pending constraint reachable; state is outside fair EG".into(),
     ))

@@ -11,6 +11,8 @@ use smc_kripke::{State, SymbolicModel};
 
 use crate::error::CheckError;
 use crate::fixpoint::eu_rings;
+use crate::govern::{self, Progress};
+use crate::Phase;
 
 /// Constructs a shortest `E[f U g]` witness: a path from `start` through
 /// `f`-states to a `g`-state, walking the `EU` approximation rings
@@ -26,7 +28,7 @@ pub fn witness_eu(
     g: Bdd,
     start: &State,
 ) -> Result<Vec<State>, CheckError> {
-    let rings = eu_rings(model, f, g);
+    let rings = eu_rings(model, f, g)?;
     let mut j = match (0..rings.len()).find(|&i| model.eval_state(rings[i], start)) {
         Some(j) => j,
         None => return Err(CheckError::NothingToExplain),
@@ -35,14 +37,26 @@ pub fn witness_eu(
     let mut current = start.clone();
     while j > 0 && !model.eval_state(rings[0], &current) {
         let succ = model.successors(&current);
-        let (jj, next) = (0..j)
-            .find_map(|jj| {
-                let cand = model.manager_mut().and(succ, rings[jj]);
-                model.pick_state(cand).map(|st| (jj, st))
-            })
-            .ok_or_else(|| {
-                CheckError::WitnessConstruction("EU ring descent stuck".into())
-            })?;
+        let step = (0..j).find_map(|jj| {
+            let cand = model.manager_mut().and(succ, rings[jj]);
+            model.pick_state(cand).map(|st| (jj, st))
+        });
+        // Poll before concluding anything from this step: after a trip the
+        // successor/intersection BDDs are dummies, and the budget error
+        // must win over a bogus "descent stuck" report. No GC happens in a
+        // poll, so the loose ring handles stay valid.
+        govern::poll(
+            model,
+            Phase::WitnessEu,
+            Progress {
+                iterations: path.len() as u64,
+                rings: rings.len() as u64,
+                approx: None,
+            },
+        )?;
+        let (jj, next) = step.ok_or_else(|| {
+            CheckError::WitnessConstruction("EU ring descent stuck".into())
+        })?;
         path.push(next.clone());
         current = next;
         j = jj;
@@ -62,5 +76,6 @@ pub fn witness_ex(
 ) -> Result<State, CheckError> {
     let succ = model.successors(start);
     let cand = model.manager_mut().and(succ, f);
+    govern::poll(model, Phase::WitnessEu, Progress::default())?;
     model.pick_state(cand).ok_or(CheckError::NothingToExplain)
 }

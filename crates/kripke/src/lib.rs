@@ -34,7 +34,7 @@
 //! b.next_fn(lo, |m, cur| m.not(cur[0]));
 //! b.next_fn(hi, |m, cur| m.xor(cur[0], cur[1]));
 //! let mut model = b.build()?;
-//! assert_eq!(model.reachable_count(), 4.0);
+//! assert_eq!(model.reachable_count().unwrap(), 4.0);
 //! # let _ = (lo, hi);
 //! # Ok(())
 //! # }

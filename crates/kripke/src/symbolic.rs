@@ -367,26 +367,54 @@ impl SymbolicModel {
 
     /// The reachable state set (least fixpoint of `λZ. S₀ ∨ Img(Z)`),
     /// cached after the first call.
-    pub fn reachable(&mut self) -> Bdd {
+    ///
+    /// # Errors
+    ///
+    /// [`KripkeError::Bdd`] wrapping
+    /// [`BddError::ResourceExhausted`](smc_bdd::BddError::ResourceExhausted)
+    /// if the manager's budget trips during the fixpoint; the partial
+    /// iteration is rolled back and nothing is cached, so the call can be
+    /// retried (e.g. under a larger budget).
+    pub fn reachable(&mut self) -> Result<Bdd, KripkeError> {
         if let Some(r) = self.reachable {
-            return r;
+            return Ok(r);
         }
         let mut frontier = self.init;
         let mut reach = self.init;
+        let mut iters = 0u64;
         while !frontier.is_false() {
             let img = self.image(frontier);
             frontier = self.manager.diff(img, reach);
             reach = self.manager.or(reach, frontier);
+            iters += 1;
+            self.manager.checkpoint(iters, &[frontier, reach])?;
         }
+        self.manager.check_budget()?;
         self.manager.protect(reach);
         self.reachable = Some(reach);
-        reach
+        Ok(reach)
+    }
+
+    /// Drops the cached reachable set (releasing its protection) so the
+    /// next reachability query recomputes it — under the manager's
+    /// current budget, if one is installed. Model loaders compute
+    /// reachability eagerly (totality checking); callers installing a
+    /// budget afterwards use this so the governed run actually governs
+    /// the fixpoint.
+    pub fn forget_reachable(&mut self) {
+        if let Some(r) = self.reachable.take() {
+            self.manager.unprotect(r);
+        }
     }
 
     /// Number of reachable states (exact below 2^53).
-    pub fn reachable_count(&mut self) -> f64 {
-        let r = self.reachable();
-        self.state_count(r)
+    ///
+    /// # Errors
+    ///
+    /// As [`reachable`](Self::reachable).
+    pub fn reachable_count(&mut self) -> Result<f64, KripkeError> {
+        let r = self.reachable()?;
+        Ok(self.state_count(r))
     }
 
     /// Number of states in a current-variable state set.
@@ -456,14 +484,13 @@ impl SymbolicModel {
     ///
     /// [`KripkeError::Deadlock`] naming one deadlocked state.
     pub fn check_total(&mut self) -> Result<(), KripkeError> {
-        let reach = self.reachable();
+        let reach = self.reachable()?;
         let has_succ = self.manager.exists(self.trans, self.nxt_cube);
         let dead = self.manager.diff(reach, has_succ);
-        if dead.is_false() {
-            Ok(())
-        } else {
-            let s = self.pick_state(dead).expect("nonempty set");
-            Err(KripkeError::Deadlock(self.render_state(&s)))
+        self.manager.check_budget()?;
+        match self.pick_state(dead) {
+            None => Ok(()),
+            Some(s) => Err(KripkeError::Deadlock(self.render_state(&s))),
         }
     }
 
@@ -524,7 +551,7 @@ impl SymbolicModel {
         &mut self,
         bound: usize,
     ) -> Result<(ExplicitModel, Vec<State>), KripkeError> {
-        let reach = self.reachable();
+        let reach = self.reachable()?;
         let states = self.states_in(reach, bound)?;
         let index: HashMap<&State, usize> =
             states.iter().enumerate().map(|(i, s)| (s, i)).collect();
@@ -532,8 +559,8 @@ impl SymbolicModel {
         let ap_names = self.ap_names();
         let ap_sets: Vec<Bdd> = ap_names
             .iter()
-            .map(|n| self.ap(n).expect("ap_names are resolvable"))
-            .collect();
+            .map(|n| self.ap(n))
+            .collect::<Result<_, _>>()?;
         let ap_ids: Vec<usize> = ap_names.iter().map(|n| explicit.add_ap(n)).collect();
         for s in &states {
             let labels: Vec<usize> = ap_sets

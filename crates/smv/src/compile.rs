@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use smc_bdd::{Bdd, BddManager, Var};
+use smc_bdd::{Bdd, BddManager, Budget, Var};
 use smc_kripke::{State, SymbolicModel};
 use smc_logic::Ctl;
 
@@ -89,6 +89,18 @@ pub fn compile(source: &str) -> Result<CompiledModel, SmvError> {
     compile_program(&program)
 }
 
+/// As [`compile`], but installs `budget` on the model's BDD manager
+/// *before* the compile-time totality check, so even the load-time
+/// reachability fixpoint runs governed. A budget trip surfaces as
+/// [`SmvError::Kripke`] wrapping
+/// [`BddError::ResourceExhausted`](smc_bdd::BddError::ResourceExhausted);
+/// the budget stays installed for subsequent checking on the model.
+pub fn compile_budgeted(source: &str, budget: Budget) -> Result<CompiledModel, SmvError> {
+    let program = crate::parser::parse(source)?;
+    let flat = flatten(&program)?;
+    compile_module_governed(&flat, Some(budget))
+}
+
 /// Compiles an already-parsed program: flattens the module hierarchy
 /// into `main`, then compiles; see [`compile`].
 pub fn compile_program(program: &Program) -> Result<CompiledModel, SmvError> {
@@ -98,6 +110,13 @@ pub fn compile_program(program: &Program) -> Result<CompiledModel, SmvError> {
 
 /// Compiles a single flattened (instance-free) module.
 pub fn compile_module(program: &Module) -> Result<CompiledModel, SmvError> {
+    compile_module_governed(program, None)
+}
+
+fn compile_module_governed(
+    program: &Module,
+    budget: Option<Budget>,
+) -> Result<CompiledModel, SmvError> {
     // ---- Collect declarations. ----
     let mut vars: Vec<VarInfo> = Vec::new();
     let mut var_index: HashMap<String, usize> = HashMap::new();
@@ -271,6 +290,12 @@ pub fn compile_module(program: &Module) -> Result<CompiledModel, SmvError> {
     let Ctx { manager, cur, nxt, .. } = ctx;
     let model = SymbolicModel::assemble(manager, names, cur, nxt, init, trans, fairness, labels)?;
     let mut compiled = CompiledModel { model, specs: compiled_specs, vars };
+    // The totality check runs the reachability fixpoint — by far the
+    // heaviest part of loading a big model — so a caller-supplied budget
+    // is installed first.
+    if let Some(budget) = budget {
+        compiled.model.manager_mut().set_budget(budget);
+    }
     compiled.model.check_total()?;
     Ok(compiled)
 }

@@ -74,7 +74,9 @@ mod parser;
 mod value;
 
 pub use ast::{CaseBranch, Decl, Expr, Module, Program, Section, Spec, VarType};
-pub use compile::{compile, compile_module, compile_program, CompiledModel, CompiledSpec};
+pub use compile::{
+    compile, compile_budgeted, compile_module, compile_program, CompiledModel, CompiledSpec,
+};
 pub use error::SmvError;
 pub use flatten::flatten;
 pub use parser::parse;

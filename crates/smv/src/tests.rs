@@ -116,7 +116,7 @@ fn enum_and_range_encoding() {
     // 3-valued enum uses 2 bits, 5-valued range uses 3 bits.
     assert_eq!(compiled.model.num_state_vars(), 5);
     // Reachable: st cycles through 3 values, n through 5 -> lcm(3,5)=15.
-    assert_eq!(compiled.model.reachable_count(), 15.0);
+    assert_eq!(compiled.model.reachable_count().unwrap(), 15.0);
     // Decode the initial state.
     let init = compiled.model.init();
     let s0 = compiled.model.pick_state(init).unwrap();
@@ -142,7 +142,7 @@ fn nondeterministic_sets_produce_choices() {
         "#,
     )
     .expect("compiles");
-    assert_eq!(compiled.model.reachable_count(), 3.0);
+    assert_eq!(compiled.model.reachable_count().unwrap(), 3.0);
     let init = compiled.model.init();
     let s0 = compiled.model.pick_state(init).unwrap();
     let succ = compiled.model.successors(&s0);
@@ -168,7 +168,7 @@ fn trans_with_next_and_arithmetic() {
         "#,
     )
     .expect("compiles");
-    assert_eq!(compiled.model.reachable_count(), 8.0);
+    assert_eq!(compiled.model.reachable_count().unwrap(), 8.0);
     let spec = compiled.specs[0].formula.clone();
     let mut checker = Checker::new(&mut compiled.model);
     assert!(checker.check(&spec).unwrap().holds());
@@ -371,7 +371,7 @@ fn nested_modules_flatten_recursively() {
     let mut checker = Checker::new(&mut compiled.model);
     assert!(checker.check(&spec).unwrap().holds());
     // The flattened pair is a 2-bit counter: 4 reachable states.
-    assert_eq!(checker.model().reachable_count(), 4.0);
+    assert_eq!(checker.model().reachable_count().unwrap(), 4.0);
 }
 
 #[test]

@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Seitz-style arbiter (speed-independent, per-gate fairness)");
     println!("  state variables : {}", model.num_state_vars());
-    println!("  reachable states: {}", model.reachable_count());
+    println!("  reachable states: {}", model.reachable_count()?);
     println!("  (paper's original netlist: 33,633 reachable states)\n");
 
     let mut checker = Checker::new(&mut model).with_strategy(CycleStrategy::Restart);

@@ -1,15 +1,27 @@
-//! Exports the Seitz arbiter netlist as an SMV program (to stdout),
-//! so it can be checked with the CLI:
+//! Exports an arbiter netlist as an SMV program (to stdout), so it can
+//! be checked with the CLI:
 //!
 //! ```sh
 //! cargo run --example export_smv > arbiter.smv
 //! cargo run --bin smc -- check --trace arbiter.smv
 //! ```
+//!
+//! An optional argument scales the circuit to `n` users (default 2, the
+//! paper's Seitz arbiter); `scripts/stress.sh` uses this for its
+//! deadline-bounded large-model run:
+//!
+//! ```sh
+//! cargo run --example export_smv -- 5 > arbiter5.smv
+//! ```
 
-use smc::circuits::arbiter::seitz_arbiter;
+use smc::circuits::arbiter::arbiter;
 
 fn main() {
-    let arb = seitz_arbiter();
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("user count must be a number >= 2"))
+        .unwrap_or(2);
+    let arb = arbiter(n);
     let mut source = arb.netlist.to_smv();
     source.push_str("SPEC AG !(meo1 & meo2)\n");
     source.push_str("SPEC AG (tr1 -> AF ta1)\n");

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.label_fn("max", |m, cur| m.and_all(cur.iter().copied()));
     let mut model = b.build()?;
 
-    println!("reachable states: {}", model.reachable_count());
+    println!("reachable states: {}", model.reachable_count()?);
 
     let mut checker = Checker::new(&mut model);
 

@@ -95,7 +95,7 @@ fn run(source: &str) -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{} state bits, {} reachable states; variables: {}",
         compiled.model.num_state_vars(),
-        compiled.model.reachable_count(),
+        compiled.model.reachable_count()?,
         compiled.var_names().join(" ")
     );
     let specs: Vec<_> = compiled.specs.iter().map(|s| s.formula.clone()).collect();

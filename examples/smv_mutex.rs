@@ -36,7 +36,7 @@ SPEC AG p1 = idle
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut compiled = compile(SOURCE)?;
-    println!("mutex protocol: {} reachable states\n", compiled.model.reachable_count());
+    println!("mutex protocol: {} reachable states\n", compiled.model.reachable_count()?);
 
     let specs: Vec<_> = compiled.specs.iter().map(|s| s.formula.clone()).collect();
     let mut checker = Checker::new(&mut compiled.model);

@@ -1,17 +1,23 @@
 //! `smc` — command-line front end for the symbolic model checker.
 //!
 //! ```text
-//! smc check  [--trace] [--strategy restart|stayset] FILE.smv
-//! smc spec   FILE.smv FORMULA        check one ad-hoc CTL formula
-//! smc reach  FILE.smv                reachability statistics
+//! smc check  [--trace] [--strategy restart|stayset] [BUDGET] FILE.smv
+//! smc spec   [BUDGET] FILE.smv FORMULA   check one ad-hoc CTL formula
+//! smc reach  [BUDGET] FILE.smv           reachability statistics
 //! smc help
 //! ```
+//!
+//! `BUDGET` flags (`--timeout`, `--node-limit`, `--max-iters`) install a
+//! resource governor on the BDD manager; an exhausted budget exits with
+//! code 3 after printing partial-progress diagnostics.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use smc::bdd::BddManagerStats;
-use smc::checker::{Checker, CycleStrategy};
-use smc::smv::{compile, CompiledModel};
+use smc::bdd::{BddError, BddManagerStats, Budget};
+use smc::checker::{CheckError, Checker, CycleStrategy, PartialProgress, Phase, TripReason};
+use smc::kripke::KripkeError;
+use smc::smv::{compile, CompiledModel, SmvError};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,11 +57,17 @@ fn print_usage() {
         "smc — symbolic model checking with counterexamples and witnesses
 
 USAGE:
-    smc check  [--trace] [--stats] [--strategy restart|stayset] FILE.smv
-    smc spec   FILE.smv FORMULA
-    smc reach  [--stats] FILE.smv
+    smc check  [--trace] [--stats] [--strategy restart|stayset] [BUDGET] FILE.smv
+    smc spec   [BUDGET] FILE.smv FORMULA
+    smc reach  [--stats] [BUDGET] FILE.smv
     smc dot    FILE.smv (init|trans|reach)
     smc help
+
+BUDGET (resource governor; any combination):
+    --timeout <secs>     abort when the wall-clock deadline expires
+    --node-limit <n>     bound live BDD nodes (GC, then reorder, then a
+                         smaller cache are tried before giving up)
+    --max-iters <n>      cap fixpoint iterations per operator
 
 COMMANDS:
     check   check every SPEC of the program; with --trace, print a
@@ -70,14 +82,80 @@ COMMANDS:
     dot     write the requested BDD as Graphviz DOT to stdout
 
 EXIT CODE: 0 if everything checked holds, 1 if some spec fails,
-           2 on usage or input errors."
+           2 on usage or input errors, 3 if a resource budget was
+           exhausted (partial diagnostics go to stderr)."
     );
+}
+
+/// Budget flags shared by `check`, `spec` and `reach`.
+#[derive(Debug, Clone, Copy, Default)]
+struct BudgetOptions {
+    timeout_secs: Option<u64>,
+    node_limit: Option<usize>,
+    max_iters: Option<u64>,
+}
+
+impl BudgetOptions {
+    /// Consumes a budget flag at `args[*i]`, advancing `*i` past its
+    /// value. Returns false if `args[*i]` is not a budget flag.
+    fn try_parse(&mut self, args: &[String], i: &mut usize) -> Result<bool, String> {
+        fn num(name: &str, v: Option<&String>) -> Result<u64, String> {
+            let v = v.ok_or_else(|| format!("{name} expects a number"))?;
+            v.parse::<u64>()
+                .map_err(|_| format!("{name} expects a number, got {v:?}"))
+        }
+        match args[*i].as_str() {
+            "--timeout" => {
+                *i += 1;
+                self.timeout_secs = Some(num("--timeout", args.get(*i))?);
+            }
+            "--node-limit" => {
+                *i += 1;
+                self.node_limit = Some(num("--node-limit", args.get(*i))? as usize);
+            }
+            "--max-iters" => {
+                *i += 1;
+                self.max_iters = Some(num("--max-iters", args.get(*i))?);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The requested budget, or `None` when no budget flag was given (an
+    /// ungoverned run has zero governor overhead). The deadline clock
+    /// starts here.
+    fn to_budget(&self) -> Option<Budget> {
+        if self.timeout_secs.is_none() && self.node_limit.is_none() && self.max_iters.is_none() {
+            return None;
+        }
+        let mut budget = Budget::default();
+        if let Some(secs) = self.timeout_secs {
+            budget = budget.with_timeout(Duration::from_secs(secs));
+        }
+        if let Some(n) = self.node_limit {
+            budget = budget.with_node_limit(n);
+        }
+        if let Some(n) = self.max_iters {
+            budget = budget.with_max_iterations(n);
+        }
+        Some(budget)
+    }
+}
+
+/// Prints the structured partial-progress report of an exhausted budget
+/// and returns the dedicated exit code 3.
+fn report_exhausted(phase: Phase, reason: &TripReason, partial: &PartialProgress) -> ExitCode {
+    eprintln!("resource budget exhausted during {phase}: {reason}");
+    eprintln!("partial progress: {partial}");
+    ExitCode::from(3)
 }
 
 struct CheckOptions {
     trace: bool,
     stats: bool,
     strategy: CycleStrategy,
+    budget: BudgetOptions,
     file: String,
 }
 
@@ -85,9 +163,14 @@ fn parse_check_options(args: &[String]) -> Result<CheckOptions, String> {
     let mut trace = false;
     let mut stats = false;
     let mut strategy = CycleStrategy::Restart;
+    let mut budget = BudgetOptions::default();
     let mut file = None;
     let mut i = 0;
     while i < args.len() {
+        if budget.try_parse(args, &mut i)? {
+            i += 1;
+            continue;
+        }
         match args[i].as_str() {
             "--trace" => trace = true,
             "--stats" => stats = true,
@@ -115,7 +198,7 @@ fn parse_check_options(args: &[String]) -> Result<CheckOptions, String> {
         i += 1;
     }
     let file = file.ok_or_else(|| "expected an input file".to_string())?;
-    Ok(CheckOptions { trace, stats, strategy, file })
+    Ok(CheckOptions { trace, stats, strategy, budget, file })
 }
 
 /// Renders the manager counters the way ablation A3 consumes them: one
@@ -158,15 +241,53 @@ fn print_stats(stats: &BddManagerStats) {
     );
 }
 
-fn load(path: &str) -> Result<CompiledModel, Box<dyn std::error::Error>> {
+/// Why a governed load did not produce a model.
+enum LoadFailure {
+    /// The budget tripped during the load-time reachability (totality)
+    /// check.
+    Exhausted(Phase, TripReason, PartialProgress),
+    /// Anything else (I/O, parse, semantic, degenerate model).
+    Other(Box<dyn std::error::Error>),
+}
+
+/// Loads and compiles a model with the budget (if any) installed before
+/// the compile-time totality check, so even load-time reachability runs
+/// governed — a tight deadline stops a huge model during loading instead
+/// of hanging before the budget ever applies.
+fn load_governed(path: &str, budget: Option<Budget>) -> Result<CompiledModel, LoadFailure> {
     let source = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path:?}: {e}"))?;
-    Ok(compile(&source)?)
+        .map_err(|e| LoadFailure::Other(format!("cannot read {path:?}: {e}").into()))?;
+    let result = match budget {
+        Some(b) => smc::smv::compile_budgeted(&source, b),
+        None => compile(&source),
+    };
+    result.map_err(|e| match e {
+        SmvError::Kripke(KripkeError::Bdd(BddError::ResourceExhausted(reason))) => {
+            LoadFailure::Exhausted(Phase::Reachability, reason, PartialProgress::default())
+        }
+        other => LoadFailure::Other(other.into()),
+    })
+}
+
+fn load(path: &str) -> Result<CompiledModel, Box<dyn std::error::Error>> {
+    match load_governed(path, None) {
+        Ok(compiled) => Ok(compiled),
+        Err(LoadFailure::Exhausted(phase, reason, partial)) => {
+            Err(CheckError::ResourceExhausted { phase, reason, partial }.into())
+        }
+        Err(LoadFailure::Other(e)) => Err(e),
+    }
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let opts = parse_check_options(args)?;
-    let mut compiled = load(&opts.file)?;
+    let mut compiled = match load_governed(&opts.file, opts.budget.to_budget()) {
+        Ok(compiled) => compiled,
+        Err(LoadFailure::Exhausted(phase, reason, partial)) => {
+            return Ok(report_exhausted(phase, &reason, &partial));
+        }
+        Err(LoadFailure::Other(e)) => return Err(e),
+    };
     if compiled.specs.is_empty() {
         println!("{}: no SPEC sections", opts.file);
         return Ok(ExitCode::SUCCESS);
@@ -177,12 +298,21 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut results = Vec::with_capacity(specs.len());
     {
         let mut checker = Checker::new(&mut compiled.model).with_strategy(opts.strategy);
-        for spec in &specs {
-            if opts.trace {
-                let outcome = checker.check_with_trace(spec)?;
-                results.push((outcome.verdict.holds(), outcome.trace));
+        for (i, spec) in specs.iter().enumerate() {
+            let outcome = if opts.trace {
+                checker
+                    .check_with_trace(spec)
+                    .map(|o| (o.verdict.holds(), o.trace))
             } else {
-                results.push((checker.check(spec)?.holds(), None));
+                checker.check(spec).map(|v| (v.holds(), None))
+            };
+            match outcome {
+                Ok(r) => results.push(r),
+                Err(CheckError::ResourceExhausted { phase, reason, partial }) => {
+                    eprintln!("SPEC {i}: not decided");
+                    return Ok(report_exhausted(phase, &reason, &partial));
+                }
+                Err(e) => return Err(e.into()),
             }
         }
     }
@@ -218,13 +348,41 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let [file, formula] = args else {
-        return Err("usage: smc spec FILE.smv FORMULA".into());
+    let mut budget = BudgetOptions::default();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if budget.try_parse(args, &mut i)? {
+            i += 1;
+            continue;
+        }
+        if args[i].starts_with("--") {
+            return Err(format!("unknown flag {:?}", args[i]).into());
+        }
+        positional.push(&args[i]);
+        i += 1;
+    }
+    let [file, formula] = positional[..] else {
+        return Err("usage: smc spec [BUDGET] FILE.smv FORMULA".into());
     };
-    let mut compiled = load(file)?;
+    let mut compiled = match load_governed(file, budget.to_budget()) {
+        Ok(compiled) => compiled,
+        Err(LoadFailure::Exhausted(phase, reason, partial)) => {
+            eprintln!("{formula}: not decided");
+            return Ok(report_exhausted(phase, &reason, &partial));
+        }
+        Err(LoadFailure::Other(e)) => return Err(e),
+    };
     let spec = smc::logic::ctl::parse(formula)?;
     let mut checker = Checker::new(&mut compiled.model);
-    let verdict = checker.check(&spec)?;
+    let verdict = match checker.check(&spec) {
+        Ok(v) => v,
+        Err(CheckError::ResourceExhausted { phase, reason, partial }) => {
+            eprintln!("{spec}: not decided");
+            return Ok(report_exhausted(phase, &reason, &partial));
+        }
+        Err(e) => return Err(e.into()),
+    };
     println!("{spec}: {}", if verdict.holds() { "holds" } else { "FAILS" });
     Ok(if verdict.holds() { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
@@ -237,7 +395,7 @@ fn cmd_dot(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let bdd = match what.as_str() {
         "init" => compiled.model.init(),
         "trans" => compiled.model.trans(),
-        "reach" => compiled.model.reachable(),
+        "reach" => compiled.model.reachable()?,
         other => return Err(format!("unknown BDD {other:?} (init|trans|reach)").into()),
     };
     print!("{}", compiled.model.manager().to_dot(&[bdd]));
@@ -245,17 +403,54 @@ fn cmd_dot(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn cmd_reach(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let (stats_flag, file) = match args {
-        [file] if file != "--stats" => (false, file),
-        [flag, file] | [file, flag] if flag == "--stats" => (true, file),
-        _ => return Err("usage: smc reach [--stats] FILE.smv".into()),
+    let mut budget = BudgetOptions::default();
+    let mut stats_flag = false;
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        if budget.try_parse(args, &mut i)? {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            "--stats" => stats_flag = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}").into());
+            }
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    return Err("usage: smc reach [--stats] [BUDGET] FILE.smv".into());
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        return Err("usage: smc reach [--stats] [BUDGET] FILE.smv".into());
     };
-    let mut compiled = load(file)?;
+    let mut compiled = match load_governed(&file, budget.to_budget()) {
+        Ok(compiled) => compiled,
+        Err(LoadFailure::Exhausted(phase, reason, partial)) => {
+            return Ok(report_exhausted(phase, &reason, &partial));
+        }
+        Err(LoadFailure::Other(e)) => return Err(e),
+    };
     println!("file            : {file}");
     println!("variables       : {}", compiled.var_names().join(" "));
     println!("state bits      : {}", compiled.model.num_state_vars());
     println!("fairness        : {}", compiled.model.fairness().len());
-    println!("reachable states: {}", compiled.model.reachable_count());
+    match compiled.model.reachable_count() {
+        Ok(count) => println!("reachable states: {count}"),
+        Err(e) => match CheckError::from(e) {
+            CheckError::ResourceExhausted { phase, reason, partial } => {
+                if stats_flag {
+                    print_stats(&compiled.model.manager().stats());
+                }
+                return Ok(report_exhausted(phase, &reason, &partial));
+            }
+            other => return Err(other.into()),
+        },
+    }
     let init = compiled.model.init();
     if let Some(s0) = compiled.model.pick_state(init) {
         println!("an initial state: {}", compiled.render_state(&s0));

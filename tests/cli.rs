@@ -189,3 +189,109 @@ fn help_is_available() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("USAGE"), "{stderr}");
 }
+
+#[test]
+fn budget_flags_are_accepted_when_generous() {
+    let path = write_temp("budget_ok", TOGGLE);
+    // Generous budgets must not change verdicts or exit codes.
+    let out = smc()
+        .arg("check")
+        .arg("--timeout")
+        .arg("60")
+        .arg("--node-limit")
+        .arg("1000000")
+        .arg("--max-iters")
+        .arg("100000")
+        .arg(&path)
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SPEC 0: holds"), "{stdout}");
+    assert!(stdout.contains("SPEC 1: FAILS"), "{stdout}");
+    assert_eq!(out.status.code(), Some(1));
+    let out = smc()
+        .arg("reach")
+        .arg("--timeout")
+        .arg("60")
+        .arg("--node-limit")
+        .arg("1000000")
+        .arg(&path)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn node_limit_exhaustion_exits_3_with_diagnostics() {
+    let path = write_temp("budget_nodes", TOGGLE);
+    let out = smc()
+        .arg("reach")
+        .arg("--node-limit")
+        .arg("1")
+        .arg(&path)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3), "resource exhaustion exits 3");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resource budget exhausted"), "{stderr}");
+    assert!(stderr.contains("partial progress"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn iteration_cap_exhaustion_exits_3() {
+    let path = write_temp("budget_iters", TOGGLE);
+    let out = smc()
+        .arg("reach")
+        .arg("--max-iters")
+        .arg("1")
+        .arg(&path)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("iteration"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn expired_timeout_exits_3_on_check_and_spec() {
+    let path = write_temp("budget_timeout", TOGGLE);
+    let out = smc()
+        .arg("check")
+        .arg("--timeout")
+        .arg("0")
+        .arg(&path)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resource budget exhausted"), "{stderr}");
+    let out = smc()
+        .arg("spec")
+        .arg("--timeout")
+        .arg("0")
+        .arg(&path)
+        .arg("EF x")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn malformed_budget_values_exit_2() {
+    let path = write_temp("budget_bad", TOGGLE);
+    for flags in [
+        ["--timeout", "soon"],
+        ["--node-limit", "many"],
+        ["--max-iters", "-3"],
+    ] {
+        let out = smc().arg("check").args(flags).arg(&path).output().expect("runs");
+        assert_eq!(out.status.code(), Some(2), "{flags:?}");
+    }
+    std::fs::remove_file(path).ok();
+}

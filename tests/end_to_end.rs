@@ -75,7 +75,7 @@ fn arbiter_counterexample_structure_matches_the_paper() {
     // user, and which visits every gate's fairness constraint.
     let arb = seitz_arbiter();
     let mut model = arb.build().expect("builds");
-    let reach = model.reachable();
+    let reach = model.reachable().unwrap();
     let ua2 = model.ap("ua2").unwrap();
     let ur2 = model.ap("ur2").unwrap();
     let nfair = model.fairness().len();
@@ -136,7 +136,7 @@ fn explicit_enumeration_agrees_with_circuit_model() {
     // Enumerate a small circuit and compare state counts and totals.
     let net = smc::circuits::families::inverter_ring(3);
     let mut model = net.build(smc::circuits::FairnessMode::PerGate).expect("builds");
-    let count = model.reachable_count();
+    let count = model.reachable_count().unwrap();
     let (explicit, states) = model.enumerate(64).expect("small");
     assert_eq!(states.len() as f64, count);
     assert!(explicit.is_total());
