@@ -19,6 +19,7 @@ impl BddManager {
         // Collection is a safe point: commit the allocation transaction.
         // Rolling back across a GC would double-free reclaimed slots.
         self.txn_commit();
+        let live_before = if self.tele.enabled() { self.num_nodes() as u64 } else { 0 };
         // Destructure so the epoch-marked scratch, the node pool and the
         // unique tables can be borrowed independently.
         let BddManager {
@@ -62,6 +63,13 @@ impl BddManager {
         self.cache.invalidate_all();
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += reclaimed as u64;
+        if self.tele.enabled() {
+            self.tele.emit(smc_obs::Event::Gc {
+                reclaimed: reclaimed as u64,
+                live_before,
+                live_after: self.num_nodes() as u64,
+            });
+        }
         reclaimed
     }
 }

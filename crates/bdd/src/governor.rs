@@ -428,10 +428,17 @@ impl BddManager {
         if let Some(reason) = self.governor.tripped.take() {
             self.txn_rollback();
             self.governor.recompute_active();
+            self.emit_trip(&reason);
             return Err(BddError::ResourceExhausted(reason));
         }
         self.txn_commit();
         Ok(())
+    }
+
+    fn emit_trip(&self, reason: &TripReason) {
+        if self.tele.enabled() {
+            self.tele.emit(smc_obs::Event::Trip { reason: reason.to_string() });
+        }
     }
 
     /// Full safe-point check for iterative algorithms: polls the budget,
@@ -460,6 +467,7 @@ impl BddManager {
         if let Some(reason) = self.governor.tripped.take() {
             self.txn_rollback();
             self.governor.recompute_active();
+            self.emit_trip(&reason);
             return Err(BddError::ResourceExhausted(reason));
         }
         self.txn_commit();
@@ -468,10 +476,9 @@ impl BddManager {
         };
         if let Some(limit) = budget.max_iterations {
             if iterations > limit {
-                return Err(BddError::ResourceExhausted(TripReason::IterationLimit {
-                    iterations,
-                    limit,
-                }));
+                let reason = TripReason::IterationLimit { iterations, limit };
+                self.emit_trip(&reason);
+                return Err(BddError::ResourceExhausted(reason));
             }
         }
         if let Some(limit) = budget.node_limit {
@@ -485,19 +492,30 @@ impl BddManager {
     /// The degradation ladder, run at a checkpoint whose live census
     /// exceeds the soft node limit.
     fn relieve_pressure(&mut self, limit: usize, roots: &[Bdd]) -> Result<(), BddError> {
+        if self.tele.enabled() {
+            self.tele.emit(smc_obs::Event::Ladder { stage: "gc" });
+        }
         self.gc(roots);
         if self.num_nodes() > limit && self.governor.ladder_stage < 1 {
             self.governor.ladder_stage = 1;
+            if self.tele.enabled() {
+                self.tele.emit(smc_obs::Event::Ladder { stage: "sift" });
+            }
             self.sift(roots);
         }
         if self.num_nodes() > limit && self.governor.ladder_stage < 2 {
             self.governor.ladder_stage = 2;
+            if self.tele.enabled() {
+                self.tele.emit(smc_obs::Event::Ladder { stage: "cache_shrink" });
+            }
             let cap = self.cache_capacity();
             self.set_cache_capacity((cap / 4).max(1));
         }
         let live = self.num_nodes();
         if live > limit {
-            return Err(BddError::ResourceExhausted(TripReason::NodeLimit { live, limit }));
+            let reason = TripReason::NodeLimit { live, limit };
+            self.emit_trip(&reason);
+            return Err(BddError::ResourceExhausted(reason));
         }
         Ok(())
     }

@@ -340,6 +340,8 @@ pub struct BddManagerStats {
     /// Number of live (reachable or protected) nodes after the last GC, or
     /// total allocated nodes if no GC has run.
     pub live_nodes: usize,
+    /// High-water mark of the node pool (see [`BddManager::peak_nodes`]).
+    pub peak_nodes: usize,
     /// Total nodes ever created (including reclaimed ones).
     pub created_nodes: u64,
     /// Computed-table lookups (all operations).
@@ -457,6 +459,10 @@ pub struct BddManager {
     /// Resource governor: budget, trip state, allocation transaction log
     /// (see [`crate::governor`]).
     pub(crate) governor: crate::governor::Governor,
+    /// Telemetry handle; disabled by default. The manager carries it so
+    /// every layer above (kripke, checker, smv) can reach the same
+    /// handle without threading it separately.
+    pub(crate) tele: smc_obs::Telemetry,
 }
 
 impl BddManager {
@@ -485,6 +491,36 @@ impl BddManager {
             stats: BddManagerStats::default(),
             scratch: RefCell::new(VisitScratch::default()),
             governor: crate::governor::Governor::default(),
+            tele: smc_obs::Telemetry::disabled(),
+        }
+    }
+
+    /// Installs a telemetry handle. The manager emits GC, degradation-
+    /// ladder and governor-trip events through it, and higher layers
+    /// reach the same handle via [`telemetry`](Self::telemetry).
+    pub fn set_telemetry(&mut self, tele: smc_obs::Telemetry) {
+        self.tele = tele;
+    }
+
+    /// The manager's telemetry handle (cheap to clone; disabled by
+    /// default).
+    pub fn telemetry(&self) -> &smc_obs::Telemetry {
+        &self.tele
+    }
+
+    /// A point-in-time counter snapshot in the shape telemetry spans
+    /// consume. Cheap relative to [`stats`](Self::stats): copies eight
+    /// counters, no per-op table.
+    pub fn stats_snapshot(&self) -> smc_obs::StatsSnapshot {
+        smc_obs::StatsSnapshot {
+            live_nodes: self.num_nodes() as u64,
+            peak_nodes: self.nodes.len() as u64,
+            created_nodes: self.stats.created_nodes,
+            cache_lookups: self.stats.cache_lookups,
+            cache_hits: self.stats.cache_hits,
+            cache_evictions: self.stats.cache_evictions,
+            gc_runs: self.stats.gc_runs,
+            gc_reclaimed: self.stats.gc_reclaimed,
         }
     }
 
@@ -775,6 +811,7 @@ impl BddManager {
     pub fn stats(&self) -> BddManagerStats {
         let mut s = self.stats;
         s.live_nodes = self.num_nodes();
+        s.peak_nodes = self.nodes.len();
         s
     }
 

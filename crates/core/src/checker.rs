@@ -15,10 +15,12 @@ use crate::fairness_class::{
 };
 use crate::fixpoint::{check_eu, check_ex};
 use crate::govern::{self, Progress};
+use crate::obs;
 use crate::witness::{
     splice, witness_eg_fair, witness_eu, witness_ex, CycleStrategy, Trace, WitnessStats,
 };
 use crate::Phase;
+use smc_obs::SpanKind;
 
 /// The result of checking one specification.
 #[derive(Debug, Clone)]
@@ -210,7 +212,11 @@ impl<'m> Checker<'m> {
     /// constraints.
     pub fn check_states(&mut self, formula: &Ctl) -> Result<Bdd, CheckError> {
         let enf = formula.to_existential_form();
-        self.pinned(|c| c.check_enf(&enf))
+        let label = obs::enabled(self.model).then(|| formula.to_string());
+        let span = obs::span_start(self.model, SpanKind::Check, label.as_deref());
+        let result = self.pinned(|c| c.check_enf(&enf));
+        obs::span_end(self.model, span);
+        result
     }
 
     /// Constructs a witness for a formula that holds in some initial
@@ -234,8 +240,10 @@ impl<'m> Checker<'m> {
                 .model
                 .pick_state(start_set)
                 .ok_or(CheckError::NothingToExplain)?;
-            let trace = c.explain(&start, &enf)?;
-            let mut trace = c.extend_to_fair_lasso(trace)?;
+            let span = obs::span_start(c.model, SpanKind::Witness, None);
+            let result = c.explain(&start, &enf).and_then(|t| c.extend_to_fair_lasso(t));
+            obs::span_end(c.model, span);
+            let mut trace = result?;
             trace.compress_prefix();
             Ok(trace)
         })
@@ -259,8 +267,10 @@ impl<'m> Checker<'m> {
                 .model
                 .pick_state(start_set)
                 .ok_or(CheckError::NothingToExplain)?;
-            let trace = c.explain(&start, &negated)?;
-            let mut trace = c.extend_to_fair_lasso(trace)?;
+            let span = obs::span_start(c.model, SpanKind::Witness, Some("counterexample"));
+            let result = c.explain(&start, &negated).and_then(|t| c.extend_to_fair_lasso(t));
+            obs::span_end(c.model, span);
+            let mut trace = result?;
             trace.compress_prefix();
             Ok(trace)
         })
@@ -307,8 +317,10 @@ impl<'m> Checker<'m> {
                 .model
                 .pick_state(start_set)
                 .ok_or(CheckError::NothingToExplain)?;
-            let (trace, sides, stats) =
-                witness_efairness(c.model, &conjuncts, &start, c.strategy)?;
+            let span = obs::span_start(c.model, SpanKind::Witness, Some("ctlstar"));
+            let result = witness_efairness(c.model, &conjuncts, &start, c.strategy);
+            obs::span_end(c.model, span);
+            let (trace, sides, stats) = result?;
             c.last_stats = Some(stats);
             Ok((trace, sides))
         })

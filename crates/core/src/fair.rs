@@ -8,7 +8,9 @@ use smc_kripke::SymbolicModel;
 use crate::error::CheckError;
 use crate::fixpoint::{check_eg, check_ex, check_eu, eu_rings};
 use crate::govern::{self, Progress};
+use crate::obs::{self, FixObserver};
 use crate::Phase;
+use smc_obs::{FixKind, SpanKind};
 
 /// `CheckFairEG(f)` under constraints `H`:
 ///
@@ -66,7 +68,9 @@ pub fn fair_eg_with_rings(
     let mut shield = vec![f];
     shield.extend_from_slice(constraints);
     govern::protect_all(model, &shield);
+    let span = obs::span_start(model, SpanKind::FairEg, None);
     let result = fair_eg_with_rings_inner(model, f, constraints);
+    obs::span_end(model, span);
     govern::unprotect_all(model, &shield);
     result
 }
@@ -83,6 +87,7 @@ fn fair_eg_with_rings_inner(
     // Restricting f this way lets the inner fixpoints run over the
     // already-narrowed state space.
     let mut seeds: Vec<Bdd> = vec![f; constraints.len()];
+    let mut watch = FixObserver::new(model, FixKind::FairEgOuter);
     let mut z = f;
     let mut outer = 0u64;
     loop {
@@ -101,6 +106,9 @@ fn fair_eg_with_rings_inner(
             Progress { iterations: outer, rings: 0, approx: Some(z) },
             &roots,
         )?;
+        // The outer gfp has no frontier; report the shrinking candidate
+        // set for both sizes.
+        watch.iter(model, outer, next, next);
         if next == z {
             break;
         }
@@ -109,6 +117,7 @@ fn fair_eg_with_rings_inner(
     // One more inner round at the fixpoint to harvest the rings — with
     // the *unrestricted* f, so the recorded ring sequences are exactly
     // the ones the textbook iteration would produce.
+    let span = obs::span_start(model, SpanKind::FairRings, None);
     let mut rings: FairRings = Vec::with_capacity(constraints.len());
     model.manager_mut().protect(z);
     let mut harvested: Vec<Bdd> = vec![z];
@@ -125,6 +134,7 @@ fn fair_eg_with_rings_inner(
         Ok(())
     })();
     govern::unprotect_all(model, &harvested);
+    obs::span_end(model, span);
     harvest?;
     Ok((z, rings))
 }

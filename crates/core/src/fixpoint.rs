@@ -15,7 +15,9 @@ use smc_kripke::SymbolicModel;
 
 use crate::error::CheckError;
 use crate::govern::{self, Progress};
+use crate::obs::{self, FixObserver};
 use crate::Phase;
+use smc_obs::{FixKind, SpanKind};
 
 /// `CheckEX(f) = ∃v̄′. f(v̄′) ∧ N(v̄, v̄′)` — the states with a successor in
 /// `f`.
@@ -38,6 +40,14 @@ pub fn check_ex(model: &mut SymbolicModel, f: Bdd) -> Bdd {
 ///
 /// [`CheckError::ResourceExhausted`] if the manager's budget trips.
 pub fn check_eu(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Result<Bdd, CheckError> {
+    let span = obs::span_start(model, SpanKind::CheckEu, None);
+    let result = check_eu_inner(model, f, g);
+    obs::span_end(model, span);
+    result
+}
+
+fn check_eu_inner(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Result<Bdd, CheckError> {
+    let mut watch = FixObserver::new(model, FixKind::Eu);
     let mut z = g;
     let mut frontier = g;
     let mut iters = 0u64;
@@ -55,6 +65,7 @@ pub fn check_eu(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Result<Bdd, CheckE
         govern::checkpoint(model, Phase::EuFixpoint, progress, &[f, g, next, add])?;
         z = next;
         frontier = add;
+        watch.iter(model, iters, frontier, z);
     }
     // Covers the zero-iteration case (g = ∅), where no checkpoint ran and
     // a pending trip must not escape as a bogus Ok.
@@ -76,9 +87,17 @@ pub fn check_eu(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Result<Bdd, CheckE
 /// [`CheckError::ResourceExhausted`] if the manager's budget trips; the
 /// partial report carries the number of rings recorded so far.
 pub fn eu_rings(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Result<Vec<Bdd>, CheckError> {
+    let span = obs::span_start(model, SpanKind::CheckEu, Some("rings"));
+    let result = eu_rings_inner(model, f, g);
+    obs::span_end(model, span);
+    result
+}
+
+fn eu_rings_inner(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Result<Vec<Bdd>, CheckError> {
     // Frontier iteration; the recorded rings are bit-identical to the
     // full-preimage version (see `check_eu` for why), which the witness
     // generator's ring-descent depends on.
+    let mut watch = FixObserver::new(model, FixKind::Eu);
     let mut rings = vec![g];
     let mut z = g;
     let mut frontier = g;
@@ -106,6 +125,7 @@ pub fn eu_rings(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Result<Vec<Bdd>, C
         z = next;
         rings.push(z);
         frontier = add;
+        watch.iter(model, iters, frontier, z);
     }
     // Zero-iteration case: no checkpoint ran, deliver any pending trip.
     govern::poll(
@@ -129,6 +149,14 @@ pub fn eu_rings(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Result<Vec<Bdd>, C
 ///
 /// [`CheckError::ResourceExhausted`] if the manager's budget trips.
 pub fn check_eg(model: &mut SymbolicModel, f: Bdd) -> Result<Bdd, CheckError> {
+    let span = obs::span_start(model, SpanKind::CheckEg, None);
+    let result = check_eg_inner(model, f);
+    obs::span_end(model, span);
+    result
+}
+
+fn check_eg_inner(model: &mut SymbolicModel, f: Bdd) -> Result<Bdd, CheckError> {
+    let mut watch = FixObserver::new(model, FixKind::Eg);
     let pre_f = check_ex(model, f);
     let mut z = model.manager_mut().and(f, pre_f);
     let mut prev = f;
@@ -153,6 +181,9 @@ pub fn check_eg(model: &mut SymbolicModel, f: Bdd) -> Result<Bdd, CheckError> {
         govern::checkpoint(model, Phase::EgFixpoint, progress, &[f, z, next])?;
         prev = z;
         z = next;
+        // The EG loop's "frontier" is the candidate delta re-examined
+        // this round.
+        watch.iter(model, iters, removed, z);
     }
     Ok(z)
 }

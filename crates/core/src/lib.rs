@@ -59,6 +59,7 @@ pub mod fair;
 pub mod fairness_class;
 pub mod fixpoint;
 mod govern;
+mod obs;
 pub mod witness;
 
 pub use checker::{CheckOutcome, Checker, Verdict};

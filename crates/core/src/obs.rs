@@ -1,0 +1,77 @@
+//! Telemetry helpers for the checking layer.
+//!
+//! The [`Telemetry`](smc_obs::Telemetry) handle lives on the BDD manager
+//! (every layer shares one), so these helpers reach it through the
+//! model. All of them collapse to a single branch when telemetry is
+//! disabled: no snapshot is taken, no BDD is sized.
+
+use smc_bdd::Bdd;
+use smc_kripke::SymbolicModel;
+use smc_obs::{FixKind, IterTracker, SpanId, SpanKind, Telemetry};
+
+/// Opens a span; [`SpanId::NONE`] when telemetry is disabled.
+pub(crate) fn span_start(model: &SymbolicModel, kind: SpanKind, label: Option<&str>) -> SpanId {
+    let m = model.manager();
+    let tele = m.telemetry();
+    if tele.enabled() {
+        tele.span_start(kind, label, m.stats_snapshot())
+    } else {
+        SpanId::NONE
+    }
+}
+
+/// Closes a span (and any abandoned inner ones); no-op when disabled.
+pub(crate) fn span_end(model: &SymbolicModel, span: SpanId) {
+    let m = model.manager();
+    let tele = m.telemetry();
+    if tele.enabled() {
+        tele.span_end(span, m.stats_snapshot());
+    }
+}
+
+/// Emits an event; no-op when disabled. Use only for events whose
+/// payload is cheap to build (hops, restarts); guard expensive payloads
+/// at the call site with [`enabled`].
+pub(crate) fn emit(model: &SymbolicModel, event: smc_obs::Event) {
+    model.manager().telemetry().emit(event);
+}
+
+/// Is telemetry enabled for this model's manager?
+#[inline]
+pub(crate) fn enabled(model: &SymbolicModel) -> bool {
+    model.manager().telemetry().enabled()
+}
+
+/// Per-iteration observer for a fixpoint loop: `None` (and free) when
+/// telemetry is disabled, otherwise an [`IterTracker`] that turns the
+/// manager's cumulative counters into per-iteration deltas.
+pub(crate) struct FixObserver {
+    tele: Telemetry,
+    tracker: Option<IterTracker>,
+    phase: FixKind,
+}
+
+impl FixObserver {
+    pub(crate) fn new(model: &SymbolicModel, phase: FixKind) -> FixObserver {
+        let m = model.manager();
+        let tele = m.telemetry().clone();
+        let tracker = tele.enabled().then(|| IterTracker::new(m.stats_snapshot()));
+        FixObserver { tele, tracker, phase }
+    }
+
+    /// Records one completed iteration: sizes `frontier` and `approx`
+    /// and emits [`smc_obs::Event::FixpointIter`]. Free when disabled.
+    pub(crate) fn iter(&mut self, model: &SymbolicModel, iteration: u64, frontier: Bdd, approx: Bdd) {
+        if let Some(tr) = self.tracker.as_mut() {
+            let m = model.manager();
+            let event = tr.event(
+                self.phase,
+                iteration,
+                m.size(frontier) as u64,
+                m.size(approx) as u64,
+                m.stats_snapshot(),
+            );
+            self.tele.emit(event);
+        }
+    }
+}

@@ -28,9 +28,11 @@ use crate::error::CheckError;
 use crate::fair::fair_eg_with_rings;
 use crate::fixpoint::eu_rings;
 use crate::govern::{self, Progress};
+use crate::obs;
 use crate::witness::strategy::CycleStrategy;
 use crate::witness::trace::Trace;
 use crate::Phase;
+use smc_obs::Event;
 
 /// Bookkeeping from one witness construction, for the experiments that
 /// compare strategies (ablation A1) and witness shapes (EXP-2/EXP-3).
@@ -106,6 +108,7 @@ fn witness_eg_fair_inner(
     let mut s = start.clone();
 
     loop {
+        let stay_exits_before = stats.stay_exits;
         match attempt_cycle(model, f, egf, constraints, rings, &s, strategy, &mut stats)? {
             AttemptOutcome::Closed { states, anchor_index } => {
                 let loopback = prefix.len() + anchor_index;
@@ -114,6 +117,16 @@ fn witness_eg_fair_inner(
             }
             AttemptOutcome::Restart { mut walked, from } => {
                 stats.restarts += 1;
+                if obs::enabled(model) {
+                    obs::emit(
+                        model,
+                        Event::Restart {
+                            count: stats.restarts as u64,
+                            stay_exit: stats.stay_exits > stay_exits_before,
+                            frontier: from.to_bit_string(),
+                        },
+                    );
+                }
                 if stats.restarts > MAX_RESTARTS {
                     let depths: Vec<usize> = rings.iter().map(|r| r.len()).collect();
                     return Err(CheckError::WitnessConstruction(format!(
@@ -201,6 +214,7 @@ fn attempt_cycle_inner(
             break;
         };
         let (k, ring_index, t) = pos;
+        obs::emit(model, Event::WitnessHop { constraint: k as u64, ring: ring_index as u64 });
         attempt.push(t.clone());
         if anchor.is_none() {
             anchor = Some((attempt.len() - 1, t.clone()));
@@ -264,9 +278,11 @@ fn attempt_cycle_inner(
     })?;
     let first_step = model.manager_mut().and(succ, reach_anchor);
     if first_step.is_false() {
+        obs::emit(model, Event::CycleClose { closed: false, arc_len: 0 });
         return Ok(AttemptOutcome::Restart { walked: attempt, from: current });
     }
     // Walk the closing arc, stopping just before re-entering the anchor.
+    let close_start = attempt.len();
     let picked = pick_min_ring_state(model, first_step, &close_rings);
     govern::poll(model, Phase::WitnessEg, progress(&attempt))?;
     let mut close_current =
@@ -287,6 +303,10 @@ fn attempt_cycle_inner(
     // close_current.1 == 0 means the next state is the anchor itself; the
     // lasso edge `last -> anchor` closes the loop implicitly.
     debug_assert_eq!(close_current.0, anchor_state);
+    obs::emit(
+        model,
+        Event::CycleClose { closed: true, arc_len: (attempt.len() - close_start) as u64 },
+    );
     Ok(AttemptOutcome::Closed { states: attempt, anchor_index })
 }
 

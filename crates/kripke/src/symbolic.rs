@@ -379,6 +379,27 @@ impl SymbolicModel {
         if let Some(r) = self.reachable {
             return Ok(r);
         }
+        let tele = self.manager.telemetry().clone();
+        let span = if tele.enabled() {
+            tele.span_start(smc_obs::SpanKind::Reach, None, self.manager.stats_snapshot())
+        } else {
+            smc_obs::SpanId::NONE
+        };
+        let result = self.reach_fixpoint(&tele);
+        if tele.enabled() {
+            tele.span_end(span, self.manager.stats_snapshot());
+        }
+        let reach = result?;
+        self.manager.protect(reach);
+        self.reachable = Some(reach);
+        Ok(reach)
+    }
+
+    /// The frontier loop of [`reachable`](Self::reachable), separated so
+    /// the telemetry span closes on the trip path too.
+    fn reach_fixpoint(&mut self, tele: &smc_obs::Telemetry) -> Result<Bdd, KripkeError> {
+        let mut tracker =
+            tele.enabled().then(|| smc_obs::IterTracker::new(self.manager.stats_snapshot()));
         let mut frontier = self.init;
         let mut reach = self.init;
         let mut iters = 0u64;
@@ -388,10 +409,17 @@ impl SymbolicModel {
             reach = self.manager.or(reach, frontier);
             iters += 1;
             self.manager.checkpoint(iters, &[frontier, reach])?;
+            if let Some(tr) = tracker.as_mut() {
+                tele.emit(tr.event(
+                    smc_obs::FixKind::Reach,
+                    iters,
+                    self.manager.size(frontier) as u64,
+                    self.manager.size(reach) as u64,
+                    self.manager.stats_snapshot(),
+                ));
+            }
         }
         self.manager.check_budget()?;
-        self.manager.protect(reach);
-        self.reachable = Some(reach);
         Ok(reach)
     }
 

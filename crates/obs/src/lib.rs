@@ -1,0 +1,412 @@
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+//! # smc-obs — structured telemetry for the checking stack
+//!
+//! A zero-cost-when-disabled observability layer: phases of a
+//! model-checking run open [`SpanKind`] **spans** (compile, reach, the
+//! CTL fixpoints, fair-ring computation, witness construction) and emit
+//! **events** ([`Event`]) for per-iteration fixpoint telemetry, the
+//! Section 6 witness search's decisions (nearest-constraint hops,
+//! cycle-closure attempts, SCC-descent restarts), garbage collection,
+//! degradation-ladder steps and governor trips.
+//!
+//! The [`Telemetry`] handle is the only type the instrumented layers
+//! touch. Disabled (the default) it is a `None` behind one pointer:
+//! every emit is a single predictable branch, no clock is read, no BDD
+//! is sized. Enabled, it fans events out to any number of [`Sink`]s:
+//!
+//! - [`JsonlSink`] — a versioned JSON-lines trace (see the schema
+//!   contract on [`Event`]),
+//! - [`ProgressSink`] — a live one-line progress display for stderr,
+//! - [`ProfileAggregator`] — an in-memory aggregator rendering a
+//!   post-run profile report (wall/self time, iterations, peak nodes,
+//!   cache hit rate per span).
+//!
+//! This crate is dependency-free (std only) so it can sit *below*
+//! `smc-bdd`: the BDD manager itself carries a `Telemetry` handle, and
+//! every layer above reaches it through the manager.
+//!
+//! ## Example
+//!
+//! ```
+//! use smc_obs::{Event, JsonlSink, SpanKind, StatsSnapshot, Telemetry};
+//!
+//! let tele = Telemetry::new();
+//! tele.add_sink(Box::new(JsonlSink::new(Vec::new())));
+//! let span = tele.span_start(SpanKind::Reach, None, StatsSnapshot::default());
+//! tele.emit(Event::WitnessHop { constraint: 0, ring: 3 });
+//! tele.span_end(span, StatsSnapshot::default());
+//! tele.flush();
+//! ```
+
+mod event;
+mod json;
+mod profile;
+mod progress;
+mod sink;
+
+pub use event::{Event, FixKind, SpanKind, SPAN_KINDS};
+pub use json::Json;
+pub use profile::{report_from_jsonl, ProfileAggregator};
+pub use progress::ProgressSink;
+pub use sink::{EventCtx, JsonlSink, Sink};
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Version stamped into every JSON-lines record as `"v"`. Bumped only
+/// when a required key is removed or changes meaning; adding optional
+/// keys is a compatible change (see DESIGN.md §8).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A point-in-time copy of the BDD manager's workload counters, taken at
+/// span boundaries so every span carries the *delta* of cache traffic,
+/// allocation and GC work it caused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Live (unique-table) nodes right now.
+    pub live_nodes: u64,
+    /// High-water mark of the node pool.
+    pub peak_nodes: u64,
+    /// Total nodes ever created.
+    pub created_nodes: u64,
+    /// Computed-table lookups (all operations).
+    pub cache_lookups: u64,
+    /// Computed-table hits (all operations).
+    pub cache_hits: u64,
+    /// Computed-table evictions.
+    pub cache_evictions: u64,
+    /// Garbage collections run.
+    pub gc_runs: u64,
+    /// Nodes reclaimed by garbage collection.
+    pub gc_reclaimed: u64,
+}
+
+/// The change in cumulative counters between two [`StatsSnapshot`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsDelta {
+    /// Nodes created within the span.
+    pub created_nodes: u64,
+    /// Computed-table lookups within the span.
+    pub cache_lookups: u64,
+    /// Computed-table hits within the span.
+    pub cache_hits: u64,
+    /// Computed-table evictions within the span.
+    pub cache_evictions: u64,
+    /// Garbage collections within the span.
+    pub gc_runs: u64,
+    /// Nodes reclaimed within the span.
+    pub gc_reclaimed: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter movement since `since`. Saturating: a transaction
+    /// rollback can make `created_nodes` step backwards briefly.
+    pub fn delta_since(&self, since: &StatsSnapshot) -> StatsDelta {
+        StatsDelta {
+            created_nodes: self.created_nodes.saturating_sub(since.created_nodes),
+            cache_lookups: self.cache_lookups.saturating_sub(since.cache_lookups),
+            cache_hits: self.cache_hits.saturating_sub(since.cache_hits),
+            cache_evictions: self.cache_evictions.saturating_sub(since.cache_evictions),
+            gc_runs: self.gc_runs.saturating_sub(since.gc_runs),
+            gc_reclaimed: self.gc_reclaimed.saturating_sub(since.gc_reclaimed),
+        }
+    }
+}
+
+/// Opaque handle to an open span, returned by [`Telemetry::span_start`]
+/// and consumed by [`Telemetry::span_end`]. The zero id is the "no span"
+/// sentinel a disabled telemetry hands out, so disabled span bookkeeping
+/// is free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The sentinel returned when telemetry is disabled.
+    pub const NONE: SpanId = SpanId(0);
+}
+
+struct OpenSpan {
+    id: u64,
+    kind: SpanKind,
+    t_us: u64,
+    at: StatsSnapshot,
+}
+
+struct Inner {
+    start: Instant,
+    sinks: RefCell<Vec<Box<dyn Sink>>>,
+    seq: Cell<u64>,
+    next_span: Cell<u64>,
+    stack: RefCell<Vec<OpenSpan>>,
+}
+
+/// The telemetry handle threaded through the checking stack.
+///
+/// Cloning is cheap (an `Option<Rc>`); all clones share the same sinks,
+/// clock and span stack. The default handle is **disabled**: every
+/// method is a no-op behind a single [`enabled`](Telemetry::enabled)
+/// branch, so instrumentation left in hot paths costs one predictable
+/// branch per call site. Hot loops should guard any data gathering
+/// (BDD sizing, stats snapshots) behind `enabled()` themselves.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(i) => write!(f, "Telemetry(enabled, {} events)", i.seq.get()),
+            None => write!(f, "Telemetry(disabled)"),
+        }
+    }
+}
+
+impl Telemetry {
+    /// An enabled handle with no sinks yet (attach with
+    /// [`add_sink`](Telemetry::add_sink)). The trace clock starts here.
+    pub fn new() -> Telemetry {
+        Telemetry {
+            inner: Some(Rc::new(Inner {
+                start: Instant::now(),
+                sinks: RefCell::new(Vec::new()),
+                seq: Cell::new(0),
+                next_span: Cell::new(1),
+                stack: RefCell::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The disabled (no-op) handle; same as `Telemetry::default()`.
+    pub fn disabled() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Is any sink attached to an enabled handle going to see events?
+    /// The fast guard for hot paths.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attaches a sink. No-op on a disabled handle.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        if let Some(inner) = &self.inner {
+            inner.sinks.borrow_mut().push(sink);
+        }
+    }
+
+    /// Emits one event to every sink, stamping sequence number and
+    /// microseconds since the handle was created.
+    pub fn emit(&self, event: Event) {
+        let Some(inner) = &self.inner else { return };
+        inner.record(&event);
+    }
+
+    /// Opens a span: emits [`Event::SpanStart`] and remembers the start
+    /// time and stats snapshot so [`span_end`](Telemetry::span_end) can
+    /// report wall time and counter deltas. Returns [`SpanId::NONE`]
+    /// when disabled. `at` should be the manager's counters right now;
+    /// callers on hot paths should only compute it when
+    /// [`enabled`](Telemetry::enabled).
+    pub fn span_start(&self, kind: SpanKind, label: Option<&str>, at: StatsSnapshot) -> SpanId {
+        let Some(inner) = &self.inner else { return SpanId::NONE };
+        let id = inner.next_span.get();
+        inner.next_span.set(id + 1);
+        let t_us = inner.now_us();
+        inner.stack.borrow_mut().push(OpenSpan { id, kind, t_us, at });
+        inner.record(&Event::SpanStart { id, kind, label: label.map(str::to_string) });
+        SpanId(id)
+    }
+
+    /// Closes a span: emits [`Event::SpanEnd`] with the wall time and
+    /// the stats delta since the matching [`span_start`](Telemetry::span_start).
+    /// Spans abandoned by an error path between `id` and the top of the
+    /// stack are closed too (with the same end snapshot), so the stack
+    /// stays balanced even when a fixpoint trips mid-flight.
+    pub fn span_end(&self, id: SpanId, at: StatsSnapshot) {
+        let Some(inner) = &self.inner else { return };
+        if id == SpanId::NONE {
+            return;
+        }
+        let now = inner.now_us();
+        loop {
+            let Some(open) = inner.stack.borrow_mut().pop() else { return };
+            inner.record(&Event::SpanEnd {
+                id: open.id,
+                kind: open.kind,
+                wall_us: now.saturating_sub(open.t_us),
+                live_nodes: at.live_nodes,
+                peak_nodes: at.peak_nodes,
+                delta: at.delta_since(&open.at),
+            });
+            if open.id == id.0 {
+                return;
+            }
+        }
+    }
+
+    /// Flushes every sink (progress lines are cleared, trace files
+    /// drained to disk). Call once at the end of a run.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in inner.sinks.borrow_mut().iter_mut() {
+                sink.flush();
+            }
+        }
+    }
+}
+
+impl Inner {
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn record(&self, event: &Event) {
+        let ctx = EventCtx { seq: self.seq.get(), t_us: self.now_us() };
+        self.seq.set(ctx.seq + 1);
+        for sink in self.sinks.borrow_mut().iter_mut() {
+            sink.record(&ctx, event);
+        }
+    }
+}
+
+/// Tracks per-iteration cache-counter deltas for a fixpoint loop:
+/// holds the previous iteration's snapshot so each
+/// [`Event::FixpointIter`] reports the traffic of *that* iteration, not
+/// the cumulative totals.
+#[derive(Debug)]
+pub struct IterTracker {
+    last: StatsSnapshot,
+}
+
+impl IterTracker {
+    /// Starts tracking from `at` (the counters just before iteration 1).
+    pub fn new(at: StatsSnapshot) -> IterTracker {
+        IterTracker { last: at }
+    }
+
+    /// Builds one iteration event and advances the tracker to `at`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn event(
+        &mut self,
+        phase: FixKind,
+        iteration: u64,
+        frontier_size: u64,
+        approx_size: u64,
+        at: StatsSnapshot,
+    ) -> Event {
+        let d = at.delta_since(&self.last);
+        self.last = at;
+        Event::FixpointIter {
+            phase,
+            iteration,
+            frontier_size,
+            approx_size,
+            live_nodes: at.live_nodes,
+            peak_nodes: at.peak_nodes,
+            d_lookups: d.cache_lookups,
+            d_hits: d.cache_hits,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    /// A Write that appends into a shared buffer, so tests can read what
+    /// a sink owned by the telemetry wrote.
+    #[derive(Clone, Default)]
+    pub(crate) struct SharedBuf(pub Rc<RefCell<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tele = Telemetry::disabled();
+        assert!(!tele.enabled());
+        let span = tele.span_start(SpanKind::Reach, None, StatsSnapshot::default());
+        assert_eq!(span, SpanId::NONE);
+        tele.emit(Event::WitnessHop { constraint: 0, ring: 1 });
+        tele.span_end(span, StatsSnapshot::default());
+        tele.flush();
+    }
+
+    #[test]
+    fn spans_report_wall_and_deltas() {
+        let buf = SharedBuf::default();
+        let tele = Telemetry::new();
+        tele.add_sink(Box::new(JsonlSink::new(buf.clone())));
+        let start = StatsSnapshot { cache_lookups: 10, cache_hits: 4, ..Default::default() };
+        let end = StatsSnapshot {
+            cache_lookups: 110,
+            cache_hits: 54,
+            live_nodes: 7,
+            ..Default::default()
+        };
+        let span = tele.span_start(SpanKind::CheckEu, Some("E[a U b]"), start);
+        tele.span_end(span, end);
+        tele.flush();
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"span_start\""));
+        assert!(lines[0].contains("\"label\":\"E[a U b]\""));
+        assert!(lines[1].contains("\"kind\":\"span_end\""));
+        assert!(lines[1].contains("\"d_lookups\":100"));
+        assert!(lines[1].contains("\"d_hits\":50"));
+        assert!(lines[1].contains("\"live_nodes\":7"));
+    }
+
+    #[test]
+    fn abandoned_inner_spans_are_closed() {
+        let buf = SharedBuf::default();
+        let tele = Telemetry::new();
+        tele.add_sink(Box::new(JsonlSink::new(buf.clone())));
+        let outer = tele.span_start(SpanKind::FairEg, None, StatsSnapshot::default());
+        let _inner = tele.span_start(SpanKind::CheckEu, None, StatsSnapshot::default());
+        // Error path: the inner span was never ended explicitly.
+        tele.span_end(outer, StatsSnapshot::default());
+        tele.flush();
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let ends = text.lines().filter(|l| l.contains("span_end")).count();
+        assert_eq!(ends, 2, "both spans must be closed: {text}");
+    }
+
+    #[test]
+    fn iter_tracker_reports_per_iteration_deltas() {
+        let mut tr = IterTracker::new(StatsSnapshot { cache_lookups: 5, ..Default::default() });
+        let e1 = tr.event(
+            FixKind::Reach,
+            1,
+            3,
+            3,
+            StatsSnapshot { cache_lookups: 15, cache_hits: 2, ..Default::default() },
+        );
+        let Event::FixpointIter { d_lookups, d_hits, .. } = e1 else { panic!("wrong kind") };
+        assert_eq!((d_lookups, d_hits), (10, 2));
+        let e2 = tr.event(
+            FixKind::Reach,
+            2,
+            4,
+            7,
+            StatsSnapshot { cache_lookups: 18, cache_hits: 3, ..Default::default() },
+        );
+        let Event::FixpointIter { d_lookups, d_hits, .. } = e2 else { panic!("wrong kind") };
+        assert_eq!((d_lookups, d_hits), (3, 1));
+    }
+}

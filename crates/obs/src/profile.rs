@@ -1,0 +1,311 @@
+//! The in-memory aggregator behind `--profile` and
+//! `smc profile report`: folds an event stream into per-span totals and
+//! renders the post-run profile table.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::{Event, EventCtx, Sink, SpanKind};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Row {
+    count: u64,
+    total_us: u64,
+    self_us: u64,
+    iterations: u64,
+    peak_nodes: u64,
+    d_lookups: u64,
+    d_hits: u64,
+}
+
+#[derive(Debug, Default)]
+struct ProfileData {
+    /// Open spans: kind plus the wall time of closed children, so a
+    /// closing span can report self = total − children.
+    stack: Vec<(SpanKind, u64)>,
+    rows: BTreeMap<SpanKind, Row>,
+    events: u64,
+    wall_us: u64,
+    hops: u64,
+    cycle_attempts: u64,
+    cycle_closed: u64,
+    restarts: u64,
+    stay_exits: u64,
+    gc_runs: u64,
+    gc_reclaimed: u64,
+    ladder: Vec<&'static str>,
+    trips: Vec<String>,
+}
+
+/// An aggregating [`Sink`]. Cloning shares the underlying tallies, so
+/// the caller can hand one clone to the telemetry handle and keep
+/// another to [`render`](ProfileAggregator::render) after the run.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileAggregator {
+    data: Rc<RefCell<ProfileData>>,
+}
+
+impl ProfileAggregator {
+    /// An empty aggregator.
+    pub fn new() -> ProfileAggregator {
+        ProfileAggregator::default()
+    }
+
+    /// Renders the profile report table.
+    ///
+    /// `total` sums a kind over every span of that kind, so nested
+    /// same-kind spans (a re-entrant witness) can exceed the wall
+    /// clock; `self` excludes child spans and is additive.
+    pub fn render(&self) -> String {
+        let d = self.data.borrow();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "-- profile report (schema v{}) --\n",
+            crate::SCHEMA_VERSION
+        ));
+        out.push_str(&format!(
+            "wall {}  ({} events)\n",
+            fmt_us(d.wall_us),
+            d.events
+        ));
+        out.push_str(&format!(
+            "{:<11} {:>6} {:>10} {:>10} {:>7} {:>11}  {}\n",
+            "span", "count", "total", "self", "iters", "peak nodes", "cache hit rate"
+        ));
+        for (kind, row) in &d.rows {
+            let rate = if row.d_lookups == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.1}% of {}",
+                    100.0 * row.d_hits as f64 / row.d_lookups as f64,
+                    row.d_lookups
+                )
+            };
+            out.push_str(&format!(
+                "{:<11} {:>6} {:>10} {:>10} {:>7} {:>11}  {}\n",
+                kind.name(),
+                row.count,
+                fmt_us(row.total_us),
+                fmt_us(row.self_us),
+                if row.iterations == 0 { "-".to_string() } else { row.iterations.to_string() },
+                row.peak_nodes,
+                rate
+            ));
+        }
+        out.push_str(&format!(
+            "witness search: {} hops, {} cycle attempts ({} closed), {} restarts, {} stay exits\n",
+            d.hops, d.cycle_attempts, d.cycle_closed, d.restarts, d.stay_exits
+        ));
+        out.push_str(&format!(
+            "gc: {} runs, {} nodes reclaimed; ladder: {}; trips: {}\n",
+            d.gc_runs,
+            d.gc_reclaimed,
+            if d.ladder.is_empty() { "none".to_string() } else { d.ladder.join(" -> ") },
+            if d.trips.is_empty() { "none".to_string() } else { d.trips.join("; ") },
+        ));
+        out
+    }
+}
+
+impl Sink for ProfileAggregator {
+    fn record(&mut self, ctx: &EventCtx, event: &Event) {
+        let mut d = self.data.borrow_mut();
+        d.events += 1;
+        d.wall_us = d.wall_us.max(ctx.t_us);
+        match event {
+            Event::SpanStart { kind, .. } => {
+                d.stack.push((*kind, 0));
+            }
+            Event::SpanEnd { kind, wall_us, peak_nodes, delta, .. } => {
+                // Tolerate traces whose open/close pairing we did not
+                // observe from the beginning (e.g. a truncated file).
+                let children_us = match d.stack.pop() {
+                    Some((_, c)) => c,
+                    None => 0,
+                };
+                if let Some((_, parent_children)) = d.stack.last_mut() {
+                    *parent_children += wall_us;
+                }
+                let row = d.rows.entry(*kind).or_default();
+                row.count += 1;
+                row.total_us += wall_us;
+                row.self_us += wall_us.saturating_sub(children_us);
+                row.peak_nodes = row.peak_nodes.max(*peak_nodes);
+                row.d_lookups += delta.cache_lookups;
+                row.d_hits += delta.cache_hits;
+            }
+            Event::FixpointIter { peak_nodes, .. } => {
+                if let Some(&(kind, _)) = d.stack.last() {
+                    let row = d.rows.entry(kind).or_default();
+                    row.iterations += 1;
+                    row.peak_nodes = row.peak_nodes.max(*peak_nodes);
+                }
+            }
+            Event::WitnessHop { .. } => d.hops += 1,
+            Event::CycleClose { closed, .. } => {
+                d.cycle_attempts += 1;
+                if *closed {
+                    d.cycle_closed += 1;
+                }
+            }
+            Event::Restart { stay_exit, .. } => {
+                d.restarts += 1;
+                if *stay_exit {
+                    d.stay_exits += 1;
+                }
+            }
+            Event::Gc { reclaimed, .. } => {
+                d.gc_runs += 1;
+                d.gc_reclaimed += reclaimed;
+            }
+            Event::Ladder { stage } => {
+                if !d.ladder.contains(stage) {
+                    d.ladder.push(stage);
+                }
+            }
+            Event::Trip { reason } => d.trips.push(reason.clone()),
+        }
+    }
+}
+
+/// Renders a profile report from the text of a JSON-lines trace file —
+/// the engine behind `smc profile report FILE.jsonl`.
+///
+/// # Errors
+///
+/// A description of the problem if no line of `text` parses as a trace
+/// record. Unparseable lines among parseable ones are counted and noted
+/// in the report instead (a truncated trailing line must not void a
+/// long trace).
+pub fn report_from_jsonl(text: &str) -> Result<String, String> {
+    let mut agg = ProfileAggregator::new();
+    let mut parsed = 0u64;
+    let mut skipped = 0u64;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::from_json_line(line) {
+            Some((ctx, event)) => {
+                parsed += 1;
+                agg.record(&ctx, &event);
+            }
+            None => skipped += 1,
+        }
+    }
+    if parsed == 0 {
+        return Err(format!(
+            "no trace records found ({skipped} unparseable lines); \
+             expected JSON lines with a \"v\" schema field"
+        ));
+    }
+    let mut report = agg.render();
+    if skipped > 0 {
+        report.push_str(&format!("({skipped} unparseable lines skipped)\n"));
+    }
+    Ok(report)
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 10_000_000 {
+        format!("{:.1} s", us as f64 / 1e6)
+    } else if us >= 10_000 {
+        format!("{:.1} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} us")
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::{FixKind, StatsDelta};
+
+    fn ctx(seq: u64, t_us: u64) -> EventCtx {
+        EventCtx { seq, t_us }
+    }
+
+    #[test]
+    fn nesting_attributes_self_time() {
+        let mut agg = ProfileAggregator::new();
+        agg.record(&ctx(0, 0), &Event::SpanStart { id: 1, kind: SpanKind::FairEg, label: None });
+        agg.record(&ctx(1, 10), &Event::SpanStart { id: 2, kind: SpanKind::CheckEu, label: None });
+        agg.record(
+            &ctx(2, 40),
+            &Event::SpanEnd {
+                id: 2,
+                kind: SpanKind::CheckEu,
+                wall_us: 30,
+                live_nodes: 5,
+                peak_nodes: 9,
+                delta: StatsDelta { cache_lookups: 10, cache_hits: 6, ..Default::default() },
+            },
+        );
+        agg.record(
+            &ctx(3, 100),
+            &Event::SpanEnd {
+                id: 1,
+                kind: SpanKind::FairEg,
+                wall_us: 100,
+                live_nodes: 5,
+                peak_nodes: 9,
+                delta: StatsDelta { cache_lookups: 25, cache_hits: 9, ..Default::default() },
+            },
+        );
+        let report = agg.render();
+        // fair_eg: total 100, self 70 (30 spent in the child EU).
+        assert!(report.contains("fair_eg"), "{report}");
+        assert!(report.contains("70 us"), "{report}");
+        assert!(report.contains("60.0% of 10"), "{report}");
+    }
+
+    #[test]
+    fn iterations_attach_to_the_open_span() {
+        let mut agg = ProfileAggregator::new();
+        agg.record(&ctx(0, 0), &Event::SpanStart { id: 1, kind: SpanKind::Reach, label: None });
+        for i in 1..=4 {
+            agg.record(
+                &ctx(i, i * 10),
+                &Event::FixpointIter {
+                    phase: FixKind::Reach,
+                    iteration: i,
+                    frontier_size: 3,
+                    approx_size: 9,
+                    live_nodes: 50,
+                    peak_nodes: 60 + i,
+                    d_lookups: 4,
+                    d_hits: 2,
+                },
+            );
+        }
+        agg.record(
+            &ctx(5, 50),
+            &Event::SpanEnd {
+                id: 1,
+                kind: SpanKind::Reach,
+                wall_us: 50,
+                live_nodes: 50,
+                peak_nodes: 64,
+                delta: StatsDelta::default(),
+            },
+        );
+        let report = agg.render();
+        assert!(report.contains("reach"), "{report}");
+        let reach_line = report.lines().find(|l| l.starts_with("reach")).unwrap();
+        assert!(reach_line.contains(" 4 "), "iters column: {reach_line}");
+        assert!(reach_line.contains("64"), "peak column: {reach_line}");
+    }
+
+    #[test]
+    fn report_from_jsonl_counts_bad_lines() {
+        let good = Event::WitnessHop { constraint: 1, ring: 2 }.to_json_line(&ctx(0, 5));
+        let text = format!("{good}\nnot json\n");
+        let report = report_from_jsonl(&text).unwrap();
+        assert!(report.contains("1 hops"), "{report}");
+        assert!(report.contains("1 unparseable"), "{report}");
+        assert!(report_from_jsonl("junk\n").is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! The live progress line (`--progress`): a single self-overwriting
+//! status line showing which phase is running, its current iteration
+//! and the node pressure, plus full lines for notable one-off events
+//! (restarts, governor trips).
+
+use std::io::Write;
+
+use crate::{Event, EventCtx, Sink};
+
+/// Renders a `\r`-overwritten progress line on a terminal-ish writer
+/// (stderr in the CLI). The line is cleared on flush so it leaves no
+/// residue in the final output.
+pub struct ProgressSink<W: Write> {
+    out: W,
+    /// Width of the last painted line, so shorter repaints fully erase it.
+    last_len: usize,
+    /// Name of the innermost open span, for the line's `[phase]` tag.
+    phase: Vec<&'static str>,
+}
+
+impl<W: Write> ProgressSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> ProgressSink<W> {
+        ProgressSink { out, last_len: 0, phase: Vec::new() }
+    }
+
+    fn paint(&mut self, line: &str) {
+        let pad = self.last_len.saturating_sub(line.chars().count());
+        let _ = write!(self.out, "\r{line}{}", " ".repeat(pad));
+        let _ = self.out.flush();
+        self.last_len = line.chars().count().max(self.last_len);
+    }
+
+    /// A durable full line: clears the progress line, prints, newline.
+    fn announce(&mut self, line: &str) {
+        self.clear();
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn clear(&mut self) {
+        if self.last_len > 0 {
+            let _ = write!(self.out, "\r{}\r", " ".repeat(self.last_len));
+            let _ = self.out.flush();
+            self.last_len = 0;
+        }
+    }
+}
+
+impl ProgressSink<std::io::Stderr> {
+    /// The standard CLI configuration: paint on stderr.
+    pub fn stderr() -> ProgressSink<std::io::Stderr> {
+        ProgressSink::new(std::io::stderr())
+    }
+}
+
+impl<W: Write> Sink for ProgressSink<W> {
+    fn record(&mut self, _ctx: &EventCtx, event: &Event) {
+        match event {
+            Event::SpanStart { kind, .. } => {
+                self.phase.push(kind.name());
+                let line = format!("[{}] ...", kind.name());
+                self.paint(&line);
+            }
+            Event::SpanEnd { .. } => {
+                self.phase.pop();
+            }
+            Event::FixpointIter { phase, iteration, frontier_size, approx_size, live_nodes, .. } => {
+                let line = format!(
+                    "[{}] iter {iteration} frontier={frontier_size} approx={approx_size} live={live_nodes}",
+                    phase.name()
+                );
+                self.paint(&line);
+            }
+            Event::WitnessHop { constraint, ring } => {
+                let line = format!(
+                    "[{}] hop to constraint {constraint} at distance {ring}",
+                    self.phase.last().copied().unwrap_or("witness")
+                );
+                self.paint(&line);
+            }
+            Event::Restart { count, stay_exit, .. } => {
+                let how = if *stay_exit { "stay-set exit" } else { "cycle would not close" };
+                self.announce(&format!("[witness] restart {count} ({how})"));
+            }
+            Event::Trip { reason } => {
+                self.announce(&format!("[governor] trip: {reason}"));
+            }
+            Event::Gc { .. } | Event::Ladder { .. } | Event::CycleClose { .. } => {}
+        }
+    }
+
+    fn flush(&mut self) {
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::{FixKind, SpanKind};
+
+    #[test]
+    fn paints_iterations_and_clears_on_flush() {
+        let mut sink = ProgressSink::new(Vec::new());
+        let ctx = EventCtx { seq: 0, t_us: 0 };
+        sink.record(&ctx, &Event::SpanStart { id: 1, kind: SpanKind::Reach, label: None });
+        sink.record(
+            &ctx,
+            &Event::FixpointIter {
+                phase: FixKind::Reach,
+                iteration: 3,
+                frontier_size: 12,
+                approx_size: 40,
+                live_nodes: 100,
+                peak_nodes: 120,
+                d_lookups: 5,
+                d_hits: 2,
+            },
+        );
+        sink.flush();
+        let text = String::from_utf8(sink.out).unwrap();
+        assert!(text.contains("[reach] iter 3 frontier=12"), "{text:?}");
+        // The final clear leaves the cursor on an erased line.
+        assert!(text.ends_with('\r'), "{text:?}");
+    }
+
+    #[test]
+    fn restarts_become_durable_lines() {
+        let mut sink = ProgressSink::new(Vec::new());
+        let ctx = EventCtx { seq: 0, t_us: 0 };
+        sink.record(
+            &ctx,
+            &Event::Restart { count: 2, stay_exit: true, frontier: "01".into() },
+        );
+        let text = String::from_utf8(sink.out).unwrap();
+        assert!(text.contains("restart 2 (stay-set exit)\n"), "{text:?}");
+    }
+}

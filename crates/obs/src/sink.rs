@@ -1,0 +1,64 @@
+//! The sink abstraction and the JSON-lines trace writer.
+
+use std::io::Write;
+
+use crate::Event;
+
+/// Per-event context stamped by the [`Telemetry`](crate::Telemetry)
+/// handle: a monotonic sequence number and the microsecond offset from
+/// handle creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventCtx {
+    /// Monotonic per-handle sequence number, starting at 0.
+    pub seq: u64,
+    /// Microseconds since the telemetry handle was created.
+    pub t_us: u64,
+}
+
+/// A consumer of telemetry events. Sinks are owned by the telemetry
+/// handle and invoked synchronously, in attachment order.
+pub trait Sink {
+    /// Receives one event.
+    fn record(&mut self, ctx: &EventCtx, event: &Event);
+
+    /// Final drain; called once by [`Telemetry::flush`](crate::Telemetry::flush).
+    fn flush(&mut self) {}
+}
+
+/// Writes each event as one JSON line (see [`Event`] for the schema).
+pub struct JsonlSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps any writer. Lines are written eagerly; buffer the writer
+    /// yourself if throughput matters.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink { out }
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) a trace file at `path`, buffered.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating the file.
+    pub fn create(
+        path: &str,
+    ) -> std::io::Result<JsonlSink<std::io::BufWriter<std::fs::File>>> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn record(&mut self, ctx: &EventCtx, event: &Event) {
+        // Telemetry must never abort the checking run; a full disk
+        // silently truncates the trace instead.
+        let _ = writeln!(self.out, "{}", event.to_json_line(ctx));
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}

@@ -1,0 +1,136 @@
+//! Golden test pinning the JSON-lines trace schema.
+//!
+//! The trace format is a published contract (`v` field, required keys
+//! per `kind`); external tooling may parse it. This test fails on any
+//! change to the version number, a kind name, or the required key set
+//! of a record — forcing a deliberate schema-version bump instead of a
+//! silent break.
+
+use smc_obs::{Event, EventCtx, FixKind, Json, SpanKind, SCHEMA_VERSION};
+
+/// The pinned contract: (kind, required keys beyond the common ones).
+const GOLDEN: &[(&str, &[&str])] = &[
+    ("span_start", &["span", "name"]),
+    (
+        "span_end",
+        &[
+            "span",
+            "name",
+            "wall_us",
+            "live_nodes",
+            "peak_nodes",
+            "d_created",
+            "d_lookups",
+            "d_hits",
+            "d_evictions",
+            "d_gc_runs",
+            "d_gc_reclaimed",
+        ],
+    ),
+    (
+        "fixpoint_iter",
+        &[
+            "phase",
+            "iteration",
+            "frontier_size",
+            "approx_size",
+            "live_nodes",
+            "peak_nodes",
+            "d_lookups",
+            "d_hits",
+        ],
+    ),
+    ("witness_hop", &["constraint", "ring"]),
+    ("cycle_close", &["closed", "arc_len"]),
+    ("restart", &["count", "stay_exit", "frontier"]),
+    ("gc", &["reclaimed", "live_before", "live_after"]),
+    ("ladder", &["stage"]),
+    ("trip", &["reason"]),
+];
+
+/// One representative of every event kind, in GOLDEN order.
+fn representatives() -> Vec<Event> {
+    vec![
+        Event::SpanStart { id: 1, kind: SpanKind::Compile, label: Some("m.smv".into()) },
+        Event::SpanEnd {
+            id: 1,
+            kind: SpanKind::Compile,
+            wall_us: 10,
+            live_nodes: 20,
+            peak_nodes: 30,
+            delta: Default::default(),
+        },
+        Event::FixpointIter {
+            phase: FixKind::Eu,
+            iteration: 1,
+            frontier_size: 2,
+            approx_size: 3,
+            live_nodes: 4,
+            peak_nodes: 5,
+            d_lookups: 6,
+            d_hits: 7,
+        },
+        Event::WitnessHop { constraint: 0, ring: 3 },
+        Event::CycleClose { closed: false, arc_len: 0 },
+        Event::Restart { count: 1, stay_exit: false, frontier: "10".into() },
+        Event::Gc { reclaimed: 9, live_before: 19, live_after: 10 },
+        Event::Ladder { stage: "sift" },
+        Event::Trip { reason: "node limit".into() },
+    ]
+}
+
+#[test]
+fn schema_version_is_pinned() {
+    // Bumping this is a conscious act: update the golden table, the
+    // event-module docs and DESIGN.md in the same change.
+    assert_eq!(SCHEMA_VERSION, 1);
+}
+
+#[test]
+fn every_kind_carries_the_golden_required_keys() {
+    let ctx = EventCtx { seq: 42, t_us: 99 };
+    let events = representatives();
+    assert_eq!(events.len(), GOLDEN.len(), "a kind is missing a representative");
+    for (event, (kind, required)) in events.iter().zip(GOLDEN) {
+        assert_eq!(event.kind_name(), *kind);
+        let line = event.to_json_line(&ctx);
+        let j = Json::parse(&line).unwrap_or_else(|| panic!("invalid JSON: {line}"));
+        // Common keys, with their pinned values.
+        assert_eq!(j.get("v").and_then(Json::as_u64), Some(SCHEMA_VERSION), "{line}");
+        assert_eq!(j.get("seq").and_then(Json::as_u64), Some(42), "{line}");
+        assert_eq!(j.get("t_us").and_then(Json::as_u64), Some(99), "{line}");
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some(*kind), "{line}");
+        for key in *required {
+            assert!(j.get(key).is_some(), "kind {kind}: missing required key {key}: {line}");
+        }
+    }
+}
+
+#[test]
+fn span_name_vocabulary_is_pinned() {
+    let names: Vec<&str> = smc_obs::SPAN_KINDS.iter().map(|k| k.name()).collect();
+    assert_eq!(
+        names,
+        ["compile", "reach", "check", "check_eu", "check_eg", "fair_eg", "fair_rings", "witness"]
+    );
+    for phase in [FixKind::Reach, FixKind::Eu, FixKind::Eg, FixKind::FairEgOuter] {
+        assert!(
+            ["reach", "eu", "eg", "fair_eg_outer"].contains(&phase.name()),
+            "unexpected phase name {}",
+            phase.name()
+        );
+    }
+}
+
+#[test]
+fn newer_schema_versions_are_rejected() {
+    let line = format!(
+        "{{\"v\":{},\"seq\":0,\"t_us\":0,\"kind\":\"witness_hop\",\"constraint\":0,\"ring\":0}}",
+        SCHEMA_VERSION + 1
+    );
+    assert!(Event::from_json_line(&line).is_none());
+    // Unknown keys in a current-version record must be ignored.
+    let with_extra =
+        "{\"v\":1,\"seq\":0,\"t_us\":0,\"kind\":\"witness_hop\",\"constraint\":0,\"ring\":0,\"future\":\"x\"}";
+    assert!(Event::from_json_line(with_extra).is_some());
+}

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use smc_bdd::{Bdd, BddManager, Budget, Var};
+use smc_obs::{SpanId, SpanKind, StatsSnapshot, Telemetry};
 use smc_kripke::{State, SymbolicModel};
 use smc_logic::Ctl;
 
@@ -96,9 +97,44 @@ pub fn compile(source: &str) -> Result<CompiledModel, SmvError> {
 /// [`BddError::ResourceExhausted`](smc_bdd::BddError::ResourceExhausted);
 /// the budget stays installed for subsequent checking on the model.
 pub fn compile_budgeted(source: &str, budget: Budget) -> Result<CompiledModel, SmvError> {
-    let program = crate::parser::parse(source)?;
-    let flat = flatten(&program)?;
-    compile_module_governed(&flat, Some(budget))
+    compile_with(source, Some(budget), Telemetry::disabled())
+}
+
+/// The fully-instrumented entry point: as [`compile_budgeted`] (budget
+/// optional), with a telemetry handle installed on the model's BDD
+/// manager before any compilation work. The whole parse + compile +
+/// totality check runs under a `compile` span, and every later phase
+/// (reachability, fixpoints, witnesses) reaches the same handle through
+/// the manager.
+///
+/// # Errors
+///
+/// As [`compile`] / [`compile_budgeted`].
+pub fn compile_with(
+    source: &str,
+    budget: Option<Budget>,
+    tele: Telemetry,
+) -> Result<CompiledModel, SmvError> {
+    let span = if tele.enabled() {
+        // No manager exists yet; the span opens on an empty snapshot so
+        // its delta covers every node the compile creates.
+        tele.span_start(SpanKind::Compile, None, StatsSnapshot::default())
+    } else {
+        SpanId::NONE
+    };
+    let result = (|| {
+        let program = crate::parser::parse(source)?;
+        let flat = flatten(&program)?;
+        compile_module_full(&flat, budget, tele.clone())
+    })();
+    if tele.enabled() {
+        let at = match &result {
+            Ok(compiled) => compiled.model.manager().stats_snapshot(),
+            Err(_) => StatsSnapshot::default(),
+        };
+        tele.span_end(span, at);
+    }
+    result
 }
 
 /// Compiles an already-parsed program: flattens the module hierarchy
@@ -110,12 +146,13 @@ pub fn compile_program(program: &Program) -> Result<CompiledModel, SmvError> {
 
 /// Compiles a single flattened (instance-free) module.
 pub fn compile_module(program: &Module) -> Result<CompiledModel, SmvError> {
-    compile_module_governed(program, None)
+    compile_module_full(program, None, Telemetry::disabled())
 }
 
-fn compile_module_governed(
+fn compile_module_full(
     program: &Module,
     budget: Option<Budget>,
+    tele: Telemetry,
 ) -> Result<CompiledModel, SmvError> {
     // ---- Collect declarations. ----
     let mut vars: Vec<VarInfo> = Vec::new();
@@ -188,6 +225,7 @@ fn compile_module_governed(
 
     // ---- Allocate interleaved BDD variables. ----
     let mut manager = BddManager::new();
+    manager.set_telemetry(tele);
     let mut names: Vec<String> = Vec::with_capacity(bit_count);
     let mut cur: Vec<Var> = Vec::with_capacity(bit_count);
     let mut nxt: Vec<Var> = Vec::with_capacity(bit_count);

@@ -75,7 +75,8 @@ mod value;
 
 pub use ast::{CaseBranch, Decl, Expr, Module, Program, Section, Spec, VarType};
 pub use compile::{
-    compile, compile_budgeted, compile_module, compile_program, CompiledModel, CompiledSpec,
+    compile, compile_budgeted, compile_module, compile_program, compile_with, CompiledModel,
+    CompiledSpec,
 };
 pub use error::SmvError;
 pub use flatten::flatten;

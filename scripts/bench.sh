@@ -1,10 +1,116 @@
 #!/bin/sh
-# Runs the kernel benchmark and writes a machine-readable summary to
-# BENCH_kernel.json (override with the first argument) so CI can diff
-# performance numbers across revisions.
+# Kernel benchmark driver with a telemetry-overhead guard.
 #
-# Usage: scripts/bench.sh [output.json]
+#   scripts/bench.sh            compare against BENCH_kernel.json:
+#                                 1. run the kernel bench with telemetry
+#                                    DISABLED and fail if it regressed
+#                                    more than the tolerance (default 3%,
+#                                    override with BENCH_TOLERANCE_PCT)
+#                                    against the recorded baseline —
+#                                    deterministic work counters (cache
+#                                    lookups, created nodes) are gated
+#                                    exactly; wall times are gated on the
+#                                    per-metric minimum over up to 5 runs,
+#                                    since scheduling noise only ever
+#                                    inflates a wall time
+#                                 2. run once with telemetry ENABLED
+#                                    (JSON-lines sink to a null writer)
+#                                    and report the enabled-path overhead
+#   scripts/bench.sh --update   re-measure and overwrite BENCH_kernel.json
+#
+# Exit codes: 0 ok, 1 regression beyond tolerance, 2 harness error.
 set -eu
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_kernel.json}"
-cargo run --release -p smc-bench --bin experiments -- --json "$OUT"
+
+BASELINE="BENCH_kernel.json"
+TOL="${BENCH_TOLERANCE_PCT:-3}"
+MAX_RUNS="${BENCH_MAX_RUNS:-5}"
+TIME_KEYS="reach_seconds check_seconds witness_seconds fused_seconds"
+COUNTER_KEYS="cache_lookups created_nodes"
+
+if [ "${1:-}" = "--update" ]; then
+    cargo run --release -p smc-bench --bin experiments -- --json "$BASELINE"
+    echo "baseline $BASELINE updated"
+    exit 0
+fi
+
+[ -f "$BASELINE" ] || { echo "no baseline $BASELINE (run scripts/bench.sh --update)"; exit 2; }
+
+# Pulls "key": <number> out of a flat JSON file (first occurrence).
+metric() {
+    sed -n "s/.*\"$2\": \([0-9.][0-9.]*\).*/\1/p" "$1" | head -n 1
+}
+
+TMPDIR="${TMPDIR:-/tmp}"
+OFF="$TMPDIR/bench_off_$$.json"
+ON="$TMPDIR/bench_on_$$.json"
+MIN="$TMPDIR/bench_min_$$.txt"
+trap 'rm -f "$OFF" "$ON" "$MIN"' EXIT
+
+# ---- disabled path vs baseline ----
+: > "$MIN"
+for key in $TIME_KEYS; do
+    echo "$key inf" >> "$MIN"
+done
+
+echo "== kernel bench, telemetry disabled (up to $MAX_RUNS runs) =="
+run=0
+worst=999
+while [ "$run" -lt "$MAX_RUNS" ]; do
+    run=$((run + 1))
+    cargo run --release -p smc-bench --bin experiments -- --json "$OFF" > /dev/null
+    worst=$(
+        for key in $TIME_KEYS; do
+            now=$(metric "$OFF" "$key")
+            old=$(grep "^$key " "$MIN" | cut -d' ' -f2)
+            base=$(metric "$BASELINE" "$key")
+            [ -n "$now" ] && [ -n "$base" ] || { echo "missing $key" >&2; exit 2; }
+            awk -v k="$key" -v now="$now" -v old="$old" -v base="$base" 'BEGIN {
+                m = (old == "inf" || now + 0 < old + 0) ? now : old
+                printf "%s %s %.2f\n", k, m, (m - base) / base * 100.0
+            }'
+        done | tee "$MIN.next" | awk '{ if ($3 > w) w = $3 } END { printf "%.2f", w }'
+    )
+    mv "$MIN.next" "$MIN"
+    echo "  run $run: worst time regression so far ${worst}%"
+    ok=$(awk -v w="$worst" -v t="$TOL" 'BEGIN { print (w <= t) ? 1 : 0 }')
+    [ "$ok" = "1" ] && break
+done
+
+STATUS=0
+while read -r key min reg; do
+    base=$(metric "$BASELINE" "$key")
+    echo "  $key: baseline ${base}s, best disabled ${min}s (${reg}%)"
+    over=$(awk -v r="$reg" -v t="$TOL" 'BEGIN { print (r > t) ? 1 : 0 }')
+    [ "$over" = "1" ] && { echo "    REGRESSION > ${TOL}%"; STATUS=1; }
+done < "$MIN"
+
+# Deterministic counters: exact, noise-free — any growth is a real
+# change in the amount of work the disabled path performs.
+for key in $COUNTER_KEYS; do
+    base=$(metric "$BASELINE" "$key")
+    now=$(metric "$OFF" "$key")
+    [ -n "$base" ] && [ -n "$now" ] || { echo "missing counter $key"; exit 2; }
+    reg=$(awk -v b="$base" -v n="$now" 'BEGIN { printf "%.2f", (n - b) / b * 100.0 }')
+    echo "  $key: baseline $base, disabled $now (${reg}%)"
+    over=$(awk -v r="$reg" -v t="$TOL" 'BEGIN { print (r > t) ? 1 : 0 }')
+    [ "$over" = "1" ] && { echo "    REGRESSION > ${TOL}%"; STATUS=1; }
+done
+
+# ---- enabled path: overhead report (informational) ----
+echo "== kernel bench, telemetry enabled =="
+cargo run --release -p smc-bench --bin experiments -- --json "$ON" --telemetry > /dev/null
+for key in $TIME_KEYS; do
+    off=$(grep "^$key " "$MIN" | cut -d' ' -f2)
+    on=$(metric "$ON" "$key")
+    awk -v k="$key" -v o="$off" -v n="$on" 'BEGIN {
+        printf "  %s: disabled %ss, enabled %ss (%+.1f%% overhead)\n", k, o, n, (n - o) / o * 100.0
+    }'
+done
+
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: telemetry-disabled path regressed more than ${TOL}% vs $BASELINE"
+else
+    echo "OK: disabled path within ${TOL}% of $BASELINE"
+fi
+exit "$STATUS"

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Demo of the telemetry pipeline end to end: run the bundled two-client
+# arbiter with a recorded JSON-lines trace plus the live profile report,
+# then render the same trace again through `smc profile report`.
+#
+# Usage: scripts/trace.sh [MODEL.smv] [TRACE.jsonl]
+set -eu
+cd "$(dirname "$0")/.."
+
+MODEL="${1:-models/arbiter2.smv}"
+TRACE="${2:-${TMPDIR:-/tmp}/smc_trace_$$.jsonl}"
+
+cargo build --release --quiet
+SMC=target/release/smc
+
+echo "== smc check --trace --profile $TRACE $MODEL =="
+# The arbiter's mutual-exclusion spec fails by design (exit 1): the run
+# exercises fair-EG rings, witness hops and cycle closure for the demo.
+"$SMC" check --trace --profile "$TRACE" "$MODEL" || [ "$?" -eq 1 ]
+
+echo
+echo "== trace summary =="
+wc -l < "$TRACE" | xargs echo "events:"
+for kind in span_start fixpoint_iter witness_hop cycle_close restart; do
+    n=$(grep -c "\"kind\":\"$kind\"" "$TRACE" || true)
+    echo "  $kind: $n"
+done
+
+echo
+echo "== smc profile report $TRACE =="
+"$SMC" profile report "$TRACE"

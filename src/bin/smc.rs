@@ -1,15 +1,20 @@
 //! `smc` — command-line front end for the symbolic model checker.
 //!
 //! ```text
-//! smc check  [--trace] [--strategy restart|stayset] [BUDGET] FILE.smv
-//! smc spec   [BUDGET] FILE.smv FORMULA   check one ad-hoc CTL formula
-//! smc reach  [BUDGET] FILE.smv           reachability statistics
+//! smc check  [--trace] [--strategy restart|stayset] [COMMON] FILE.smv
+//! smc spec   [COMMON] FILE.smv FORMULA   check one ad-hoc CTL formula
+//! smc reach  [COMMON] FILE.smv           reachability statistics
+//! smc profile report FILE.jsonl          render a recorded trace
 //! smc help
 //! ```
 //!
-//! `BUDGET` flags (`--timeout`, `--node-limit`, `--max-iters`) install a
-//! resource governor on the BDD manager; an exhausted budget exits with
-//! code 3 after printing partial-progress diagnostics.
+//! `COMMON` flags are shared by `check`, `spec` and `reach`: the budget
+//! flags (`--timeout`, `--node-limit`, `--max-iters`) install a resource
+//! governor on the BDD manager (an exhausted budget exits with code 3
+//! after printing partial-progress diagnostics), `--stats` prints the
+//! manager counters, and `--progress` / `--profile [FILE.jsonl]` enable
+//! structured telemetry (live progress line / profile report + optional
+//! JSON-lines trace).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -17,7 +22,8 @@ use std::time::Duration;
 use smc::bdd::{BddError, BddManagerStats, Budget};
 use smc::checker::{CheckError, Checker, CycleStrategy, PartialProgress, Phase, TripReason};
 use smc::kripke::KripkeError;
-use smc::smv::{compile, CompiledModel, SmvError};
+use smc::obs::{JsonlSink, ProfileAggregator, ProgressSink, Telemetry};
+use smc::smv::{CompiledModel, SmvError};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +46,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "spec" => cmd_spec(&args[1..]),
         "reach" => cmd_reach(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
+        "profile" => cmd_profile(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -57,29 +64,38 @@ fn print_usage() {
         "smc — symbolic model checking with counterexamples and witnesses
 
 USAGE:
-    smc check  [--trace] [--stats] [--strategy restart|stayset] [BUDGET] FILE.smv
-    smc spec   [BUDGET] FILE.smv FORMULA
-    smc reach  [--stats] [BUDGET] FILE.smv
+    smc check  [--trace] [--strategy restart|stayset] [COMMON] FILE.smv
+    smc spec   [COMMON] FILE.smv FORMULA
+    smc reach  [COMMON] FILE.smv
     smc dot    FILE.smv (init|trans|reach)
+    smc profile report FILE.jsonl
     smc help
 
-BUDGET (resource governor; any combination):
+COMMON (any combination; shared by check, spec and reach):
     --timeout <secs>     abort when the wall-clock deadline expires
     --node-limit <n>     bound live BDD nodes (GC, then reorder, then a
                          smaller cache are tried before giving up)
     --max-iters <n>      cap fixpoint iterations per operator
+    --stats              print BDD manager counters (per-operation cache
+                         hit rates, peak nodes, GC) after the run — also
+                         on the exit-3 budget-exhausted path
+    --progress           live progress line on stderr (phase, iteration,
+                         frontier size, node pressure)
+    --profile [F.jsonl]  print a per-phase profile report (wall/self
+                         time, iterations, peak nodes, cache hit rate);
+                         with a FILE ending in .jsonl, also record the
+                         full event trace there (schema-versioned JSON
+                         lines, see `smc profile report`)
 
 COMMANDS:
-    check   check every SPEC of the program; with --trace, print a
-            counterexample for each failing spec (and a witness for each
-            holding temporal spec); with --stats, print BDD manager
-            counters (per-operation cache hits/misses/evictions, GC runs)
-            after checking
-    spec    check one CTL formula against the model (atoms are boolean
-            variables or spec labels)
-    reach   print model statistics (variables, reachable states); with
-            --stats, also print the BDD manager counters
-    dot     write the requested BDD as Graphviz DOT to stdout
+    check    check every SPEC of the program; with --trace, print a
+             counterexample for each failing spec (and a witness for
+             each holding temporal spec)
+    spec     check one CTL formula against the model (atoms are boolean
+             variables or spec labels)
+    reach    print model statistics (variables, reachable states)
+    dot      write the requested BDD as Graphviz DOT to stdout
+    profile  render the profile report of a recorded .jsonl trace
 
 EXIT CODE: 0 if everything checked holds, 1 if some spec fails,
            2 on usage or input errors, 3 if a resource budget was
@@ -143,6 +159,100 @@ impl BudgetOptions {
     }
 }
 
+/// Options shared by `check`, `spec` and `reach`: budget, `--stats`,
+/// and the telemetry flags, plus the collected positional arguments.
+/// One parser instead of a copy per command.
+#[derive(Debug, Default)]
+struct CommonOptions {
+    budget: BudgetOptions,
+    stats: bool,
+    progress: bool,
+    /// `--profile` was given: print the post-run profile report.
+    profile: bool,
+    /// `--profile FILE.jsonl`: also record the JSON-lines trace there.
+    trace_path: Option<String>,
+    positionals: Vec<String>,
+}
+
+/// Parses the shared flags; `extra` consumes command-specific flags at
+/// `args[*i]` first (returning true and leaving `*i` on the flag's last
+/// token, like [`BudgetOptions::try_parse`]).
+fn parse_common(
+    args: &[String],
+    mut extra: impl FnMut(&[String], &mut usize) -> Result<bool, String>,
+) -> Result<CommonOptions, String> {
+    let mut o = CommonOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        if o.budget.try_parse(args, &mut i)? || extra(args, &mut i)? {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            "--stats" => o.stats = true,
+            "--progress" => o.progress = true,
+            "--profile" => {
+                o.profile = true;
+                // The trace file operand is optional; only a .jsonl name
+                // is taken, so `--profile model.smv` still parses.
+                if let Some(next) = args.get(i + 1) {
+                    if next.ends_with(".jsonl") {
+                        o.trace_path = Some(next.clone());
+                        i += 1;
+                    }
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            p => o.positionals.push(p.to_string()),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+/// The telemetry of one CLI run: the handle handed to the compiler plus
+/// the aggregator kept for the post-run report.
+struct TeleSession {
+    tele: Telemetry,
+    profile: Option<ProfileAggregator>,
+}
+
+impl TeleSession {
+    /// Builds the handle the common options ask for: disabled unless
+    /// `--progress` or `--profile` was given.
+    fn new(o: &CommonOptions) -> Result<TeleSession, Box<dyn std::error::Error>> {
+        if !o.progress && !o.profile {
+            return Ok(TeleSession { tele: Telemetry::disabled(), profile: None });
+        }
+        let tele = Telemetry::new();
+        if let Some(path) = &o.trace_path {
+            let sink = JsonlSink::create(path)
+                .map_err(|e| format!("cannot create trace file {path:?}: {e}"))?;
+            tele.add_sink(Box::new(sink));
+        }
+        if o.progress {
+            tele.add_sink(Box::new(ProgressSink::stderr()));
+        }
+        let profile = o.profile.then(ProfileAggregator::new);
+        if let Some(p) = &profile {
+            tele.add_sink(Box::new(p.clone()));
+        }
+        Ok(TeleSession { tele, profile })
+    }
+
+    /// Flushes the sinks (clears the progress line, drains the trace
+    /// file) and prints the profile report. Call on every exit path,
+    /// including exit 3.
+    fn finish(&self) {
+        self.tele.flush();
+        if let Some(p) = &self.profile {
+            print!("{}", p.render());
+        }
+    }
+}
+
 /// Prints the structured partial-progress report of an exhausted budget
 /// and returns the dedicated exit code 3.
 fn report_exhausted(phase: Phase, reason: &TripReason, partial: &PartialProgress) -> ExitCode {
@@ -151,63 +261,13 @@ fn report_exhausted(phase: Phase, reason: &TripReason, partial: &PartialProgress
     ExitCode::from(3)
 }
 
-struct CheckOptions {
-    trace: bool,
-    stats: bool,
-    strategy: CycleStrategy,
-    budget: BudgetOptions,
-    file: String,
-}
-
-fn parse_check_options(args: &[String]) -> Result<CheckOptions, String> {
-    let mut trace = false;
-    let mut stats = false;
-    let mut strategy = CycleStrategy::Restart;
-    let mut budget = BudgetOptions::default();
-    let mut file = None;
-    let mut i = 0;
-    while i < args.len() {
-        if budget.try_parse(args, &mut i)? {
-            i += 1;
-            continue;
-        }
-        match args[i].as_str() {
-            "--trace" => trace = true,
-            "--stats" => stats = true,
-            "--strategy" => {
-                i += 1;
-                match args.get(i).map(String::as_str) {
-                    Some("restart") => strategy = CycleStrategy::Restart,
-                    Some("stayset") => strategy = CycleStrategy::StaySet,
-                    other => {
-                        return Err(format!(
-                            "--strategy expects 'restart' or 'stayset', got {other:?}"
-                        ))
-                    }
-                }
-            }
-            flag if flag.starts_with("--") => {
-                return Err(format!("unknown flag {flag:?}"));
-            }
-            path => {
-                if file.replace(path.to_string()).is_some() {
-                    return Err("expected exactly one input file".to_string());
-                }
-            }
-        }
-        i += 1;
-    }
-    let file = file.ok_or_else(|| "expected an input file".to_string())?;
-    Ok(CheckOptions { trace, stats, strategy, budget, file })
-}
-
 /// Renders the manager counters the way ablation A3 consumes them: one
 /// aggregate line, one line per operation with cache traffic, one GC line.
 fn print_stats(stats: &BddManagerStats) {
     println!("-- bdd manager stats --");
     println!(
-        "nodes           : {} live, {} created",
-        stats.live_nodes, stats.created_nodes
+        "nodes           : {} live, {} peak, {} created",
+        stats.live_nodes, stats.peak_nodes, stats.created_nodes
     );
     let pct = |hits: u64, lookups: u64| {
         if lookups == 0 {
@@ -253,15 +313,16 @@ enum LoadFailure {
 /// Loads and compiles a model with the budget (if any) installed before
 /// the compile-time totality check, so even load-time reachability runs
 /// governed — a tight deadline stops a huge model during loading instead
-/// of hanging before the budget ever applies.
-fn load_governed(path: &str, budget: Option<Budget>) -> Result<CompiledModel, LoadFailure> {
+/// of hanging before the budget ever applies. The telemetry handle is
+/// installed on the model's BDD manager for the lifetime of the run.
+fn load_governed(
+    path: &str,
+    budget: Option<Budget>,
+    tele: Telemetry,
+) -> Result<CompiledModel, LoadFailure> {
     let source = std::fs::read_to_string(path)
         .map_err(|e| LoadFailure::Other(format!("cannot read {path:?}: {e}").into()))?;
-    let result = match budget {
-        Some(b) => smc::smv::compile_budgeted(&source, b),
-        None => compile(&source),
-    };
-    result.map_err(|e| match e {
+    smc::smv::compile_with(&source, budget, tele).map_err(|e| match e {
         SmvError::Kripke(KripkeError::Bdd(BddError::ResourceExhausted(reason))) => {
             LoadFailure::Exhausted(Phase::Reachability, reason, PartialProgress::default())
         }
@@ -270,7 +331,7 @@ fn load_governed(path: &str, budget: Option<Budget>) -> Result<CompiledModel, Lo
 }
 
 fn load(path: &str) -> Result<CompiledModel, Box<dyn std::error::Error>> {
-    match load_governed(path, None) {
+    match load_governed(path, None, Telemetry::disabled()) {
         Ok(compiled) => Ok(compiled),
         Err(LoadFailure::Exhausted(phase, reason, partial)) => {
             Err(CheckError::ResourceExhausted { phase, reason, partial }.into())
@@ -280,26 +341,55 @@ fn load(path: &str) -> Result<CompiledModel, Box<dyn std::error::Error>> {
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let opts = parse_check_options(args)?;
-    let mut compiled = match load_governed(&opts.file, opts.budget.to_budget()) {
+    let mut trace = false;
+    let mut strategy = CycleStrategy::Restart;
+    let opts = parse_common(args, |args, i| {
+        match args[*i].as_str() {
+            "--trace" => trace = true,
+            "--strategy" => {
+                *i += 1;
+                match args.get(*i).map(String::as_str) {
+                    Some("restart") => strategy = CycleStrategy::Restart,
+                    Some("stayset") => strategy = CycleStrategy::StaySet,
+                    other => {
+                        return Err(format!(
+                            "--strategy expects 'restart' or 'stayset', got {other:?}"
+                        ))
+                    }
+                }
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    let [file] = &opts.positionals[..] else {
+        return Err("expected exactly one input file".into());
+    };
+    let session = TeleSession::new(&opts)?;
+    let mut compiled = match load_governed(file, opts.budget.to_budget(), session.tele.clone()) {
         Ok(compiled) => compiled,
         Err(LoadFailure::Exhausted(phase, reason, partial)) => {
+            session.finish();
             return Ok(report_exhausted(phase, &reason, &partial));
         }
         Err(LoadFailure::Other(e)) => return Err(e),
     };
     if compiled.specs.is_empty() {
-        println!("{}: no SPEC sections", opts.file);
+        session.finish();
+        println!("{file}: no SPEC sections");
         return Ok(ExitCode::SUCCESS);
     }
     let specs: Vec<_> = compiled.specs.iter().map(|s| s.formula.clone()).collect();
     // Run every check first (the checker borrows the model mutably),
-    // then render with the decode tables.
+    // then render with the decode tables. A budget trip stops the loop
+    // but still renders the specs decided so far (and, with --stats,
+    // the manager counters) before exiting 3.
     let mut results = Vec::with_capacity(specs.len());
+    let mut exhausted: Option<(Phase, TripReason, PartialProgress)> = None;
     {
-        let mut checker = Checker::new(&mut compiled.model).with_strategy(opts.strategy);
+        let mut checker = Checker::new(&mut compiled.model).with_strategy(strategy);
         for (i, spec) in specs.iter().enumerate() {
-            let outcome = if opts.trace {
+            let outcome = if trace {
                 checker
                     .check_with_trace(spec)
                     .map(|o| (o.verdict.holds(), o.trace))
@@ -310,7 +400,8 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 Ok(r) => results.push(r),
                 Err(CheckError::ResourceExhausted { phase, reason, partial }) => {
                     eprintln!("SPEC {i}: not decided");
-                    return Ok(report_exhausted(phase, &reason, &partial));
+                    exhausted = Some((phase, reason, partial));
+                    break;
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -344,31 +435,24 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if opts.stats {
         print_stats(&compiled.model.manager().stats());
     }
+    session.finish();
+    if let Some((phase, reason, partial)) = exhausted {
+        return Ok(report_exhausted(phase, &reason, &partial));
+    }
     Ok(if all_hold { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
 
 fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let mut budget = BudgetOptions::default();
-    let mut positional: Vec<&String> = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        if budget.try_parse(args, &mut i)? {
-            i += 1;
-            continue;
-        }
-        if args[i].starts_with("--") {
-            return Err(format!("unknown flag {:?}", args[i]).into());
-        }
-        positional.push(&args[i]);
-        i += 1;
-    }
-    let [file, formula] = positional[..] else {
-        return Err("usage: smc spec [BUDGET] FILE.smv FORMULA".into());
+    let opts = parse_common(args, |_, _| Ok(false))?;
+    let [file, formula] = &opts.positionals[..] else {
+        return Err("usage: smc spec [COMMON] FILE.smv FORMULA".into());
     };
-    let mut compiled = match load_governed(file, budget.to_budget()) {
+    let session = TeleSession::new(&opts)?;
+    let mut compiled = match load_governed(file, opts.budget.to_budget(), session.tele.clone()) {
         Ok(compiled) => compiled,
         Err(LoadFailure::Exhausted(phase, reason, partial)) => {
             eprintln!("{formula}: not decided");
+            session.finish();
             return Ok(report_exhausted(phase, &reason, &partial));
         }
         Err(LoadFailure::Other(e)) => return Err(e),
@@ -376,14 +460,22 @@ fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let spec = smc::logic::ctl::parse(formula)?;
     let mut checker = Checker::new(&mut compiled.model);
     let verdict = match checker.check(&spec) {
-        Ok(v) => v,
+        Ok(v) => Ok(v),
         Err(CheckError::ResourceExhausted { phase, reason, partial }) => {
             eprintln!("{spec}: not decided");
+            if opts.stats {
+                print_stats(&checker.model().manager().stats());
+            }
+            session.finish();
             return Ok(report_exhausted(phase, &reason, &partial));
         }
-        Err(e) => return Err(e.into()),
-    };
+        Err(e) => Err(e),
+    }?;
     println!("{spec}: {}", if verdict.holds() { "holds" } else { "FAILS" });
+    if opts.stats {
+        print_stats(&compiled.model.manager().stats());
+    }
+    session.finish();
     Ok(if verdict.holds() { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
 
@@ -403,34 +495,15 @@ fn cmd_dot(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn cmd_reach(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let mut budget = BudgetOptions::default();
-    let mut stats_flag = false;
-    let mut file = None;
-    let mut i = 0;
-    while i < args.len() {
-        if budget.try_parse(args, &mut i)? {
-            i += 1;
-            continue;
-        }
-        match args[i].as_str() {
-            "--stats" => stats_flag = true,
-            flag if flag.starts_with("--") => {
-                return Err(format!("unknown flag {flag:?}").into());
-            }
-            path => {
-                if file.replace(path.to_string()).is_some() {
-                    return Err("usage: smc reach [--stats] [BUDGET] FILE.smv".into());
-                }
-            }
-        }
-        i += 1;
-    }
-    let Some(file) = file else {
-        return Err("usage: smc reach [--stats] [BUDGET] FILE.smv".into());
+    let opts = parse_common(args, |_, _| Ok(false))?;
+    let [file] = &opts.positionals[..] else {
+        return Err("usage: smc reach [COMMON] FILE.smv".into());
     };
-    let mut compiled = match load_governed(&file, budget.to_budget()) {
+    let session = TeleSession::new(&opts)?;
+    let mut compiled = match load_governed(file, opts.budget.to_budget(), session.tele.clone()) {
         Ok(compiled) => compiled,
         Err(LoadFailure::Exhausted(phase, reason, partial)) => {
+            session.finish();
             return Ok(report_exhausted(phase, &reason, &partial));
         }
         Err(LoadFailure::Other(e)) => return Err(e),
@@ -443,9 +516,10 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         Ok(count) => println!("reachable states: {count}"),
         Err(e) => match CheckError::from(e) {
             CheckError::ResourceExhausted { phase, reason, partial } => {
-                if stats_flag {
+                if opts.stats {
                     print_stats(&compiled.model.manager().stats());
                 }
+                session.finish();
                 return Ok(report_exhausted(phase, &reason, &partial));
             }
             other => return Err(other.into()),
@@ -455,8 +529,23 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if let Some(s0) = compiled.model.pick_state(init) {
         println!("an initial state: {}", compiled.render_state(&s0));
     }
-    if stats_flag {
+    if opts.stats {
         print_stats(&compiled.model.manager().stats());
     }
+    session.finish();
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_profile(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let [action, file] = args else {
+        return Err("usage: smc profile report FILE.jsonl".into());
+    };
+    if action != "report" {
+        return Err(format!("unknown profile action {action:?} (expected 'report')").into());
+    }
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read {file:?}: {e}"))?;
+    let report = smc::obs::report_from_jsonl(&text).map_err(|e| format!("{file}: {e}"))?;
+    print!("{report}");
     Ok(ExitCode::SUCCESS)
 }

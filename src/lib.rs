@@ -17,6 +17,8 @@
 //! - [`automata`] — ω-automata and language-containment counterexamples
 //!   (Section 8),
 //! - [`smv`] — an SMV-like modeling frontend,
+//! - [`obs`] — structured telemetry: span tracing, event streams and
+//!   the profiling report,
 //! - [`circuits`] — speed-independent gate-level circuits, including the
 //!   Seitz arbiter of the paper's case study.
 //!
@@ -48,6 +50,7 @@
 //! ```
 
 pub use smc_automata as automata;
+pub use smc_obs as obs;
 pub use smc_bdd as bdd;
 pub use smc_checker as checker;
 pub use smc_circuits as circuits;

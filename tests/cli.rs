@@ -283,6 +283,121 @@ fn expired_timeout_exits_3_on_check_and_spec() {
 }
 
 #[test]
+fn profile_flag_writes_versioned_trace_and_prints_report() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let trace = std::env::temp_dir()
+        .join(format!("smc_cli_test_profile_{}.jsonl", std::process::id()));
+    let out = smc()
+        .arg("check")
+        .arg("--trace")
+        .arg("--profile")
+        .arg(&trace)
+        .arg(format!("{root}/models/arbiter2.smv"))
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The in-memory aggregator renders the per-phase table after the run.
+    assert!(stdout.contains("-- profile report (schema v1) --"), "{stdout}");
+    for span in ["compile", "reach", "check_eu", "fair_eg", "witness"] {
+        assert!(stdout.contains(span), "missing span {span:?} in report:\n{stdout}");
+    }
+    assert!(stdout.contains("witness search:"), "{stdout}");
+    // The trace file carries schema-versioned JSON lines with the full
+    // event stream: spans, per-iteration fixpoint events, witness hops.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(text.lines().count() > 20, "suspiciously short trace:\n{text}");
+    for line in text.lines() {
+        assert!(line.starts_with("{\"v\":1,"), "unversioned line: {line}");
+    }
+    for kind in ["span_start", "span_end", "fixpoint_iter", "witness_hop", "cycle_close"] {
+        assert!(
+            text.contains(&format!("\"kind\":\"{kind}\"")),
+            "missing {kind:?} events in trace"
+        );
+    }
+    assert!(text.contains("\"frontier_size\":"), "no frontier sizes in trace");
+
+    // The recorded trace round-trips through `smc profile report`.
+    let out = smc().arg("profile").arg("report").arg(&trace).output().expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("-- profile report (schema v1) --"), "{report}");
+    assert!(report.contains("compile"), "{report}");
+    std::fs::remove_file(trace).ok();
+}
+
+#[test]
+fn profile_report_rejects_garbage_input() {
+    let path = std::env::temp_dir()
+        .join(format!("smc_cli_test_garbage_{}.jsonl", std::process::id()));
+    std::fs::write(&path, "this is not json\n").expect("write");
+    let out = smc().arg("profile").arg("report").arg(&path).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn progress_flag_reports_phases_on_stderr() {
+    let path = write_temp("progress", TOGGLE);
+    let out = smc()
+        .arg("check")
+        .arg("--progress")
+        .arg(&path)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[reach]"), "{stderr}");
+    assert!(stderr.contains("frontier="), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+const SATURATING: &str = r#"
+MODULE main
+VAR n : 0..15;
+ASSIGN
+  init(n) := 15;
+  next(n) := case n = 15 : 15; TRUE : (n + 1) mod 16; esac;
+SPEC EF n = 15
+"#;
+
+#[test]
+fn stats_print_on_the_exit_3_path() {
+    // Reachability converges immediately (init sits on the fixed point)
+    // but the backward EU fixpoint needs 15 iterations, so the cap trips
+    // mid-check — after the model loaded. --stats must still print.
+    let path = write_temp("stats_exit3", SATURATING);
+    let out = smc()
+        .arg("check")
+        .arg("--max-iters")
+        .arg("6")
+        .arg("--stats")
+        .arg(&path)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("-- bdd manager stats --"), "{stdout}");
+    assert!(stdout.contains("peak"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("SPEC 0: not decided"), "{stderr}");
+    assert!(stderr.contains("resource budget exhausted"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn stats_report_per_op_hit_rates_and_peak() {
+    let path = write_temp("stats_fmt", TOGGLE);
+    let out = smc().arg("check").arg("--stats").arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("peak"), "{stdout}");
+    // Per-op lines carry a percentage.
+    assert!(stdout.contains("%)"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn malformed_budget_values_exit_2() {
     let path = write_temp("budget_bad", TOGGLE);
     for flags in [
