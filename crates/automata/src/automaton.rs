@@ -234,10 +234,7 @@ impl OmegaAutomaton {
         match &self.acceptance {
             Acceptance::Buchi(_) | Acceptance::Streett(_) => {
                 let pairs = self.streett_pairs()?;
-                Ok(vec![pairs
-                    .into_iter()
-                    .map(|(u, v)| (Some(v), Some(u)))
-                    .collect()])
+                Ok(vec![pairs.into_iter().map(|(u, v)| (Some(v), Some(u))).collect()])
             }
             Acceptance::Rabin(pairs) => Ok(pairs
                 .iter()
@@ -246,9 +243,9 @@ impl OmegaAutomaton {
                     vec![(Some(v.clone()), None), (None, Some(not_u))]
                 })
                 .collect()),
-            Acceptance::Muller(_) => Err(AutomatonError::UnsupportedAcceptance(
-                "Muller system-side acceptance",
-            )),
+            Acceptance::Muller(_) => {
+                Err(AutomatonError::UnsupportedAcceptance("Muller system-side acceptance"))
+            }
         }
     }
 
@@ -294,9 +291,9 @@ impl OmegaAutomaton {
                     })
                     .collect(),
             )),
-            Acceptance::Muller(_) => Err(AutomatonError::UnsupportedAcceptance(
-                "Muller specification-side negation",
-            )),
+            Acceptance::Muller(_) => {
+                Err(AutomatonError::UnsupportedAcceptance("Muller specification-side negation"))
+            }
         }
     }
 }

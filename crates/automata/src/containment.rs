@@ -55,12 +55,10 @@ pub fn product_model(
         return Err(AutomatonError::NotComplete("specification"));
     }
     let mut explicit = ExplicitModel::new();
-    let sys_aps: Vec<usize> = (0..k.num_states())
-        .map(|s| explicit.add_ap(&format!("sys_{s}")))
-        .collect();
-    let spec_aps: Vec<usize> = (0..kp.num_states())
-        .map(|s| explicit.add_ap(&format!("spec_{s}")))
-        .collect();
+    let sys_aps: Vec<usize> =
+        (0..k.num_states()).map(|s| explicit.add_ap(&format!("sys_{s}"))).collect();
+    let spec_aps: Vec<usize> =
+        (0..kp.num_states()).map(|s| explicit.add_ap(&format!("spec_{s}"))).collect();
     let mut index = std::collections::HashMap::new();
     let mut pairs: Vec<(usize, usize)> = Vec::new();
     let mut worklist = Vec::new();
@@ -187,9 +185,9 @@ pub fn check_containment(
         // Containment fails: extract the witness lasso and project it to
         // a word.
         let start_set = model.manager_mut().and(init, set);
-        let start = model.pick_state(start_set).ok_or_else(|| {
-            AutomatonError::Check(smc_checker::CheckError::NothingToExplain)
-        })?;
+        let start = model
+            .pick_state(start_set)
+            .ok_or(AutomatonError::Check(smc_checker::CheckError::NothingToExplain))?;
         let (trace, _, _) =
             witness_efairness(&mut model, conjuncts, &start, CycleStrategy::Restart)
                 .map_err(AutomatonError::Check)?;
@@ -221,9 +219,7 @@ fn union_of(
 /// Decodes a binary-encoded product state back to its index (the
 /// encoding used by `ExplicitModel::to_symbolic`).
 fn decode_index(s: &State) -> usize {
-    s.0.iter()
-        .enumerate()
-        .fold(0, |acc, (i, &b)| acc | usize::from(b) << i)
+    s.0.iter().enumerate().fold(0, |acc, (i, &b)| acc | usize::from(b) << i)
 }
 
 /// Recovers one common letter per run edge, producing the ultimately
@@ -239,9 +235,7 @@ fn word_of_run(
         let (s, sp) = pairs[from];
         let (t, tp) = pairs[to];
         (0..k.alphabet().len())
-            .find(|&a| {
-                k.successors(s, a).contains(&t) && kp.successors(sp, a).first() == Some(&tp)
-            })
+            .find(|&a| k.successors(s, a).contains(&t) && kp.successors(sp, a).first() == Some(&tp))
             .expect("product edges carry at least one common letter")
     };
     let mut letters = Vec::with_capacity(run.len());

@@ -190,8 +190,7 @@ impl RunGraph {
             .map(|n| self.reachable[n] && !u.contains(&self.state_of[n]))
             .collect();
         self.sccs(&alive).into_iter().any(|comp| {
-            self.is_nontrivial(&comp)
-                && comp.iter().any(|&n| v.contains(&self.state_of[n]))
+            self.is_nontrivial(&comp) && comp.iter().any(|&n| v.contains(&self.state_of[n]))
         })
     }
 

@@ -186,26 +186,17 @@ fn product_rejects_malformed_inputs() {
     let k = inf_a();
     let mut other_alphabet = OmegaAutomaton::new(1, 0, vec!["x".into()]);
     other_alphabet.add_transition(0, 0, 0);
-    assert_eq!(
-        product_model(&k, &other_alphabet).unwrap_err(),
-        AutomatonError::AlphabetMismatch
-    );
+    assert_eq!(product_model(&k, &other_alphabet).unwrap_err(), AutomatonError::AlphabetMismatch);
     let mut nd = OmegaAutomaton::new(2, 0, ab_alphabet());
     for s in 0..2 {
         nd.add_transition(s, A, 0);
         nd.add_transition(s, A, 1);
         nd.add_transition(s, B, 0);
     }
-    assert_eq!(
-        product_model(&k, &nd).unwrap_err(),
-        AutomatonError::SpecNotDeterministic
-    );
+    assert_eq!(product_model(&k, &nd).unwrap_err(), AutomatonError::SpecNotDeterministic);
     let mut incomplete = OmegaAutomaton::new(1, 0, ab_alphabet());
     incomplete.add_transition(0, A, 0);
-    assert_eq!(
-        product_model(&incomplete, &k).unwrap_err(),
-        AutomatonError::NotComplete("system")
-    );
+    assert_eq!(product_model(&incomplete, &k).unwrap_err(), AutomatonError::NotComplete("system"));
     assert_eq!(
         product_model(&k, &incomplete).unwrap_err(),
         AutomatonError::NotComplete("specification")
@@ -362,10 +353,7 @@ fn muller_spec_is_rejected() {
     let k = inf_a();
     let mut kp = inf_b();
     kp.set_acceptance(Acceptance::muller([vec![0, 1]]));
-    assert!(matches!(
-        check_containment(&k, &kp),
-        Err(AutomatonError::UnsupportedAcceptance(_))
-    ));
+    assert!(matches!(check_containment(&k, &kp), Err(AutomatonError::UnsupportedAcceptance(_))));
 }
 
 // ---------------------------------------------------------------------

@@ -22,14 +22,7 @@ impl BddManager {
         let live_before = if self.tele.enabled() { self.num_nodes() as u64 } else { 0 };
         // Destructure so the epoch-marked scratch, the node pool and the
         // unique tables can be borrowed independently.
-        let BddManager {
-            nodes,
-            free,
-            tables,
-            scratch,
-            protected,
-            ..
-        } = self;
+        let BddManager { nodes, free, tables, scratch, protected, .. } = self;
         let sc = scratch.get_mut();
         sc.begin(nodes.len());
         sc.mark(Bdd::FALSE.0);
@@ -70,6 +63,7 @@ impl BddManager {
                 live_after: self.num_nodes() as u64,
             });
         }
+        self.debug_validate("gc");
         reclaimed
     }
 }

@@ -109,9 +109,7 @@ impl BddManager {
         let mut vars = Vec::with_capacity(nvars);
         for _ in 0..nvars {
             let line = next_line()?;
-            let name = line
-                .strip_prefix("var ")
-                .ok_or_else(|| bad("bad var line"))?;
+            let name = line.strip_prefix("var ").ok_or_else(|| bad("bad var line"))?;
             vars.push(
                 manager
                     .new_var(name)
@@ -119,9 +117,7 @@ impl BddManager {
             );
         }
         let order_line = next_line()?;
-        let order_ids = order_line
-            .strip_prefix("order")
-            .ok_or_else(|| bad("bad order line"))?;
+        let order_ids = order_line.strip_prefix("order").ok_or_else(|| bad("bad order line"))?;
         let order: Vec<Var> = order_ids
             .split_whitespace()
             .map(|t| t.parse::<usize>().map(Var::from_index))
@@ -130,8 +126,7 @@ impl BddManager {
         manager
             .reorder(&order)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let nnodes: usize =
-            field(&next_line()?, "nodes").ok_or_else(|| bad("bad nodes line"))?;
+        let nnodes: usize = field(&next_line()?, "nodes").ok_or_else(|| bad("bad nodes line"))?;
         let mut by_id: HashMap<u64, Bdd> = HashMap::new();
         by_id.insert(0, Bdd::FALSE);
         by_id.insert(1, Bdd::TRUE);
@@ -151,14 +146,10 @@ impl BddManager {
             let node = manager.ite(v, hi, lo);
             by_id.insert(id, node);
         }
-        let nroots: usize =
-            field(&next_line()?, "roots").ok_or_else(|| bad("bad roots line"))?;
+        let nroots: usize = field(&next_line()?, "roots").ok_or_else(|| bad("bad roots line"))?;
         let mut roots = Vec::with_capacity(nroots);
         for _ in 0..nroots {
-            let id: u64 = next_line()?
-                .trim()
-                .parse()
-                .map_err(|_| bad("bad root id"))?;
+            let id: u64 = next_line()?.trim().parse().map_err(|_| bad("bad root id"))?;
             let b = *by_id.get(&id).ok_or_else(|| bad("unknown root id"))?;
             manager.protect(b);
             roots.push(b);

@@ -70,6 +70,7 @@ mod quant;
 mod reorder;
 mod sat;
 mod subst;
+mod validate;
 
 pub use error::BddError;
 #[cfg(any(test, feature = "fault-injection"))]

@@ -145,6 +145,11 @@ impl UniqueTable {
         self.slots.iter().filter(|s| s.2 != EMPTY).map(|s| s.2).collect()
     }
 
+    /// All `(lo, hi, id)` entries currently stored.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.slots.iter().copied().filter(|s| s.2 != EMPTY)
+    }
+
     /// Drops every entry whose id fails the predicate.
     pub(crate) fn retain_ids(&mut self, mut keep: impl FnMut(u32) -> bool) {
         let old: Vec<(u32, u32, u32)> =
@@ -202,9 +207,8 @@ pub const NUM_CACHE_OPS: usize = 9;
 
 /// Human-readable names for the per-operation stat rows, indexed like
 /// [`BddManagerStats::per_op`].
-pub const CACHE_OP_NAMES: [&str; NUM_CACHE_OPS] = [
-    "ite", "and", "or", "xor", "not", "exists", "forall", "and_exists", "constrain",
-];
+pub const CACHE_OP_NAMES: [&str; NUM_CACHE_OPS] =
+    ["ite", "and", "or", "xor", "not", "exists", "forall", "and_exists", "constrain"];
 
 pub(crate) type CacheKey = (CacheOp, u32, u32, u32);
 
@@ -241,12 +245,7 @@ impl ComputedCache {
     pub(crate) fn with_capacity(capacity: usize) -> ComputedCache {
         let ways = if capacity <= 1 { 1 } else { 2 };
         let sets = (capacity / ways).next_power_of_two().max(1);
-        ComputedCache {
-            entries: vec![EMPTY_ENTRY; sets * ways],
-            ways,
-            set_mask: sets - 1,
-            gen: 1,
-        }
+        ComputedCache { entries: vec![EMPTY_ENTRY; sets * ways], ways, set_mask: sets - 1, gen: 1 }
     }
 
     pub(crate) fn capacity(&self) -> usize {
@@ -638,8 +637,7 @@ impl BddManager {
                     // Node ids are u32; instead of dying, trip the
                     // governor (even an unbudgeted manager surfaces this
                     // as ResourceExhausted(TableFull) at the next poll).
-                    self.governor.tripped =
-                        Some(crate::governor::TripReason::TableFull);
+                    self.governor.tripped = Some(crate::governor::TripReason::TableFull);
                     self.governor.active = true;
                     return lo;
                 }

@@ -20,10 +20,7 @@ impl BddManager {
     ///
     /// Panics if `level + 1` is not a valid level.
     pub fn swap_levels(&mut self, level: usize) {
-        assert!(
-            level + 1 < self.num_vars(),
-            "swap_levels: level {level} out of range"
-        );
+        assert!(level + 1 < self.num_vars(), "swap_levels: level {level} out of range");
         // A half-applied swap would corrupt the manager, so the governor
         // is suspended for its duration: `mk` neither bails on a trip nor
         // logs allocations (rolling back an in-place-rewired node would
@@ -111,14 +108,14 @@ impl BddManager {
         }
         // Selection-sort with adjacent swaps: bubble each target variable
         // up to its final level.
-        for target_level in 0..n {
-            let var = order[target_level];
+        for (target_level, &var) in order.iter().enumerate() {
             let mut cur = self.level_of_var(var);
             while cur > target_level {
                 self.swap_levels(cur - 1);
                 cur -= 1;
             }
         }
+        self.debug_validate("reorder");
         Ok(())
     }
 
@@ -172,6 +169,7 @@ impl BddManager {
             }
         }
         self.gc(roots);
+        self.debug_validate("sift");
         self.num_nodes()
     }
 }

@@ -102,11 +102,7 @@ impl BddManager {
     /// Each item is a partial assignment; unlisted variables are
     /// don't-cares. The cubes are disjoint and their union is exactly `f`.
     pub fn cubes(&self, f: Bdd) -> CubeIter<'_> {
-        let stack = if f.is_false() {
-            Vec::new()
-        } else {
-            vec![(f, Vec::new())]
-        };
+        let stack = if f.is_false() { Vec::new() } else { vec![(f, Vec::new())] };
         CubeIter { manager: self, stack }
     }
 }

@@ -61,13 +61,7 @@ impl BddManager {
         self.compose_rec(f, level, g, &mut memo)
     }
 
-    fn compose_rec(
-        &mut self,
-        f: Bdd,
-        level: u32,
-        g: Bdd,
-        memo: &mut HashMap<Bdd, Bdd>,
-    ) -> Bdd {
+    fn compose_rec(&mut self, f: Bdd, level: u32, g: Bdd, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
         let lf = self.level(f);
         if lf > level {
             return f; // var cannot occur below this point

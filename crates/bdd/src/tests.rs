@@ -66,27 +66,25 @@ impl Expr {
 }
 
 fn arb_expr(nvars: usize) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..nvars).prop_map(Expr::Var),
-        any::<bool>().prop_map(Expr::Const),
-    ];
+    let leaf = prop_oneof![(0..nvars).prop_map(Expr::Var), any::<bool>().prop_map(Expr::Const),];
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
         ]
     })
 }
 
 fn manager_with_vars(n: usize) -> (BddManager, Vec<Var>) {
     let mut m = BddManager::new();
-    let vars = (0..n)
-        .map(|i| m.new_var(&format!("x{i}")).expect("fresh name"))
-        .collect();
+    let vars = (0..n).map(|i| m.new_var(&format!("x{i}")).expect("fresh name")).collect();
     (m, vars)
 }
 
@@ -120,10 +118,7 @@ fn var_and_nvar_are_complements() {
 fn duplicate_variable_names_are_rejected() {
     let mut m = BddManager::new();
     m.new_var("x").expect("first");
-    assert_eq!(
-        m.new_var("x"),
-        Err(BddError::DuplicateVarName("x".to_string()))
-    );
+    assert_eq!(m.new_var("x"), Err(BddError::DuplicateVarName("x".to_string())));
 }
 
 #[test]
@@ -375,10 +370,8 @@ fn cubes_partition_the_on_set() {
     let cubes: Vec<_> = m.cubes(f).collect();
     for env in assignments(3) {
         let expected = m.eval(f, &env);
-        let covered = cubes
-            .iter()
-            .filter(|cube| cube.iter().all(|(v, val)| env[v.index()] == *val))
-            .count();
+        let covered =
+            cubes.iter().filter(|cube| cube.iter().all(|(v, val)| env[v.index()] == *val)).count();
         // Disjoint cover: exactly one cube for members, none otherwise.
         assert_eq!(covered, usize::from(expected));
     }
@@ -485,9 +478,7 @@ fn reorder_rejects_non_permutations() {
     let (mut m, vars) = manager_with_vars(3);
     assert!(m.reorder(&[vars[0], vars[1]]).is_err());
     assert!(m.reorder(&[vars[0], vars[1], vars[1]]).is_err());
-    assert!(m
-        .reorder(&[vars[0], vars[1], Var::from_index(7)])
-        .is_err());
+    assert!(m.reorder(&[vars[0], vars[1], Var::from_index(7)]).is_err());
 }
 
 #[test]
@@ -510,10 +501,7 @@ fn sifting_shrinks_an_interleaving_sensitive_function() {
     m.protect(f);
     m.sift(&[f]);
     let after = m.size(f);
-    assert!(
-        after < before,
-        "sifting should shrink the comb function: {before} -> {after}"
-    );
+    assert!(after < before, "sifting should shrink the comb function: {before} -> {after}");
     // Optimal interleaved size is 2n nodes.
     assert!(after <= 2 * n + 2, "expected near-optimal size, got {after}");
     // Semantics preserved.
@@ -670,10 +658,7 @@ fn single_entry_cache_evicts_and_stays_correct() {
         acc = m.xor(acc, pair[0]);
     }
     let stats = m.stats();
-    assert!(
-        stats.cache_evictions > 0,
-        "a 1-entry cache under mixed operations must evict"
-    );
+    assert!(stats.cache_evictions > 0, "a 1-entry cache under mixed operations must evict");
     // Semantics survive maximal eviction: compare against a fresh
     // default-capacity manager.
     let (mut m2, vars2) = manager_with_vars(6);
@@ -1100,5 +1085,7 @@ fn seeded_fault_campaign_never_corrupts() {
             }
         }
         m.clear_faults();
+        m.validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: invariants broken after campaign: {e}"));
     }
 }

@@ -100,9 +100,7 @@ fn bench_bdd_ablation(c: &mut Criterion) {
         let trans = model.trans();
         let nvars = model.manager().num_vars();
         let m = model.manager();
-        group.bench_function("traversal/size", |b| {
-            b.iter(|| std::hint::black_box(m.size(trans)))
-        });
+        group.bench_function("traversal/size", |b| b.iter(|| std::hint::black_box(m.size(trans))));
         group.bench_function("traversal/sat_count", |b| {
             b.iter(|| std::hint::black_box(m.sat_count(trans, nvars)))
         });

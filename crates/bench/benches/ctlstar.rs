@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use smc_bench::{random_fair_graph, to_symbolic_with_fairness};
 use smc_bdd::Bdd;
+use smc_bench::{random_fair_graph, to_symbolic_with_fairness};
 use smc_checker::{check_efairness, witness_efairness, CycleStrategy, FairnessConjunct};
 
 fn conjuncts_for(model: &mut smc_kripke::SymbolicModel, k: usize) -> Vec<FairnessConjunct> {

@@ -13,9 +13,7 @@
 
 use std::time::Instant;
 
-use smc_bench::{
-    hamiltonian_instance, scc_chain, single_scc_ring, to_symbolic_with_fairness,
-};
+use smc_bench::{hamiltonian_instance, scc_chain, single_scc_ring, to_symbolic_with_fairness};
 use smc_checker::{Checker, CycleStrategy};
 use smc_circuits::arbiter::seitz_arbiter;
 use smc_circuits::families::{inverter_ring, muller_pipeline};
@@ -82,11 +80,7 @@ fn exp1_arbiter() -> Result<(), Box<dyn std::error::Error>> {
     let cx_time = cx_start.elapsed();
     row("counterexample length", "78", &format!("{}", cx.len()));
     row("cycle length", "30", &format!("{}", cx.cycle_len()));
-    row(
-        "total verification time",
-        "~minutes (1994)",
-        &format!("{:.1?}", t0.elapsed()),
-    );
+    row("total verification time", "~minutes (1994)", &format!("{:.1?}", t0.elapsed()));
     row("  of which: check", "-", &format!("{check_time:.1?}"));
     row("  of which: counterexample", "-", &format!("{cx_time:.1?}"));
     let replay = cx.is_path_of(checker.model());
@@ -198,7 +192,9 @@ fn exp5_ctlstar() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn exp6_containment() -> Result<(), Box<dyn std::error::Error>> {
-    use smc_automata::{accepts, check_containment, Acceptance, ContainmentOutcome, OmegaAutomaton};
+    use smc_automata::{
+        accepts, check_containment, Acceptance, ContainmentOutcome, OmegaAutomaton,
+    };
     header("EXP-6  Streett language containment (Section 8)");
     // "infinitely many a" vs "infinitely many b".
     let alphabet: Vec<String> = vec!["a".into(), "b".into()];
@@ -234,10 +230,7 @@ fn exp6_containment() -> Result<(), Box<dyn std::error::Error>> {
 
 fn exp7_check_vs_witness() -> Result<(), Box<dyn std::error::Error>> {
     header("EXP-7  Witness cost vs. check cost (Section 9 observation)");
-    println!(
-        "  {:<22} {:>10} {:>12} {:>12} {:>8}",
-        "model", "states", "check", "witness", "ratio"
-    );
+    println!("  {:<22} {:>10} {:>12} {:>12} {:>8}", "model", "states", "check", "witness", "ratio");
     for n in [4, 6, 8] {
         let net = muller_pipeline(n);
         let mut model = net.build(FairnessMode::PerGate)?;
@@ -260,16 +253,15 @@ fn exp7_check_vs_witness() -> Result<(), Box<dyn std::error::Error>> {
             ratio
         );
     }
-    println!("  (paper: \"finding a counterexample can sometimes take most of the execution time\")");
+    println!(
+        "  (paper: \"finding a counterexample can sometimes take most of the execution time\")"
+    );
     Ok(())
 }
 
 fn exp8_symbolic_vs_explicit() -> Result<(), Box<dyn std::error::Error>> {
     header("EXP-8  Symbolic vs. explicit state enumeration");
-    println!(
-        "  {:<14} {:>10} {:>14} {:>14}",
-        "circuit", "states", "symbolic", "explicit"
-    );
+    println!("  {:<14} {:>10} {:>14} {:>14}", "circuit", "states", "symbolic", "explicit");
     let spec = ctl::parse("AG (EF inv0)")?;
     for n in [5, 9, 13] {
         let net = inverter_ring(n);
@@ -280,13 +272,11 @@ fn exp8_symbolic_vs_explicit() -> Result<(), Box<dyn std::error::Error>> {
         let sym_holds = sym.check(&spec)?.holds();
         let sym_time = t0.elapsed();
         let t1 = Instant::now();
-        let explicit_result = model
-            .enumerate(200_000)
-            .map(|(graph, _)| {
-                let mut exp = ExplicitChecker::new(&graph);
-                exp.auto_fairness();
-                exp.check(&spec).expect("known atoms")
-            });
+        let explicit_result = model.enumerate(200_000).map(|(graph, _)| {
+            let mut exp = ExplicitChecker::new(&graph);
+            exp.auto_fairness();
+            exp.check(&spec).expect("known atoms")
+        });
         let exp_time = t1.elapsed();
         match explicit_result {
             Ok(exp_holds) => {

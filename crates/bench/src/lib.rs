@@ -63,9 +63,7 @@ pub fn hamiltonian_instance(n: usize) -> (ExplicitModel, Vec<Vec<bool>>) {
         g.add_edge(s, (s + 2) % n);
     }
     g.add_initial(0);
-    let masks = (0..n)
-        .map(|k| (0..n).map(|s| s == k).collect())
-        .collect();
+    let masks = (0..n).map(|k| (0..n).map(|s| s == k).collect()).collect();
     (g, masks)
 }
 
@@ -75,9 +73,7 @@ pub fn hamiltonian_instance(n: usize) -> (ExplicitModel, Vec<Vec<bool>>) {
 pub fn random_fair_graph(n: usize, seed: u64, edge_factor: usize) -> ExplicitModel {
     let mut state = seed | 1;
     let mut next = move |m: usize| {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         (state >> 33) as usize % m
     };
     let mut g = ExplicitModel::new();
@@ -143,13 +139,10 @@ mod tests {
         assert_eq!(cond.len(), 4);
         assert!(g.is_total());
         // Exactly one terminal component, holding the fairness label.
-        let terminals: Vec<usize> =
-            (0..cond.len()).filter(|&c| cond.is_terminal(c)).collect();
+        let terminals: Vec<usize> = (0..cond.len()).filter(|&c| cond.is_terminal(c)).collect();
         assert_eq!(terminals.len(), 1);
         let p = g.ap_id("p").unwrap();
-        assert!(cond.components[terminals[0]]
-            .iter()
-            .any(|&s| g.holds(s, p)));
+        assert!(cond.components[terminals[0]].iter().any(|&s| g.holds(s, p)));
     }
 
     #[test]

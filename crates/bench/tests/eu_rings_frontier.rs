@@ -105,11 +105,7 @@ fn eu_rings_bit_identical_to_full_preimage_iteration() {
         for (f, g) in [(Bdd::TRUE, p), (np, p), (p, np)] {
             let expected = eu_rings_reference(&mut model, f, g);
             let actual = eu_rings(&mut model, f, g).unwrap();
-            assert_eq!(
-                expected.len(),
-                actual.len(),
-                "{name}: ring count diverged"
-            );
+            assert_eq!(expected.len(), actual.len(), "{name}: ring count diverged");
             for (i, (e, a)) in expected.iter().zip(&actual).enumerate() {
                 assert_eq!(e, a, "{name}: ring {i} not bit-identical");
             }

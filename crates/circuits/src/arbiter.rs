@@ -120,28 +120,19 @@ pub fn arbiter(n: usize) -> Arbiter {
             .expect("declared above");
         // ME element: grant i iff requested and no other grant is up.
         let others = Comb::or(
-            users
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != i)
-                .map(|(_, o)| Comb::node(o.meo)),
+            users.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, o)| Comb::node(o.meo)),
         );
-        net.make_gate(
-            u.meo,
-            Comb::and([Comb::node(u.mei), Comb::not(others)]),
-        )
-        .expect("declared above");
+        net.make_gate(u.meo, Comb::and([Comb::node(u.mei), Comb::not(others)]))
+            .expect("declared above");
         // Trial request and acknowledge.
         net.make_gate(u.tr, Comb::and([Comb::node(u.ur), Comb::node(u.meo)]))
             .expect("declared above");
         net.make_gate(u.ta, Comb::node(u.tr)).expect("declared above");
         // User acknowledge.
-        net.make_gate(u.ua, Comb::and([Comb::node(u.ta), Comb::node(sa)]))
-            .expect("declared above");
+        net.make_gate(u.ua, Comb::and([Comb::node(u.ta), Comb::node(sa)])).expect("declared above");
     }
     // Service handshake.
-    net.make_gate(sr, Comb::or(users.iter().map(|u| Comb::node(u.ta))))
-        .expect("declared above");
+    net.make_gate(sr, Comb::or(users.iter().map(|u| Comb::node(u.ta)))).expect("declared above");
     net.make_gate(sa, Comb::node(sr)).expect("declared above");
 
     Arbiter { netlist: net, users, sr, sa }

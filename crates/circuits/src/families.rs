@@ -14,13 +14,11 @@ use crate::netlist::{Comb, FairnessMode, Netlist, NetlistError};
 pub fn inverter_ring(n: usize) -> Netlist {
     assert!(n >= 2, "a ring needs at least two inverters");
     let mut net = Netlist::new();
-    let nodes: Vec<_> = (0..n)
-        .map(|i| net.declare(&format!("inv{i}"), false).expect("fresh names"))
-        .collect();
+    let nodes: Vec<_> =
+        (0..n).map(|i| net.declare(&format!("inv{i}"), false).expect("fresh names")).collect();
     for i in 0..n {
         let prev = nodes[(i + n - 1) % n];
-        net.make_gate(nodes[i], Comb::not(Comb::node(prev)))
-            .expect("declared above");
+        net.make_gate(nodes[i], Comb::not(Comb::node(prev))).expect("declared above");
     }
     net
 }
@@ -37,24 +35,17 @@ pub fn muller_pipeline(n: usize) -> Netlist {
     assert!(n >= 1, "a pipeline needs at least one stage");
     let mut net = Netlist::new();
     let input = net.declare("in", false).expect("fresh names");
-    let stages: Vec<_> = (0..n)
-        .map(|i| net.declare(&format!("c{i}"), false).expect("fresh names"))
-        .collect();
+    let stages: Vec<_> =
+        (0..n).map(|i| net.declare(&format!("c{i}"), false).expect("fresh names")).collect();
     net.make_input(input, Comb::Const(true)).expect("declared above");
     for i in 0..n {
         let left = if i == 0 { input } else { stages[i - 1] };
         // C(left, ¬right); the last stage sees constant-high "space".
-        let right = if i + 1 < n {
-            Comb::not(Comb::node(stages[i + 1]))
-        } else {
-            Comb::Const(true)
-        };
+        let right =
+            if i + 1 < n { Comb::not(Comb::node(stages[i + 1])) } else { Comb::Const(true) };
         let c = Comb::or([
             Comb::and([Comb::node(left), right.clone()]),
-            Comb::and([
-                Comb::node(stages[i]),
-                Comb::or([Comb::node(left), right]),
-            ]),
+            Comb::and([Comb::node(stages[i]), Comb::or([Comb::node(left), right])]),
         ]);
         net.make_gate(stages[i], c).expect("declared above");
     }
@@ -75,9 +66,8 @@ pub fn c_element_ring(n: usize) -> Netlist {
     assert!(n >= 3, "a C-element ring needs at least three stages");
     let mut net = Netlist::new();
     let expect = "fresh names by construction";
-    let stages: Vec<_> = (0..n)
-        .map(|i| net.declare(&format!("c{i}"), i == 0).expect(expect))
-        .collect();
+    let stages: Vec<_> =
+        (0..n).map(|i| net.declare(&format!("c{i}"), i == 0).expect(expect)).collect();
     for i in 0..n {
         let prev = stages[(i + n - 1) % n];
         let next = stages[(i + 1) % n];

@@ -42,6 +42,7 @@ impl Comb {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)] // associated constructor, not a `!` operator on self
     pub fn not(c: Comb) -> Comb {
         Comb::Not(Box::new(c))
     }
@@ -265,23 +266,16 @@ impl Netlist {
             // Gate i toggles exactly when selected *and* fireable; in
             // every other case it holds (so a sel pointing at a stable
             // gate is a global stutter, keeping the relation total).
-            clauses.push(format!(
-                "  ((sel = {i} & {fire_condition}) -> (next({name}) <-> !{name}))"
-            ));
-            clauses.push(format!(
-                "  (!(sel = {i} & {fire_condition}) -> (next({name}) <-> {name}))"
-            ));
+            clauses
+                .push(format!("  ((sel = {i} & {fire_condition}) -> (next({name}) <-> !{name}))"));
+            clauses
+                .push(format!("  (!(sel = {i} & {fire_condition}) -> (next({name}) <-> {name}))"));
         }
         out.push_str(&clauses.join(" &\n"));
         out.push('\n');
         for node in &self.nodes {
             if let NodeDef::Gate(target) = &node.def {
-                let _ = writeln!(
-                    out,
-                    "FAIRNESS {} <-> ({})",
-                    node.name,
-                    self.comb_to_smv(target)
-                );
+                let _ = writeln!(out, "FAIRNESS {} <-> ({})", node.name, self.comb_to_smv(target));
             }
         }
         out
@@ -311,11 +305,9 @@ impl Netlist {
                     parts.join(" | ")
                 }
             }
-            Comb::Xor(a, b) => format!(
-                "!(({}) <-> ({}))",
-                self.comb_to_smv(a),
-                self.comb_to_smv(b)
-            ),
+            Comb::Xor(a, b) => {
+                format!("!(({}) <-> ({}))", self.comb_to_smv(a), self.comb_to_smv(b))
+            }
         }
     }
 
@@ -358,9 +350,8 @@ impl Netlist {
         let nxt_lits: Vec<Bdd> = nxt.iter().map(|&v| manager.var(v)).collect();
 
         // Per-node "everything else holds" frames, built once.
-        let hold: Vec<Bdd> = (0..self.nodes.len())
-            .map(|i| manager.iff(cur_lits[i], nxt_lits[i]))
-            .collect();
+        let hold: Vec<Bdd> =
+            (0..self.nodes.len()).map(|i| manager.iff(cur_lits[i], nxt_lits[i])).collect();
         let mut hold_all = Bdd::TRUE;
         for &h in &hold {
             hold_all = manager.and(hold_all, h);

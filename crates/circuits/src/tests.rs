@@ -17,15 +17,9 @@ fn netlist_validation() {
     let a = n.declare("a", false).unwrap();
     assert!(matches!(n.declare("a", true), Err(NetlistError::DuplicateName(_))));
     // Undefined node fails at build.
-    assert!(matches!(
-        n.build(FairnessMode::PerGate),
-        Err(NetlistError::Undefined(_))
-    ));
+    assert!(matches!(n.build(FairnessMode::PerGate), Err(NetlistError::Undefined(_))));
     n.make_gate(a, Comb::Const(false)).unwrap();
-    assert!(matches!(
-        n.make_gate(a, Comb::Const(true)),
-        Err(NetlistError::AlreadyDefined(_))
-    ));
+    assert!(matches!(n.make_gate(a, Comb::Const(true)), Err(NetlistError::AlreadyDefined(_))));
     assert_eq!(n.len(), 1);
     assert_eq!(n.name(a), "a");
     let mut model = n.build(FairnessMode::PerGate).expect("builds");
@@ -80,10 +74,7 @@ fn even_ring_can_settle() {
     let mut c = Checker::new(&mut model);
     // From the unstable 00 start the latch resolves to 01 or 10 and can
     // stay: EF EG (inv0 <-> !inv1).
-    assert!(c
-        .check(&ctl::parse("EF (EG (inv0 <-> !inv1))").unwrap())
-        .unwrap()
-        .holds());
+    assert!(c.check(&ctl::parse("EF (EG (inv0 <-> !inv1))").unwrap()).unwrap().holds());
 }
 
 #[test]
@@ -96,10 +87,7 @@ fn c_element_ring_circulates_forever() {
         assert_eq!(model.reachable_count().unwrap(), (n * (n - 1)) as f64, "n={n}");
         let mut c = Checker::new(&mut model);
         // Under fairness every stage toggles infinitely often...
-        assert!(c
-            .check(&ctl::parse("AG (AF c0 & AF !c0)").unwrap())
-            .unwrap()
-            .holds());
+        assert!(c.check(&ctl::parse("AG (AF c0 & AF !c0)").unwrap()).unwrap().holds());
         // ...so no stage can freeze.
         assert!(!c.check(&ctl::parse("EG c0").unwrap()).unwrap().holds());
         // The oscillation witness is a fair lasso on which c0 both rises
@@ -138,12 +126,7 @@ fn smv_export_matches_native_semantics() {
     let mut exported = smc_smv::compile(&source).expect("exported SMV compiles");
     // The exported model carries the scheduler variable, so raw state
     // counts differ; projected properties must agree.
-    for spec in [
-        "AG (AF inv0 & AF !inv0)",
-        "EF (inv0 & inv1)",
-        "EG inv0",
-        "AG (EF !inv2)",
-    ] {
+    for spec in ["AG (AF inv0 & AF !inv0)", "EF (inv0 & inv1)", "EG inv0", "AG (EF !inv2)"] {
         let f = ctl::parse(spec).unwrap();
         let native_holds = Checker::new(&mut native).check(&f).unwrap().holds();
         let exported_holds = Checker::new(&mut exported.model).check(&f).unwrap().holds();
@@ -213,10 +196,7 @@ fn arbiter_liveness_fails_with_lasso_counterexample() {
     // ...while honouring every gate's fairness constraint.
     for k in 0..model.fairness().len() {
         let constraint = model.fairness()[k];
-        assert!(
-            cx.cycle_visits(&model, constraint),
-            "cycle must visit fairness constraint {k}"
-        );
+        assert!(cx.cycle_visits(&model, constraint), "cycle must visit fairness constraint {k}");
     }
 }
 

@@ -10,9 +10,7 @@ use smc_logic::Ctl;
 
 use crate::error::CheckError;
 use crate::fair::{fair_eg, fair_states};
-use crate::fairness_class::{
-    check_efairness, witness_efairness, FairnessConjunct, ResolvedSide,
-};
+use crate::fairness_class::{check_efairness, witness_efairness, FairnessConjunct, ResolvedSide};
 use crate::fixpoint::{check_eu, check_ex};
 use crate::govern::{self, Progress};
 use crate::obs;
@@ -236,10 +234,7 @@ impl<'m> Checker<'m> {
             // `start_set` a dummy and the budget error must beat
             // NothingToExplain.
             govern::poll(c.model, Phase::Check, Progress::default())?;
-            let start = c
-                .model
-                .pick_state(start_set)
-                .ok_or(CheckError::NothingToExplain)?;
+            let start = c.model.pick_state(start_set).ok_or(CheckError::NothingToExplain)?;
             let span = obs::span_start(c.model, SpanKind::Witness, None);
             let result = c.explain(&start, &enf).and_then(|t| c.extend_to_fair_lasso(t));
             obs::span_end(c.model, span);
@@ -263,10 +258,7 @@ impl<'m> Checker<'m> {
             let init = c.model.init();
             let start_set = c.model.manager_mut().and(init, states);
             govern::poll(c.model, Phase::Check, Progress::default())?;
-            let start = c
-                .model
-                .pick_state(start_set)
-                .ok_or(CheckError::NothingToExplain)?;
+            let start = c.model.pick_state(start_set).ok_or(CheckError::NothingToExplain)?;
             let span = obs::span_start(c.model, SpanKind::Witness, Some("counterexample"));
             let result = c.explain(&start, &negated).and_then(|t| c.extend_to_fair_lasso(t));
             obs::span_end(c.model, span);
@@ -313,10 +305,7 @@ impl<'m> Checker<'m> {
             let init = c.model.init();
             let start_set = c.model.manager_mut().and(init, set);
             govern::poll(c.model, Phase::Check, Progress::default())?;
-            let start = c
-                .model
-                .pick_state(start_set)
-                .ok_or(CheckError::NothingToExplain)?;
+            let start = c.model.pick_state(start_set).ok_or(CheckError::NothingToExplain)?;
             let span = obs::span_start(c.model, SpanKind::Witness, Some("ctlstar"));
             let result = witness_efairness(c.model, &conjuncts, &start, c.strategy);
             obs::span_end(c.model, span);
@@ -358,11 +347,7 @@ impl<'m> Checker<'m> {
             if let Some(f) = c.fair {
                 return Ok(f);
             }
-            let f = if c.model.fairness().is_empty() {
-                Bdd::TRUE
-            } else {
-                fair_states(c.model)?
-            };
+            let f = if c.model.fairness().is_empty() { Bdd::TRUE } else { fair_states(c.model)? };
             // Commit and pin before memoizing (see `check_enf`); the pin
             // is released when the outermost public call exits.
             govern::poll(c.model, Phase::Check, Progress::default())?;
@@ -492,9 +477,7 @@ impl<'m> Checker<'m> {
                 let path = witness_eu(self.model, sf, target, state)?;
                 let last = path
                     .last()
-                    .ok_or_else(|| {
-                        CheckError::WitnessConstruction("empty EU witness path".into())
-                    })?
+                    .ok_or_else(|| CheckError::WitnessConstruction("empty EU witness path".into()))?
                     .clone();
                 let tail = self.explain(&last, g)?;
                 Ok(splice(path, tail))

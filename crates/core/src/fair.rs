@@ -6,7 +6,7 @@ use smc_bdd::Bdd;
 use smc_kripke::SymbolicModel;
 
 use crate::error::CheckError;
-use crate::fixpoint::{check_eg, check_ex, check_eu, eu_rings};
+use crate::fixpoint::{check_eg, check_eu, check_ex, eu_rings};
 use crate::govern::{self, Progress};
 use crate::obs::{self, FixObserver};
 use crate::Phase;
@@ -24,11 +24,7 @@ use smc_obs::{FixKind, SpanKind};
 /// # Errors
 ///
 /// [`CheckError::ResourceExhausted`] if the manager's budget trips.
-pub fn fair_eg(
-    model: &mut SymbolicModel,
-    f: Bdd,
-    constraints: &[Bdd],
-) -> Result<Bdd, CheckError> {
+pub fn fair_eg(model: &mut SymbolicModel, f: Bdd, constraints: &[Bdd]) -> Result<Bdd, CheckError> {
     Ok(fair_eg_with_rings(model, f, constraints)?.0)
 }
 

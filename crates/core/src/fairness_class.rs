@@ -219,9 +219,7 @@ pub fn witness_efairness(
         let prefix = witness_eu(model, Bdd::TRUE, egf, start)?;
         let entry = prefix
             .last()
-            .ok_or_else(|| {
-                CheckError::WitnessConstruction("empty EU witness prefix".into())
-            })?
+            .ok_or_else(|| CheckError::WitnessConstruction("empty EU witness prefix".into()))?
             .clone();
         let (lasso, stats) = witness_eg_fair(model, qs, &ps, &entry, strategy)?;
         Ok((splice(prefix, lasso), stats))

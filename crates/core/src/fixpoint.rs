@@ -107,11 +107,7 @@ fn eu_rings_inner(model: &mut SymbolicModel, f: Bdd, g: Bdd) -> Result<Vec<Bdd>,
         let step = model.manager_mut().and(f, ex);
         let add = model.manager_mut().diff(step, z);
         iters += 1;
-        let progress = Progress {
-            iterations: iters,
-            rings: rings.len() as u64,
-            approx: Some(z),
-        };
+        let progress = Progress { iterations: iters, rings: rings.len() as u64, approx: Some(z) };
         let done = add.is_false();
         let next = if done { z } else { model.manager_mut().or(z, add) };
         // Every recorded ring must survive a ladder GC, so the whole

@@ -28,12 +28,7 @@ impl Progress {
     }
 }
 
-fn exhausted(
-    model: &SymbolicModel,
-    phase: Phase,
-    progress: Progress,
-    e: BddError,
-) -> CheckError {
+fn exhausted(model: &SymbolicModel, phase: Phase, progress: Progress, e: BddError) -> CheckError {
     let BddError::ResourceExhausted(reason) = e else {
         // check_budget/checkpoint only ever report exhaustion; route
         // anything else through the model-error path unchanged.
@@ -82,10 +77,7 @@ pub(crate) fn poll(
     phase: Phase,
     progress: Progress,
 ) -> Result<(), CheckError> {
-    model
-        .manager_mut()
-        .check_budget()
-        .map_err(|e| exhausted(model, phase, progress, e))
+    model.manager_mut().check_budget().map_err(|e| exhausted(model, phase, progress, e))
 }
 
 /// Protects every handle in `bdds` (counted; pair with

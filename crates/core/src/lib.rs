@@ -64,8 +64,8 @@ pub mod witness;
 
 pub use checker::{CheckOutcome, Checker, Verdict};
 pub use error::{CheckError, PartialProgress, Phase};
-pub use smc_bdd::{Budget, CancelToken, TripReason};
 pub use fairness_class::{check_efairness, witness_efairness, FairnessConjunct, ResolvedSide};
+pub use smc_bdd::{Budget, CancelToken, TripReason};
 pub use witness::{CycleStrategy, Trace, WitnessStats};
 
 #[cfg(test)]

@@ -61,7 +61,13 @@ impl FixObserver {
 
     /// Records one completed iteration: sizes `frontier` and `approx`
     /// and emits [`smc_obs::Event::FixpointIter`]. Free when disabled.
-    pub(crate) fn iter(&mut self, model: &SymbolicModel, iteration: u64, frontier: Bdd, approx: Bdd) {
+    pub(crate) fn iter(
+        &mut self,
+        model: &SymbolicModel,
+        iteration: u64,
+        frontier: Bdd,
+        approx: Bdd,
+    ) {
         if let Some(tr) = self.tracker.as_mut() {
             let m = model.manager();
             let event = tr.event(

@@ -58,9 +58,7 @@ fn three_scc_model() -> SymbolicModel {
 
 /// Decodes a graph-model state back to its index.
 fn index_of(s: &State) -> usize {
-    s.0.iter()
-        .enumerate()
-        .fold(0, |acc, (i, &b)| acc | usize::from(b) << i)
+    s.0.iter().enumerate().fold(0, |acc, (i, &b)| acc | usize::from(b) << i)
 }
 
 // ---------------------------------------------------------------------
@@ -280,9 +278,7 @@ fn au_counterexample_via_bad_prefix() {
     let cx = c.counterexample(&spec).unwrap();
     assert!(cx.is_path_of(&mut m));
     // The trace must reach the ¬p∧¬q state without passing q first.
-    let bad = cx.states.iter().position(|s| {
-        !m.eval_state(p_set, s) && !m.eval_state(q_set, s)
-    });
+    let bad = cx.states.iter().position(|s| !m.eval_state(p_set, s) && !m.eval_state(q_set, s));
     let first_q = cx.states.iter().position(|s| m.eval_state(q_set, s));
     let bad = bad.expect("the violation state is on the trace");
     assert!(first_q.is_none_or(|fq| bad < fq), "violation before any q");
@@ -292,9 +288,7 @@ fn au_counterexample_via_bad_prefix() {
 fn counterexample_for_holding_formula_is_refused() {
     let mut m = toggle();
     let mut c = Checker::new(&mut m);
-    let err = c
-        .counterexample(&ctl::parse("AG (AF x)").unwrap())
-        .unwrap_err();
+    let err = c.counterexample(&ctl::parse("AG (AF x)").unwrap()).unwrap_err();
     assert_eq!(err, CheckError::NothingToExplain);
 }
 
@@ -452,10 +446,7 @@ fn ctlstar_outside_class_is_reported() {
     let mut m = toggle();
     let mut c = Checker::new(&mut m);
     let f = ctlstar::parse("E (x U !x)").unwrap();
-    assert!(matches!(
-        c.check_ctlstar(&f),
-        Err(CheckError::OutsideFairnessClass(_))
-    ));
+    assert!(matches!(c.check_ctlstar(&f), Err(CheckError::OutsideFairnessClass(_))));
 }
 
 #[test]
@@ -463,10 +454,7 @@ fn ctlstar_unsatisfiable_witness_is_refused() {
     let mut m = toggle();
     let mut c = Checker::new(&mut m);
     let f = ctlstar::parse("E (F G x)").unwrap();
-    assert!(matches!(
-        c.witness_ctlstar(&f),
-        Err(CheckError::NothingToExplain)
-    ));
+    assert!(matches!(c.witness_ctlstar(&f), Err(CheckError::NothingToExplain)));
 }
 
 // ---------------------------------------------------------------------
@@ -508,14 +496,7 @@ fn checker_gc_reclaims_and_recomputes() {
 
 #[test]
 fn trace_metrics() {
-    let t = Trace::lasso(
-        vec![
-            State(vec![false]),
-            State(vec![true]),
-            State(vec![false]),
-        ],
-        1,
-    );
+    let t = Trace::lasso(vec![State(vec![false]), State(vec![true]), State(vec![false])], 1);
     assert_eq!(t.len(), 3);
     assert_eq!(t.prefix_len(), 1);
     assert_eq!(t.cycle_len(), 2);

@@ -72,11 +72,8 @@ pub fn witness_eg_fair(
 ) -> Result<(Trace, WitnessStats), CheckError> {
     // An empty H behaves like the single vacuous constraint `true`: the
     // witness still needs a cycle, just not any particular visit.
-    let constraints: Vec<Bdd> = if constraints.is_empty() {
-        vec![Bdd::TRUE]
-    } else {
-        constraints.to_vec()
-    };
+    let constraints: Vec<Bdd> =
+        if constraints.is_empty() { vec![Bdd::TRUE] } else { constraints.to_vec() };
     let (egf, rings) = fair_eg_with_rings(model, f, &constraints)?;
     if !model.eval_state(egf, start) {
         return Err(CheckError::NothingToExplain);
@@ -173,9 +170,8 @@ fn attempt_cycle(
     // governed EU fixpoint — it rides in a shield for the rest of the
     // attempt, released here on every exit path.
     let mut shield: Vec<Bdd> = Vec::new();
-    let result = attempt_cycle_inner(
-        model, f, egf, constraints, rings, s, strategy, stats, &mut shield,
-    );
+    let result =
+        attempt_cycle_inner(model, f, egf, constraints, rings, s, strategy, stats, &mut shield);
     govern::unprotect_all(model, &shield);
     result
 }
@@ -264,18 +260,17 @@ fn attempt_cycle_inner(
         pending.retain(|&x| x != k);
     }
 
-    let (anchor_index, anchor_state) = anchor.ok_or_else(|| {
-        CheckError::WitnessConstruction("cycle attempt chose no anchor".into())
-    })?;
+    let (anchor_index, anchor_state) = anchor
+        .ok_or_else(|| CheckError::WitnessConstruction("cycle attempt chose no anchor".into()))?;
 
     // Close the cycle: a nontrivial f-path current -> anchor.
     let anchor_bdd = model.state_bdd(&anchor_state);
     let close_rings = eu_rings(model, f, anchor_bdd)?;
     let succ = model.successors(&current);
     govern::poll(model, Phase::WitnessEg, progress(&attempt))?;
-    let reach_anchor = *close_rings.last().ok_or_else(|| {
-        CheckError::WitnessConstruction("closing EU produced no rings".into())
-    })?;
+    let reach_anchor = *close_rings
+        .last()
+        .ok_or_else(|| CheckError::WitnessConstruction("closing EU produced no rings".into()))?;
     let first_step = model.manager_mut().and(succ, reach_anchor);
     if first_step.is_false() {
         obs::emit(model, Event::CycleClose { closed: false, arc_len: 0 });
@@ -325,11 +320,7 @@ fn nearest_constraint(
         return Ok(None);
     }
     let succ = model.successors(current);
-    let max_rings = pending
-        .iter()
-        .map(|&k| rings[k].len())
-        .max()
-        .unwrap_or(0);
+    let max_rings = pending.iter().map(|&k| rings[k].len()).max().unwrap_or(0);
     for i in 0..max_rings {
         for &k in pending {
             if i >= rings[k].len() {

@@ -22,11 +22,7 @@ pub(crate) fn splice(head: Vec<State>, tail: Trace) -> Trace {
     if head.is_empty() {
         return tail;
     }
-    debug_assert_eq!(
-        head.last(),
-        tail.states.first(),
-        "splice endpoints must coincide"
-    );
+    debug_assert_eq!(head.last(), tail.states.first(), "splice endpoints must coincide");
     let head_len = head.len() - 1;
     let mut states = head;
     states.pop();

@@ -48,15 +48,10 @@ pub fn witness_eu(
         govern::poll(
             model,
             Phase::WitnessEu,
-            Progress {
-                iterations: path.len() as u64,
-                rings: rings.len() as u64,
-                approx: None,
-            },
+            Progress { iterations: path.len() as u64, rings: rings.len() as u64, approx: None },
         )?;
-        let (jj, next) = step.ok_or_else(|| {
-            CheckError::WitnessConstruction("EU ring descent stuck".into())
-        })?;
+        let (jj, next) =
+            step.ok_or_else(|| CheckError::WitnessConstruction("EU ring descent stuck".into()))?;
         path.push(next.clone());
         current = next;
         j = jj;
@@ -69,11 +64,7 @@ pub fn witness_eu(
 /// # Errors
 ///
 /// [`CheckError::NothingToExplain`] if no successor satisfies `f`.
-pub fn witness_ex(
-    model: &mut SymbolicModel,
-    f: Bdd,
-    start: &State,
-) -> Result<State, CheckError> {
+pub fn witness_ex(model: &mut SymbolicModel, f: Bdd, start: &State) -> Result<State, CheckError> {
     let succ = model.successors(start);
     let cand = model.manager_mut().and(succ, f);
     govern::poll(model, Phase::WitnessEu, Progress::default())?;

@@ -170,11 +170,8 @@ impl Trace {
             }
             prev = Some(s);
         }
-        if self.loopback.is_some() {
-            out.push_str(&format!(
-                "-- loop back to state {} --\n",
-                self.loopback.expect("lasso")
-            ));
+        if let Some(lb) = self.loopback {
+            out.push_str(&format!("-- loop back to state {lb} --\n"));
         }
         out
     }
@@ -189,11 +186,8 @@ impl Trace {
             }
             out.push_str(&format!("state {i}: {}\n", model.render_state(s)));
         }
-        if self.loopback.is_some() {
-            out.push_str(&format!(
-                "-- loop back to state {} --\n",
-                self.loopback.expect("lasso")
-            ));
+        if let Some(lb) = self.loopback {
+            out.push_str(&format!("-- loop back to state {lb} --\n"));
         }
         out
     }

@@ -64,36 +64,34 @@ fn assert_fault_recovery<T>(
             // The fault point lay beyond the run's allocations.
             Ok(v) => assert_eq!(v, want, "{label}: unfaulted run at {at} diverged"),
             Err(CheckError::ResourceExhausted { reason, .. }) => {
-                let expect =
-                    if table_full { TripReason::TableFull } else { TripReason::Cancelled };
+                let expect = if table_full { TripReason::TableFull } else { TripReason::Cancelled };
                 assert_eq!(reason, expect, "{label}: wrong trip at {at}");
                 // Triggers are one-shot: the retry runs to completion on
                 // the very same model and checker.
-                let got = run(&mut c).unwrap_or_else(|e| {
-                    panic!("{label}: retry after fault at {at} failed: {e}")
-                });
+                let got = run(&mut c)
+                    .unwrap_or_else(|e| panic!("{label}: retry after fault at {at} failed: {e}"));
                 assert_eq!(got, want, "{label}: retry after fault at {at} diverged");
             }
             Err(other) => panic!("{label}: unexpected error at {at}: {other}"),
         }
         c.model().manager_mut().clear_faults();
+        c.model().manager_mut().validate().unwrap_or_else(|e| {
+            panic!("{label}: manager invariants broken after fault at {at}: {e}")
+        });
     }
 }
 
 #[test]
 fn check_recovers_from_faults() {
     let spec = ctl::parse("AG (AF x)").expect("parse");
-    assert_fault_recovery("check", toggle, |c| {
-        c.check(&spec).map(|v| (v.holds(), v.states))
-    });
+    assert_fault_recovery("check", toggle, |c| c.check(&spec).map(|v| (v.holds(), v.states)));
 }
 
 #[test]
 fn check_with_trace_recovers_from_faults() {
     let spec = ctl::parse("AG x").expect("parse");
     assert_fault_recovery("check_with_trace", toggle, |c| {
-        c.check_with_trace(&spec)
-            .map(|o| (o.verdict.holds(), o.verdict.states, o.trace))
+        c.check_with_trace(&spec).map(|o| (o.verdict.holds(), o.verdict.states, o.trace))
     });
 }
 

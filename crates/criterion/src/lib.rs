@@ -43,11 +43,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.to_string(),
-            sample_size: 0,
-        }
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: 0 }
     }
 }
 

@@ -63,13 +63,9 @@ impl<'m> ExplicitChecker<'m> {
     ///
     /// [`ExplicitError::UnknownAtom`] if the proposition is not interned.
     pub fn add_fairness_ap(&mut self, name: &str) -> Result<(), ExplicitError> {
-        let ap = self
-            .model
-            .ap_id(name)
-            .ok_or_else(|| ExplicitError::UnknownAtom(name.to_string()))?;
-        let mask = (0..self.model.num_states())
-            .map(|s| self.model.holds(s, ap))
-            .collect();
+        let ap =
+            self.model.ap_id(name).ok_or_else(|| ExplicitError::UnknownAtom(name.to_string()))?;
+        let mask = (0..self.model.num_states()).map(|s| self.model.holds(s, ap)).collect();
         self.add_fairness_mask(mask)
     }
 
@@ -248,14 +244,11 @@ impl<'m> ExplicitChecker<'m> {
         let comps = tarjan_scc(&sub);
         let mut seeds = vec![false; n];
         for comp in comps {
-            let nontrivial = comp.len() > 1
-                || sub.successors(comp[0]).contains(&comp[0]);
+            let nontrivial = comp.len() > 1 || sub.successors(comp[0]).contains(&comp[0]);
             if !nontrivial {
                 continue;
             }
-            let fair = self.fairness.iter().all(|h| {
-                comp.iter().any(|&sub_s| h[from_sub[sub_s]])
-            });
+            let fair = self.fairness.iter().all(|h| comp.iter().any(|&sub_s| h[from_sub[sub_s]]));
             if fair {
                 for &sub_s in &comp {
                     seeds[from_sub[sub_s]] = true;

@@ -58,9 +58,7 @@ impl ExplicitLasso {
         if !model.successors(last).contains(&self.states[self.loopback]) {
             return false;
         }
-        fairness
-            .iter()
-            .all(|h| self.cycle().iter().any(|&s| h[s]))
+        fairness.iter().all(|h| self.cycle().iter().any(|&s| h[s]))
     }
 }
 
@@ -83,11 +81,7 @@ pub fn minimal_fair_lasso(
     assert!(k < usize::BITS as usize - 1, "too many fairness constraints");
     let full: usize = (1 << k) - 1;
     let mask_of = |s: usize| -> usize {
-        fairness
-            .iter()
-            .enumerate()
-            .filter(|(_, h)| h[s])
-            .fold(0, |m, (i, _)| m | 1 << i)
+        fairness.iter().enumerate().filter(|(_, h)| h[s]).fold(0, |m, (i, _)| m | 1 << i)
     };
 
     // Forward BFS distances (and parents) from `start`.
@@ -106,18 +100,18 @@ pub fn minimal_fair_lasso(
     }
 
     let mut best: Option<(usize, ExplicitLasso)> = None;
-    for c in 0..n {
-        if dist[c] == usize::MAX {
+    for (c, &dist_c) in dist.iter().enumerate() {
+        if dist_c == usize::MAX {
             continue;
         }
         // Prune: even a 1-cycle cannot beat the best found so far.
         if let Some((best_len, _)) = &best {
-            if dist[c] + 1 >= *best_len {
+            if dist_c + 1 >= *best_len {
                 continue;
             }
         }
         if let Some(cycle) = shortest_covering_cycle(model, c, full, &mask_of) {
-            let total = dist[c] + cycle.len();
+            let total = dist_c + cycle.len();
             let better = best.as_ref().is_none_or(|(l, _)| total < *l);
             if better {
                 // Reconstruct the prefix start -> c.

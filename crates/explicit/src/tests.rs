@@ -237,9 +237,7 @@ fn minimal_lasso_hamiltonian_instance() {
         g.add_edge(s, (s + 2) % n);
     }
     g.add_initial(0);
-    let masks: Vec<Vec<bool>> = (0..n)
-        .map(|k| (0..n).map(|s| s == k).collect())
-        .collect();
+    let masks: Vec<Vec<bool>> = (0..n).map(|k| (0..n).map(|s| s == k).collect()).collect();
     let lasso = minimal_fair_lasso(&g, &masks, 0).expect("exists");
     assert!(lasso.is_valid(&g, &masks));
     assert_eq!(lasso.len(), n, "must visit all constraints: Hamiltonian");
@@ -280,9 +278,8 @@ fn greedy_never_beats_minimal() {
         }
         g.add_initial(0);
         let k = 1 + next(2);
-        let masks: Vec<Vec<bool>> = (0..k)
-            .map(|_| (0..n).map(|_| next(3) == 0).collect())
-            .collect();
+        let masks: Vec<Vec<bool>> =
+            (0..k).map(|_| (0..n).map(|_| next(3) == 0).collect()).collect();
         let body = vec![true; n];
         let minimal = minimal_fair_lasso(&g, &masks, 0);
         let greedy = greedy_fair_lasso(&g, &masks, &body, 0);
@@ -290,12 +287,7 @@ fn greedy_never_beats_minimal() {
             (Some(min), Some(grd)) => {
                 assert!(min.is_valid(&g, &masks));
                 assert!(grd.is_valid(&g, &masks));
-                assert!(
-                    min.len() <= grd.len(),
-                    "minimal {} > greedy {}",
-                    min.len(),
-                    grd.len()
-                );
+                assert!(min.len() <= grd.len(), "minimal {} > greedy {}", min.len(), grd.len());
             }
             (None, None) => {}
             (min, grd) => panic!("existence disagreement: {min:?} vs {grd:?}"),
@@ -314,10 +306,8 @@ fn greedy_never_beats_minimal() {
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<Vec<bool>>)> {
     (3usize..8).prop_flat_map(|n| {
         let edges = proptest::collection::vec((0..n, 0..n), n..(n * 3));
-        let masks = proptest::collection::vec(
-            proptest::collection::vec(any::<bool>(), n..=n),
-            0..3,
-        );
+        let masks =
+            proptest::collection::vec(proptest::collection::vec(any::<bool>(), n..=n), 0..3);
         (Just(n), edges, masks)
     })
 }
@@ -365,9 +355,9 @@ proptest! {
             c.add_fairness_mask(m.clone()).unwrap();
         }
         let fair = c.fair_states();
-        for start in 0..n {
+        for (start, &is_fair) in fair.iter().enumerate().take(n) {
             let lasso = minimal_fair_lasso(&g, &masks, start);
-            prop_assert_eq!(fair[start], lasso.is_some(), "start {}", start);
+            prop_assert_eq!(is_fair, lasso.is_some(), "start {}", start);
         }
     }
 }

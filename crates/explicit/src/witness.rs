@@ -22,9 +22,7 @@ pub fn greedy_fair_lasso(
 ) -> Option<ExplicitLasso> {
     let mut checker = ExplicitChecker::new(model);
     for h in fairness {
-        checker
-            .add_fairness_mask(h.clone())
-            .expect("mask widths validated by caller");
+        checker.add_fairness_mask(h.clone()).expect("mask widths validated by caller");
     }
     let body: Vec<bool> = body.to_vec();
     let egf = checker.eg_fair(&body);
@@ -36,8 +34,7 @@ pub fn greedy_fair_lasso(
     let dists: Vec<Vec<usize>> = fairness
         .iter()
         .map(|h| {
-            let targets: Vec<usize> =
-                (0..model.num_states()).filter(|&s| egf[s] && h[s]).collect();
+            let targets: Vec<usize> = (0..model.num_states()).filter(|&s| egf[s] && h[s]).collect();
             bfs_backward(model, &targets, &body)
         })
         .collect();

@@ -66,6 +66,7 @@ impl SymbolicModel {
     /// - [`KripkeError::NoVariables`] if `names` is empty.
     /// - [`KripkeError::EmptyInit`] if `init` is unsatisfiable.
     /// - [`KripkeError::DuplicateLabel`] if a label name repeats.
+    #[allow(clippy::too_many_arguments)] // raw-parts constructor; the builder is the ergonomic path
     pub fn assemble(
         mut manager: BddManager,
         names: Vec<String>,
@@ -90,11 +91,7 @@ impl SymbolicModel {
                 return Err(KripkeError::DuplicateLabel(name.clone()));
             }
         }
-        let name_index = names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.clone(), i))
-            .collect();
+        let name_index = names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
         let cur_cube = manager.cube(&cur);
         let nxt_cube = manager.cube(&nxt);
         // Keep the long-lived structure BDDs safe across user GCs.
@@ -150,34 +147,21 @@ impl SymbolicModel {
             "partition must conjoin to the transition relation"
         );
         // For each part, which current/next variables appear in it.
-        let supports: Vec<Vec<Var>> =
-            parts.iter().map(|&p| self.manager.support(p)).collect();
+        let supports: Vec<Vec<Var>> = parts.iter().map(|&p| self.manager.support(p)).collect();
         // A variable is quantified at the *last* part mentioning it (or
         // immediately at part 0 if it occurs nowhere).
         let mut img_sched: Vec<Vec<Var>> = vec![Vec::new(); parts.len()];
         let mut pre_sched: Vec<Vec<Var>> = vec![Vec::new(); parts.len()];
         for &v in &self.cur {
-            let last = (0..parts.len())
-                .rev()
-                .find(|&i| supports[i].contains(&v))
-                .unwrap_or(0);
+            let last = (0..parts.len()).rev().find(|&i| supports[i].contains(&v)).unwrap_or(0);
             img_sched[last].push(v);
         }
         for &v in &self.nxt {
-            let last = (0..parts.len())
-                .rev()
-                .find(|&i| supports[i].contains(&v))
-                .unwrap_or(0);
+            let last = (0..parts.len()).rev().find(|&i| supports[i].contains(&v)).unwrap_or(0);
             pre_sched[last].push(v);
         }
-        let img_cubes = img_sched
-            .into_iter()
-            .map(|vars| self.manager.cube(&vars))
-            .collect();
-        let pre_cubes = pre_sched
-            .into_iter()
-            .map(|vars| self.manager.cube(&vars))
-            .collect();
+        let img_cubes = img_sched.into_iter().map(|vars| self.manager.cube(&vars)).collect();
+        let pre_cubes = pre_sched.into_iter().map(|vars| self.manager.cube(&vars)).collect();
         for &p in &parts {
             self.manager.protect(p);
         }
@@ -458,9 +442,7 @@ impl SymbolicModel {
 
     /// Picks one concrete state out of a state set, or `None` if empty.
     pub fn pick_state(&self, set: Bdd) -> Option<State> {
-        self.manager
-            .one_sat_total(set, &self.cur)
-            .map(State::from)
+        self.manager.one_sat_total(set, &self.cur).map(State::from)
     }
 
     /// The singleton BDD for a concrete state.
@@ -512,14 +494,28 @@ impl SymbolicModel {
     ///
     /// [`KripkeError::Deadlock`] naming one deadlocked state.
     pub fn check_total(&mut self) -> Result<(), KripkeError> {
-        let reach = self.reachable()?;
-        let has_succ = self.manager.exists(self.trans, self.nxt_cube);
-        let dead = self.manager.diff(reach, has_succ);
-        self.manager.check_budget()?;
+        let dead = self.deadlocked()?;
         match self.pick_state(dead) {
             None => Ok(()),
             Some(s) => Err(KripkeError::Deadlock(self.render_state(&s))),
         }
+    }
+
+    /// The set of *reachable* states with no outgoing transition — the
+    /// witness set behind [`check_total`](Self::check_total), exposed so
+    /// analyses can report every stuck state rather than fail on the
+    /// first. `⊥` iff the reachable part of the relation is total.
+    ///
+    /// # Errors
+    ///
+    /// [`KripkeError::Bdd`] if the resource budget trips during the
+    /// reachability fixpoint.
+    pub fn deadlocked(&mut self) -> Result<Bdd, KripkeError> {
+        let reach = self.reachable()?;
+        let has_succ = self.manager.exists(self.trans, self.nxt_cube);
+        let dead = self.manager.diff(reach, has_succ);
+        self.manager.check_budget()?;
+        Ok(dead)
     }
 
     /// Enumerates every concrete state in a state set.
@@ -575,20 +571,14 @@ impl SymbolicModel {
     ///
     /// [`KripkeError::TooManyStates`] if the reachable set exceeds
     /// `bound`.
-    pub fn enumerate(
-        &mut self,
-        bound: usize,
-    ) -> Result<(ExplicitModel, Vec<State>), KripkeError> {
+    pub fn enumerate(&mut self, bound: usize) -> Result<(ExplicitModel, Vec<State>), KripkeError> {
         let reach = self.reachable()?;
         let states = self.states_in(reach, bound)?;
         let index: HashMap<&State, usize> =
             states.iter().enumerate().map(|(i, s)| (s, i)).collect();
         let mut explicit = ExplicitModel::new();
         let ap_names = self.ap_names();
-        let ap_sets: Vec<Bdd> = ap_names
-            .iter()
-            .map(|n| self.ap(n))
-            .collect::<Result<_, _>>()?;
+        let ap_sets: Vec<Bdd> = ap_names.iter().map(|n| self.ap(n)).collect::<Result<_, _>>()?;
         let ap_ids: Vec<usize> = ap_names.iter().map(|n| explicit.add_ap(n)).collect();
         for s in &states {
             let labels: Vec<usize> = ap_sets

@@ -8,9 +8,7 @@ use crate::{condensation, tarjan_scc, ExplicitModel, KripkeError, State, Symboli
 /// An n-bit binary counter model.
 fn counter(bits: usize) -> crate::SymbolicModel {
     let mut b = SymbolicModelBuilder::new();
-    let ids: Vec<_> = (0..bits)
-        .map(|i| b.bool_var(&format!("b{i}")).expect("fresh"))
-        .collect();
+    let ids: Vec<_> = (0..bits).map(|i| b.bool_var(&format!("b{i}")).expect("fresh")).collect();
     b.init_zero();
     for (i, id) in ids.iter().enumerate() {
         b.next_fn(*id, move |m, cur| {
@@ -84,7 +82,7 @@ fn builder_detects_deadlocks() {
     let n = m.not(nxt_x);
     let contradiction = m.and(nxt_x, n);
     let part = m.and(cur_x, contradiction); // x=1 states deadlock
-    // from x=0 go to x=1, from x=1 nowhere
+                                            // from x=0 go to x=1, from x=1 nowhere
     let m = b.manager_mut();
     let ncur = m.not(cur_x);
     let go_up = m.and(ncur, nxt_x);
@@ -130,10 +128,7 @@ fn labels_and_aps_resolve() {
     let xs = model.ap("x").expect("state var");
     let m = model.manager_mut();
     assert!(m.is_subset(both, xs));
-    assert!(matches!(
-        model.ap("nope"),
-        Err(KripkeError::UnknownAtom(_))
-    ));
+    assert!(matches!(model.ap("nope"), Err(KripkeError::UnknownAtom(_))));
     let names = model.ap_names();
     assert!(names.contains(&"both".to_string()));
     assert!(names.contains(&"x".to_string()));
@@ -158,9 +153,7 @@ fn fairness_constraints_are_stored() {
 /// Builds the n-bit counter with a conjunctive partition installed.
 fn partitioned_counter(bits: usize) -> crate::SymbolicModel {
     let mut b = SymbolicModelBuilder::new();
-    let ids: Vec<_> = (0..bits)
-        .map(|i| b.bool_var(&format!("b{i}")).expect("fresh"))
-        .collect();
+    let ids: Vec<_> = (0..bits).map(|i| b.bool_var(&format!("b{i}")).expect("fresh")).collect();
     b.init_zero();
     for (i, id) in ids.iter().enumerate() {
         b.next_fn(*id, move |m, cur| {
@@ -233,10 +226,7 @@ fn partition_with_free_variables() {
     let succ = m.successors(&zero);
     let states = m.states_in(succ, 8).expect("small");
     // x flips deterministically; free takes both values.
-    assert_eq!(
-        states,
-        vec![State(vec![true, false]), State(vec![true, true])]
-    );
+    assert_eq!(states, vec![State(vec![true, false]), State(vec![true, true])]);
 }
 
 // ---------------------------------------------------------------------
@@ -381,10 +371,7 @@ fn enumerate_matches_counter_structure() {
 #[test]
 fn enumerate_respects_bound() {
     let mut m = counter(4);
-    assert!(matches!(
-        m.enumerate(3),
-        Err(KripkeError::TooManyStates { bound: 3 })
-    ));
+    assert!(matches!(m.enumerate(3), Err(KripkeError::TooManyStates { bound: 3 })));
 }
 
 #[test]
@@ -483,9 +470,9 @@ proptest! {
         }
         // Floyd–Warshall-style reachability oracle.
         let mut reach = vec![vec![false; n]; n];
-        for s in 0..n {
+        for (s, row) in reach.iter_mut().enumerate() {
             for &t in g.successors(s) {
-                reach[s][t] = true;
+                row[t] = true;
             }
         }
         for k in 0..n {
@@ -496,10 +483,10 @@ proptest! {
             }
         }
         let cond = condensation(&g);
-        for i in 0..n {
-            for j in 0..n {
+        for (i, row) in reach.iter().enumerate() {
+            for (j, &fwd) in row.iter().enumerate() {
                 let same = cond.component_of[i] == cond.component_of[j];
-                let mutual = i == j || (reach[i][j] && reach[j][i]);
+                let mutual = i == j || (fwd && reach[j][i]);
                 prop_assert_eq!(same, mutual, "states {} and {}", i, j);
             }
         }

@@ -57,6 +57,7 @@ impl Ctl {
     }
 
     /// Negation, collapsing double negations.
+    #[allow(clippy::should_implement_trait)] // associated constructor, not a `!` operator on self
     pub fn not(f: Ctl) -> Ctl {
         match f {
             Ctl::Not(inner) => *inner,
@@ -158,10 +159,7 @@ impl Ctl {
             Ctl::Iff(f, g) => {
                 let fe = f.to_existential_form();
                 let ge = g.to_existential_form();
-                Ctl::or(
-                    Ctl::and(fe.clone(), ge.clone()),
-                    Ctl::and(Ctl::not(fe), Ctl::not(ge)),
-                )
+                Ctl::or(Ctl::and(fe.clone(), ge.clone()), Ctl::and(Ctl::not(fe), Ctl::not(ge)))
             }
             Ctl::Ex(f) => Ctl::ex(f.to_existential_form()),
             Ctl::Ef(f) => Ctl::eu(Ctl::True, f.to_existential_form()),
@@ -199,7 +197,12 @@ impl Ctl {
                     out.push(name);
                 }
             }
-            Ctl::Not(f) | Ctl::Ex(f) | Ctl::Ef(f) | Ctl::Eg(f) | Ctl::Ax(f) | Ctl::Af(f)
+            Ctl::Not(f)
+            | Ctl::Ex(f)
+            | Ctl::Ef(f)
+            | Ctl::Eg(f)
+            | Ctl::Ax(f)
+            | Ctl::Af(f)
             | Ctl::Ag(f) => f.collect_atoms(out),
             Ctl::And(f, g)
             | Ctl::Or(f, g)

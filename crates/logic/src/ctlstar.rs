@@ -129,12 +129,8 @@ impl StateFormula {
             StateFormula::False => Some(Ctl::False),
             StateFormula::Atom(a) => Some(Ctl::Atom(a.clone())),
             StateFormula::Not(f) => Some(Ctl::not(f.to_propositional()?)),
-            StateFormula::And(f, g) => {
-                Some(Ctl::and(f.to_propositional()?, g.to_propositional()?))
-            }
-            StateFormula::Or(f, g) => {
-                Some(Ctl::or(f.to_propositional()?, g.to_propositional()?))
-            }
+            StateFormula::And(f, g) => Some(Ctl::and(f.to_propositional()?, g.to_propositional()?)),
+            StateFormula::Or(f, g) => Some(Ctl::or(f.to_propositional()?, g.to_propositional()?)),
             StateFormula::Exists(_) | StateFormula::Forall(_) => None,
         }
     }
@@ -227,14 +223,12 @@ fn path_to_propositional(path: &PathFormula) -> Option<Ctl> {
     match path {
         PathFormula::State(s) => s.to_propositional(),
         PathFormula::Not(p) => Some(Ctl::not(path_to_propositional(p)?)),
-        PathFormula::And(a, b) => Some(Ctl::and(
-            path_to_propositional(a)?,
-            path_to_propositional(b)?,
-        )),
-        PathFormula::Or(a, b) => Some(Ctl::or(
-            path_to_propositional(a)?,
-            path_to_propositional(b)?,
-        )),
+        PathFormula::And(a, b) => {
+            Some(Ctl::and(path_to_propositional(a)?, path_to_propositional(b)?))
+        }
+        PathFormula::Or(a, b) => {
+            Some(Ctl::or(path_to_propositional(a)?, path_to_propositional(b)?))
+        }
         PathFormula::Next(_)
         | PathFormula::Future(_)
         | PathFormula::Globally(_)

@@ -11,6 +11,8 @@
 //! - [`ctlstar`]: the CTL* fragment of Section 7 — path formulas under a
 //!   single path quantifier — together with the *fairness class*
 //!   `E ⋀ⱼ (GF pⱼ ∨ FG qⱼ)` classifier the witness generator needs.
+//! - [`polarity`]: occurrence polarity analysis and single-occurrence
+//!   replacement, the formula-level half of spec vacuity detection.
 //!
 //! ## Example
 //!
@@ -29,11 +31,13 @@ pub mod ctlstar;
 mod error;
 mod lexer;
 mod parser;
+pub mod polarity;
 
 pub use ctl::Ctl;
 pub use ctlstar::{EFairness, GfFgDisjunct, PathFormula, StateFormula};
 pub use error::ParseError;
 pub use lexer::RESERVED_WORDS;
+pub use polarity::{atom_occurrences, replace_atom_occurrence, AtomOccurrence, Polarity};
 
 #[cfg(test)]
 mod tests;

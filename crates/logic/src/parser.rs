@@ -218,10 +218,7 @@ fn state_implies(c: &mut Cursor) -> Result<StateFormula, ParseError> {
     let lhs = state_or(c)?;
     if c.eat(&Token::Implies) {
         let rhs = state_implies(c)?;
-        Ok(StateFormula::Or(
-            Box::new(StateFormula::Not(Box::new(lhs))),
-            Box::new(rhs),
-        ))
+        Ok(StateFormula::Or(Box::new(StateFormula::Not(Box::new(lhs))), Box::new(rhs)))
     } else {
         Ok(lhs)
     }
@@ -316,10 +313,7 @@ fn path_implies(c: &mut Cursor) -> Result<PathFormula, ParseError> {
     let lhs = path_or(c)?;
     if c.eat(&Token::Implies) {
         let rhs = path_implies(c)?;
-        Ok(PathFormula::Or(
-            Box::new(PathFormula::Not(Box::new(lhs))),
-            Box::new(rhs),
-        ))
+        Ok(PathFormula::Or(Box::new(PathFormula::Not(Box::new(lhs))), Box::new(rhs)))
     } else {
         Ok(lhs)
     }

@@ -1,0 +1,232 @@
+//! Polarity analysis and single-occurrence replacement, the formula
+//! machinery behind spec vacuity detection.
+//!
+//! A passing formula φ is *vacuous* with respect to a subformula
+//! occurrence ψ when replacing ψ with any formula leaves the verdict
+//! unchanged (Beer, Ben-David, Eisner, Rodeh: "Efficient detection of
+//! vacuity in ACTL formulas"). For occurrences of pure polarity the
+//! check is a single replacement: substituting the *hardest* value —
+//! `false` for a positive occurrence, `true` for a negative one — yields
+//! the strongest variant of φ. If even that variant holds, the
+//! occurrence is irrelevant and φ passed vacuously.
+//!
+//! Polarity is the parity of negations above an occurrence: it flips
+//! under `¬` and on the left of `→`, and is lost (`Mixed`) under `↔`,
+//! where an occurrence appears with both signs after expansion. CTL's
+//! temporal operators are monotone and preserve polarity. `Mixed`
+//! occurrences are skipped by the vacuity pass — a single replacement
+//! cannot witness irrelevance there.
+
+use crate::ctl::Ctl;
+
+/// The sign of an occurrence: how many negations (mod 2) sit above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Under an even number of negations: strengthening means `false`.
+    Positive,
+    /// Under an odd number of negations: strengthening means `true`.
+    Negative,
+    /// Under `↔`: both signs at once; no single-replacement check.
+    Mixed,
+}
+
+impl Polarity {
+    fn flip(self) -> Polarity {
+        match self {
+            Polarity::Positive => Polarity::Negative,
+            Polarity::Negative => Polarity::Positive,
+            Polarity::Mixed => Polarity::Mixed,
+        }
+    }
+
+    /// The constant that *strengthens* the formula when substituted for
+    /// an occurrence of this polarity; `None` for [`Polarity::Mixed`].
+    pub fn strengthening(self) -> Option<Ctl> {
+        match self {
+            Polarity::Positive => Some(Ctl::False),
+            Polarity::Negative => Some(Ctl::True),
+            Polarity::Mixed => None,
+        }
+    }
+}
+
+/// One atomic-proposition occurrence in a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomOccurrence {
+    /// Preorder (left-to-right) index among the formula's atom
+    /// occurrences; the input to [`replace_atom_occurrence`].
+    pub index: usize,
+    /// The atom's name.
+    pub name: String,
+    /// The occurrence's polarity.
+    pub polarity: Polarity,
+}
+
+/// Enumerates every atom occurrence with its polarity, in preorder.
+pub fn atom_occurrences(f: &Ctl) -> Vec<AtomOccurrence> {
+    let mut out = Vec::new();
+    walk(f, Polarity::Positive, &mut out);
+    out
+}
+
+fn walk(f: &Ctl, polarity: Polarity, out: &mut Vec<AtomOccurrence>) {
+    match f {
+        Ctl::True | Ctl::False => {}
+        Ctl::Atom(name) => {
+            out.push(AtomOccurrence { index: out.len(), name: name.clone(), polarity });
+        }
+        Ctl::Not(g) => walk(g, polarity.flip(), out),
+        Ctl::And(a, b) | Ctl::Or(a, b) | Ctl::Eu(a, b) | Ctl::Au(a, b) => {
+            walk(a, polarity, out);
+            walk(b, polarity, out);
+        }
+        Ctl::Implies(a, b) => {
+            walk(a, polarity.flip(), out);
+            walk(b, polarity, out);
+        }
+        Ctl::Iff(a, b) => {
+            walk(a, Polarity::Mixed, out);
+            walk(b, Polarity::Mixed, out);
+        }
+        Ctl::Ex(g) | Ctl::Ef(g) | Ctl::Eg(g) | Ctl::Ax(g) | Ctl::Af(g) | Ctl::Ag(g) => {
+            walk(g, polarity, out);
+        }
+    }
+}
+
+/// Replaces the atom occurrence with preorder index `index` (as numbered
+/// by [`atom_occurrences`]) by `with`, leaving every other occurrence
+/// untouched. The result is rebuilt through the simplifying constructors
+/// so constants propagate (`x ∧ false` collapses to `false`). Returns
+/// the formula unchanged when `index` is out of range.
+pub fn replace_atom_occurrence(f: &Ctl, index: usize, with: &Ctl) -> Ctl {
+    let mut counter = 0usize;
+    replace(f, index, with, &mut counter)
+}
+
+fn replace(f: &Ctl, target: usize, with: &Ctl, counter: &mut usize) -> Ctl {
+    // Subtrees past the target are cloned wholesale; the counter only
+    // needs to be exact up to the replacement point.
+    if *counter > target {
+        return f.clone();
+    }
+    match f {
+        Ctl::True | Ctl::False => f.clone(),
+        Ctl::Atom(_) => {
+            let here = *counter;
+            *counter += 1;
+            if here == target {
+                with.clone()
+            } else {
+                f.clone()
+            }
+        }
+        Ctl::Not(g) => Ctl::not(replace(g, target, with, counter)),
+        Ctl::And(a, b) => {
+            let ra = replace(a, target, with, counter);
+            let rb = replace(b, target, with, counter);
+            Ctl::and(ra, rb)
+        }
+        Ctl::Or(a, b) => {
+            let ra = replace(a, target, with, counter);
+            let rb = replace(b, target, with, counter);
+            Ctl::or(ra, rb)
+        }
+        Ctl::Implies(a, b) => {
+            let ra = replace(a, target, with, counter);
+            let rb = replace(b, target, with, counter);
+            Ctl::implies(ra, rb)
+        }
+        Ctl::Iff(a, b) => {
+            let ra = replace(a, target, with, counter);
+            let rb = replace(b, target, with, counter);
+            Ctl::iff(ra, rb)
+        }
+        Ctl::Ex(g) => Ctl::ex(replace(g, target, with, counter)),
+        Ctl::Ef(g) => Ctl::ef(replace(g, target, with, counter)),
+        Ctl::Eg(g) => Ctl::eg(replace(g, target, with, counter)),
+        Ctl::Eu(a, b) => {
+            let ra = replace(a, target, with, counter);
+            let rb = replace(b, target, with, counter);
+            Ctl::eu(ra, rb)
+        }
+        Ctl::Ax(g) => Ctl::ax(replace(g, target, with, counter)),
+        Ctl::Af(g) => Ctl::af(replace(g, target, with, counter)),
+        Ctl::Ag(g) => Ctl::ag(replace(g, target, with, counter)),
+        Ctl::Au(a, b) => {
+            let ra = replace(a, target, with, counter);
+            let rb = replace(b, target, with, counter);
+            Ctl::au(ra, rb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctl;
+
+    fn occ(src: &str) -> Vec<(String, Polarity)> {
+        let f = ctl::parse(src).expect("parse");
+        atom_occurrences(&f).into_iter().map(|o| (o.name, o.polarity)).collect()
+    }
+
+    #[test]
+    fn polarity_flips_under_negation_and_antecedents() {
+        assert_eq!(
+            occ("AG (req -> AF ack)"),
+            vec![("req".to_string(), Polarity::Negative), ("ack".to_string(), Polarity::Positive),]
+        );
+        assert_eq!(occ("!(!p)"), vec![("p".to_string(), Polarity::Positive)]);
+        assert_eq!(
+            occ("!(p -> q)"),
+            vec![("p".to_string(), Polarity::Positive), ("q".to_string(), Polarity::Negative),]
+        );
+    }
+
+    #[test]
+    fn iff_obscures_polarity() {
+        assert_eq!(
+            occ("p <-> q"),
+            vec![("p".to_string(), Polarity::Mixed), ("q".to_string(), Polarity::Mixed),]
+        );
+    }
+
+    #[test]
+    fn temporal_operators_preserve_polarity() {
+        assert_eq!(
+            occ("A [p U EG !q]"),
+            vec![("p".to_string(), Polarity::Positive), ("q".to_string(), Polarity::Negative),]
+        );
+    }
+
+    #[test]
+    fn replacement_targets_one_occurrence() {
+        let f = ctl::parse("AG (p -> AF p)").expect("parse");
+        let strengthened = replace_atom_occurrence(&f, 1, &Ctl::False);
+        assert_eq!(strengthened.to_string(), "AG (p -> AF false)");
+        // Occurrence 0 (the antecedent) stays put.
+        let other = replace_atom_occurrence(&f, 0, &Ctl::True);
+        assert_eq!(other.to_string(), "AG (true -> AF p)");
+    }
+
+    #[test]
+    fn replacement_simplifies_through_constructors() {
+        let f = ctl::parse("EF (p & q)").expect("parse");
+        let g = replace_atom_occurrence(&f, 0, &Ctl::False);
+        assert_eq!(g, Ctl::ef(Ctl::False));
+    }
+
+    #[test]
+    fn out_of_range_index_is_identity() {
+        let f = ctl::parse("EX p").expect("parse");
+        assert_eq!(replace_atom_occurrence(&f, 5, &Ctl::True), f);
+    }
+
+    #[test]
+    fn strengthening_values_match_polarity() {
+        assert_eq!(Polarity::Positive.strengthening(), Some(Ctl::False));
+        assert_eq!(Polarity::Negative.strengthening(), Some(Ctl::True));
+        assert_eq!(Polarity::Mixed.strengthening(), None);
+    }
+}

@@ -22,17 +22,17 @@ fn parse_simple_atoms_and_constants() {
 fn parse_precedence() {
     // & binds tighter than |, -> is right associative and loosest but <->.
     let f = ctl::parse("a | b & c").unwrap();
-    assert_eq!(f, Ctl::Or(Box::new(Ctl::atom("a")), Box::new(Ctl::And(Box::new(Ctl::atom("b")), Box::new(Ctl::atom("c"))))));
+    assert_eq!(
+        f,
+        Ctl::Or(
+            Box::new(Ctl::atom("a")),
+            Box::new(Ctl::And(Box::new(Ctl::atom("b")), Box::new(Ctl::atom("c"))))
+        )
+    );
     let g = ctl::parse("a -> b -> c").unwrap();
-    assert_eq!(
-        g,
-        Ctl::implies(Ctl::atom("a"), Ctl::implies(Ctl::atom("b"), Ctl::atom("c")))
-    );
+    assert_eq!(g, Ctl::implies(Ctl::atom("a"), Ctl::implies(Ctl::atom("b"), Ctl::atom("c"))));
     let h = ctl::parse("!a & b").unwrap();
-    assert_eq!(
-        h,
-        Ctl::And(Box::new(Ctl::Not(Box::new(Ctl::atom("a")))), Box::new(Ctl::atom("b")))
-    );
+    assert_eq!(h, Ctl::And(Box::new(Ctl::Not(Box::new(Ctl::atom("a")))), Box::new(Ctl::atom("b"))));
 }
 
 #[test]
@@ -43,24 +43,15 @@ fn parse_temporal_operators() {
     assert_eq!(ctl::parse("AX p").unwrap(), Ctl::ax(Ctl::atom("p")));
     assert_eq!(ctl::parse("AF p").unwrap(), Ctl::af(Ctl::atom("p")));
     assert_eq!(ctl::parse("AG p").unwrap(), Ctl::ag(Ctl::atom("p")));
-    assert_eq!(
-        ctl::parse("E [p U q]").unwrap(),
-        Ctl::eu(Ctl::atom("p"), Ctl::atom("q"))
-    );
-    assert_eq!(
-        ctl::parse("A [p U q]").unwrap(),
-        Ctl::au(Ctl::atom("p"), Ctl::atom("q"))
-    );
+    assert_eq!(ctl::parse("E [p U q]").unwrap(), Ctl::eu(Ctl::atom("p"), Ctl::atom("q")));
+    assert_eq!(ctl::parse("A [p U q]").unwrap(), Ctl::au(Ctl::atom("p"), Ctl::atom("q")));
 }
 
 #[test]
 fn parse_the_paper_liveness_spec() {
     // Section 6: AG(tr1 -> AF ta1)
     let f = ctl::parse("AG (tr1 -> AF ta1)").unwrap();
-    assert_eq!(
-        f,
-        Ctl::ag(Ctl::implies(Ctl::atom("tr1"), Ctl::af(Ctl::atom("ta1"))))
-    );
+    assert_eq!(f, Ctl::ag(Ctl::implies(Ctl::atom("tr1"), Ctl::af(Ctl::atom("ta1")))));
     assert!(f.is_universal());
     assert_eq!(f.atoms(), vec!["tr1", "ta1"]);
 }
@@ -103,13 +94,7 @@ fn existential_form_uses_only_the_basis() {
             _ => false,
         }
     }
-    for src in [
-        "AG (tr1 -> AF ta1)",
-        "A [p U q]",
-        "AX (p <-> q)",
-        "EF (p -> q)",
-        "AG AF p",
-    ] {
+    for src in ["AG (tr1 -> AF ta1)", "A [p U q]", "AX (p <-> q)", "EF (p -> q)", "AG AF p"] {
         let f = ctl::parse(src).unwrap().to_existential_form();
         assert!(only_basis(&f), "{src} normalized to {f}");
     }
@@ -134,9 +119,9 @@ fn parse_ctlstar_quantified_paths() {
     let f = ctlstar::parse("E (G F p)").unwrap();
     assert_eq!(
         f,
-        StateFormula::exists(PathFormula::Globally(Box::new(PathFormula::Future(
-            Box::new(PathFormula::State(Box::new(StateFormula::atom("p"))))
-        ))))
+        StateFormula::exists(PathFormula::Globally(Box::new(PathFormula::Future(Box::new(
+            PathFormula::State(Box::new(StateFormula::atom("p")))
+        )))))
     );
     // Prefix form without parens.
     let g = ctlstar::parse("E G F p").unwrap();
@@ -181,12 +166,12 @@ fn classify_accepts_swapped_disjuncts_and_boolean_atoms() {
 #[test]
 fn classify_rejects_out_of_class_formulas() {
     for src in [
-        "A (G F p)",           // universal quantifier
-        "E (p U q)",           // until is not in the class
-        "E (G F p | G F q)",   // GF ∨ GF is not GF ∨ FG
-        "E (G F X p)",         // non-propositional body
-        "E (G F E (G F p))",   // nested quantifier in the body
-        "p & q",                // no quantifier at all
+        "A (G F p)",         // universal quantifier
+        "E (p U q)",         // until is not in the class
+        "E (G F p | G F q)", // GF ∨ GF is not GF ∨ FG
+        "E (G F X p)",       // non-propositional body
+        "E (G F E (G F p))", // nested quantifier in the body
+        "p & q",             // no quantifier at all
     ] {
         let f = ctlstar::parse(src).unwrap();
         assert!(f.classify_fairness().is_none(), "{src} wrongly classified");
@@ -195,12 +180,7 @@ fn classify_rejects_out_of_class_formulas() {
 
 #[test]
 fn ctlstar_display_is_reparsable() {
-    for src in [
-        "E ((G F p | F G q) & G F r)",
-        "A (p U q)",
-        "E (X X p)",
-        "!E (G F p) | A (F G q)",
-    ] {
+    for src in ["E ((G F p | F G q) & G F r)", "A (p U q)", "E (X X p)", "!E (G F p) | A (F G q)"] {
         let f = ctlstar::parse(src).unwrap();
         let printed = f.to_string();
         let reparsed = ctlstar::parse(&printed).unwrap();
@@ -222,32 +202,24 @@ fn propositional_extraction() {
 // ---------------------------------------------------------------------
 
 fn arb_ctl() -> impl Strategy<Value = Ctl> {
-    let leaf = prop_oneof![
-        Just(Ctl::True),
-        Just(Ctl::False),
-        "[a-z][a-z0-9_]{0,4}".prop_map(Ctl::Atom),
-    ];
+    let leaf =
+        prop_oneof![Just(Ctl::True), Just(Ctl::False), "[a-z][a-z0-9_]{0,4}".prop_map(Ctl::Atom),];
     leaf.prop_recursive(5, 48, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|f| Ctl::Not(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(f, g)| Ctl::And(Box::new(f), Box::new(g))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(f, g)| Ctl::Or(Box::new(f), Box::new(g))),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| Ctl::And(Box::new(f), Box::new(g))),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| Ctl::Or(Box::new(f), Box::new(g))),
             (inner.clone(), inner.clone())
                 .prop_map(|(f, g)| Ctl::Implies(Box::new(f), Box::new(g))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(f, g)| Ctl::Iff(Box::new(f), Box::new(g))),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| Ctl::Iff(Box::new(f), Box::new(g))),
             inner.clone().prop_map(|f| Ctl::Ex(Box::new(f))),
             inner.clone().prop_map(|f| Ctl::Ef(Box::new(f))),
             inner.clone().prop_map(|f| Ctl::Eg(Box::new(f))),
             inner.clone().prop_map(|f| Ctl::Ax(Box::new(f))),
             inner.clone().prop_map(|f| Ctl::Af(Box::new(f))),
             inner.clone().prop_map(|f| Ctl::Ag(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(f, g)| Ctl::Eu(Box::new(f), Box::new(g))),
-            (inner.clone(), inner)
-                .prop_map(|(f, g)| Ctl::Au(Box::new(f), Box::new(g))),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| Ctl::Eu(Box::new(f), Box::new(g))),
+            (inner.clone(), inner).prop_map(|(f, g)| Ctl::Au(Box::new(f), Box::new(g))),
         ]
     })
 }

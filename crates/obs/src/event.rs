@@ -19,6 +19,7 @@
 //! | `gc`            | `reclaimed`, `live_before`, `live_after` |
 //! | `ladder`        | `stage` |
 //! | `trip`          | `reason` |
+//! | `diagnostic`    | `code`, `severity` |
 //!
 //! Removing or re-typing a required key bumps `v`; new optional keys
 //! may appear at any time and consumers must ignore unknown keys.
@@ -49,10 +50,12 @@ pub enum SpanKind {
     FairRings,
     /// Witness / counterexample construction (Section 6).
     Witness,
+    /// One static-analysis (lint) pass over a model.
+    Lint,
 }
 
 /// Every span kind, for consumers that enumerate the taxonomy.
-pub const SPAN_KINDS: [SpanKind; 8] = [
+pub const SPAN_KINDS: [SpanKind; 9] = [
     SpanKind::Compile,
     SpanKind::Reach,
     SpanKind::Check,
@@ -61,6 +64,7 @@ pub const SPAN_KINDS: [SpanKind; 8] = [
     SpanKind::FairEg,
     SpanKind::FairRings,
     SpanKind::Witness,
+    SpanKind::Lint,
 ];
 
 impl SpanKind {
@@ -75,6 +79,7 @@ impl SpanKind {
             SpanKind::FairEg => "fair_eg",
             SpanKind::FairRings => "fair_rings",
             SpanKind::Witness => "witness",
+            SpanKind::Lint => "lint",
         }
     }
 
@@ -218,6 +223,13 @@ pub enum Event {
         /// Human-readable trip reason.
         reason: String,
     },
+    /// A static-analysis pass reported a diagnostic.
+    Diagnostic {
+        /// Stable diagnostic code (`E0xx` / `W0xx`).
+        code: String,
+        /// `"error"` or `"warning"`.
+        severity: &'static str,
+    },
 }
 
 fn esc(out: &mut String, s: &str) {
@@ -249,6 +261,7 @@ impl Event {
             Event::Gc { .. } => "gc",
             Event::Ladder { .. } => "ladder",
             Event::Trip { .. } => "trip",
+            Event::Diagnostic { .. } => "diagnostic",
         }
     }
 
@@ -310,7 +323,9 @@ impl Event {
                 s.push_str(&format!(",\"closed\":{closed},\"arc_len\":{arc_len}"));
             }
             Event::Restart { count, stay_exit, frontier } => {
-                s.push_str(&format!(",\"count\":{count},\"stay_exit\":{stay_exit},\"frontier\":\""));
+                s.push_str(&format!(
+                    ",\"count\":{count},\"stay_exit\":{stay_exit},\"frontier\":\""
+                ));
                 esc(&mut s, frontier);
                 s.push('"');
             }
@@ -327,6 +342,11 @@ impl Event {
                 s.push_str(",\"reason\":\"");
                 esc(&mut s, reason);
                 s.push('"');
+            }
+            Event::Diagnostic { code, severity } => {
+                s.push_str(",\"code\":\"");
+                esc(&mut s, code);
+                s.push_str(&format!("\",\"severity\":\"{severity}\""));
             }
         }
         s.push('}');
@@ -374,13 +394,10 @@ impl Event {
                 d_lookups: u("d_lookups")?,
                 d_hits: u("d_hits")?,
             },
-            "witness_hop" => {
-                Event::WitnessHop { constraint: u("constraint")?, ring: u("ring")? }
+            "witness_hop" => Event::WitnessHop { constraint: u("constraint")?, ring: u("ring")? },
+            "cycle_close" => {
+                Event::CycleClose { closed: j.get("closed")?.as_bool()?, arc_len: u("arc_len")? }
             }
-            "cycle_close" => Event::CycleClose {
-                closed: j.get("closed")?.as_bool()?,
-                arc_len: u("arc_len")?,
-            },
             "restart" => Event::Restart {
                 count: u("count")?,
                 stay_exit: j.get("stay_exit")?.as_bool()?,
@@ -400,6 +417,14 @@ impl Event {
                 },
             },
             "trip" => Event::Trip { reason: j.get("reason")?.as_str()?.to_string() },
+            "diagnostic" => Event::Diagnostic {
+                code: j.get("code")?.as_str()?.to_string(),
+                severity: match j.get("severity")?.as_str()? {
+                    "error" => "error",
+                    "warning" => "warning",
+                    _ => return None,
+                },
+            },
             _ => return None,
         };
         Some((ctx, event))
@@ -414,8 +439,8 @@ mod tests {
     fn roundtrip(event: Event) {
         let ctx = EventCtx { seq: 7, t_us: 1234 };
         let line = event.to_json_line(&ctx);
-        let (ctx2, back) = Event::from_json_line(&line)
-            .unwrap_or_else(|| panic!("unparseable line: {line}"));
+        let (ctx2, back) =
+            Event::from_json_line(&line).unwrap_or_else(|| panic!("unparseable line: {line}"));
         assert_eq!((ctx2.seq, ctx2.t_us), (7, 1234), "{line}");
         assert_eq!(back, event, "{line}");
     }
@@ -459,6 +484,7 @@ mod tests {
         roundtrip(Event::Gc { reclaimed: 100, live_before: 300, live_after: 200 });
         roundtrip(Event::Ladder { stage: "cache_shrink" });
         roundtrip(Event::Trip { reason: "deadline expired after 1s".into() });
+        roundtrip(Event::Diagnostic { code: "W010".into(), severity: "warning" });
     }
 
     #[test]

@@ -221,11 +221,7 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.pos += 1;
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()?
-            .parse::<f64>()
-            .ok()
-            .map(Json::Num)
+        std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse::<f64>().ok().map(Json::Num)
     }
 }
 

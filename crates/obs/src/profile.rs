@@ -60,15 +60,8 @@ impl ProfileAggregator {
     pub fn render(&self) -> String {
         let d = self.data.borrow();
         let mut out = String::new();
-        out.push_str(&format!(
-            "-- profile report (schema v{}) --\n",
-            crate::SCHEMA_VERSION
-        ));
-        out.push_str(&format!(
-            "wall {}  ({} events)\n",
-            fmt_us(d.wall_us),
-            d.events
-        ));
+        out.push_str(&format!("-- profile report (schema v{}) --\n", crate::SCHEMA_VERSION));
+        out.push_str(&format!("wall {}  ({} events)\n", fmt_us(d.wall_us), d.events));
         out.push_str(&format!(
             "{:<11} {:>6} {:>10} {:>10} {:>7} {:>11}  {}\n",
             "span", "count", "total", "self", "iters", "peak nodes", "cache hit rate"
@@ -166,6 +159,8 @@ impl Sink for ProfileAggregator {
                 }
             }
             Event::Trip { reason } => d.trips.push(reason.clone()),
+            // Lint findings carry no timing information.
+            Event::Diagnostic { .. } => {}
         }
     }
 }

@@ -64,7 +64,14 @@ impl<W: Write> Sink for ProgressSink<W> {
             Event::SpanEnd { .. } => {
                 self.phase.pop();
             }
-            Event::FixpointIter { phase, iteration, frontier_size, approx_size, live_nodes, .. } => {
+            Event::FixpointIter {
+                phase,
+                iteration,
+                frontier_size,
+                approx_size,
+                live_nodes,
+                ..
+            } => {
                 let line = format!(
                     "[{}] iter {iteration} frontier={frontier_size} approx={approx_size} live={live_nodes}",
                     phase.name()
@@ -84,6 +91,9 @@ impl<W: Write> Sink for ProgressSink<W> {
             }
             Event::Trip { reason } => {
                 self.announce(&format!("[governor] trip: {reason}"));
+            }
+            Event::Diagnostic { code, severity } => {
+                self.announce(&format!("[lint] {severity} {code}"));
             }
             Event::Gc { .. } | Event::Ladder { .. } | Event::CycleClose { .. } => {}
         }
@@ -129,10 +139,7 @@ mod tests {
     fn restarts_become_durable_lines() {
         let mut sink = ProgressSink::new(Vec::new());
         let ctx = EventCtx { seq: 0, t_us: 0 };
-        sink.record(
-            &ctx,
-            &Event::Restart { count: 2, stay_exit: true, frontier: "01".into() },
-        );
+        sink.record(&ctx, &Event::Restart { count: 2, stay_exit: true, frontier: "01".into() });
         let text = String::from_utf8(sink.out).unwrap();
         assert!(text.contains("restart 2 (stay-set exit)\n"), "{text:?}");
     }

@@ -44,9 +44,7 @@ impl JsonlSink<std::io::BufWriter<std::fs::File>> {
     /// # Errors
     ///
     /// Any I/O error from creating the file.
-    pub fn create(
-        path: &str,
-    ) -> std::io::Result<JsonlSink<std::io::BufWriter<std::fs::File>>> {
+    pub fn create(path: &str) -> std::io::Result<JsonlSink<std::io::BufWriter<std::fs::File>>> {
         Ok(JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
     }
 }

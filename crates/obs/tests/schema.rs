@@ -46,6 +46,7 @@ const GOLDEN: &[(&str, &[&str])] = &[
     ("gc", &["reclaimed", "live_before", "live_after"]),
     ("ladder", &["stage"]),
     ("trip", &["reason"]),
+    ("diagnostic", &["code", "severity"]),
 ];
 
 /// One representative of every event kind, in GOLDEN order.
@@ -76,6 +77,7 @@ fn representatives() -> Vec<Event> {
         Event::Gc { reclaimed: 9, live_before: 19, live_after: 10 },
         Event::Ladder { stage: "sift" },
         Event::Trip { reason: "node limit".into() },
+        Event::Diagnostic { code: "E010".into(), severity: "error" },
     ]
 }
 
@@ -111,7 +113,17 @@ fn span_name_vocabulary_is_pinned() {
     let names: Vec<&str> = smc_obs::SPAN_KINDS.iter().map(|k| k.name()).collect();
     assert_eq!(
         names,
-        ["compile", "reach", "check", "check_eu", "check_eg", "fair_eg", "fair_rings", "witness"]
+        [
+            "compile",
+            "reach",
+            "check",
+            "check_eu",
+            "check_eg",
+            "fair_eg",
+            "fair_rings",
+            "witness",
+            "lint",
+        ]
     );
     for phase in [FixKind::Reach, FixKind::Eu, FixKind::Eg, FixKind::FairEgOuter] {
         assert!(

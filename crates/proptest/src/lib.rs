@@ -96,8 +96,12 @@ pub trait Strategy {
             // Three parts branch to one part leaf keeps trees interesting
             // while the chain construction still bounds the depth.
             strat = Union {
-                options: vec![self.clone().boxed(), f(strat.clone()).boxed(),
-                              f(strat.clone()).boxed(), f(strat).boxed()],
+                options: vec![
+                    self.clone().boxed(),
+                    f(strat.clone()).boxed(),
+                    f(strat.clone()).boxed(),
+                    f(strat).boxed(),
+                ],
             }
             .boxed();
         }

@@ -1,6 +1,39 @@
 //! Abstract syntax of the SMV subset.
 
+use std::fmt;
+
 use smc_logic::Ctl;
+
+/// A half-open byte range `start..end` into the source text.
+///
+/// Spans survive flattening unchanged: every module lives in the same
+/// source string, so a construct expanded out of a sub-module still
+/// points at its original definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A new span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A one-byte span at `pos` (used for parse errors, which record a
+    /// single offending offset).
+    pub fn point(pos: usize) -> Span {
+        Span { start: pos, end: pos + 1 }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
 
 /// A parsed program: one or more modules, among them `main`.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,13 +75,13 @@ pub enum Section {
     /// `DEFINE` macros: `name := e;`.
     Define(Vec<(String, Expr)>),
     /// A raw `INIT` constraint.
-    Init(Expr),
+    Init(Expr, Span),
     /// A raw `TRANS` constraint (may mention `next(…)`).
-    Trans(Expr),
+    Trans(Expr, Span),
     /// A `FAIRNESS` constraint.
-    Fairness(Expr),
+    Fairness(Expr, Span),
     /// A CTL `SPEC`.
-    Spec(Spec),
+    Spec(Spec, Span),
 }
 
 /// A variable declaration.
@@ -58,6 +91,8 @@ pub struct Decl {
     pub name: String,
     /// Its type.
     pub ty: VarType,
+    /// Source span of the whole declaration (`name : type;`).
+    pub span: Span,
 }
 
 /// Variable types.
@@ -83,10 +118,12 @@ pub struct Assign {
     pub kind: AssignKind,
     /// The right-hand side (may be a choice set or `case`).
     pub rhs: Expr,
+    /// Source span of the whole statement (`init(x) := e;`).
+    pub span: Span,
 }
 
 /// Which rail an assignment constrains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AssignKind {
     /// `init(x) := …`.
     Init,
@@ -101,6 +138,8 @@ pub struct CaseBranch {
     pub condition: Expr,
     /// The branch value.
     pub value: Expr,
+    /// Source span of the branch (`condition : value;`).
+    pub span: Span,
 }
 
 /// SMV expressions.
@@ -148,6 +187,99 @@ pub enum Expr {
     Case(Vec<CaseBranch>),
     /// Nondeterministic choice `{e, e, …}` (assignment RHS only).
     Set(Vec<Expr>),
+}
+
+impl Expr {
+    /// Binding strength for the pretty-printer (looser = smaller).
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Iff(..) => 1,
+            Expr::Implies(..) => 2,
+            Expr::Or(..) => 3,
+            Expr::And(..) => 4,
+            Expr::Not(..) => 5,
+            Expr::Eq(..)
+            | Expr::Neq(..)
+            | Expr::Lt(..)
+            | Expr::Le(..)
+            | Expr::Gt(..)
+            | Expr::Ge(..) => 6,
+            Expr::Add(..) | Expr::Sub(..) => 7,
+            Expr::Mul(..) | Expr::Mod(..) => 8,
+            _ => 9,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, min: u8) -> fmt::Result {
+        let prec = self.precedence();
+        if prec < min {
+            write!(f, "(")?;
+        }
+        match self {
+            Expr::Bool(true) => write!(f, "TRUE")?,
+            Expr::Bool(false) => write!(f, "FALSE")?,
+            Expr::Int(v) => write!(f, "{v}")?,
+            Expr::Ident(name) => write!(f, "{name}")?,
+            Expr::Next(name) => write!(f, "next({name})")?,
+            Expr::Not(e) => {
+                write!(f, "!")?;
+                e.fmt_prec(f, prec)?;
+            }
+            Expr::And(a, b) => Self::fmt_binop(f, a, "&", b, prec)?,
+            Expr::Or(a, b) => Self::fmt_binop(f, a, "|", b, prec)?,
+            Expr::Implies(a, b) => Self::fmt_binop(f, a, "->", b, prec)?,
+            Expr::Iff(a, b) => Self::fmt_binop(f, a, "<->", b, prec)?,
+            Expr::Eq(a, b) => Self::fmt_binop(f, a, "=", b, prec)?,
+            Expr::Neq(a, b) => Self::fmt_binop(f, a, "!=", b, prec)?,
+            Expr::Lt(a, b) => Self::fmt_binop(f, a, "<", b, prec)?,
+            Expr::Le(a, b) => Self::fmt_binop(f, a, "<=", b, prec)?,
+            Expr::Gt(a, b) => Self::fmt_binop(f, a, ">", b, prec)?,
+            Expr::Ge(a, b) => Self::fmt_binop(f, a, ">=", b, prec)?,
+            Expr::Add(a, b) => Self::fmt_binop(f, a, "+", b, prec)?,
+            Expr::Sub(a, b) => Self::fmt_binop(f, a, "-", b, prec)?,
+            Expr::Mul(a, b) => Self::fmt_binop(f, a, "*", b, prec)?,
+            Expr::Mod(a, b) => Self::fmt_binop(f, a, "mod", b, prec)?,
+            Expr::Case(branches) => {
+                write!(f, "case ")?;
+                for b in branches {
+                    write!(f, "{} : {}; ", b.condition, b.value)?;
+                }
+                write!(f, "esac")?;
+            }
+            Expr::Set(elements) => {
+                write!(f, "{{")?;
+                for (i, e) in elements.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")?;
+            }
+        }
+        if prec < min {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+
+    fn fmt_binop(
+        f: &mut fmt::Formatter<'_>,
+        a: &Expr,
+        op: &str,
+        b: &Expr,
+        prec: u8,
+    ) -> fmt::Result {
+        a.fmt_prec(f, prec)?;
+        write!(f, " {op} ")?;
+        b.fmt_prec(f, prec + 1)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
 }
 
 /// A CTL specification whose leaves are SMV expressions.
@@ -203,5 +335,34 @@ impl Spec {
             Spec::Ag(s) => Ctl::ag(s.to_ctl(leaf)?),
             Spec::Au(a, b) => Ctl::au(a.to_ctl(leaf)?, b.to_ctl(leaf)?),
         })
+    }
+
+    /// Visits the propositional leaves in `to_ctl` registration order.
+    pub fn leaves(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Spec::Expr(e) => out.push(e),
+            Spec::Not(s)
+            | Spec::Ex(s)
+            | Spec::Ef(s)
+            | Spec::Eg(s)
+            | Spec::Ax(s)
+            | Spec::Af(s)
+            | Spec::Ag(s) => s.collect_leaves(out),
+            Spec::And(a, b)
+            | Spec::Or(a, b)
+            | Spec::Implies(a, b)
+            | Spec::Iff(a, b)
+            | Spec::Eu(a, b)
+            | Spec::Au(a, b) => {
+                a.collect_leaves(out);
+                b.collect_leaves(out);
+            }
+        }
     }
 }

@@ -3,11 +3,11 @@
 use std::collections::HashMap;
 
 use smc_bdd::{Bdd, BddManager, Budget, Var};
-use smc_obs::{SpanId, SpanKind, StatsSnapshot, Telemetry};
 use smc_kripke::{State, SymbolicModel};
 use smc_logic::Ctl;
+use smc_obs::{SpanId, SpanKind, StatsSnapshot, Telemetry};
 
-use crate::ast::{Assign, AssignKind, Expr, Module, Program, Section, Spec};
+use crate::ast::{Assign, AssignKind, Expr, Module, Program, Section, Span, Spec};
 use crate::error::SmvError;
 use crate::flatten::flatten;
 use crate::value::Value;
@@ -20,6 +20,46 @@ pub struct CompiledSpec {
     pub source: Spec,
     /// The checkable formula.
     pub formula: Ctl,
+    /// Source span of the `SPEC` section.
+    pub span: Span,
+}
+
+/// Tuning knobs for [`compile_with_options`]. The defaults reproduce
+/// [`compile_with`]; the analysis layer relaxes them so that it can
+/// diagnose models the strict loader would reject outright.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileOptions {
+    /// Skip the load-time totality check, so deadlocked models compile
+    /// and the analyzer can report the stuck state as a diagnostic.
+    pub allow_deadlock: bool,
+    /// Record the guard of every top-level `case` branch on an `ASSIGN`
+    /// right-hand side (see [`AssignBranch`]), for symbolic dead-code
+    /// analysis. Off by default: the guards are protected BDDs that stay
+    /// live for the model's lifetime.
+    pub record_branches: bool,
+}
+
+/// One top-level `case` branch of an `ASSIGN` right-hand side, with the
+/// guard under which the branch — and no earlier branch — applies.
+/// Recorded only under [`CompileOptions::record_branches`]; the guard is
+/// protected in the model's manager so GC cannot reclaim it.
+#[derive(Debug, Clone)]
+pub struct AssignBranch {
+    /// The assigned (flattened) variable name.
+    pub var: String,
+    /// Whether the branch belongs to an `init(…)` or `next(…)` assign.
+    pub kind: AssignKind,
+    /// 0-based index of the branch within its `case`.
+    pub index: usize,
+    /// Source span of the branch (`condition : value;`).
+    pub span: Span,
+    /// `condition ∧ ¬(earlier conditions)`, over current-state
+    /// variables.
+    pub taken: Bdd,
+    /// The guard is a literal `TRUE` — a defensive catch-all default,
+    /// which dead-branch analysis leaves alone (being unreached is its
+    /// job in a correct model).
+    pub default: bool,
 }
 
 /// Per-variable layout and domain information.
@@ -40,6 +80,12 @@ pub struct CompiledModel {
     pub model: SymbolicModel,
     /// The compiled specifications, in source order.
     pub specs: Vec<CompiledSpec>,
+    /// Source spans of the `FAIRNESS` sections, index-aligned with
+    /// [`SymbolicModel::fairness`](smc_kripke::SymbolicModel::fairness).
+    pub fairness_spans: Vec<Span>,
+    /// Top-level `ASSIGN` case-branch guards; empty unless compiled
+    /// under [`CompileOptions::record_branches`].
+    pub branches: Vec<AssignBranch>,
     vars: Vec<VarInfo>,
 }
 
@@ -115,6 +161,24 @@ pub fn compile_with(
     budget: Option<Budget>,
     tele: Telemetry,
 ) -> Result<CompiledModel, SmvError> {
+    compile_with_options(source, budget, tele, CompileOptions::default())
+}
+
+/// As [`compile_with`], with explicit [`CompileOptions`]. This is the
+/// analysis layer's entry point: it compiles deadlocked models without
+/// rejecting them and records `case`-branch guards for symbolic
+/// dead-code detection.
+///
+/// # Errors
+///
+/// As [`compile`] / [`compile_budgeted`], minus the deadlock rejection
+/// when [`CompileOptions::allow_deadlock`] is set.
+pub fn compile_with_options(
+    source: &str,
+    budget: Option<Budget>,
+    tele: Telemetry,
+    opts: CompileOptions,
+) -> Result<CompiledModel, SmvError> {
     let span = if tele.enabled() {
         // No manager exists yet; the span opens on an empty snapshot so
         // its delta covers every node the compile creates.
@@ -125,7 +189,7 @@ pub fn compile_with(
     let result = (|| {
         let program = crate::parser::parse(source)?;
         let flat = flatten(&program)?;
-        compile_module_full(&flat, budget, tele.clone())
+        compile_module_full(&flat, budget, tele.clone(), opts)
     })();
     if tele.enabled() {
         let at = match &result {
@@ -146,13 +210,29 @@ pub fn compile_program(program: &Program) -> Result<CompiledModel, SmvError> {
 
 /// Compiles a single flattened (instance-free) module.
 pub fn compile_module(program: &Module) -> Result<CompiledModel, SmvError> {
-    compile_module_full(program, None, Telemetry::disabled())
+    compile_module_full(program, None, Telemetry::disabled(), CompileOptions::default())
+}
+
+/// Compiles a single flattened (instance-free) module with explicit
+/// [`CompileOptions`], budget and telemetry; see [`compile_with_options`].
+///
+/// # Errors
+///
+/// As [`compile_module`].
+pub fn compile_module_with_options(
+    program: &Module,
+    budget: Option<Budget>,
+    tele: Telemetry,
+    opts: CompileOptions,
+) -> Result<CompiledModel, SmvError> {
+    compile_module_full(program, budget, tele, opts)
 }
 
 fn compile_module_full(
     program: &Module,
     budget: Option<Budget>,
     tele: Telemetry,
+    opts: CompileOptions,
 ) -> Result<CompiledModel, SmvError> {
     // ---- Collect declarations. ----
     let mut vars: Vec<VarInfo> = Vec::new();
@@ -168,7 +248,8 @@ fn compile_module_full(
                         return Err(SmvError::semantic(format!(
                             "variable {:?} declared twice",
                             d.name
-                        )));
+                        ))
+                        .with_span(d.span));
                     }
                     let domain: Vec<Value> = match &d.ty {
                         crate::ast::VarType::Boolean => {
@@ -180,9 +261,7 @@ fn compile_module_full(
                             }
                             symbols.iter().map(|s| Value::Sym(s.clone())).collect()
                         }
-                        crate::ast::VarType::Range(lo, hi) => {
-                            (*lo..=*hi).map(Value::Int).collect()
-                        }
+                        crate::ast::VarType::Range(lo, hi) => (*lo..=*hi).map(Value::Int).collect(),
                         crate::ast::VarType::Instance(m, _) => {
                             return Err(SmvError::semantic(format!(
                                 "unflattened instance of module {m:?} (use compile_program)"
@@ -203,9 +282,7 @@ fn compile_module_full(
             Section::Define(ds) => {
                 for (name, expr) in ds {
                     if defines.insert(name.clone(), expr.clone()).is_some() {
-                        return Err(SmvError::semantic(format!(
-                            "macro {name:?} defined twice"
-                        )));
+                        return Err(SmvError::semantic(format!("macro {name:?} defined twice")));
                     }
                 }
             }
@@ -217,9 +294,7 @@ fn compile_module_full(
     }
     for name in var_index.keys() {
         if defines.contains_key(name) {
-            return Err(SmvError::semantic(format!(
-                "{name:?} is both a variable and a macro"
-            )));
+            return Err(SmvError::semantic(format!("{name:?} is both a variable and a macro")));
         }
     }
 
@@ -231,17 +306,18 @@ fn compile_module_full(
     let mut nxt: Vec<Var> = Vec::with_capacity(bit_count);
     for info in &vars {
         for b in 0..info.nbits {
-            let bit_name = if info.nbits == 1 {
-                info.name.clone()
-            } else {
-                format!("{}.{}", info.name, b)
-            };
-            cur.push(manager.new_var(&bit_name).map_err(|e| {
-                SmvError::semantic(format!("bdd variable allocation failed: {e}"))
-            })?);
-            nxt.push(manager.new_var(&format!("{bit_name}'")).map_err(|e| {
-                SmvError::semantic(format!("bdd variable allocation failed: {e}"))
-            })?);
+            let bit_name =
+                if info.nbits == 1 { info.name.clone() } else { format!("{}.{}", info.name, b) };
+            cur.push(
+                manager.new_var(&bit_name).map_err(|e| {
+                    SmvError::semantic(format!("bdd variable allocation failed: {e}"))
+                })?,
+            );
+            nxt.push(
+                manager.new_var(&format!("{bit_name}'")).map_err(|e| {
+                    SmvError::semantic(format!("bdd variable allocation failed: {e}"))
+                })?,
+            );
             names.push(bit_name);
         }
     }
@@ -271,7 +347,9 @@ fn compile_module_full(
     let mut init = valid_cur;
     let mut trans = valid_nxt;
     let mut fairness: Vec<Bdd> = Vec::new();
-    let mut spec_asts: Vec<Spec> = Vec::new();
+    let mut fairness_spans: Vec<Span> = Vec::new();
+    let mut spec_asts: Vec<(Spec, Span)> = Vec::new();
+    let mut branches: Vec<AssignBranch> = Vec::new();
     let mut assigned_init: HashMap<String, ()> = HashMap::new();
     let mut assigned_next: HashMap<String, ()> = HashMap::new();
     for section in &program.sections {
@@ -279,47 +357,58 @@ fn compile_module_full(
             Section::Var(_) | Section::Define(_) => {}
             Section::Assign(assigns) => {
                 for a in assigns {
-                    let part = compile_assign(&mut ctx, a, &mut assigned_init, &mut assigned_next)?;
+                    let recorder = opts.record_branches.then_some(&mut branches);
+                    let part = compile_assign(
+                        &mut ctx,
+                        a,
+                        &mut assigned_init,
+                        &mut assigned_next,
+                        recorder,
+                    )
+                    .map_err(|e| e.with_span(a.span))?;
                     match a.kind {
                         AssignKind::Init => init = ctx.manager.and(init, part),
                         AssignKind::Next => trans = ctx.manager.and(trans, part),
                     }
                 }
             }
-            Section::Init(e) => {
-                let b = ctx.eval_bool(e, false)?;
+            Section::Init(e, span) => {
+                let b = ctx.eval_bool(e, false).map_err(|err| err.with_span(*span))?;
                 init = ctx.manager.and(init, b);
             }
-            Section::Trans(e) => {
-                let b = ctx.eval_bool(e, true)?;
+            Section::Trans(e, span) => {
+                let b = ctx.eval_bool(e, true).map_err(|err| err.with_span(*span))?;
                 trans = ctx.manager.and(trans, b);
             }
-            Section::Fairness(e) => {
-                fairness.push(ctx.eval_bool(e, false)?);
+            Section::Fairness(e, span) => {
+                fairness.push(ctx.eval_bool(e, false).map_err(|err| err.with_span(*span))?);
+                fairness_spans.push(*span);
             }
-            Section::Spec(s) => spec_asts.push(s.clone()),
+            Section::Spec(s, span) => spec_asts.push((s.clone(), *span)),
         }
     }
 
     // ---- Compile SPEC leaves to labels. ----
     let mut labels: Vec<(String, Bdd)> = Vec::new();
     let mut compiled_specs: Vec<CompiledSpec> = Vec::new();
-    for (i, spec) in spec_asts.iter().enumerate() {
+    for (i, (spec, spec_span)) in spec_asts.iter().enumerate() {
         let mut leaf_count = 0usize;
-        let formula = spec.to_ctl(&mut |expr: &Expr| -> Result<Ctl, SmvError> {
-            // Trivial leaves keep their own identity.
-            match expr {
-                Expr::Bool(true) => return Ok(Ctl::True),
-                Expr::Bool(false) => return Ok(Ctl::False),
-                _ => {}
-            }
-            let set = ctx.eval_bool(expr, false)?;
-            let name = format!("__spec{i}_{leaf_count}");
-            leaf_count += 1;
-            labels.push((name.clone(), set));
-            Ok(Ctl::Atom(name))
-        })?;
-        compiled_specs.push(CompiledSpec { source: spec.clone(), formula });
+        let formula = spec
+            .to_ctl(&mut |expr: &Expr| -> Result<Ctl, SmvError> {
+                // Trivial leaves keep their own identity.
+                match expr {
+                    Expr::Bool(true) => return Ok(Ctl::True),
+                    Expr::Bool(false) => return Ok(Ctl::False),
+                    _ => {}
+                }
+                let set = ctx.eval_bool(expr, false)?;
+                let name = format!("__spec{i}_{leaf_count}");
+                leaf_count += 1;
+                labels.push((name.clone(), set));
+                Ok(Ctl::Atom(name))
+            })
+            .map_err(|e| e.with_span(*spec_span))?;
+        compiled_specs.push(CompiledSpec { source: spec.clone(), formula, span: *spec_span });
     }
 
     // Register per-variable boolean atoms so boolean vars are usable in
@@ -327,14 +416,17 @@ fn compile_module_full(
     // their own name as a state bit).
     let Ctx { manager, cur, nxt, .. } = ctx;
     let model = SymbolicModel::assemble(manager, names, cur, nxt, init, trans, fairness, labels)?;
-    let mut compiled = CompiledModel { model, specs: compiled_specs, vars };
+    let mut compiled =
+        CompiledModel { model, specs: compiled_specs, fairness_spans, branches, vars };
     // The totality check runs the reachability fixpoint — by far the
     // heaviest part of loading a big model — so a caller-supplied budget
     // is installed first.
     if let Some(budget) = budget {
         compiled.model.manager_mut().set_budget(budget);
     }
-    compiled.model.check_total()?;
+    if !opts.allow_deadlock {
+        compiled.model.check_total()?;
+    }
     Ok(compiled)
 }
 
@@ -437,9 +529,7 @@ impl Ctx<'_> {
             }
             Expr::Next(name) => {
                 if !allow_next {
-                    return Err(SmvError::semantic(
-                        "next(...) is only allowed inside TRANS",
-                    ));
+                    return Err(SmvError::semantic("next(...) is only allowed inside TRANS"));
                 }
                 let &i = self
                     .var_index
@@ -479,8 +569,7 @@ impl Ctx<'_> {
                     let cond = self.eval_bool_inner(&branch.condition, allow_next, depth)?;
                     let guard = self.manager.and(remaining, cond);
                     if !guard.is_false() {
-                        let value_map =
-                            self.eval(&branch.value, allow_next, sets_ok, depth + 1)?;
+                        let value_map = self.eval(&branch.value, allow_next, sets_ok, depth + 1)?;
                         for (v, g) in value_map {
                             let gg = self.manager.and(g, guard);
                             if !gg.is_false() {
@@ -496,9 +585,7 @@ impl Ctx<'_> {
                 }
                 let uncovered = self.manager.and(remaining, self.valid);
                 if !uncovered.is_false() {
-                    return Err(SmvError::semantic(
-                        "non-exhaustive case (add a TRUE branch)",
-                    ));
+                    return Err(SmvError::semantic("non-exhaustive case (add a TRUE branch)"));
                 }
                 Ok(out)
             }
@@ -650,12 +737,15 @@ fn merge(manager: &mut BddManager, map: &mut ValueMap, value: Value, guard: Bdd)
     }
 }
 
-/// Compiles one `ASSIGN` into an `init` or `trans` conjunct.
+/// Compiles one `ASSIGN` into an `init` or `trans` conjunct. When
+/// `branches` is provided, the guard of every top-level `case` branch is
+/// recorded (and protected) for the analysis layer.
 fn compile_assign(
     ctx: &mut Ctx<'_>,
     assign: &Assign,
     assigned_init: &mut HashMap<String, ()>,
     assigned_next: &mut HashMap<String, ()>,
+    branches: Option<&mut Vec<AssignBranch>>,
 ) -> Result<Bdd, SmvError> {
     let &var = ctx
         .var_index
@@ -666,44 +756,50 @@ fn compile_assign(
         AssignKind::Next => &mut *assigned_next,
     };
     if book.insert(assign.var.clone(), ()).is_some() {
-        return Err(SmvError::semantic(format!(
-            "variable {:?} assigned twice",
-            assign.var
-        )));
+        return Err(SmvError::semantic(format!("variable {:?} assigned twice", assign.var)));
     }
     let rail = match assign.kind {
         AssignKind::Init => Rail::Cur,
         AssignKind::Next => Rail::Nxt,
     };
+    if let (Some(out), Expr::Case(case_branches)) = (branches, &assign.rhs) {
+        // `case` guards are over current-state variables even in a
+        // `next(…)` assign, so "this branch is taken" intersects
+        // directly with init / reachable state sets.
+        let mut remaining = Bdd::TRUE;
+        for (index, b) in case_branches.iter().enumerate() {
+            let cond = ctx.eval_bool(&b.condition, false)?;
+            let taken = ctx.manager.and(remaining, cond);
+            ctx.manager.protect(taken);
+            out.push(AssignBranch {
+                var: assign.var.clone(),
+                kind: assign.kind,
+                index,
+                span: b.span,
+                taken,
+                default: matches!(b.condition, Expr::Bool(true)),
+            });
+            let ncond = ctx.manager.not(cond);
+            remaining = ctx.manager.and(remaining, ncond);
+        }
+    }
     let map = ctx.eval(&assign.rhs, false, true, 0)?;
     let mut part = Bdd::FALSE;
     for (value, guard) in map {
-        let idx = ctx.vars[var]
-            .domain
-            .iter()
-            .position(|v| *v == value)
-            .ok_or_else(|| {
-                SmvError::semantic(format!(
-                    "value {value} is outside the domain of {:?}",
-                    assign.var
-                ))
-            })?;
+        let idx = ctx.vars[var].domain.iter().position(|v| *v == value).ok_or_else(|| {
+            SmvError::semantic(format!("value {value} is outside the domain of {:?}", assign.var))
+        })?;
         let enc = ctx.encode(var, idx, rail);
         let conj = ctx.manager.and(guard, enc);
         part = ctx.manager.or(part, conj);
     }
     if part.is_false() {
-        return Err(SmvError::semantic(format!(
-            "assignment to {:?} is unsatisfiable",
-            assign.var
-        )));
+        return Err(SmvError::semantic(format!("assignment to {:?} is unsatisfiable", assign.var)));
     }
     Ok(part)
 }
 
-fn int_cmp(
-    f: impl Fn(i64, i64) -> bool,
-) -> impl Fn(&Value, &Value) -> Result<bool, SmvError> {
+fn int_cmp(f: impl Fn(i64, i64) -> bool) -> impl Fn(&Value, &Value) -> Result<bool, SmvError> {
     move |a, b| match (a.as_int(), b.as_int()) {
         (Some(x), Some(y)) => Ok(f(x, y)),
         _ => Err(SmvError::semantic(format!(

@@ -5,6 +5,8 @@ use std::fmt;
 
 use smc_kripke::KripkeError;
 
+use crate::ast::Span;
+
 /// Errors reported while parsing or compiling an SMV program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SmvError {
@@ -17,7 +19,12 @@ pub enum SmvError {
     },
     /// Static-semantics error (unknown identifier, type mismatch, value
     /// outside a variable's domain, ...).
-    Semantic(String),
+    Semantic {
+        /// What went wrong.
+        message: String,
+        /// The construct the error arose in, when known.
+        span: Option<Span>,
+    },
     /// Error from the model layer (deadlock, empty initial set, ...).
     Kripke(KripkeError),
 }
@@ -28,7 +35,29 @@ impl SmvError {
     }
 
     pub(crate) fn semantic(message: impl Into<String>) -> SmvError {
-        SmvError::Semantic(message.into())
+        SmvError::Semantic { message: message.into(), span: None }
+    }
+
+    /// Attaches `span` to a [`SmvError::Semantic`] that does not already
+    /// carry one. Parse and model-layer errors are returned unchanged.
+    pub(crate) fn with_span(self, span: Span) -> SmvError {
+        match self {
+            SmvError::Semantic { message, span: None } => {
+                SmvError::Semantic { message, span: Some(span) }
+            }
+            other => other,
+        }
+    }
+
+    /// The source span the error points at, when one is known: parse
+    /// errors carry their offending byte, semantic errors the enclosing
+    /// construct; model-layer errors have no source location.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            SmvError::Parse { position, .. } => Some(Span::point(*position)),
+            SmvError::Semantic { span, .. } => *span,
+            SmvError::Kripke(_) => None,
+        }
     }
 }
 
@@ -38,7 +67,7 @@ impl fmt::Display for SmvError {
             SmvError::Parse { position, message } => {
                 write!(f, "parse error at byte {position}: {message}")
             }
-            SmvError::Semantic(message) => write!(f, "semantic error: {message}"),
+            SmvError::Semantic { message, .. } => write!(f, "semantic error: {message}"),
             SmvError::Kripke(e) => write!(f, "model error: {e}"),
         }
     }

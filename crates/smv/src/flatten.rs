@@ -17,9 +17,7 @@ use crate::error::SmvError;
 /// instantiation graph is cyclic, or `next(…)` is applied to a
 /// non-variable parameter.
 pub fn flatten(program: &Program) -> Result<Module, SmvError> {
-    let main = program
-        .main()
-        .ok_or_else(|| SmvError::semantic("no MODULE main"))?;
+    let main = program.main().ok_or_else(|| SmvError::semantic("no MODULE main"))?;
     if !main.params.is_empty() {
         return Err(SmvError::semantic("MODULE main cannot take parameters"));
     }
@@ -98,6 +96,7 @@ fn expand(
                             plain.push(Decl {
                                 name: format!("{prefix}{}", d.name),
                                 ty: other.clone(),
+                                span: d.span,
                             });
                         }
                     }
@@ -113,6 +112,7 @@ fn expand(
                         var: ctx.name(&a.var),
                         kind: a.kind,
                         rhs: ctx.expr(&a.rhs)?,
+                        span: a.span,
                     });
                 }
                 out.push(Section::Assign(renamed));
@@ -124,10 +124,10 @@ fn expand(
                 }
                 out.push(Section::Define(renamed));
             }
-            Section::Init(e) => out.push(Section::Init(ctx.expr(e)?)),
-            Section::Trans(e) => out.push(Section::Trans(ctx.expr(e)?)),
-            Section::Fairness(e) => out.push(Section::Fairness(ctx.expr(e)?)),
-            Section::Spec(s) => out.push(Section::Spec(ctx.spec(s)?)),
+            Section::Init(e, span) => out.push(Section::Init(ctx.expr(e)?, *span)),
+            Section::Trans(e, span) => out.push(Section::Trans(ctx.expr(e)?, *span)),
+            Section::Fairness(e, span) => out.push(Section::Fairness(ctx.expr(e)?, *span)),
+            Section::Spec(s, span) => out.push(Section::Spec(ctx.spec(s)?, *span)),
         }
     }
     Ok(())
@@ -178,9 +178,7 @@ impl Renamer<'_> {
             Expr::Not(a) => Expr::Not(Box::new(self.expr(a)?)),
             Expr::And(a, b) => Expr::And(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
             Expr::Or(a, b) => Expr::Or(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
-            Expr::Implies(a, b) => {
-                Expr::Implies(Box::new(self.expr(a)?), Box::new(self.expr(b)?))
-            }
+            Expr::Implies(a, b) => Expr::Implies(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
             Expr::Iff(a, b) => Expr::Iff(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
             Expr::Eq(a, b) => Expr::Eq(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
             Expr::Neq(a, b) => Expr::Neq(Box::new(self.expr(a)?), Box::new(self.expr(b)?)),
@@ -199,16 +197,14 @@ impl Renamer<'_> {
                         Ok(CaseBranch {
                             condition: self.expr(&b.condition)?,
                             value: self.expr(&b.value)?,
+                            span: b.span,
                         })
                     })
                     .collect::<Result<_, SmvError>>()?,
             ),
-            Expr::Set(elements) => Expr::Set(
-                elements
-                    .iter()
-                    .map(|e| self.expr(e))
-                    .collect::<Result<_, SmvError>>()?,
-            ),
+            Expr::Set(elements) => {
+                Expr::Set(elements.iter().map(|e| self.expr(e)).collect::<Result<_, SmvError>>()?)
+            }
         })
     }
 
@@ -218,9 +214,7 @@ impl Renamer<'_> {
             Spec::Not(a) => Spec::Not(Box::new(self.spec(a)?)),
             Spec::And(a, b) => Spec::And(Box::new(self.spec(a)?), Box::new(self.spec(b)?)),
             Spec::Or(a, b) => Spec::Or(Box::new(self.spec(a)?), Box::new(self.spec(b)?)),
-            Spec::Implies(a, b) => {
-                Spec::Implies(Box::new(self.spec(a)?), Box::new(self.spec(b)?))
-            }
+            Spec::Implies(a, b) => Spec::Implies(Box::new(self.spec(a)?), Box::new(self.spec(b)?)),
             Spec::Iff(a, b) => Spec::Iff(Box::new(self.spec(a)?), Box::new(self.spec(b)?)),
             Spec::Ex(a) => Spec::Ex(Box::new(self.spec(a)?)),
             Spec::Ef(a) => Spec::Ef(Box::new(self.spec(a)?)),

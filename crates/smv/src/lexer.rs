@@ -54,7 +54,10 @@ pub(crate) enum Tok {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct SpannedTok {
     pub tok: Tok,
+    /// Byte offset of the token's first character.
     pub pos: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
 }
 
 pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SmvError> {
@@ -64,115 +67,117 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SmvError> {
     while i < bytes.len() {
         let pos = i;
         let c = bytes[i] as char;
-        match c {
+        let tok = match c {
             ' ' | '\t' | '\n' | '\r' => {
                 i += 1;
+                continue;
             }
             '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
                 // Line comment.
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
                 }
+                continue;
             }
             '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
-                out.push(SpannedTok { tok: Tok::Implies, pos });
                 i += 2;
+                Tok::Implies
             }
             '-' => {
-                out.push(SpannedTok { tok: Tok::Minus, pos });
                 i += 1;
+                Tok::Minus
             }
             ':' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(SpannedTok { tok: Tok::Assigned, pos });
                 i += 2;
+                Tok::Assigned
             }
             ':' => {
-                out.push(SpannedTok { tok: Tok::Colon, pos });
                 i += 1;
+                Tok::Colon
             }
             ';' => {
-                out.push(SpannedTok { tok: Tok::Semi, pos });
                 i += 1;
+                Tok::Semi
             }
             ',' => {
-                out.push(SpannedTok { tok: Tok::Comma, pos });
                 i += 1;
+                Tok::Comma
             }
             '(' => {
-                out.push(SpannedTok { tok: Tok::LParen, pos });
                 i += 1;
+                Tok::LParen
             }
             ')' => {
-                out.push(SpannedTok { tok: Tok::RParen, pos });
                 i += 1;
+                Tok::RParen
             }
             '{' => {
-                out.push(SpannedTok { tok: Tok::LBrace, pos });
                 i += 1;
+                Tok::LBrace
             }
             '}' => {
-                out.push(SpannedTok { tok: Tok::RBrace, pos });
                 i += 1;
+                Tok::RBrace
             }
             '[' => {
-                out.push(SpannedTok { tok: Tok::LBracket, pos });
                 i += 1;
+                Tok::LBracket
             }
             ']' => {
-                out.push(SpannedTok { tok: Tok::RBracket, pos });
                 i += 1;
+                Tok::RBracket
             }
             '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(SpannedTok { tok: Tok::Neq, pos });
                 i += 2;
+                Tok::Neq
             }
             '!' => {
-                out.push(SpannedTok { tok: Tok::Not, pos });
                 i += 1;
+                Tok::Not
             }
             '&' => {
-                out.push(SpannedTok { tok: Tok::And, pos });
                 i += 1;
+                Tok::And
             }
             '|' => {
-                out.push(SpannedTok { tok: Tok::Or, pos });
                 i += 1;
+                Tok::Or
             }
             '=' => {
-                out.push(SpannedTok { tok: Tok::Eq, pos });
                 i += 1;
+                Tok::Eq
             }
             '<' if i + 2 < bytes.len() && bytes[i + 1] == b'-' && bytes[i + 2] == b'>' => {
-                out.push(SpannedTok { tok: Tok::Iff, pos });
                 i += 3;
+                Tok::Iff
             }
             '<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(SpannedTok { tok: Tok::Le, pos });
                 i += 2;
+                Tok::Le
             }
             '<' => {
-                out.push(SpannedTok { tok: Tok::Lt, pos });
                 i += 1;
+                Tok::Lt
             }
             '>' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(SpannedTok { tok: Tok::Ge, pos });
                 i += 2;
+                Tok::Ge
             }
             '>' => {
-                out.push(SpannedTok { tok: Tok::Gt, pos });
                 i += 1;
+                Tok::Gt
             }
             '+' => {
-                out.push(SpannedTok { tok: Tok::Plus, pos });
                 i += 1;
+                Tok::Plus
             }
             '*' => {
-                out.push(SpannedTok { tok: Tok::Star, pos });
                 i += 1;
+                Tok::Star
             }
             '.' if i + 1 < bytes.len() && bytes[i + 1] == b'.' => {
-                out.push(SpannedTok { tok: Tok::DotDot, pos });
                 i += 2;
+                Tok::DotDot
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -183,20 +188,23 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SmvError> {
                 let value: i64 = text
                     .parse()
                     .map_err(|_| SmvError::parse(start, format!("bad integer {text:?}")))?;
-                out.push(SpannedTok { tok: Tok::Int(value), pos });
+                Tok::Int(value)
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 while i < bytes.len() {
                     let c = bytes[i] as char;
-                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' && !(i + 1 < bytes.len() && bytes[i + 1] == b'.') {
+                    if c.is_ascii_alphanumeric()
+                        || c == '_'
+                        || c == '.' && !(i + 1 < bytes.len() && bytes[i + 1] == b'.')
+                    {
                         i += 1;
                     } else {
                         break;
                     }
                 }
                 let word = &input[start..i];
-                let tok = match word {
+                match word {
                     "MODULE" => Tok::Module,
                     "VAR" => Tok::Var,
                     "ASSIGN" => Tok::Assign,
@@ -214,13 +222,13 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<SpannedTok>, SmvError> {
                     "FALSE" | "false" => Tok::False,
                     "mod" => Tok::Mod,
                     _ => Tok::Ident(word.to_string()),
-                };
-                out.push(SpannedTok { tok, pos });
+                }
             }
             other => {
                 return Err(SmvError::parse(pos, format!("unexpected character {other:?}")));
             }
-        }
+        };
+        out.push(SpannedTok { tok, pos, end: i });
     }
     Ok(out)
 }

@@ -73,10 +73,12 @@ mod lexer;
 mod parser;
 mod value;
 
-pub use ast::{CaseBranch, Decl, Expr, Module, Program, Section, Spec, VarType};
+pub use ast::{
+    Assign, AssignKind, CaseBranch, Decl, Expr, Module, Program, Section, Span, Spec, VarType,
+};
 pub use compile::{
-    compile, compile_budgeted, compile_module, compile_program, compile_with, CompiledModel,
-    CompiledSpec,
+    compile, compile_budgeted, compile_module, compile_module_with_options, compile_program,
+    compile_with, compile_with_options, AssignBranch, CompileOptions, CompiledModel, CompiledSpec,
 };
 pub use error::SmvError;
 pub use flatten::flatten;

@@ -1,7 +1,7 @@
 //! Recursive-descent parser for the SMV subset.
 
 use crate::ast::{
-    Assign, AssignKind, CaseBranch, Decl, Expr, Module, Program, Section, Spec, VarType,
+    Assign, AssignKind, CaseBranch, Decl, Expr, Module, Program, Section, Span, Spec, VarType,
 };
 use crate::error::SmvError;
 use crate::lexer::{tokenize, SpannedTok, Tok};
@@ -48,6 +48,21 @@ impl Parser {
 
     fn here(&self) -> usize {
         self.toks.get(self.pos).map_or(self.len, |t| t.pos)
+    }
+
+    /// Byte offset one past the most recently consumed token.
+    fn end_of_last(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else {
+            self.toks[self.pos - 1].end
+        }
+    }
+
+    /// The span from `start` (captured via [`here`](Parser::here) before
+    /// parsing a construct) to the end of the last consumed token.
+    fn span_from(&self, start: usize) -> Span {
+        Span { start, end: self.end_of_last().max(start) }
     }
 
     fn eat(&mut self, tok: &Tok) -> bool {
@@ -98,6 +113,7 @@ impl Parser {
             if tok == &Tok::Module {
                 break;
             }
+            let start = self.here();
             let section = match tok {
                 Tok::Var => {
                     self.bump();
@@ -113,19 +129,23 @@ impl Parser {
                 }
                 Tok::Init => {
                     self.bump();
-                    Section::Init(self.expr()?)
+                    let e = self.expr()?;
+                    Section::Init(e, self.span_from(start))
                 }
                 Tok::Trans => {
                     self.bump();
-                    Section::Trans(self.expr()?)
+                    let e = self.expr()?;
+                    Section::Trans(e, self.span_from(start))
                 }
                 Tok::Fairness => {
                     self.bump();
-                    Section::Fairness(self.expr()?)
+                    let e = self.expr()?;
+                    Section::Fairness(e, self.span_from(start))
                 }
                 Tok::Spec => {
                     self.bump();
-                    Section::Spec(self.spec()?)
+                    let s = self.spec()?;
+                    Section::Spec(s, self.span_from(start))
                 }
                 _ => {
                     return Err(SmvError::parse(self.here(), "expected a section keyword"));
@@ -139,11 +159,12 @@ impl Parser {
     fn decls(&mut self) -> Result<Vec<Decl>, SmvError> {
         let mut decls = Vec::new();
         while let Some(Tok::Ident(_)) = self.peek() {
+            let start = self.here();
             let name = self.ident("variable name")?;
             self.expect(Tok::Colon, "':'")?;
             let ty = self.var_type()?;
             self.expect(Tok::Semi, "';'")?;
-            decls.push(Decl { name, ty });
+            decls.push(Decl { name, ty, span: self.span_from(start) });
         }
         Ok(decls)
     }
@@ -207,6 +228,7 @@ impl Parser {
                 Some(Tok::NextKw) => AssignKind::Next,
                 _ => break,
             };
+            let start = self.here();
             self.bump();
             self.expect(Tok::LParen, "'('")?;
             let var = self.ident("variable name")?;
@@ -214,7 +236,7 @@ impl Parser {
             self.expect(Tok::Assigned, "':='")?;
             let rhs = self.expr()?;
             self.expect(Tok::Semi, "';'")?;
-            assigns.push(Assign { var, kind, rhs });
+            assigns.push(Assign { var, kind, rhs, span: self.span_from(start) });
         }
         Ok(assigns)
     }
@@ -378,11 +400,12 @@ impl Parser {
                 self.bump();
                 let mut branches = Vec::new();
                 while !self.eat(&Tok::Esac) {
+                    let start = self.here();
                     let condition = self.expr()?;
                     self.expect(Tok::Colon, "':'")?;
                     let value = self.expr()?;
                     self.expect(Tok::Semi, "';'")?;
-                    branches.push(CaseBranch { condition, value });
+                    branches.push(CaseBranch { condition, value, span: self.span_from(start) });
                 }
                 if branches.is_empty() {
                     return Err(SmvError::parse(self.here(), "empty case"));

@@ -147,10 +147,7 @@ fn nondeterministic_sets_produce_choices() {
     let s0 = compiled.model.pick_state(init).unwrap();
     let succ = compiled.model.successors(&s0);
     let states = compiled.model.states_in(succ, 8).unwrap();
-    let values: Vec<Value> = states
-        .iter()
-        .map(|s| compiled.value_of(s, "st").unwrap())
-        .collect();
+    let values: Vec<Value> = states.iter().map(|s| compiled.value_of(s, "st").unwrap()).collect();
     assert_eq!(values.len(), 2);
     assert!(values.contains(&Value::Sym("b".into())));
     assert!(values.contains(&Value::Sym("c".into())));
@@ -243,18 +240,14 @@ fn counterexample_from_smv_spec() {
 fn semantic_errors_are_reported() {
     // Unknown identifier.
     let err = compile("MODULE main VAR x : boolean; INIT y").unwrap_err();
-    assert!(matches!(err, SmvError::Semantic(_)), "{err}");
+    assert!(matches!(err, SmvError::Semantic { .. }), "{err}");
     // Value outside domain.
-    let err = compile(
-        "MODULE main VAR n : 0..3; ASSIGN init(n) := 0; next(n) := n + 10;",
-    )
-    .unwrap_err();
-    assert!(matches!(err, SmvError::Semantic(_)), "{err}");
+    let err =
+        compile("MODULE main VAR n : 0..3; ASSIGN init(n) := 0; next(n) := n + 10;").unwrap_err();
+    assert!(matches!(err, SmvError::Semantic { .. }), "{err}");
     // Non-exhaustive case.
-    let err = compile(
-        "MODULE main VAR x : boolean; ASSIGN next(x) := case x : FALSE; esac;",
-    )
-    .unwrap_err();
+    let err = compile("MODULE main VAR x : boolean; ASSIGN next(x) := case x : FALSE; esac;")
+        .unwrap_err();
     assert!(format!("{err}").contains("non-exhaustive"), "{err}");
     // next() outside TRANS.
     let err = compile("MODULE main VAR x : boolean; INIT next(x)").unwrap_err();
@@ -266,10 +259,8 @@ fn semantic_errors_are_reported() {
     let err = compile("MODULE main VAR n : 0..3; INIT n = {1, 2}").unwrap_err();
     assert!(format!("{err}").contains("choice sets"), "{err}");
     // Double assignment.
-    let err = compile(
-        "MODULE main VAR x : boolean; ASSIGN next(x) := x; next(x) := !x;",
-    )
-    .unwrap_err();
+    let err =
+        compile("MODULE main VAR x : boolean; ASSIGN next(x) := x; next(x) := !x;").unwrap_err();
     assert!(format!("{err}").contains("assigned twice"), "{err}");
     // Modulo by zero.
     let err = compile("MODULE main VAR n : 0..3; INIT n mod 0 = 1").unwrap_err();
@@ -400,10 +391,8 @@ fn module_errors_are_reported() {
     let err = compile("MODULE main VAR x : nosuch(TRUE);").unwrap_err();
     assert!(format!("{err}").contains("unknown module"), "{err}");
     // Wrong arity.
-    let err = compile(
-        "MODULE cell(a) VAR n : boolean;\nMODULE main VAR c : cell(TRUE, FALSE);",
-    )
-    .unwrap_err();
+    let err = compile("MODULE cell(a) VAR n : boolean;\nMODULE main VAR c : cell(TRUE, FALSE);")
+        .unwrap_err();
     assert!(format!("{err}").contains("parameter"), "{err}");
     // Recursive instantiation.
     let err = compile("MODULE a VAR x : a;\nMODULE main VAR y : a;").unwrap_err();

@@ -24,11 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{safety}  ->  {}", verdict(checker.check(&safety)?.holds()));
 
     // Liveness, the paper's spec shape AG (request -> AF acknowledge).
-    for spec_text in [
-        "AG (tr1 -> AF ta1)",
-        "AG (ur1 -> AF ua1)",
-        "AG (ur2 -> AF ua2)",
-    ] {
+    for spec_text in ["AG (tr1 -> AF ta1)", "AG (ur1 -> AF ua1)", "AG (ur2 -> AF ua2)"] {
         let spec = ctl::parse(spec_text)?;
         let outcome = checker.check_with_trace(&spec)?;
         println!("{spec_text}  ->  {}", verdict(outcome.verdict.holds()));

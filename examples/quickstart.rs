@@ -12,9 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // top bit be set infinitely often (vacuously true here — the counter
     // wraps — but it demonstrates the fair-CTL machinery).
     let mut b = SymbolicModelBuilder::new();
-    let bits: Vec<_> = (0..3)
-        .map(|i| b.bool_var(&format!("b{i}")))
-        .collect::<Result<_, _>>()?;
+    let bits: Vec<_> = (0..3).map(|i| b.bool_var(&format!("b{i}"))).collect::<Result<_, _>>()?;
     b.init_zero();
     for (i, bit) in bits.iter().enumerate() {
         b.next_fn(*bit, move |m, cur| {

@@ -43,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut failing = None;
     for (i, spec) in specs.iter().enumerate() {
         let verdict = checker.check(spec)?;
-        println!(
-            "SPEC {i}: {}",
-            if verdict.holds() { "holds" } else { "FAILS" }
-        );
+        println!("SPEC {i}: {}", if verdict.holds() { "holds" } else { "FAILS" });
         if !verdict.holds() && failing.is_none() {
             failing = Some(spec.clone());
         }

@@ -29,8 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut checker = Checker::new(&mut model);
     let w = checker.witness(&ctl::parse("EG true")?)?;
     let stats = checker.last_witness_stats().expect("an EG witness ran");
-    println!("Figure 1 (single SCC): witness length {}, cycle {}, restarts {}",
-        w.len(), w.cycle_len(), stats.restarts);
+    println!(
+        "Figure 1 (single SCC): witness length {}, cycle {}, restarts {}",
+        w.len(),
+        w.cycle_len(),
+        stats.restarts
+    );
 
     // ---- Figure 2: three chained SCCs, fairness only at the bottom. ----
     let mut chain = ExplicitModel::new();

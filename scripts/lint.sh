@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Static quality gate: clippy with warnings denied, plus rustfmt drift.
+# CI and scripts/verify.sh both call this; it must stay warning-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt (check only) =="
+cargo fmt --check
+
+echo "lint: OK"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full verification: release build, the whole test suite, the static
+# quality gate, and the end-to-end lint goldens over the bundled models.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (workspace) =="
+cargo test --workspace -q
+
+echo "== static quality gate =="
+./scripts/lint.sh
+
+echo "== lint goldens over bundled models =="
+# lint_demo.smv seeds one trigger per warning: exit 1, every code shown.
+out=$(./target/release/smc lint models/lint_demo.smv) && rc=0 || rc=$?
+[ "$rc" -eq 1 ] || { echo "lint_demo: expected exit 1, got $rc"; exit 1; }
+for code in W001 W002 W003 W005 W010 W011 W020; do
+    grep -q "warning\[$code\]" <<<"$out" || { echo "lint_demo: $code missing"; exit 1; }
+done
+# The healthy models must stay clean (no false positives) apart from
+# arbiter2's genuine fairness-subsumes-liveness vacuity.
+./target/release/smc lint models/mutex.smv >/dev/null
+out=$(./target/release/smc lint models/arbiter2.smv) && rc=0 || rc=$?
+[ "$rc" -eq 1 ] || { echo "arbiter2: expected exit 1, got $rc"; exit 1; }
+[ "$(grep -c 'warning\[' <<<"$out")" -eq 1 ] || { echo "arbiter2: expected exactly one warning"; exit 1; }
+grep -q "warning\[W020\]" <<<"$out" || { echo "arbiter2: W020 missing"; exit 1; }
+
+echo "verify: OK"

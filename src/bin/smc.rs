@@ -1,24 +1,26 @@
 //! `smc` — command-line front end for the symbolic model checker.
 //!
 //! ```text
-//! smc check  [--trace] [--strategy restart|stayset] [COMMON] FILE.smv
-//! smc spec   [COMMON] FILE.smv FORMULA   check one ad-hoc CTL formula
-//! smc reach  [COMMON] FILE.smv           reachability statistics
-//! smc profile report FILE.jsonl          render a recorded trace
+//! smc check  [--trace] [--lint] [--strategy restart|stayset] [COMMON] FILE.smv
+//! smc spec   [--lint] [COMMON] FILE.smv FORMULA   check one ad-hoc CTL formula
+//! smc lint   [--json] [COMMON] FILE.smv...        static + symbolic analysis
+//! smc reach  [COMMON] FILE.smv                    reachability statistics
+//! smc profile report FILE.jsonl                   render a recorded trace
 //! smc help
 //! ```
 //!
-//! `COMMON` flags are shared by `check`, `spec` and `reach`: the budget
-//! flags (`--timeout`, `--node-limit`, `--max-iters`) install a resource
-//! governor on the BDD manager (an exhausted budget exits with code 3
-//! after printing partial-progress diagnostics), `--stats` prints the
-//! manager counters, and `--progress` / `--profile [FILE.jsonl]` enable
-//! structured telemetry (live progress line / profile report + optional
-//! JSON-lines trace).
+//! `COMMON` flags are shared by `check`, `spec`, `lint` and `reach`: the
+//! budget flags (`--timeout`, `--node-limit`, `--max-iters`) install a
+//! resource governor on the BDD manager (an exhausted budget exits with
+//! code 3 after printing partial-progress diagnostics), `--stats` prints
+//! the manager counters, and `--progress` / `--profile [FILE.jsonl]`
+//! enable structured telemetry (live progress line / profile report +
+//! optional JSON-lines trace).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use smc::analysis::{analyze, AnalysisOptions, Report};
 use smc::bdd::{BddError, BddManagerStats, Budget};
 use smc::checker::{CheckError, Checker, CycleStrategy, PartialProgress, Phase, TripReason};
 use smc::kripke::KripkeError;
@@ -44,6 +46,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     match command.as_str() {
         "check" => cmd_check(&args[1..]),
         "spec" => cmd_spec(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "reach" => cmd_reach(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
@@ -64,14 +67,15 @@ fn print_usage() {
         "smc — symbolic model checking with counterexamples and witnesses
 
 USAGE:
-    smc check  [--trace] [--strategy restart|stayset] [COMMON] FILE.smv
-    smc spec   [COMMON] FILE.smv FORMULA
+    smc check  [--trace] [--lint] [--strategy restart|stayset] [COMMON] FILE.smv
+    smc spec   [--lint] [COMMON] FILE.smv FORMULA
+    smc lint   [--json] [COMMON] FILE.smv...
     smc reach  [COMMON] FILE.smv
     smc dot    FILE.smv (init|trans|reach)
     smc profile report FILE.jsonl
     smc help
 
-COMMON (any combination; shared by check, spec and reach):
+COMMON (any combination; shared by check, spec, lint and reach):
     --timeout <secs>     abort when the wall-clock deadline expires
     --node-limit <n>     bound live BDD nodes (GC, then reorder, then a
                          smaller cache are tried before giving up)
@@ -90,9 +94,16 @@ COMMON (any combination; shared by check, spec and reach):
 COMMANDS:
     check    check every SPEC of the program; with --trace, print a
              counterexample for each failing spec (and a witness for
-             each holding temporal spec)
+             each holding temporal spec); with --lint, run the analyzer
+             first and print its findings to stderr
     spec     check one CTL formula against the model (atoms are boolean
-             variables or spec labels)
+             variables or spec labels); --lint as for check
+    lint     run the multi-pass analyzer: syntactic checks (unused and
+             undeclared variables, shadowed branches, ...), symbolic
+             checks (deadlocks, dead case branches, degenerate
+             fairness) and SPEC vacuity detection with interesting
+             witnesses; --json emits one machine-readable JSON object
+             per file. Exit 0 clean / 1 warnings / 2 errors / 3 budget
     reach    print model statistics (variables, reachable states)
     dot      write the requested BDD as Graphviz DOT to stdout
     profile  render the profile report of a recorded .jsonl trace
@@ -117,8 +128,7 @@ impl BudgetOptions {
     fn try_parse(&mut self, args: &[String], i: &mut usize) -> Result<bool, String> {
         fn num(name: &str, v: Option<&String>) -> Result<u64, String> {
             let v = v.ok_or_else(|| format!("{name} expects a number"))?;
-            v.parse::<u64>()
-                .map_err(|_| format!("{name} expects a number, got {v:?}"))
+            v.parse::<u64>().map_err(|_| format!("{name} expects a number, got {v:?}"))
         }
         match args[*i].as_str() {
             "--timeout" => {
@@ -141,7 +151,7 @@ impl BudgetOptions {
     /// The requested budget, or `None` when no budget flag was given (an
     /// ungoverned run has zero governor overhead). The deadline clock
     /// starts here.
-    fn to_budget(&self) -> Option<Budget> {
+    fn to_budget(self) -> Option<Budget> {
         if self.timeout_secs.is_none() && self.node_limit.is_none() && self.max_iters.is_none() {
             return None;
         }
@@ -295,10 +305,7 @@ fn print_stats(stats: &BddManagerStats) {
             op.evictions
         );
     }
-    println!(
-        "gc              : {} runs, {} nodes reclaimed",
-        stats.gc_runs, stats.gc_reclaimed
-    );
+    println!("gc              : {} runs, {} nodes reclaimed", stats.gc_runs, stats.gc_reclaimed);
 }
 
 /// Why a governed load did not produce a model.
@@ -306,7 +313,11 @@ enum LoadFailure {
     /// The budget tripped during the load-time reachability (totality)
     /// check.
     Exhausted(Phase, TripReason, PartialProgress),
-    /// Anything else (I/O, parse, semantic, degenerate model).
+    /// A parse/semantic/model error, already rendered through the
+    /// diagnostics engine (stable code, source span, snippet). Printed
+    /// to stderr verbatim; exit 2.
+    Diagnostic(String),
+    /// Anything else (I/O).
     Other(Box<dyn std::error::Error>),
 }
 
@@ -326,7 +337,11 @@ fn load_governed(
         SmvError::Kripke(KripkeError::Bdd(BddError::ResourceExhausted(reason))) => {
             LoadFailure::Exhausted(Phase::Reachability, reason, PartialProgress::default())
         }
-        other => LoadFailure::Other(other.into()),
+        other => {
+            let mut report = Report::new();
+            report.push(smc::analysis::smv_diag(&other));
+            LoadFailure::Diagnostic(report.render_human(path, &source))
+        }
     })
 }
 
@@ -336,16 +351,76 @@ fn load(path: &str) -> Result<CompiledModel, Box<dyn std::error::Error>> {
         Err(LoadFailure::Exhausted(phase, reason, partial)) => {
             Err(CheckError::ResourceExhausted { phase, reason, partial }.into())
         }
+        Err(LoadFailure::Diagnostic(text)) => Err(text.into()),
         Err(LoadFailure::Other(e)) => Err(e),
     }
 }
 
+/// Runs the analyzer for `--lint` on `check`/`spec`: a fresh read and a
+/// fresh compile on its own BDD manager, so the checking run that
+/// follows is bit-for-bit identical to a run without `--lint`. Findings
+/// go to stderr; the caller's verdict and exit code are unaffected.
+fn lint_to_stderr(path: &str, budget: Option<Budget>) {
+    let Ok(source) = std::fs::read_to_string(path) else {
+        return; // the real load reports the I/O problem
+    };
+    let opts = AnalysisOptions { budget, ..AnalysisOptions::full() };
+    let report = analyze(&source, &opts);
+    if !report.diagnostics.is_empty() || report.exhausted.is_some() {
+        eprint!("{}", report.render_human(path, &source));
+    }
+}
+
+fn cmd_lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut json = false;
+    let opts = parse_common(args, |args, i| match args[*i].as_str() {
+        "--json" => {
+            json = true;
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?;
+    if opts.positionals.is_empty() {
+        return Err("usage: smc lint [--json] [COMMON] FILE.smv...".into());
+    }
+    let session = TeleSession::new(&opts)?;
+    // Multi-file: every file is analyzed; the exit code is the worst
+    // outcome (3 exhausted > 2 errors > 1 warnings > 0 clean).
+    let mut worst: i32 = 0;
+    for file in &opts.positionals {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {file:?}: {e}");
+                worst = worst.max(2);
+                continue;
+            }
+        };
+        let aopts = AnalysisOptions {
+            budget: opts.budget.to_budget(),
+            telemetry: session.tele.clone(),
+            ..AnalysisOptions::full()
+        };
+        let report = analyze(&source, &aopts);
+        if json {
+            println!("{}", report.render_json(file, &source));
+        } else {
+            print!("{}", report.render_human(file, &source));
+        }
+        worst = worst.max(report.exit_code());
+    }
+    session.finish();
+    Ok(ExitCode::from(worst as u8))
+}
+
 fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut trace = false;
+    let mut lint = false;
     let mut strategy = CycleStrategy::Restart;
     let opts = parse_common(args, |args, i| {
         match args[*i].as_str() {
             "--trace" => trace = true,
+            "--lint" => lint = true,
             "--strategy" => {
                 *i += 1;
                 match args.get(*i).map(String::as_str) {
@@ -366,11 +441,19 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         return Err("expected exactly one input file".into());
     };
     let session = TeleSession::new(&opts)?;
+    if lint {
+        lint_to_stderr(file, opts.budget.to_budget());
+    }
     let mut compiled = match load_governed(file, opts.budget.to_budget(), session.tele.clone()) {
         Ok(compiled) => compiled,
         Err(LoadFailure::Exhausted(phase, reason, partial)) => {
             session.finish();
             return Ok(report_exhausted(phase, &reason, &partial));
+        }
+        Err(LoadFailure::Diagnostic(text)) => {
+            eprint!("{text}");
+            session.finish();
+            return Ok(ExitCode::from(2));
         }
         Err(LoadFailure::Other(e)) => return Err(e),
     };
@@ -390,9 +473,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         let mut checker = Checker::new(&mut compiled.model).with_strategy(strategy);
         for (i, spec) in specs.iter().enumerate() {
             let outcome = if trace {
-                checker
-                    .check_with_trace(spec)
-                    .map(|o| (o.verdict.holds(), o.trace))
+                checker.check_with_trace(spec).map(|o| (o.verdict.holds(), o.trace))
             } else {
                 checker.check(spec).map(|v| (v.holds(), None))
             };
@@ -443,17 +524,32 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let opts = parse_common(args, |_, _| Ok(false))?;
+    let mut lint = false;
+    let opts = parse_common(args, |args, i| match args[*i].as_str() {
+        "--lint" => {
+            lint = true;
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?;
     let [file, formula] = &opts.positionals[..] else {
-        return Err("usage: smc spec [COMMON] FILE.smv FORMULA".into());
+        return Err("usage: smc spec [--lint] [COMMON] FILE.smv FORMULA".into());
     };
     let session = TeleSession::new(&opts)?;
+    if lint {
+        lint_to_stderr(file, opts.budget.to_budget());
+    }
     let mut compiled = match load_governed(file, opts.budget.to_budget(), session.tele.clone()) {
         Ok(compiled) => compiled,
         Err(LoadFailure::Exhausted(phase, reason, partial)) => {
             eprintln!("{formula}: not decided");
             session.finish();
             return Ok(report_exhausted(phase, &reason, &partial));
+        }
+        Err(LoadFailure::Diagnostic(text)) => {
+            eprint!("{text}");
+            session.finish();
+            return Ok(ExitCode::from(2));
         }
         Err(LoadFailure::Other(e)) => return Err(e),
     };
@@ -506,6 +602,11 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             session.finish();
             return Ok(report_exhausted(phase, &reason, &partial));
         }
+        Err(LoadFailure::Diagnostic(text)) => {
+            eprint!("{text}");
+            session.finish();
+            return Ok(ExitCode::from(2));
+        }
         Err(LoadFailure::Other(e)) => return Err(e),
     };
     println!("file            : {file}");
@@ -543,8 +644,7 @@ fn cmd_profile(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> 
     if action != "report" {
         return Err(format!("unknown profile action {action:?} (expected 'report')").into());
     }
-    let text = std::fs::read_to_string(file)
-        .map_err(|e| format!("cannot read {file:?}: {e}"))?;
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
     let report = smc::obs::report_from_jsonl(&text).map_err(|e| format!("{file}: {e}"))?;
     print!("{report}");
     Ok(ExitCode::SUCCESS)

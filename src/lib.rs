@@ -17,6 +17,8 @@
 //! - [`automata`] — ω-automata and language-containment counterexamples
 //!   (Section 8),
 //! - [`smv`] — an SMV-like modeling frontend,
+//! - [`analysis`] — static and symbolic analysis (lint) passes over SMV
+//!   models, with structured diagnostics and vacuity detection,
 //! - [`obs`] — structured telemetry: span tracing, event streams and
 //!   the profiling report,
 //! - [`circuits`] — speed-independent gate-level circuits, including the
@@ -49,12 +51,13 @@
 //! # }
 //! ```
 
+pub use smc_analysis as analysis;
 pub use smc_automata as automata;
-pub use smc_obs as obs;
 pub use smc_bdd as bdd;
 pub use smc_checker as checker;
 pub use smc_circuits as circuits;
 pub use smc_explicit as explicit;
 pub use smc_kripke as kripke;
 pub use smc_logic as logic;
+pub use smc_obs as obs;
 pub use smc_smv as smv;

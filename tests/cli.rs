@@ -38,12 +38,7 @@ fn check_reports_verdicts_and_exit_code() {
 #[test]
 fn check_with_trace_prints_counterexample() {
     let path = write_temp("trace", TOGGLE);
-    let out = smc()
-        .arg("check")
-        .arg("--trace")
-        .arg(&path)
-        .output()
-        .expect("runs");
+    let out = smc().arg("check").arg("--trace").arg(&path).output().expect("runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("counterexample"), "{stdout}");
     // AG x fails already in the initial state x=FALSE.
@@ -54,19 +49,9 @@ fn check_with_trace_prints_counterexample() {
 #[test]
 fn spec_checks_ad_hoc_formulas() {
     let path = write_temp("spec", TOGGLE);
-    let ok = smc()
-        .arg("spec")
-        .arg(&path)
-        .arg("EF x")
-        .output()
-        .expect("runs");
+    let ok = smc().arg("spec").arg(&path).arg("EF x").output().expect("runs");
     assert_eq!(ok.status.code(), Some(0));
-    let bad = smc()
-        .arg("spec")
-        .arg(&path)
-        .arg("EG x")
-        .output()
-        .expect("runs");
+    let bad = smc().arg("spec").arg(&path).arg("EG x").output().expect("runs");
     assert_eq!(bad.status.code(), Some(1));
     std::fs::remove_file(path).ok();
 }
@@ -89,13 +74,8 @@ fn bad_usage_exits_2() {
     assert_eq!(out.status.code(), Some(2));
     let out = smc().arg("check").arg("/nonexistent.smv").output().expect("runs");
     assert_eq!(out.status.code(), Some(2));
-    let out = smc()
-        .arg("check")
-        .arg("--strategy")
-        .arg("bogus")
-        .arg("x.smv")
-        .output()
-        .expect("runs");
+    let out =
+        smc().arg("check").arg("--strategy").arg("bogus").arg("x.smv").output().expect("runs");
     assert_eq!(out.status.code(), Some(2));
 }
 
@@ -134,18 +114,10 @@ fn dot_exports_graphviz() {
 fn bundled_models_check_as_documented() {
     let root = env!("CARGO_MANIFEST_DIR");
     // counter8: every spec holds -> exit 0.
-    let out = smc()
-        .arg("check")
-        .arg(format!("{root}/models/counter8.smv"))
-        .output()
-        .expect("runs");
+    let out = smc().arg("check").arg(format!("{root}/models/counter8.smv")).output().expect("runs");
     assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
     // mutex: safety holds, liveness holds (alternating turn).
-    let out = smc()
-        .arg("check")
-        .arg(format!("{root}/models/mutex.smv"))
-        .output()
-        .expect("runs");
+    let out = smc().arg("check").arg(format!("{root}/models/mutex.smv")).output().expect("runs");
     assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
     // retry_protocol: the AF spec fails with a lasso counterexample.
     let out = smc()
@@ -225,13 +197,7 @@ fn budget_flags_are_accepted_when_generous() {
 #[test]
 fn node_limit_exhaustion_exits_3_with_diagnostics() {
     let path = write_temp("budget_nodes", TOGGLE);
-    let out = smc()
-        .arg("reach")
-        .arg("--node-limit")
-        .arg("1")
-        .arg(&path)
-        .output()
-        .expect("runs");
+    let out = smc().arg("reach").arg("--node-limit").arg("1").arg(&path).output().expect("runs");
     assert_eq!(out.status.code(), Some(3), "resource exhaustion exits 3");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("resource budget exhausted"), "{stderr}");
@@ -242,13 +208,7 @@ fn node_limit_exhaustion_exits_3_with_diagnostics() {
 #[test]
 fn iteration_cap_exhaustion_exits_3() {
     let path = write_temp("budget_iters", TOGGLE);
-    let out = smc()
-        .arg("reach")
-        .arg("--max-iters")
-        .arg("1")
-        .arg(&path)
-        .output()
-        .expect("runs");
+    let out = smc().arg("reach").arg("--max-iters").arg("1").arg(&path).output().expect("runs");
     assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("iteration"), "{stderr}");
@@ -258,24 +218,12 @@ fn iteration_cap_exhaustion_exits_3() {
 #[test]
 fn expired_timeout_exits_3_on_check_and_spec() {
     let path = write_temp("budget_timeout", TOGGLE);
-    let out = smc()
-        .arg("check")
-        .arg("--timeout")
-        .arg("0")
-        .arg(&path)
-        .output()
-        .expect("runs");
+    let out = smc().arg("check").arg("--timeout").arg("0").arg(&path).output().expect("runs");
     assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("resource budget exhausted"), "{stderr}");
-    let out = smc()
-        .arg("spec")
-        .arg("--timeout")
-        .arg("0")
-        .arg(&path)
-        .arg("EF x")
-        .output()
-        .expect("runs");
+    let out =
+        smc().arg("spec").arg("--timeout").arg("0").arg(&path).arg("EF x").output().expect("runs");
     assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("deadline"), "{stderr}");
@@ -285,8 +233,8 @@ fn expired_timeout_exits_3_on_check_and_spec() {
 #[test]
 fn profile_flag_writes_versioned_trace_and_prints_report() {
     let root = env!("CARGO_MANIFEST_DIR");
-    let trace = std::env::temp_dir()
-        .join(format!("smc_cli_test_profile_{}.jsonl", std::process::id()));
+    let trace =
+        std::env::temp_dir().join(format!("smc_cli_test_profile_{}.jsonl", std::process::id()));
     let out = smc()
         .arg("check")
         .arg("--trace")
@@ -311,10 +259,7 @@ fn profile_flag_writes_versioned_trace_and_prints_report() {
         assert!(line.starts_with("{\"v\":1,"), "unversioned line: {line}");
     }
     for kind in ["span_start", "span_end", "fixpoint_iter", "witness_hop", "cycle_close"] {
-        assert!(
-            text.contains(&format!("\"kind\":\"{kind}\"")),
-            "missing {kind:?} events in trace"
-        );
+        assert!(text.contains(&format!("\"kind\":\"{kind}\"")), "missing {kind:?} events in trace");
     }
     assert!(text.contains("\"frontier_size\":"), "no frontier sizes in trace");
 
@@ -329,8 +274,8 @@ fn profile_flag_writes_versioned_trace_and_prints_report() {
 
 #[test]
 fn profile_report_rejects_garbage_input() {
-    let path = std::env::temp_dir()
-        .join(format!("smc_cli_test_garbage_{}.jsonl", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("smc_cli_test_garbage_{}.jsonl", std::process::id()));
     std::fs::write(&path, "this is not json\n").expect("write");
     let out = smc().arg("profile").arg("report").arg(&path).output().expect("runs");
     assert_eq!(out.status.code(), Some(2));
@@ -340,12 +285,7 @@ fn profile_report_rejects_garbage_input() {
 #[test]
 fn progress_flag_reports_phases_on_stderr() {
     let path = write_temp("progress", TOGGLE);
-    let out = smc()
-        .arg("check")
-        .arg("--progress")
-        .arg(&path)
-        .output()
-        .expect("runs");
+    let out = smc().arg("check").arg("--progress").arg(&path).output().expect("runs");
     assert_eq!(out.status.code(), Some(1));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("[reach]"), "{stderr}");
@@ -400,13 +340,124 @@ fn stats_report_per_op_hit_rates_and_peak() {
 #[test]
 fn malformed_budget_values_exit_2() {
     let path = write_temp("budget_bad", TOGGLE);
-    for flags in [
-        ["--timeout", "soon"],
-        ["--node-limit", "many"],
-        ["--max-iters", "-3"],
-    ] {
+    for flags in [["--timeout", "soon"], ["--node-limit", "many"], ["--max-iters", "-3"]] {
         let out = smc().arg("check").args(flags).arg(&path).output().expect("runs");
         assert_eq!(out.status.code(), Some(2), "{flags:?}");
     }
     std::fs::remove_file(path).ok();
+}
+
+// ---------------------------------------------------------------- lint
+
+/// Repo-relative path to a bundled model.
+fn model(name: &str) -> String {
+    format!("{}/models/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn lint_reports_seeded_diagnostics_and_exits_1() {
+    let out = smc().arg("lint").arg(model("lint_demo.smv")).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1), "warnings exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for code in ["W001", "W002", "W003", "W005", "W010", "W011", "W020"] {
+        assert!(stdout.contains(&format!("warning[{code}]")), "{code} missing:\n{stdout}");
+    }
+    // Human rendering: location, snippet gutter, caret, summary line.
+    assert!(stdout.contains("lint_demo.smv:18:3"), "{stdout}");
+    assert!(stdout.contains("^"), "{stdout}");
+    assert!(stdout.contains("0 errors, 8 warnings"), "{stdout}");
+    // The vacuity finding names the leaf and shows its witness.
+    assert!(stdout.contains("`ack`"), "{stdout}");
+    assert!(stdout.contains("interesting witness"), "{stdout}");
+}
+
+#[test]
+fn lint_clean_model_exits_0_silently() {
+    let out = smc().arg("lint").arg(model("mutex.smv")).output().expect("runs");
+    assert_eq!(out.status.code(), Some(0), "clean model exits 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 errors, 0 warnings"), "{stdout}");
+}
+
+#[test]
+fn lint_json_is_machine_readable() {
+    let out = smc().arg("lint").arg("--json").arg(model("lint_demo.smv")).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v = smc::obs::Json::parse(stdout.trim()).expect("valid JSON document");
+    assert_eq!(v.get("warnings").and_then(|w| w.as_u64()), Some(8), "{stdout}");
+    assert_eq!(v.get("errors").and_then(|e| e.as_u64()), Some(0));
+    match v.get("diagnostics") {
+        Some(smc::obs::Json::Arr(items)) => {
+            assert_eq!(items.len(), 8);
+            assert!(items.iter().all(|d| d.get("code").and_then(|c| c.as_str()).is_some()));
+        }
+        other => panic!("diagnostics array missing: {other:?}"),
+    }
+}
+
+#[test]
+fn lint_multiple_files_exits_with_the_worst_code() {
+    let out = smc()
+        .arg("lint")
+        .arg(model("mutex.smv"))
+        .arg(model("lint_demo.smv"))
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "clean + warnings = 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mutex.smv: 0 errors, 0 warnings"), "{stdout}");
+    assert!(stdout.contains("lint_demo.smv: 0 errors, 8 warnings"), "{stdout}");
+}
+
+#[test]
+fn lint_syntax_error_prints_code_span_snippet_and_exits_2() {
+    let path = write_temp("lint_parse_err", "MODULE main\nVAR x boolean;\n");
+    let out = smc().arg("lint").arg(&path).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "errors exit 2");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[E001]"), "{stdout}");
+    assert!(stdout.contains(":2:7"), "span points at the offending token: {stdout}");
+    assert!(stdout.contains("VAR x boolean;"), "snippet shown: {stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_routes_load_errors_through_diagnostics() {
+    let path = write_temp("check_diag", "MODULE main\nVAR x : boolean;\nSPEC EF ghost\n");
+    let out = smc().arg("check").arg(&path).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "load error exits 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error["), "diagnostic code shown: {stderr}");
+    assert!(stderr.contains("-->"), "location arrow shown: {stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_with_lint_flag_keeps_verdicts_identical() {
+    let path = write_temp("check_lint", TOGGLE);
+    let plain = smc().arg("check").arg(&path).output().expect("runs");
+    let linted = smc().arg("check").arg("--lint").arg(&path).output().expect("runs");
+    // Verdicts (stdout) are bit-identical; lint findings go to stderr.
+    assert_eq!(plain.stdout, linted.stdout, "--lint must not change check output");
+    assert_eq!(plain.status.code(), linted.status.code());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn spec_with_lint_flag_reports_findings_on_stderr() {
+    let path = write_temp("spec_lint", TOGGLE);
+    let out = smc().arg("spec").arg("--lint").arg(&path).arg("EF x").output().expect("runs");
+    assert_eq!(out.status.code(), Some(0), "formula still holds");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("holds"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn lint_unreadable_file_exits_2() {
+    let out = smc().arg("lint").arg("/nonexistent/nope.smv").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nope.smv"), "{stderr}");
 }

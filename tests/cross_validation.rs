@@ -15,9 +15,7 @@ fn arb_model() -> impl Strategy<Value = (ExplicitModel, usize)> {
     (2usize..9, any::<u64>(), 0usize..3).prop_map(|(n, seed, nfair)| {
         let mut state = seed | 1;
         let mut next = move |m: usize| {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             (state >> 33) as usize % m
         };
         let mut g = ExplicitModel::new();
@@ -55,12 +53,8 @@ fn arb_model() -> impl Strategy<Value = (ExplicitModel, usize)> {
 
 /// Random CTL formulas over the atoms p, q.
 fn arb_ctl() -> impl Strategy<Value = Ctl> {
-    let leaf = prop_oneof![
-        Just(Ctl::True),
-        Just(Ctl::False),
-        Just(Ctl::atom("p")),
-        Just(Ctl::atom("q")),
-    ];
+    let leaf =
+        prop_oneof![Just(Ctl::True), Just(Ctl::False), Just(Ctl::atom("p")), Just(Ctl::atom("q")),];
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(Ctl::not),
@@ -111,11 +105,11 @@ proptest! {
         }
         let exp_mask = explicit.check_states(&formula).expect("known atoms");
 
-        for s in 0..n {
+        for (s, &expected) in exp_mask.iter().enumerate().take(n) {
             let state = encode(s, bits);
             let sym = symbolic.model().eval_state(sym_set, &state);
             prop_assert_eq!(
-                sym, exp_mask[s],
+                sym, expected,
                 "disagreement at state {} for {} (fairness: {})",
                 s, formula, nfair
             );

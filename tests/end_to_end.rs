@@ -37,10 +37,7 @@ fn smv_source_to_replayed_counterexample() {
     assert!(cx.is_path_of(checker.model()));
     // Decode: every cycle state stays in `sending`.
     for s in cx.cycle() {
-        assert_eq!(
-            compiled.value_of(s, "sender"),
-            Some(smc::smv::Value::Sym("sending".into()))
-        );
+        assert_eq!(compiled.value_of(s, "sender"), Some(smc::smv::Value::Sym("sending".into())));
     }
 }
 
@@ -143,14 +140,9 @@ fn explicit_enumeration_agrees_with_circuit_model() {
     // The checker agrees with itself across representations: EF of the
     // all-ones state.
     let mut sym = Checker::new(&mut model);
-    let sym_holds = sym
-        .check(&ctl::parse("EF (inv0 & inv1 & inv2)").unwrap())
-        .unwrap()
-        .holds();
+    let sym_holds = sym.check(&ctl::parse("EF (inv0 & inv1 & inv2)").unwrap()).unwrap().holds();
     let mut exp = smc::explicit::ExplicitChecker::new(&explicit);
     exp.auto_fairness();
-    let exp_holds = exp
-        .check(&ctl::parse("EF (inv0 & inv1 & inv2)").unwrap())
-        .unwrap();
+    let exp_holds = exp.check(&ctl::parse("EF (inv0 & inv1 & inv2)").unwrap()).unwrap();
     assert_eq!(sym_holds, exp_holds);
 }

@@ -48,29 +48,26 @@ impl Bexp {
             Bexp::And(a, b) => format!("({} & {})", a.to_smv(), b.to_smv()),
             Bexp::Or(a, b) => format!("({} | {})", a.to_smv(), b.to_smv()),
             Bexp::Iff(a, b) => format!("({} <-> {})", a.to_smv(), b.to_smv()),
-            Bexp::Ite(c, t, e) => format!(
-                "case {} : {}; TRUE : {}; esac",
-                c.to_smv(),
-                t.to_smv(),
-                e.to_smv()
-            ),
+            Bexp::Ite(c, t, e) => {
+                format!("case {} : {}; TRUE : {}; esac", c.to_smv(), t.to_smv(), e.to_smv())
+            }
         }
     }
 }
 
 fn arb_bexp(nvars: usize) -> impl Strategy<Value = Bexp> {
-    let leaf = prop_oneof![
-        (0..nvars).prop_map(Bexp::Var),
-        any::<bool>().prop_map(Bexp::Const),
-    ];
+    let leaf = prop_oneof![(0..nvars).prop_map(Bexp::Var), any::<bool>().prop_map(Bexp::Const),];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|a| Bexp::Not(Box::new(a))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Bexp::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Bexp::Or(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Bexp::Iff(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| Bexp::Ite(Box::new(c), Box::new(t), Box::new(e))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Bexp::Ite(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
         ]
     })
 }

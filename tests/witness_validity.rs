@@ -12,9 +12,7 @@ fn arb_fair_model() -> impl Strategy<Value = (ExplicitModel, usize)> {
     (2usize..10, any::<u64>(), 1usize..3).prop_map(|(n, seed, nfair)| {
         let mut state = seed | 1;
         let mut next = move |m: usize| {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             (state >> 33) as usize % m
         };
         let mut g = ExplicitModel::new();
