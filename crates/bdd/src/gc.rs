@@ -20,6 +20,7 @@ impl BddManager {
         // Rolling back across a GC would double-free reclaimed slots.
         self.txn_commit();
         let live_before = if self.tele.enabled() { self.num_nodes() as u64 } else { 0 };
+        let started = if self.tele.enabled() { Some(std::time::Instant::now()) } else { None };
         // Destructure so the epoch-marked scratch, the node pool and the
         // unique tables can be borrowed independently.
         let BddManager { nodes, free, tables, scratch, protected, .. } = self;
@@ -56,11 +57,12 @@ impl BddManager {
         self.cache.invalidate_all();
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += reclaimed as u64;
-        if self.tele.enabled() {
+        if let Some(started) = started {
             self.tele.emit(smc_obs::Event::Gc {
                 reclaimed: reclaimed as u64,
                 live_before,
                 live_after: self.num_nodes() as u64,
+                pause_us: started.elapsed().as_micros() as u64,
             });
         }
         self.debug_validate("gc");

@@ -523,6 +523,29 @@ impl BddManager {
         }
     }
 
+    /// Records the manager's counters into a metrics registry: node
+    /// gauges, created/GC totals and the per-operation computed-table
+    /// counters. Uses absolute (`counter_set`) semantics, so calling it
+    /// at end of run makes the manager's own counters authoritative
+    /// over anything folded incrementally from the event stream.
+    pub fn record_metrics(&self, metrics: &smc_obs::Metrics) {
+        if !metrics.enabled() {
+            return;
+        }
+        let stats = self.stats();
+        metrics.gauge_set("smc_bdd_live_nodes", &[], stats.live_nodes as f64);
+        metrics.gauge_set("smc_bdd_peak_nodes", &[], stats.peak_nodes as f64);
+        metrics.counter_set("smc_bdd_created_nodes_total", &[], stats.created_nodes);
+        metrics.counter_set("smc_gc_runs_total", &[], stats.gc_runs);
+        metrics.counter_set("smc_gc_reclaimed_nodes_total", &[], stats.gc_reclaimed);
+        for (op, c) in stats.per_op() {
+            let labels = [("op", op)];
+            metrics.counter_set("smc_cache_lookups_total", &labels, c.lookups);
+            metrics.counter_set("smc_cache_hits_total", &labels, c.hits);
+            metrics.counter_set("smc_cache_evictions_total", &labels, c.evictions);
+        }
+    }
+
     /// Declares a fresh variable at the bottom of the current order.
     ///
     /// # Errors

@@ -3,13 +3,15 @@
 //!
 //! Run with: `cargo run -p smc-bench --release --bin experiments`
 //!
-//! With `--json [PATH]` it instead runs the kernel benchmark (arbiter
-//! check + counterexample, relational-product microbenchmark) and writes
-//! a machine-readable summary to PATH (default `BENCH_kernel.json`) so
-//! CI can diff performance across revisions; see `scripts/bench.sh`.
-//! Adding `--telemetry` attaches a live telemetry handle (JSON-lines
-//! sink writing to a null writer) to every benchmarked manager, so the
-//! enabled-path overhead can be compared against the disabled default.
+//! With `--json [PATH]` it instead runs the kernel microbenchmark
+//! (arbiter check + counterexample, relational-product microbenchmark)
+//! and writes a machine-readable summary to PATH (default
+//! `BENCH_experiments.json`). Adding `--telemetry` attaches a live
+//! telemetry handle (JSON-lines sink writing to a null writer) to every
+//! benchmarked manager, so the enabled-path overhead can be compared
+//! against the disabled default. The gated CI benchmark lives in
+//! `smc bench` (the observatory; see `scripts/bench.sh`), which owns
+//! the `BENCH_kernel.json` run ledger.
 
 use std::time::Instant;
 
@@ -29,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .get(pos + 1)
             .filter(|a| !a.starts_with("--"))
             .map(String::as_str)
-            .unwrap_or("BENCH_kernel.json");
+            .unwrap_or("BENCH_experiments.json");
         let telemetry = args.iter().any(|a| a == "--telemetry");
         return bench_kernel_json(path, telemetry);
     }

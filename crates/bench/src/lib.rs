@@ -6,6 +6,8 @@
 //! experiment of DESIGN.md) and by the `experiments` report binary that
 //! regenerates the paper-vs-measured tables of EXPERIMENTS.md.
 
+pub mod observatory;
+
 use smc_kripke::{ExplicitModel, KripkeError, SymbolicModel};
 
 /// A single directed ring of `n` states, one fairness label `p` on one

@@ -1,0 +1,298 @@
+//! The benchmark observatory behind `smc bench`.
+//!
+//! Runs a fixed menu of model families — the SMV demo models and the
+//! paper's circuit workloads — for N repetitions each, timing the four
+//! standard phases (`compile`, `reach`, `check`, `witness`) and
+//! snapshotting the deterministic workload counters, and returns
+//! [`FamilyRecord`]s in the ledger schema of
+//! [`smc_obs::Ledger`](smc_obs::Ledger). The caller (the CLI) wraps
+//! them in a [`RunRecord`](smc_obs::RunRecord) with the commit hash and
+//! timestamp and gates against a stored baseline.
+//!
+//! The SMV sources are embedded at build time so the benchmark is
+//! hermetic: it measures the binary it lives in, never the checkout it
+//! happens to run from.
+
+use std::time::Instant;
+
+use smc_checker::Checker;
+use smc_circuits::arbiter::seitz_arbiter;
+use smc_circuits::families::inverter_ring;
+use smc_circuits::FairnessMode;
+use smc_kripke::SymbolicModel;
+use smc_logic::ctl;
+use smc_obs::{FamilyRecord, PhaseRecord, Telemetry};
+
+const MUTEX_SMV: &str = include_str!("../../../models/mutex.smv");
+const ARBITER2_SMV: &str = include_str!("../../../models/arbiter2.smv");
+
+/// Every family the observatory knows, in run order: the two SMV demo
+/// models, the paper's Seitz arbiter (counterexample-bearing liveness
+/// spec) and a 9-stage inverter ring (witness-bearing reset spec).
+pub const ALL_FAMILIES: &[&str] = &["mutex", "arbiter2", "seitz", "ring9"];
+
+/// Configuration for one observatory run.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Repetitions per family (best-of-N gates; the median is recorded
+    /// alongside for trend reading).
+    pub repetitions: u64,
+    /// Attach a live telemetry handle (JSON-lines sink into a null
+    /// writer) to every benchmarked manager, measuring the worst-case
+    /// enabled path instead of the disabled default.
+    pub telemetry: bool,
+    /// Families to run; empty means [`ALL_FAMILIES`].
+    pub families: Vec<String>,
+    /// Test hook: inflate every measured wall time by this percentage
+    /// after measuring, so the regression gate can be exercised without
+    /// actually burning time. 0 in real runs.
+    pub inject_slowdown_pct: f64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            repetitions: 5,
+            telemetry: false,
+            families: Vec::new(),
+            inject_slowdown_pct: 0.0,
+        }
+    }
+}
+
+/// Wall seconds for the four phases of one repetition.
+#[derive(Debug, Clone, Copy, Default)]
+struct RepTimes {
+    compile: f64,
+    reach: f64,
+    check: f64,
+    witness: f64,
+}
+
+/// Runs the configured families and returns one [`FamilyRecord`] per
+/// family, in menu order regardless of the order names were given in.
+///
+/// # Errors
+///
+/// A description of the failure: an unknown family name, or a model
+/// that failed to build or check (both indicate a broken build, not a
+/// performance regression — the CLI maps them to exit 2).
+pub fn run(config: &BenchConfig) -> Result<Vec<FamilyRecord>, String> {
+    let reps = config.repetitions.max(1);
+    let selected: Vec<&str> = if config.families.is_empty() {
+        ALL_FAMILIES.to_vec()
+    } else {
+        for name in &config.families {
+            if !ALL_FAMILIES.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown family '{name}' (known: {})",
+                    ALL_FAMILIES.join(", ")
+                ));
+            }
+        }
+        ALL_FAMILIES.iter().copied().filter(|f| config.families.iter().any(|n| n == f)).collect()
+    };
+    let mut out = Vec::with_capacity(selected.len());
+    for name in selected {
+        let mut times = Vec::with_capacity(reps as usize);
+        let mut counters = Vec::new();
+        for _ in 0..reps {
+            let (t, c) = run_family_once(name, config.telemetry)?;
+            times.push(t);
+            counters = c;
+        }
+        let scale = 1.0 + config.inject_slowdown_pct / 100.0;
+        let phases = [
+            ("compile", times.iter().map(|t| t.compile).collect::<Vec<_>>()),
+            ("reach", times.iter().map(|t| t.reach).collect()),
+            ("check", times.iter().map(|t| t.check).collect()),
+            ("witness", times.iter().map(|t| t.witness).collect()),
+        ]
+        .into_iter()
+        .map(|(phase, xs)| PhaseRecord {
+            phase: phase.to_string(),
+            median_s: median(&xs) * scale,
+            best_s: best(&xs) * scale,
+        })
+        .collect();
+        out.push(FamilyRecord { name: name.to_string(), phases, counters });
+    }
+    Ok(out)
+}
+
+/// One repetition of one family: a fresh model, the four timed phases,
+/// and the end-of-run counter snapshot.
+fn run_family_once(name: &str, telemetry: bool) -> Result<(RepTimes, Vec<(String, u64)>), String> {
+    let mut times = RepTimes::default();
+    let model = match name {
+        "mutex" | "arbiter2" => {
+            let source = if name == "mutex" { MUTEX_SMV } else { ARBITER2_SMV };
+            let tele = if telemetry { null_telemetry() } else { Telemetry::disabled() };
+            let t0 = Instant::now();
+            let compiled =
+                smc_smv::compile_with(source, None, tele).map_err(|e| format!("{name}: {e}"))?;
+            times.compile = t0.elapsed().as_secs_f64();
+            let specs: Vec<_> = compiled.specs.iter().map(|s| s.formula.clone()).collect();
+            let mut model = compiled.model;
+            times.reach = timed_reach(&mut model, name)?;
+            let mut checker = Checker::new(&mut model);
+            let t2 = Instant::now();
+            for spec in &specs {
+                checker.check(spec).map_err(|e| format!("{name}: {e}"))?;
+            }
+            times.check = t2.elapsed().as_secs_f64();
+            let t3 = Instant::now();
+            for spec in &specs {
+                checker.check_with_trace(spec).map_err(|e| format!("{name}: {e}"))?;
+            }
+            times.witness = t3.elapsed().as_secs_f64();
+            model
+        }
+        "seitz" | "ring9" => {
+            let t0 = Instant::now();
+            let mut model = if name == "seitz" {
+                seitz_arbiter().build().map_err(|e| format!("{name}: {e}"))?
+            } else {
+                inverter_ring(9).build(FairnessMode::PerGate).map_err(|e| format!("{name}: {e}"))?
+            };
+            times.compile = t0.elapsed().as_secs_f64();
+            if telemetry {
+                model.manager_mut().set_telemetry(null_telemetry());
+            }
+            let spec = if name == "seitz" {
+                ctl::parse("AG (tr1 -> AF ta1)").map_err(|e| format!("{name}: {e}"))?
+            } else {
+                ctl::parse("AG (EF inv0)").map_err(|e| format!("{name}: {e}"))?
+            };
+            times.reach = timed_reach(&mut model, name)?;
+            let mut checker = Checker::new(&mut model);
+            let t2 = Instant::now();
+            checker.check(&spec).map_err(|e| format!("{name}: {e}"))?;
+            times.check = t2.elapsed().as_secs_f64();
+            let t3 = Instant::now();
+            checker.check_with_trace(&spec).map_err(|e| format!("{name}: {e}"))?;
+            times.witness = t3.elapsed().as_secs_f64();
+            model
+        }
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    // Fresh manager per repetition, so the snapshot of any single
+    // repetition is the same — counters gate exactly in the ledger.
+    let stats = model.manager().stats();
+    let counters = vec![
+        ("cache_lookups".to_string(), stats.cache_lookups),
+        ("created_nodes".to_string(), stats.created_nodes),
+    ];
+    Ok((times, counters))
+}
+
+fn timed_reach(model: &mut SymbolicModel, name: &str) -> Result<f64, String> {
+    let t = Instant::now();
+    model.reachable_count().map_err(|e| format!("{name}: {e}"))?;
+    Ok(t.elapsed().as_secs_f64())
+}
+
+/// A live telemetry handle whose trace lines go to a null writer: the
+/// full serialization cost is paid, nothing is kept — the worst-case
+/// enabled configuration the overhead budget is measured against.
+fn null_telemetry() -> Telemetry {
+    let tele = Telemetry::new();
+    tele.add_sink(Box::new(smc_obs::JsonlSink::new(std::io::sink())));
+    tele
+}
+
+/// Minimum over repetitions: scheduling and frequency noise only ever
+/// inflate a wall time, so the minimum is the most repeatable estimate
+/// of the true cost.
+fn best(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Median over repetitions (mean of the middle two when even).
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_family_is_rejected() {
+        let config = BenchConfig { families: vec!["warp_core".into()], ..BenchConfig::default() };
+        let err = run(&config).unwrap_err();
+        assert!(err.contains("warp_core"), "{err}");
+        assert!(err.contains("mutex"), "error lists the known families: {err}");
+    }
+
+    #[test]
+    fn mutex_family_produces_the_four_phases_and_counters() {
+        let config = BenchConfig {
+            repetitions: 1,
+            families: vec!["mutex".into()],
+            ..BenchConfig::default()
+        };
+        let families = run(&config).unwrap();
+        assert_eq!(families.len(), 1);
+        let fam = &families[0];
+        assert_eq!(fam.name, "mutex");
+        let phases: Vec<&str> = fam.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(phases, ["compile", "reach", "check", "witness"]);
+        for p in &fam.phases {
+            assert!(p.best_s >= 0.0 && p.best_s.is_finite());
+            assert!(p.median_s >= p.best_s - 1e-12, "median never beats the best");
+        }
+        let names: Vec<&str> = fam.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["cache_lookups", "created_nodes"]);
+        assert!(fam.counters.iter().all(|(_, v)| *v > 0), "the workload does real BDD work");
+    }
+
+    #[test]
+    fn counters_are_deterministic_across_repetitions() {
+        let config = BenchConfig {
+            repetitions: 1,
+            families: vec!["ring9".into()],
+            ..BenchConfig::default()
+        };
+        let a = run(&config).unwrap();
+        let b = run(&config).unwrap();
+        assert_eq!(a[0].counters, b[0].counters);
+    }
+
+    #[test]
+    fn injected_slowdown_scales_the_recorded_times() {
+        let base = BenchConfig {
+            repetitions: 1,
+            families: vec!["mutex".into()],
+            ..BenchConfig::default()
+        };
+        let slowed = BenchConfig { inject_slowdown_pct: 1000.0, ..base.clone() };
+        let fast = run(&base).unwrap();
+        let slow = run(&slowed).unwrap();
+        // Times are noisy between the two runs, but a 11x inflation
+        // dwarfs any plausible jitter on these millisecond workloads.
+        for (fp, sp) in fast[0].phases.iter().zip(&slow[0].phases) {
+            assert!(sp.best_s > fp.best_s * 2.0, "{}: {} !> 2*{}", fp.phase, sp.best_s, fp.best_s);
+        }
+    }
+
+    #[test]
+    fn family_selection_filters_and_keeps_menu_order() {
+        let config = BenchConfig {
+            repetitions: 1,
+            families: vec!["ring9".into(), "mutex".into()],
+            ..BenchConfig::default()
+        };
+        let families = run(&config).unwrap();
+        let names: Vec<&str> = families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["mutex", "ring9"], "menu order, not request order");
+    }
+}

@@ -240,6 +240,7 @@ impl<'m> Checker<'m> {
             obs::span_end(c.model, span);
             let mut trace = result?;
             trace.compress_prefix();
+            obs::record_trace_metrics(c.model, &trace);
             Ok(trace)
         })
     }
@@ -264,6 +265,7 @@ impl<'m> Checker<'m> {
             obs::span_end(c.model, span);
             let mut trace = result?;
             trace.compress_prefix();
+            obs::record_trace_metrics(c.model, &trace);
             Ok(trace)
         })
     }
@@ -311,6 +313,7 @@ impl<'m> Checker<'m> {
             obs::span_end(c.model, span);
             let (trace, sides, stats) = result?;
             c.last_stats = Some(stats);
+            obs::record_trace_metrics(c.model, &trace);
             Ok((trace, sides))
         })
     }

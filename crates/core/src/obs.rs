@@ -42,6 +42,21 @@ pub(crate) fn enabled(model: &SymbolicModel) -> bool {
     model.manager().telemetry().enabled()
 }
 
+/// Records a finished witness/counterexample trace's shape into the
+/// metrics registry: total states and (for lassos) cycle states. Free
+/// when no registry is attached.
+pub(crate) fn record_trace_metrics(model: &SymbolicModel, trace: &crate::witness::Trace) {
+    let metrics = model.manager().telemetry().metrics();
+    if !metrics.enabled() {
+        return;
+    }
+    metrics.observe("smc_witness_trace_states", &[], trace.len() as u64);
+    let cycle = trace.cycle_len();
+    if cycle > 0 {
+        metrics.observe("smc_witness_cycle_states", &[], cycle as u64);
+    }
+}
+
 /// Per-iteration observer for a fixpoint loop: `None` (and free) when
 /// telemetry is disabled, otherwise an [`IterTracker`] that turns the
 /// manager's cumulative counters into per-iteration deltas.

@@ -229,6 +229,24 @@ impl SymbolicModel {
         &self.fairness
     }
 
+    /// Records model-shape gauges (state bits, fairness count, BDD size
+    /// of the transition relation, reachable-state count when already
+    /// computed) into a metrics registry, then the manager's counters
+    /// via [`BddManager::record_metrics`]. Never triggers computation:
+    /// an uncached reachable set is simply not reported.
+    pub fn record_metrics(&self, metrics: &smc_obs::Metrics) {
+        if !metrics.enabled() {
+            return;
+        }
+        metrics.gauge_set("smc_model_state_bits", &[], self.names.len() as f64);
+        metrics.gauge_set("smc_model_fairness_constraints", &[], self.fairness.len() as f64);
+        metrics.gauge_set("smc_model_trans_nodes", &[], self.manager.size(self.trans) as f64);
+        if let Some(r) = self.reachable {
+            metrics.gauge_set("smc_model_reachable_states", &[], self.state_count(r));
+        }
+        self.manager.record_metrics(metrics);
+    }
+
     /// Adds a fairness constraint after construction.
     pub fn add_fairness(&mut self, constraint: Bdd) {
         self.manager.protect(constraint);

@@ -16,7 +16,7 @@
 //! | `witness_hop`   | `constraint`, `ring` |
 //! | `cycle_close`   | `closed`, `arc_len` |
 //! | `restart`       | `count`, `stay_exit`, `frontier` |
-//! | `gc`            | `reclaimed`, `live_before`, `live_after` |
+//! | `gc`            | `reclaimed`, `live_before`, `live_after` (+ optional `pause_us`) |
 //! | `ladder`        | `stage` |
 //! | `trip`          | `reason` |
 //! | `diagnostic`    | `code`, `severity` |
@@ -212,6 +212,9 @@ pub enum Event {
         live_before: u64,
         /// Live nodes after the collection.
         live_after: u64,
+        /// Wall time the collection took, in microseconds. Optional on
+        /// the wire (absent in pre-0.6 traces, read back as 0).
+        pause_us: u64,
     },
     /// The governor's degradation ladder escalated one step.
     Ladder {
@@ -232,21 +235,7 @@ pub enum Event {
     },
 }
 
-fn esc(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-}
+use crate::json::esc;
 
 impl Event {
     /// The record's `kind` key.
@@ -329,10 +318,10 @@ impl Event {
                 esc(&mut s, frontier);
                 s.push('"');
             }
-            Event::Gc { reclaimed, live_before, live_after } => {
+            Event::Gc { reclaimed, live_before, live_after, pause_us } => {
                 s.push_str(&format!(
                     ",\"reclaimed\":{reclaimed},\"live_before\":{live_before},\
-                     \"live_after\":{live_after}"
+                     \"live_after\":{live_after},\"pause_us\":{pause_us}"
                 ));
             }
             Event::Ladder { stage } => {
@@ -407,6 +396,7 @@ impl Event {
                 reclaimed: u("reclaimed")?,
                 live_before: u("live_before")?,
                 live_after: u("live_after")?,
+                pause_us: u("pause_us").unwrap_or(0),
             },
             "ladder" => Event::Ladder {
                 stage: match j.get("stage")?.as_str()? {
@@ -481,7 +471,7 @@ mod tests {
         roundtrip(Event::WitnessHop { constraint: 2, ring: 5 });
         roundtrip(Event::CycleClose { closed: true, arc_len: 7 });
         roundtrip(Event::Restart { count: 1, stay_exit: true, frontier: "0101".into() });
-        roundtrip(Event::Gc { reclaimed: 100, live_before: 300, live_after: 200 });
+        roundtrip(Event::Gc { reclaimed: 100, live_before: 300, live_after: 200, pause_us: 42 });
         roundtrip(Event::Ladder { stage: "cache_shrink" });
         roundtrip(Event::Trip { reason: "deadline expired after 1s".into() });
         roundtrip(Event::Diagnostic { code: "W010".into(), severity: "warning" });

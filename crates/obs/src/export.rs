@@ -1,0 +1,320 @@
+//! Standard trace export: converts a v1 JSON-lines trace into the
+//! Chrome trace-event format (open in `chrome://tracing` / Perfetto)
+//! and the speedscope evented-profile format (open on speedscope.app).
+//!
+//! Both exporters are text-to-text (`&str` in, JSON `String` out) so
+//! they need no filesystem access and golden-test trivially. They share
+//! the trace reader's tolerance: unparseable lines are skipped, and a
+//! truncated trace (open spans at EOF) is closed at the last timestamp
+//! rather than rejected.
+
+use crate::json::esc;
+use crate::{Event, EventCtx};
+
+/// Shared line-by-line trace walk. Calls `f` for each parsed record;
+/// returns `Err` when not a single line parses (the caller almost
+/// certainly pointed at the wrong file).
+fn walk(text: &str, mut f: impl FnMut(&EventCtx, &Event)) -> Result<u64, String> {
+    let mut parsed = 0u64;
+    let mut skipped = 0u64;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::from_json_line(line) {
+            Some((ctx, event)) => {
+                parsed += 1;
+                f(&ctx, &event);
+            }
+            None => skipped += 1,
+        }
+    }
+    if parsed == 0 {
+        return Err(format!(
+            "no trace records found ({skipped} unparseable lines); \
+             expected JSON lines with a \"v\" schema field"
+        ));
+    }
+    Ok(skipped)
+}
+
+fn str_field(out: &mut String, key: &str, val: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    esc(out, val);
+    out.push('"');
+}
+
+/// Converts a JSON-lines trace into the Chrome trace-event format:
+/// one `"B"`/`"E"` duration event per span boundary and one `"i"`
+/// instant event per point event (fixpoint iterations, witness hops,
+/// GC, trips), all on a single synthetic pid/tid since the checker is
+/// single-threaded. Timestamps are the trace's own microsecond clock.
+///
+/// # Errors
+///
+/// A description of the problem if no line of `text` parses.
+pub fn export_chrome(text: &str) -> Result<String, String> {
+    let mut events: Vec<String> = Vec::new();
+    walk(text, |ctx, event| {
+        let mut e = String::from("{");
+        match event {
+            Event::SpanStart { kind, label, .. } => {
+                str_field(&mut e, "name", kind.name());
+                e.push_str(&format!(",\"ph\":\"B\",\"ts\":{}", ctx.t_us));
+                if let Some(l) = label {
+                    e.push_str(",\"args\":{");
+                    str_field(&mut e, "label", l);
+                    e.push('}');
+                }
+            }
+            Event::SpanEnd { kind, live_nodes, peak_nodes, delta, .. } => {
+                str_field(&mut e, "name", kind.name());
+                e.push_str(&format!(
+                    ",\"ph\":\"E\",\"ts\":{},\"args\":{{\"live_nodes\":{live_nodes},\
+                     \"peak_nodes\":{peak_nodes},\"cache_lookups\":{},\"cache_hits\":{}}}",
+                    ctx.t_us, delta.cache_lookups, delta.cache_hits
+                ));
+            }
+            other => {
+                str_field(&mut e, "name", other.kind_name());
+                e.push_str(&format!(",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}", ctx.t_us));
+                let args = match other {
+                    Event::FixpointIter {
+                        phase, iteration, frontier_size, approx_size, ..
+                    } => {
+                        format!(
+                            "{{\"phase\":\"{}\",\"iteration\":{iteration},\
+                             \"frontier_size\":{frontier_size},\"approx_size\":{approx_size}}}",
+                            phase.name()
+                        )
+                    }
+                    Event::WitnessHop { constraint, ring } => {
+                        format!("{{\"constraint\":{constraint},\"ring\":{ring}}}")
+                    }
+                    Event::CycleClose { closed, arc_len } => {
+                        format!("{{\"closed\":{closed},\"arc_len\":{arc_len}}}")
+                    }
+                    Event::Gc { reclaimed, pause_us, .. } => {
+                        format!("{{\"reclaimed\":{reclaimed},\"pause_us\":{pause_us}}}")
+                    }
+                    _ => String::new(),
+                };
+                if !args.is_empty() {
+                    e.push_str(",\"args\":");
+                    e.push_str(&args);
+                }
+            }
+        }
+        e.push_str(",\"pid\":1,\"tid\":1,\"cat\":\"smc\"}");
+        events.push(e);
+    })?;
+    Ok(format!("{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}\n", events.join(",\n")))
+}
+
+/// Converts a JSON-lines trace into a speedscope *evented* profile:
+/// span boundaries become `"O"`/`"C"` frame events over a shared frame
+/// table, in microseconds. Speedscope requires strict LIFO nesting, so
+/// a span end cascades closes for any abandoned inner spans, and spans
+/// still open at EOF are closed at the final timestamp.
+///
+/// # Errors
+///
+/// A description of the problem if no line of `text` parses.
+pub fn export_speedscope(text: &str) -> Result<String, String> {
+    let mut frames: Vec<String> = Vec::new();
+    let mut frame_of = std::collections::BTreeMap::<String, usize>::new();
+    // Open spans: (span id, frame index).
+    let mut stack: Vec<(u64, usize)> = Vec::new();
+    let mut events: Vec<String> = Vec::new();
+    let mut end_value = 0u64;
+    walk(text, |ctx, event| {
+        end_value = end_value.max(ctx.t_us);
+        match event {
+            Event::SpanStart { id, kind, label } => {
+                let name = match label {
+                    Some(l) => format!("{}: {l}", kind.name()),
+                    None => kind.name().to_string(),
+                };
+                let frame = *frame_of.entry(name.clone()).or_insert_with(|| {
+                    frames.push(name);
+                    frames.len() - 1
+                });
+                stack.push((*id, frame));
+                events.push(format!("{{\"type\":\"O\",\"frame\":{frame},\"at\":{}}}", ctx.t_us));
+            }
+            // Close LIFO down to (and including) the ending span; an
+            // end with no matching open (truncated head) is a no-op
+            // rather than an unbalanced close.
+            Event::SpanEnd { id, .. } if stack.iter().any(|(open, _)| open == id) => {
+                while let Some((open, frame)) = stack.pop() {
+                    events
+                        .push(format!("{{\"type\":\"C\",\"frame\":{frame},\"at\":{}}}", ctx.t_us));
+                    if open == *id {
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    })?;
+    while let Some((_, frame)) = stack.pop() {
+        events.push(format!("{{\"type\":\"C\",\"frame\":{frame},\"at\":{end_value}}}"));
+    }
+    let mut frame_objs = String::new();
+    for (i, name) in frames.iter().enumerate() {
+        if i > 0 {
+            frame_objs.push(',');
+        }
+        frame_objs.push_str("{\"name\":\"");
+        esc(&mut frame_objs, name);
+        frame_objs.push_str("\"}");
+    }
+    Ok(format!(
+        "{{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",\
+         \"shared\":{{\"frames\":[{frame_objs}]}},\
+         \"profiles\":[{{\"type\":\"evented\",\"name\":\"smc trace\",\
+         \"unit\":\"microseconds\",\"startValue\":0,\"endValue\":{end_value},\
+         \"events\":[\n{}\n]}}],\
+         \"exporter\":\"smc profile export\"}}\n",
+        events.join(",\n")
+    ))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::{Json, SpanKind, StatsDelta};
+
+    /// A small synthetic trace: reach span containing one iteration,
+    /// then a witness span left open (truncated tail).
+    fn sample_trace() -> String {
+        let mut lines = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |t_us: u64, e: Event| {
+            lines.push(e.to_json_line(&EventCtx { seq, t_us }));
+            seq += 1;
+        };
+        push(0, Event::SpanStart { id: 1, kind: SpanKind::Reach, label: None });
+        push(
+            5,
+            Event::FixpointIter {
+                phase: crate::FixKind::Reach,
+                iteration: 1,
+                frontier_size: 4,
+                approx_size: 9,
+                live_nodes: 20,
+                peak_nodes: 25,
+                d_lookups: 8,
+                d_hits: 3,
+            },
+        );
+        push(
+            10,
+            Event::SpanEnd {
+                id: 1,
+                kind: SpanKind::Reach,
+                wall_us: 10,
+                live_nodes: 20,
+                peak_nodes: 25,
+                delta: StatsDelta { cache_lookups: 8, cache_hits: 3, ..Default::default() },
+            },
+        );
+        push(12, Event::SpanStart { id: 2, kind: SpanKind::Witness, label: Some("AG p".into()) });
+        lines.join("\n") + "\n"
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_balanced_phases() {
+        let out = export_chrome(&sample_trace()).unwrap();
+        let j = Json::parse(&out).unwrap();
+        let Json::Arr(events) = j.get("traceEvents").unwrap() else { panic!("traceEvents") };
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("reach"));
+        assert_eq!(events[1].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(events[2].get("ph").unwrap().as_str(), Some("E"));
+        assert_eq!(events[2].get("args").unwrap().get("cache_lookups").unwrap().as_u64(), Some(8));
+        assert_eq!(events[3].get("args").unwrap().get("label").unwrap().as_str(), Some("AG p"));
+    }
+
+    #[test]
+    fn speedscope_export_closes_truncated_spans() {
+        let out = export_speedscope(&sample_trace()).unwrap();
+        let j = Json::parse(&out).unwrap();
+        let frames = j.get("shared").unwrap().get("frames").unwrap();
+        let Json::Arr(frames) = frames else { panic!("frames") };
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].get("name").unwrap().as_str(), Some("witness: AG p"));
+        let profile = match j.get("profiles").unwrap() {
+            Json::Arr(p) => &p[0],
+            _ => panic!("profiles"),
+        };
+        let Json::Arr(events) = profile.get("events").unwrap() else { panic!("events") };
+        // O reach, C reach, O witness, synthesized C witness at EOF.
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[3].get("type").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            events[3].get("at").unwrap().as_u64(),
+            profile.get("endValue").unwrap().as_u64()
+        );
+        // O/C pairs reference the same frame, LIFO.
+        assert_eq!(
+            events[0].get("frame").unwrap().as_u64(),
+            events[1].get("frame").unwrap().as_u64()
+        );
+    }
+
+    #[test]
+    fn abandoned_inner_spans_cascade_closed() {
+        // outer opens, inner opens, outer's end arrives (the telemetry
+        // cascade normally closes inner first, but a hand-edited trace
+        // might not).
+        let mut lines = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |t_us: u64, e: Event| {
+            lines.push(e.to_json_line(&EventCtx { seq, t_us }));
+            seq += 1;
+        };
+        push(0, Event::SpanStart { id: 1, kind: SpanKind::FairEg, label: None });
+        push(1, Event::SpanStart { id: 2, kind: SpanKind::CheckEu, label: None });
+        push(
+            9,
+            Event::SpanEnd {
+                id: 1,
+                kind: SpanKind::FairEg,
+                wall_us: 9,
+                live_nodes: 0,
+                peak_nodes: 0,
+                delta: StatsDelta::default(),
+            },
+        );
+        let out = export_speedscope(&(lines.join("\n") + "\n")).unwrap();
+        let j = Json::parse(&out).unwrap();
+        let profile = match j.get("profiles").unwrap() {
+            Json::Arr(p) => &p[0],
+            _ => panic!("profiles"),
+        };
+        let Json::Arr(events) = profile.get("events").unwrap() else { panic!("events") };
+        let kinds: Vec<&str> =
+            events.iter().map(|e| e.get("type").unwrap().as_str().unwrap()).collect();
+        assert_eq!(kinds, ["O", "O", "C", "C"]);
+        // Inner (frame of id 2) closes before outer.
+        assert_eq!(
+            events[2].get("frame").unwrap().as_u64(),
+            events[1].get("frame").unwrap().as_u64()
+        );
+        assert_eq!(
+            events[3].get("frame").unwrap().as_u64(),
+            events[0].get("frame").unwrap().as_u64()
+        );
+    }
+
+    #[test]
+    fn exports_reject_garbage() {
+        assert!(export_chrome("junk\n").is_err());
+        assert!(export_speedscope("").is_err());
+    }
+}

@@ -81,6 +81,24 @@ impl Json {
     }
 }
 
+/// Appends `s` to `out` with JSON string escaping (the writer-side dual
+/// of [`Parser::string`]).
+pub(crate) fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,

@@ -1,0 +1,385 @@
+//! The benchmark run ledger: the schema behind `BENCH_*.json`.
+//!
+//! A ledger holds one **baseline** run record (what `smc bench`
+//! compares against) and a bounded **history** of accepted runs keyed
+//! by commit, so the performance trajectory accumulates across PRs
+//! instead of being overwritten. The ledger is plain JSON, rendered
+//! deterministically (stable field order, sorted counters) so diffs in
+//! review show exactly what moved.
+//!
+//! Comparison policy ([`Ledger::compare`]): wall times gate on the
+//! **best-of-N** value with a configurable tolerance (noise only ever
+//! inflates a wall time, so the minimum is the most reproducible
+//! statistic); workload counters (cache lookups, created nodes) are
+//! deterministic for a given build and gate **exactly** — drift means
+//! the algorithm changed and the baseline needs a deliberate
+//! `--update`.
+
+use crate::json::{esc, Json};
+
+/// Version stamped into the ledger as `"schema"`. Bumped only when a
+/// required key is removed or changes meaning.
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+
+/// Accepted history records kept per ledger (oldest evicted first).
+const HISTORY_CAP: usize = 100;
+
+/// Absolute wall-time slack under which a difference never gates:
+/// microsecond-scale phases (a cached reachability re-read) sit entirely
+/// inside scheduler jitter, where a percentage tolerance is meaningless.
+const NOISE_FLOOR_S: f64 = 0.0005;
+
+/// Wall-time statistics for one phase of one family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRecord {
+    /// Phase name: `compile`, `reach`, `check` or `witness`.
+    pub phase: String,
+    /// Median wall time over the repetitions, in seconds.
+    pub median_s: f64,
+    /// Best (minimum) wall time over the repetitions, in seconds.
+    pub best_s: f64,
+}
+
+/// One model family's measurements within a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyRecord {
+    /// Family name (`mutex`, `arbiter2`, …).
+    pub name: String,
+    /// Per-phase wall-time statistics, in run order.
+    pub phases: Vec<PhaseRecord>,
+    /// Deterministic workload counters at end of run, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// One complete `smc bench` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Short commit hash the binary was built from (`unknown` outside
+    /// a git checkout).
+    pub commit: String,
+    /// Wall-clock timestamp of the run, milliseconds since the epoch.
+    pub unix_ms: u64,
+    /// Repetitions each family was run for.
+    pub repetitions: u64,
+    /// Was telemetry enabled during the measured runs?
+    pub telemetry: bool,
+    /// Per-family measurements.
+    pub families: Vec<FamilyRecord>,
+}
+
+/// A `BENCH_*.json` document: baseline plus accepted history.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ledger {
+    /// The run new measurements gate against.
+    pub baseline: Option<RunRecord>,
+    /// Accepted runs, oldest first, capped at 100.
+    pub history: Vec<RunRecord>,
+}
+
+/// One gate violation found by [`Ledger::compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// `family/phase` or `family/counter` the violation is on.
+    pub what: String,
+    /// Human-readable description with both values.
+    pub detail: String,
+}
+
+impl Ledger {
+    /// An empty ledger (no baseline, no history).
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// Appends an accepted run to the history, evicting the oldest
+    /// entries beyond the cap.
+    pub fn push_history(&mut self, run: RunRecord) {
+        self.history.push(run);
+        if self.history.len() > HISTORY_CAP {
+            let excess = self.history.len() - HISTORY_CAP;
+            self.history.drain(..excess);
+        }
+    }
+
+    /// Gates `run` against this ledger's baseline: best-of-N wall times
+    /// within `tolerance_pct` percent (and past an absolute half-
+    /// millisecond noise floor), counters exactly equal. Returns every
+    /// violation (empty = clean). A missing baseline, and phases or
+    /// counters absent from the baseline, gate nothing.
+    pub fn compare(&self, run: &RunRecord, tolerance_pct: f64) -> Vec<Regression> {
+        let Some(base) = &self.baseline else { return Vec::new() };
+        let mut out = Vec::new();
+        for bf in &base.families {
+            let Some(rf) = run.families.iter().find(|f| f.name == bf.name) else { continue };
+            for bp in &bf.phases {
+                let Some(rp) = rf.phases.iter().find(|p| p.phase == bp.phase) else { continue };
+                let limit = bp.best_s * (1.0 + tolerance_pct / 100.0);
+                if rp.best_s > limit && rp.best_s - bp.best_s > NOISE_FLOOR_S {
+                    out.push(Regression {
+                        what: format!("{}/{}", bf.name, bp.phase),
+                        detail: format!(
+                            "best {:.6}s vs baseline {:.6}s (+{:.1}%, tolerance {tolerance_pct}%)",
+                            rp.best_s,
+                            bp.best_s,
+                            100.0 * (rp.best_s / bp.best_s - 1.0)
+                        ),
+                    });
+                }
+            }
+            for (name, bv) in &bf.counters {
+                let Some((_, rv)) = rf.counters.iter().find(|(n, _)| n == name) else { continue };
+                if rv != bv {
+                    out.push(Regression {
+                        what: format!("{}/{}", bf.name, name),
+                        detail: format!(
+                            "counter {rv} vs baseline {bv} (exact gate; algorithm changed? \
+                             re-baseline with --update)"
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a ledger document.
+    ///
+    /// # Errors
+    ///
+    /// A description of what is malformed: not JSON, wrong `"ledger"`
+    /// marker, or a schema version newer than this crate understands.
+    pub fn from_json(text: &str) -> Result<Ledger, String> {
+        let j = Json::parse(text).ok_or("not valid JSON")?;
+        if j.get("ledger").and_then(Json::as_str) != Some("smc-bench") {
+            return Err("missing \"ledger\":\"smc-bench\" marker (old-format bench file? \
+                        re-baseline with smc bench --update)"
+                .to_string());
+        }
+        let schema = j.get("schema").and_then(Json::as_u64).ok_or("missing schema version")?;
+        if schema > LEDGER_SCHEMA_VERSION {
+            return Err(format!(
+                "ledger schema v{schema} is newer than supported v{LEDGER_SCHEMA_VERSION}"
+            ));
+        }
+        let baseline = match j.get("baseline") {
+            None | Some(Json::Null) => None,
+            Some(b) => Some(run_from_json(b)?),
+        };
+        let mut history = Vec::new();
+        if let Some(Json::Arr(items)) = j.get("history") {
+            for item in items {
+                history.push(run_from_json(item)?);
+            }
+        }
+        Ok(Ledger { baseline, history })
+    }
+
+    /// Renders the ledger as deterministic, diff-friendly JSON (one
+    /// history record per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"ledger\": \"smc-bench\",\n  \"schema\": {LEDGER_SCHEMA_VERSION},\n"
+        ));
+        out.push_str("  \"baseline\": ");
+        match &self.baseline {
+            Some(run) => out.push_str(&run_to_json(run)),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n  \"history\": [");
+        for (i, run) in self.history.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&run_to_json(run));
+        }
+        if !self.history.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn run_to_json(run: &RunRecord) -> String {
+    let mut out = String::from("{\"commit\":\"");
+    esc(&mut out, &run.commit);
+    out.push_str(&format!(
+        "\",\"unix_ms\":{},\"repetitions\":{},\"telemetry\":{},\"families\":[",
+        run.unix_ms, run.repetitions, run.telemetry
+    ));
+    for (i, fam) in run.families.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        esc(&mut out, &fam.name);
+        out.push_str("\",\"phases\":[");
+        for (k, p) in fam.phases.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"phase\":\"");
+            esc(&mut out, &p.phase);
+            out.push_str(&format!(
+                "\",\"median_s\":{:.6},\"best_s\":{:.6}}}",
+                p.median_s, p.best_s
+            ));
+        }
+        out.push_str("],\"counters\":{");
+        let mut counters = fam.counters.clone();
+        counters.sort();
+        for (k, (name, v)) in counters.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            esc(&mut out, name);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn run_from_json(j: &Json) -> Result<RunRecord, String> {
+    let s = |key: &str| {
+        j.get(key).and_then(Json::as_str).map(str::to_string).ok_or(format!("run missing {key}"))
+    };
+    let u = |key: &str| j.get(key).and_then(Json::as_u64).ok_or(format!("run missing {key}"));
+    let mut families = Vec::new();
+    if let Some(Json::Arr(items)) = j.get("families") {
+        for item in items {
+            families.push(family_from_json(item)?);
+        }
+    }
+    Ok(RunRecord {
+        commit: s("commit")?,
+        unix_ms: u("unix_ms")?,
+        repetitions: u("repetitions")?,
+        telemetry: j.get("telemetry").and_then(Json::as_bool).unwrap_or(false),
+        families,
+    })
+}
+
+fn family_from_json(j: &Json) -> Result<FamilyRecord, String> {
+    let name =
+        j.get("name").and_then(Json::as_str).map(str::to_string).ok_or("family missing name")?;
+    let mut phases = Vec::new();
+    if let Some(Json::Arr(items)) = j.get("phases") {
+        for item in items {
+            phases.push(PhaseRecord {
+                phase: item
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or("phase missing name")?,
+                median_s: item.get("median_s").and_then(Json::as_f64).ok_or("missing median_s")?,
+                best_s: item.get("best_s").and_then(Json::as_f64).ok_or("missing best_s")?,
+            });
+        }
+    }
+    let mut counters = Vec::new();
+    if let Some(Json::Obj(fields)) = j.get("counters") {
+        for (k, v) in fields {
+            counters.push((k.clone(), v.as_u64().ok_or(format!("counter {k} not integral"))?));
+        }
+    }
+    counters.sort();
+    Ok(FamilyRecord { name, phases, counters })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn sample_run(best_reach: f64, lookups: u64, commit: &str) -> RunRecord {
+        RunRecord {
+            commit: commit.to_string(),
+            unix_ms: 1_700_000_000_000,
+            repetitions: 5,
+            telemetry: false,
+            families: vec![FamilyRecord {
+                name: "mutex".into(),
+                phases: vec![
+                    // Dyadic values: exact through the ledger's 6-decimal
+                    // quantization, so round-trip tests can use equality.
+                    PhaseRecord { phase: "compile".into(), median_s: 0.5, best_s: 0.25 },
+                    PhaseRecord {
+                        phase: "reach".into(),
+                        median_s: 2.0 * best_reach,
+                        best_s: best_reach,
+                    },
+                ],
+                counters: vec![("cache_lookups".into(), lookups), ("created_nodes".into(), 50)],
+            }],
+        }
+    }
+
+    #[test]
+    fn ledger_round_trips() {
+        let mut ledger = Ledger::new();
+        ledger.baseline = Some(sample_run(0.015625, 1000, "abc1234"));
+        ledger.push_history(sample_run(0.03125, 1000, "abc1234"));
+        ledger.push_history(sample_run(0.046875, 1000, "def5678"));
+        let text = ledger.to_json();
+        let back = Ledger::from_json(&text).unwrap();
+        assert_eq!(back, ledger);
+        assert_eq!(text, back.to_json(), "rendering must be stable");
+    }
+
+    #[test]
+    fn compare_gates_wall_time_with_tolerance() {
+        let mut ledger = Ledger::new();
+        ledger.baseline = Some(sample_run(0.010, 1000, "base"));
+        // +2% is within a 3% tolerance.
+        assert!(ledger.compare(&sample_run(0.0102, 1000, "x"), 3.0).is_empty());
+        // +10% is not.
+        let regs = ledger.compare(&sample_run(0.011, 1000, "x"), 3.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].what, "mutex/reach");
+        assert!(regs[0].detail.contains("+10.0%"), "{}", regs[0].detail);
+        // Faster is never a regression.
+        assert!(ledger.compare(&sample_run(0.002, 1000, "x"), 3.0).is_empty());
+    }
+
+    #[test]
+    fn compare_gates_counters_exactly() {
+        let mut ledger = Ledger::new();
+        ledger.baseline = Some(sample_run(0.010, 1000, "base"));
+        let regs = ledger.compare(&sample_run(0.010, 1001, "x"), 3.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].what, "mutex/cache_lookups");
+        assert!(regs[0].detail.contains("--update"), "{}", regs[0].detail);
+    }
+
+    #[test]
+    fn compare_without_baseline_gates_nothing() {
+        let ledger = Ledger::new();
+        assert!(ledger.compare(&sample_run(9.9, 42, "x"), 0.0).is_empty());
+    }
+
+    #[test]
+    fn history_is_capped() {
+        let mut ledger = Ledger::new();
+        for i in 0..110 {
+            ledger.push_history(sample_run(0.01, 1000, &format!("c{i}")));
+        }
+        assert_eq!(ledger.history.len(), 100);
+        assert_eq!(ledger.history[0].commit, "c10", "oldest evicted first");
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(Ledger::from_json("junk").is_err());
+        assert!(Ledger::from_json("{\"arbiter\":{}}").unwrap_err().contains("--update"));
+        let newer = format!(
+            "{{\"ledger\":\"smc-bench\",\"schema\":{},\"baseline\":null,\"history\":[]}}",
+            LEDGER_SCHEMA_VERSION + 1
+        );
+        assert!(Ledger::from_json(&newer).unwrap_err().contains("newer"));
+    }
+}

@@ -41,14 +41,20 @@
 //! ```
 
 mod event;
+mod export;
 mod json;
+mod ledger;
+mod metrics;
 mod profile;
 mod progress;
 mod sink;
 
 pub use event::{Event, FixKind, SpanKind, SPAN_KINDS};
+pub use export::{export_chrome, export_speedscope};
 pub use json::Json;
-pub use profile::{report_from_jsonl, ProfileAggregator};
+pub use ledger::{FamilyRecord, Ledger, PhaseRecord, RunRecord, LEDGER_SCHEMA_VERSION};
+pub use metrics::{Metrics, METRICS_SCHEMA_VERSION};
+pub use profile::{report_from_jsonl, report_from_jsonl_with, ProfileAggregator};
 pub use progress::ProgressSink;
 pub use sink::{EventCtx, JsonlSink, Sink};
 
@@ -141,6 +147,7 @@ struct Inner {
     seq: Cell<u64>,
     next_span: Cell<u64>,
     stack: RefCell<Vec<OpenSpan>>,
+    metrics: RefCell<Metrics>,
 }
 
 /// The telemetry handle threaded through the checking stack.
@@ -176,6 +183,7 @@ impl Telemetry {
                 seq: Cell::new(0),
                 next_span: Cell::new(1),
                 stack: RefCell::new(Vec::new()),
+                metrics: RefCell::new(Metrics::disabled()),
             })),
         }
     }
@@ -196,6 +204,25 @@ impl Telemetry {
     pub fn add_sink(&self, sink: Box<dyn Sink>) {
         if let Some(inner) = &self.inner {
             inner.sinks.borrow_mut().push(sink);
+        }
+    }
+
+    /// Attaches a metrics registry: every subsequent event folds into it
+    /// ([`Metrics::fold_event`]), and instrumented layers can reach it
+    /// through [`metrics`](Telemetry::metrics) for direct recording.
+    /// No-op on a disabled handle.
+    pub fn set_metrics(&self, metrics: Metrics) {
+        if let Some(inner) = &self.inner {
+            *inner.metrics.borrow_mut() = metrics;
+        }
+    }
+
+    /// The attached metrics registry handle (a cheap clone sharing the
+    /// same registry), or a disabled handle when none is attached.
+    pub fn metrics(&self) -> Metrics {
+        match &self.inner {
+            Some(inner) => inner.metrics.borrow().clone(),
+            None => Metrics::disabled(),
         }
     }
 
@@ -268,6 +295,7 @@ impl Inner {
     fn record(&self, event: &Event) {
         let ctx = EventCtx { seq: self.seq.get(), t_us: self.now_us() };
         self.seq.set(ctx.seq + 1);
+        self.metrics.borrow().fold_event(event);
         for sink in self.sinks.borrow_mut().iter_mut() {
             sink.record(&ctx, event);
         }

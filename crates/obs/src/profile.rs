@@ -52,12 +52,32 @@ impl ProfileAggregator {
         ProfileAggregator::default()
     }
 
-    /// Renders the profile report table.
+    /// Renders the profile report table (all rows).
+    pub fn render(&self) -> String {
+        self.render_top(None)
+    }
+
+    /// The report's rows in display order: hottest first (self time
+    /// descending), span name ascending as the tie-break so equal self
+    /// times render deterministically.
+    fn sorted_rows(&self) -> Vec<(SpanKind, Row)> {
+        let d = self.data.borrow();
+        let mut rows: Vec<(SpanKind, Row)> = d.rows.iter().map(|(k, r)| (*k, *r)).collect();
+        rows.sort_by(|(ak, ar), (bk, br)| {
+            br.self_us.cmp(&ar.self_us).then_with(|| ak.name().cmp(bk.name()))
+        });
+        rows
+    }
+
+    /// Renders the profile report table, hottest span first, keeping
+    /// only the top `top` rows when given.
     ///
     /// `total` sums a kind over every span of that kind, so nested
     /// same-kind spans (a re-entrant witness) can exceed the wall
     /// clock; `self` excludes child spans and is additive.
-    pub fn render(&self) -> String {
+    pub fn render_top(&self, top: Option<usize>) -> String {
+        let rows = self.sorted_rows();
+        let shown = top.unwrap_or(rows.len()).min(rows.len());
         let d = self.data.borrow();
         let mut out = String::new();
         out.push_str(&format!("-- profile report (schema v{}) --\n", crate::SCHEMA_VERSION));
@@ -66,7 +86,7 @@ impl ProfileAggregator {
             "{:<11} {:>6} {:>10} {:>10} {:>7} {:>11}  {}\n",
             "span", "count", "total", "self", "iters", "peak nodes", "cache hit rate"
         ));
-        for (kind, row) in &d.rows {
+        for (kind, row) in rows.iter().take(shown) {
             let rate = if row.d_lookups == 0 {
                 "-".to_string()
             } else {
@@ -87,6 +107,12 @@ impl ProfileAggregator {
                 rate
             ));
         }
+        if shown < rows.len() {
+            out.push_str(&format!(
+                "({} cooler spans hidden by --top {shown})\n",
+                rows.len() - shown
+            ));
+        }
         out.push_str(&format!(
             "witness search: {} hops, {} cycle attempts ({} closed), {} restarts, {} stay exits\n",
             d.hops, d.cycle_attempts, d.cycle_closed, d.restarts, d.stay_exits
@@ -98,6 +124,55 @@ impl ProfileAggregator {
             if d.ladder.is_empty() { "none".to_string() } else { d.ladder.join(" -> ") },
             if d.trips.is_empty() { "none".to_string() } else { d.trips.join("; ") },
         ));
+        out
+    }
+
+    /// Renders the report as one JSON object — same rows, same order,
+    /// same `--top` semantics as [`render_top`](Self::render_top), with
+    /// times in raw microseconds.
+    pub fn render_json(&self, top: Option<usize>) -> String {
+        let rows = self.sorted_rows();
+        let shown = top.unwrap_or(rows.len()).min(rows.len());
+        let d = self.data.borrow();
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"schema\":{},\"wall_us\":{},\"events\":{},\"spans\":[",
+            crate::SCHEMA_VERSION,
+            d.wall_us,
+            d.events
+        ));
+        for (i, (kind, row)) in rows.iter().take(shown).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"span\":\"{}\",\"count\":{},\"total_us\":{},\"self_us\":{},\
+                 \"iterations\":{},\"peak_nodes\":{},\"d_lookups\":{},\"d_hits\":{}}}",
+                kind.name(),
+                row.count,
+                row.total_us,
+                row.self_us,
+                row.iterations,
+                row.peak_nodes,
+                row.d_lookups,
+                row.d_hits
+            ));
+        }
+        out.push_str(&format!(
+            "],\"hidden_spans\":{},\"witness\":{{\"hops\":{},\"cycle_attempts\":{},\
+             \"cycle_closed\":{},\"restarts\":{},\"stay_exits\":{}}},\
+             \"gc\":{{\"runs\":{},\"reclaimed\":{}}},\"trips\":{}}}",
+            rows.len() - shown,
+            d.hops,
+            d.cycle_attempts,
+            d.cycle_closed,
+            d.restarts,
+            d.stay_exits,
+            d.gc_runs,
+            d.gc_reclaimed,
+            d.trips.len()
+        ));
+        out.push('\n');
         out
     }
 }
@@ -175,6 +250,20 @@ impl Sink for ProfileAggregator {
 /// in the report instead (a truncated trailing line must not void a
 /// long trace).
 pub fn report_from_jsonl(text: &str) -> Result<String, String> {
+    report_from_jsonl_with(text, false, None)
+}
+
+/// [`report_from_jsonl`] with output options: `json` switches to the
+/// machine-readable rendering, `top` keeps only the N hottest spans.
+///
+/// # Errors
+///
+/// Same contract as [`report_from_jsonl`].
+pub fn report_from_jsonl_with(
+    text: &str,
+    json: bool,
+    top: Option<usize>,
+) -> Result<String, String> {
     let mut agg = ProfileAggregator::new();
     let mut parsed = 0u64;
     let mut skipped = 0u64;
@@ -196,7 +285,10 @@ pub fn report_from_jsonl(text: &str) -> Result<String, String> {
              expected JSON lines with a \"v\" schema field"
         ));
     }
-    let mut report = agg.render();
+    if json {
+        return Ok(agg.render_json(top));
+    }
+    let mut report = agg.render_top(top);
     if skipped > 0 {
         report.push_str(&format!("({skipped} unparseable lines skipped)\n"));
     }
@@ -292,6 +384,64 @@ mod tests {
         let reach_line = report.lines().find(|l| l.starts_with("reach")).unwrap();
         assert!(reach_line.contains(" 4 "), "iters column: {reach_line}");
         assert!(reach_line.contains("64"), "peak column: {reach_line}");
+    }
+
+    /// Two spans with distinct self times, two with equal (zero) ones.
+    fn multi_span_agg() -> ProfileAggregator {
+        let mut agg = ProfileAggregator::new();
+        let mut t = 0;
+        let mut span = |agg: &mut ProfileAggregator, kind: SpanKind, wall: u64| {
+            agg.record(&ctx(0, t), &Event::SpanStart { id: t, kind, label: None });
+            t += wall;
+            agg.record(
+                &ctx(1, t),
+                &Event::SpanEnd {
+                    id: t - wall,
+                    kind,
+                    wall_us: wall,
+                    live_nodes: 0,
+                    peak_nodes: 0,
+                    delta: StatsDelta::default(),
+                },
+            );
+        };
+        span(&mut agg, SpanKind::Witness, 50);
+        span(&mut agg, SpanKind::Reach, 200);
+        span(&mut agg, SpanKind::CheckEg, 0);
+        span(&mut agg, SpanKind::CheckEu, 0);
+        agg
+    }
+
+    #[test]
+    fn rows_sort_hottest_first_with_name_tiebreak() {
+        let report = multi_span_agg().render();
+        let order: Vec<&str> =
+            report.lines().skip(3).filter_map(|l| l.split_whitespace().next()).take(4).collect();
+        // reach (200) > witness (50) > the two zero-self spans in name
+        // order: check_eg before check_eu.
+        assert_eq!(order, ["reach", "witness", "check_eg", "check_eu"], "{report}");
+    }
+
+    #[test]
+    fn top_limits_rows_and_reports_the_cut() {
+        let report = multi_span_agg().render_top(Some(1));
+        assert!(report.contains("reach"), "{report}");
+        assert!(!report.contains("witness search: 0 hops\nwitness"), "{report}");
+        assert!(report.lines().all(|l| !l.starts_with("check_eu")), "{report}");
+        assert!(report.contains("(3 cooler spans hidden by --top 1)"), "{report}");
+    }
+
+    #[test]
+    fn json_report_mirrors_the_table() {
+        let agg = multi_span_agg();
+        let j = crate::Json::parse(&agg.render_json(Some(2))).unwrap();
+        assert_eq!(j.get("schema").unwrap().as_u64(), Some(crate::SCHEMA_VERSION));
+        let crate::Json::Arr(spans) = j.get("spans").unwrap() else { panic!("spans") };
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("span").unwrap().as_str(), Some("reach"));
+        assert_eq!(spans[0].get("self_us").unwrap().as_u64(), Some(200));
+        assert_eq!(spans[1].get("span").unwrap().as_str(), Some("witness"));
+        assert_eq!(j.get("hidden_spans").unwrap().as_u64(), Some(2));
     }
 
     #[test]

@@ -16,15 +16,30 @@ pub struct ProgressSink<W: Write> {
     last_len: usize,
     /// Name of the innermost open span, for the line's `[phase]` tag.
     phase: Vec<&'static str>,
+    /// Maximum painted line width; longer lines are truncated with an
+    /// ellipsis so a self-overwriting line never wraps (wrapped lines
+    /// cannot be erased with `\r`).
+    max_width: usize,
 }
 
+/// Default line-width cap — a conservative terminal width.
+const DEFAULT_WIDTH: usize = 120;
+
 impl<W: Write> ProgressSink<W> {
-    /// Wraps a writer.
+    /// Wraps a writer with the default 120-column width cap.
     pub fn new(out: W) -> ProgressSink<W> {
-        ProgressSink { out, last_len: 0, phase: Vec::new() }
+        ProgressSink { out, last_len: 0, phase: Vec::new(), max_width: DEFAULT_WIDTH }
+    }
+
+    /// Overrides the line-width cap (minimum 2: one character plus the
+    /// ellipsis).
+    pub fn with_width(mut self, max_width: usize) -> ProgressSink<W> {
+        self.max_width = max_width.max(2);
+        self
     }
 
     fn paint(&mut self, line: &str) {
+        let line = truncate(line, self.max_width);
         let pad = self.last_len.saturating_sub(line.chars().count());
         let _ = write!(self.out, "\r{line}{}", " ".repeat(pad));
         let _ = self.out.flush();
@@ -44,6 +59,15 @@ impl<W: Write> ProgressSink<W> {
             self.last_len = 0;
         }
     }
+}
+
+/// Caps `line` at `max` characters, ellipsis-terminated when cut.
+fn truncate(line: &str, max: usize) -> std::borrow::Cow<'_, str> {
+    if line.chars().count() <= max {
+        return std::borrow::Cow::Borrowed(line);
+    }
+    let kept: String = line.chars().take(max.saturating_sub(1)).collect();
+    std::borrow::Cow::Owned(format!("{kept}\u{2026}"))
 }
 
 impl ProgressSink<std::io::Stderr> {
@@ -142,5 +166,79 @@ mod tests {
         sink.record(&ctx, &Event::Restart { count: 2, stay_exit: true, frontier: "01".into() });
         let text = String::from_utf8(sink.out).unwrap();
         assert!(text.contains("restart 2 (stay-set exit)\n"), "{text:?}");
+    }
+
+    #[test]
+    fn long_lines_truncate_at_the_width_cap() {
+        let mut sink = ProgressSink::new(Vec::new()).with_width(20);
+        let ctx = EventCtx { seq: 0, t_us: 0 };
+        sink.record(
+            &ctx,
+            &Event::FixpointIter {
+                phase: FixKind::FairEgOuter,
+                iteration: 123456,
+                frontier_size: 999_999_999,
+                approx_size: 888_888_888,
+                live_nodes: 777_777_777,
+                peak_nodes: 0,
+                d_lookups: 0,
+                d_hits: 0,
+            },
+        );
+        let text = String::from_utf8(sink.out).unwrap();
+        let line = text.trim_start_matches('\r');
+        assert_eq!(line.chars().count(), 20, "{line:?}");
+        assert!(line.ends_with('\u{2026}'), "{line:?}");
+        assert!(line.starts_with("[fair_eg_outer]"), "{line:?}");
+    }
+
+    #[test]
+    fn short_lines_pass_through_untruncated() {
+        let mut sink = ProgressSink::new(Vec::new());
+        let ctx = EventCtx { seq: 0, t_us: 0 };
+        sink.record(&ctx, &Event::WitnessHop { constraint: 1, ring: 4 });
+        let text = String::from_utf8(sink.out).unwrap();
+        assert!(text.contains("hop to constraint 1 at distance 4"), "{text:?}");
+        assert!(!text.contains('\u{2026}'), "{text:?}");
+    }
+
+    #[test]
+    fn nested_spans_tag_with_the_innermost_phase() {
+        let mut sink = ProgressSink::new(Vec::new());
+        let ctx = EventCtx { seq: 0, t_us: 0 };
+        sink.record(&ctx, &Event::SpanStart { id: 1, kind: SpanKind::Witness, label: None });
+        sink.record(&ctx, &Event::SpanStart { id: 2, kind: SpanKind::CheckEu, label: None });
+        // Inside the EU span a hop tags with the innermost phase.
+        sink.record(&ctx, &Event::WitnessHop { constraint: 0, ring: 2 });
+        let inner = String::from_utf8(sink.out.clone()).unwrap();
+        assert!(inner.contains("[check_eu] hop"), "{inner:?}");
+        // After the inner span closes, the outer tag is restored.
+        sink.record(
+            &ctx,
+            &Event::SpanEnd {
+                id: 2,
+                kind: SpanKind::CheckEu,
+                wall_us: 1,
+                live_nodes: 0,
+                peak_nodes: 0,
+                delta: Default::default(),
+            },
+        );
+        sink.record(&ctx, &Event::WitnessHop { constraint: 0, ring: 1 });
+        let outer = String::from_utf8(sink.out.clone()).unwrap();
+        assert!(outer.contains("[witness] hop"), "{outer:?}");
+    }
+
+    #[test]
+    fn governor_trips_paint_durable_exit3_lines() {
+        let mut sink = ProgressSink::new(Vec::new());
+        let ctx = EventCtx { seq: 0, t_us: 0 };
+        sink.record(&ctx, &Event::SpanStart { id: 1, kind: SpanKind::Reach, label: None });
+        sink.record(&ctx, &Event::Trip { reason: "deadline expired after 10ms".into() });
+        sink.flush();
+        let text = String::from_utf8(sink.out).unwrap();
+        // The trip line is durable (ends in a newline, survives the
+        // flush-clear) and names the reason the CLI exits 3 for.
+        assert!(text.contains("[governor] trip: deadline expired after 10ms\n"), "{text:?}");
     }
 }

@@ -43,6 +43,7 @@ const GOLDEN: &[(&str, &[&str])] = &[
     ("witness_hop", &["constraint", "ring"]),
     ("cycle_close", &["closed", "arc_len"]),
     ("restart", &["count", "stay_exit", "frontier"]),
+    // `pause_us` is an optional key (absent in pre-0.6 traces).
     ("gc", &["reclaimed", "live_before", "live_after"]),
     ("ladder", &["stage"]),
     ("trip", &["reason"]),
@@ -74,7 +75,7 @@ fn representatives() -> Vec<Event> {
         Event::WitnessHop { constraint: 0, ring: 3 },
         Event::CycleClose { closed: false, arc_len: 0 },
         Event::Restart { count: 1, stay_exit: false, frontier: "10".into() },
-        Event::Gc { reclaimed: 9, live_before: 19, live_after: 10 },
+        Event::Gc { reclaimed: 9, live_before: 19, live_after: 10, pause_us: 5 },
         Event::Ladder { stage: "sift" },
         Event::Trip { reason: "node limit".into() },
         Event::Diagnostic { code: "E010".into(), severity: "error" },
@@ -132,6 +133,15 @@ fn span_name_vocabulary_is_pinned() {
             phase.name()
         );
     }
+}
+
+#[test]
+fn optional_keys_default_when_absent() {
+    // A pre-0.6 gc record without pause_us must still parse (as 0).
+    let old = "{\"v\":1,\"seq\":0,\"t_us\":0,\"kind\":\"gc\",\"reclaimed\":3,\
+               \"live_before\":10,\"live_after\":7}";
+    let (_, event) = Event::from_json_line(old).expect("old gc record must parse");
+    assert_eq!(event, Event::Gc { reclaimed: 3, live_before: 10, live_after: 7, pause_us: 0 });
 }
 
 #[test]

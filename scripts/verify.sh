@@ -13,6 +13,9 @@ cargo test --workspace -q
 echo "== static quality gate =="
 ./scripts/lint.sh
 
+echo "== bench observatory smoke (1 rep, gates off) =="
+./target/release/smc bench --reps 1 --no-gate --baseline BENCH_kernel.json >/dev/null
+
 echo "== lint goldens over bundled models =="
 # lint_demo.smv seeds one trigger per warning: exit 1, every code shown.
 out=$(./target/release/smc lint models/lint_demo.smv) && rc=0 || rc=$?

@@ -5,7 +5,9 @@
 //! smc spec   [--lint] [COMMON] FILE.smv FORMULA   check one ad-hoc CTL formula
 //! smc lint   [--json] [COMMON] FILE.smv...        static + symbolic analysis
 //! smc reach  [COMMON] FILE.smv                    reachability statistics
-//! smc profile report FILE.jsonl                   render a recorded trace
+//! smc bench  [--baseline F] [--update] ...        benchmark observatory
+//! smc profile report FILE.jsonl [--json] [--top N]
+//! smc profile export FILE.jsonl (--chrome|--speedscope) [--out FILE]
 //! smc help
 //! ```
 //!
@@ -13,18 +15,23 @@
 //! budget flags (`--timeout`, `--node-limit`, `--max-iters`) install a
 //! resource governor on the BDD manager (an exhausted budget exits with
 //! code 3 after printing partial-progress diagnostics), `--stats` prints
-//! the manager counters, and `--progress` / `--profile [FILE.jsonl]`
-//! enable structured telemetry (live progress line / profile report +
-//! optional JSON-lines trace).
+//! the manager counters, `--metrics [FILE]` exposes the metrics registry
+//! (Prometheus text format, or JSON for a `.json` FILE), and
+//! `--progress` / `--profile [FILE.jsonl]` enable structured telemetry
+//! (live progress line / profile report + optional JSON-lines trace).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use smc::analysis::{analyze, AnalysisOptions, Report};
-use smc::bdd::{BddError, BddManagerStats, Budget};
+use smc::bdd::{BddError, BddManager, Budget};
+use smc::bench::observatory::{self, BenchConfig};
 use smc::checker::{CheckError, Checker, CycleStrategy, PartialProgress, Phase, TripReason};
-use smc::kripke::KripkeError;
-use smc::obs::{JsonlSink, ProfileAggregator, ProgressSink, Telemetry};
+use smc::kripke::{KripkeError, SymbolicModel};
+use smc::obs::{
+    export_chrome, export_speedscope, report_from_jsonl_with, JsonlSink, Ledger, Metrics,
+    ProfileAggregator, ProgressSink, RunRecord, Telemetry,
+};
 use smc::smv::{CompiledModel, SmvError};
 
 fn main() -> ExitCode {
@@ -49,6 +56,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "lint" => cmd_lint(&args[1..]),
         "reach" => cmd_reach(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -72,7 +80,10 @@ USAGE:
     smc lint   [--json] [COMMON] FILE.smv...
     smc reach  [COMMON] FILE.smv
     smc dot    FILE.smv (init|trans|reach)
-    smc profile report FILE.jsonl
+    smc bench  [--baseline FILE] [--update] [--reps N] [--tolerance PCT]
+               [--no-gate] [--telemetry] [--families LIST]
+    smc profile report FILE.jsonl [--json] [--top N]
+    smc profile export FILE.jsonl (--chrome|--speedscope) [--out FILE]
     smc help
 
 COMMON (any combination; shared by check, spec, lint and reach):
@@ -83,6 +94,11 @@ COMMON (any combination; shared by check, spec, lint and reach):
     --stats              print BDD manager counters (per-operation cache
                          hit rates, peak nodes, GC) after the run — also
                          on the exit-3 budget-exhausted path
+    --metrics [FILE]     expose the metrics registry (fixpoint iteration
+                         counts, frontier-size and witness-shape
+                         histograms, cache hit rates, GC pauses) after
+                         the run: Prometheus text format to stdout, or
+                         to FILE (.prom = Prometheus, .json = JSON)
     --progress           live progress line on stderr (phase, iteration,
                          frontier size, node pressure)
     --profile [F.jsonl]  print a per-phase profile report (wall/self
@@ -106,11 +122,20 @@ COMMANDS:
              per file. Exit 0 clean / 1 warnings / 2 errors / 3 budget
     reach    print model statistics (variables, reachable states)
     dot      write the requested BDD as Graphviz DOT to stdout
-    profile  render the profile report of a recorded .jsonl trace
+    bench    run the benchmark observatory (families: mutex, arbiter2,
+             seitz, ring9; phases: compile, reach, check, witness) and
+             gate against the --baseline ledger: exit 1 on a regression
+             beyond --tolerance (default 10%), append the run to the
+             ledger's history when clean; --update re-baselines in
+             place; --no-gate runs without touching any file
+    profile  render (report) or convert (export) a recorded .jsonl
+             trace; export targets the Chrome trace-event format
+             (--chrome, for chrome://tracing / Perfetto) or the
+             speedscope format (--speedscope)
 
-EXIT CODE: 0 if everything checked holds, 1 if some spec fails,
-           2 on usage or input errors, 3 if a resource budget was
-           exhausted (partial diagnostics go to stderr)."
+EXIT CODE: 0 if everything checked holds, 1 if some spec fails (or a
+           benchmark regressed), 2 on usage or input errors, 3 if a
+           resource budget was exhausted (diagnostics go to stderr)."
     );
 }
 
@@ -181,6 +206,11 @@ struct CommonOptions {
     profile: bool,
     /// `--profile FILE.jsonl`: also record the JSON-lines trace there.
     trace_path: Option<String>,
+    /// `--metrics` was given: expose the registry after the run.
+    metrics: bool,
+    /// `--metrics FILE`: write there (.json = JSON exposition, anything
+    /// else = Prometheus text format) instead of stdout.
+    metrics_path: Option<String>,
     positionals: Vec<String>,
 }
 
@@ -212,6 +242,17 @@ fn parse_common(
                     }
                 }
             }
+            "--metrics" => {
+                o.metrics = true;
+                // Same optional-operand pattern as --profile: only a
+                // .json or .prom name is taken as the output file.
+                if let Some(next) = args.get(i + 1) {
+                    if next.ends_with(".json") || next.ends_with(".prom") {
+                        o.metrics_path = Some(next.clone());
+                        i += 1;
+                    }
+                }
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag:?}"));
             }
@@ -222,19 +263,27 @@ fn parse_common(
     Ok(o)
 }
 
-/// The telemetry of one CLI run: the handle handed to the compiler plus
-/// the aggregator kept for the post-run report.
+/// The telemetry of one CLI run: the handle handed to the compiler, the
+/// aggregator kept for the post-run report, and the metrics registry
+/// exposed at the end.
 struct TeleSession {
     tele: Telemetry,
     profile: Option<ProfileAggregator>,
+    metrics: Metrics,
+    metrics_path: Option<String>,
 }
 
 impl TeleSession {
     /// Builds the handle the common options ask for: disabled unless
-    /// `--progress` or `--profile` was given.
+    /// `--progress`, `--profile` or `--metrics` was given.
     fn new(o: &CommonOptions) -> Result<TeleSession, Box<dyn std::error::Error>> {
-        if !o.progress && !o.profile {
-            return Ok(TeleSession { tele: Telemetry::disabled(), profile: None });
+        if !o.progress && !o.profile && !o.metrics {
+            return Ok(TeleSession {
+                tele: Telemetry::disabled(),
+                profile: None,
+                metrics: Metrics::disabled(),
+                metrics_path: None,
+            });
         }
         let tele = Telemetry::new();
         if let Some(path) = &o.trace_path {
@@ -249,16 +298,45 @@ impl TeleSession {
         if let Some(p) = &profile {
             tele.add_sink(Box::new(p.clone()));
         }
-        Ok(TeleSession { tele, profile })
+        let metrics = if o.metrics { Metrics::new() } else { Metrics::disabled() };
+        // Attached to the telemetry handle, the registry derives its
+        // iteration counts and size histograms from the event stream.
+        tele.set_metrics(metrics.clone());
+        Ok(TeleSession { tele, profile, metrics, metrics_path: o.metrics_path.clone() })
+    }
+
+    /// Snapshots the authoritative end-of-run numbers (model gauges,
+    /// manager cache/GC counters) into the registry. No-op unless
+    /// `--metrics` was given. Call before [`finish`](Self::finish) on
+    /// any path where a model exists.
+    fn record_model(&self, model: &SymbolicModel) {
+        model.record_metrics(&self.metrics);
     }
 
     /// Flushes the sinks (clears the progress line, drains the trace
-    /// file) and prints the profile report. Call on every exit path,
-    /// including exit 3.
+    /// file), prints the profile report and writes the metrics
+    /// exposition. Call on every exit path, including exit 3.
     fn finish(&self) {
         self.tele.flush();
         if let Some(p) = &self.profile {
             print!("{}", p.render());
+        }
+        if self.metrics.enabled() {
+            match &self.metrics_path {
+                Some(path) => {
+                    let text = if path.ends_with(".json") {
+                        let mut t = self.metrics.render_json();
+                        t.push('\n');
+                        t
+                    } else {
+                        self.metrics.render_prometheus()
+                    };
+                    if let Err(e) = std::fs::write(path, text) {
+                        eprintln!("error: cannot write metrics file {path:?}: {e}");
+                    }
+                }
+                None => print!("{}", self.metrics.render_prometheus()),
+            }
         }
     }
 }
@@ -272,40 +350,14 @@ fn report_exhausted(phase: Phase, reason: &TripReason, partial: &PartialProgress
 }
 
 /// Renders the manager counters the way ablation A3 consumes them: one
-/// aggregate line, one line per operation with cache traffic, one GC line.
-fn print_stats(stats: &BddManagerStats) {
-    println!("-- bdd manager stats --");
-    println!(
-        "nodes           : {} live, {} peak, {} created",
-        stats.live_nodes, stats.peak_nodes, stats.created_nodes
-    );
-    let pct = |hits: u64, lookups: u64| {
-        if lookups == 0 {
-            0.0
-        } else {
-            100.0 * hits as f64 / lookups as f64
-        }
-    };
-    println!(
-        "computed table  : {} lookups, {} hits ({:.1}%), {} evictions",
-        stats.cache_lookups,
-        stats.cache_hits,
-        pct(stats.cache_hits, stats.cache_lookups),
-        stats.cache_evictions
-    );
-    for (name, op) in stats.per_op() {
-        if op.lookups == 0 {
-            continue;
-        }
-        println!(
-            "  {name:<11}: {} lookups, {} hits ({:.1}%), {} evictions",
-            op.lookups,
-            op.hits,
-            pct(op.hits, op.lookups),
-            op.evictions
-        );
-    }
-    println!("gc              : {} runs, {} nodes reclaimed", stats.gc_runs, stats.gc_reclaimed);
+/// aggregate line, one line per operation with cache traffic, one GC
+/// line. The table is produced by snapshotting the manager into a
+/// throwaway metrics registry and rendering that, so `--stats` and
+/// `--metrics` report from one source of truth.
+fn print_stats(manager: &BddManager) {
+    let m = Metrics::new();
+    manager.record_metrics(&m);
+    print!("{}", m.render_stats());
 }
 
 /// Why a governed load did not produce a model.
@@ -514,8 +566,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         }
     }
     if opts.stats {
-        print_stats(&compiled.model.manager().stats());
+        print_stats(compiled.model.manager());
     }
+    session.record_model(&compiled.model);
     session.finish();
     if let Some((phase, reason, partial)) = exhausted {
         return Ok(report_exhausted(phase, &reason, &partial));
@@ -560,8 +613,9 @@ fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         Err(CheckError::ResourceExhausted { phase, reason, partial }) => {
             eprintln!("{spec}: not decided");
             if opts.stats {
-                print_stats(&checker.model().manager().stats());
+                print_stats(checker.model().manager());
             }
+            session.record_model(checker.model());
             session.finish();
             return Ok(report_exhausted(phase, &reason, &partial));
         }
@@ -569,8 +623,9 @@ fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     }?;
     println!("{spec}: {}", if verdict.holds() { "holds" } else { "FAILS" });
     if opts.stats {
-        print_stats(&compiled.model.manager().stats());
+        print_stats(compiled.model.manager());
     }
+    session.record_model(&compiled.model);
     session.finish();
     Ok(if verdict.holds() { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
@@ -618,8 +673,9 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         Err(e) => match CheckError::from(e) {
             CheckError::ResourceExhausted { phase, reason, partial } => {
                 if opts.stats {
-                    print_stats(&compiled.model.manager().stats());
+                    print_stats(compiled.model.manager());
                 }
+                session.record_model(&compiled.model);
                 session.finish();
                 return Ok(report_exhausted(phase, &reason, &partial));
             }
@@ -631,21 +687,243 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         println!("an initial state: {}", compiled.render_state(&s0));
     }
     if opts.stats {
-        print_stats(&compiled.model.manager().stats());
+        print_stats(compiled.model.manager());
     }
+    session.record_model(&compiled.model);
     session.finish();
     Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_profile(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let [action, file] = args else {
-        return Err("usage: smc profile report FILE.jsonl".into());
-    };
-    if action != "report" {
-        return Err(format!("unknown profile action {action:?} (expected 'report')").into());
+    const USAGE: &str = "usage: smc profile report FILE.jsonl [--json] [--top N]\n\
+                         \x20      smc profile export FILE.jsonl (--chrome|--speedscope) [--out FILE]";
+    let Some(action) = args.first() else { return Err(USAGE.into()) };
+    match action.as_str() {
+        "report" => {
+            let mut json = false;
+            let mut top: Option<usize> = None;
+            let mut file: Option<&String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--json" => json = true,
+                    "--top" => {
+                        i += 1;
+                        let v = args.get(i).ok_or("--top expects a number")?;
+                        top = Some(
+                            v.parse().map_err(|_| format!("--top expects a number, got {v:?}"))?,
+                        );
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown flag {flag:?}\n{USAGE}").into())
+                    }
+                    _ => {
+                        if file.replace(&args[i]).is_some() {
+                            return Err(USAGE.into());
+                        }
+                    }
+                }
+                i += 1;
+            }
+            let file = file.ok_or(USAGE)?;
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+            let report =
+                report_from_jsonl_with(&text, json, top).map_err(|e| format!("{file}: {e}"))?;
+            print!("{report}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "export" => {
+            let mut format: Option<&str> = None;
+            let mut out_path: Option<&String> = None;
+            let mut file: Option<&String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--chrome" => format = Some("chrome"),
+                    "--speedscope" => format = Some("speedscope"),
+                    "--out" => {
+                        i += 1;
+                        out_path = Some(args.get(i).ok_or("--out expects a file name")?);
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown flag {flag:?}\n{USAGE}").into())
+                    }
+                    _ => {
+                        if file.replace(&args[i]).is_some() {
+                            return Err(USAGE.into());
+                        }
+                    }
+                }
+                i += 1;
+            }
+            let file = file.ok_or(USAGE)?;
+            let format = format.ok_or("export needs --chrome or --speedscope")?;
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+            let rendered =
+                if format == "chrome" { export_chrome(&text) } else { export_speedscope(&text) }
+                    .map_err(|e| format!("{file}: {e}"))?;
+            match out_path {
+                Some(path) => {
+                    std::fs::write(path, rendered)
+                        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                    eprintln!("wrote {path} ({format} format)");
+                }
+                None => print!("{rendered}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => {
+            Err(format!("unknown profile action {other:?} (expected 'report' or 'export')").into())
+        }
     }
-    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
-    let report = smc::obs::report_from_jsonl(&text).map_err(|e| format!("{file}: {e}"))?;
-    print!("{report}");
-    Ok(ExitCode::SUCCESS)
+}
+
+/// The short commit hash `smc bench` stamps into ledger records:
+/// `git rev-parse --short HEAD`, or `unknown` outside a git checkout.
+fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn cmd_bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut config = BenchConfig::default();
+    let mut baseline_path: Option<String> = None;
+    let mut update = false;
+    let mut no_gate = false;
+    let mut tolerance = 10.0f64;
+    let mut commit: Option<String> = None;
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} expects a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => baseline_path = Some(value(args, &mut i, "--baseline")?),
+            "--update" => update = true,
+            "--no-gate" => no_gate = true,
+            "--telemetry" => config.telemetry = true,
+            "--reps" => {
+                let v = value(args, &mut i, "--reps")?;
+                config.repetitions =
+                    v.parse().map_err(|_| format!("--reps expects a number, got {v:?}"))?;
+            }
+            "--tolerance" => {
+                let v = value(args, &mut i, "--tolerance")?;
+                tolerance =
+                    v.parse().map_err(|_| format!("--tolerance expects a percent, got {v:?}"))?;
+            }
+            "--families" => {
+                let v = value(args, &mut i, "--families")?;
+                config.families = v.split(',').map(str::to_string).collect();
+            }
+            "--inject-slowdown" => {
+                let v = value(args, &mut i, "--inject-slowdown")?;
+                config.inject_slowdown_pct = v
+                    .parse()
+                    .map_err(|_| format!("--inject-slowdown expects a percent, got {v:?}"))?;
+            }
+            "--commit" => commit = Some(value(args, &mut i, "--commit")?),
+            other => return Err(format!("unknown bench flag {other:?}").into()),
+        }
+        i += 1;
+    }
+    if update && no_gate {
+        return Err("--update and --no-gate are mutually exclusive".into());
+    }
+    if update && baseline_path.is_none() {
+        return Err("--update needs --baseline FILE to know where to write".into());
+    }
+
+    let families = observatory::run(&config)?;
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let run = RunRecord {
+        commit: commit.unwrap_or_else(current_commit),
+        unix_ms,
+        repetitions: config.repetitions.max(1),
+        telemetry: config.telemetry,
+        families,
+    };
+
+    println!(
+        "-- bench observatory: {} repetitions, telemetry {} --",
+        run.repetitions,
+        if run.telemetry { "enabled" } else { "disabled" }
+    );
+    for fam in &run.families {
+        let phases = fam
+            .phases
+            .iter()
+            .map(|p| format!("{} best {:.6}s median {:.6}s", p.phase, p.best_s, p.median_s))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("{:<9}: {phases}", fam.name);
+        let counters =
+            fam.counters.iter().map(|(n, v)| format!("{n} {v}")).collect::<Vec<_>>().join(", ");
+        println!("{:<9}  counters: {counters}", "");
+    }
+
+    let Some(path) = baseline_path else {
+        println!("no --baseline: nothing gated, nothing recorded");
+        return Ok(ExitCode::SUCCESS);
+    };
+    if no_gate {
+        println!("--no-gate: baseline {path} left untouched");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut ledger = match std::fs::read_to_string(&path) {
+        // --update replaces whatever is there, including the pre-ledger
+        // kernel-bench format (that is how old files are migrated);
+        // gated runs refuse to guess and ask for a deliberate --update.
+        Ok(text) => match Ledger::from_json(&text) {
+            Ok(ledger) => ledger,
+            Err(e) if update => {
+                eprintln!("note: replacing {path} ({e})");
+                Ledger::new()
+            }
+            Err(e) => return Err(format!("{path}: {e}").into()),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && update => Ledger::new(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(format!("no baseline {path} (create it with smc bench --update)").into())
+        }
+        Err(e) => return Err(format!("cannot read {path}: {e}").into()),
+    };
+
+    if update {
+        ledger.baseline = Some(run.clone());
+        ledger.push_history(run);
+        std::fs::write(&path, ledger.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("baseline {path} updated (history: {} runs)", ledger.history.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let regressions = ledger.compare(&run, tolerance);
+    if regressions.is_empty() {
+        ledger.push_history(run);
+        std::fs::write(&path, ledger.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "OK: within {tolerance}% of baseline {path}; run appended to history ({} total)",
+            ledger.history.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for r in &regressions {
+            eprintln!("REGRESSION {}: {}", r.what, r.detail);
+        }
+        eprintln!("FAIL: {} regression(s) beyond {tolerance}% vs {path}", regressions.len());
+        Ok(ExitCode::from(1))
+    }
 }

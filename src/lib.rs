@@ -19,10 +19,12 @@
 //! - [`smv`] — an SMV-like modeling frontend,
 //! - [`analysis`] — static and symbolic analysis (lint) passes over SMV
 //!   models, with structured diagnostics and vacuity detection,
-//! - [`obs`] — structured telemetry: span tracing, event streams and
-//!   the profiling report,
+//! - [`obs`] — structured telemetry: span tracing, event streams, the
+//!   metrics registry and the profiling report,
 //! - [`circuits`] — speed-independent gate-level circuits, including the
-//!   Seitz arbiter of the paper's case study.
+//!   Seitz arbiter of the paper's case study,
+//! - [`bench`] — workload generators and the benchmark observatory
+//!   behind `smc bench`.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@
 pub use smc_analysis as analysis;
 pub use smc_automata as automata;
 pub use smc_bdd as bdd;
+pub use smc_bench as bench;
 pub use smc_checker as checker;
 pub use smc_circuits as circuits;
 pub use smc_explicit as explicit;

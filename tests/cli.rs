@@ -461,3 +461,248 @@ fn lint_unreadable_file_exits_2() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("nope.smv"), "{stderr}");
 }
+
+// ------------------------------------------------------------- metrics
+
+#[test]
+fn metrics_flag_exposes_prometheus_on_stdout() {
+    let path = write_temp("metrics_prom", TOGGLE);
+    let out = smc().arg("check").arg("--metrics").arg(&path).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Direct instrumentation (manager + model snapshots).
+    assert!(stdout.contains("# TYPE smc_bdd_created_nodes_total counter"), "{stdout}");
+    assert!(stdout.contains("smc_model_state_bits 1"), "{stdout}");
+    assert!(stdout.contains("smc_model_reachable_states 2"), "{stdout}");
+    assert!(stdout.contains("smc_cache_lookups_total{op=\"ite\"}"), "{stdout}");
+    // Event-folded series (fixpoint loop telemetry, histograms).
+    assert!(stdout.contains("# TYPE smc_fixpoint_iterations_total counter"), "{stdout}");
+    assert!(stdout.contains("smc_fixpoint_iterations_total{phase=\"reach\"}"), "{stdout}");
+    assert!(stdout.contains("smc_fixpoint_frontier_nodes_bucket"), "{stdout}");
+    assert!(stdout.contains("# HELP smc_span_wall_us"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn metrics_json_file_is_schema_versioned_and_parseable() {
+    let path = write_temp("metrics_json", TOGGLE);
+    let mfile =
+        std::env::temp_dir().join(format!("smc_cli_test_metrics_{}.json", std::process::id()));
+    let out = smc().arg("check").arg("--metrics").arg(&mfile).arg(&path).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("smc_bdd"), "file mode keeps stdout clean: {stdout}");
+    let text = std::fs::read_to_string(&mfile).expect("metrics file written");
+    let v = smc::obs::Json::parse(text.trim()).expect("valid JSON exposition");
+    assert_eq!(v.get("schema").and_then(|s| s.as_u64()), Some(1));
+    for section in ["counters", "gauges", "histograms"] {
+        match v.get(section) {
+            Some(smc::obs::Json::Arr(items)) => assert!(!items.is_empty(), "{section} empty"),
+            other => panic!("{section} missing: {other:?}"),
+        }
+    }
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(mfile).ok();
+}
+
+#[test]
+fn metrics_trace_and_witness_series_populate_with_traces() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = smc()
+        .arg("check")
+        .arg("--trace")
+        .arg("--metrics")
+        .arg(format!("{root}/models/retry_protocol.smv"))
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The failing AF spec produced a lasso counterexample: its shape
+    // lands in the witness histograms.
+    assert!(stdout.contains("smc_witness_trace_states_count"), "{stdout}");
+    assert!(stdout.contains("smc_witness_cycle_states_count"), "{stdout}");
+    assert!(stdout.contains("smc_witness_hops_total"), "{stdout}");
+}
+
+#[test]
+fn stats_and_metrics_agree_on_the_counters() {
+    // One source of truth: the created-nodes figure in the --stats table
+    // must equal the smc_bdd_created_nodes_total series verbatim.
+    let path = write_temp("stats_metrics_agree", TOGGLE);
+    let out = smc().arg("check").arg("--stats").arg("--metrics").arg(&path).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let created_stats = stdout
+        .lines()
+        .find(|l| l.starts_with("nodes"))
+        .and_then(|l| l.split(',').nth(2))
+        .and_then(|f| f.trim().split(' ').next())
+        .expect("stats table has a created field")
+        .to_string();
+    let created_metrics = stdout
+        .lines()
+        .find(|l| l.starts_with("smc_bdd_created_nodes_total"))
+        .and_then(|l| l.split(' ').nth(1))
+        .expect("metric series present")
+        .to_string();
+    assert_eq!(created_stats, created_metrics, "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+// --------------------------------------------------------------- bench
+
+#[test]
+fn bench_gates_against_a_ledger_and_appends_history() {
+    let ledger =
+        std::env::temp_dir().join(format!("smc_cli_test_bench_{}.json", std::process::id()));
+    std::fs::remove_file(&ledger).ok();
+    let base = || {
+        let mut cmd = smc();
+        cmd.arg("bench")
+            .arg("--reps")
+            .arg("1")
+            .arg("--families")
+            .arg("mutex")
+            .arg("--baseline")
+            .arg(&ledger)
+            .arg("--commit")
+            .arg("testrun");
+        cmd
+    };
+    // 1. Gating against a missing ledger is a harness error with advice.
+    let out = base().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--update"));
+    // 2. --update creates the baseline.
+    let out = base().arg("--update").output().expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    // 3. A clean run passes the gate and appends to history.
+    let out = base().arg("--tolerance").arg("400").output().expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("appended to history"));
+    let text = std::fs::read_to_string(&ledger).expect("ledger exists");
+    assert_eq!(text.matches("\"commit\":\"testrun\"").count(), 3, "baseline + 2 history:\n{text}");
+    // 4. An injected 1000% slowdown trips the gate: exit 1, no append.
+    let out = base()
+        .arg("--tolerance")
+        .arg("400")
+        .arg("--inject-slowdown")
+        .arg("1000")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("REGRESSION mutex/"), "{stderr}");
+    assert!(stderr.contains("tolerance 400%"), "{stderr}");
+    let after = std::fs::read_to_string(&ledger).expect("ledger exists");
+    assert_eq!(after, text, "a regressed run must not touch the ledger");
+    // 5. --no-gate leaves the file alone and always exits 0.
+    let out = base().arg("--no-gate").arg("--inject-slowdown").arg("1000").output().expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_file(ledger).ok();
+}
+
+#[test]
+fn bench_rejects_unknown_families_and_bad_flags() {
+    let out = smc().arg("bench").arg("--families").arg("warp_core").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("warp_core"));
+    let out = smc().arg("bench").arg("--frobnicate").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = smc().arg("bench").arg("--update").arg("--no-gate").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+// ------------------------------------------------------ profile export
+
+/// Records an arbiter2 check trace for the export/report tests.
+fn record_trace(tag: &str) -> std::path::PathBuf {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let trace =
+        std::env::temp_dir().join(format!("smc_cli_test_{tag}_{}.jsonl", std::process::id()));
+    let out = smc()
+        .arg("check")
+        .arg("--trace")
+        .arg("--profile")
+        .arg(&trace)
+        .arg(format!("{root}/models/arbiter2.smv"))
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    trace
+}
+
+#[test]
+fn profile_export_writes_chrome_and_speedscope_documents() {
+    let trace = record_trace("export");
+    // Chrome trace-event format to stdout.
+    let out =
+        smc().arg("profile").arg("export").arg(&trace).arg("--chrome").output().expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v = smc::obs::Json::parse(stdout.trim()).expect("valid chrome JSON");
+    match v.get("traceEvents") {
+        Some(smc::obs::Json::Arr(events)) => {
+            assert!(events.len() > 20, "suspiciously few events");
+            assert!(events.iter().any(|e| {
+                e.get("name").and_then(|n| n.as_str()) == Some("compile")
+                    && e.get("ph").and_then(|p| p.as_str()) == Some("B")
+            }));
+        }
+        other => panic!("traceEvents missing: {other:?}"),
+    }
+    // Speedscope format through --out.
+    let ss = std::env::temp_dir().join(format!("smc_cli_test_ss_{}.json", std::process::id()));
+    let out = smc()
+        .arg("profile")
+        .arg("export")
+        .arg(&trace)
+        .arg("--speedscope")
+        .arg("--out")
+        .arg(&ss)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&ss).expect("speedscope file written");
+    let v = smc::obs::Json::parse(text.trim()).expect("valid speedscope JSON");
+    assert!(v.get("$schema").and_then(|s| s.as_str()).unwrap_or("").contains("speedscope"));
+    assert!(matches!(v.get("profiles"), Some(smc::obs::Json::Arr(p)) if !p.is_empty()));
+    // A format must be chosen.
+    let out = smc().arg("profile").arg("export").arg(&trace).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(trace).ok();
+    std::fs::remove_file(ss).ok();
+}
+
+#[test]
+fn profile_report_supports_json_and_top() {
+    let trace = record_trace("report_opts");
+    let out = smc()
+        .arg("profile")
+        .arg("report")
+        .arg(&trace)
+        .arg("--json")
+        .arg("--top")
+        .arg("2")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v = smc::obs::Json::parse(stdout.trim()).expect("valid report JSON");
+    assert_eq!(v.get("schema").and_then(|s| s.as_u64()), Some(1));
+    match v.get("spans") {
+        Some(smc::obs::Json::Arr(spans)) => assert_eq!(spans.len(), 2, "--top 2 honored"),
+        other => panic!("spans missing: {other:?}"),
+    }
+    assert!(v.get("hidden_spans").and_then(|h| h.as_u64()).unwrap_or(0) > 0);
+    // Human rendering notes the hidden rows.
+    let out = smc()
+        .arg("profile")
+        .arg("report")
+        .arg(&trace)
+        .arg("--top")
+        .arg("2")
+        .output()
+        .expect("runs");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hidden by --top 2"));
+    std::fs::remove_file(trace).ok();
+}
