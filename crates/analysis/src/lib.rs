@@ -412,23 +412,22 @@ mod tests {
     #[test]
     fn telemetry_gets_a_lint_span_and_diagnostic_events() {
         use smc_obs::{EventCtx, Sink};
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
-        struct Collect(Rc<RefCell<Vec<Event>>>);
+        struct Collect(Arc<Mutex<Vec<Event>>>);
         impl Sink for Collect {
             fn record(&mut self, _ctx: &EventCtx, event: &Event) {
-                self.0.borrow_mut().push(event.clone());
+                self.0.lock().expect("collect lock").push(event.clone());
             }
         }
 
-        let collected: Rc<RefCell<Vec<Event>>> = Rc::default();
+        let collected: Arc<Mutex<Vec<Event>>> = Arc::default();
         let tele = Telemetry::new();
-        tele.add_sink(Box::new(Collect(Rc::clone(&collected))));
+        tele.add_sink(Box::new(Collect(Arc::clone(&collected))));
         let opts = AnalysisOptions { telemetry: tele, ..AnalysisOptions::full() };
         let report = analyze("MODULE main\nVAR x : boolean;\nVAR y : boolean;\n", &opts);
         assert!(!report.diagnostics.is_empty());
-        let events = collected.borrow();
+        let events = collected.lock().expect("collect lock");
         assert!(
             events.iter().any(|e| matches!(e, Event::SpanStart { kind: SpanKind::Lint, .. })),
             "lint span missing"

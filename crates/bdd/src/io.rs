@@ -1,8 +1,8 @@
 //! Saving and loading BDDs in a simple line-oriented text format.
 //!
 //! The format captures the variable names, the current variable order,
-//! the shared node graph of the requested roots, and the roots
-//! themselves:
+//! the shared node graph of the requested roots, the roots themselves,
+//! and a content checksum:
 //!
 //! ```text
 //! smc-bdd v1
@@ -16,10 +16,14 @@
 //! 3 0 2 1
 //! roots 1
 //! 3
+//! check 1234567890abcdef
 //! ```
 //!
 //! Node ids 0 and 1 are the constants; interior nodes are renumbered
 //! densely in children-first order, so a file is loadable in one pass.
+//! The trailing `check` line is an FNV-1a hash of every byte before it;
+//! readers that stop after the roots (the v1 reader always has) simply
+//! never see it, so the trailer is backward compatible.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
@@ -27,15 +31,81 @@ use std::io::{self, BufRead, Write};
 use crate::manager::{BddManager, VisitScratch};
 use crate::node::{Bdd, Var};
 
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a running hash.
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Passes writes through while folding every byte into an FNV-1a hash,
+/// so the writer can stamp a `check` trailer without buffering.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash = fnv1a(self.hash, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Line source that mirrors the writer's hash: each line is folded with
+/// its `\n` terminator, so a clean round trip reproduces the checksum.
+struct HashingLines<B: BufRead> {
+    lines: std::io::Lines<B>,
+    hash: u64,
+}
+
+impl<B: BufRead> HashingLines<B> {
+    fn new(reader: B) -> HashingLines<B> {
+        HashingLines { lines: reader.lines(), hash: FNV_OFFSET }
+    }
+
+    /// Next line, folded into the running hash; `InvalidData` at EOF.
+    fn next_hashed(&mut self) -> io::Result<String> {
+        let line = self.next_raw()?;
+        self.hash = fnv1a(self.hash, line.as_bytes());
+        self.hash = fnv1a(self.hash, b"\n");
+        Ok(line)
+    }
+
+    /// Next line without hashing (for the `check` trailer itself).
+    fn next_raw(&mut self) -> io::Result<String> {
+        self.lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unexpected EOF"))
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
 impl BddManager {
     /// Writes the given roots (with their shared subgraph, the variable
-    /// table and the current order) to `writer`. Pass `&mut writer` if
-    /// you need it afterwards.
+    /// table and the current order) to `writer`, followed by a `check`
+    /// checksum trailer. Pass `&mut writer` if you need it afterwards.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
-    pub fn write_bdds<W: Write>(&self, mut writer: W, roots: &[Bdd]) -> io::Result<()> {
+    pub fn write_bdds<W: Write>(&self, writer: W, roots: &[Bdd]) -> io::Result<()> {
+        let mut writer = HashingWriter { inner: writer, hash: FNV_OFFSET };
         writeln!(writer, "smc-bdd v1")?;
         writeln!(writer, "vars {}", self.num_vars())?;
         for i in 0..self.num_vars() {
@@ -71,6 +141,9 @@ impl BddManager {
         for r in roots {
             writeln!(writer, "{}", ids[r])?;
         }
+        // The trailer hashes everything above it, not itself.
+        let hash = writer.hash;
+        writeln!(writer.inner, "check {hash:016x}")?;
         Ok(())
     }
 
@@ -86,76 +159,158 @@ impl BddManager {
 
     /// Reads a file written by [`write_bdds`](Self::write_bdds) into a
     /// **fresh** manager, returning the manager and the roots in file
-    /// order. Variable names and the saved order are restored.
+    /// order. Variable names and the saved order are restored. The
+    /// `check` trailer, when present, is verified.
     ///
     /// # Errors
     ///
-    /// `io::ErrorKind::InvalidData` on malformed input; reader errors
-    /// pass through.
+    /// `io::ErrorKind::InvalidData` on malformed input or a checksum
+    /// mismatch; reader errors pass through.
     pub fn read_bdds<R: BufRead>(reader: R) -> io::Result<(BddManager, Vec<Bdd>)> {
-        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-        let mut lines = reader.lines();
-        let mut next_line = move || -> io::Result<String> {
-            lines
-                .next()
-                .transpose()?
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unexpected EOF"))
-        };
-        if next_line()?.trim() != "smc-bdd v1" {
-            return Err(bad("missing smc-bdd v1 header"));
-        }
-        let nvars: usize = field(&next_line()?, "vars").ok_or_else(|| bad("bad vars line"))?;
+        let mut lines = HashingLines::new(reader);
+        let names = read_header(&mut lines)?;
         let mut manager = BddManager::new();
-        let mut vars = Vec::with_capacity(nvars);
-        for _ in 0..nvars {
-            let line = next_line()?;
-            let name = line.strip_prefix("var ").ok_or_else(|| bad("bad var line"))?;
+        let mut vars = Vec::with_capacity(names.len());
+        for name in &names {
             vars.push(
                 manager
                     .new_var(name)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
             );
         }
-        let order_line = next_line()?;
-        let order_ids = order_line.strip_prefix("order").ok_or_else(|| bad("bad order line"))?;
-        let order: Vec<Var> = order_ids
-            .split_whitespace()
-            .map(|t| t.parse::<usize>().map(Var::from_index))
-            .collect::<Result<_, _>>()
-            .map_err(|_| bad("bad order line"))?;
+        let order = read_order(&mut lines, names.len())?;
         manager
             .reorder(&order)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let nnodes: usize = field(&next_line()?, "nodes").ok_or_else(|| bad("bad nodes line"))?;
-        let mut by_id: HashMap<u64, Bdd> = HashMap::new();
-        by_id.insert(0, Bdd::FALSE);
-        by_id.insert(1, Bdd::TRUE);
-        for _ in 0..nnodes {
-            let line = next_line()?;
-            let mut parts = line.split_whitespace();
-            let id: u64 = parse(parts.next()).ok_or_else(|| bad("bad node id"))?;
-            let var: usize = parse(parts.next()).ok_or_else(|| bad("bad node var"))?;
-            let lo: u64 = parse(parts.next()).ok_or_else(|| bad("bad node lo"))?;
-            let hi: u64 = parse(parts.next()).ok_or_else(|| bad("bad node hi"))?;
-            if var >= nvars {
-                return Err(bad("node variable out of range"));
-            }
-            let lo = *by_id.get(&lo).ok_or_else(|| bad("forward lo reference"))?;
-            let hi = *by_id.get(&hi).ok_or_else(|| bad("forward hi reference"))?;
-            let v = manager.var(vars[var]);
-            let node = manager.ite(v, hi, lo);
-            by_id.insert(id, node);
-        }
-        let nroots: usize = field(&next_line()?, "roots").ok_or_else(|| bad("bad roots line"))?;
-        let mut roots = Vec::with_capacity(nroots);
-        for _ in 0..nroots {
-            let id: u64 = next_line()?.trim().parse().map_err(|_| bad("bad root id"))?;
-            let b = *by_id.get(&id).ok_or_else(|| bad("unknown root id"))?;
-            manager.protect(b);
-            roots.push(b);
-        }
+        let roots = read_body(&mut lines, &mut manager, &vars)?;
+        verify_check(&mut lines, /* required: */ false)?;
         Ok((manager, roots))
     }
+
+    /// Reads a file written by [`write_bdds`](Self::write_bdds) into
+    /// **this** manager, resolving the file's variables by name against
+    /// the manager's existing variable table. The manager's variable
+    /// order is left untouched (the saved order is validated but not
+    /// applied — BDD construction is order-independent). The `check`
+    /// trailer is mandatory here and verified: a warm-start cache must
+    /// never inject a silently corrupted state set.
+    ///
+    /// Returned roots are protected from garbage collection.
+    ///
+    /// # Errors
+    ///
+    /// `io::ErrorKind::InvalidData` on malformed input, a variable name
+    /// the manager does not know, a missing trailer, or a checksum
+    /// mismatch; reader errors pass through.
+    pub fn read_bdds_into<R: BufRead>(&mut self, reader: R) -> io::Result<Vec<Bdd>> {
+        let mut lines = HashingLines::new(reader);
+        let names = read_header(&mut lines)?;
+        let mut vars = Vec::with_capacity(names.len());
+        for name in &names {
+            vars.push(
+                self.var_by_name(name)
+                    .ok_or_else(|| bad(&format!("variable `{name}` not in this manager")))?,
+            );
+        }
+        read_order(&mut lines, names.len())?;
+        let roots = read_body(&mut lines, self, &vars)?;
+        verify_check(&mut lines, /* required: */ true)?;
+        Ok(roots)
+    }
+}
+
+/// Parses the `smc-bdd v1` header and the `vars`/`var` block, returning
+/// the declared variable names in index order.
+fn read_header<B: BufRead>(lines: &mut HashingLines<B>) -> io::Result<Vec<String>> {
+    if lines.next_hashed()?.trim() != "smc-bdd v1" {
+        return Err(bad("missing smc-bdd v1 header"));
+    }
+    let nvars: usize = field(&lines.next_hashed()?, "vars").ok_or_else(|| bad("bad vars line"))?;
+    let mut names = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        let line = lines.next_hashed()?;
+        let name = line.strip_prefix("var ").ok_or_else(|| bad("bad var line"))?;
+        names.push(name.to_string());
+    }
+    Ok(names)
+}
+
+/// Parses the `order` line, validating every index against `nvars`.
+fn read_order<B: BufRead>(lines: &mut HashingLines<B>, nvars: usize) -> io::Result<Vec<Var>> {
+    let order_line = lines.next_hashed()?;
+    let order_ids = order_line.strip_prefix("order").ok_or_else(|| bad("bad order line"))?;
+    let order: Vec<Var> = order_ids
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map(Var::from_index))
+        .collect::<Result<_, _>>()
+        .map_err(|_| bad("bad order line"))?;
+    if order.len() != nvars || order.iter().any(|v| v.index() >= nvars) {
+        return Err(bad("order is not a permutation of the variables"));
+    }
+    Ok(order)
+}
+
+/// Parses the `nodes` and `roots` blocks, building each node with `ite`
+/// in `manager` using the caller's variable mapping. Roots come back
+/// protected.
+fn read_body<B: BufRead>(
+    lines: &mut HashingLines<B>,
+    manager: &mut BddManager,
+    vars: &[Var],
+) -> io::Result<Vec<Bdd>> {
+    let nnodes: usize =
+        field(&lines.next_hashed()?, "nodes").ok_or_else(|| bad("bad nodes line"))?;
+    let mut by_id: HashMap<u64, Bdd> = HashMap::new();
+    by_id.insert(0, Bdd::FALSE);
+    by_id.insert(1, Bdd::TRUE);
+    for _ in 0..nnodes {
+        let line = lines.next_hashed()?;
+        let mut parts = line.split_whitespace();
+        let id: u64 = parse(parts.next()).ok_or_else(|| bad("bad node id"))?;
+        let var: usize = parse(parts.next()).ok_or_else(|| bad("bad node var"))?;
+        let lo: u64 = parse(parts.next()).ok_or_else(|| bad("bad node lo"))?;
+        let hi: u64 = parse(parts.next()).ok_or_else(|| bad("bad node hi"))?;
+        if var >= vars.len() {
+            return Err(bad("node variable out of range"));
+        }
+        let lo = *by_id.get(&lo).ok_or_else(|| bad("forward lo reference"))?;
+        let hi = *by_id.get(&hi).ok_or_else(|| bad("forward hi reference"))?;
+        let v = manager.var(vars[var]);
+        let node = manager.ite(v, hi, lo);
+        by_id.insert(id, node);
+    }
+    let nroots: usize =
+        field(&lines.next_hashed()?, "roots").ok_or_else(|| bad("bad roots line"))?;
+    let mut roots = Vec::with_capacity(nroots);
+    for _ in 0..nroots {
+        let id: u64 = lines.next_hashed()?.trim().parse().map_err(|_| bad("bad root id"))?;
+        let b = *by_id.get(&id).ok_or_else(|| bad("unknown root id"))?;
+        manager.protect(b);
+        roots.push(b);
+    }
+    Ok(roots)
+}
+
+/// Reads the `check` trailer and compares it with the running hash.
+/// A missing trailer is an error only when `required` (the warm-start
+/// path); the fresh-manager reader tolerates pre-trailer files.
+fn verify_check<B: BufRead>(lines: &mut HashingLines<B>, required: bool) -> io::Result<()> {
+    let expected = lines.hash;
+    let line = match lines.next_raw() {
+        Ok(line) => line,
+        Err(_) if !required => return Ok(()),
+        Err(_) => return Err(bad("missing check trailer")),
+    };
+    let stated: u64 = line
+        .strip_prefix("check ")
+        .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+        .ok_or_else(|| bad("bad check line"))?;
+    if stated != expected {
+        return Err(bad(&format!(
+            "checksum mismatch: file says {stated:016x}, content hashes to {expected:016x}"
+        )));
+    }
+    Ok(())
 }
 
 fn field<T: std::str::FromStr>(line: &str, key: &str) -> Option<T> {

@@ -82,3 +82,27 @@ pub use sat::{CubeIter, SatAssignment};
 
 #[cfg(test)]
 mod tests;
+
+/// Compile-time `Send` assertions: the parallel engine gives every job
+/// its own manager on a worker thread, so the manager (and everything a
+/// job carries with it) must stay `Send`. A reintroduced `Rc` fails
+/// compilation here rather than at a distant spawn site.
+#[allow(dead_code)]
+mod send_assertions {
+    fn assert_send<T: Send>() {}
+
+    fn session_types_are_send() {
+        assert_send::<crate::BddManager>();
+        assert_send::<crate::Bdd>();
+        assert_send::<crate::Budget>();
+        assert_send::<crate::TripReason>();
+        assert_send::<crate::BddError>();
+    }
+
+    fn cancel_tokens_cross_threads() {
+        // Cancellation is signalled from outside the worker.
+        fn assert_sync<T: Sync>() {}
+        assert_send::<crate::CancelToken>();
+        assert_sync::<crate::CancelToken>();
+    }
+}

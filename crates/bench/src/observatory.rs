@@ -25,11 +25,18 @@ use smc_obs::{FamilyRecord, PhaseRecord, Telemetry};
 
 const MUTEX_SMV: &str = include_str!("../../../models/mutex.smv");
 const ARBITER2_SMV: &str = include_str!("../../../models/arbiter2.smv");
+const COUNTER8_SMV: &str = include_str!("../../../models/counter8.smv");
 
 /// Every family the observatory knows, in run order: the two SMV demo
 /// models, the paper's Seitz arbiter (counterexample-bearing liveness
-/// spec) and a 9-stage inverter ring (witness-bearing reset spec).
-pub const ALL_FAMILIES: &[&str] = &["mutex", "arbiter2", "seitz", "ring9"];
+/// spec), a 9-stage inverter ring (witness-bearing reset spec), and the
+/// parallel engine's batch throughput workload.
+pub const ALL_FAMILIES: &[&str] = &["mutex", "arbiter2", "seitz", "ring9", "batch"];
+
+/// Jobs in the batch family's manifest. Large enough that the pool's
+/// injector/steal machinery actually cycles, small enough for a
+/// sub-second repetition.
+const BATCH_JOBS: usize = 16;
 
 /// Configuration for one observatory run.
 #[derive(Debug, Clone)]
@@ -94,6 +101,10 @@ pub fn run(config: &BenchConfig) -> Result<Vec<FamilyRecord>, String> {
     };
     let mut out = Vec::with_capacity(selected.len());
     for name in selected {
+        if name == "batch" {
+            out.push(run_batch_family(reps, config)?);
+            continue;
+        }
         let mut times = Vec::with_capacity(reps as usize);
         let mut counters = Vec::new();
         for _ in 0..reps {
@@ -115,9 +126,103 @@ pub fn run(config: &BenchConfig) -> Result<Vec<FamilyRecord>, String> {
             best_s: best(&xs) * scale,
         })
         .collect();
-        out.push(FamilyRecord { name: name.to_string(), phases, counters });
+        out.push(FamilyRecord {
+            name: name.to_string(),
+            phases,
+            counters,
+            throughput_jobs_per_s: None,
+        });
     }
     Ok(out)
+}
+
+/// The batch family's fixed 16-job manifest: the embedded SMV models in
+/// a repeating mix, so neighbouring jobs differ and the work-stealing
+/// pool has uneven units to balance.
+fn batch_jobs() -> Vec<smc_engine::Job> {
+    let menu = [("mutex", MUTEX_SMV), ("arbiter2", ARBITER2_SMV), ("counter8", COUNTER8_SMV)];
+    (0..BATCH_JOBS)
+        .map(|i| {
+            let (name, source) = menu[i % menu.len()];
+            smc_engine::Job {
+                name: format!("{name}-{i:02}"),
+                source: source.to_string(),
+                spec: None,
+            }
+        })
+        .collect()
+}
+
+/// One timed pass of the 16-job manifest on `workers` workers, caching
+/// off so every job does its full, deterministic amount of work.
+fn timed_batch(workers: usize) -> (f64, Vec<smc_engine::JobResult>) {
+    let cfg = smc_engine::EngineConfig {
+        workers,
+        use_cache: false,
+        ..smc_engine::EngineConfig::default()
+    };
+    let t = Instant::now();
+    let results = smc_engine::run_batch(batch_jobs(), &cfg);
+    (t.elapsed().as_secs_f64(), results)
+}
+
+/// The `batch` family: the manifest at `--jobs 1` and `--jobs 4`,
+/// best-of-N walls for both, per-job exact counters, and the derived
+/// `throughput_jobs_per_s` metric (jobs over the best parallel wall).
+///
+/// Every repetition cross-checks the two schedules: any verdict or work
+/// counter that differs between one worker and four is a determinism
+/// bug and fails the run outright (exit 2 at the CLI), not a gate.
+fn run_batch_family(reps: u64, config: &BenchConfig) -> Result<FamilyRecord, String> {
+    let mut walls1 = Vec::with_capacity(reps as usize);
+    let mut walls4 = Vec::with_capacity(reps as usize);
+    let mut counters = Vec::new();
+    for _ in 0..reps {
+        let (w1, r1) = timed_batch(1);
+        let (w4, r4) = timed_batch(4);
+        if r1.len() != BATCH_JOBS || r4.len() != BATCH_JOBS {
+            return Err(format!("batch: expected {BATCH_JOBS} results"));
+        }
+        for (a, b) in r1.iter().zip(&r4) {
+            if a.outcome != b.outcome
+                || a.cache_lookups != b.cache_lookups
+                || a.created_nodes != b.created_nodes
+            {
+                return Err(format!(
+                    "batch: job {} differs between --jobs 1 and --jobs 4 \
+                     (determinism bug, not a regression)",
+                    a.name
+                ));
+            }
+        }
+        walls1.push(w1);
+        walls4.push(w4);
+        counters = r1
+            .iter()
+            .flat_map(|r| {
+                [
+                    (format!("job{:02}_cache_lookups", r.index), r.cache_lookups),
+                    (format!("job{:02}_created_nodes", r.index), r.created_nodes),
+                ]
+            })
+            .collect();
+    }
+    let scale = 1.0 + config.inject_slowdown_pct / 100.0;
+    let phases = [("jobs1", walls1), ("jobs4", walls4)]
+        .into_iter()
+        .map(|(phase, xs)| PhaseRecord {
+            phase: phase.to_string(),
+            median_s: median(&xs) * scale,
+            best_s: best(&xs) * scale,
+        })
+        .collect::<Vec<_>>();
+    let throughput = BATCH_JOBS as f64 / phases[1].best_s.max(1e-9);
+    Ok(FamilyRecord {
+        name: "batch".to_string(),
+        phases,
+        counters,
+        throughput_jobs_per_s: Some(throughput),
+    })
 }
 
 /// One repetition of one family: a fresh model, the four timed phases,
@@ -282,6 +387,30 @@ mod tests {
         for (fp, sp) in fast[0].phases.iter().zip(&slow[0].phases) {
             assert!(sp.best_s > fp.best_s * 2.0, "{}: {} !> 2*{}", fp.phase, sp.best_s, fp.best_s);
         }
+    }
+
+    #[test]
+    fn batch_family_records_throughput_and_per_job_counters() {
+        let config = BenchConfig {
+            repetitions: 1,
+            families: vec!["batch".into()],
+            ..BenchConfig::default()
+        };
+        let families = run(&config).unwrap();
+        assert_eq!(families.len(), 1);
+        let fam = &families[0];
+        assert_eq!(fam.name, "batch");
+        let phases: Vec<&str> = fam.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(phases, ["jobs1", "jobs4"]);
+        let tp = fam.throughput_jobs_per_s.expect("batch carries the derived metric");
+        assert!(tp > 0.0 && tp.is_finite());
+        // 16 jobs, two exact counters each.
+        assert_eq!(fam.counters.len(), 32);
+        assert!(fam.counters.iter().all(|(_, v)| *v > 0));
+        // A second run reproduces every per-job counter exactly — this
+        // is what lets the ledger gate them with no tolerance.
+        let again = run(&config).unwrap();
+        assert_eq!(fam.counters, again[0].counters);
     }
 
     #[test]

@@ -5,8 +5,7 @@
 //! recording sink attached — and asserts the results are bit-identical:
 //! same verdicts, same EU onion-ring node ids, same witness traces.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 use smc_bdd::Bdd;
@@ -37,18 +36,18 @@ fn free_bit(fair_on_x: bool) -> SymbolicModel {
 }
 
 /// Records every event it sees, shared with the test body.
-struct Recorder(Rc<RefCell<Vec<Event>>>);
+struct Recorder(Arc<Mutex<Vec<Event>>>);
 
 impl Sink for Recorder {
     fn record(&mut self, _ctx: &EventCtx, event: &Event) {
-        self.0.borrow_mut().push(event.clone());
+        self.0.lock().expect("recorder lock").push(event.clone());
     }
 }
 
 /// Attaches a live telemetry handle with a recording sink to `model`
 /// and returns the shared event log.
-fn attach_recorder(model: &mut SymbolicModel) -> Rc<RefCell<Vec<Event>>> {
-    let events = Rc::new(RefCell::new(Vec::new()));
+fn attach_recorder(model: &mut SymbolicModel) -> Arc<Mutex<Vec<Event>>> {
+    let events = Arc::new(Mutex::new(Vec::new()));
     let tele = Telemetry::new();
     tele.add_sink(Box::new(Recorder(events.clone())));
     model.manager_mut().set_telemetry(tele);
@@ -74,7 +73,7 @@ where
     let got = run(&mut observed);
 
     assert_eq!(got, want, "{label}: telemetry changed the result");
-    let events = events.borrow().clone();
+    let events = events.lock().expect("recorder lock").clone();
     assert!(!events.is_empty(), "{label}: no events recorded");
     events
 }
@@ -193,6 +192,6 @@ proptest! {
         let got = run_once(&mut observed, formula);
 
         prop_assert_eq!(got, want, "telemetry perturbed {} (fair={})", formula, fair);
-        prop_assert!(!events.borrow().is_empty(), "no events for {}", formula);
+        prop_assert!(!events.lock().expect("recorder lock").is_empty(), "no events for {}", formula);
     }
 }

@@ -1,0 +1,88 @@
+//! The warm-start artifact cache.
+//!
+//! Keyed by a content hash of the model **source text**, the cache
+//! holds what the first successful compile of that source learned:
+//!
+//! - the flattened [`Module`] (parse + flatten already done),
+//! - the reachable state set, serialized in the `smc-bdd v1` text
+//!   format with its checksum trailer.
+//!
+//! A warm job deserializes the state set into its own fresh manager
+//! ([`BddManager::read_bdds_into`](smc_bdd::BddManager)) and installs
+//! it with [`SymbolicModel::set_reachable`](smc_kripke::SymbolicModel),
+//! so neither the totality check nor the reachability fixpoint runs
+//! again — the serialized bytes round-trip through the integrity check,
+//! and a corrupted entry is treated as a miss rather than trusted.
+//!
+//! Only *successful* compiles are cached: a model that failed to parse,
+//! deadlocked, or tripped its budget leaves no artifact behind.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use smc_smv::Module;
+
+/// FNV-1a 64-bit content hash of the model source — the cache key.
+/// Stable across runs and platforms (no per-process seed), so a key is
+/// also usable as a durable artifact identity.
+pub fn source_key(source: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in source.as_bytes() {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One cached compile: the flattened module and the serialized
+/// reachable set (with checksum trailer).
+#[derive(Debug)]
+pub struct Artifact {
+    /// Flattened main module, ready for `compile_module_with_options`.
+    pub module: Module,
+    /// `smc-bdd v1` serialization of `[reachable]`.
+    pub reach: Vec<u8>,
+}
+
+/// The shared warm-start cache. Clones share one store; all methods
+/// take `&self`, so workers use it concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct ArtifactCache {
+    inner: Arc<Mutex<HashMap<u64, Arc<Artifact>>>>,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// The artifact for `key`, if a job has published one.
+    pub fn get(&self, key: u64) -> Option<Arc<Artifact>> {
+        lock(&self.inner).get(&key).cloned()
+    }
+
+    /// Publishes an artifact. First write wins: concurrent jobs on the
+    /// same source race benignly (their artifacts are equivalent —
+    /// compilation is deterministic), and keeping the incumbent means a
+    /// reader never sees an entry change under it.
+    pub fn insert(&self, key: u64, artifact: Artifact) {
+        lock(&self.inner).entry(key).or_insert_with(|| Arc::new(artifact));
+    }
+
+    /// Number of distinct artifacts held.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Poison-recovering lock: a worker that panicked mid-insert leaves the
+/// map in a consistent state (`HashMap` inserts don't tear), and the
+/// cache is an optimization layer that must not spread the panic.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+//! # smc-engine — the parallel checking engine
+//!
+//! Runs a batch of independent checking jobs on a small worker pool.
+//! The paper's algorithms are single-session by construction (one BDD
+//! manager, one model, one checker), so the unit of parallelism here is
+//! the **job**: each worker compiles its own model on its own
+//! [`BddManager`](smc_bdd::BddManager) and checks it end to end.
+//! Nothing BDD-shaped ever crosses a thread boundary — only job
+//! descriptions in and rendered results out, which is what keeps every
+//! per-job verdict, witness trace and work counter bit-identical to a
+//! serial run (`tests in the repo gate exactly this`).
+//!
+//! Three pieces:
+//!
+//! - [`run_batch`] — the pool: per-worker queues seeded from a shared
+//!   injector, idle workers steal from the back of their siblings'
+//!   queues, results come back in job order.
+//! - [`ArtifactCache`] — the warm-start cache: keyed by a content hash
+//!   of the model source, it holds the flattened module and the
+//!   serialized reachable state set of the first successful compile, so
+//!   a repeat job skips both the compile-time totality check and the
+//!   whole reachability fixpoint (its `Reach` iteration count is zero).
+//! - per-job governors — every job gets its **own**
+//!   [`Budget`](smc_bdd::Budget) built at job start (so deadlines are
+//!   per job, not per batch), and a governor trip surfaces as that
+//!   job's [`JobOutcome::Exhausted`] instead of stopping the fleet.
+//!
+//! Fleet-level series (queue depth, jobs in flight, cache traffic,
+//! per-job wall histograms) land in the caller's shared
+//! [`Metrics`](smc_obs::Metrics) registry; the registry is `Send +
+//! Sync`, so all workers write to one exposition.
+
+mod cache;
+mod job;
+mod manifest;
+mod pool;
+
+pub use cache::{source_key, ArtifactCache};
+pub use job::{worst_exit, EngineConfig, Job, JobOutcome, JobResult, RenderedTrace, SpecResult};
+pub use manifest::{parse_manifest, ManifestEntry, ManifestError};
+pub use pool::run_batch;
+
+/// Compile-time `Send` assertions for everything the pool moves across
+/// threads: job descriptions in, results out, the shared cache and
+/// registry in between.
+#[allow(dead_code)]
+mod send_assertions {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    fn engine_types_cross_threads() {
+        assert_send::<crate::Job>();
+        assert_send::<crate::JobResult>();
+        assert_send::<crate::ArtifactCache>();
+        assert_sync::<crate::ArtifactCache>();
+        assert_sync::<crate::EngineConfig>();
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,70 @@
+//! The batch manifest format: one job per line.
+//!
+//! ```text
+//! # comment lines and blanks are skipped
+//! models/mutex.smv
+//! models/mutex.smv        AG (EF turn = 0)
+//! models/counter8.smv
+//! ```
+//!
+//! The first whitespace-separated token is the model path; anything
+//! after it is an ad-hoc CTL formula checked *instead of* the model's
+//! own `SPEC` sections (the `smc spec` behavior, per line).
+
+/// One parsed manifest line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Path of the `.smv` model, relative to the manifest's caller.
+    pub path: String,
+    /// Ad-hoc CTL formula; `None` checks the model's `SPEC` sections.
+    pub formula: Option<String>,
+}
+
+/// A malformed manifest, with the 1-based line it was rejected on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "manifest line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// Parses a manifest. Blank lines and `#` comments are skipped; an
+/// empty manifest is an error (a batch of zero jobs is a usage mistake,
+/// not a vacuous success).
+///
+/// # Errors
+///
+/// [`ManifestError`] when no job lines remain after stripping comments.
+pub fn parse_manifest(text: &str) -> Result<Vec<ManifestEntry>, ManifestError> {
+    let mut entries = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (path, rest) = match line.split_once(char::is_whitespace) {
+            Some((p, r)) => (p, r.trim()),
+            None => (line, ""),
+        };
+        entries.push(ManifestEntry {
+            path: path.to_string(),
+            formula: (!rest.is_empty()).then(|| rest.to_string()),
+        });
+    }
+    if entries.is_empty() {
+        return Err(ManifestError {
+            line: 1,
+            message: "no jobs (every line blank or comment)".to_string(),
+        });
+    }
+    Ok(entries)
+}

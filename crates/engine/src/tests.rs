@@ -1,0 +1,240 @@
+//! Engine unit tests: manifest parsing, pool correctness, per-job
+//! governors, warm-start behavior, determinism across worker counts,
+//! and the fleet metrics series.
+
+use smc_obs::Metrics;
+
+use crate::{
+    parse_manifest, run_batch, source_key, worst_exit, EngineConfig, Job, JobOutcome, JobResult,
+    ManifestEntry,
+};
+
+const COUNTER8: &str = include_str!("../../../models/counter8.smv");
+const MUTEX: &str = include_str!("../../../models/mutex.smv");
+
+/// A free boolean: `AF x` fails with a lasso counterexample (stay at
+/// `x = 0` forever), giving the tests a deterministic failing spec.
+const FREEBIT: &str = "MODULE main\nVAR x : boolean;\nSPEC AF x\n";
+
+fn job(name: &str, source: &str) -> Job {
+    Job { name: name.to_string(), source: source.to_string(), spec: None }
+}
+
+/// The comparable core of a result: everything except wall time.
+fn fingerprint(r: &JobResult) -> (usize, String, JobOutcome, u64, u64) {
+    (r.index, r.name.clone(), r.outcome.clone(), r.cache_lookups, r.created_nodes)
+}
+
+#[test]
+fn manifest_skips_comments_and_takes_rest_of_line_formulas() {
+    let text = "\
+# a comment
+models/a.smv
+
+models/b.smv   AG (EF carry)
+  # indented comment
+models/c.smv\n";
+    let entries = parse_manifest(text).expect("valid manifest");
+    assert_eq!(
+        entries,
+        vec![
+            ManifestEntry { path: "models/a.smv".into(), formula: None },
+            ManifestEntry { path: "models/b.smv".into(), formula: Some("AG (EF carry)".into()) },
+            ManifestEntry { path: "models/c.smv".into(), formula: None },
+        ]
+    );
+}
+
+#[test]
+fn empty_manifest_is_an_error() {
+    assert!(parse_manifest("# nothing\n\n").is_err());
+    assert!(parse_manifest("").is_err());
+}
+
+#[test]
+fn single_job_verdicts_match_the_model() {
+    let results = run_batch(vec![job("counter8", COUNTER8)], &EngineConfig::default());
+    assert_eq!(results.len(), 1);
+    let JobOutcome::Checked { specs } = &results[0].outcome else {
+        panic!("expected Checked, got {:?}", results[0].outcome);
+    };
+    // counter8's three SPECs all hold.
+    assert_eq!(specs.iter().map(|s| s.holds).collect::<Vec<_>>(), vec![true, true, true]);
+    assert_eq!(worst_exit(&results), 0);
+    assert!(!results[0].cache_hit, "first sight of a source is never a hit");
+    assert!(results[0].reach_iters > 0, "cold job runs the reach fixpoint");
+}
+
+#[test]
+fn failing_specs_map_to_exit_class_one() {
+    let results = run_batch(vec![job("freebit", FREEBIT)], &EngineConfig::default());
+    let JobOutcome::Checked { specs } = &results[0].outcome else {
+        panic!("expected Checked, got {:?}", results[0].outcome);
+    };
+    assert!(!specs[0].holds, "AF x fails on a free bit");
+    assert_eq!(worst_exit(&results), 1);
+}
+
+#[test]
+fn adhoc_formula_replaces_model_specs() {
+    let mut j = job("counter8", COUNTER8);
+    j.spec = Some("AG (EF carry)".to_string());
+    let results = run_batch(vec![j], &EngineConfig::default());
+    let JobOutcome::Checked { specs } = &results[0].outcome else {
+        panic!("expected Checked, got {:?}", results[0].outcome);
+    };
+    assert_eq!(specs.len(), 1);
+    assert!(specs[0].holds);
+}
+
+#[test]
+fn traces_render_states_and_loopbacks() {
+    let cfg = EngineConfig { want_trace: true, ..EngineConfig::default() };
+    let results = run_batch(vec![job("freebit", FREEBIT)], &cfg);
+    let JobOutcome::Checked { specs } = &results[0].outcome else {
+        panic!("expected Checked, got {:?}", results[0].outcome);
+    };
+    // The failing liveness spec carries a lasso counterexample.
+    let trace = specs[0].trace.as_ref().expect("counterexample for a failing spec");
+    assert!(!trace.states.is_empty());
+    assert!(trace.loopback.is_some(), "AF counterexample is a lasso");
+    assert!(trace.states[0].contains('x'), "states render as text: {:?}", trace.states[0]);
+}
+
+#[test]
+fn input_errors_are_per_job_not_fatal() {
+    let jobs = vec![job("bad", "MODULE main\nVAR x : bool"), job("good", COUNTER8)];
+    let results = run_batch(jobs, &EngineConfig::default());
+    assert_eq!(results.len(), 2);
+    assert!(matches!(results[0].outcome, JobOutcome::InputError { .. }));
+    assert!(matches!(results[1].outcome, JobOutcome::Checked { .. }));
+    assert_eq!(worst_exit(&results), 2);
+}
+
+#[test]
+fn a_tripped_governor_is_that_jobs_outcome_only() {
+    // One iteration is never enough to reach the counter's fixpoint, so
+    // the governed job trips during load-time reachability; the other
+    // job (same batch, own manager, own budget) is unaffected.
+    let cfg = EngineConfig { max_iters: Some(1), ..EngineConfig::default() };
+    let results = run_batch(vec![job("governed", COUNTER8)], &cfg);
+    let JobOutcome::Exhausted { phase, reason, .. } = &results[0].outcome else {
+        panic!("expected Exhausted, got {:?}", results[0].outcome);
+    };
+    assert!(phase.contains("reach"), "tripped during reachability: {phase}");
+    assert!(!reason.is_empty());
+    assert_eq!(worst_exit(&results), 3);
+
+    let ungoverned = run_batch(vec![job("free", COUNTER8)], &EngineConfig::default());
+    assert!(matches!(ungoverned[0].outcome, JobOutcome::Checked { .. }));
+}
+
+#[test]
+fn warm_start_skips_the_reach_fixpoint() {
+    // Two identical jobs, one worker: the second must hit the cache and
+    // run zero reachability iterations, with identical verdicts.
+    let jobs = vec![job("cold", COUNTER8), job("warm", COUNTER8)];
+    let results = run_batch(jobs, &EngineConfig::default());
+    assert!(!results[0].cache_hit && results[0].reach_iters > 0);
+    assert!(results[1].cache_hit, "second identical source hits the cache");
+    assert_eq!(results[1].reach_iters, 0, "warm start runs zero reach iterations");
+    assert_eq!(results[0].outcome, results[1].outcome, "verdicts are unaffected");
+}
+
+#[test]
+fn cache_disabled_never_reports_hits() {
+    let cfg = EngineConfig { use_cache: false, ..EngineConfig::default() };
+    let results = run_batch(vec![job("a", COUNTER8), job("b", COUNTER8)], &cfg);
+    assert!(results.iter().all(|r| !r.cache_hit));
+    assert!(results.iter().all(|r| r.reach_iters > 0));
+}
+
+#[test]
+fn results_come_back_in_job_order_for_any_worker_count() {
+    let mix = vec![job("m0", MUTEX), job("c1", COUNTER8), job("m2", MUTEX), job("c3", COUNTER8)];
+    for workers in [1, 2, 4, 9] {
+        let cfg = EngineConfig { workers, use_cache: false, ..EngineConfig::default() };
+        let results = run_batch(mix.clone(), &cfg);
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+        }
+        assert_eq!(results[0].name, "m0");
+        assert_eq!(results[3].name, "c3");
+    }
+}
+
+#[test]
+fn verdicts_and_counters_are_identical_across_worker_counts() {
+    let mix = vec![
+        job("mutex-a", MUTEX),
+        job("counter-a", COUNTER8),
+        job("freebit-a", FREEBIT),
+        job("counter-b", COUNTER8),
+    ];
+    // Caching off: a hit legitimately changes a job's work counters, so
+    // the bit-exact cross-schedule comparison runs on the uncached path.
+    let cfg1 = EngineConfig { workers: 1, use_cache: false, ..EngineConfig::default() };
+    let cfg4 =
+        EngineConfig { workers: 4, use_cache: false, want_trace: true, ..EngineConfig::default() };
+    let cfg1t =
+        EngineConfig { workers: 1, use_cache: false, want_trace: true, ..EngineConfig::default() };
+    let serial = run_batch(mix.clone(), &cfg1t);
+    let parallel = run_batch(mix.clone(), &cfg4);
+    let s: Vec<_> = serial.iter().map(fingerprint).collect();
+    let p: Vec<_> = parallel.iter().map(fingerprint).collect();
+    assert_eq!(s, p, "N workers must not change any verdict, trace or work counter");
+    // And without traces the verdict set still matches.
+    let bare = run_batch(mix, &cfg1);
+    for (b, t) in bare.iter().zip(&serial) {
+        assert_eq!(b.outcome.exit_class(), t.outcome.exit_class());
+    }
+}
+
+#[test]
+fn fleet_metrics_land_in_the_shared_registry() {
+    let metrics = Metrics::new();
+    let cfg = EngineConfig { workers: 2, metrics: metrics.clone(), ..EngineConfig::default() };
+    let jobs = vec![job("a", COUNTER8), job("b", COUNTER8), job("f", FREEBIT)];
+    let results = run_batch(jobs, &cfg);
+    assert_eq!(results.len(), 3);
+    let pass = metrics.counter("smc_batch_jobs_total", &[("outcome", "pass")]);
+    let fail = metrics.counter("smc_batch_jobs_total", &[("outcome", "fail")]);
+    assert_eq!(pass + fail, 3, "every job is tallied");
+    assert_eq!(fail, 1, "the free bit's AF fails");
+    let (wall_count, wall_sum) =
+        metrics.histogram("smc_batch_job_wall_us", &[]).expect("wall histogram");
+    assert_eq!(wall_count, 3);
+    assert!(wall_sum > 0);
+    let hits = metrics.counter("smc_batch_cache_hits_total", &[]);
+    let misses = metrics.counter("smc_batch_cache_misses_total", &[]);
+    // Every job is a lookup; whether the duplicate counter8 job hits
+    // depends on the schedule (its twin may still be compiling), so
+    // only the total and the guaranteed first-sight misses are pinned.
+    assert_eq!(hits + misses, 3);
+    assert!(misses >= 2, "two distinct sources always miss at first sight");
+    assert_eq!(metrics.gauge("smc_batch_queue_depth", &[]), Some(0.0), "queue drained");
+    assert_eq!(metrics.gauge("smc_batch_jobs_in_flight", &[]), Some(0.0), "no stragglers");
+}
+
+#[test]
+fn no_specs_is_a_clean_pass() {
+    let src = "MODULE main\nVAR x : boolean;\nASSIGN init(x) := FALSE; next(x) := !x;\n";
+    let results = run_batch(vec![job("quiet", src)], &EngineConfig::default());
+    assert!(matches!(results[0].outcome, JobOutcome::NoSpecs));
+    assert_eq!(worst_exit(&results), 0);
+}
+
+#[test]
+fn source_keys_are_content_hashes() {
+    assert_eq!(source_key(COUNTER8), source_key(COUNTER8));
+    assert_ne!(source_key(COUNTER8), source_key(MUTEX));
+    // FNV-1a of the empty string is the offset basis — a stable anchor
+    // for the on-disk artifact identity.
+    assert_eq!(source_key(""), 0xcbf2_9ce4_8422_2325);
+}
+
+#[test]
+fn empty_batch_returns_no_results() {
+    assert!(run_batch(Vec::new(), &EngineConfig::default()).is_empty());
+}

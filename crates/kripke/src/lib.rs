@@ -56,3 +56,16 @@ pub use symbolic::SymbolicModel;
 
 #[cfg(test)]
 mod tests;
+
+/// Compile-time `Send` assertion: a checking session owns its model and
+/// rides onto a worker thread in the parallel engine.
+#[allow(dead_code)]
+mod send_assertions {
+    fn assert_send<T: Send>() {}
+
+    fn session_types_are_send() {
+        assert_send::<crate::SymbolicModel>();
+        assert_send::<crate::ExplicitModel>();
+        assert_send::<crate::State>();
+    }
+}

@@ -437,6 +437,25 @@ impl SymbolicModel {
         }
     }
 
+    /// Installs an externally computed reachable set, as if
+    /// [`reachable`](Self::reachable) had just converged on it. The
+    /// warm-start cache uses this to skip the fixpoint entirely after
+    /// deserializing a previously saved state set; the caller vouches
+    /// that `reach` was computed for this exact model. Any previously
+    /// cached set is released first.
+    pub fn set_reachable(&mut self, reach: Bdd) {
+        self.forget_reachable();
+        self.manager.protect(reach);
+        self.reachable = Some(reach);
+    }
+
+    /// The cached reachable set, if one has been computed or installed —
+    /// never triggers the fixpoint. Serialization paths use this to
+    /// decide whether there is anything worth saving.
+    pub fn cached_reachable(&self) -> Option<Bdd> {
+        self.reachable
+    }
+
     /// Number of reachable states (exact below 2^53).
     ///
     /// # Errors

@@ -19,7 +19,13 @@ use crate::json::{esc, Json};
 
 /// Version stamped into the ledger as `"schema"`. Bumped only when a
 /// required key is removed or changes meaning.
-pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 adds the optional per-family `throughput_jobs_per_s` derived
+/// metric (batch families). The addition is append-only: v1 documents
+/// still parse (the field reads as absent) and v1 readers ignore the
+/// extra key, but the version records when the derived metric became
+/// part of the schema.
+pub const LEDGER_SCHEMA_VERSION: u64 = 2;
 
 /// Accepted history records kept per ledger (oldest evicted first).
 const HISTORY_CAP: usize = 100;
@@ -49,6 +55,10 @@ pub struct FamilyRecord {
     pub phases: Vec<PhaseRecord>,
     /// Deterministic workload counters at end of run, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Derived throughput in jobs per second, for batch families
+    /// (`None` for single-model families). Gated *inverted*: lower
+    /// throughput than baseline is the regression.
+    pub throughput_jobs_per_s: Option<f64>,
 }
 
 /// One complete `smc bench` run.
@@ -134,6 +144,20 @@ impl Ledger {
                         detail: format!(
                             "counter {rv} vs baseline {bv} (exact gate; algorithm changed? \
                              re-baseline with --update)"
+                        ),
+                    });
+                }
+            }
+            // Throughput gates inverted: more jobs per second is better,
+            // so only a drop below the tolerance band is a regression.
+            if let (Some(bt), Some(rt)) = (bf.throughput_jobs_per_s, rf.throughput_jobs_per_s) {
+                if rt < bt * (1.0 - tolerance_pct / 100.0) {
+                    out.push(Regression {
+                        what: format!("{}/throughput_jobs_per_s", bf.name),
+                        detail: format!(
+                            "throughput {rt:.3} jobs/s vs baseline {bt:.3} \
+                             (-{:.1}%, tolerance {tolerance_pct}%)",
+                            100.0 * (1.0 - rt / bt)
                         ),
                     });
                 }
@@ -238,7 +262,11 @@ fn run_to_json(run: &RunRecord) -> String {
             esc(&mut out, name);
             out.push_str(&format!("\":{v}"));
         }
-        out.push_str("}}");
+        out.push('}');
+        if let Some(tp) = fam.throughput_jobs_per_s {
+            out.push_str(&format!(",\"throughput_jobs_per_s\":{tp:.6}"));
+        }
+        out.push('}');
     }
     out.push_str("]}");
     out
@@ -288,7 +316,8 @@ fn family_from_json(j: &Json) -> Result<FamilyRecord, String> {
         }
     }
     counters.sort();
-    Ok(FamilyRecord { name, phases, counters })
+    let throughput_jobs_per_s = j.get("throughput_jobs_per_s").and_then(Json::as_f64);
+    Ok(FamilyRecord { name, phases, counters, throughput_jobs_per_s })
 }
 
 #[cfg(test)]
@@ -315,6 +344,23 @@ mod tests {
                     },
                 ],
                 counters: vec![("cache_lookups".into(), lookups), ("created_nodes".into(), 50)],
+                throughput_jobs_per_s: None,
+            }],
+        }
+    }
+
+    /// A run with a single batch family carrying the derived metric.
+    fn batch_run(throughput: f64, commit: &str) -> RunRecord {
+        RunRecord {
+            commit: commit.to_string(),
+            unix_ms: 1_700_000_000_000,
+            repetitions: 4,
+            telemetry: false,
+            families: vec![FamilyRecord {
+                name: "batch".into(),
+                phases: vec![PhaseRecord { phase: "jobs4".into(), median_s: 0.5, best_s: 0.25 }],
+                counters: vec![("job00_cache_lookups".into(), 700)],
+                throughput_jobs_per_s: Some(throughput),
             }],
         }
     }
@@ -354,6 +400,45 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].what, "mutex/cache_lookups");
         assert!(regs[0].detail.contains("--update"), "{}", regs[0].detail);
+    }
+
+    #[test]
+    fn throughput_gates_inverted_with_tolerance() {
+        let mut ledger = Ledger::new();
+        ledger.baseline = Some(batch_run(64.0, "base"));
+        // Faster (more jobs/s) is never a regression, nor is a dip
+        // inside the tolerance band.
+        assert!(ledger.compare(&batch_run(80.0, "x"), 10.0).is_empty());
+        assert!(ledger.compare(&batch_run(60.0, "x"), 10.0).is_empty());
+        // A drop past the band is.
+        let regs = ledger.compare(&batch_run(32.0, "x"), 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].what, "batch/throughput_jobs_per_s");
+        assert!(regs[0].detail.contains("-50.0%"), "{}", regs[0].detail);
+    }
+
+    #[test]
+    fn throughput_round_trips_and_v1_documents_still_parse() {
+        let mut ledger = Ledger::new();
+        ledger.baseline = Some(batch_run(64.015625, "abc1234"));
+        let text = ledger.to_json();
+        assert!(text.contains("\"throughput_jobs_per_s\":64.015625"), "{text}");
+        let back = Ledger::from_json(&text).unwrap();
+        assert_eq!(back, ledger);
+
+        // A v1 document (no derived metric, schema 1) is still accepted;
+        // the field simply reads as absent and gates nothing.
+        let v1 = "{\"ledger\":\"smc-bench\",\"schema\":1,\"baseline\":{\"commit\":\"old\",\
+                  \"unix_ms\":1,\"repetitions\":5,\"telemetry\":false,\"families\":[{\
+                  \"name\":\"mutex\",\"phases\":[],\"counters\":{\"cache_lookups\":9}}]},\
+                  \"history\":[]}";
+        let old = Ledger::from_json(v1).unwrap();
+        let base = old.baseline.unwrap();
+        assert_eq!(base.families[0].throughput_jobs_per_s, None);
+        let mut with_old_base = Ledger::new();
+        with_old_base.baseline =
+            Some(RunRecord { families: base.families, ..batch_run(1.0, "old") });
+        assert!(with_old_base.compare(&batch_run(0.001, "x"), 10.0).is_empty());
     }
 
     #[test]

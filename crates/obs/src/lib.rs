@@ -58,9 +58,16 @@ pub use profile::{report_from_jsonl, report_from_jsonl_with, ProfileAggregator};
 pub use progress::ProgressSink;
 pub use sink::{EventCtx, JsonlSink, Sink};
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Locks a mutex, recovering the data from a poisoned lock: a sink that
+/// panicked mid-record must not take the whole telemetry pipeline (and
+/// every other worker thread sharing it) down with it.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Version stamped into every JSON-lines record as `"v"`. Bumped only
 /// when a required key is removed or changes meaning; adding optional
@@ -143,30 +150,37 @@ struct OpenSpan {
 
 struct Inner {
     start: Instant,
-    sinks: RefCell<Vec<Box<dyn Sink>>>,
-    seq: Cell<u64>,
-    next_span: Cell<u64>,
-    stack: RefCell<Vec<OpenSpan>>,
-    metrics: RefCell<Metrics>,
+    sinks: Mutex<Vec<Box<dyn Sink + Send>>>,
+    seq: AtomicU64,
+    next_span: AtomicU64,
+    stack: Mutex<Vec<OpenSpan>>,
+    metrics: Mutex<Metrics>,
 }
 
 /// The telemetry handle threaded through the checking stack.
 ///
-/// Cloning is cheap (an `Option<Rc>`); all clones share the same sinks,
-/// clock and span stack. The default handle is **disabled**: every
-/// method is a no-op behind a single [`enabled`](Telemetry::enabled)
-/// branch, so instrumentation left in hot paths costs one predictable
-/// branch per call site. Hot loops should guard any data gathering
-/// (BDD sizing, stats snapshots) behind `enabled()` themselves.
+/// Cloning is cheap (an `Option<Arc>`); all clones share the same sinks,
+/// clock and span stack. The handle is `Send + Sync`, so a whole
+/// checking session (BDD manager included) can move to a worker thread.
+/// Each parallel session should own its **own** handle — the span stack
+/// is shared per handle, so interleaving spans from concurrent sessions
+/// through one handle would mispair them. The default handle is
+/// **disabled**: every method is a no-op behind a single
+/// [`enabled`](Telemetry::enabled) branch, so instrumentation left in
+/// hot paths costs one predictable branch per call site. Hot loops
+/// should guard any data gathering (BDD sizing, stats snapshots) behind
+/// `enabled()` themselves.
 #[derive(Clone, Default)]
 pub struct Telemetry {
-    inner: Option<Rc<Inner>>,
+    inner: Option<Arc<Inner>>,
 }
 
 impl std::fmt::Debug for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.inner {
-            Some(i) => write!(f, "Telemetry(enabled, {} events)", i.seq.get()),
+            Some(i) => {
+                write!(f, "Telemetry(enabled, {} events)", i.seq.load(Ordering::Relaxed))
+            }
             None => write!(f, "Telemetry(disabled)"),
         }
     }
@@ -177,13 +191,13 @@ impl Telemetry {
     /// [`add_sink`](Telemetry::add_sink)). The trace clock starts here.
     pub fn new() -> Telemetry {
         Telemetry {
-            inner: Some(Rc::new(Inner {
+            inner: Some(Arc::new(Inner {
                 start: Instant::now(),
-                sinks: RefCell::new(Vec::new()),
-                seq: Cell::new(0),
-                next_span: Cell::new(1),
-                stack: RefCell::new(Vec::new()),
-                metrics: RefCell::new(Metrics::disabled()),
+                sinks: Mutex::new(Vec::new()),
+                seq: AtomicU64::new(0),
+                next_span: AtomicU64::new(1),
+                stack: Mutex::new(Vec::new()),
+                metrics: Mutex::new(Metrics::disabled()),
             })),
         }
     }
@@ -201,9 +215,9 @@ impl Telemetry {
     }
 
     /// Attaches a sink. No-op on a disabled handle.
-    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+    pub fn add_sink(&self, sink: Box<dyn Sink + Send>) {
         if let Some(inner) = &self.inner {
-            inner.sinks.borrow_mut().push(sink);
+            lock(&inner.sinks).push(sink);
         }
     }
 
@@ -213,7 +227,7 @@ impl Telemetry {
     /// No-op on a disabled handle.
     pub fn set_metrics(&self, metrics: Metrics) {
         if let Some(inner) = &self.inner {
-            *inner.metrics.borrow_mut() = metrics;
+            *lock(&inner.metrics) = metrics;
         }
     }
 
@@ -221,7 +235,7 @@ impl Telemetry {
     /// same registry), or a disabled handle when none is attached.
     pub fn metrics(&self) -> Metrics {
         match &self.inner {
-            Some(inner) => inner.metrics.borrow().clone(),
+            Some(inner) => lock(&inner.metrics).clone(),
             None => Metrics::disabled(),
         }
     }
@@ -241,10 +255,9 @@ impl Telemetry {
     /// [`enabled`](Telemetry::enabled).
     pub fn span_start(&self, kind: SpanKind, label: Option<&str>, at: StatsSnapshot) -> SpanId {
         let Some(inner) = &self.inner else { return SpanId::NONE };
-        let id = inner.next_span.get();
-        inner.next_span.set(id + 1);
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
         let t_us = inner.now_us();
-        inner.stack.borrow_mut().push(OpenSpan { id, kind, t_us, at });
+        lock(&inner.stack).push(OpenSpan { id, kind, t_us, at });
         inner.record(&Event::SpanStart { id, kind, label: label.map(str::to_string) });
         SpanId(id)
     }
@@ -261,7 +274,7 @@ impl Telemetry {
         }
         let now = inner.now_us();
         loop {
-            let Some(open) = inner.stack.borrow_mut().pop() else { return };
+            let Some(open) = lock(&inner.stack).pop() else { return };
             inner.record(&Event::SpanEnd {
                 id: open.id,
                 kind: open.kind,
@@ -280,7 +293,7 @@ impl Telemetry {
     /// drained to disk). Call once at the end of a run.
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
-            for sink in inner.sinks.borrow_mut().iter_mut() {
+            for sink in lock(&inner.sinks).iter_mut() {
                 sink.flush();
             }
         }
@@ -293,10 +306,13 @@ impl Inner {
     }
 
     fn record(&self, event: &Event) {
-        let ctx = EventCtx { seq: self.seq.get(), t_us: self.now_us() };
-        self.seq.set(ctx.seq + 1);
-        self.metrics.borrow().fold_event(event);
-        for sink in self.sinks.borrow_mut().iter_mut() {
+        // The sink lock is taken before the sequence number is drawn, so
+        // concurrent emitters through one shared handle produce strictly
+        // seq-ordered trace lines (no torn ordering in the JSONL file).
+        let mut sinks = lock(&self.sinks);
+        let ctx = EventCtx { seq: self.seq.fetch_add(1, Ordering::Relaxed), t_us: self.now_us() };
+        lock(&self.metrics).fold_event(event);
+        for sink in sinks.iter_mut() {
             sink.record(&ctx, event);
         }
     }
@@ -342,6 +358,30 @@ impl IterTracker {
     }
 }
 
+/// Compile-time `Send`/`Sync` assertions for the session types: the
+/// parallel engine moves whole checking sessions (telemetry handle
+/// included) onto worker threads and shares one metrics registry across
+/// the fleet, so these bounds are part of this crate's public contract.
+/// A regression (an `Rc` or `RefCell` reintroduced anywhere inside)
+/// fails compilation here rather than at a distant spawn site.
+#[allow(dead_code)]
+mod send_assertions {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    fn session_types_are_send_and_sync() {
+        assert_send::<crate::Telemetry>();
+        assert_sync::<crate::Telemetry>();
+        assert_send::<crate::Metrics>();
+        assert_sync::<crate::Metrics>();
+        assert_send::<crate::ProfileAggregator>();
+        assert_sync::<crate::ProfileAggregator>();
+        assert_send::<crate::JsonlSink<std::io::Sink>>();
+        assert_send::<crate::ProgressSink<std::io::Stderr>>();
+        assert_send::<Box<dyn crate::Sink + Send>>();
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
@@ -351,11 +391,18 @@ mod tests {
     /// A Write that appends into a shared buffer, so tests can read what
     /// a sink owned by the telemetry wrote.
     #[derive(Clone, Default)]
-    pub(crate) struct SharedBuf(pub Rc<RefCell<Vec<u8>>>);
+    pub(crate) struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        /// The accumulated bytes, copied out.
+        pub(crate) fn contents(&self) -> Vec<u8> {
+            lock(&self.0).clone()
+        }
+    }
 
     impl Write for SharedBuf {
         fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.0.borrow_mut().extend_from_slice(buf);
+            lock(&self.0).extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> std::io::Result<()> {
@@ -389,7 +436,7 @@ mod tests {
         let span = tele.span_start(SpanKind::CheckEu, Some("E[a U b]"), start);
         tele.span_end(span, end);
         tele.flush();
-        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let text = String::from_utf8(buf.contents()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"kind\":\"span_start\""));
@@ -410,7 +457,7 @@ mod tests {
         // Error path: the inner span was never ended explicitly.
         tele.span_end(outer, StatsSnapshot::default());
         tele.flush();
-        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let text = String::from_utf8(buf.contents()).unwrap();
         let ends = text.lines().filter(|l| l.contains("span_end")).count();
         assert_eq!(ends, 2, "both spans must be closed: {text}");
     }

@@ -23,12 +23,11 @@
 //!
 //! Exposition is deterministic: series are sorted by name, then labels.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::json::esc;
-use crate::Event;
+use crate::{lock, Event};
 
 /// Version stamped into the JSON exposition as `"schema"`.
 pub const METRICS_SCHEMA_VERSION: u64 = 1;
@@ -106,6 +105,13 @@ const HELP: &[(&str, &str)] = &[
     ("smc_model_fairness_constraints", "Fairness constraints of the model."),
     ("smc_model_reachable_states", "Reachable states (when computed)."),
     ("smc_model_trans_nodes", "BDD size of the transition relation."),
+    ("smc_batch_jobs_total", "Batch jobs finished, by outcome."),
+    ("smc_batch_job_wall_us", "Per-job wall time in microseconds."),
+    ("smc_batch_queue_depth", "Jobs waiting in the batch injector queue."),
+    ("smc_batch_jobs_in_flight", "Jobs currently executing on workers."),
+    ("smc_batch_cache_hits_total", "Warm-start artifact cache hits."),
+    ("smc_batch_cache_misses_total", "Warm-start artifact cache misses."),
+    ("smc_batch_steals_total", "Jobs taken from another worker's queue."),
 ];
 
 fn help_for(name: &str) -> Option<&'static str> {
@@ -114,9 +120,12 @@ fn help_for(name: &str) -> Option<&'static str> {
 
 /// The metrics write handle. Disabled (the default) every method is a
 /// no-op behind one branch; enabled, all clones share one registry.
+/// The handle is `Send + Sync`: one registry can collect fleet-level
+/// series from many worker threads at once (each write takes a short
+/// mutex critical section).
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    inner: Option<Rc<RefCell<Registry>>>,
+    inner: Option<Arc<Mutex<Registry>>>,
 }
 
 fn key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
@@ -126,7 +135,7 @@ fn key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
 impl Metrics {
     /// An enabled handle with an empty registry.
     pub fn new() -> Metrics {
-        Metrics { inner: Some(Rc::new(RefCell::new(Registry::default()))) }
+        Metrics { inner: Some(Arc::new(Mutex::new(Registry::default()))) }
     }
 
     /// The disabled (no-op) handle; same as `Metrics::default()`.
@@ -144,7 +153,7 @@ impl Metrics {
     /// Adds to a counter series (creating it at zero).
     pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: u64) {
         if let Some(inner) = &self.inner {
-            *inner.borrow_mut().counters.entry(key(name, labels)).or_insert(0) += v;
+            *lock(inner).counters.entry(key(name, labels)).or_insert(0) += v;
         }
     }
 
@@ -153,21 +162,21 @@ impl Metrics {
     /// are authoritative over any incrementally folded approximation.
     pub fn counter_set(&self, name: &str, labels: &[(&str, &str)], v: u64) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().counters.insert(key(name, labels), v);
+            lock(inner).counters.insert(key(name, labels), v);
         }
     }
 
     /// Sets a gauge series.
     pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().gauges.insert(key(name, labels), v);
+            lock(inner).gauges.insert(key(name, labels), v);
         }
     }
 
     /// Records one observation into a histogram series.
     pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: u64) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().hists.entry(key(name, labels)).or_default().observe(v);
+            lock(inner).hists.entry(key(name, labels)).or_default().observe(v);
         }
     }
 
@@ -175,20 +184,20 @@ impl Metrics {
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
         self.inner
             .as_ref()
-            .and_then(|i| i.borrow().counters.get(&key(name, labels)).copied())
+            .and_then(|i| lock(i).counters.get(&key(name, labels)).copied())
             .unwrap_or(0)
     }
 
     /// Reads a gauge back; for tests and reports.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        self.inner.as_ref().and_then(|i| i.borrow().gauges.get(&key(name, labels)).copied())
+        self.inner.as_ref().and_then(|i| lock(i).gauges.get(&key(name, labels)).copied())
     }
 
     /// Reads a histogram's `(count, sum)` back; for tests and reports.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<(u64, u64)> {
         self.inner
             .as_ref()
-            .and_then(|i| i.borrow().hists.get(&key(name, labels)).map(|h| (h.count, h.sum)))
+            .and_then(|i| lock(i).hists.get(&key(name, labels)).map(|h| (h.count, h.sum)))
     }
 
     /// Folds one telemetry event into the registry. Called by the
@@ -252,7 +261,7 @@ impl Metrics {
     /// labels.
     pub fn render_prometheus(&self) -> String {
         let Some(inner) = &self.inner else { return String::new() };
-        let r = inner.borrow();
+        let r = lock(inner);
         let mut out = String::new();
         let mut names: Vec<(&String, &str)> = Vec::new();
         names.extend(r.counters.keys().map(|(n, _)| (n, "counter")));
@@ -319,7 +328,7 @@ impl Metrics {
     /// machine-readable sibling of [`render_prometheus`](Self::render_prometheus).
     pub fn render_json(&self) -> String {
         let Some(inner) = &self.inner else { return "{}".to_string() };
-        let r = inner.borrow();
+        let r = lock(inner);
         let mut out = String::from("{");
         out.push_str(&format!("\"schema\":{METRICS_SCHEMA_VERSION},\"counters\":["));
         let mut first = true;
@@ -414,7 +423,7 @@ impl Metrics {
     /// registry (sorted) order.
     fn label_values(&self, name: &str, label: &str) -> Vec<String> {
         let Some(inner) = &self.inner else { return Vec::new() };
-        let r = inner.borrow();
+        let r = lock(inner);
         let mut vals: Vec<String> = r
             .counters
             .range(range_of(name))

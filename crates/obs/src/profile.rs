@@ -2,11 +2,10 @@
 //! `smc profile report`: folds an event stream into per-span totals and
 //! renders the post-run profile table.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use crate::{Event, EventCtx, Sink, SpanKind};
+use crate::{lock, Event, EventCtx, Sink, SpanKind};
 
 #[derive(Debug, Default, Clone, Copy)]
 struct Row {
@@ -40,10 +39,12 @@ struct ProfileData {
 
 /// An aggregating [`Sink`]. Cloning shares the underlying tallies, so
 /// the caller can hand one clone to the telemetry handle and keep
-/// another to [`render`](ProfileAggregator::render) after the run.
+/// another to [`render`](ProfileAggregator::render) after the run. The
+/// tallies sit behind an `Arc<Mutex<…>>`, so the aggregator can ride a
+/// session onto a worker thread.
 #[derive(Debug, Clone, Default)]
 pub struct ProfileAggregator {
-    data: Rc<RefCell<ProfileData>>,
+    data: Arc<Mutex<ProfileData>>,
 }
 
 impl ProfileAggregator {
@@ -61,7 +62,7 @@ impl ProfileAggregator {
     /// descending), span name ascending as the tie-break so equal self
     /// times render deterministically.
     fn sorted_rows(&self) -> Vec<(SpanKind, Row)> {
-        let d = self.data.borrow();
+        let d = lock(&self.data);
         let mut rows: Vec<(SpanKind, Row)> = d.rows.iter().map(|(k, r)| (*k, *r)).collect();
         rows.sort_by(|(ak, ar), (bk, br)| {
             br.self_us.cmp(&ar.self_us).then_with(|| ak.name().cmp(bk.name()))
@@ -78,7 +79,7 @@ impl ProfileAggregator {
     pub fn render_top(&self, top: Option<usize>) -> String {
         let rows = self.sorted_rows();
         let shown = top.unwrap_or(rows.len()).min(rows.len());
-        let d = self.data.borrow();
+        let d = lock(&self.data);
         let mut out = String::new();
         out.push_str(&format!("-- profile report (schema v{}) --\n", crate::SCHEMA_VERSION));
         out.push_str(&format!("wall {}  ({} events)\n", fmt_us(d.wall_us), d.events));
@@ -133,7 +134,7 @@ impl ProfileAggregator {
     pub fn render_json(&self, top: Option<usize>) -> String {
         let rows = self.sorted_rows();
         let shown = top.unwrap_or(rows.len()).min(rows.len());
-        let d = self.data.borrow();
+        let d = lock(&self.data);
         let mut out = String::from("{");
         out.push_str(&format!(
             "\"schema\":{},\"wall_us\":{},\"events\":{},\"spans\":[",
@@ -179,7 +180,7 @@ impl ProfileAggregator {
 
 impl Sink for ProfileAggregator {
     fn record(&mut self, ctx: &EventCtx, event: &Event) {
-        let mut d = self.data.borrow_mut();
+        let mut d = lock(&self.data);
         d.events += 1;
         d.wall_us = d.wall_us.max(ctx.t_us);
         match event {

@@ -41,23 +41,49 @@ impl<W: Write> ProgressSink<W> {
     fn paint(&mut self, line: &str) {
         let line = truncate(line, self.max_width);
         let pad = self.last_len.saturating_sub(line.chars().count());
-        let _ = write!(self.out, "\r{line}{}", " ".repeat(pad));
-        let _ = self.out.flush();
+        let mut buf = String::with_capacity(1 + line.len() + pad);
+        buf.push('\r');
+        buf.push_str(&line);
+        buf.extend(std::iter::repeat_n(' ', pad));
+        self.emit(&buf);
         self.last_len = line.chars().count().max(self.last_len);
     }
 
     /// A durable full line: clears the progress line, prints, newline.
     fn announce(&mut self, line: &str) {
-        self.clear();
-        let _ = writeln!(self.out, "{line}");
+        let mut buf = String::with_capacity(self.last_len + 2 + line.len() + 1);
+        push_clear(&mut buf, self.last_len);
+        self.last_len = 0;
+        buf.push_str(line);
+        buf.push('\n');
+        self.emit(&buf);
     }
 
     fn clear(&mut self) {
         if self.last_len > 0 {
-            let _ = write!(self.out, "\r{}\r", " ".repeat(self.last_len));
-            let _ = self.out.flush();
+            let mut buf = String::with_capacity(self.last_len + 2);
+            push_clear(&mut buf, self.last_len);
             self.last_len = 0;
+            self.emit(&buf);
         }
+    }
+
+    /// One `write_all` syscall per rendered line: sinks owned by several
+    /// worker sessions may share one terminal, and a line emitted as a
+    /// single write cannot be torn apart by a concurrent writer the way
+    /// a `write!`-fragmented one can.
+    fn emit(&mut self, buf: &str) {
+        let _ = self.out.write_all(buf.as_bytes());
+        let _ = self.out.flush();
+    }
+}
+
+/// Appends the erase-the-previous-line sequence (`\r`, spaces, `\r`).
+fn push_clear(buf: &mut String, last_len: usize) {
+    if last_len > 0 {
+        buf.push('\r');
+        buf.extend(std::iter::repeat_n(' ', last_len));
+        buf.push('\r');
     }
 }
 
@@ -227,6 +253,63 @@ mod tests {
         sink.record(&ctx, &Event::WitnessHop { constraint: 0, ring: 1 });
         let outer = String::from_utf8(sink.out.clone()).unwrap();
         assert!(outer.contains("[witness] hop"), "{outer:?}");
+    }
+
+    /// A writer that records the byte span of every individual
+    /// `write` call, so tests can assert syscall granularity.
+    #[derive(Default)]
+    struct CallRecorder {
+        calls: Vec<Vec<u8>>,
+    }
+
+    impl Write for CallRecorder {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.calls.push(buf.to_vec());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn every_rendered_line_is_a_single_write_call() {
+        let mut sink = ProgressSink::new(CallRecorder::default());
+        let ctx = EventCtx { seq: 0, t_us: 0 };
+        // A paint, a repaint, and a durable announce: each must reach
+        // the writer as exactly one write call, so concurrent workers
+        // sharing a terminal can never tear a line. (The final flush
+        // writes nothing — the announce already erased the paint.)
+        sink.record(&ctx, &Event::SpanStart { id: 1, kind: SpanKind::Reach, label: None });
+        sink.record(
+            &ctx,
+            &Event::FixpointIter {
+                phase: FixKind::Reach,
+                iteration: 1,
+                frontier_size: 2,
+                approx_size: 3,
+                live_nodes: 4,
+                peak_nodes: 5,
+                d_lookups: 0,
+                d_hits: 0,
+            },
+        );
+        sink.record(&ctx, &Event::Trip { reason: "deadline expired".into() });
+        sink.flush();
+        let calls = &sink.out.calls;
+        assert_eq!(calls.len(), 3, "one write per rendered line: {calls:?}");
+        for call in calls {
+            let text = String::from_utf8(call.clone()).unwrap();
+            assert!(
+                text.starts_with('\r') || text.ends_with('\n'),
+                "every write is a whole repaint or a whole durable line: {text:?}"
+            );
+        }
+        // The announce carries its erase sequence and the durable line
+        // in the same write.
+        let announce = String::from_utf8(calls[2].clone()).unwrap();
+        assert!(announce.starts_with('\r'), "{announce:?}");
+        assert!(announce.ends_with("deadline expired\n"), "{announce:?}");
     }
 
     #[test]

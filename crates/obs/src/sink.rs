@@ -16,7 +16,10 @@ pub struct EventCtx {
 }
 
 /// A consumer of telemetry events. Sinks are owned by the telemetry
-/// handle and invoked synchronously, in attachment order.
+/// handle and invoked synchronously, in attachment order, under the
+/// handle's sink lock (so a sink never sees two concurrent `record`
+/// calls). Attachment requires `Send` — the handle may ride a checking
+/// session onto a worker thread.
 pub trait Sink {
     /// Receives one event.
     fn record(&mut self, ctx: &EventCtx, event: &Event);

@@ -87,3 +87,23 @@ pub use value::Value;
 
 #[cfg(test)]
 mod tests;
+
+/// Compile-time `Send` assertion: compiled models (and the flattened
+/// modules the warm-start cache shares between jobs) cross thread
+/// boundaries in the parallel engine.
+#[allow(dead_code)]
+mod send_assertions {
+    fn assert_send<T: Send>() {}
+
+    fn session_types_are_send() {
+        assert_send::<crate::CompiledModel>();
+        assert_send::<crate::Module>();
+        assert_send::<crate::Program>();
+    }
+
+    fn shared_artifacts_are_sync() {
+        // The cache hands out `Arc<Module>` clones to concurrent jobs.
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<crate::Module>();
+    }
+}

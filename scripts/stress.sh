@@ -10,6 +10,11 @@
 #      with exit code 3 and partial diagnostics — never a hang, panic,
 #      or corrupted state — while the unbudgeted paper-sized control run
 #      still completes with the documented verdicts.
+#   3. A concurrent-cancellation drill: a 4-job batch of that arbiter
+#      on 4 workers under an aggressive budget. Every job must trip its
+#      own governor (exit-3-style diagnostics per job), the fleet must
+#      report all jobs, and the process must exit 3 cleanly — no hang,
+#      no partial output, no poisoned worker.
 #
 # Usage: scripts/stress.sh
 set -eu
@@ -52,4 +57,30 @@ if [ "$code" -ne 1 ]; then
   echo "control run: expected exit 1 (liveness fails), got $code" >&2
   exit 1
 fi
+
+echo "== concurrent-cancellation drill: 4-job batch under aggressive budgets =="
+BIG="$(mktemp "${TMPDIR:-/tmp}/smc_stress_big.XXXXXX")"
+MANIFEST="$(mktemp "${TMPDIR:-/tmp}/smc_stress_manifest.XXXXXX")"
+trap 'rm -f "$TMP" "$BIG" "$MANIFEST"' EXIT
+./target/release/examples/export_smv 4 > "$BIG"
+for _ in 1 2 3 4; do echo "$BIG" >> "$MANIFEST"; done
+# A 50k-node cap is far below what the 4-user arbiter needs, so every
+# job must trip its own governor concurrently; the wall-clock deadline
+# is per job, giving each worker an independent cancellation source.
+set +e
+ERRS="$(./target/release/smc batch --jobs 4 --no-cache --timeout 2 --node-limit 50000 \
+        "$MANIFEST" 2>&1 >/dev/null)"
+code=$?
+set -e
+if [ "$code" -ne 3 ]; then
+  echo "cancellation drill: expected exit 3, got $code" >&2
+  exit 1
+fi
+trips="$(printf '%s\n' "$ERRS" | grep -c 'resource budget exhausted')"
+if [ "$trips" -ne 4 ]; then
+  echo "cancellation drill: expected 4 per-job trip diagnostics, got $trips" >&2
+  printf '%s\n' "$ERRS" >&2
+  exit 1
+fi
+echo "all 4 jobs tripped their own governor and the fleet exited cleanly (ok)"
 echo "stress drill complete"

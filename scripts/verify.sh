@@ -16,6 +16,16 @@ echo "== static quality gate =="
 echo "== bench observatory smoke (1 rep, gates off) =="
 ./target/release/smc bench --reps 1 --no-gate --baseline BENCH_kernel.json >/dev/null
 
+echo "== batch smoke (pool + warm-start cache) =="
+m="$(mktemp)"
+printf 'models/counter8.smv\nmodels/mutex.smv\nmodels/counter8.smv\n' > "$m"
+out=$(./target/release/smc batch --jobs 2 "$m") || { echo "batch smoke failed"; exit 1; }
+grep -q "3 jobs, 3 passed" <<<"$out" || { echo "batch smoke: unexpected summary: $out"; exit 1; }
+# Serially the duplicate counter8 job must warm-start from the cache.
+out=$(./target/release/smc batch --jobs 1 "$m") || { echo "batch smoke failed"; exit 1; }
+grep -q "1 cache hits" <<<"$out" || { echo "batch smoke: warm start missing: $out"; exit 1; }
+rm -f "$m"
+
 echo "== lint goldens over bundled models =="
 # lint_demo.smv seeds one trigger per warning: exit 1, every code shown.
 out=$(./target/release/smc lint models/lint_demo.smv) && rc=0 || rc=$?

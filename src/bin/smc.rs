@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! smc check  [--trace] [--lint] [--strategy restart|stayset] [COMMON] FILE.smv
+//! smc batch  [--jobs N] [--json] [--no-cache] [COMMON] MANIFEST
 //! smc spec   [--lint] [COMMON] FILE.smv FORMULA   check one ad-hoc CTL formula
 //! smc lint   [--json] [COMMON] FILE.smv...        static + symbolic analysis
 //! smc reach  [COMMON] FILE.smv                    reachability statistics
@@ -52,6 +53,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     };
     match command.as_str() {
         "check" => cmd_check(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
         "spec" => cmd_spec(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "reach" => cmd_reach(&args[1..]),
@@ -76,6 +78,8 @@ fn print_usage() {
 
 USAGE:
     smc check  [--trace] [--lint] [--strategy restart|stayset] [COMMON] FILE.smv
+    smc batch  [--jobs N] [--json] [--trace] [--no-cache]
+               [--strategy restart|stayset] [COMMON] MANIFEST
     smc spec   [--lint] [COMMON] FILE.smv FORMULA
     smc lint   [--json] [COMMON] FILE.smv...
     smc reach  [COMMON] FILE.smv
@@ -112,6 +116,17 @@ COMMANDS:
              counterexample for each failing spec (and a witness for
              each holding temporal spec); with --lint, run the analyzer
              first and print its findings to stderr
+    batch    check every job of a MANIFEST file (one `MODEL.smv
+             [FORMULA]` per line; # comments) on --jobs N worker
+             threads. Each job gets its own BDD manager and its own
+             budget (the COMMON budget flags apply per job, deadline
+             clock starting at job start); a tripped budget is that
+             job's outcome, not the batch's. Identical model sources
+             warm-start from a shared artifact cache (--no-cache
+             disables it); results print in manifest order whatever
+             the schedule; exit is the worst job outcome. --metrics
+             adds fleet-level series (queue depth, jobs in flight,
+             cache traffic, per-job wall histogram)
     spec     check one CTL formula against the model (atoms are boolean
              variables or spec labels); --lint as for check
     lint     run the multi-pass analyzer: syntactic checks (unused and
@@ -576,6 +591,257 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     Ok(if all_hold { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
 
+/// One line of `smc batch` output state: a job the engine ran, or a
+/// manifest entry whose model file could not be read (reported in
+/// place, in manifest order, without aborting the batch).
+enum BatchLine {
+    Ran(smc::engine::JobResult),
+    Unreadable { name: String, message: String },
+}
+
+/// Renders per-spec verdict lines (and traces) exactly the way
+/// `smc check` does, so a batch job's block is comparable line for
+/// line with a serial run on the same model.
+fn print_spec_results(specs: &[smc::engine::SpecResult]) {
+    for (i, s) in specs.iter().enumerate() {
+        println!("SPEC {i}: {}", if s.holds { "holds" } else { "FAILS" });
+        if let Some(t) = &s.trace {
+            let kind = if s.holds { "witness" } else { "counterexample" };
+            let cycle = t
+                .loopback
+                .map(|l| format!(", cycle of {}", t.states.len() - l))
+                .unwrap_or_default();
+            println!("-- {kind}: {} states{cycle} --", t.states.len());
+            for (j, state) in t.states.iter().enumerate() {
+                if Some(j) == t.loopback {
+                    println!("-- loop starts here --");
+                }
+                println!("state {j}: {state}");
+            }
+            if let Some(l) = t.loopback {
+                println!("-- loop back to state {l} --");
+            }
+        }
+    }
+}
+
+/// Minimal JSON string escaper for the batch report.
+fn json_esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Schema version of the `smc batch --json` report.
+const BATCH_JSON_SCHEMA: u64 = 1;
+
+fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use smc::engine::{run_batch, EngineConfig, Job, JobOutcome};
+
+    let mut workers: usize = 1;
+    let mut json = false;
+    let mut trace = false;
+    let mut no_cache = false;
+    let mut strategy = CycleStrategy::Restart;
+    let opts = parse_common(args, |args, i| {
+        match args[*i].as_str() {
+            "--jobs" => {
+                *i += 1;
+                let v = args.get(*i).ok_or("--jobs expects a number")?;
+                workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs expects a positive number, got {v:?}"))?;
+            }
+            "--json" => json = true,
+            "--trace" => trace = true,
+            "--no-cache" => no_cache = true,
+            "--strategy" => {
+                *i += 1;
+                match args.get(*i).map(String::as_str) {
+                    Some("restart") => strategy = CycleStrategy::Restart,
+                    Some("stayset") => strategy = CycleStrategy::StaySet,
+                    other => {
+                        return Err(format!(
+                            "--strategy expects 'restart' or 'stayset', got {other:?}"
+                        ))
+                    }
+                }
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    let [manifest_path] = &opts.positionals[..] else {
+        return Err(
+            "usage: smc batch [--jobs N] [--json] [--trace] [--no-cache] [COMMON] MANIFEST".into(),
+        );
+    };
+    let session = TeleSession::new(&opts)?;
+    let text = std::fs::read_to_string(manifest_path)
+        .map_err(|e| format!("cannot read {manifest_path:?}: {e}"))?;
+    let entries = smc::engine::parse_manifest(&text)?;
+
+    // Jobs whose model file reads cleanly go to the engine; unreadable
+    // entries are reported in place with the exit-2 class.
+    let mut lines: Vec<Option<BatchLine>> = (0..entries.len()).map(|_| None).collect();
+    let mut jobs = Vec::new();
+    let mut origins = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        match std::fs::read_to_string(&entry.path) {
+            Ok(source) => {
+                jobs.push(Job { name: entry.path.clone(), source, spec: entry.formula.clone() });
+                origins.push(i);
+            }
+            Err(e) => {
+                lines[i] = Some(BatchLine::Unreadable {
+                    name: entry.path.clone(),
+                    message: format!("cannot read {:?}: {e}", entry.path),
+                });
+            }
+        }
+    }
+
+    let cfg = EngineConfig {
+        workers,
+        want_trace: trace,
+        use_cache: !no_cache,
+        timeout: opts.budget.timeout_secs.map(Duration::from_secs),
+        node_limit: opts.budget.node_limit,
+        max_iters: opts.budget.max_iters,
+        cancel: None,
+        strategy,
+        metrics: session.metrics.clone(),
+    };
+    let results = run_batch(jobs, &cfg);
+    for result in results {
+        let slot = origins[result.index];
+        lines[slot] = Some(BatchLine::Ran(result));
+    }
+
+    // Tally and exit class over every manifest entry.
+    let mut worst: u8 = 0;
+    let (mut pass, mut fail, mut errors, mut exhausted, mut hits) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for line in lines.iter().flatten() {
+        let class = match line {
+            BatchLine::Unreadable { .. } => 2,
+            BatchLine::Ran(r) => {
+                hits += u64::from(r.cache_hit);
+                r.outcome.exit_class()
+            }
+        };
+        worst = worst.max(class);
+        match class {
+            0 => pass += 1,
+            1 => fail += 1,
+            3 => exhausted += 1,
+            _ => errors += 1,
+        }
+    }
+
+    if json {
+        let mut out = format!("{{\"schema\":{BATCH_JSON_SCHEMA},\"jobs\":[");
+        for (i, line) in lines.iter().flatten().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match line {
+                BatchLine::Unreadable { name, message } => out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"outcome\":\"input_error\",\"exit_class\":2,\"error\":\"{}\"}}",
+                    json_esc(name),
+                    json_esc(message)
+                )),
+                BatchLine::Ran(r) => {
+                    out.push_str(&format!(
+                        "{{\"name\":\"{}\",\"outcome\":\"{}\",\"exit_class\":{},\"wall_us\":{},\"cache_hit\":{},\"reach_iters\":{},\"cache_lookups\":{},\"created_nodes\":{}",
+                        json_esc(&r.name),
+                        r.outcome.label(),
+                        r.outcome.exit_class(),
+                        r.wall_us,
+                        r.cache_hit,
+                        r.reach_iters,
+                        r.cache_lookups,
+                        r.created_nodes
+                    ));
+                    let specs = match &r.outcome {
+                        JobOutcome::Checked { specs } => Some(specs),
+                        JobOutcome::Exhausted { decided, .. } => Some(decided),
+                        _ => None,
+                    };
+                    if let Some(specs) = specs {
+                        out.push_str(",\"specs\":[");
+                        for (j, s) in specs.iter().enumerate() {
+                            if j > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&format!(
+                                "{{\"formula\":\"{}\",\"holds\":{}}}",
+                                json_esc(&s.formula),
+                                s.holds
+                            ));
+                        }
+                        out.push(']');
+                    }
+                    if let JobOutcome::Exhausted { phase, reason, .. } = &r.outcome {
+                        out.push_str(&format!(
+                            ",\"phase\":\"{}\",\"reason\":\"{}\"",
+                            json_esc(phase),
+                            json_esc(reason)
+                        ));
+                    }
+                    if let JobOutcome::InputError { message } = &r.outcome {
+                        out.push_str(&format!(",\"error\":\"{}\"", json_esc(message)));
+                    }
+                    out.push('}');
+                }
+            }
+        }
+        out.push_str(&format!(
+            "],\"summary\":{{\"jobs\":{},\"pass\":{pass},\"fail\":{fail},\"errors\":{errors},\"exhausted\":{exhausted},\"cache_hits\":{hits},\"exit\":{worst}}}}}",
+            entries.len()
+        ));
+        println!("{out}");
+    } else {
+        for line in lines.iter().flatten() {
+            match line {
+                BatchLine::Unreadable { name, message } => {
+                    println!("== {name} ==");
+                    eprintln!("error: {message}");
+                }
+                BatchLine::Ran(r) => {
+                    println!("== {} ==", r.name);
+                    match &r.outcome {
+                        JobOutcome::NoSpecs => println!("no SPEC sections"),
+                        JobOutcome::InputError { message } => eprintln!("error: {message}"),
+                        JobOutcome::Checked { specs } => print_spec_results(specs),
+                        JobOutcome::Exhausted { phase, reason, decided } => {
+                            print_spec_results(decided);
+                            println!("SPEC {}: not decided", decided.len());
+                            eprintln!("resource budget exhausted during {phase}: {reason}");
+                        }
+                    }
+                }
+            }
+        }
+        println!(
+            "batch: {} jobs, {pass} passed, {fail} failed, {errors} errors, {exhausted} exhausted, {hits} cache hits",
+            entries.len()
+        );
+    }
+    session.finish();
+    Ok(ExitCode::from(worst))
+}
+
 fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut lint = false;
     let opts = parse_common(args, |args, i| match args[*i].as_str() {
@@ -872,6 +1138,9 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         let counters =
             fam.counters.iter().map(|(n, v)| format!("{n} {v}")).collect::<Vec<_>>().join(", ");
         println!("{:<9}  counters: {counters}", "");
+        if let Some(tp) = fam.throughput_jobs_per_s {
+            println!("{:<9}  throughput: {tp:.1} jobs/s", "");
+        }
     }
 
     let Some(path) = baseline_path else {

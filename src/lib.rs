@@ -24,7 +24,10 @@
 //! - [`circuits`] — speed-independent gate-level circuits, including the
 //!   Seitz arbiter of the paper's case study,
 //! - [`bench`] — workload generators and the benchmark observatory
-//!   behind `smc bench`.
+//!   behind `smc bench`,
+//! - [`engine`] — the parallel checking engine behind `smc batch`: a
+//!   work-stealing job pool with per-job governors and a warm-start
+//!   artifact cache.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ pub use smc_bdd as bdd;
 pub use smc_bench as bench;
 pub use smc_checker as checker;
 pub use smc_circuits as circuits;
+pub use smc_engine as engine;
 pub use smc_explicit as explicit;
 pub use smc_kripke as kripke;
 pub use smc_logic as logic;
