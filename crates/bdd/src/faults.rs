@@ -58,6 +58,19 @@ impl FaultPlan {
         }
         plan
     }
+
+    /// A reproducible fault campaign: `rounds` plans derived from
+    /// `seed`, each arming one fault at an allocation count in
+    /// `1..=horizon`. The service drills iterate one of these against a
+    /// long-running process, asserting it answers every request (some as
+    /// `Exhausted`) and never dies.
+    pub fn campaign(seed: u64, rounds: usize, horizon: u64) -> Vec<FaultPlan> {
+        (0..rounds as u64)
+            .map(|round| {
+                FaultPlan::seeded(crate::manager::mix64(seed ^ round.wrapping_mul(0x9e37)), horizon)
+            })
+            .collect()
+    }
 }
 
 /// Armed fault triggers, stored against absolute allocation counts so

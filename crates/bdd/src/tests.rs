@@ -1155,3 +1155,20 @@ fn seeded_fault_campaign_never_corrupts() {
             .unwrap_or_else(|e| panic!("seed {seed}: invariants broken after campaign: {e}"));
     }
 }
+
+#[test]
+fn fault_campaign_is_reproducible_and_armed() {
+    let a = FaultPlan::campaign(7, 8, 32);
+    let b = FaultPlan::campaign(7, 8, 32);
+    assert_eq!(a.len(), 8);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.table_full_at, y.table_full_at);
+        assert_eq!(x.cancel_at, y.cancel_at);
+        assert_eq!(x.wipe_cache_every, y.wipe_cache_every);
+        // Every round arms exactly one fault, within the horizon.
+        let armed = [x.table_full_at, x.cancel_at, x.wipe_cache_every];
+        let ats: Vec<u64> = armed.iter().flatten().copied().collect();
+        assert_eq!(ats.len(), 1, "one fault per round");
+        assert!((1..=32).contains(&ats[0]));
+    }
+}

@@ -5,7 +5,10 @@
 //!
 //! - the flattened [`Module`] (parse + flatten already done),
 //! - the reachable state set, serialized in the `smc-bdd v1` text
-//!   format with its checksum trailer.
+//!   format with its checksum trailer,
+//! - the source text itself, which is what makes an entry durable: the
+//!   on-disk form stores source + reach bytes and re-derives the module
+//!   on load.
 //!
 //! A warm job deserializes the state set into its own fresh manager
 //! ([`BddManager::read_bdds_into`](smc_bdd::BddManager)) and installs
@@ -16,68 +19,302 @@
 //!
 //! Only *successful* compiles are cached: a model that failed to parse,
 //! deadlocked, or tripped its budget leaves no artifact behind.
+//!
+//! ## Long-lived processes (`smc serve`)
+//!
+//! Three hardening properties make the cache safe under a persistent
+//! server rather than a one-shot batch:
+//!
+//! - **Crash-safe writes.** Disk artifacts are written to a
+//!   process-private `.tmp` name, fsynced, then renamed into place, so
+//!   a crash mid-write can never leave a half-written artifact under
+//!   the real name — at worst an orphaned temp file that is never read.
+//! - **Checksum-verified loads.** The on-disk header carries lengths
+//!   and an FNV-1a checksum over the payload; any mismatch (truncation,
+//!   bit rot, a foreign file under the right name) demotes the entry to
+//!   a miss **and deletes the file**, so one corrupt artifact costs one
+//!   recompile, not a recompile per request forever.
+//! - **LRU size cap.** The in-memory map and the disk directory are
+//!   bounded by a least-recently-used cap ([`DEFAULT_CACHE_CAP`] unless
+//!   configured), so an endless stream of distinct models cannot grow
+//!   the cache without bound.
 
 use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use smc_smv::Module;
+use smc_obs::Metrics;
+use smc_smv::{flatten, parse, Module};
 
-/// FNV-1a 64-bit content hash of the model source — the cache key.
-/// Stable across runs and platforms (no per-process seed), so a key is
-/// also usable as a durable artifact identity.
-pub fn source_key(source: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in source.as_bytes() {
+/// FNV-1a 64-bit offset basis (`source_key("")`).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Default LRU capacity (distinct artifacts) of the cache.
+pub const DEFAULT_CACHE_CAP: usize = 256;
+
+/// Folds `bytes` into a running FNV-1a 64-bit hash.
+fn fnv_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
         hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
 }
 
-/// One cached compile: the flattened module and the serialized
-/// reachable set (with checksum trailer).
+/// FNV-1a 64-bit content hash of the model source — the cache key.
+/// Stable across runs and platforms (no per-process seed), so a key is
+/// also usable as a durable artifact identity.
+pub fn source_key(source: &str) -> u64 {
+    fnv_update(FNV_OFFSET, source.as_bytes())
+}
+
+/// One cached compile: the flattened module, the source it came from,
+/// and the serialized reachable set (with checksum trailer).
 #[derive(Debug)]
 pub struct Artifact {
     /// Flattened main module, ready for `compile_module_with_options`.
     pub module: Module,
+    /// The exact source text the artifact was compiled from (persisted
+    /// so a disk load can re-derive the module).
+    pub source: String,
     /// `smc-bdd v1` serialization of `[reachable]`.
     pub reach: Vec<u8>,
 }
 
+/// An in-memory entry with its LRU clock stamp.
+#[derive(Debug)]
+struct Entry {
+    artifact: Arc<Artifact>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    map: HashMap<u64, Entry>,
+    /// Monotonic use clock for LRU ordering.
+    tick: u64,
+    cap: usize,
+    /// Persistence directory; `None` keeps the cache memory-only.
+    dir: Option<PathBuf>,
+    metrics: Metrics,
+}
+
 /// The shared warm-start cache. Clones share one store; all methods
 /// take `&self`, so workers use it concurrently.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ArtifactCache {
-    inner: Arc<Mutex<HashMap<u64, Arc<Artifact>>>>,
+    inner: Arc<Mutex<Store>>,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> ArtifactCache {
+        ArtifactCache::with_capacity(DEFAULT_CACHE_CAP)
+    }
 }
 
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty, memory-only cache with the default LRU capacity.
     pub fn new() -> ArtifactCache {
         ArtifactCache::default()
     }
 
-    /// The artifact for `key`, if a job has published one.
+    /// An empty, memory-only cache holding at most `cap` artifacts.
+    pub fn with_capacity(cap: usize) -> ArtifactCache {
+        ArtifactCache { inner: Arc::new(Mutex::new(Store { cap: cap.max(1), ..Store::default() })) }
+    }
+
+    /// A disk-backed cache rooted at `dir` (created if missing). Loads
+    /// are lazy — an artifact written by an earlier process is picked up
+    /// on first `get` of its key — and the LRU cap bounds both the map
+    /// and the directory. Corruption and eviction tallies land in
+    /// `metrics` (`smc_batch_cache_corrupt_total`,
+    /// `smc_batch_cache_evictions_total`).
+    ///
+    /// # Errors
+    ///
+    /// The `std::io::Error` of creating `dir`, if it does not exist and
+    /// cannot be created.
+    pub fn with_dir(dir: &Path, cap: usize, metrics: Metrics) -> std::io::Result<ArtifactCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(ArtifactCache {
+            inner: Arc::new(Mutex::new(Store {
+                cap: cap.max(1),
+                dir: Some(dir.to_path_buf()),
+                metrics,
+                ..Store::default()
+            })),
+        })
+    }
+
+    /// The artifact for `key`, if a job has published one — in this
+    /// process or (for a disk-backed cache) in any earlier one.
     pub fn get(&self, key: u64) -> Option<Arc<Artifact>> {
-        lock(&self.inner).get(&key).cloned()
+        let mut store = lock(&self.inner);
+        store.tick += 1;
+        let tick = store.tick;
+        if let Some(entry) = store.map.get_mut(&key) {
+            entry.last_used = tick;
+            return Some(Arc::clone(&entry.artifact));
+        }
+        // Lazy disk load: this is what lets a restarted server warm-start
+        // from artifacts a previous process persisted. The decode runs
+        // under the store lock — it only happens once per key per
+        // process, so contention is a restart transient, not steady state.
+        let dir = store.dir.clone()?;
+        let artifact = Arc::new(load_from_disk(&dir, key, &store.metrics)?);
+        store.map.insert(key, Entry { artifact: Arc::clone(&artifact), last_used: tick });
+        evict_over_cap(&mut store);
+        Some(artifact)
     }
 
     /// Publishes an artifact. First write wins: concurrent jobs on the
     /// same source race benignly (their artifacts are equivalent —
     /// compilation is deterministic), and keeping the incumbent means a
-    /// reader never sees an entry change under it.
+    /// reader never sees an entry change under it. Disk-backed caches
+    /// also persist the artifact (atomically: temp file, fsync, rename);
+    /// persistence failure degrades to memory-only silently — the cache
+    /// is an optimization layer.
     pub fn insert(&self, key: u64, artifact: Artifact) {
-        lock(&self.inner).entry(key).or_insert_with(|| Arc::new(artifact));
+        let mut store = lock(&self.inner);
+        store.tick += 1;
+        let tick = store.tick;
+        if store.map.contains_key(&key) {
+            return;
+        }
+        let artifact = Arc::new(artifact);
+        if let Some(dir) = store.dir.clone() {
+            let _ = write_to_disk(&dir, key, &artifact);
+        }
+        store.map.insert(key, Entry { artifact, last_used: tick });
+        evict_over_cap(&mut store);
     }
 
-    /// Number of distinct artifacts held.
+    /// Number of distinct artifacts held in memory.
     pub fn len(&self) -> usize {
-        lock(&self.inner).len()
+        lock(&self.inner).map.len()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Evicts least-recently-used entries (and their disk files) until the
+/// store is within its cap.
+fn evict_over_cap(store: &mut Store) {
+    while store.map.len() > store.cap {
+        let Some(victim) = store.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k)
+        else {
+            return;
+        };
+        store.map.remove(&victim);
+        if let Some(dir) = &store.dir {
+            let _ = std::fs::remove_file(artifact_path(dir, victim));
+        }
+        store.metrics.counter_add("smc_batch_cache_evictions_total", &[], 1);
+    }
+}
+
+/// The durable file name of an artifact: its content key, hex.
+fn artifact_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.smcart"))
+}
+
+/// Writes an artifact durably: process-private temp name, fsync, rename
+/// into place. A crash at any point leaves either the old state or the
+/// complete new file — never a torn artifact under the real name.
+fn write_to_disk(dir: &Path, key: u64, artifact: &Artifact) -> std::io::Result<()> {
+    let path = artifact_path(dir, key);
+    if path.exists() {
+        return Ok(()); // first (durable) write wins, same as in memory
+    }
+    let tmp = dir.join(format!("{key:016x}.{}.tmp", std::process::id()));
+    let hash = fnv_update(fnv_update(FNV_OFFSET, artifact.source.as_bytes()), &artifact.reach);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        writeln!(
+            f,
+            "smcart 1 {key:016x} {} {} {hash:016x}",
+            artifact.source.len(),
+            artifact.reach.len()
+        )?;
+        f.write_all(artifact.source.as_bytes())?;
+        f.write_all(&artifact.reach)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, &path)?;
+        // Best-effort directory durability for the rename itself.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Loads and verifies a disk artifact. Any defect — truncation, header
+/// damage, checksum mismatch, a source that no longer parses — deletes
+/// the file and returns `None` (a miss), so corruption self-heals on
+/// the next cold compile.
+fn load_from_disk(dir: &Path, key: u64, metrics: &Metrics) -> Option<Artifact> {
+    let path = artifact_path(dir, key);
+    let bytes = std::fs::read(&path).ok()?;
+    match decode_artifact(key, &bytes) {
+        Some(artifact) => Some(artifact),
+        None => {
+            let _ = std::fs::remove_file(&path);
+            metrics.counter_add("smc_batch_cache_corrupt_total", &[], 1);
+            None
+        }
+    }
+}
+
+/// Decodes the on-disk format:
+///
+/// ```text
+/// smcart 1 <key:016x> <source_len> <reach_len> <payload_fnv:016x>\n
+/// <source bytes><reach bytes>
+/// ```
+///
+/// The checksum covers source ++ reach; the reach bytes additionally
+/// carry the `smc-bdd v1` trailer checked again at deserialization.
+fn decode_artifact(key: u64, bytes: &[u8]) -> Option<Artifact> {
+    let nl = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..nl]).ok()?;
+    let mut tokens = header.split_ascii_whitespace();
+    if tokens.next()? != "smcart" || tokens.next()? != "1" {
+        return None;
+    }
+    if u64::from_str_radix(tokens.next()?, 16).ok()? != key {
+        return None;
+    }
+    let source_len: usize = tokens.next()?.parse().ok()?;
+    let reach_len: usize = tokens.next()?.parse().ok()?;
+    let hash = u64::from_str_radix(tokens.next()?, 16).ok()?;
+    if tokens.next().is_some() {
+        return None;
+    }
+    let body = bytes.get(nl + 1..)?;
+    if body.len() != source_len.checked_add(reach_len)? {
+        return None;
+    }
+    let (source_bytes, reach) = body.split_at(source_len);
+    if fnv_update(fnv_update(FNV_OFFSET, source_bytes), reach) != hash {
+        return None;
+    }
+    let source = std::str::from_utf8(source_bytes).ok()?.to_string();
+    // The key is the source hash; a payload whose content drifted from
+    // its name is as corrupt as a failed checksum.
+    if source_key(&source) != key {
+        return None;
+    }
+    let program = parse(&source).ok()?;
+    let module = flatten(&program).ok()?;
+    Some(Artifact { module, source, reach: reach.to_vec() })
 }
 
 /// Poison-recovering lock: a worker that panicked mid-insert leaves the

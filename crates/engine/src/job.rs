@@ -18,7 +18,7 @@ use smc_smv::{
     compile_module_with_options, flatten, parse, CompileOptions, CompiledModel, Module, SmvError,
 };
 
-use crate::cache::{source_key, Artifact, ArtifactCache};
+use crate::cache::{source_key, Artifact, ArtifactCache, DEFAULT_CACHE_CAP};
 
 /// One unit of work: a model source and what to check in it.
 #[derive(Debug, Clone)]
@@ -56,6 +56,16 @@ pub struct EngineConfig {
     pub strategy: CycleStrategy,
     /// Shared registry for fleet-level series; disabled is free.
     pub metrics: Metrics,
+    /// Persistence directory for the warm-start cache; `None` keeps it
+    /// memory-only (artifacts die with the process).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// LRU capacity (distinct artifacts) of the warm-start cache.
+    pub cache_cap: usize,
+    /// Deterministic fault plan injected into every job's manager after
+    /// compile — the recovery-drill hook for the service tests. Only
+    /// compiled for tests or under the `fault-injection` feature.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fault_plan: Option<smc_bdd::FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +80,10 @@ impl Default for EngineConfig {
             cancel: None,
             strategy: CycleStrategy::default(),
             metrics: Metrics::disabled(),
+            cache_dir: None,
+            cache_cap: DEFAULT_CACHE_CAP,
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault_plan: None,
         }
     }
 }
@@ -100,6 +114,18 @@ impl EngineConfig {
             budget = budget.with_cancel_token(tok);
         }
         Some(budget)
+    }
+
+    /// Builds the warm-start cache this config asks for: disk-backed
+    /// when `cache_dir` is set (degrading silently to memory-only if
+    /// the directory cannot be created — the cache is an optimization),
+    /// memory-only otherwise.
+    pub(crate) fn build_cache(&self) -> ArtifactCache {
+        match &self.cache_dir {
+            Some(dir) => ArtifactCache::with_dir(dir, self.cache_cap, self.metrics.clone())
+                .unwrap_or_else(|_| ArtifactCache::with_capacity(self.cache_cap)),
+            None => ArtifactCache::with_capacity(self.cache_cap),
+        }
     }
 }
 
@@ -289,19 +315,34 @@ fn compile_job(
             // Serialization failure (it writes to memory, so only an
             // internal invariant could fail) just skips publication.
             if compiled.model.manager().write_bdds(&mut buf, &[reach]).is_ok() {
-                cache.insert(key, Artifact { module, reach: buf });
+                cache.insert(key, Artifact { module, source: job.source.clone(), reach: buf });
             }
         }
     }
     Ok((compiled, false))
 }
 
-/// Runs one job start to finish on the calling (worker) thread.
+/// Runs one job start to finish on the calling (worker) thread, with
+/// the pool's per-job budget and trace policy.
 pub(crate) fn run_job(
     index: usize,
     job: &Job,
     cfg: &EngineConfig,
     cache: Option<&ArtifactCache>,
+) -> JobResult {
+    run_job_with(index, job, cfg, cache, cfg.job_budget(), cfg.want_trace)
+}
+
+/// Runs one job with an explicit budget and trace policy — the entry
+/// point the server uses to layer per-request quotas and a per-request
+/// cancel token over the pool configuration.
+pub(crate) fn run_job_with(
+    index: usize,
+    job: &Job,
+    cfg: &EngineConfig,
+    cache: Option<&ArtifactCache>,
+    budget: Option<Budget>,
+    want_trace: bool,
 ) -> JobResult {
     let start = Instant::now();
     let reach_iters = Arc::new(AtomicU64::new(0));
@@ -310,11 +351,15 @@ pub(crate) fn run_job(
 
     let mut cache_hit = false;
     let mut counters = (0u64, 0u64);
-    let outcome = match compile_job(job, cfg.job_budget(), tele, cache) {
+    let outcome = match compile_job(job, budget, tele, cache) {
         Err(outcome) => outcome,
         Ok((mut compiled, hit)) => {
             cache_hit = hit;
-            let outcome = check_specs(job, cfg, &mut compiled);
+            #[cfg(any(test, feature = "fault-injection"))]
+            if let Some(plan) = &cfg.fault_plan {
+                compiled.model.manager_mut().inject_faults(plan.clone());
+            }
+            let outcome = check_specs(job, cfg, &mut compiled, want_trace);
             let stats = compiled.model.manager().stats();
             counters = (stats.cache_lookups, stats.created_nodes);
             outcome
@@ -337,7 +382,12 @@ pub(crate) fn run_job(
 /// model's tables live). Raw verdicts are collected first and rendered
 /// after the checker releases its model borrow — the same shape (and
 /// therefore the same work order) as the serial `smc check` loop.
-fn check_specs(job: &Job, cfg: &EngineConfig, compiled: &mut CompiledModel) -> JobOutcome {
+fn check_specs(
+    job: &Job,
+    cfg: &EngineConfig,
+    compiled: &mut CompiledModel,
+    want_trace: bool,
+) -> JobOutcome {
     let formulas = match &job.spec {
         Some(text) => match smc_logic::ctl::parse(text) {
             Ok(f) => vec![f],
@@ -355,7 +405,7 @@ fn check_specs(job: &Job, cfg: &EngineConfig, compiled: &mut CompiledModel) -> J
     {
         let mut checker = Checker::new(&mut compiled.model).with_strategy(cfg.strategy);
         for formula in &formulas {
-            let outcome = if cfg.want_trace {
+            let outcome = if want_trace {
                 checker.check_with_trace(formula).map(|o| (o.verdict.holds(), o.trace))
             } else {
                 checker.check(formula).map(|v| (v.holds(), None))

@@ -32,16 +32,31 @@
 //! per-job wall histograms) land in the caller's shared
 //! [`Metrics`](smc_obs::Metrics) registry; the registry is `Send +
 //! Sync`, so all workers write to one exposition.
+//!
+//! On top of the pool sits [`serve`]: a long-running checking service
+//! fed by NDJSON requests (stdin or TCP) with admission control, a
+//! watchdog, poison-source quarantine, and graceful drain — the same
+//! per-job machinery wrapped in a robustness envelope. The cache can be
+//! made persistent ([`EngineConfig::cache_dir`]) with crash-safe writes
+//! and checksum-verified loads, so a restarted service warm-starts from
+//! the artifacts a previous process left behind.
 
 mod cache;
 mod job;
 mod manifest;
 mod pool;
+mod server;
+mod wire;
 
-pub use cache::{source_key, ArtifactCache};
+pub use cache::{source_key, ArtifactCache, DEFAULT_CACHE_CAP};
 pub use job::{worst_exit, EngineConfig, Job, JobOutcome, JobResult, RenderedTrace, SpecResult};
-pub use manifest::{parse_manifest, ManifestEntry, ManifestError};
+pub use manifest::{parse_manifest, Manifest, ManifestEntry, ManifestError};
 pub use pool::run_batch;
+pub use server::{
+    parse_request, serve, serve_tcp, spawn_metrics_endpoint, CheckRequest, Request, Responder,
+    ServerConfig, SERVE_SCHEMA,
+};
+pub use wire::{job_json_fields, json_escape};
 
 /// Compile-time `Send` assertions for everything the pool moves across
 /// threads: job descriptions in, results out, the shared cache and

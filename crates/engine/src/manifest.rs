@@ -10,6 +10,14 @@
 //! The first whitespace-separated token is the model path; anything
 //! after it is an ad-hoc CTL formula checked *instead of* the model's
 //! own `SPEC` sections (the `smc spec` behavior, per line).
+//!
+//! Parsing is hardened for untrusted manifests: embedded control
+//! characters (a stray `\r` from a CRLF-converted file landing mid-line,
+//! a NUL from binary garbage) are rejected with the offending line
+//! number, duplicate jobs are reported as warnings (they run — the
+//! warm-start cache makes them cheap — but they are almost always a
+//! copy-paste mistake), and an empty manifest is a clear error rather
+//! than a vacuous empty batch.
 
 /// One parsed manifest line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +26,16 @@ pub struct ManifestEntry {
     pub path: String,
     /// Ad-hoc CTL formula; `None` checks the model's `SPEC` sections.
     pub formula: Option<String>,
+}
+
+/// A parsed manifest: the jobs plus any non-fatal warnings (duplicate
+/// lines) the caller should surface.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// The jobs, in manifest order (duplicates included).
+    pub entries: Vec<ManifestEntry>,
+    /// Human-readable warnings, one per suspicious line.
+    pub warnings: Vec<String>,
 }
 
 /// A malformed manifest, with the 1-based line it was rejected on.
@@ -39,32 +57,64 @@ impl std::error::Error for ManifestError {}
 
 /// Parses a manifest. Blank lines and `#` comments are skipped; an
 /// empty manifest is an error (a batch of zero jobs is a usage mistake,
-/// not a vacuous success).
+/// not a vacuous success); a line with embedded control characters is
+/// an error; duplicate `(path, formula)` lines are kept but warned
+/// about in [`Manifest::warnings`].
 ///
 /// # Errors
 ///
-/// [`ManifestError`] when no job lines remain after stripping comments.
-pub fn parse_manifest(text: &str) -> Result<Vec<ManifestEntry>, ManifestError> {
-    let mut entries = Vec::new();
-    for raw in text.lines() {
+/// [`ManifestError`] when no job lines remain after stripping comments,
+/// or a job line embeds a control character (CR, NUL, ...) in its path
+/// or formula.
+pub fn parse_manifest(text: &str) -> Result<Manifest, ManifestError> {
+    let mut manifest = Manifest::default();
+    let mut seen: std::collections::HashMap<(String, Option<String>), usize> =
+        std::collections::HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
+        }
+        // `str::lines` strips a trailing `\r` but keeps one embedded
+        // mid-line (and any other control byte); a path or formula
+        // containing one is never intentional.
+        if let Some(c) = line.chars().find(|c| c.is_control()) {
+            return Err(ManifestError {
+                line: lineno,
+                message: format!(
+                    "embedded control character U+{:04X} in job line (CRLF damage?)",
+                    c as u32
+                ),
+            });
         }
         let (path, rest) = match line.split_once(char::is_whitespace) {
             Some((p, r)) => (p, r.trim()),
             None => (line, ""),
         };
-        entries.push(ManifestEntry {
+        let entry = ManifestEntry {
             path: path.to_string(),
             formula: (!rest.is_empty()).then(|| rest.to_string()),
-        });
+        };
+        match seen.entry((entry.path.clone(), entry.formula.clone())) {
+            std::collections::hash_map::Entry::Occupied(first) => {
+                manifest.warnings.push(format!(
+                    "line {lineno}: duplicate job (same as line {}): {}",
+                    first.get(),
+                    entry.path
+                ));
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(lineno);
+            }
+        }
+        manifest.entries.push(entry);
     }
-    if entries.is_empty() {
+    if manifest.entries.is_empty() {
         return Err(ManifestError {
             line: 1,
             message: "no jobs (every line blank or comment)".to_string(),
         });
     }
-    Ok(entries)
+    Ok(manifest)
 }

@@ -82,7 +82,7 @@ pub fn run_batch(jobs: Vec<Job>, cfg: &EngineConfig) -> Vec<JobResult> {
     }
     let total = jobs.len();
     let workers = cfg.workers.clamp(1, total);
-    let cache = cfg.use_cache.then(ArtifactCache::new);
+    let cache = cfg.use_cache.then(|| cfg.build_cache());
     let queues = Queues {
         injector: Mutex::new(jobs.into_iter().enumerate().collect()),
         locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),

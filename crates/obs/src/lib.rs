@@ -53,7 +53,7 @@ pub use event::{Event, FixKind, SpanKind, SPAN_KINDS};
 pub use export::{export_chrome, export_speedscope};
 pub use json::Json;
 pub use ledger::{FamilyRecord, Ledger, PhaseRecord, RunRecord, LEDGER_SCHEMA_VERSION};
-pub use metrics::{Metrics, METRICS_SCHEMA_VERSION};
+pub use metrics::{metric_help, Metrics, METRICS_SCHEMA_VERSION};
 pub use profile::{report_from_jsonl, report_from_jsonl_with, ProfileAggregator};
 pub use progress::ProgressSink;
 pub use sink::{EventCtx, JsonlSink, Sink};

@@ -112,10 +112,31 @@ const HELP: &[(&str, &str)] = &[
     ("smc_batch_cache_hits_total", "Warm-start artifact cache hits."),
     ("smc_batch_cache_misses_total", "Warm-start artifact cache misses."),
     ("smc_batch_steals_total", "Jobs taken from another worker's queue."),
+    ("smc_batch_cache_evictions_total", "Warm-start artifacts evicted by the LRU size cap."),
+    (
+        "smc_batch_cache_corrupt_total",
+        "Persisted artifacts that failed verification and were deleted.",
+    ),
+    ("smc_serve_requests_total", "Serve requests executed, by outcome."),
+    ("smc_serve_request_wall_us", "Per-request execution wall time in microseconds."),
+    ("smc_serve_queue_depth", "Admitted requests waiting for a worker."),
+    ("smc_serve_in_flight", "Requests currently executing on serve workers."),
+    ("smc_serve_admitted_total", "Requests admitted to the serve queue."),
+    ("smc_serve_rejected_total", "Requests rejected at admission, by reason."),
+    ("smc_serve_drains_total", "Graceful drains completed."),
+    ("smc_serve_watchdog_trips_total", "In-flight jobs cancelled by the serve watchdog."),
+    ("smc_serve_quarantine_hits_total", "Requests refused because their source is quarantined."),
 ];
 
 fn help_for(name: &str) -> Option<&'static str> {
     HELP.iter().find(|(n, _)| *n == name).map(|(_, h)| *h)
+}
+
+/// The registered help string for a metric name, if the name is part of
+/// the stable vocabulary. Public so schema tests (and external tooling)
+/// can pin the vocabulary without scraping an exposition.
+pub fn metric_help(name: &str) -> Option<&'static str> {
+    help_for(name)
 }
 
 /// The metrics write handle. Disabled (the default) every method is a

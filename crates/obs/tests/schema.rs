@@ -145,6 +145,32 @@ fn optional_keys_default_when_absent() {
 }
 
 #[test]
+fn serve_metric_vocabulary_is_pinned() {
+    // The serve/cache robustness series are part of the published metric
+    // vocabulary: external scrape configs may reference these names, so
+    // each must keep a HELP entry. Renaming one is a schema change.
+    for name in [
+        "smc_serve_requests_total",
+        "smc_serve_request_wall_us",
+        "smc_serve_queue_depth",
+        "smc_serve_in_flight",
+        "smc_serve_admitted_total",
+        "smc_serve_rejected_total",
+        "smc_serve_drains_total",
+        "smc_serve_watchdog_trips_total",
+        "smc_serve_quarantine_hits_total",
+        "smc_batch_cache_evictions_total",
+        "smc_batch_cache_corrupt_total",
+    ] {
+        assert!(
+            smc_obs::metric_help(name).is_some(),
+            "metric {name} lost its HELP entry (vocabulary is append-only)"
+        );
+    }
+    assert!(smc_obs::metric_help("smc_serve_not_a_metric").is_none());
+}
+
+#[test]
 fn newer_schema_versions_are_rejected() {
     let line = format!(
         "{{\"v\":{},\"seq\":0,\"t_us\":0,\"kind\":\"witness_hop\",\"constraint\":0,\"ring\":0}}",

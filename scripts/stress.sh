@@ -15,6 +15,12 @@
 #      own governor (exit-3-style diagnostics per job), the fleet must
 #      report all jobs, and the process must exit 3 cleanly — no hang,
 #      no partial output, no poisoned worker.
+#   4. A serve drill: a 32-request burst (28 healthy counter8 checks
+#      interleaved with 4 oversized arbiter jobs under per-request
+#      quotas) against `smc serve --jobs 2`. Every request must get a
+#      response (in-band exhaustion or quarantine rejection — never a
+#      dropped line), the server must drain cleanly on shutdown, and
+#      the process must exit 3 (worst executed job), not crash.
 #
 # Usage: scripts/stress.sh
 set -eu
@@ -83,4 +89,49 @@ if [ "$trips" -ne 4 ]; then
   exit 1
 fi
 echo "all 4 jobs tripped their own governor and the fleet exited cleanly (ok)"
+
+echo "== serve drill: 32-request burst with poison models, clean drain =="
+REQS="$(mktemp "${TMPDIR:-/tmp}/smc_stress_serve.XXXXXX")"
+trap 'rm -f "$TMP" "$BIG" "$MANIFEST" "$REQS"' EXIT
+: > "$REQS"
+i=0
+while [ "$i" -lt 28 ]; do
+  printf '{"op":"check","id":"c%d","path":"models/counter8.smv"}\n' "$i" >> "$REQS"
+  i=$((i + 1))
+done
+# Four copies of the oversized arbiter under a per-request node quota
+# far below what it needs: each trips in-band (exhausted) until the
+# quarantine gate starts refusing the poisoned source outright.
+for i in 1 2 3 4; do
+  printf '{"op":"check","id":"p%d","path":"%s","node_limit":20000,"timeout_ms":2000}\n' \
+    "$i" "$BIG" >> "$REQS"
+done
+printf '{"op":"shutdown"}\n' >> "$REQS"
+set +e
+OUT="$(./target/release/smc serve --jobs 2 --max-queue 64 < "$REQS")"
+code=$?
+set -e
+if [ "$code" -ne 3 ]; then
+  echo "serve drill: expected exit 3 (worst executed job), got $code" >&2
+  printf '%s\n' "$OUT" >&2
+  exit 1
+fi
+answers="$(printf '%s\n' "$OUT" | grep -c '"op":"check"')"
+if [ "$answers" -ne 32 ]; then
+  echo "serve drill: expected 32 responses, got $answers" >&2
+  printf '%s\n' "$OUT" >&2
+  exit 1
+fi
+exhausted="$(printf '%s\n' "$OUT" | grep -c '"outcome":"exhausted"')"
+if [ "$exhausted" -lt 3 ]; then
+  echo "serve drill: expected >=3 in-band exhaustions, got $exhausted" >&2
+  printf '%s\n' "$OUT" >&2
+  exit 1
+fi
+printf '%s\n' "$OUT" | grep -q '"op":"drained"' || {
+  echo "serve drill: missing drained summary" >&2
+  printf '%s\n' "$OUT" >&2
+  exit 1
+}
+echo "all 32 requests answered ($exhausted exhausted in-band), server drained (ok)"
 echo "stress drill complete"

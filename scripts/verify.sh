@@ -26,6 +26,17 @@ out=$(./target/release/smc batch --jobs 1 "$m") || { echo "batch smoke failed"; 
 grep -q "1 cache hits" <<<"$out" || { echo "batch smoke: warm start missing: $out"; exit 1; }
 rm -f "$m"
 
+echo "== serve smoke (NDJSON over stdin, graceful drain) =="
+out=$(printf '%s\n' \
+    '{"op":"check","id":"a","path":"models/counter8.smv"}' \
+    '{"op":"check","id":"b","path":"models/mutex.smv"}' \
+    '{"op":"shutdown"}' \
+    | ./target/release/smc serve --jobs 2) || { echo "serve smoke failed"; exit 1; }
+[ "$(grep -c '"outcome":"pass"' <<<"$out")" -eq 2 ] \
+    || { echo "serve smoke: expected 2 passes: $out"; exit 1; }
+grep -q '"op":"drained","served":2,"rejected":0,"worst_exit":0' <<<"$out" \
+    || { echo "serve smoke: bad drained summary: $out"; exit 1; }
+
 echo "== lint goldens over bundled models =="
 # lint_demo.smv seeds one trigger per warning: exit 1, every code shown.
 out=$(./target/release/smc lint models/lint_demo.smv) && rc=0 || rc=$?

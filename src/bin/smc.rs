@@ -3,6 +3,7 @@
 //! ```text
 //! smc check  [--trace] [--lint] [--strategy restart|stayset] [COMMON] FILE.smv
 //! smc batch  [--jobs N] [--json] [--no-cache] [COMMON] MANIFEST
+//! smc serve  [--jobs N] [--listen ADDR] [--metrics-addr ADDR] ...  NDJSON service
 //! smc spec   [--lint] [COMMON] FILE.smv FORMULA   check one ad-hoc CTL formula
 //! smc lint   [--json] [COMMON] FILE.smv...        static + symbolic analysis
 //! smc reach  [COMMON] FILE.smv                    reachability statistics
@@ -54,6 +55,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     match command.as_str() {
         "check" => cmd_check(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "spec" => cmd_spec(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "reach" => cmd_reach(&args[1..]),
@@ -78,8 +80,13 @@ fn print_usage() {
 
 USAGE:
     smc check  [--trace] [--lint] [--strategy restart|stayset] [COMMON] FILE.smv
-    smc batch  [--jobs N] [--json] [--trace] [--no-cache]
-               [--strategy restart|stayset] [COMMON] MANIFEST
+    smc batch  [--jobs N] [--json] [--trace] [--no-cache] [--cache-dir DIR]
+               [--cache-cap N] [--strategy restart|stayset] [COMMON] MANIFEST
+    smc serve  [--jobs N] [--listen ADDR] [--metrics-addr ADDR]
+               [--max-queue N] [--quarantine-after N] [--watchdog SECS]
+               [--drain-timeout SECS] [--retry-after-ms N] [--cache-dir DIR]
+               [--cache-cap N] [--trace] [--no-cache]
+               [--strategy restart|stayset] [COMMON]
     smc spec   [--lint] [COMMON] FILE.smv FORMULA
     smc lint   [--json] [COMMON] FILE.smv...
     smc reach  [COMMON] FILE.smv
@@ -126,7 +133,25 @@ COMMANDS:
              disables it); results print in manifest order whatever
              the schedule; exit is the worst job outcome. --metrics
              adds fleet-level series (queue depth, jobs in flight,
-             cache traffic, per-job wall histogram)
+             cache traffic, per-job wall histogram); --cache-dir makes
+             the warm-start cache persistent (crash-safe writes,
+             checksum-verified loads, --cache-cap LRU entries)
+    serve    long-running checking service: NDJSON requests in (stdin,
+             or TCP with --listen), one NDJSON response per request
+             out. Ops: {{\"op\":\"check\",\"source\"|\"path\":..,
+             [\"spec\",\"trace\",\"timeout_ms\",\"node_limit\",
+             \"max_iters\",\"id\"]}}, {{\"op\":\"metrics\"}},
+             {{\"op\":\"shutdown\"}}. Admission control bounds queued +
+             in-flight work at --max-queue + --jobs (overflow answers
+             `rejected/overload` with a retry-after hint); per-request
+             quotas tighten against the COMMON budget caps; --watchdog
+             cancels jobs running past SECS; sources tripping the
+             governor --quarantine-after times in a row are refused
+             with their cached diagnostic; EOF or shutdown drains
+             gracefully (--drain-timeout caps the wait) and emits a
+             final `drained` summary. --metrics-addr serves the
+             Prometheus exposition over HTTP. Exit is the worst
+             executed-request outcome; rejections do not count
     spec     check one CTL formula against the model (atoms are boolean
              variables or spec labels); --lint as for check
     lint     run the multi-pass analyzer: syntactic checks (unused and
@@ -625,21 +650,9 @@ fn print_spec_results(specs: &[smc::engine::SpecResult]) {
     }
 }
 
-/// Minimal JSON string escaper for the batch report.
-fn json_esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// Minimal JSON string escaper for the batch report (the engine's wire
+/// escaper, shared with the serve protocol).
+use smc::engine::json_escape as json_esc;
 
 /// Schema version of the `smc batch --json` report.
 const BATCH_JSON_SCHEMA: u64 = 1;
@@ -651,46 +664,68 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut json = false;
     let mut trace = false;
     let mut no_cache = false;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut cache_cap: usize = smc::engine::DEFAULT_CACHE_CAP;
     let mut strategy = CycleStrategy::Restart;
-    let opts = parse_common(args, |args, i| {
-        match args[*i].as_str() {
-            "--jobs" => {
-                *i += 1;
-                let v = args.get(*i).ok_or("--jobs expects a number")?;
-                workers = v
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| format!("--jobs expects a positive number, got {v:?}"))?;
-            }
-            "--json" => json = true,
-            "--trace" => trace = true,
-            "--no-cache" => no_cache = true,
-            "--strategy" => {
-                *i += 1;
-                match args.get(*i).map(String::as_str) {
-                    Some("restart") => strategy = CycleStrategy::Restart,
-                    Some("stayset") => strategy = CycleStrategy::StaySet,
-                    other => {
-                        return Err(format!(
-                            "--strategy expects 'restart' or 'stayset', got {other:?}"
-                        ))
+    let opts =
+        parse_common(args, |args, i| {
+            match args[*i].as_str() {
+                "--jobs" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--jobs expects a number")?;
+                    workers =
+                        v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--jobs expects a positive number, got {v:?}")
+                        })?;
+                }
+                "--json" => json = true,
+                "--trace" => trace = true,
+                "--no-cache" => no_cache = true,
+                "--cache-dir" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--cache-dir expects a directory")?;
+                    cache_dir = Some(std::path::PathBuf::from(v));
+                }
+                "--cache-cap" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--cache-cap expects a number")?;
+                    cache_cap = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--cache-cap expects a positive number, got {v:?}")
+                    })?;
+                }
+                "--strategy" => {
+                    *i += 1;
+                    match args.get(*i).map(String::as_str) {
+                        Some("restart") => strategy = CycleStrategy::Restart,
+                        Some("stayset") => strategy = CycleStrategy::StaySet,
+                        other => {
+                            return Err(format!(
+                                "--strategy expects 'restart' or 'stayset', got {other:?}"
+                            ))
+                        }
                     }
                 }
+                _ => return Ok(false),
             }
-            _ => return Ok(false),
-        }
-        Ok(true)
-    })?;
+            Ok(true)
+        })?;
     let [manifest_path] = &opts.positionals[..] else {
         return Err(
             "usage: smc batch [--jobs N] [--json] [--trace] [--no-cache] [COMMON] MANIFEST".into(),
         );
     };
     let session = TeleSession::new(&opts)?;
+    if let Some(dir) = &cache_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+    }
     let text = std::fs::read_to_string(manifest_path)
         .map_err(|e| format!("cannot read {manifest_path:?}: {e}"))?;
-    let entries = smc::engine::parse_manifest(&text)?;
+    let manifest = smc::engine::parse_manifest(&text)?;
+    for w in &manifest.warnings {
+        eprintln!("warning: manifest {w}");
+    }
+    let entries = manifest.entries;
 
     // Jobs whose model file reads cleanly go to the engine; unreadable
     // entries are reported in place with the exit-2 class.
@@ -722,6 +757,8 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         cancel: None,
         strategy,
         metrics: session.metrics.clone(),
+        cache_dir,
+        cache_cap,
     };
     let results = run_batch(jobs, &cfg);
     for result in results {
@@ -762,46 +799,8 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     json_esc(message)
                 )),
                 BatchLine::Ran(r) => {
-                    out.push_str(&format!(
-                        "{{\"name\":\"{}\",\"outcome\":\"{}\",\"exit_class\":{},\"wall_us\":{},\"cache_hit\":{},\"reach_iters\":{},\"cache_lookups\":{},\"created_nodes\":{}",
-                        json_esc(&r.name),
-                        r.outcome.label(),
-                        r.outcome.exit_class(),
-                        r.wall_us,
-                        r.cache_hit,
-                        r.reach_iters,
-                        r.cache_lookups,
-                        r.created_nodes
-                    ));
-                    let specs = match &r.outcome {
-                        JobOutcome::Checked { specs } => Some(specs),
-                        JobOutcome::Exhausted { decided, .. } => Some(decided),
-                        _ => None,
-                    };
-                    if let Some(specs) = specs {
-                        out.push_str(",\"specs\":[");
-                        for (j, s) in specs.iter().enumerate() {
-                            if j > 0 {
-                                out.push(',');
-                            }
-                            out.push_str(&format!(
-                                "{{\"formula\":\"{}\",\"holds\":{}}}",
-                                json_esc(&s.formula),
-                                s.holds
-                            ));
-                        }
-                        out.push(']');
-                    }
-                    if let JobOutcome::Exhausted { phase, reason, .. } = &r.outcome {
-                        out.push_str(&format!(
-                            ",\"phase\":\"{}\",\"reason\":\"{}\"",
-                            json_esc(phase),
-                            json_esc(reason)
-                        ));
-                    }
-                    if let JobOutcome::InputError { message } = &r.outcome {
-                        out.push_str(&format!(",\"error\":\"{}\"", json_esc(message)));
-                    }
+                    out.push('{');
+                    out.push_str(&smc::engine::job_json_fields(r));
                     out.push('}');
                 }
             }
@@ -838,6 +837,170 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             entries.len()
         );
     }
+    session.finish();
+    Ok(ExitCode::from(worst))
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use smc::engine::{serve, serve_tcp, spawn_metrics_endpoint, EngineConfig, ServerConfig};
+
+    fn secs(name: &str, v: Option<&String>) -> Result<Duration, String> {
+        let v = v.ok_or_else(|| format!("{name} expects seconds"))?;
+        v.parse::<f64>()
+            .ok()
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .map(Duration::from_secs_f64)
+            .ok_or_else(|| format!("{name} expects positive seconds, got {v:?}"))
+    }
+
+    let mut workers: usize = 1;
+    let mut listen: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut max_queue: usize = 64;
+    let mut quarantine_after: u32 = 3;
+    let mut watchdog: Option<Duration> = None;
+    let mut drain_timeout: Option<Duration> = None;
+    let mut retry_after_ms: u64 = 250;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut cache_cap: usize = smc::engine::DEFAULT_CACHE_CAP;
+    let mut trace = false;
+    let mut no_cache = false;
+    let mut strategy = CycleStrategy::Restart;
+    let opts =
+        parse_common(args, |args, i| {
+            match args[*i].as_str() {
+                "--jobs" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--jobs expects a number")?;
+                    workers =
+                        v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--jobs expects a positive number, got {v:?}")
+                        })?;
+                }
+                "--listen" => {
+                    *i += 1;
+                    listen = Some(args.get(*i).ok_or("--listen expects an address")?.clone());
+                }
+                "--metrics-addr" => {
+                    *i += 1;
+                    metrics_addr =
+                        Some(args.get(*i).ok_or("--metrics-addr expects an address")?.clone());
+                }
+                "--max-queue" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--max-queue expects a number")?;
+                    max_queue = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("--max-queue expects a number, got {v:?}"))?;
+                }
+                "--quarantine-after" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--quarantine-after expects a number")?;
+                    quarantine_after = v
+                        .parse::<u32>()
+                        .map_err(|_| format!("--quarantine-after expects a number, got {v:?}"))?;
+                }
+                "--watchdog" => {
+                    *i += 1;
+                    watchdog = Some(secs("--watchdog", args.get(*i))?);
+                }
+                "--drain-timeout" => {
+                    *i += 1;
+                    drain_timeout = Some(secs("--drain-timeout", args.get(*i))?);
+                }
+                "--retry-after-ms" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--retry-after-ms expects a number")?;
+                    retry_after_ms = v
+                        .parse::<u64>()
+                        .map_err(|_| format!("--retry-after-ms expects a number, got {v:?}"))?;
+                }
+                "--cache-dir" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--cache-dir expects a directory")?;
+                    cache_dir = Some(std::path::PathBuf::from(v));
+                }
+                "--cache-cap" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--cache-cap expects a number")?;
+                    cache_cap = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--cache-cap expects a positive number, got {v:?}")
+                    })?;
+                }
+                "--trace" => trace = true,
+                "--no-cache" => no_cache = true,
+                "--strategy" => {
+                    *i += 1;
+                    match args.get(*i).map(String::as_str) {
+                        Some("restart") => strategy = CycleStrategy::Restart,
+                        Some("stayset") => strategy = CycleStrategy::StaySet,
+                        other => {
+                            return Err(format!(
+                                "--strategy expects 'restart' or 'stayset', got {other:?}"
+                            ))
+                        }
+                    }
+                }
+                _ => return Ok(false),
+            }
+            Ok(true)
+        })?;
+    if !opts.positionals.is_empty() {
+        return Err(format!(
+            "smc serve takes no positional arguments, got {:?} (requests arrive as NDJSON on stdin or --listen)",
+            opts.positionals[0]
+        )
+        .into());
+    }
+    let session = TeleSession::new(&opts)?;
+    // The service always runs a live registry: {"op":"metrics"} and
+    // --metrics-addr must see real numbers whether or not the final
+    // --metrics exposition was requested.
+    let metrics = if session.metrics.enabled() { session.metrics.clone() } else { Metrics::new() };
+    if let Some(dir) = &cache_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+    }
+    let engine = EngineConfig {
+        workers,
+        want_trace: trace,
+        use_cache: !no_cache,
+        timeout: opts.budget.timeout_secs.map(Duration::from_secs),
+        node_limit: opts.budget.node_limit,
+        max_iters: opts.budget.max_iters,
+        cancel: None,
+        strategy,
+        metrics: metrics.clone(),
+        cache_dir,
+        cache_cap,
+    };
+    let cfg = ServerConfig {
+        engine,
+        max_queue,
+        quarantine_after,
+        watchdog,
+        drain_timeout,
+        retry_after_ms,
+    };
+    if let Some(addr) = &metrics_addr {
+        let bound = spawn_metrics_endpoint(addr, metrics.clone())
+            .map_err(|e| format!("cannot bind metrics endpoint {addr:?}: {e}"))?;
+        // stdout is the protocol channel; operator chatter goes to stderr.
+        eprintln!("smc serve: metrics endpoint on http://{bound}/");
+    }
+    let worst = match &listen {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+            eprintln!("smc serve: listening on {}", listener.local_addr()?);
+            serve_tcp(listener, &cfg)?
+        }
+        None => {
+            let out: smc::engine::Responder =
+                std::sync::Arc::new(std::sync::Mutex::new(std::io::stdout()));
+            serve(std::io::stdin().lock(), out, &cfg)
+        }
+    };
     session.finish();
     Ok(ExitCode::from(worst))
 }

@@ -1,0 +1,217 @@
+//! End-to-end tests for `smc serve`: golden NDJSON round trips over
+//! stdin (pass/fail, input errors, exhaustion, overload shedding,
+//! shutdown), the worst-of exit code, and verdict/trace consistency
+//! with the serial `smc check`.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn smc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("smc_serve_test_{name}_{}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+/// A free boolean whose `AF x` fails with a lasso counterexample.
+const FREEBIT: &str = "MODULE main\nVAR x : boolean;\nSPEC AF x\n";
+
+/// A 2-bit counter whose specs all hold — a pure pass job.
+const COUNTER: &str = "MODULE main\nVAR b0 : boolean; b1 : boolean;\nASSIGN\n  \
+                       init(b0) := FALSE; init(b1) := FALSE;\n  next(b0) := !b0;\n  \
+                       next(b1) := (b0 & !b1) | (!b0 & b1);\nSPEC AG (EF (b0 & b1))\nSPEC AF b0\n";
+
+/// JSON-escapes a model source for embedding in a request line.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n").replace('\t', "\\t")
+}
+
+/// Runs `smc serve <args>` feeding `requests` on stdin (EOF after the
+/// last line), returning (exit code, stdout lines).
+fn serve(args: &[&str], requests: &[String]) -> (i32, Vec<String>) {
+    let mut child = smc()
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn smc serve");
+    {
+        let stdin = child.stdin.as_mut().expect("child stdin");
+        for line in requests {
+            writeln!(stdin, "{line}").expect("write request");
+        }
+    } // drop -> EOF -> graceful drain
+    let out = child.wait_with_output().expect("serve exits");
+    let stdout = String::from_utf8_lossy(&out.stdout).lines().map(str::to_string).collect();
+    (out.status.code().expect("exit code"), stdout)
+}
+
+#[test]
+fn golden_round_trip_pass_fail_and_drain_on_eof() {
+    let (code, lines) = serve(
+        &[],
+        &[
+            format!(r#"{{"op":"check","id":"ok","source":"{}"}}"#, esc(COUNTER)),
+            format!(r#"{{"op":"check","id":"bad","source":"{}"}}"#, esc(FREEBIT)),
+        ],
+    );
+    assert_eq!(lines.len(), 3, "two responses + drained summary: {lines:?}");
+    // Golden head: schema, per-server sequence, echoed id, batch-shaped
+    // job fields.
+    assert!(
+        lines[0].starts_with(r#"{"schema":1,"seq":0,"id":"ok","op":"check","name":"ok","outcome":"pass","exit_class":0,"#),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[1].starts_with(r#"{"schema":1,"seq":1,"id":"bad","op":"check","name":"bad","outcome":"fail","exit_class":1,"#),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[1].contains(r#""specs":[{"formula":""#), "{}", lines[1]);
+    assert!(lines[1].contains(r#""holds":false"#), "{}", lines[1]);
+    assert!(
+        lines[2]
+            .starts_with(r#"{"schema":1,"op":"drained","served":2,"rejected":0,"worst_exit":1"#),
+        "{}",
+        lines[2]
+    );
+    assert_eq!(code, 1, "worst executed request is the failing spec");
+}
+
+#[test]
+fn input_errors_answer_in_band_with_exit_class_2() {
+    let (code, lines) = serve(
+        &[],
+        &[
+            r#"{"op":"check","id":"syntax","source":"MODULE main\nVAR x : bool"}"#.to_string(),
+            r#"{"op":"check","id":"io","path":"/nonexistent/serve-model.smv"}"#.to_string(),
+        ],
+    );
+    // The unreadable path answers from the admission thread while the
+    // syntax job runs on a worker, so the two responses may arrive in
+    // either order — find them by id.
+    let by_id = |id: &str| {
+        lines
+            .iter()
+            .find(|l| l.contains(&format!(r#""id":"{id}""#)))
+            .unwrap_or_else(|| panic!("no response for {id}: {lines:?}"))
+    };
+    assert!(by_id("syntax").contains(r#""outcome":"input_error","exit_class":2"#), "{lines:?}");
+    assert!(by_id("io").contains(r#""outcome":"input_error","exit_class":2"#), "{lines:?}");
+    assert!(by_id("io").contains("cannot read"), "{lines:?}");
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn exhaustion_and_shutdown_op_round_trip() {
+    let (code, lines) = serve(
+        &["--quarantine-after", "0"],
+        &[
+            format!(r#"{{"op":"check","id":"tight","source":"{}","max_iters":1}}"#, esc(COUNTER)),
+            r#"{"op":"shutdown"}"#.to_string(),
+        ],
+    );
+    // The shutdown ack comes from the reader thread and may precede the
+    // worker's exhausted response — find each line by content.
+    let tight = lines
+        .iter()
+        .find(|l| l.contains(r#""id":"tight""#))
+        .unwrap_or_else(|| panic!("no response for tight: {lines:?}"));
+    assert!(
+        tight.contains(r#""outcome":"exhausted","exit_class":3"#),
+        "per-request quota trips in-band: {tight}"
+    );
+    assert!(tight.contains(r#""phase":"#), "{tight}");
+    let shutdown = lines.iter().find(|l| l.contains(r#""op":"shutdown""#)).expect("shutdown ack");
+    assert!(shutdown.contains(r#""draining":true"#), "{shutdown}");
+    assert!(lines.last().expect("lines").contains(r#""op":"drained""#));
+    assert_eq!(code, 3);
+}
+
+#[test]
+fn overload_sheds_with_a_retry_hint_and_clean_exit() {
+    let (code, lines) = serve(
+        &["--jobs", "1", "--max-queue", "0", "--retry-after-ms", "42"],
+        &[
+            format!(r#"{{"op":"check","id":"slow","source":"{}","hold_ms":400}}"#, esc(COUNTER)),
+            format!(r#"{{"op":"check","id":"shed","source":"{}"}}"#, esc(COUNTER)),
+        ],
+    );
+    // The rejection goes out while "slow" still holds the only worker.
+    assert!(
+        lines[0].contains(r#""id":"shed","op":"check","outcome":"rejected","reason":"overload","retry_after_ms":42"#),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[1].contains(r#""id":"slow""#) && lines[1].contains(r#""outcome":"pass""#));
+    assert!(lines[2].contains(r#""served":1,"rejected":1"#), "{}", lines[2]);
+    assert_eq!(code, 0, "shedding load is flow control, not a failure");
+}
+
+#[test]
+fn serve_traces_match_the_serial_checker() {
+    let model = write_temp("trace_model", FREEBIT);
+    let check = smc().args(["check", "--trace"]).arg(&model).output().expect("smc check runs");
+    assert_eq!(check.status.code(), Some(1));
+    let check_out = String::from_utf8_lossy(&check.stdout).into_owned();
+
+    let (code, lines) = serve(
+        &[],
+        &[format!(
+            r#"{{"op":"check","path":"{}","trace":true}}"#,
+            esc(&model.display().to_string())
+        )],
+    );
+    assert_eq!(code, 1);
+    assert!(lines[0].contains(r#""trace":{"loopback":"#), "{}", lines[0]);
+    // Every rendered state line of the serial checker appears verbatim
+    // (JSON-escaped) in the served trace.
+    let mut states = 0;
+    for line in check_out.lines() {
+        if let Some((_, state)) = line.split_once(": ") {
+            if line.starts_with("state ") {
+                assert!(lines[0].contains(&esc(state)), "state {state:?} missing: {}", lines[0]);
+                states += 1;
+            }
+        }
+    }
+    assert!(states > 0, "the serial run rendered at least one state: {check_out}");
+    // And the verdict survives a warm repeat: run the same request again
+    // in a fresh server; responses must agree field-for-field.
+    let (code2, lines2) = serve(
+        &[],
+        &[format!(
+            r#"{{"op":"check","path":"{}","trace":true}}"#,
+            esc(&model.display().to_string())
+        )],
+    );
+    assert_eq!(code2, 1);
+    let specs = |s: &str| s[s.find(r#""specs":"#).expect("specs")..].to_string();
+    assert_eq!(specs(&lines[0]), specs(&lines2[0]), "verdict+trace are reproducible");
+    std::fs::remove_file(model).ok();
+}
+
+#[test]
+fn bad_requests_are_rejected_without_killing_the_server() {
+    let (code, lines) = serve(
+        &[],
+        &[
+            "not json at all".to_string(),
+            r#"{"op":"evaporate"}"#.to_string(),
+            r#"{"op":"check"}"#.to_string(),
+            format!(r#"{{"op":"check","source":"{}"}}"#, esc(COUNTER)),
+        ],
+    );
+    for line in &lines[..3] {
+        assert!(line.contains(r#""outcome":"rejected","reason":"bad_request""#), "{line}");
+    }
+    assert!(lines[3].contains(r#""outcome":"pass""#), "server survives garbage: {}", lines[3]);
+    assert_eq!(code, 0, "bad requests are rejections, not failures");
+}
