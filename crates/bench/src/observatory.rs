@@ -48,6 +48,12 @@ pub struct BenchConfig {
     /// writer) to every benchmarked manager, measuring the worst-case
     /// enabled path instead of the disabled default.
     pub telemetry: bool,
+    /// Attach a flight-recorder ring (the `smc serve` black-box
+    /// capture) to every benchmarked manager, so the recorder's
+    /// overhead over the disabled default can be gated. Composes with
+    /// `telemetry`; the batch family runs its jobs with the engine's
+    /// per-job recorder instead.
+    pub recorder: bool,
     /// Families to run; empty means [`ALL_FAMILIES`].
     pub families: Vec<String>,
     /// Test hook: inflate every measured wall time by this percentage
@@ -61,6 +67,7 @@ impl Default for BenchConfig {
         BenchConfig {
             repetitions: 5,
             telemetry: false,
+            recorder: false,
             families: Vec::new(),
             inject_slowdown_pct: 0.0,
         }
@@ -108,7 +115,7 @@ pub fn run(config: &BenchConfig) -> Result<Vec<FamilyRecord>, String> {
         let mut times = Vec::with_capacity(reps as usize);
         let mut counters = Vec::new();
         for _ in 0..reps {
-            let (t, c) = run_family_once(name, config.telemetry)?;
+            let (t, c) = run_family_once(name, config)?;
             times.push(t);
             counters = c;
         }
@@ -154,11 +161,14 @@ fn batch_jobs() -> Vec<smc_engine::Job> {
 }
 
 /// One timed pass of the 16-job manifest on `workers` workers, caching
-/// off so every job does its full, deterministic amount of work.
-fn timed_batch(workers: usize) -> (f64, Vec<smc_engine::JobResult>) {
+/// off so every job does its full, deterministic amount of work. With
+/// `recorder` on, every job carries the serve-default flight-recorder
+/// ring, so the batch walls measure the recorder's capture overhead.
+fn timed_batch(workers: usize, recorder: bool) -> (f64, Vec<smc_engine::JobResult>) {
     let cfg = smc_engine::EngineConfig {
         workers,
         use_cache: false,
+        recorder_cap: if recorder { smc_obs::DEFAULT_RECORDER_CAP } else { 0 },
         ..smc_engine::EngineConfig::default()
     };
     let t = Instant::now();
@@ -178,8 +188,8 @@ fn run_batch_family(reps: u64, config: &BenchConfig) -> Result<FamilyRecord, Str
     let mut walls4 = Vec::with_capacity(reps as usize);
     let mut counters = Vec::new();
     for _ in 0..reps {
-        let (w1, r1) = timed_batch(1);
-        let (w4, r4) = timed_batch(4);
+        let (w1, r1) = timed_batch(1, config.recorder);
+        let (w4, r4) = timed_batch(4, config.recorder);
         if r1.len() != BATCH_JOBS || r4.len() != BATCH_JOBS {
             return Err(format!("batch: expected {BATCH_JOBS} results"));
         }
@@ -227,12 +237,16 @@ fn run_batch_family(reps: u64, config: &BenchConfig) -> Result<FamilyRecord, Str
 
 /// One repetition of one family: a fresh model, the four timed phases,
 /// and the end-of-run counter snapshot.
-fn run_family_once(name: &str, telemetry: bool) -> Result<(RepTimes, Vec<(String, u64)>), String> {
+fn run_family_once(
+    name: &str,
+    config: &BenchConfig,
+) -> Result<(RepTimes, Vec<(String, u64)>), String> {
+    let instrumented = config.telemetry || config.recorder;
     let mut times = RepTimes::default();
     let model = match name {
         "mutex" | "arbiter2" => {
             let source = if name == "mutex" { MUTEX_SMV } else { ARBITER2_SMV };
-            let tele = if telemetry { null_telemetry() } else { Telemetry::disabled() };
+            let tele = if instrumented { bench_telemetry(config) } else { Telemetry::disabled() };
             let t0 = Instant::now();
             let compiled =
                 smc_smv::compile_with(source, None, tele).map_err(|e| format!("{name}: {e}"))?;
@@ -261,8 +275,8 @@ fn run_family_once(name: &str, telemetry: bool) -> Result<(RepTimes, Vec<(String
                 inverter_ring(9).build(FairnessMode::PerGate).map_err(|e| format!("{name}: {e}"))?
             };
             times.compile = t0.elapsed().as_secs_f64();
-            if telemetry {
-                model.manager_mut().set_telemetry(null_telemetry());
+            if instrumented {
+                model.manager_mut().set_telemetry(bench_telemetry(config));
             }
             let spec = if name == "seitz" {
                 ctl::parse("AG (tr1 -> AF ta1)").map_err(|e| format!("{name}: {e}"))?
@@ -297,12 +311,20 @@ fn timed_reach(model: &mut SymbolicModel, name: &str) -> Result<f64, String> {
     Ok(t.elapsed().as_secs_f64())
 }
 
-/// A live telemetry handle whose trace lines go to a null writer: the
-/// full serialization cost is paid, nothing is kept — the worst-case
-/// enabled configuration the overhead budget is measured against.
-fn null_telemetry() -> Telemetry {
+/// A live telemetry handle carrying the configured instrumentation:
+/// with `telemetry`, a JSON-lines sink into a null writer (the full
+/// serialization cost is paid, nothing is kept — the worst-case
+/// enabled configuration the overhead budget is measured against);
+/// with `recorder`, a serve-default flight-recorder ring (the
+/// always-on black-box capture whose overhead the stress gate bounds).
+fn bench_telemetry(config: &BenchConfig) -> Telemetry {
     let tele = Telemetry::new();
-    tele.add_sink(Box::new(smc_obs::JsonlSink::new(std::io::sink())));
+    if config.telemetry {
+        tele.add_sink(Box::new(smc_obs::JsonlSink::new(std::io::sink())));
+    }
+    if config.recorder {
+        tele.add_sink(Box::new(smc_obs::Recorder::new(smc_obs::DEFAULT_RECORDER_CAP)));
+    }
     tele
 }
 

@@ -194,4 +194,55 @@ proptest! {
         prop_assert_eq!(got, want, "telemetry perturbed {} (fair={})", formula, fair);
         prop_assert!(!events.lock().expect("recorder lock").is_empty(), "no events for {}", formula);
     }
+
+    /// Property: the bounded flight-recorder ring with a trace tag set
+    /// — the exact configuration `smc serve` runs every job under — is
+    /// as pure an observer as the unbounded sink above, at any ring
+    /// capacity: same verdicts, same EU ring node ids, same traces.
+    /// Every event the ring keeps carries the tag, and the ring never
+    /// holds more than its capacity.
+    #[test]
+    fn prop_flight_recorder_and_trace_tags_never_perturb_results(
+        formula_idx in 0usize..6,
+        fair in any::<bool>(),
+        cap in 1usize..48,
+    ) {
+        let formula = [
+            "AG (AF x)",
+            "AG x",
+            "EF x",
+            "EG true",
+            "E [!x U x]",
+            "AG (x -> EF !x)",
+        ][formula_idx];
+        let want = reference(formula, fair);
+
+        let mut observed = free_or_toggle(fair);
+        let ring = smc_obs::Recorder::new(cap);
+        let tele = Telemetry::new();
+        tele.set_trace("prop-drill", 7);
+        tele.add_sink(Box::new(ring.clone()));
+        observed.manager_mut().set_telemetry(tele);
+        let got = run_once(&mut observed, formula);
+
+        prop_assert_eq!(got, want, "recorder perturbed {} (fair={}, cap={})", formula, fair, cap);
+        prop_assert!(ring.captured() > 0, "ring saw no events for {}", formula);
+
+        let dump = ring.dump_jsonl(&smc_obs::DumpMeta {
+            trace_id: "prop-drill",
+            job: "prop",
+            worker: 7,
+            reason: "purity drill",
+        });
+        let body: Vec<_> = dump.lines().skip(1).collect();
+        prop_assert!(body.len() <= cap, "ring of {} kept {} events", cap, body.len());
+        for line in body {
+            let (ctx, _) = Event::from_json_line(line)
+                .ok_or_else(|| TestCaseError::fail(format!("unparseable dump line: {line}")))?;
+            let tag = ctx.trace
+                .ok_or_else(|| TestCaseError::fail(format!("untagged dump line: {line}")))?;
+            prop_assert_eq!(&*tag.trace_id, "prop-drill");
+            prop_assert_eq!(tag.worker, 7);
+        }
+    }
 }

@@ -54,7 +54,7 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 pub const DEFAULT_CACHE_CAP: usize = 256;
 
 /// Folds `bytes` into a running FNV-1a 64-bit hash.
-fn fnv_update(mut hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv_update(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
     }

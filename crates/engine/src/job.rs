@@ -13,12 +13,21 @@ use std::time::{Duration, Instant};
 use smc_bdd::{BddError, Budget, CancelToken};
 use smc_checker::{CheckError, Checker, CycleStrategy, Phase};
 use smc_kripke::KripkeError;
-use smc_obs::{Event, EventCtx, FixKind, Metrics, Sink, Telemetry};
+use smc_obs::{Event, EventCtx, FixKind, Metrics, Recorder, Sink, Telemetry};
 use smc_smv::{
     compile_module_with_options, flatten, parse, CompileOptions, CompiledModel, Module, SmvError,
 };
 
-use crate::cache::{source_key, Artifact, ArtifactCache, DEFAULT_CACHE_CAP};
+use crate::cache::{fnv_update, source_key, Artifact, ArtifactCache, DEFAULT_CACHE_CAP};
+
+/// Derives the deterministic trace id a job gets when the client did
+/// not supply one: an FNV-1a fold of the sequence number over the
+/// source content key, rendered as 16 hex digits. Depends only on
+/// (source, seq) — two runs of the same manifest assign identical ids,
+/// whatever the worker count or schedule.
+pub fn derive_trace_id(source_key: u64, seq: u64) -> String {
+    format!("{:016x}", fnv_update(source_key, &seq.to_le_bytes()))
+}
 
 /// One unit of work: a model source and what to check in it.
 #[derive(Debug, Clone)]
@@ -61,6 +70,10 @@ pub struct EngineConfig {
     pub cache_dir: Option<std::path::PathBuf>,
     /// LRU capacity (distinct artifacts) of the warm-start cache.
     pub cache_cap: usize,
+    /// Flight-recorder ring capacity (events) attached to every job;
+    /// `0` disables recording. The recorder is an ordinary telemetry
+    /// sink, so it cannot perturb verdicts (pinned by the purity tests).
+    pub recorder_cap: usize,
     /// Deterministic fault plan injected into every job's manager after
     /// compile — the recovery-drill hook for the service tests. Only
     /// compiled for tests or under the `fault-injection` feature.
@@ -82,6 +95,7 @@ impl Default for EngineConfig {
             metrics: Metrics::disabled(),
             cache_dir: None,
             cache_cap: DEFAULT_CACHE_CAP,
+            recorder_cap: 0,
             #[cfg(any(test, feature = "fault-injection"))]
             fault_plan: None,
         }
@@ -222,6 +236,10 @@ pub struct JobResult {
     pub index: usize,
     /// The job's display name.
     pub name: String,
+    /// The job's trace id: client-supplied in serve use, derived from
+    /// the source key + batch index otherwise. The correlation key tying
+    /// this result line to trace events, dumps and status snapshots.
+    pub trace_id: String,
     /// How it ended.
     pub outcome: JobOutcome,
     /// Wall time of the job body, microseconds.
@@ -322,20 +340,40 @@ fn compile_job(
     Ok((compiled, false))
 }
 
+/// Request-scoped execution context a worker hands to the job body: the
+/// trace id stamped into every telemetry event, the worker slot the job
+/// runs on, and (when flight recording is enabled) the recorder ring to
+/// attach as a sink.
+pub(crate) struct TraceCtx<'a> {
+    /// Trace id stamped into every event and echoed in the result.
+    pub trace_id: &'a str,
+    /// Worker slot the job runs on.
+    pub worker: u64,
+    /// Flight recorder to attach, when recording is on.
+    pub recorder: Option<&'a Recorder>,
+}
+
 /// Runs one job start to finish on the calling (worker) thread, with
-/// the pool's per-job budget and trace policy.
+/// the pool's per-job budget and trace policy. `worker` is the slot the
+/// calling thread owns; the trace id is derived from the source content
+/// key and the batch index, so it is schedule-independent.
 pub(crate) fn run_job(
     index: usize,
     job: &Job,
     cfg: &EngineConfig,
     cache: Option<&ArtifactCache>,
+    worker: u64,
 ) -> JobResult {
-    run_job_with(index, job, cfg, cache, cfg.job_budget(), cfg.want_trace)
+    let trace_id = derive_trace_id(source_key(&job.source), index as u64);
+    let recorder = (cfg.recorder_cap > 0).then(|| Recorder::new(cfg.recorder_cap));
+    let ctx = TraceCtx { trace_id: &trace_id, worker, recorder: recorder.as_ref() };
+    run_job_with(index, job, cfg, cache, cfg.job_budget(), cfg.want_trace, &ctx)
 }
 
-/// Runs one job with an explicit budget and trace policy — the entry
-/// point the server uses to layer per-request quotas and a per-request
-/// cancel token over the pool configuration.
+/// Runs one job with an explicit budget, trace policy and request
+/// context — the entry point the server uses to layer per-request
+/// quotas, a per-request cancel token and its per-slot flight recorder
+/// over the pool configuration.
 pub(crate) fn run_job_with(
     index: usize,
     job: &Job,
@@ -343,11 +381,17 @@ pub(crate) fn run_job_with(
     cache: Option<&ArtifactCache>,
     budget: Option<Budget>,
     want_trace: bool,
+    ctx: &TraceCtx<'_>,
 ) -> JobResult {
     let start = Instant::now();
     let reach_iters = Arc::new(AtomicU64::new(0));
     let tele = Telemetry::new();
+    tele.set_trace(ctx.trace_id, ctx.worker);
     tele.add_sink(Box::new(ReachCounter(Arc::clone(&reach_iters))));
+    let recorder_before = ctx.recorder.map(|r| (r.captured(), r.dropped()));
+    if let Some(rec) = ctx.recorder {
+        tele.add_sink(Box::new(rec.clone()));
+    }
 
     let mut cache_hit = false;
     let mut counters = (0u64, 0u64);
@@ -365,9 +409,24 @@ pub(crate) fn run_job_with(
             outcome
         }
     };
+    // Fold this job's recorder traffic into the fleet series (deltas,
+    // so a server-owned recorder shared across jobs counts each once).
+    if let (Some(rec), Some((cap0, drop0))) = (ctx.recorder, recorder_before) {
+        cfg.metrics.counter_add(
+            "smc_recorder_events_total",
+            &[],
+            rec.captured().saturating_sub(cap0),
+        );
+        cfg.metrics.counter_add(
+            "smc_recorder_dropped_total",
+            &[],
+            rec.dropped().saturating_sub(drop0),
+        );
+    }
     JobResult {
         index,
         name: job.name.clone(),
+        trace_id: ctx.trace_id.to_string(),
         outcome,
         wall_us: start.elapsed().as_micros() as u64,
         cache_hit,

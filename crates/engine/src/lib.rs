@@ -49,12 +49,15 @@ mod server;
 mod wire;
 
 pub use cache::{source_key, ArtifactCache, DEFAULT_CACHE_CAP};
-pub use job::{worst_exit, EngineConfig, Job, JobOutcome, JobResult, RenderedTrace, SpecResult};
+pub use job::{
+    derive_trace_id, worst_exit, EngineConfig, Job, JobOutcome, JobResult, RenderedTrace,
+    SpecResult,
+};
 pub use manifest::{parse_manifest, Manifest, ManifestEntry, ManifestError};
 pub use pool::run_batch;
 pub use server::{
     parse_request, serve, serve_tcp, spawn_metrics_endpoint, CheckRequest, Request, Responder,
-    ServerConfig, SERVE_SCHEMA,
+    ServerConfig, StatusBoard, DEFAULT_DUMP_CAP, SERVE_SCHEMA,
 };
 pub use wire::{job_json_fields, json_escape};
 
@@ -72,6 +75,8 @@ mod send_assertions {
         assert_send::<crate::ArtifactCache>();
         assert_sync::<crate::ArtifactCache>();
         assert_sync::<crate::EngineConfig>();
+        assert_send::<crate::StatusBoard>();
+        assert_sync::<crate::StatusBoard>();
     }
 }
 

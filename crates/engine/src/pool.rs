@@ -125,7 +125,7 @@ fn worker_loop(
             cfg.metrics.counter_add("smc_batch_steals_total", &[], 1);
         }
 
-        let result = run_job(index, &job, cfg, cache);
+        let result = run_job(index, &job, cfg, cache, w as u64);
 
         cfg.metrics.counter_add("smc_batch_jobs_total", &[("outcome", result.outcome.label())], 1);
         cfg.metrics.observe("smc_batch_job_wall_us", &[], result.wall_us.max(1));

@@ -48,14 +48,18 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use smc_bdd::{Budget, CancelToken};
-use smc_obs::{Json, Metrics};
+use smc_obs::{DumpMeta, Json, Metrics, Recorder, DEFAULT_RECORDER_CAP, STATUS_SCHEMA_VERSION};
 
 use crate::cache::{source_key, ArtifactCache};
-use crate::job::{run_job_with, EngineConfig, Job, JobOutcome};
+use crate::job::{derive_trace_id, run_job_with, EngineConfig, Job, JobOutcome, TraceCtx};
 use crate::wire::{job_json_fields, json_escape};
 
 /// Schema version stamped into every serve response line.
 pub const SERVE_SCHEMA: u64 = 1;
+
+/// Maximum black-box dump files kept under the dump directory; older
+/// dumps are pruned when a new one would exceed this.
+pub const DEFAULT_DUMP_CAP: usize = 32;
 
 /// Where responses go: shared, line-buffered, lock-per-line so worker
 /// threads interleave whole lines, never bytes.
@@ -81,6 +85,15 @@ pub struct ServerConfig {
     pub drain_timeout: Option<Duration>,
     /// Backoff hint stamped into overload/draining rejections.
     pub retry_after_ms: u64,
+    /// Directory black-box dumps are written to on a strike (governor
+    /// trip, watchdog cancellation, panic); `None` disables dumping.
+    pub dump_dir: Option<std::path::PathBuf>,
+    /// Maximum dump files kept; oldest are pruned past this.
+    pub dump_cap: usize,
+    /// Live-introspection surface shared with the HTTP `/status`
+    /// endpoint ([`spawn_metrics_endpoint`]); created internally when
+    /// the caller does not supply one.
+    pub status: Option<StatusBoard>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +105,9 @@ impl Default for ServerConfig {
             watchdog: None,
             drain_timeout: None,
             retry_after_ms: 250,
+            dump_dir: None,
+            dump_cap: DEFAULT_DUMP_CAP,
+            status: None,
         }
     }
 }
@@ -101,6 +117,9 @@ impl Default for ServerConfig {
 pub struct CheckRequest {
     /// Client correlation id, echoed verbatim in the response.
     pub id: Option<String>,
+    /// Client-supplied trace id (sanitized at admission); absent derives
+    /// one deterministically from the source key + request sequence.
+    pub trace_id: Option<String>,
     /// Inline SMV source (exclusive with `path`).
     pub source: Option<String>,
     /// Path of a model file the server reads (exclusive with `source`).
@@ -127,6 +146,9 @@ pub enum Request {
     Check(Box<CheckRequest>),
     /// Return the metrics registry as JSON.
     Metrics,
+    /// Return the live introspection snapshot (queue, workers, phases,
+    /// quarantine, cache) — the in-band sibling of HTTP `/status`.
+    Status,
     /// Begin a graceful drain.
     Shutdown,
 }
@@ -149,10 +171,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     };
     match op {
         "metrics" => Ok(Request::Metrics),
+        "status" => Ok(Request::Status),
         "shutdown" => Ok(Request::Shutdown),
         "check" => {
             let req = CheckRequest {
                 id: opt_str(&json, "id")?,
+                trace_id: opt_str(&json, "trace_id")?,
                 source: opt_str(&json, "source")?,
                 path: opt_str(&json, "path")?,
                 spec: opt_str(&json, "spec")?,
@@ -239,10 +263,157 @@ impl Quotas {
     }
 }
 
+/// What the status surface shows of one busy worker slot.
+#[derive(Clone)]
+struct WorkerStatus {
+    name: String,
+    trace_id: String,
+    started: Instant,
+    recorder: Recorder,
+}
+
+/// One quarantine row as the status surface renders it.
+#[derive(Clone)]
+struct QuarantineRow {
+    source: String,
+    strikes: u32,
+    diagnostic: String,
+}
+
+/// The live introspection surface of a serve session: an `Arc`-shared
+/// board the session's core updates at the same points it updates the
+/// metrics registry, readable at any moment by the detached HTTP
+/// `/status` thread ([`spawn_metrics_endpoint`]) and the in-band
+/// `{"op":"status"}` request — both render through [`StatusBoard::render`],
+/// so the two surfaces can never drift apart.
+///
+/// The snapshot schema (`status_schema`, the key vocabulary) is pinned
+/// by `smc_obs::STATUS_REQUIRED_KEYS` and the golden test in
+/// `crates/obs/tests/schema.rs`; fields are append-only.
+#[derive(Clone, Default)]
+pub struct StatusBoard {
+    inner: Arc<BoardInner>,
+}
+
+#[derive(Default)]
+struct BoardInner {
+    draining: AtomicBool,
+    queue_depth: AtomicUsize,
+    in_flight: AtomicUsize,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    workers: Mutex<Vec<Option<WorkerStatus>>>,
+    quarantine: Mutex<Vec<QuarantineRow>>,
+    cache: Mutex<Option<ArtifactCache>>,
+}
+
+impl std::fmt::Debug for StatusBoard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "StatusBoard({} in flight, {} queued)",
+            self.inner.in_flight.load(Ordering::Relaxed),
+            self.inner.queue_depth.load(Ordering::Relaxed)
+        )
+    }
+}
+
+impl StatusBoard {
+    /// A fresh, empty board (what a serve session builds when the
+    /// caller did not wire one to an HTTP endpoint).
+    pub fn new() -> StatusBoard {
+        StatusBoard::default()
+    }
+
+    /// Sizes the worker table and attaches the session's cache handle.
+    /// Called once when the serve session starts.
+    fn attach(&self, workers: usize, cache: Option<ArtifactCache>) {
+        *lock(&self.inner.workers) = (0..workers).map(|_| None).collect();
+        *lock(&self.inner.cache) = cache;
+    }
+
+    fn slot_busy(&self, slot: usize, status: WorkerStatus) {
+        let mut workers = lock(&self.inner.workers);
+        if let Some(w) = workers.get_mut(slot) {
+            *w = Some(status);
+        }
+    }
+
+    fn slot_idle(&self, slot: usize) {
+        let mut workers = lock(&self.inner.workers);
+        if let Some(w) = workers.get_mut(slot) {
+            *w = None;
+        }
+    }
+
+    /// Age in microseconds of the oldest in-flight request, or 0 when
+    /// every slot is idle — the `smc_serve_inflight_age_us` gauge.
+    fn oldest_inflight_age_us(&self) -> u64 {
+        lock(&self.inner.workers)
+            .iter()
+            .flatten()
+            .map(|w| w.started.elapsed().as_micros() as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the snapshot. The shape is the published status schema:
+    /// top-level keys per `smc_obs::STATUS_REQUIRED_KEYS`, one object
+    /// per *busy* worker slot (`STATUS_WORKER_KEYS`), one per
+    /// quarantined source (`STATUS_QUARANTINE_KEYS`).
+    pub fn render(&self) -> String {
+        let i = &self.inner;
+        let mut s = format!(
+            "{{\"status_schema\":{STATUS_SCHEMA_VERSION},\"draining\":{},\"queue_depth\":{},\"in_flight\":{},\"served\":{},\"rejected\":{}",
+            i.draining.load(Ordering::Acquire),
+            i.queue_depth.load(Ordering::Acquire),
+            i.in_flight.load(Ordering::Acquire),
+            i.served.load(Ordering::Acquire),
+            i.rejected.load(Ordering::Acquire),
+        );
+        s.push_str(",\"workers\":[");
+        let mut first = true;
+        for (slot, w) in lock(&i.workers).iter().enumerate() {
+            let Some(w) = w else { continue };
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"slot\":{slot},\"name\":\"{}\",\"trace_id\":\"{}\",\"elapsed_us\":{},\"phase\":\"{}\"}}",
+                json_escape(&w.name),
+                json_escape(&w.trace_id),
+                w.started.elapsed().as_micros() as u64,
+                w.recorder.phase(),
+            ));
+        }
+        s.push_str("],\"quarantine\":[");
+        for (j, row) in lock(&i.quarantine).iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"source\":\"{}\",\"strikes\":{},\"diagnostic\":\"{}\"}}",
+                json_escape(&row.source),
+                row.strikes,
+                json_escape(&row.diagnostic),
+            ));
+        }
+        s.push_str("],\"cache\":");
+        match lock(&i.cache).as_ref() {
+            Some(c) => s.push_str(&format!("{{\"enabled\":true,\"entries\":{}}}", c.len())),
+            None => s.push_str("{\"enabled\":false,\"entries\":0}"),
+        }
+        s.push('}');
+        s
+    }
+}
+
 /// An admitted request, parked in the queue until a worker takes it.
 struct Admitted {
     seq: u64,
     id: Option<String>,
+    trace_id: String,
     job: Job,
     key: u64,
     quotas: Quotas,
@@ -303,6 +474,9 @@ struct Core<'a> {
     rejected: AtomicU64,
     /// Stops the watchdog thread after drain.
     stop_watchdog: AtomicBool,
+    /// The live introspection surface (shared with the HTTP `/status`
+    /// thread when the caller wired one in).
+    status: StatusBoard,
 }
 
 fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -333,9 +507,12 @@ fn head(seq: u64, id: Option<&str>, op: &str) -> String {
 impl<'a> Core<'a> {
     fn new(cfg: &'a ServerConfig) -> Core<'a> {
         let workers = cfg.engine.workers.max(1);
+        let cache = cfg.engine.use_cache.then(|| cfg.engine.build_cache());
+        let status = cfg.status.clone().unwrap_or_default();
+        status.attach(workers, cache.clone());
         Core {
             cfg,
-            cache: cfg.engine.use_cache.then(|| cfg.engine.build_cache()),
+            cache,
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -348,6 +525,18 @@ impl<'a> Core<'a> {
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             stop_watchdog: AtomicBool::new(false),
+            status,
+        }
+    }
+
+    /// The serve flight-recorder capacity: the configured per-job cap,
+    /// defaulting (recording is always on in serve) rather than
+    /// disabling when unset.
+    fn recorder_cap(&self) -> usize {
+        if self.cfg.engine.recorder_cap > 0 {
+            self.cfg.engine.recorder_cap
+        } else {
+            DEFAULT_RECORDER_CAP
         }
     }
 
@@ -361,18 +550,24 @@ impl<'a> Core<'a> {
 
     /// Sends a rejection response and tallies it. Rejections are flow
     /// control: they never fold into the exit code.
+    #[allow(clippy::too_many_arguments)]
     fn reject(
         &self,
         out: &Responder,
         seq: u64,
         id: Option<&str>,
+        trace_id: Option<&str>,
         reason: &str,
         error: Option<&str>,
         retry: bool,
     ) {
         self.rejected.fetch_add(1, Ordering::AcqRel);
+        self.status.inner.rejected.fetch_add(1, Ordering::AcqRel);
         self.metrics().counter_add("smc_serve_rejected_total", &[("reason", reason)], 1);
         let mut line = head(seq, id, "check");
+        if let Some(t) = trace_id {
+            line.push_str(&format!(",\"trace_id\":\"{}\"", json_escape(t)));
+        }
         line.push_str(&format!(",\"outcome\":\"rejected\",\"reason\":\"{reason}\""));
         if retry {
             line.push_str(&format!(",\"retry_after_ms\":{}", self.cfg.retry_after_ms));
@@ -394,7 +589,7 @@ impl<'a> Core<'a> {
         let seq = self.seq.fetch_add(1, Ordering::AcqRel);
         match parse_request(line) {
             Err(e) => {
-                self.reject(out, seq, None, "bad_request", Some(&e), false);
+                self.reject(out, seq, None, None, "bad_request", Some(&e), false);
                 Flow::Continue
             }
             Ok(Request::Metrics) => {
@@ -405,9 +600,18 @@ impl<'a> Core<'a> {
                 respond(out, &line);
                 Flow::Continue
             }
+            Ok(Request::Status) => {
+                let mut line = head(seq, None, "status");
+                line.push_str(",\"status\":");
+                line.push_str(&self.status.render());
+                line.push('}');
+                respond(out, &line);
+                Flow::Continue
+            }
             Ok(Request::Shutdown) => {
                 // Stop admitting immediately; the caller runs the drain.
                 self.draining.store(true, Ordering::Release);
+                self.status.inner.draining.store(true, Ordering::Release);
                 self.ready.notify_all();
                 let mut line = head(seq, None, "shutdown");
                 line.push_str(",\"draining\":true}");
@@ -424,7 +628,7 @@ impl<'a> Core<'a> {
     fn admit_check(&self, req: CheckRequest, seq: u64, out: &Responder) {
         let id = req.id.clone();
         if self.draining.load(Ordering::Acquire) {
-            self.reject(out, seq, id.as_deref(), "draining", None, true);
+            self.reject(out, seq, id.as_deref(), None, "draining", None, true);
             return;
         }
         // Resolve the source; an unreadable path is an in-band input
@@ -438,15 +642,22 @@ impl<'a> Core<'a> {
                 Err(e) => {
                     self.note_exit(2);
                     self.served.fetch_add(1, Ordering::AcqRel);
+                    self.status.inner.served.fetch_add(1, Ordering::AcqRel);
                     self.metrics().counter_add(
                         "smc_serve_requests_total",
                         &[("outcome", "input_error")],
                         1,
                     );
+                    let trace_id = req
+                        .trace_id
+                        .as_deref()
+                        .and_then(sanitize_trace_id)
+                        .unwrap_or_else(|| derive_trace_id(source_key(p), seq));
                     let mut line = head(seq, id.as_deref(), "check");
                     line.push_str(&format!(
-                        ",\"name\":\"{}\",\"outcome\":\"input_error\",\"exit_class\":2,\"error\":\"cannot read {}: {}\"}}",
+                        ",\"name\":\"{}\",\"trace_id\":\"{}\",\"outcome\":\"input_error\",\"exit_class\":2,\"error\":\"cannot read {}: {}\"}}",
                         json_escape(p),
+                        json_escape(&trace_id),
                         json_escape(p),
                         json_escape(&e.to_string())
                     ));
@@ -457,6 +668,14 @@ impl<'a> Core<'a> {
             (None, None) => unreachable!("parse_request enforces source xor path"),
         };
         let key = source_key(&source);
+        // The request's correlation key: the client's id when supplied
+        // (sanitized — it names the dump file on a strike), else derived
+        // deterministically from the source key + request sequence.
+        let trace_id = req
+            .trace_id
+            .as_deref()
+            .and_then(sanitize_trace_id)
+            .unwrap_or_else(|| derive_trace_id(key, seq));
         // Quarantine gate: a poisonous source is refused with the
         // diagnostic its last trip produced — no worker time spent.
         if self.cfg.quarantine_after > 0 {
@@ -466,7 +685,15 @@ impl<'a> Core<'a> {
                 .map(|s| s.diagnostic.clone());
             if let Some(diag) = quarantined {
                 self.metrics().counter_add("smc_serve_quarantine_hits_total", &[], 1);
-                self.reject(out, seq, id.as_deref(), "quarantined", Some(&diag), false);
+                self.reject(
+                    out,
+                    seq,
+                    id.as_deref(),
+                    Some(&trace_id),
+                    "quarantined",
+                    Some(&diag),
+                    false,
+                );
                 return;
             }
         }
@@ -474,7 +701,7 @@ impl<'a> Core<'a> {
         // queued + in-flight, so the bound is schedule-independent.
         let capacity = self.cfg.max_queue + self.slots.len();
         if self.outstanding.load(Ordering::Acquire) >= capacity {
-            self.reject(out, seq, id.as_deref(), "overload", None, true);
+            self.reject(out, seq, id.as_deref(), Some(&trace_id), "overload", None, true);
             return;
         }
         self.outstanding.fetch_add(1, Ordering::AcqRel);
@@ -482,6 +709,7 @@ impl<'a> Core<'a> {
         let item = Admitted {
             seq,
             id,
+            trace_id,
             job: Job { name, source, spec: req.spec.clone() },
             key,
             quotas: Quotas::derive(&self.cfg.engine, &req),
@@ -495,6 +723,7 @@ impl<'a> Core<'a> {
             q.len()
         };
         self.metrics().gauge_set("smc_serve_queue_depth", &[], depth as f64);
+        self.status.inner.queue_depth.store(depth, Ordering::Release);
         self.ready.notify_one();
     }
 
@@ -502,12 +731,24 @@ impl<'a> Core<'a> {
     fn run_one(&self, slot: usize, item: Admitted) {
         let metrics = self.metrics();
         let running = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.status.inner.in_flight.store(running, Ordering::Release);
         metrics.gauge_set("smc_serve_in_flight", &[], running as f64);
         let cancel = CancelToken::new();
+        let recorder = Recorder::new(self.recorder_cap());
         // Register the slot before the drill hold so the watchdog sees
-        // (and can cancel) a held request exactly like a hung one.
+        // (and can cancel) a held request exactly like a hung one, and
+        // the status surface shows it as in flight from admission.
         *lock(&self.slots[slot]) =
             Some(Running { started: Instant::now(), cancel: cancel.clone() });
+        self.status.slot_busy(
+            slot,
+            WorkerStatus {
+                name: item.job.name.clone(),
+                trace_id: item.trace_id.clone(),
+                started: Instant::now(),
+                recorder: recorder.clone(),
+            },
+        );
         if item.hold_ms > 0 {
             std::thread::sleep(Duration::from_millis(item.hold_ms.min(10_000)));
         }
@@ -521,9 +762,15 @@ impl<'a> Core<'a> {
                 self.cache.as_ref(),
                 Some(budget),
                 item.want_trace,
+                &TraceCtx {
+                    trace_id: &item.trace_id,
+                    worker: slot as u64,
+                    recorder: Some(&recorder),
+                },
             )
         }));
         *lock(&self.slots[slot]) = None;
+        self.status.slot_idle(slot);
         metrics.observe(
             "smc_serve_request_wall_us",
             &[],
@@ -537,12 +784,21 @@ impl<'a> Core<'a> {
                     1,
                 );
                 self.note_exit(r.outcome.exit_class());
+                let mut dump = None;
                 self.note_outcome(
                     item.key,
                     match &r.outcome {
-                        JobOutcome::Exhausted { phase, reason, .. } => Outcome::Strike(format!(
-                            "resource budget exhausted during {phase}: {reason}"
-                        )),
+                        JobOutcome::Exhausted { phase, reason, .. } => {
+                            dump = self.write_dump(
+                                &recorder,
+                                &item,
+                                slot,
+                                &format!("exhausted during {phase}: {reason}"),
+                            );
+                            Outcome::Strike(format!(
+                                "resource budget exhausted during {phase}: {reason}"
+                            ))
+                        }
                         JobOutcome::InputError { .. } => Outcome::Neutral,
                         _ => Outcome::Clear,
                     },
@@ -550,6 +806,9 @@ impl<'a> Core<'a> {
                 let mut line = head(item.seq, item.id.as_deref(), "check");
                 line.push(',');
                 line.push_str(&job_json_fields(r));
+                if let Some(path) = dump {
+                    line.push_str(&format!(",\"dump\":\"{}\"", json_escape(&path)));
+                }
                 line.push('}');
                 line
             }
@@ -558,20 +817,64 @@ impl<'a> Core<'a> {
                 metrics.counter_add("smc_serve_requests_total", &[("outcome", "panic")], 1);
                 self.note_exit(2);
                 self.note_outcome(item.key, Outcome::Strike(format!("worker panicked: {msg}")));
+                let dump = self.write_dump(&recorder, &item, slot, &format!("panic: {msg}"));
                 let mut line = head(item.seq, item.id.as_deref(), "check");
                 line.push_str(&format!(
-                    ",\"name\":\"{}\",\"outcome\":\"panic\",\"exit_class\":2,\"error\":\"worker panicked: {}\"}}",
+                    ",\"name\":\"{}\",\"trace_id\":\"{}\",\"outcome\":\"panic\",\"exit_class\":2,\"error\":\"worker panicked: {}\"",
                     json_escape(&item.job.name),
+                    json_escape(&item.trace_id),
                     json_escape(&msg)
                 ));
+                if let Some(path) = dump {
+                    line.push_str(&format!(",\"dump\":\"{}\"", json_escape(&path)));
+                }
+                line.push('}');
                 line
             }
         };
         respond(&item.out, &line);
         self.served.fetch_add(1, Ordering::AcqRel);
+        self.status.inner.served.fetch_add(1, Ordering::AcqRel);
         let running = self.in_flight.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.status.inner.in_flight.store(running, Ordering::Release);
         metrics.gauge_set("smc_serve_in_flight", &[], running as f64);
         self.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Writes the flight recorder's black-box dump for a struck request
+    /// (atomically: temp file, fsync, rename), prunes the dump directory
+    /// past [`ServerConfig::dump_cap`], and returns the dump path for
+    /// the response line. `None` when dumping is off or the write fails
+    /// — the dump is forensics, never worth failing the response over.
+    fn write_dump(
+        &self,
+        recorder: &Recorder,
+        item: &Admitted,
+        slot: usize,
+        reason: &str,
+    ) -> Option<String> {
+        let dir = self.cfg.dump_dir.as_ref()?;
+        let body = recorder.dump_jsonl(&DumpMeta {
+            trace_id: &item.trace_id,
+            job: &item.job.name,
+            worker: slot as u64,
+            reason,
+        });
+        if std::fs::create_dir_all(dir).is_err() {
+            return None;
+        }
+        let path = dir.join(format!("{}.dump.jsonl", item.trace_id));
+        let tmp = dir.join(format!(".tmp-{}-{}", std::process::id(), item.seq));
+        let written = std::fs::write(&tmp, &body).is_ok()
+            && std::fs::File::open(&tmp).and_then(|f| f.sync_all()).is_ok()
+            && std::fs::rename(&tmp, &path).is_ok();
+        if !written {
+            let _ = std::fs::remove_file(&tmp);
+            return None;
+        }
+        self.metrics().counter_add("smc_recorder_dumps_total", &[], 1);
+        prune_dumps(dir, self.cfg.dump_cap);
+        Some(path.display().to_string())
     }
 
     fn note_outcome(&self, key: u64, outcome: Outcome) {
@@ -590,6 +893,23 @@ impl<'a> Core<'a> {
             }
             Outcome::Neutral => {}
         }
+        // Mirror the strike table onto the status surface (sorted by
+        // key so the snapshot is deterministic for a given table).
+        let mut rows: Vec<(u64, QuarantineRow)> = q
+            .iter()
+            .map(|(k, s)| {
+                (
+                    *k,
+                    QuarantineRow {
+                        source: format!("{k:016x}"),
+                        strikes: s.trips,
+                        diagnostic: s.diagnostic.clone(),
+                    },
+                )
+            })
+            .collect();
+        rows.sort_by_key(|(k, _)| *k);
+        *lock(&self.status.inner.quarantine) = rows.into_iter().map(|(_, r)| r).collect();
     }
 
     /// Stops admissions and waits for outstanding work to finish. Past
@@ -597,6 +917,7 @@ impl<'a> Core<'a> {
     /// tokens cancelled (the governor turns that into `Exhausted`).
     fn drain(&self) {
         self.draining.store(true, Ordering::Release);
+        self.status.inner.draining.store(true, Ordering::Release);
         self.ready.notify_all();
         let deadline = self.cfg.drain_timeout.map(|d| Instant::now() + d);
         let mut expired = false;
@@ -610,6 +931,7 @@ impl<'a> Core<'a> {
                             &item.out,
                             item.seq,
                             item.id.as_deref(),
+                            Some(&item.trace_id),
                             "draining",
                             Some("server drain timeout"),
                             true,
@@ -640,6 +962,40 @@ impl<'a> Core<'a> {
     }
 }
 
+/// Sanitizes a client-supplied trace id: ASCII alphanumerics, `-`, `_`
+/// and `.` survive (it names the dump file on a strike), capped at 64
+/// chars. `None` (fall back to the derived id) when nothing survives.
+fn sanitize_trace_id(raw: &str) -> Option<String> {
+    let cleaned: String = raw
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        .take(64)
+        .collect();
+    (!cleaned.is_empty() && !cleaned.starts_with('.')).then_some(cleaned)
+}
+
+/// Removes the oldest `*.dump.jsonl` files in `dir` until at most `cap`
+/// remain. Best-effort: pruning failures cost disk, never a response.
+fn prune_dumps(dir: &std::path::Path, cap: usize) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut dumps: Vec<(std::time::SystemTime, std::path::PathBuf)> = entries
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".dump.jsonl"))
+        .filter_map(|e| {
+            let modified = e.metadata().and_then(|m| m.modified()).ok()?;
+            Some((modified, e.path()))
+        })
+        .collect();
+    if dumps.len() <= cap {
+        return;
+    }
+    dumps.sort_by_key(|(t, _)| *t);
+    let excess = dumps.len() - cap;
+    for (_, path) in dumps.into_iter().take(excess) {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -657,6 +1013,7 @@ fn worker_loop(core: &Core<'_>, slot: usize) {
             loop {
                 if let Some(item) = q.pop_front() {
                     core.metrics().gauge_set("smc_serve_queue_depth", &[], q.len() as f64);
+                    core.status.inner.queue_depth.store(q.len(), Ordering::Release);
                     break item;
                 }
                 if core.draining.load(Ordering::Acquire) {
@@ -669,22 +1026,32 @@ fn worker_loop(core: &Core<'_>, slot: usize) {
     }
 }
 
-/// Scans the worker slots and cancels any job past the watchdog limit.
-/// The cancelled job's governor trips at its next checkpoint and the
-/// request is answered `Exhausted` — a hung job never wedges a worker.
+/// The in-flight sentinel: always running (watchdog configured or not),
+/// it refreshes the `smc_serve_inflight_age_us` gauge every scan and —
+/// when a watchdog limit is set — cancels any job running past it. The
+/// cancelled job's governor trips at its next checkpoint and the request
+/// is answered `Exhausted` — a hung job never wedges a worker.
 fn watchdog_loop(core: &Core<'_>) {
-    let Some(limit) = core.cfg.watchdog else { return };
+    let limit = core.cfg.watchdog;
     while !core.stop_watchdog.load(Ordering::Acquire) {
-        for slot in &core.slots {
-            if let Some(r) = lock(slot).as_ref() {
-                if r.started.elapsed() > limit && !r.cancel.is_cancelled() {
-                    r.cancel.cancel();
-                    core.metrics().counter_add("smc_serve_watchdog_trips_total", &[], 1);
+        core.metrics().gauge_set(
+            "smc_serve_inflight_age_us",
+            &[],
+            core.status.oldest_inflight_age_us() as f64,
+        );
+        if let Some(limit) = limit {
+            for slot in &core.slots {
+                if let Some(r) = lock(slot).as_ref() {
+                    if r.started.elapsed() > limit && !r.cancel.is_cancelled() {
+                        r.cancel.cancel();
+                        core.metrics().counter_add("smc_serve_watchdog_trips_total", &[], 1);
+                    }
                 }
             }
         }
         std::thread::sleep(Duration::from_millis(25));
     }
+    core.metrics().gauge_set("smc_serve_inflight_age_us", &[], 0.0);
 }
 
 /// Serves NDJSON requests from `input` until EOF or `{"op":"shutdown"}`,
@@ -803,9 +1170,11 @@ fn handle_connection(core: &Core<'_>, stream: TcpStream) {
     }
 }
 
-/// Binds `addr` and spawns a detached thread answering every HTTP
-/// request with the Prometheus text exposition of `metrics` — the
-/// pull-based sibling of the in-band `{"op":"metrics"}` request.
+/// Binds `addr` and spawns a detached thread answering HTTP requests:
+/// `/status` (when a [`StatusBoard`] is wired in) returns the live
+/// introspection snapshot as JSON; every other path returns the
+/// Prometheus text exposition of `metrics` — the pull-based siblings of
+/// the in-band `{"op":"status"}` and `{"op":"metrics"}` requests.
 /// Returns the bound address (useful with port 0).
 ///
 /// # Errors
@@ -814,6 +1183,7 @@ fn handle_connection(core: &Core<'_>, stream: TcpStream) {
 pub fn spawn_metrics_endpoint(
     addr: &str,
     metrics: Metrics,
+    status: Option<StatusBoard>,
 ) -> std::io::Result<std::net::SocketAddr> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
@@ -821,13 +1191,24 @@ pub fn spawn_metrics_endpoint(
         for stream in listener.incoming() {
             let Ok(mut stream) = stream else { continue };
             let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-            // Consume the request head best-effort; the response is the
-            // same whatever was asked.
-            let mut discard = [0u8; 1024];
-            let _ = std::io::Read::read(&mut stream, &mut discard);
-            let body = metrics.render_prometheus();
+            // Read the request head best-effort; only the path of the
+            // request line is consulted.
+            let mut buf = [0u8; 1024];
+            let n = std::io::Read::read(&mut stream, &mut buf).unwrap_or(0);
+            let head = String::from_utf8_lossy(&buf[..n]);
+            let path = head.split_whitespace().nth(1).unwrap_or("/");
+            let (body, content_type) = match (&status, path) {
+                (Some(board), p) if p == "/status" || p.starts_with("/status?") => {
+                    (board.render(), "application/json; charset=utf-8")
+                }
+                _ => (
+                    metrics.render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                ),
+            };
             let response = format!(
-                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                "HTTP/1.0 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                content_type,
                 body.len(),
                 body
             );

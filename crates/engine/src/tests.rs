@@ -418,6 +418,7 @@ fn request_lines_parse_and_misparse() {
             node_limit: Some(1000),
             max_iters: Some(9),
             hold_ms: None,
+            trace_id: None,
         }
     );
     // "check" is the default op.
@@ -821,7 +822,7 @@ fn fault_campaign_never_kills_the_server_and_recovery_is_identical() {
 fn metrics_endpoint_serves_the_prometheus_exposition() {
     let metrics = Metrics::new();
     metrics.counter_add("smc_serve_requests_total", &[("outcome", "pass")], 7);
-    let addr = match crate::spawn_metrics_endpoint("127.0.0.1:0", metrics) {
+    let addr = match crate::spawn_metrics_endpoint("127.0.0.1:0", metrics, None) {
         Ok(addr) => addr,
         // Sandboxed environments without loopback sockets skip, not fail.
         Err(e) => {
@@ -837,4 +838,152 @@ fn metrics_endpoint_serves_the_prometheus_exposition() {
     assert!(response.contains("text/plain; version=0.0.4"), "{response}");
     assert!(response.contains("smc_serve_requests_total"), "{response}");
     assert!(response.contains("# HELP smc_serve_requests_total"), "{response}");
+}
+
+// ---------------------------------------------------------------------------
+// Trace context, the flight recorder's black box, and the status board.
+
+use crate::{derive_trace_id, StatusBoard};
+
+#[test]
+fn derived_trace_ids_are_stable_and_slot_sensitive() {
+    let key = source_key(COUNTER8);
+    let id = derive_trace_id(key, 0);
+    assert_eq!(id, derive_trace_id(key, 0), "pure function of (source, slot)");
+    assert_eq!(id.len(), 16);
+    assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
+    assert_ne!(id, derive_trace_id(key, 1), "slot is part of the derivation");
+    assert_ne!(id, derive_trace_id(source_key(MUTEX), 0), "so is the source");
+
+    // The batch engine stamps exactly this derivation into its results,
+    // so two runs of one manifest agree id-for-id.
+    let jobs = vec![job("a", COUNTER8), job("b", MUTEX), job("a2", COUNTER8)];
+    let results = run_batch(jobs, &EngineConfig::default());
+    for r in &results {
+        assert_eq!(r.trace_id, derive_trace_id(source_key(&COUNTER8_OR(&r.name)), r.index as u64));
+    }
+}
+
+/// Maps the test job names of `derived_trace_ids_are_stable_and_slot_sensitive`
+/// back to their sources.
+#[allow(non_snake_case)]
+fn COUNTER8_OR(name: &str) -> String {
+    if name == "b" {
+        MUTEX.to_string()
+    } else {
+        COUNTER8.to_string()
+    }
+}
+
+#[test]
+fn hostile_client_trace_ids_fall_back_to_derived() {
+    let cfg = ServerConfig::default();
+    let (_, lines) = serve_lines(
+        &[
+            check_line(COUNTER8, r#","id":"evil","trace_id":"../../etc/passwd""#),
+            check_line(COUNTER8, r#","id":"good","trace_id":"req-7F.alpha_9""#),
+        ],
+        &cfg,
+    );
+    let by_id = |id: &str| {
+        lines
+            .iter()
+            .map(|l| parsed(l))
+            .find(|j| j.get("id").and_then(Json::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("no response for {id}: {lines:?}"))
+    };
+    let evil = by_id("evil");
+    let evil_id = str_field(&evil, "trace_id");
+    assert!(!evil_id.contains('/') && !evil_id.contains(".."), "{evil_id}");
+    assert_eq!(evil_id.len(), 16, "fell back to the derived id: {evil_id}");
+    // A well-formed client id (alnum plus -_.) is echoed verbatim.
+    assert_eq!(str_field(&by_id("good"), "trace_id"), "req-7F.alpha_9");
+}
+
+#[test]
+fn governor_trips_dump_the_flight_recorder_ring() {
+    let dir = TempDir::new("dumps");
+    let metrics = Metrics::new();
+    let cfg = ServerConfig {
+        engine: EngineConfig { metrics: metrics.clone(), ..EngineConfig::default() },
+        dump_dir: Some(dir.path().to_path_buf()),
+        ..ServerConfig::default()
+    };
+    let (code, lines) = serve_lines(
+        &[check_line(COUNTER8, r#","id":"tight","max_iters":1,"trace_id":"blackbox-drill""#)],
+        &cfg,
+    );
+    assert_eq!(code, 3);
+    let tight = parsed(&lines[0]);
+    assert_eq!(str_field(&tight, "outcome"), "exhausted");
+    let dump_path = str_field(&tight, "dump");
+    assert!(dump_path.ends_with("blackbox-drill.dump.jsonl"), "{dump_path}");
+    let text = std::fs::read_to_string(dump_path).expect("dump file");
+    let mut lines = text.lines();
+    let header = parsed(lines.next().expect("header"));
+    assert_eq!(header.get("dump_schema").and_then(Json::as_u64), Some(1));
+    assert_eq!(str_field(&header, "trace_id"), "blackbox-drill");
+    assert!(str_field(&header, "reason").starts_with("exhausted during"), "{header:?}");
+    let events = header.get("events").and_then(Json::as_u64).expect("events count");
+    assert!(events > 0, "the ring captured the trip's telemetry");
+    // Every body line is a schema-v1 event carrying the trace context.
+    let mut body = 0;
+    for line in lines {
+        let (ctx, _) = smc_obs::Event::from_json_line(line)
+            .unwrap_or_else(|| panic!("unparseable dump line: {line}"));
+        let tag = ctx.trace.expect("dumped events carry the trace tag");
+        assert_eq!(&*tag.trace_id, "blackbox-drill");
+        body += 1;
+    }
+    assert_eq!(body, events, "header count matches the body");
+    assert_eq!(metrics.counter("smc_recorder_dumps_total", &[]), 1);
+    assert!(metrics.counter("smc_recorder_events_total", &[]) > 0);
+}
+
+#[test]
+fn dump_directory_is_pruned_to_the_cap() {
+    let dir = TempDir::new("dumpcap");
+    let cfg = ServerConfig {
+        dump_dir: Some(dir.path().to_path_buf()),
+        dump_cap: 2,
+        ..ServerConfig::default()
+    };
+    let requests: Vec<String> = (0..4)
+        .map(|i| check_line(COUNTER8, &format!(r#","trace_id":"drill-{i}","max_iters":1"#)))
+        .collect();
+    let (_, lines) = serve_lines(&requests, &cfg);
+    assert_eq!(lines.len(), 5, "{lines:?}");
+    let kept = dir.files_with_ext("jsonl");
+    assert!(kept.len() <= 2, "cap holds: {kept:?}");
+}
+
+#[test]
+fn status_board_mirrors_the_session_and_survives_drain() {
+    let board = StatusBoard::new();
+    let cfg = ServerConfig {
+        quarantine_after: 2,
+        status: Some(board.clone()),
+        ..ServerConfig::default()
+    };
+    let (_, lines) = serve_lines(
+        &[
+            r#"{"op":"status"}"#.to_string(),
+            check_line(COUNTER8, r#","id":"a""#),
+            check_line(COUNTER8, r#","id":"tight","max_iters":1"#),
+        ],
+        &cfg,
+    );
+    // The in-band snapshot and the board the HTTP endpoint would serve
+    // render through the same code path.
+    let in_band = lines.iter().find(|l| l.contains(r#""op":"status""#)).expect("status response");
+    assert!(in_band.contains(r#""status":{"status_schema":1,"#), "{in_band}");
+    let after = board.render();
+    let j = parsed(&after);
+    assert_eq!(j.get("status_schema").and_then(Json::as_u64), Some(1));
+    assert_eq!(j.get("served").and_then(Json::as_u64), Some(2), "{after}");
+    assert_eq!(j.get("in_flight").and_then(Json::as_u64), Some(0), "{after}");
+    assert!(after.contains(r#""draining":true"#), "EOF drain is visible: {after}");
+    // The exhausted source sits in the strike table with one strike.
+    assert!(after.contains(r#""strikes":1"#), "{after}");
+    assert!(after.contains("resource budget exhausted"), "{after}");
 }

@@ -26,13 +26,14 @@ pub fn json_escape(s: &str) -> String {
 }
 
 /// Renders the body (the fields, no surrounding braces) of one job's
-/// JSON object: name, outcome, exit class, work counters, per-spec
-/// verdicts (with traces when the job ran with traces on), and the
-/// exhaustion/error details when present.
+/// JSON object: name, trace id, outcome, exit class, work counters,
+/// per-spec verdicts (with traces when the job ran with traces on), and
+/// the exhaustion/error details when present.
 pub fn job_json_fields(r: &JobResult) -> String {
     let mut out = format!(
-        "\"name\":\"{}\",\"outcome\":\"{}\",\"exit_class\":{},\"wall_us\":{},\"cache_hit\":{},\"reach_iters\":{},\"cache_lookups\":{},\"created_nodes\":{}",
+        "\"name\":\"{}\",\"trace_id\":\"{}\",\"outcome\":\"{}\",\"exit_class\":{},\"wall_us\":{},\"cache_hit\":{},\"reach_iters\":{},\"cache_lookups\":{},\"created_nodes\":{}",
         json_escape(&r.name),
+        json_escape(&r.trace_id),
         r.outcome.label(),
         r.outcome.exit_class(),
         r.wall_us,

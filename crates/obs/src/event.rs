@@ -23,9 +23,15 @@
 //!
 //! Removing or re-typing a required key bumps `v`; new optional keys
 //! may appear at any time and consumers must ignore unknown keys.
+//!
+//! Since 0.9 every record may additionally carry the optional common
+//! keys `trace_id` (string) and `worker` (number) — the request-scoped
+//! context installed via [`Telemetry::set_trace`](crate::Telemetry::set_trace).
+//! Both are optional-by-contract: pre-0.9 traces lack them, and
+//! consumers must treat their absence as "no trace context".
 
 use crate::json::Json;
-use crate::sink::EventCtx;
+use crate::sink::{EventCtx, TraceTag};
 use crate::{StatsDelta, SCHEMA_VERSION};
 
 /// The phases that open spans. One span per invocation: nested calls
@@ -257,12 +263,13 @@ impl Event {
     /// Serializes the event as one JSON line (no trailing newline).
     pub fn to_json_line(&self, ctx: &EventCtx) -> String {
         let mut s = String::with_capacity(128);
-        s.push_str(&format!(
-            "{{\"v\":{SCHEMA_VERSION},\"seq\":{},\"t_us\":{},\"kind\":\"{}\"",
-            ctx.seq,
-            ctx.t_us,
-            self.kind_name()
-        ));
+        s.push_str(&format!("{{\"v\":{SCHEMA_VERSION},\"seq\":{},\"t_us\":{}", ctx.seq, ctx.t_us));
+        if let Some(tag) = &ctx.trace {
+            s.push_str(",\"trace_id\":\"");
+            esc(&mut s, &tag.trace_id);
+            s.push_str(&format!("\",\"worker\":{}", tag.worker));
+        }
+        s.push_str(&format!(",\"kind\":\"{}\"", self.kind_name()));
         match self {
             Event::SpanStart { id, kind, label } => {
                 s.push_str(&format!(",\"span\":{id},\"name\":\"{}\"", kind.name()));
@@ -350,7 +357,13 @@ impl Event {
         if j.get("v")?.as_u64()? > SCHEMA_VERSION {
             return None;
         }
-        let ctx = EventCtx { seq: j.get("seq")?.as_u64()?, t_us: j.get("t_us")?.as_u64()? };
+        let mut ctx = EventCtx::new(j.get("seq")?.as_u64()?, j.get("t_us")?.as_u64()?);
+        if let Some(id) = j.get("trace_id").and_then(Json::as_str) {
+            ctx.trace = Some(TraceTag {
+                trace_id: id.into(),
+                worker: j.get("worker").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
         let u = |key: &str| j.get(key).and_then(Json::as_u64);
         let event = match j.get("kind")?.as_str()? {
             "span_start" => Event::SpanStart {
@@ -427,12 +440,28 @@ mod tests {
     use super::*;
 
     fn roundtrip(event: Event) {
-        let ctx = EventCtx { seq: 7, t_us: 1234 };
+        let ctx = EventCtx::new(7, 1234);
         let line = event.to_json_line(&ctx);
         let (ctx2, back) =
             Event::from_json_line(&line).unwrap_or_else(|| panic!("unparseable line: {line}"));
         assert_eq!((ctx2.seq, ctx2.t_us), (7, 1234), "{line}");
+        assert_eq!(ctx2.trace, None, "{line}");
         assert_eq!(back, event, "{line}");
+    }
+
+    #[test]
+    fn trace_context_round_trips_and_is_optional() {
+        let event = Event::WitnessHop { constraint: 2, ring: 5 };
+        let tagged = EventCtx::new(9, 88).with_trace("deadbeef01234567".into(), 3);
+        let line = event.to_json_line(&tagged);
+        assert!(line.contains("\"trace_id\":\"deadbeef01234567\""), "{line}");
+        assert!(line.contains("\"worker\":3"), "{line}");
+        let (ctx, back) = Event::from_json_line(&line).unwrap();
+        assert_eq!(ctx, tagged, "{line}");
+        assert_eq!(back, event);
+        // Untagged lines (every pre-0.9 trace) still parse, trace-less.
+        let (plain, _) = Event::from_json_line(&event.to_json_line(&EventCtx::new(9, 88))).unwrap();
+        assert_eq!(plain.trace, None);
     }
 
     #[test]

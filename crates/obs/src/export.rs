@@ -194,7 +194,7 @@ mod tests {
         let mut lines = Vec::new();
         let mut seq = 0u64;
         let mut push = |t_us: u64, e: Event| {
-            lines.push(e.to_json_line(&EventCtx { seq, t_us }));
+            lines.push(e.to_json_line(&EventCtx::new(seq, t_us)));
             seq += 1;
         };
         push(0, Event::SpanStart { id: 1, kind: SpanKind::Reach, label: None });
@@ -275,7 +275,7 @@ mod tests {
         let mut lines = Vec::new();
         let mut seq = 0u64;
         let mut push = |t_us: u64, e: Event| {
-            lines.push(e.to_json_line(&EventCtx { seq, t_us }));
+            lines.push(e.to_json_line(&EventCtx::new(seq, t_us)));
             seq += 1;
         };
         push(0, Event::SpanStart { id: 1, kind: SpanKind::FairEg, label: None });

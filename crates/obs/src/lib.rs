@@ -47,6 +47,7 @@ mod ledger;
 mod metrics;
 mod profile;
 mod progress;
+mod recorder;
 mod sink;
 
 pub use event::{Event, FixKind, SpanKind, SPAN_KINDS};
@@ -56,7 +57,8 @@ pub use ledger::{FamilyRecord, Ledger, PhaseRecord, RunRecord, LEDGER_SCHEMA_VER
 pub use metrics::{metric_help, Metrics, METRICS_SCHEMA_VERSION};
 pub use profile::{report_from_jsonl, report_from_jsonl_with, ProfileAggregator};
 pub use progress::ProgressSink;
-pub use sink::{EventCtx, JsonlSink, Sink};
+pub use recorder::{DumpMeta, Recorder, DEFAULT_RECORDER_CAP, DUMP_SCHEMA_VERSION};
+pub use sink::{EventCtx, JsonlSink, Sink, TraceTag};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -73,6 +75,32 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// when a required key is removed or changes meaning; adding optional
 /// keys is a compatible change (see DESIGN.md §8).
 pub const SCHEMA_VERSION: u64 = 1;
+
+/// Version stamped into every live-introspection snapshot (`/status`
+/// over HTTP and the in-band `{"op":"status"}` serve request) as
+/// `"status_schema"`. The key vocabulary below is append-only: fields
+/// may be added at any time, but removing or re-typing one bumps this.
+pub const STATUS_SCHEMA_VERSION: u64 = 1;
+
+/// Required top-level keys of a status snapshot (append-only contract;
+/// pinned by the golden test in `tests/schema.rs`).
+pub const STATUS_REQUIRED_KEYS: &[&str] = &[
+    "status_schema",
+    "draining",
+    "queue_depth",
+    "in_flight",
+    "served",
+    "rejected",
+    "workers",
+    "quarantine",
+    "cache",
+];
+
+/// Required keys of each entry in the status `workers` array.
+pub const STATUS_WORKER_KEYS: &[&str] = &["slot", "name", "trace_id", "elapsed_us", "phase"];
+
+/// Required keys of each entry in the status `quarantine` array.
+pub const STATUS_QUARANTINE_KEYS: &[&str] = &["source", "strikes", "diagnostic"];
 
 /// A point-in-time copy of the BDD manager's workload counters, taken at
 /// span boundaries so every span carries the *delta* of cache traffic,
@@ -155,6 +183,8 @@ struct Inner {
     next_span: AtomicU64,
     stack: Mutex<Vec<OpenSpan>>,
     metrics: Mutex<Metrics>,
+    /// Request-scoped context stamped into every event, when installed.
+    trace: Mutex<Option<TraceTag>>,
 }
 
 /// The telemetry handle threaded through the checking stack.
@@ -198,6 +228,7 @@ impl Telemetry {
                 next_span: AtomicU64::new(1),
                 stack: Mutex::new(Vec::new()),
                 metrics: Mutex::new(Metrics::disabled()),
+                trace: Mutex::new(None),
             })),
         }
     }
@@ -237,6 +268,17 @@ impl Telemetry {
         match &self.inner {
             Some(inner) => lock(&inner.metrics).clone(),
             None => Metrics::disabled(),
+        }
+    }
+
+    /// Installs a request-scoped trace context: every subsequent event
+    /// carries `trace_id` + `worker` in its [`EventCtx`] (and on the
+    /// JSON-lines wire as optional keys — a schema-compatible addition).
+    /// No-op on a disabled handle. Install before the job starts; the
+    /// per-event cost afterwards is one `Arc` clone.
+    pub fn set_trace(&self, trace_id: &str, worker: u64) {
+        if let Some(inner) = &self.inner {
+            *lock(&inner.trace) = Some(TraceTag { trace_id: Arc::from(trace_id), worker });
         }
     }
 
@@ -310,7 +352,11 @@ impl Inner {
         // concurrent emitters through one shared handle produce strictly
         // seq-ordered trace lines (no torn ordering in the JSONL file).
         let mut sinks = lock(&self.sinks);
-        let ctx = EventCtx { seq: self.seq.fetch_add(1, Ordering::Relaxed), t_us: self.now_us() };
+        let ctx = EventCtx {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            t_us: self.now_us(),
+            trace: lock(&self.trace).clone(),
+        };
         lock(&self.metrics).fold_event(event);
         for sink in sinks.iter_mut() {
             sink.record(&ctx, event);
@@ -379,6 +425,8 @@ mod send_assertions {
         assert_send::<crate::JsonlSink<std::io::Sink>>();
         assert_send::<crate::ProgressSink<std::io::Stderr>>();
         assert_send::<Box<dyn crate::Sink + Send>>();
+        assert_send::<crate::Recorder>();
+        assert_sync::<crate::Recorder>();
     }
 }
 

@@ -126,10 +126,39 @@ const HELP: &[(&str, &str)] = &[
     ("smc_serve_drains_total", "Graceful drains completed."),
     ("smc_serve_watchdog_trips_total", "In-flight jobs cancelled by the serve watchdog."),
     ("smc_serve_quarantine_hits_total", "Requests refused because their source is quarantined."),
+    ("smc_serve_inflight_age_us", "Age in microseconds of the oldest in-flight serve request."),
+    ("smc_recorder_events_total", "Telemetry events captured by flight recorders."),
+    ("smc_recorder_dropped_total", "Flight-recorder events overwritten because a ring was full."),
+    ("smc_recorder_dumps_total", "Flight-recorder black-box dumps written."),
 ];
 
+/// The first metric name registered more than once in `table`, if any.
+/// Split out from [`help_table`] so the rejection logic itself has a
+/// unit test against a deliberately bad table.
+fn duplicate_help_name<'a>(table: &[(&'a str, &str)]) -> Option<&'a str> {
+    table
+        .iter()
+        .enumerate()
+        .find(|(i, (name, _))| table[..*i].iter().any(|(n, _)| n == name))
+        .map(|(_, (name, _))| *name)
+}
+
+/// The HELP table, validated once per process: a duplicate metric name
+/// is rejected at registration time (first use panics naming the
+/// offender) instead of silently emitting two `# HELP` lines for one
+/// series and leaving scrapers to pick a winner.
+fn help_table() -> &'static [(&'static str, &'static str)] {
+    static CHECKED: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    CHECKED.get_or_init(|| {
+        if let Some(name) = duplicate_help_name(HELP) {
+            panic!("duplicate HELP registration for metric {name:?}");
+        }
+    });
+    HELP
+}
+
 fn help_for(name: &str) -> Option<&'static str> {
-    HELP.iter().find(|(n, _)| *n == name).map(|(_, h)| *h)
+    help_table().iter().find(|(n, _)| *n == name).map(|(_, h)| *h)
 }
 
 /// The registered help string for a metric name, if the name is part of
@@ -629,6 +658,33 @@ smc_cache_lookups_total{op=\"or\"} 7
         let crate::Json::Arr(hists) = j.get("histograms").unwrap() else { panic!("histograms") };
         assert_eq!(hists[0].get("sum").unwrap().as_u64(), Some(100));
         assert_eq!(hists[0].get("labels").unwrap().get("span").unwrap().as_str(), Some("reach"));
+    }
+
+    #[test]
+    fn help_registration_rejects_duplicate_names() {
+        // The shipped table must be clean (this also primes the
+        // OnceLock so every later lookup is a plain linear scan)…
+        assert_eq!(duplicate_help_name(help_table()), None);
+        // …and the checker itself must catch a duplicate registration
+        // instead of letting two HELP lines ship for one series.
+        let bad = [
+            ("smc_a_total", "first"),
+            ("smc_b_total", "fine"),
+            ("smc_a_total", "second registration"),
+        ];
+        assert_eq!(duplicate_help_name(&bad), Some("smc_a_total"));
+    }
+
+    #[test]
+    fn recorder_and_inflight_series_have_pinned_help() {
+        for name in [
+            "smc_serve_inflight_age_us",
+            "smc_recorder_events_total",
+            "smc_recorder_dropped_total",
+            "smc_recorder_dumps_total",
+        ] {
+            assert!(metric_help(name).is_some(), "missing HELP for {name}");
+        }
     }
 
     #[test]

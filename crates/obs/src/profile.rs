@@ -313,7 +313,7 @@ mod tests {
     use crate::{FixKind, StatsDelta};
 
     fn ctx(seq: u64, t_us: u64) -> EventCtx {
-        EventCtx { seq, t_us }
+        EventCtx::new(seq, t_us)
     }
 
     #[test]

@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn paints_iterations_and_clears_on_flush() {
         let mut sink = ProgressSink::new(Vec::new());
-        let ctx = EventCtx { seq: 0, t_us: 0 };
+        let ctx = EventCtx::new(0, 0);
         sink.record(&ctx, &Event::SpanStart { id: 1, kind: SpanKind::Reach, label: None });
         sink.record(
             &ctx,
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn restarts_become_durable_lines() {
         let mut sink = ProgressSink::new(Vec::new());
-        let ctx = EventCtx { seq: 0, t_us: 0 };
+        let ctx = EventCtx::new(0, 0);
         sink.record(&ctx, &Event::Restart { count: 2, stay_exit: true, frontier: "01".into() });
         let text = String::from_utf8(sink.out).unwrap();
         assert!(text.contains("restart 2 (stay-set exit)\n"), "{text:?}");
@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn long_lines_truncate_at_the_width_cap() {
         let mut sink = ProgressSink::new(Vec::new()).with_width(20);
-        let ctx = EventCtx { seq: 0, t_us: 0 };
+        let ctx = EventCtx::new(0, 0);
         sink.record(
             &ctx,
             &Event::FixpointIter {
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn short_lines_pass_through_untruncated() {
         let mut sink = ProgressSink::new(Vec::new());
-        let ctx = EventCtx { seq: 0, t_us: 0 };
+        let ctx = EventCtx::new(0, 0);
         sink.record(&ctx, &Event::WitnessHop { constraint: 1, ring: 4 });
         let text = String::from_utf8(sink.out).unwrap();
         assert!(text.contains("hop to constraint 1 at distance 4"), "{text:?}");
@@ -231,7 +231,7 @@ mod tests {
     #[test]
     fn nested_spans_tag_with_the_innermost_phase() {
         let mut sink = ProgressSink::new(Vec::new());
-        let ctx = EventCtx { seq: 0, t_us: 0 };
+        let ctx = EventCtx::new(0, 0);
         sink.record(&ctx, &Event::SpanStart { id: 1, kind: SpanKind::Witness, label: None });
         sink.record(&ctx, &Event::SpanStart { id: 2, kind: SpanKind::CheckEu, label: None });
         // Inside the EU span a hop tags with the innermost phase.
@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn every_rendered_line_is_a_single_write_call() {
         let mut sink = ProgressSink::new(CallRecorder::default());
-        let ctx = EventCtx { seq: 0, t_us: 0 };
+        let ctx = EventCtx::new(0, 0);
         // A paint, a repaint, and a durable announce: each must reach
         // the writer as exactly one write call, so concurrent workers
         // sharing a terminal can never tear a line. (The final flush
@@ -315,7 +315,7 @@ mod tests {
     #[test]
     fn governor_trips_paint_durable_exit3_lines() {
         let mut sink = ProgressSink::new(Vec::new());
-        let ctx = EventCtx { seq: 0, t_us: 0 };
+        let ctx = EventCtx::new(0, 0);
         sink.record(&ctx, &Event::SpanStart { id: 1, kind: SpanKind::Reach, label: None });
         sink.record(&ctx, &Event::Trip { reason: "deadline expired after 10ms".into() });
         sink.flush();

@@ -1,0 +1,274 @@
+//! The flight recorder: a bounded ring of the most recent telemetry
+//! events, kept per worker so a trip, panic or watchdog cancellation
+//! can be dumped as a black-box file *after the fact* — without ever
+//! recording a full trace to disk during healthy operation.
+//!
+//! ## Cost model
+//!
+//! The recorder reuses the telemetry cost model: it is a [`Sink`], so a
+//! disabled handle never reaches it at all, and on an enabled handle it
+//! adds one ring push per event. The `captured`/`dropped` tallies are
+//! relaxed atomics; the ring itself sits behind a mutex that is
+//! uncontended by construction — sinks are invoked under the telemetry
+//! handle's sink lock, so the only other taker is an occasional status
+//! or dump snapshot. A full ring overwrites the oldest event (counting
+//! it as dropped) rather than growing: memory is bounded by the
+//! capacity chosen at attach time, whatever the job does.
+//!
+//! ## Dump format
+//!
+//! [`Recorder::dump_jsonl`] renders the black-box file: one header line
+//! (`dump_schema`, trace/job/worker identity, the dump reason and the
+//! captured/dropped tallies) followed by the buffered events in their
+//! ordinary JSON-lines schema ([`Event::to_json_line`], `trace_id` and
+//! `worker` keys included). The header schema is pinned by the golden
+//! test in `tests/schema.rs`; fields are append-only and removing or
+//! re-typing one bumps [`DUMP_SCHEMA_VERSION`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::esc;
+use crate::{lock, Event, EventCtx, Sink};
+
+/// Version stamped into the header line of every black-box dump as
+/// `"dump_schema"`. Bumped only when a required header field is removed
+/// or changes meaning; adding fields is a compatible change.
+pub const DUMP_SCHEMA_VERSION: u64 = 1;
+
+/// Default ring capacity (events) when no `--recorder-cap` is given:
+/// enough to cover the tail of a fixpoint plus the witness search that
+/// follows it, small enough to be noise in a job's footprint.
+pub const DEFAULT_RECORDER_CAP: usize = 256;
+
+struct RecorderInner {
+    cap: usize,
+    ring: Mutex<VecDeque<(EventCtx, Event)>>,
+    captured: AtomicU64,
+    dropped: AtomicU64,
+    /// Open-span name stack mirrored from the event stream, so a status
+    /// snapshot can say which phase an in-flight job is in right now.
+    phases: Mutex<Vec<&'static str>>,
+}
+
+/// A bounded ring buffer of the last N telemetry events. Cloning is
+/// cheap and shares the ring: attach one clone to the job's
+/// [`Telemetry`](crate::Telemetry) as a sink and keep another for the
+/// status/dump side.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Recorder(cap {}, {} captured, {} dropped)",
+            self.inner.cap,
+            self.captured(),
+            self.dropped()
+        )
+    }
+}
+
+impl Recorder {
+    /// A recorder holding at most `cap` events (clamped to at least 1).
+    pub fn new(cap: usize) -> Recorder {
+        let cap = cap.max(1);
+        Recorder {
+            inner: Arc::new(RecorderInner {
+                cap,
+                ring: Mutex::new(VecDeque::with_capacity(cap)),
+                captured: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                phases: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The ring capacity (events).
+    pub fn capacity(&self) -> usize {
+        self.inner.cap
+    }
+
+    /// Events seen (buffered or already overwritten).
+    pub fn captured(&self) -> u64 {
+        self.inner.captured.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten by newer ones because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        lock(&self.inner.ring).len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The innermost open phase according to the event stream, or
+    /// `"idle"` outside any span — the live "what is this worker doing"
+    /// answer of the `/status` snapshot.
+    pub fn phase(&self) -> &'static str {
+        lock(&self.inner.phases).last().copied().unwrap_or("idle")
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<(EventCtx, Event)> {
+        lock(&self.inner.ring).iter().cloned().collect()
+    }
+
+    fn push(&self, ctx: &EventCtx, event: &Event) {
+        match event {
+            Event::SpanStart { kind, .. } => lock(&self.inner.phases).push(kind.name()),
+            Event::SpanEnd { .. } => {
+                lock(&self.inner.phases).pop();
+            }
+            _ => {}
+        }
+        self.inner.captured.fetch_add(1, Ordering::Relaxed);
+        let mut ring = lock(&self.inner.ring);
+        if ring.len() == self.inner.cap {
+            ring.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back((ctx.clone(), event.clone()));
+    }
+
+    /// Renders the black-box dump: the schema-versioned header line,
+    /// then the buffered events as ordinary trace JSONL (oldest first).
+    pub fn dump_jsonl(&self, meta: &DumpMeta<'_>) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(64 + events.len() * 128);
+        out.push_str(&format!("{{\"dump_schema\":{DUMP_SCHEMA_VERSION},\"trace_id\":\""));
+        esc(&mut out, meta.trace_id);
+        out.push_str("\",\"job\":\"");
+        esc(&mut out, meta.job);
+        out.push_str(&format!("\",\"worker\":{},\"reason\":\"", meta.worker));
+        esc(&mut out, meta.reason);
+        out.push_str(&format!(
+            "\",\"captured\":{},\"dropped\":{},\"events\":{}}}\n",
+            self.captured(),
+            self.dropped(),
+            events.len()
+        ));
+        for (ctx, event) in &events {
+            out.push_str(&event.to_json_line(ctx));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Sink for Recorder {
+    fn record(&mut self, ctx: &EventCtx, event: &Event) {
+        self.push(ctx, event);
+    }
+}
+
+/// Identity and cause stamped into a dump's header line.
+#[derive(Debug, Clone, Copy)]
+pub struct DumpMeta<'a> {
+    /// The request's trace id.
+    pub trace_id: &'a str,
+    /// The job's display name.
+    pub job: &'a str,
+    /// The worker slot the job ran on.
+    pub worker: u64,
+    /// Why the dump was taken (`"exhausted: …"`, `"panic: …"`).
+    pub reason: &'a str,
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::{Json, SpanKind, StatsSnapshot, Telemetry};
+
+    fn hop(n: u64) -> Event {
+        Event::WitnessHop { constraint: n, ring: n }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let rec = Recorder::new(3);
+        for i in 0..5 {
+            rec.push(&EventCtx::new(i, i), &hop(i));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.captured(), 5);
+        assert_eq!(rec.dropped(), 2);
+        // Oldest events fell out; the tail survives in order.
+        let rings: Vec<u64> = rec
+            .events()
+            .iter()
+            .map(|(_, e)| match e {
+                Event::WitnessHop { ring, .. } => *ring,
+                _ => panic!("wrong kind"),
+            })
+            .collect();
+        assert_eq!(rings, [2, 3, 4]);
+    }
+
+    #[test]
+    fn phase_tracks_the_span_stack() {
+        let rec = Recorder::new(8);
+        assert_eq!(rec.phase(), "idle");
+        let tele = Telemetry::new();
+        tele.add_sink(Box::new(rec.clone()));
+        let outer = tele.span_start(SpanKind::Check, None, StatsSnapshot::default());
+        let inner = tele.span_start(SpanKind::CheckEu, None, StatsSnapshot::default());
+        assert_eq!(rec.phase(), "check_eu");
+        tele.span_end(inner, StatsSnapshot::default());
+        assert_eq!(rec.phase(), "check");
+        tele.span_end(outer, StatsSnapshot::default());
+        assert_eq!(rec.phase(), "idle");
+    }
+
+    #[test]
+    fn dump_header_and_events_parse_back() {
+        let rec = Recorder::new(4);
+        let tele = Telemetry::new();
+        tele.set_trace("cafe0123", 1);
+        tele.add_sink(Box::new(rec.clone()));
+        tele.emit(hop(7));
+        tele.emit(Event::Trip { reason: "node limit".into() });
+        let dump = rec.dump_jsonl(&DumpMeta {
+            trace_id: "cafe0123",
+            job: "m.smv",
+            worker: 1,
+            reason: "exhausted: node limit",
+        });
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3, "{dump}");
+        let head = Json::parse(lines[0]).unwrap();
+        assert_eq!(head.get("dump_schema").unwrap().as_u64(), Some(DUMP_SCHEMA_VERSION));
+        assert_eq!(head.get("trace_id").unwrap().as_str(), Some("cafe0123"));
+        assert_eq!(head.get("worker").unwrap().as_u64(), Some(1));
+        assert_eq!(head.get("events").unwrap().as_u64(), Some(2));
+        for line in &lines[1..] {
+            let (ctx, _) = Event::from_json_line(line).unwrap();
+            let tag = ctx.trace.expect("events carry the trace tag");
+            assert_eq!(&*tag.trace_id, "cafe0123");
+            assert_eq!(tag.worker, 1);
+        }
+    }
+
+    #[test]
+    fn recorder_as_sink_is_shared_across_clones() {
+        let rec = Recorder::new(16);
+        let tele = Telemetry::new();
+        tele.add_sink(Box::new(rec.clone()));
+        tele.emit(hop(1));
+        tele.emit(hop(2));
+        assert_eq!(rec.captured(), 2);
+        assert_eq!(rec.len(), 2);
+    }
+}

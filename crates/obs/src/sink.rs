@@ -1,18 +1,51 @@
 //! The sink abstraction and the JSON-lines trace writer.
 
 use std::io::Write;
+use std::sync::Arc;
 
 use crate::Event;
 
+/// Request-scoped trace context: which request (and which worker) the
+/// events of a telemetry handle belong to. Installed once per job via
+/// [`Telemetry::set_trace`](crate::Telemetry::set_trace) and stamped
+/// into every subsequent [`EventCtx`] — the correlation key that lets
+/// one grep tie a serve response to its full event stream. The id is an
+/// `Arc<str>` so per-event stamping is a pointer copy, not a string
+/// allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceTag {
+    /// The request's trace id (client-supplied or derived from the
+    /// source key + sequence number).
+    pub trace_id: Arc<str>,
+    /// The worker slot the job ran on.
+    pub worker: u64,
+}
+
 /// Per-event context stamped by the [`Telemetry`](crate::Telemetry)
-/// handle: a monotonic sequence number and the microsecond offset from
-/// handle creation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// handle: a monotonic sequence number, the microsecond offset from
+/// handle creation, and (when a trace context is installed) the
+/// request's [`TraceTag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventCtx {
     /// Monotonic per-handle sequence number, starting at 0.
     pub seq: u64,
     /// Microseconds since the telemetry handle was created.
     pub t_us: u64,
+    /// The request this event belongs to, when known.
+    pub trace: Option<TraceTag>,
+}
+
+impl EventCtx {
+    /// A context with no trace tag (the pre-tracing shape).
+    pub fn new(seq: u64, t_us: u64) -> EventCtx {
+        EventCtx { seq, t_us, trace: None }
+    }
+
+    /// Attaches a trace tag.
+    pub fn with_trace(mut self, trace_id: Arc<str>, worker: u64) -> EventCtx {
+        self.trace = Some(TraceTag { trace_id, worker });
+        self
+    }
 }
 
 /// A consumer of telemetry events. Sinks are owned by the telemetry

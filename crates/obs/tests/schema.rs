@@ -6,7 +6,11 @@
 //! of a record — forcing a deliberate schema-version bump instead of a
 //! silent break.
 
-use smc_obs::{Event, EventCtx, FixKind, Json, SpanKind, SCHEMA_VERSION};
+use smc_obs::{
+    DumpMeta, Event, EventCtx, FixKind, Json, Recorder, SpanKind, Telemetry, DUMP_SCHEMA_VERSION,
+    SCHEMA_VERSION, STATUS_QUARANTINE_KEYS, STATUS_REQUIRED_KEYS, STATUS_SCHEMA_VERSION,
+    STATUS_WORKER_KEYS,
+};
 
 /// The pinned contract: (kind, required keys beyond the common ones).
 const GOLDEN: &[(&str, &[&str])] = &[
@@ -91,7 +95,7 @@ fn schema_version_is_pinned() {
 
 #[test]
 fn every_kind_carries_the_golden_required_keys() {
-    let ctx = EventCtx { seq: 42, t_us: 99 };
+    let ctx = EventCtx::new(42, 99);
     let events = representatives();
     assert_eq!(events.len(), GOLDEN.len(), "a kind is missing a representative");
     for (event, (kind, required)) in events.iter().zip(GOLDEN) {
@@ -159,6 +163,10 @@ fn serve_metric_vocabulary_is_pinned() {
         "smc_serve_drains_total",
         "smc_serve_watchdog_trips_total",
         "smc_serve_quarantine_hits_total",
+        "smc_serve_inflight_age_us",
+        "smc_recorder_events_total",
+        "smc_recorder_dropped_total",
+        "smc_recorder_dumps_total",
         "smc_batch_cache_evictions_total",
         "smc_batch_cache_corrupt_total",
     ] {
@@ -168,6 +176,86 @@ fn serve_metric_vocabulary_is_pinned() {
         );
     }
     assert!(smc_obs::metric_help("smc_serve_not_a_metric").is_none());
+}
+
+/// The pinned required keys of a black-box dump's header line. Fields
+/// are append-only; removing or re-typing one bumps DUMP_SCHEMA_VERSION.
+const DUMP_HEADER_KEYS: &[&str] =
+    &["dump_schema", "trace_id", "job", "worker", "reason", "captured", "dropped", "events"];
+
+#[test]
+fn dump_file_format_is_pinned() {
+    assert_eq!(DUMP_SCHEMA_VERSION, 1);
+    let rec = Recorder::new(8);
+    let tele = Telemetry::new();
+    tele.set_trace("deadbeef01234567", 3);
+    tele.add_sink(Box::new(rec.clone()));
+    tele.emit(Event::WitnessHop { constraint: 1, ring: 2 });
+    tele.emit(Event::Trip { reason: "node limit".into() });
+    let dump = rec.dump_jsonl(&DumpMeta {
+        trace_id: "deadbeef01234567",
+        job: "mutex.smv",
+        worker: 3,
+        reason: "exhausted: node limit",
+    });
+    let lines: Vec<&str> = dump.lines().collect();
+    assert_eq!(lines.len(), 3, "header + 2 events: {dump}");
+    let head = Json::parse(lines[0]).unwrap_or_else(|| panic!("invalid header: {}", lines[0]));
+    for key in DUMP_HEADER_KEYS {
+        assert!(head.get(key).is_some(), "dump header lost required key {key}: {}", lines[0]);
+    }
+    assert_eq!(head.get("dump_schema").and_then(Json::as_u64), Some(DUMP_SCHEMA_VERSION));
+    assert_eq!(head.get("trace_id").and_then(Json::as_str), Some("deadbeef01234567"));
+    assert_eq!(head.get("worker").and_then(Json::as_u64), Some(3));
+    assert_eq!(head.get("events").and_then(Json::as_u64), Some(2));
+    // Body lines are ordinary schema-v1 trace records carrying the
+    // optional trace keys, so every existing trace tool can read them.
+    for line in &lines[1..] {
+        let j = Json::parse(line).unwrap_or_else(|| panic!("invalid event: {line}"));
+        assert_eq!(j.get("v").and_then(Json::as_u64), Some(SCHEMA_VERSION), "{line}");
+        assert_eq!(j.get("trace_id").and_then(Json::as_str), Some("deadbeef01234567"), "{line}");
+        assert_eq!(j.get("worker").and_then(Json::as_u64), Some(3), "{line}");
+        let (ctx, _) = Event::from_json_line(line).unwrap_or_else(|| panic!("unparsable: {line}"));
+        assert!(ctx.trace.is_some(), "{line}");
+    }
+}
+
+#[test]
+fn status_snapshot_vocabulary_is_pinned() {
+    // Bumping the status schema is a conscious act: update the key
+    // tables, the serve docs and DESIGN.md §13 in the same change.
+    assert_eq!(STATUS_SCHEMA_VERSION, 1);
+    assert_eq!(
+        STATUS_REQUIRED_KEYS,
+        [
+            "status_schema",
+            "draining",
+            "queue_depth",
+            "in_flight",
+            "served",
+            "rejected",
+            "workers",
+            "quarantine",
+            "cache",
+        ]
+    );
+    assert_eq!(STATUS_WORKER_KEYS, ["slot", "name", "trace_id", "elapsed_us", "phase"]);
+    assert_eq!(STATUS_QUARANTINE_KEYS, ["source", "strikes", "diagnostic"]);
+}
+
+#[test]
+fn trace_context_keys_are_optional_common_keys() {
+    // A record with the trace keys parses; one without them parses to a
+    // tag-less context — both directions of the 0.9 compat contract.
+    let tagged = "{\"v\":1,\"seq\":0,\"t_us\":5,\"trace_id\":\"ab12\",\"worker\":2,\
+                  \"kind\":\"witness_hop\",\"constraint\":0,\"ring\":1}";
+    let (ctx, _) = Event::from_json_line(tagged).expect("tagged record must parse");
+    let tag = ctx.trace.expect("trace tag must survive the roundtrip");
+    assert_eq!((&*tag.trace_id, tag.worker), ("ab12", 2));
+    let bare =
+        "{\"v\":1,\"seq\":0,\"t_us\":5,\"kind\":\"witness_hop\",\"constraint\":0,\"ring\":1}";
+    let (ctx, _) = Event::from_json_line(bare).expect("bare record must parse");
+    assert!(ctx.trace.is_none());
 }
 
 #[test]

@@ -134,4 +134,38 @@ printf '%s\n' "$OUT" | grep -q '"op":"drained"' || {
   exit 1
 }
 echo "all 32 requests answered ($exhausted exhausted in-band), server drained (ok)"
+
+echo "== recorder overhead gate: flight recorder must cost <3% =="
+# A/B the batch bench family (best-of-3 serial wall) with and without
+# the per-job flight-recorder ring. "best" is the min over repetitions
+# — the most noise-resistant stat — and the whole comparison retries a
+# few times so one noisy machine moment cannot fail the drill.
+batch_best_wall() {
+  ./target/release/smc bench --reps 3 --no-gate --families batch $1 \
+    | awk '/^batch/ { for (i = 1; i < NF; i++)
+             if ($i == "jobs1" && $(i+1) == "best") {
+               t = $(i+2); sub(/s,?$/, "", t); print t; exit
+             } }'
+}
+attempts="${BENCH_MAX_RUNS:-3}"
+n=1
+while :; do
+  base="$(batch_best_wall "")"
+  rec="$(batch_best_wall "--recorder")"
+  if [ -z "$base" ] || [ -z "$rec" ]; then
+    echo "recorder gate: could not parse bench output" >&2
+    exit 1
+  fi
+  if awk -v a="$base" -v b="$rec" 'BEGIN { exit !(b <= a * 1.03) }'; then
+    echo "recorder overhead within budget: ${base}s plain vs ${rec}s recorded (ok)"
+    break
+  fi
+  if [ "$n" -ge "$attempts" ]; then
+    echo "recorder gate: ${rec}s recorded exceeds ${base}s plain by >3% after $attempts attempts" >&2
+    exit 1
+  fi
+  echo "recorder gate: attempt $n noisy (${base}s vs ${rec}s), retrying"
+  n=$((n + 1))
+done
+
 echo "stress drill complete"

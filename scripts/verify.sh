@@ -37,6 +37,25 @@ out=$(printf '%s\n' \
 grep -q '"op":"drained","served":2,"rejected":0,"worst_exit":0' <<<"$out" \
     || { echo "serve smoke: bad drained summary: $out"; exit 1; }
 
+echo "== serve black-box drill (watchdog trip must leave a dump) =="
+dumps="$(mktemp -d)"
+# A 3s drill hold against a 1s watchdog: the sentinel cancels the job,
+# the request answers exhausted, and the flight recorder's ring lands
+# on disk as a schema-versioned dump referenced by the response.
+out=$(printf '%s\n' \
+    '{"op":"check","id":"hung","trace_id":"verify-drill","path":"models/counter8.smv","hold_ms":3000}' \
+    | ./target/release/smc serve --jobs 1 --watchdog 1 --dump-dir "$dumps") && rc=0 || rc=$?
+[ "$rc" -eq 3 ] || { echo "dump drill: expected exit 3, got $rc: $out"; exit 1; }
+grep -q '"outcome":"exhausted"' <<<"$out" || { echo "dump drill: no exhausted response: $out"; exit 1; }
+grep -q '"dump":"' <<<"$out" || { echo "dump drill: response references no dump: $out"; exit 1; }
+dump="$dumps/verify-drill.dump.jsonl"
+[ -f "$dump" ] || { echo "dump drill: $dump missing"; exit 1; }
+head -1 "$dump" | grep -q '"dump_schema":1' || { echo "dump drill: bad header: $(head -1 "$dump")"; exit 1; }
+head -1 "$dump" | grep -q '"trace_id":"verify-drill"' || { echo "dump drill: header lost the trace id"; exit 1; }
+./target/release/smc debug dump "$dump" >/dev/null \
+    || { echo "dump drill: smc debug dump cannot read its own format"; exit 1; }
+rm -rf "$dumps"
+
 echo "== lint goldens over bundled models =="
 # lint_demo.smv seeds one trigger per warning: exit 1, every code shown.
 out=$(./target/release/smc lint models/lint_demo.smv) && rc=0 || rc=$?

@@ -10,6 +10,7 @@
 //! smc bench  [--baseline F] [--update] ...        benchmark observatory
 //! smc profile report FILE.jsonl [--json] [--top N]
 //! smc profile export FILE.jsonl (--chrome|--speedscope) [--out FILE]
+//! smc debug dump FILE.dump.jsonl               pretty-print a black-box dump
 //! smc help
 //! ```
 //!
@@ -31,8 +32,8 @@ use smc::bench::observatory::{self, BenchConfig};
 use smc::checker::{CheckError, Checker, CycleStrategy, PartialProgress, Phase, TripReason};
 use smc::kripke::{KripkeError, SymbolicModel};
 use smc::obs::{
-    export_chrome, export_speedscope, report_from_jsonl_with, JsonlSink, Ledger, Metrics,
-    ProfileAggregator, ProgressSink, RunRecord, Telemetry,
+    export_chrome, export_speedscope, report_from_jsonl_with, Event, Json, JsonlSink, Ledger,
+    Metrics, ProfileAggregator, ProgressSink, RunRecord, Telemetry,
 };
 use smc::smv::{CompiledModel, SmvError};
 
@@ -62,6 +63,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "dot" => cmd_dot(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
+        "debug" => cmd_debug(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -85,16 +87,18 @@ USAGE:
     smc serve  [--jobs N] [--listen ADDR] [--metrics-addr ADDR]
                [--max-queue N] [--quarantine-after N] [--watchdog SECS]
                [--drain-timeout SECS] [--retry-after-ms N] [--cache-dir DIR]
-               [--cache-cap N] [--trace] [--no-cache]
+               [--cache-cap N] [--dump-dir DIR] [--dump-cap N]
+               [--recorder-cap N] [--trace] [--no-cache]
                [--strategy restart|stayset] [COMMON]
     smc spec   [--lint] [COMMON] FILE.smv FORMULA
     smc lint   [--json] [COMMON] FILE.smv...
     smc reach  [COMMON] FILE.smv
     smc dot    FILE.smv (init|trans|reach)
     smc bench  [--baseline FILE] [--update] [--reps N] [--tolerance PCT]
-               [--no-gate] [--telemetry] [--families LIST]
+               [--no-gate] [--telemetry] [--recorder] [--families LIST]
     smc profile report FILE.jsonl [--json] [--top N]
     smc profile export FILE.jsonl (--chrome|--speedscope) [--out FILE]
+    smc debug dump FILE.dump.jsonl
     smc help
 
 COMMON (any combination; shared by check, spec, lint and reach):
@@ -149,9 +153,18 @@ COMMANDS:
              governor --quarantine-after times in a row are refused
              with their cached diagnostic; EOF or shutdown drains
              gracefully (--drain-timeout caps the wait) and emits a
-             final `drained` summary. --metrics-addr serves the
-             Prometheus exposition over HTTP. Exit is the worst
-             executed-request outcome; rejections do not count
+             final `drained` summary. Every request gets a trace_id
+             (client-supplied, or derived from source + sequence)
+             echoed in its response and stamped into its telemetry;
+             a flight recorder keeps the last --recorder-cap events
+             per request and, with --dump-dir, writes a black-box
+             .dump.jsonl on a trip/panic (capped at --dump-cap files,
+             path echoed as \"dump\" in the response). {{\"op\":
+             \"status\"}} and GET /status on --metrics-addr return a
+             live snapshot (queue, per-worker phase, quarantine);
+             --metrics-addr also serves the Prometheus exposition.
+             Exit is the worst executed-request outcome; rejections
+             do not count
     spec     check one CTL formula against the model (atoms are boolean
              variables or spec labels); --lint as for check
     lint     run the multi-pass analyzer: syntactic checks (unused and
@@ -172,6 +185,9 @@ COMMANDS:
              trace; export targets the Chrome trace-event format
              (--chrome, for chrome://tracing / Perfetto) or the
              speedscope format (--speedscope)
+    debug    pretty-print a flight-recorder black-box dump written by
+             `smc serve --dump-dir` (header, then one line per
+             buffered event with phase timings)
 
 EXIT CODE: 0 if everything checked holds, 1 if some spec fails (or a
            benchmark regressed), 2 on usage or input errors, 3 if a
@@ -654,8 +670,11 @@ fn print_spec_results(specs: &[smc::engine::SpecResult]) {
 /// escaper, shared with the serve protocol).
 use smc::engine::json_escape as json_esc;
 
-/// Schema version of the `smc batch --json` report.
-const BATCH_JSON_SCHEMA: u64 = 1;
+/// Schema version of the `smc batch --json` report. v2 added the
+/// per-job `trace_id` field (and the serve `dump` reference); v1
+/// parsers that ignore unknown keys keep working — the compat test in
+/// `tests/batch.rs` pins exactly that.
+const BATCH_JSON_SCHEMA: u64 = 2;
 
 fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     use smc::engine::{run_batch, EngineConfig, Job, JobOutcome};
@@ -759,6 +778,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         metrics: session.metrics.clone(),
         cache_dir,
         cache_cap,
+        recorder_cap: 0,
     };
     let results = run_batch(jobs, &cfg);
     for result in results {
@@ -842,7 +862,9 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    use smc::engine::{serve, serve_tcp, spawn_metrics_endpoint, EngineConfig, ServerConfig};
+    use smc::engine::{
+        serve, serve_tcp, spawn_metrics_endpoint, EngineConfig, ServerConfig, StatusBoard,
+    };
 
     fn secs(name: &str, v: Option<&String>) -> Result<Duration, String> {
         let v = v.ok_or_else(|| format!("{name} expects seconds"))?;
@@ -863,6 +885,9 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut retry_after_ms: u64 = 250;
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut cache_cap: usize = smc::engine::DEFAULT_CACHE_CAP;
+    let mut dump_dir: Option<std::path::PathBuf> = None;
+    let mut dump_cap: usize = smc::engine::DEFAULT_DUMP_CAP;
+    let mut recorder_cap: usize = 0;
     let mut trace = false;
     let mut no_cache = false;
     let mut strategy = CycleStrategy::Restart;
@@ -927,6 +952,26 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                         format!("--cache-cap expects a positive number, got {v:?}")
                     })?;
                 }
+                "--dump-dir" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--dump-dir expects a directory")?;
+                    dump_dir = Some(std::path::PathBuf::from(v));
+                }
+                "--dump-cap" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--dump-cap expects a number")?;
+                    dump_cap = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--dump-cap expects a positive number, got {v:?}")
+                    })?;
+                }
+                "--recorder-cap" => {
+                    *i += 1;
+                    let v = args.get(*i).ok_or("--recorder-cap expects a number")?;
+                    recorder_cap =
+                        v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--recorder-cap expects a positive number, got {v:?}")
+                        })?;
+                }
                 "--trace" => trace = true,
                 "--no-cache" => no_cache = true,
                 "--strategy" => {
@@ -973,7 +1018,11 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         metrics: metrics.clone(),
         cache_dir,
         cache_cap,
+        recorder_cap,
     };
+    // One introspection surface shared by {"op":"status"} and the HTTP
+    // /status route of the metrics endpoint.
+    let status = StatusBoard::new();
     let cfg = ServerConfig {
         engine,
         max_queue,
@@ -981,12 +1030,15 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         watchdog,
         drain_timeout,
         retry_after_ms,
+        dump_dir,
+        dump_cap,
+        status: Some(status.clone()),
     };
     if let Some(addr) = &metrics_addr {
-        let bound = spawn_metrics_endpoint(addr, metrics.clone())
+        let bound = spawn_metrics_endpoint(addr, metrics.clone(), Some(status))
             .map_err(|e| format!("cannot bind metrics endpoint {addr:?}: {e}"))?;
         // stdout is the protocol channel; operator chatter goes to stderr.
-        eprintln!("smc serve: metrics endpoint on http://{bound}/");
+        eprintln!("smc serve: metrics endpoint on http://{bound}/ (status at /status)");
     }
     let worst = match &listen {
         Some(addr) => {
@@ -1209,6 +1261,97 @@ fn cmd_profile(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> 
     }
 }
 
+fn cmd_debug(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    const USAGE: &str = "usage: smc debug dump FILE.dump.jsonl";
+    let Some(action) = args.first() else { return Err(USAGE.into()) };
+    match action.as_str() {
+        "dump" => {
+            let mut file: Option<&String> = None;
+            for arg in &args[1..] {
+                if arg.starts_with("--") {
+                    return Err(format!("unknown flag {arg:?}\n{USAGE}").into());
+                }
+                if file.replace(arg).is_some() {
+                    return Err(USAGE.into());
+                }
+            }
+            let file = file.ok_or(USAGE)?;
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+            let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+            let header_line = lines.next().ok_or_else(|| format!("{file}: empty dump"))?;
+            let header = Json::parse(header_line)
+                .filter(|h| h.get("dump_schema").is_some())
+                .ok_or_else(|| format!("{file}: first line is not a dump header"))?;
+            let str_of =
+                |key: &str| header.get(key).and_then(Json::as_str).unwrap_or("?").to_string();
+            let num_of = |key: &str| header.get(key).and_then(Json::as_u64).unwrap_or(0);
+            println!("dump_schema : {}", num_of("dump_schema"));
+            println!("trace_id    : {}", str_of("trace_id"));
+            println!("job         : {}", str_of("job"));
+            println!("worker      : {}", num_of("worker"));
+            println!("reason      : {}", str_of("reason"));
+            println!(
+                "events      : {} kept, {} overwritten, {} captured in all",
+                num_of("events"),
+                num_of("dropped"),
+                num_of("captured")
+            );
+            println!();
+            let mut shown = 0u64;
+            let mut skipped = 0u64;
+            for line in lines {
+                match Event::from_json_line(line) {
+                    Some((ctx, event)) => {
+                        println!("{:>8} {:>10}us  {}", ctx.seq, ctx.t_us, debug_event_line(&event));
+                        shown += 1;
+                    }
+                    None => skipped += 1,
+                }
+            }
+            if skipped > 0 {
+                eprintln!("note: {skipped} line(s) did not parse as schema-v1 events");
+            }
+            if shown == 0 {
+                eprintln!("note: dump holds no events (ring was empty at the trip)");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown debug action {other:?} (expected 'dump')").into()),
+    }
+}
+
+/// One human-oriented line per recorded event for `smc debug dump`.
+fn debug_event_line(event: &Event) -> String {
+    match event {
+        Event::SpanStart { kind, label, .. } => match label {
+            Some(l) => format!("span_start {} ({l})", kind.name()),
+            None => format!("span_start {}", kind.name()),
+        },
+        Event::SpanEnd { kind, wall_us, live_nodes, .. } => {
+            format!("span_end   {} wall {wall_us}us, {live_nodes} live nodes", kind.name())
+        }
+        Event::FixpointIter { phase, iteration, frontier_size, .. } => {
+            format!("fixpoint   {} iter {iteration}, frontier {frontier_size}", phase.name())
+        }
+        Event::WitnessHop { constraint, ring } => {
+            format!("witness    hop to constraint {constraint} (ring {ring})")
+        }
+        Event::CycleClose { closed, arc_len } => {
+            format!("witness    cycle close: closed={closed}, arc {arc_len}")
+        }
+        Event::Restart { count, stay_exit, .. } => {
+            format!("witness    restart {count} (stay_exit={stay_exit})")
+        }
+        Event::Gc { reclaimed, live_after, pause_us, .. } => {
+            format!("gc         reclaimed {reclaimed}, {live_after} live, {pause_us}us pause")
+        }
+        Event::Ladder { stage } => format!("ladder     escalated to {stage}"),
+        Event::Trip { reason } => format!("trip       {reason}"),
+        Event::Diagnostic { code, severity } => format!("diagnostic {severity} {code}"),
+    }
+}
+
 /// The short commit hash `smc bench` stamps into ledger records:
 /// `git rev-parse --short HEAD`, or `unknown` outside a git checkout.
 fn current_commit() -> String {
@@ -1240,6 +1383,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "--update" => update = true,
             "--no-gate" => no_gate = true,
             "--telemetry" => config.telemetry = true,
+            "--recorder" => config.recorder = true,
             "--reps" => {
                 let v = value(args, &mut i, "--reps")?;
                 config.repetitions =
@@ -1286,9 +1430,10 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     };
 
     println!(
-        "-- bench observatory: {} repetitions, telemetry {} --",
+        "-- bench observatory: {} repetitions, telemetry {}, recorder {} --",
         run.repetitions,
-        if run.telemetry { "enabled" } else { "disabled" }
+        if run.telemetry { "enabled" } else { "disabled" },
+        if config.recorder { "enabled" } else { "disabled" }
     );
     for fam in &run.families {
         let phases = fam

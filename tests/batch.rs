@@ -155,13 +155,78 @@ fn json_report_carries_outcomes_counters_and_summary() {
         smc().args(["batch", "--jobs", "1", "--json"]).arg(&fx.manifest).output().expect("runs");
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.starts_with("{\"schema\":1,\"jobs\":["), "{stdout}");
+    assert!(stdout.starts_with("{\"schema\":2,\"jobs\":["), "{stdout}");
     assert!(stdout.contains("\"outcome\":\"pass\""), "{stdout}");
     assert!(stdout.contains("\"outcome\":\"fail\""), "{stdout}");
     assert!(stdout.contains("\"reach_iters\":"), "{stdout}");
     assert!(stdout.contains("\"cache_hit\":true"), "cache on by default: {stdout}");
     assert!(stdout.contains("\"summary\":{\"jobs\":6,"), "{stdout}");
     assert!(stdout.contains("\"exit\":1}"), "{stdout}");
+    // Schema 2 = schema 1 plus a trace_id per job; every job has one.
+    assert_eq!(stdout.matches("\"trace_id\":\"").count(), 6, "{stdout}");
+}
+
+#[test]
+fn json_schema_bump_is_backward_compatible_for_v1_readers() {
+    // A v1 reader knows name/outcome/exit_class/... and ignores unknown
+    // keys. Walk the schema-2 report with exactly that discipline: every
+    // v1 field must still be present, under its v1 name, with its v1
+    // shape — the trace_id addition must not displace or rename anything.
+    let fx = Fixture::new("compat");
+    let out =
+        smc().args(["batch", "--jobs", "1", "--json"]).arg(&fx.manifest).output().expect("runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v1_job_keys = [
+        "\"name\":\"",
+        "\"outcome\":\"",
+        "\"exit_class\":",
+        "\"wall_us\":",
+        "\"cache_hit\":",
+        "\"reach_iters\":",
+        "\"cache_lookups\":",
+        "\"created_nodes\":",
+    ];
+    for key in v1_job_keys {
+        assert_eq!(stdout.matches(key).count(), 6, "v1 key {key} on all 6 jobs: {stdout}");
+    }
+    // The v1 envelope is intact: jobs array then summary object.
+    assert!(stdout.contains("\"jobs\":["), "{stdout}");
+    assert!(stdout.contains("\"summary\":{"), "{stdout}");
+    // trace_id never collides with a v1 name and is a plain string, so a
+    // tolerant v1 parser (ignore-unknown-keys) parses schema 2 unchanged.
+    for piece in stdout.split("\"trace_id\":\"").skip(1) {
+        let id = piece.split('"').next().expect("closing quote");
+        assert_eq!(id.len(), 16, "derived ids are 16 hex chars: {id:?}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id:?}");
+    }
+}
+
+#[test]
+fn trace_ids_are_deterministic_across_runs_and_worker_counts() {
+    let fx = Fixture::new("traceids");
+    let ids = |jobs: &str| {
+        let out = smc()
+            .args(["batch", "--jobs", jobs, "--json", "--no-cache"])
+            .arg(&fx.manifest)
+            .output()
+            .expect("runs");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        stdout
+            .split("\"trace_id\":\"")
+            .skip(1)
+            .map(|p| p.split('"').next().expect("closing quote").to_string())
+            .collect::<Vec<_>>()
+    };
+    let first = ids("1");
+    assert_eq!(first.len(), 6);
+    assert_eq!(first, ids("1"), "same manifest, same run → same ids");
+    assert_eq!(first, ids("4"), "worker count must not change id assignment");
+    // Rounds repeat the same three sources; ids still differ because the
+    // manifest slot is part of the derivation.
+    let mut dedup = first.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), 6, "duplicate sources get distinct ids per slot: {first:?}");
 }
 
 #[test]

@@ -52,6 +52,17 @@ fn serve(args: &[&str], requests: &[String]) -> (i32, Vec<String>) {
     (out.status.code().expect("exit code"), stdout)
 }
 
+/// Asserts a response line is `<head>,"trace_id":"<16 hex>",<tail>…`.
+fn golden_head(line: &str, head: &str, tail: &str) {
+    let full_head = format!("{head},\"trace_id\":\"");
+    assert!(line.starts_with(&full_head), "{line}");
+    let rest = &line[full_head.len()..];
+    let id = rest.split('"').next().expect("closing quote");
+    assert_eq!(id.len(), 16, "derived trace id is 16 hex chars: {line}");
+    assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{line}");
+    assert!(rest[id.len()..].starts_with(&format!("\",{tail}")), "{line}");
+}
+
 #[test]
 fn golden_round_trip_pass_fail_and_drain_on_eof() {
     let (code, lines) = serve(
@@ -62,17 +73,19 @@ fn golden_round_trip_pass_fail_and_drain_on_eof() {
         ],
     );
     assert_eq!(lines.len(), 3, "two responses + drained summary: {lines:?}");
-    // Golden head: schema, per-server sequence, echoed id, batch-shaped
-    // job fields.
-    assert!(
-        lines[0].starts_with(r#"{"schema":1,"seq":0,"id":"ok","op":"check","name":"ok","outcome":"pass","exit_class":0,"#),
-        "{}",
-        lines[0]
+    // Golden head: schema, per-server sequence, echoed id, trace id,
+    // batch-shaped job fields. The derived trace id is 16 hex chars
+    // (content hash × admission seq), pinned by shape here and by value
+    // in the engine's unit tests.
+    golden_head(
+        &lines[0],
+        r#"{"schema":1,"seq":0,"id":"ok","op":"check","name":"ok""#,
+        r#""outcome":"pass","exit_class":0,"#,
     );
-    assert!(
-        lines[1].starts_with(r#"{"schema":1,"seq":1,"id":"bad","op":"check","name":"bad","outcome":"fail","exit_class":1,"#),
-        "{}",
-        lines[1]
+    golden_head(
+        &lines[1],
+        r#"{"schema":1,"seq":1,"id":"bad","op":"check","name":"bad""#,
+        r#""outcome":"fail","exit_class":1,"#,
     );
     assert!(lines[1].contains(r#""specs":[{"formula":""#), "{}", lines[1]);
     assert!(lines[1].contains(r#""holds":false"#), "{}", lines[1]);
@@ -144,9 +157,11 @@ fn overload_sheds_with_a_retry_hint_and_clean_exit() {
             format!(r#"{{"op":"check","id":"shed","source":"{}"}}"#, esc(COUNTER)),
         ],
     );
-    // The rejection goes out while "slow" still holds the only worker.
+    // The rejection goes out while "slow" still holds the only worker;
+    // a shed request was admitted far enough to carry its trace id.
+    assert!(lines[0].contains(r#""id":"shed","op":"check","trace_id":""#), "{}", lines[0]);
     assert!(
-        lines[0].contains(r#""id":"shed","op":"check","outcome":"rejected","reason":"overload","retry_after_ms":42"#),
+        lines[0].contains(r#""outcome":"rejected","reason":"overload","retry_after_ms":42"#),
         "{}",
         lines[0]
     );
@@ -196,6 +211,98 @@ fn serve_traces_match_the_serial_checker() {
     let specs = |s: &str| s[s.find(r#""specs":"#).expect("specs")..].to_string();
     assert_eq!(specs(&lines[0]), specs(&lines2[0]), "verdict+trace are reproducible");
     std::fs::remove_file(model).ok();
+}
+
+#[test]
+fn client_trace_ids_are_echoed_and_derived_ids_are_reproducible() {
+    // A client-supplied trace_id is echoed verbatim in the response.
+    let (code, lines) = serve(
+        &[],
+        &[format!(
+            r#"{{"op":"check","id":"tagged","trace_id":"req-7f.alpha","source":"{}"}}"#,
+            esc(COUNTER)
+        )],
+    );
+    assert_eq!(code, 0);
+    assert!(lines[0].contains(r#""trace_id":"req-7f.alpha""#), "{}", lines[0]);
+
+    // Without one, the server derives it from the source content and the
+    // admission sequence — two fresh servers assign identical ids.
+    let request = [format!(r#"{{"op":"check","id":"derived","source":"{}"}}"#, esc(COUNTER))];
+    let id_of = |lines: &[String]| {
+        lines[0]
+            .split(r#""trace_id":""#)
+            .nth(1)
+            .and_then(|p| p.split('"').next())
+            .expect("trace_id in response")
+            .to_string()
+    };
+    let (_, first) = serve(&[], &request);
+    let (_, second) = serve(&[], &request);
+    assert_eq!(id_of(&first), id_of(&second), "derived ids are run-independent");
+    assert_eq!(id_of(&first).len(), 16, "{first:?}");
+}
+
+#[test]
+fn status_op_reports_schema_queue_and_worker_shape() {
+    let (code, lines) = serve(
+        &[],
+        &[
+            r#"{"op":"status"}"#.to_string(),
+            format!(r#"{{"op":"check","id":"job","source":"{}"}}"#, esc(COUNTER)),
+        ],
+    );
+    assert_eq!(code, 0);
+    let status = lines
+        .iter()
+        .find(|l| l.contains(r#""op":"status""#))
+        .unwrap_or_else(|| panic!("no status response: {lines:?}"));
+    assert!(status.contains(r#""status_schema":1"#), "{status}");
+    for key in [
+        "\"draining\":",
+        "\"queue_depth\":",
+        "\"in_flight\":",
+        "\"served\":",
+        "\"rejected\":",
+        "\"workers\":",
+        "\"quarantine\":",
+        "\"cache\":",
+    ] {
+        assert!(status.contains(key), "status key {key} missing: {status}");
+    }
+}
+
+#[test]
+fn watchdog_trip_writes_a_parseable_black_box_dump() {
+    let dir = std::env::temp_dir().join(format!("smc_serve_dumps_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("dump dir");
+    let (code, lines) = serve(
+        &["--watchdog", "1", "--dump-dir", &dir.display().to_string()],
+        &[format!(r#"{{"op":"check","id":"stuck","source":"{}","hold_ms":3000}}"#, esc(COUNTER))],
+    );
+    let stuck = lines
+        .iter()
+        .find(|l| l.contains(r#""id":"stuck""#))
+        .unwrap_or_else(|| panic!("no response for stuck: {lines:?}"));
+    assert!(stuck.contains(r#""outcome":"exhausted""#), "{stuck}");
+    assert!(stuck.contains(r#""dump":""#), "response references its dump: {stuck}");
+    let dump_path = stuck
+        .split(r#""dump":""#)
+        .nth(1)
+        .and_then(|p| p.split('"').next())
+        .expect("dump path in response");
+    let text = std::fs::read_to_string(dump_path).expect("dump file exists");
+    let header = text.lines().next().expect("header line");
+    assert!(header.contains(r#""dump_schema":1"#), "{header}");
+    assert!(header.contains(r#""reason":""#), "{header}");
+    assert!(header.contains(r#""trace_id":""#), "{header}");
+    // The CLI's own reader understands the file.
+    let debug = smc().args(["debug", "dump", dump_path]).output().expect("smc debug runs");
+    assert_eq!(debug.status.code(), Some(0), "{}", String::from_utf8_lossy(&debug.stderr));
+    let pretty = String::from_utf8_lossy(&debug.stdout);
+    assert!(pretty.contains("dump_schema : 1"), "{pretty}");
+    assert_eq!(code, 3, "watchdog trips are the exhausted class");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
