@@ -1,0 +1,309 @@
+//! Cone-of-influence planning: which variables each `SPEC` actually
+//! needs, which sliced module to check it on, and the W021/W022
+//! dataflow warnings.
+//!
+//! ## Soundness
+//!
+//! A cone is the backward closure of the spec's support over the
+//! [`DepGraph`](crate::DepGraph), seeded with the support of every
+//! `FAIRNESS` constraint (fair-path quantification sees all of them).
+//! Dropped variables are constrained only by their own functional
+//! `ASSIGN`s — total, so the dropped part of the state always has at
+//! least one successor and cannot change the cone's behaviour — or by
+//! raw constraints whose support lies *wholly* outside the cone (the
+//! mutual-coupling rule in [`DepGraph::build`](crate::DepGraph::build)
+//! guarantees a raw constraint is never split by a cone). A wholly
+//! dropped raw constraint could still matter (it may be unsatisfiable,
+//! or break totality), so the planner refuses to slice in that case and
+//! falls back to the full model. Variables frozen at one literal value
+//! by [`frozen_constants`] are folded into their readers instead of
+//! being kept.
+
+use std::collections::BTreeMap;
+
+use smc_smv::{Expr, Module, Section};
+
+use crate::dataflow::{frozen_constants, DepGraph};
+use crate::diag::{Diagnostic, Report};
+
+/// The checking plan for one `SPEC` under cone-of-influence reduction.
+#[derive(Debug, Clone)]
+pub struct SpecCoi {
+    /// 0-based index of the spec in source order.
+    pub index: usize,
+    /// The sliced module to check the spec on, or `None` when the
+    /// planner fell back to the full model.
+    pub module: Option<Module>,
+    /// Number of variables in the slice (= total when falling back).
+    pub kept: usize,
+    /// One human-readable report line (printed to stderr by `--coi`).
+    pub report: String,
+}
+
+/// A whole-model cone-of-influence plan: one entry per `SPEC`.
+#[derive(Debug, Clone)]
+pub struct CoiPlan {
+    /// Per-spec plans, in source order.
+    pub specs: Vec<SpecCoi>,
+    /// Number of declared variables in the full model.
+    pub total_vars: usize,
+}
+
+impl CoiPlan {
+    /// True when at least one spec gets a genuine slice.
+    pub fn any_sliced(&self) -> bool {
+        self.specs.iter().any(|s| s.module.is_some())
+    }
+}
+
+/// Plans cone-of-influence checking for every `SPEC` of a flattened
+/// module.
+pub fn plan_coi(module: &Module) -> CoiPlan {
+    let graph = DepGraph::build(module);
+    let consts = frozen_constants(module);
+    let folded: BTreeMap<String, Expr> =
+        consts.iter().filter_map(|(v, c)| Some((v.clone(), c.to_expr()?))).collect();
+    let fold_names = folded.keys().cloned().collect();
+    let total = graph.vars.len();
+
+    let specs = graph
+        .spec_support
+        .iter()
+        .enumerate()
+        .map(|(index, support)| {
+            let seeds = support.union(&graph.fairness_support);
+            let cone = graph.cone_excluding(seeds, &fold_names);
+            if cone.is_empty() {
+                return SpecCoi {
+                    index,
+                    module: None,
+                    kept: total,
+                    report: format!("coi: spec {index} uses the full model (empty cone)"),
+                };
+            }
+            let dropped_constraint = graph
+                .constraint_support
+                .iter()
+                .any(|s| !s.is_empty() && s.intersection(&cone).next().is_none());
+            if dropped_constraint {
+                return SpecCoi {
+                    index,
+                    module: None,
+                    kept: total,
+                    report: format!(
+                        "coi: spec {index} uses the full model \
+                         (raw INIT/TRANS constraint outside the cone)"
+                    ),
+                };
+            }
+            let kept = cone.len();
+            let sliced = smc_smv::slice_module(module, &cone, Some(index), &folded);
+            SpecCoi {
+                index,
+                module: Some(sliced),
+                kept,
+                report: format!(
+                    "coi: spec {index} uses {kept}/{total} vars ({} sliced away)",
+                    total - kept
+                ),
+            }
+        })
+        .collect();
+    CoiPlan { specs, total_vars: total }
+}
+
+/// Plans cone-of-influence checking for an ad-hoc formula over the
+/// given atoms. Atoms name BDD bits: either a variable, or `var.N` for
+/// one bit of a multi-bit encoding. Returns `None` (check the full
+/// model) when an atom cannot be resolved to a variable, the cone is
+/// empty, or a raw constraint falls outside it; otherwise the sliced
+/// module (with every `SPEC` dropped) and a report line.
+pub fn plan_adhoc_coi(module: &Module, atoms: &[String]) -> Option<(Module, String)> {
+    let graph = DepGraph::build(module);
+    let consts = frozen_constants(module);
+    let folded: BTreeMap<String, Expr> =
+        consts.iter().filter_map(|(v, c)| Some((v.clone(), c.to_expr()?))).collect();
+    let fold_names = folded.keys().cloned().collect();
+
+    let mut seeds = Vec::new();
+    for atom in atoms {
+        seeds.push(resolve_atom(&graph, atom)?);
+    }
+    let all_seeds: Vec<String> =
+        seeds.into_iter().chain(graph.fairness_support.iter().cloned()).collect();
+    let cone = graph.cone_excluding(all_seeds.iter(), &fold_names);
+    if cone.is_empty() {
+        return None;
+    }
+    let dropped_constraint = graph
+        .constraint_support
+        .iter()
+        .any(|s| !s.is_empty() && s.intersection(&cone).next().is_none());
+    if dropped_constraint {
+        return None;
+    }
+    let kept = cone.len();
+    let total = graph.vars.len();
+    let sliced = smc_smv::slice_module(module, &cone, None, &folded);
+    Some((sliced, format!("coi: formula uses {kept}/{total} vars ({} sliced away)", total - kept)))
+}
+
+/// Maps an ad-hoc CTL atom to the variable that owns it.
+fn resolve_atom(graph: &DepGraph, atom: &str) -> Option<String> {
+    if graph.deps.contains_key(atom) {
+        return Some(atom.to_string());
+    }
+    // `name.N`: one bit of a range/enum encoding.
+    let (head, bit) = atom.rsplit_once('.')?;
+    if bit.chars().all(|c| c.is_ascii_digit()) && graph.deps.contains_key(head) {
+        return Some(head.to_string());
+    }
+    None
+}
+
+/// The dataflow warning pass: W021 `constant-variable` for variables
+/// frozen at one value, W022 `irrelevant-to-all-specs` for variables
+/// the model reads but no spec's cone (fairness included) contains.
+pub(crate) fn run(module: &Module, report: &mut Report) {
+    let graph = DepGraph::build(module);
+    let consts = frozen_constants(module);
+
+    // Relevance for W022 uses the *unfolded* cones: a frozen variable
+    // feeding a spec is W021, not W022 material.
+    let mut relevant = std::collections::BTreeSet::new();
+    for support in &graph.spec_support {
+        relevant.extend(graph.cone(support.union(&graph.fairness_support)));
+    }
+
+    for section in &module.sections {
+        let Section::Var(decls) = section else { continue };
+        for d in decls {
+            if let Some(c) = consts.get(&d.name) {
+                report.push(
+                    Diagnostic::warning(
+                        "W021",
+                        format!("variable `{}` is frozen at `{c}`: no assignment moves it", d.name),
+                        Some(d.span),
+                    )
+                    .with_note(format!("every reachable state has {}={c}", d.name))
+                    .with_note("`--coi` folds the constant into its readers"),
+                );
+            } else if !graph.spec_support.is_empty()
+                && !relevant.contains(&d.name)
+                && graph.read_anywhere.contains(&d.name)
+            {
+                report.push(
+                    Diagnostic::warning(
+                        "W022",
+                        format!("variable `{}` influences no specification", d.name),
+                        Some(d.span),
+                    )
+                    .with_note("it lies outside every spec's cone of influence (fairness included)")
+                    .with_note("`--coi` checks run without it"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(src: &str) -> Module {
+        smc_smv::flatten(&smc_smv::parse(src).expect("parse")).expect("flatten")
+    }
+
+    const TWO_COMPONENTS: &str = "MODULE main\n\
+        VAR a : boolean;\nVAR b : boolean;\n\
+        ASSIGN\n\
+        init(a) := FALSE; next(a) := !a;\n\
+        init(b) := FALSE; next(b) := !b;\n\
+        SPEC EF a\nSPEC EF b\n";
+
+    #[test]
+    fn independent_components_get_disjoint_slices() {
+        let plan = plan_coi(&module(TWO_COMPONENTS));
+        assert_eq!(plan.total_vars, 2);
+        assert_eq!(plan.specs.len(), 2);
+        for (spec, var) in plan.specs.iter().zip(["a", "b"]) {
+            assert_eq!(spec.kept, 1, "{}", spec.report);
+            let m = spec.module.as_ref().expect("sliced");
+            let compiled = smc_smv::compile_module(m).expect("compiles");
+            assert_eq!(compiled.var_names(), vec![var]);
+        }
+    }
+
+    #[test]
+    fn fairness_support_lands_in_every_cone() {
+        let plan = plan_coi(&module(
+            "MODULE main\n\
+             VAR a : boolean;\nVAR f : boolean;\n\
+             ASSIGN\n\
+             init(a) := FALSE; next(a) := !a;\n\
+             init(f) := FALSE; next(f) := {FALSE, TRUE};\n\
+             FAIRNESS f\n\
+             SPEC EF a\n",
+        ));
+        assert_eq!(plan.specs[0].kept, 2, "fairness keeps f: {}", plan.specs[0].report);
+    }
+
+    #[test]
+    fn raw_constraint_outside_the_cone_forces_full_model() {
+        let plan = plan_coi(&module(
+            "MODULE main\n\
+             VAR a : boolean;\nVAR x : boolean;\n\
+             ASSIGN init(a) := FALSE; next(a) := !a;\n\
+             TRANS !next(x)\n\
+             SPEC EF a\n",
+        ));
+        assert!(plan.specs[0].module.is_none(), "{}", plan.specs[0].report);
+        assert!(plan.specs[0].report.contains("raw INIT/TRANS"), "{}", plan.specs[0].report);
+    }
+
+    #[test]
+    fn constants_are_folded_out_of_the_slice() {
+        let plan = plan_coi(&module(
+            "MODULE main\n\
+             VAR k : boolean;\nVAR a : boolean;\n\
+             ASSIGN\n\
+             init(k) := FALSE; next(k) := FALSE;\n\
+             init(a) := FALSE; next(a) := case k : TRUE; TRUE : !a; esac;\n\
+             SPEC EF a\n",
+        ));
+        let spec = &plan.specs[0];
+        assert_eq!(spec.kept, 1, "{}", spec.report);
+        let compiled = smc_smv::compile_module(spec.module.as_ref().expect("sliced"))
+            .expect("folded slice compiles");
+        assert_eq!(compiled.var_names(), vec!["a"]);
+    }
+
+    #[test]
+    fn spec_over_a_constant_only_falls_back_to_the_full_model() {
+        let plan = plan_coi(&module(
+            "MODULE main\nVAR k : boolean;\n\
+             ASSIGN init(k) := FALSE; next(k) := FALSE;\n\
+             SPEC AG !k\n",
+        ));
+        assert!(plan.specs[0].module.is_none(), "{}", plan.specs[0].report);
+        assert!(plan.specs[0].report.contains("empty cone"), "{}", plan.specs[0].report);
+    }
+
+    #[test]
+    fn adhoc_atoms_resolve_through_bit_suffixes() {
+        let m = module(
+            "MODULE main\n\
+             VAR n : 0..3;\nVAR b : boolean;\n\
+             ASSIGN\n\
+             init(n) := 0; next(n) := (n + 1) mod 4;\n\
+             init(b) := FALSE; next(b) := !b;\n\
+             SPEC EF b\n",
+        );
+        let (sliced, report) = plan_adhoc_coi(&m, &["n.0".to_string()]).expect("bit atom resolves");
+        assert!(report.contains("1/2"), "{report}");
+        let compiled = smc_smv::compile_module(&sliced).expect("compiles");
+        assert_eq!(compiled.var_names(), vec!["n"]);
+        assert!(compiled.specs.is_empty(), "ad-hoc slices drop every SPEC");
+        assert!(plan_adhoc_coi(&m, &["__spec0_0".to_string()]).is_none(), "labels fall back");
+    }
+}

@@ -23,6 +23,8 @@
 //! | W011 | warning  | `case` branch never taken on any relevant state |
 //! | W012 | warning  | fairness constraint unsatisfiable or unreachable |
 //! | W020 | warning  | specification passes vacuously |
+//! | W021 | warning  | variable provably frozen at one value |
+//! | W022 | warning  | variable influences no specification (outside every cone) |
 
 use smc_smv::Span;
 

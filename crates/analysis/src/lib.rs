@@ -6,16 +6,21 @@
 //! A multi-pass analyzer ("lint") producing structured diagnostics with
 //! stable codes, severities and source spans:
 //!
-//! 1. **Syntactic/semantic** ([`syntactic`]): walks the flattened AST —
+//! 1. **Syntactic/semantic** (`syntactic`): walks the flattened AST —
 //!    undeclared identifiers, duplicate assignments, out-of-domain
 //!    constants, shadowed `case` branches, circular `next()`
 //!    dependencies, unused and write-only variables.
-//! 2. **Symbolic** ([`symbolic`]): compiles the model (deadlocks
+//! 2. **Dataflow** (`coi`/`dataflow`): builds the variable
+//!    dependency graph, runs the constant-propagation fixpoint, and
+//!    reports variables frozen at one value (W021) or outside every
+//!    spec's cone of influence (W022). The same machinery plans
+//!    cone-of-influence slicing for `--coi` checking ([`plan_coi`]).
+//! 3. **Symbolic** (`symbolic`): compiles the model (deadlocks
 //!    allowed, branch guards recorded) and checks it with BDDs — a
 //!    non-total transition relation with a concrete stuck state,
 //!    `case` branches no relevant state ever takes, fairness
 //!    constraints no reachable state satisfies.
-//! 3. **Vacuity** ([`vacuity`]): for every passing `SPEC`, strengthens
+//! 4. **Vacuity** (`vacuity`): for every passing `SPEC`, strengthens
 //!    each atom occurrence by polarity (Beer–Ben-David–Eisner–Rodeh)
 //!    and rechecks; a spec that still passes is reported vacuous,
 //!    with an *interesting witness* for the strengthened formula.
@@ -37,11 +42,15 @@
 //! assert!(report.diagnostics.iter().any(|d| d.code == "W001")); // y unused
 //! ```
 
+mod coi;
+mod dataflow;
 mod diag;
 mod symbolic;
 mod syntactic;
 mod vacuity;
 
+pub use coi::{plan_adhoc_coi, plan_coi, CoiPlan, SpecCoi};
+pub use dataflow::{frozen_constants, ConstVal, DepGraph};
 pub use diag::{Diagnostic, Report, Severity};
 
 use smc_bdd::{BddError, Budget};
@@ -123,7 +132,14 @@ fn analyze_inner(source: &str, opts: &AnalysisOptions) -> Report {
 
     syntactic::run(&module, &mut report);
 
-    if report.has_errors() || (!opts.symbolic && !opts.vacuity) {
+    if report.has_errors() {
+        return report;
+    }
+    // Dataflow warnings (W021/W022) are source-level like pass 1, but
+    // only meaningful on a module whose names all resolve.
+    coi::run(&module, &mut report);
+
+    if !opts.symbolic && !opts.vacuity {
         return report;
     }
 

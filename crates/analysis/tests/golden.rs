@@ -43,7 +43,10 @@ fn lint_demo_reports_every_seeded_diagnostic() {
     codes.sort_unstable();
     assert_eq!(
         codes,
-        vec!["W001", "W002", "W003", "W005", "W010", "W011", "W020", "W020"],
+        vec![
+            "W001", "W002", "W003", "W005", "W010", "W011", "W020", "W020", "W021", "W021", "W021",
+            "W022"
+        ],
         "exactly the seeded warnings, nothing else: {report:#?}"
     );
     assert!(report.exhausted.is_none());
@@ -102,6 +105,44 @@ fn lint_demo_reports_every_seeded_diagnostic() {
         assert_eq!(d.severity, Severity::Warning);
         assert!(d.span.is_some());
     }
+
+    // W021: req, c and gate are provably frozen — `req` and `c` stand
+    // still directly, `gate` only through the fixpoint over `req`. Each
+    // finding sits on its declaration and names the frozen value.
+    let w021s: Vec<&Diagnostic> = report.diagnostics.iter().filter(|d| d.code == "W021").collect();
+    let expect = [
+        ("req", "FALSE", "req  : boolean;"),
+        ("c", "0", "c    : 0..2;"),
+        ("gate", "FALSE", "gate : boolean;"),
+    ];
+    for (var, value, needle) in expect {
+        let d = w021s
+            .iter()
+            .find(|d| d.message.contains(&format!("`{var}`")))
+            .unwrap_or_else(|| panic!("no W021 for {var}: {report:#?}"));
+        assert!(d.message.contains(&format!("`{value}`")), "{d:?}");
+        assert_eq!(d.span, Some(span_of(&source, needle)), "{var}");
+    }
+
+    // W022: `stop` is read (by the TRANS constraint) but lies in no
+    // spec's cone; `z`/`wo` stay W001/W002, `gate` stays W021.
+    let w022 = find(&report, "W022");
+    assert!(w022.message.contains("`stop`"), "{w022:?}");
+    assert_eq!(w022.span, Some(span_of(&source, "stop : boolean;")));
+}
+
+#[test]
+fn pipeline_reports_exactly_the_heartbeat_w022() {
+    // models/pipeline.smv: producer/consumer plus an unrelated blinker;
+    // every variable serves some spec except the self-referential
+    // heartbeat `beat`.
+    let (source, report) = analyze_file("pipeline.smv");
+    let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec!["W022"], "only the seeded irrelevant variable: {report:#?}");
+    let w022 = find(&report, "W022");
+    assert!(w022.message.contains("`beat`"), "{w022:?}");
+    assert_eq!(w022.span, Some(span_of(&source, "beat     : boolean;")));
+    assert_eq!(report.exit_code(), 1);
 }
 
 #[test]

@@ -202,7 +202,7 @@ pub(crate) enum CacheOp {
     Constrain = 8,
 }
 
-/// Number of distinct [`CacheOp`] tags.
+/// Number of distinct `CacheOp` tags.
 pub const NUM_CACHE_OPS: usize = 9;
 
 /// Human-readable names for the per-operation stat rows, indexed like

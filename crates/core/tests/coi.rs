@@ -1,0 +1,196 @@
+//! Cone-of-influence reduction must be invisible in every verdict: for
+//! any model, checking a spec on its sliced module must return exactly
+//! the answer the full model returns, and running the whole COI
+//! machinery (planning, slicing, compiling, checking) between two full
+//! runs must not perturb the second run in any way — same verdicts,
+//! same satisfying-set node ids, same EU rings, same witness traces.
+
+use proptest::prelude::*;
+use smc_analysis::{plan_adhoc_coi, plan_coi, DepGraph};
+use smc_bdd::Bdd;
+use smc_checker::fixpoint::eu_rings;
+use smc_checker::{CheckError, Checker, Trace};
+use smc_smv::{compile_module, flatten, parse, Module};
+
+/// Everything a checking run produces that a COI pass could conceivably
+/// perturb, in bit-comparable form (mirrors the lint-purity harness).
+#[derive(Debug, PartialEq)]
+struct RunResult {
+    outcomes: Vec<(bool, Bdd, Option<Trace>)>,
+    rings: Vec<Bdd>,
+}
+
+/// Compiles `source` fresh (own manager) and runs the full query set.
+fn run_queries(source: &str) -> RunResult {
+    let mut compiled = smc_smv::compile(source).expect("generated model compiles");
+    let init = compiled.model.init();
+    let reach = compiled.model.reachable().expect("reachable");
+    let rings = eu_rings(&mut compiled.model, reach, init).expect("rings");
+
+    let specs = compiled.specs.clone();
+    let mut checker = Checker::new(&mut compiled.model);
+    let outcomes = specs
+        .iter()
+        .map(|spec| match checker.check_with_trace(&spec.formula) {
+            Ok(out) => (out.verdict.holds(), out.verdict.states, out.trace),
+            Err(CheckError::NothingToExplain) => {
+                let v = checker.check(&spec.formula).expect("check");
+                (v.holds(), v.states, None)
+            }
+            Err(e) => panic!("check: {e:?}"),
+        })
+        .collect();
+    RunResult { outcomes, rings }
+}
+
+fn flat(source: &str) -> Module {
+    flatten(&parse(source).expect("parse")).expect("flatten")
+}
+
+/// Checks every spec of the full model and returns the verdict bits.
+fn full_verdicts(module: &Module) -> Vec<bool> {
+    let mut compiled = compile_module(module).expect("full model compiles");
+    let specs = compiled.specs.clone();
+    let mut checker = Checker::new(&mut compiled.model);
+    specs.iter().map(|s| checker.check(&s.formula).expect("check").holds()).collect()
+}
+
+/// Checks the single spec a sliced module carries.
+fn sliced_verdict(module: &Module) -> bool {
+    let mut compiled = compile_module(module).expect("sliced model compiles");
+    assert_eq!(compiled.specs.len(), 1, "a slice isolates exactly one spec");
+    let formula = compiled.specs[0].formula.clone();
+    Checker::new(&mut compiled.model).check(&formula).expect("check").holds()
+}
+
+/// One generated `next()` right-hand side for a boolean variable.
+#[derive(Debug, Clone, Copy)]
+enum NextKind {
+    Hold,
+    Flip,
+    CopyOther,
+    Free,
+}
+
+fn next_rhs(kind: NextKind, me: &str, other: &str) -> String {
+    match kind {
+        NextKind::Hold => me.to_string(),
+        NextKind::Flip => format!("!{me}"),
+        NextKind::CopyOther => other.to_string(),
+        NextKind::Free => "{FALSE, TRUE}".to_string(),
+    }
+}
+
+fn next_kind() -> impl Strategy<Value = NextKind> {
+    prop_oneof![
+        Just(NextKind::Hold),
+        Just(NextKind::Flip),
+        Just(NextKind::CopyOther),
+        Just(NextKind::Free),
+    ]
+}
+
+/// A three-variable model where `a` and `b` may feed each other but `c`
+/// only ever reads itself — so specs over `a`/`b` genuinely slice `c`
+/// away, while `c`-specs exercise the one-variable cone. Always total
+/// (pure ASSIGN), so every generated instance compiles.
+fn smv_source() -> impl Strategy<Value = String> {
+    (
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+        (next_kind(), next_kind(), next_kind()),
+        any::<bool>(),
+        prop_oneof![
+            Just("SPEC AG (a -> AF b)"),
+            Just("SPEC EF (a & b)"),
+            Just("SPEC AG EF a"),
+            Just("SPEC EX b"),
+            Just("SPEC AG !a"),
+        ],
+        prop_oneof![Just("SPEC EF c"), Just("SPEC AF c"), Just("SPEC AG (c -> EX c)")],
+    )
+        .prop_map(|((ia, ib, ic), (ka, kb, kc), fair, s1, s2)| {
+            let fmt = |v: bool| if v { "TRUE" } else { "FALSE" };
+            // `c`'s "other" is itself: CopyOther degenerates to Hold,
+            // keeping c's cone disjoint from {a, b} by construction.
+            format!(
+                "MODULE main\nVAR\n  a : boolean;\n  b : boolean;\n  c : boolean;\nASSIGN\n  \
+                 init(a) := {};\n  next(a) := {};\n  init(b) := {};\n  next(b) := {};\n  \
+                 init(c) := {};\n  next(c) := {};\n{}{s1}\n{s2}\n",
+                fmt(ia),
+                next_rhs(ka, "a", "b"),
+                fmt(ib),
+                next_rhs(kb, "b", "a"),
+                fmt(ic),
+                next_rhs(kc, "c", "c"),
+                if fair { "FAIRNESS b\n" } else { "" },
+            )
+        })
+}
+
+proptest! {
+    // Each case compiles the full model plus one model per sliced spec;
+    // keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The central soundness property: for every spec the planner
+    /// slices, the sliced model's verdict equals the full model's.
+    #[test]
+    fn coi_preserves_every_verdict(source in smv_source()) {
+        let module = flat(&source);
+        let plan = plan_coi(&module);
+        let full = full_verdicts(&module);
+        prop_assert_eq!(plan.specs.len(), full.len());
+        for spec in &plan.specs {
+            if let Some(sliced) = &spec.module {
+                prop_assert_eq!(
+                    sliced_verdict(sliced),
+                    full[spec.index],
+                    "spec {} verdict moved under COI\n{}",
+                    spec.index,
+                    source
+                );
+            }
+        }
+    }
+
+    /// The plan's bookkeeping is honest: `kept` counts the slice's
+    /// actual variables, never more than the model declares, and a
+    /// fallback always reports the full count.
+    #[test]
+    fn coi_kept_counts_match_the_slices(source in smv_source()) {
+        let module = flat(&source);
+        let total = DepGraph::build(&module).vars.len();
+        let plan = plan_coi(&module);
+        prop_assert_eq!(plan.total_vars, total);
+        for spec in &plan.specs {
+            prop_assert!(spec.kept <= total);
+            match &spec.module {
+                Some(sliced) => {
+                    prop_assert_eq!(DepGraph::build(sliced).vars.len(), spec.kept, "{}", source);
+                }
+                None => prop_assert_eq!(spec.kept, total),
+            }
+        }
+    }
+
+    /// Purity sandwich: planning, slicing, compiling and checking every
+    /// cone (spec cones and an ad-hoc one) between two full runs leaves
+    /// the second run bit-identical to the first.
+    #[test]
+    fn coi_never_perturbs_checking(source in smv_source()) {
+        let baseline = run_queries(&source);
+
+        let module = flat(&source);
+        for spec in &plan_coi(&module).specs {
+            if let Some(sliced) = &spec.module {
+                sliced_verdict(sliced);
+            }
+        }
+        if let Some((sliced, _report)) = plan_adhoc_coi(&module, &["c".to_string()]) {
+            compile_module(&sliced).expect("ad-hoc slice compiles");
+        }
+
+        let after = run_queries(&source);
+        prop_assert_eq!(baseline, after, "COI perturbed the checking run\n{}", source);
+    }
+}

@@ -391,7 +391,7 @@ fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`fn@vec`].
     pub trait SizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -422,7 +422,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`fn@vec`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, R> {
         element: S,

@@ -71,6 +71,7 @@ mod error;
 mod flatten;
 mod lexer;
 mod parser;
+mod slice;
 mod value;
 
 pub use ast::{
@@ -83,6 +84,7 @@ pub use compile::{
 pub use error::SmvError;
 pub use flatten::flatten;
 pub use parser::parse;
+pub use slice::slice_module;
 pub use value::Value;
 
 #[cfg(test)]

@@ -1,0 +1,201 @@
+//! AST-level module slicing for cone-of-influence reduction.
+//!
+//! [`slice_module`] keeps only the variables in a caller-supplied cone
+//! and substitutes literal values for variables the caller has proven
+//! constant. It is purely syntactic: the caller (the dataflow analysis
+//! in `smc-analysis`) is responsible for choosing a cone that makes the
+//! slice sound — in particular, every raw `INIT`/`TRANS` constraint
+//! must have its full support inside the cone (raw constraints are
+//! kept verbatim), and the support of every `FAIRNESS` constraint must
+//! be in the cone (fairness sections are kept too, since fair-path
+//! semantics quantify over all of them).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Assign, CaseBranch, Expr, Module, Section, Spec};
+
+/// Returns a copy of `module` restricted to the variables in `keep`.
+///
+/// - `VAR` declarations and `ASSIGN`s outside `keep` are dropped;
+/// - every retained expression has reads of `consts` variables replaced
+///   by the given literal (the substitution map must only name
+///   variables *outside* `keep`);
+/// - raw `INIT`/`TRANS`/`FAIRNESS` sections and all `DEFINE`s are kept
+///   (substituted); an unused `DEFINE` that still mentions a dropped
+///   variable is harmless — macros are resolved lazily on use;
+/// - of the `SPEC` sections, only the one with (0-based) index
+///   `spec_index` survives, so the sliced model checks exactly one
+///   property; pass `None` to drop every spec (ad-hoc formulas).
+pub fn slice_module(
+    module: &Module,
+    keep: &BTreeSet<String>,
+    spec_index: Option<usize>,
+    consts: &BTreeMap<String, Expr>,
+) -> Module {
+    let sub = Subst { consts };
+    let mut sections = Vec::with_capacity(module.sections.len());
+    let mut spec_seen = 0usize;
+    for section in &module.sections {
+        match section {
+            Section::Var(decls) => {
+                let kept: Vec<_> =
+                    decls.iter().filter(|d| keep.contains(&d.name)).cloned().collect();
+                if !kept.is_empty() {
+                    sections.push(Section::Var(kept));
+                }
+            }
+            Section::Assign(assigns) => {
+                let kept: Vec<Assign> = assigns
+                    .iter()
+                    .filter(|a| keep.contains(&a.var))
+                    .map(|a| Assign {
+                        var: a.var.clone(),
+                        kind: a.kind,
+                        rhs: sub.expr(&a.rhs),
+                        span: a.span,
+                    })
+                    .collect();
+                if !kept.is_empty() {
+                    sections.push(Section::Assign(kept));
+                }
+            }
+            Section::Define(defs) => {
+                sections.push(Section::Define(
+                    defs.iter().map(|(name, e)| (name.clone(), sub.expr(e))).collect(),
+                ));
+            }
+            Section::Init(e, span) => sections.push(Section::Init(sub.expr(e), *span)),
+            Section::Trans(e, span) => sections.push(Section::Trans(sub.expr(e), *span)),
+            Section::Fairness(e, span) => sections.push(Section::Fairness(sub.expr(e), *span)),
+            Section::Spec(spec, span) => {
+                if Some(spec_seen) == spec_index {
+                    sections.push(Section::Spec(sub.spec(spec), *span));
+                }
+                spec_seen += 1;
+            }
+        }
+    }
+    Module { name: module.name.clone(), params: module.params.clone(), sections }
+}
+
+/// Literal-for-variable substitution over expressions and specs.
+struct Subst<'a> {
+    consts: &'a BTreeMap<String, Expr>,
+}
+
+impl Subst<'_> {
+    fn expr(&self, e: &Expr) -> Expr {
+        if self.consts.is_empty() {
+            return e.clone();
+        }
+        match e {
+            Expr::Bool(_) | Expr::Int(_) => e.clone(),
+            Expr::Ident(name) => self.consts.get(name).unwrap_or(e).clone(),
+            // A constant variable holds its value at every time.
+            Expr::Next(name) => self.consts.get(name).unwrap_or(e).clone(),
+            Expr::Not(a) => Expr::Not(Box::new(self.expr(a))),
+            Expr::And(a, b) => Expr::And(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Or(a, b) => Expr::Or(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Implies(a, b) => Expr::Implies(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Iff(a, b) => Expr::Iff(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Eq(a, b) => Expr::Eq(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Neq(a, b) => Expr::Neq(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Lt(a, b) => Expr::Lt(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Le(a, b) => Expr::Le(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Gt(a, b) => Expr::Gt(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Ge(a, b) => Expr::Ge(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Add(a, b) => Expr::Add(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Sub(a, b) => Expr::Sub(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Mul(a, b) => Expr::Mul(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Mod(a, b) => Expr::Mod(Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Case(branches) => Expr::Case(
+                branches
+                    .iter()
+                    .map(|b| CaseBranch {
+                        condition: self.expr(&b.condition),
+                        value: self.expr(&b.value),
+                        span: b.span,
+                    })
+                    .collect(),
+            ),
+            Expr::Set(elems) => Expr::Set(elems.iter().map(|e| self.expr(e)).collect()),
+        }
+    }
+
+    fn spec(&self, s: &Spec) -> Spec {
+        match s {
+            Spec::Expr(e) => Spec::Expr(self.expr(e)),
+            Spec::Not(a) => Spec::Not(Box::new(self.spec(a))),
+            Spec::And(a, b) => Spec::And(Box::new(self.spec(a)), Box::new(self.spec(b))),
+            Spec::Or(a, b) => Spec::Or(Box::new(self.spec(a)), Box::new(self.spec(b))),
+            Spec::Implies(a, b) => Spec::Implies(Box::new(self.spec(a)), Box::new(self.spec(b))),
+            Spec::Iff(a, b) => Spec::Iff(Box::new(self.spec(a)), Box::new(self.spec(b))),
+            Spec::Ex(a) => Spec::Ex(Box::new(self.spec(a))),
+            Spec::Ef(a) => Spec::Ef(Box::new(self.spec(a))),
+            Spec::Eg(a) => Spec::Eg(Box::new(self.spec(a))),
+            Spec::Eu(a, b) => Spec::Eu(Box::new(self.spec(a)), Box::new(self.spec(b))),
+            Spec::Ax(a) => Spec::Ax(Box::new(self.spec(a))),
+            Spec::Af(a) => Spec::Af(Box::new(self.spec(a))),
+            Spec::Ag(a) => Spec::Ag(Box::new(self.spec(a))),
+            Spec::Au(a, b) => Spec::Au(Box::new(self.spec(a)), Box::new(self.spec(b))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod slice_tests {
+    use super::*;
+    use crate::{flatten, parse};
+
+    fn module(src: &str) -> Module {
+        flatten(&parse(src).expect("parse")).expect("flatten")
+    }
+
+    const TWO_COMPONENTS: &str = "MODULE main\n\
+        VAR a : boolean;\nVAR b : boolean;\n\
+        ASSIGN\n\
+        init(a) := FALSE; next(a) := !a;\n\
+        init(b) := FALSE; next(b) := !b;\n\
+        SPEC EF a\nSPEC EF b\n";
+
+    #[test]
+    fn slicing_keeps_only_cone_variables_and_the_selected_spec() {
+        let m = module(TWO_COMPONENTS);
+        let keep: BTreeSet<String> = ["a".to_string()].into_iter().collect();
+        let sliced = slice_module(&m, &keep, Some(0), &BTreeMap::new());
+        let compiled = crate::compile_module(&sliced).expect("sliced model compiles");
+        assert_eq!(compiled.var_names(), vec!["a"]);
+        assert_eq!(compiled.specs.len(), 1);
+    }
+
+    #[test]
+    fn keeping_everything_with_one_spec_is_the_identity() {
+        let m = module(
+            "MODULE main\nVAR a : boolean;\n\
+             ASSIGN init(a) := FALSE; next(a) := !a;\nSPEC EF a\n",
+        );
+        let keep: BTreeSet<String> = ["a".to_string()].into_iter().collect();
+        assert_eq!(slice_module(&m, &keep, Some(0), &BTreeMap::new()), m);
+    }
+
+    #[test]
+    fn constant_substitution_rewrites_reads_everywhere() {
+        let m = module(
+            "MODULE main\n\
+             VAR k : boolean;\nVAR a : boolean;\n\
+             DEFINE gated := k & a;\n\
+             ASSIGN\n\
+             init(k) := FALSE; next(k) := FALSE;\n\
+             init(a) := FALSE; next(a) := case k : TRUE; TRUE : !a; esac;\n\
+             SPEC EF gated\n",
+        );
+        let keep: BTreeSet<String> = ["a".to_string()].into_iter().collect();
+        let consts: BTreeMap<String, Expr> =
+            [("k".to_string(), Expr::Bool(false))].into_iter().collect();
+        let sliced = slice_module(&m, &keep, Some(0), &consts);
+        let text = format!("{sliced:?}");
+        assert!(!text.contains("Ident(\"k\")"), "no read of k survives: {text}");
+        let compiled = crate::compile_module(&sliced).expect("sliced model compiles");
+        assert_eq!(compiled.var_names(), vec!["a"]);
+    }
+}

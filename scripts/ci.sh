@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-stop CI entry point: full verification (build, tests, smokes,
+# goldens), the static quality gate, and an ungated benchmark pass so a
+# broken workload fails the pipeline without a wall-time gate flaking it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==== ci: verify ===="
+./scripts/verify.sh
+
+echo "==== ci: static quality gate ===="
+./scripts/lint.sh
+
+echo "==== ci: bench observatory (ungated) ===="
+./target/release/smc bench --reps 1 --no-gate --baseline BENCH_kernel.json
+
+echo "ci: OK"

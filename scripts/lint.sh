@@ -10,4 +10,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustfmt (check only) =="
 cargo fmt --check
 
+echo "== rustdoc (workspace, no deps, -D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "lint: OK"

@@ -60,9 +60,15 @@ echo "== lint goldens over bundled models =="
 # lint_demo.smv seeds one trigger per warning: exit 1, every code shown.
 out=$(./target/release/smc lint models/lint_demo.smv) && rc=0 || rc=$?
 [ "$rc" -eq 1 ] || { echo "lint_demo: expected exit 1, got $rc"; exit 1; }
-for code in W001 W002 W003 W005 W010 W011 W020; do
+for code in W001 W002 W003 W005 W010 W011 W020 W021 W022; do
     grep -q "warning\[$code\]" <<<"$out" || { echo "lint_demo: $code missing"; exit 1; }
 done
+# pipeline.smv seeds the cone-of-influence demos: exactly one W022 (the
+# heartbeat bit no spec can observe) and nothing else.
+out=$(./target/release/smc lint models/pipeline.smv) && rc=0 || rc=$?
+[ "$rc" -eq 1 ] || { echo "pipeline: expected exit 1, got $rc"; exit 1; }
+[ "$(grep -c 'warning\[' <<<"$out")" -eq 1 ] || { echo "pipeline: expected exactly one warning"; exit 1; }
+grep -q "warning\[W022\]" <<<"$out" || { echo "pipeline: W022 missing"; exit 1; }
 # The healthy models must stay clean (no false positives) apart from
 # arbiter2's genuine fairness-subsumes-liveness vacuity.
 ./target/release/smc lint models/mutex.smv >/dev/null
@@ -70,5 +76,16 @@ out=$(./target/release/smc lint models/arbiter2.smv) && rc=0 || rc=$?
 [ "$rc" -eq 1 ] || { echo "arbiter2: expected exit 1, got $rc"; exit 1; }
 [ "$(grep -c 'warning\[' <<<"$out")" -eq 1 ] || { echo "arbiter2: expected exactly one warning"; exit 1; }
 grep -q "warning\[W020\]" <<<"$out" || { echo "arbiter2: W020 missing"; exit 1; }
+
+echo "== cone-of-influence smoke (byte-identical verdicts) =="
+# --coi must never move stdout or the exit code; the reports land on
+# stderr. Checked here on the model built to exercise the slicer.
+plain=$(./target/release/smc check models/pipeline.smv 2>/dev/null) && prc=0 || prc=$?
+coi=$(./target/release/smc check --coi models/pipeline.smv 2>/dev/null) && crc=0 || crc=$?
+[ "$prc" -eq "$crc" ] || { echo "coi smoke: exit codes differ ($prc vs $crc)"; exit 1; }
+[ "$plain" = "$coi" ] || { echo "coi smoke: stdout differs"; exit 1; }
+err=$(./target/release/smc check --coi models/pipeline.smv 2>&1 1>/dev/null) || true
+grep -q "coi: spec 3 uses 1/6 vars" <<<"$err" || { echo "coi smoke: report line missing"; exit 1; }
+./target/release/smc deps models/pipeline.smv >/dev/null || { echo "deps smoke failed"; exit 1; }
 
 echo "verify: OK"

@@ -1,11 +1,12 @@
 //! `smc` — command-line front end for the symbolic model checker.
 //!
 //! ```text
-//! smc check  [--trace] [--lint] [--strategy restart|stayset] [COMMON] FILE.smv
-//! smc batch  [--jobs N] [--json] [--no-cache] [COMMON] MANIFEST
+//! smc check  [--trace] [--lint] [--coi] [--strategy restart|stayset] [COMMON] FILE.smv
+//! smc batch  [--jobs N] [--json] [--coi] [--no-cache] [COMMON] MANIFEST
 //! smc serve  [--jobs N] [--listen ADDR] [--metrics-addr ADDR] ...  NDJSON service
-//! smc spec   [--lint] [COMMON] FILE.smv FORMULA   check one ad-hoc CTL formula
+//! smc spec   [--lint] [--coi] [COMMON] FILE.smv FORMULA   check one ad-hoc CTL formula
 //! smc lint   [--json] [COMMON] FILE.smv...        static + symbolic analysis
+//! smc deps   [--dot] FILE.smv                     variable dependency graph
 //! smc reach  [COMMON] FILE.smv                    reachability statistics
 //! smc bench  [--baseline F] [--update] ...        benchmark observatory
 //! smc profile report FILE.jsonl [--json] [--top N]
@@ -59,6 +60,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "serve" => cmd_serve(&args[1..]),
         "spec" => cmd_spec(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
+        "deps" => cmd_deps(&args[1..]),
         "reach" => cmd_reach(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
@@ -81,17 +83,20 @@ fn print_usage() {
         "smc — symbolic model checking with counterexamples and witnesses
 
 USAGE:
-    smc check  [--trace] [--lint] [--strategy restart|stayset] [COMMON] FILE.smv
-    smc batch  [--jobs N] [--json] [--trace] [--no-cache] [--cache-dir DIR]
-               [--cache-cap N] [--strategy restart|stayset] [COMMON] MANIFEST
+    smc check  [--trace] [--lint] [--coi] [--strategy restart|stayset]
+               [COMMON] FILE.smv
+    smc batch  [--jobs N] [--json] [--trace] [--coi] [--no-cache]
+               [--cache-dir DIR] [--cache-cap N]
+               [--strategy restart|stayset] [COMMON] MANIFEST
     smc serve  [--jobs N] [--listen ADDR] [--metrics-addr ADDR]
                [--max-queue N] [--quarantine-after N] [--watchdog SECS]
                [--drain-timeout SECS] [--retry-after-ms N] [--cache-dir DIR]
                [--cache-cap N] [--dump-dir DIR] [--dump-cap N]
-               [--recorder-cap N] [--trace] [--no-cache]
+               [--recorder-cap N] [--trace] [--coi] [--no-cache]
                [--strategy restart|stayset] [COMMON]
-    smc spec   [--lint] [COMMON] FILE.smv FORMULA
+    smc spec   [--lint] [--coi] [COMMON] FILE.smv FORMULA
     smc lint   [--json] [COMMON] FILE.smv...
+    smc deps   [--dot] FILE.smv
     smc reach  [COMMON] FILE.smv
     smc dot    FILE.smv (init|trans|reach)
     smc bench  [--baseline FILE] [--update] [--reps N] [--tolerance PCT]
@@ -126,7 +131,13 @@ COMMANDS:
     check    check every SPEC of the program; with --trace, print a
              counterexample for each failing spec (and a witness for
              each holding temporal spec); with --lint, run the analyzer
-             first and print its findings to stderr
+             first and print its findings to stderr; with --coi, check
+             each SPEC on its cone-of-influence slice (variables the
+             spec cannot observe are dropped, provably frozen variables
+             are folded to constants — verdicts are unchanged, one
+             `coi:` report line per spec goes to stderr; specs with no
+             sound slice, trace runs and unparseable models fall back
+             to the full model)
     batch    check every job of a MANIFEST file (one `MODEL.smv
              [FORMULA]` per line; # comments) on --jobs N worker
              threads. Each job gets its own BDD manager and its own
@@ -139,7 +150,9 @@ COMMANDS:
              adds fleet-level series (queue depth, jobs in flight,
              cache traffic, per-job wall histogram); --cache-dir makes
              the warm-start cache persistent (crash-safe writes,
-             checksum-verified loads, --cache-cap LRU entries)
+             checksum-verified loads, --cache-cap LRU entries); --coi
+             checks whole-model traceless jobs on per-spec cones, as
+             for `smc check --coi` (such jobs bypass the cache)
     serve    long-running checking service: NDJSON requests in (stdin,
              or TCP with --listen), one NDJSON response per request
              out. Ops: {{\"op\":\"check\",\"source\"|\"path\":..,
@@ -166,13 +179,21 @@ COMMANDS:
              Exit is the worst executed-request outcome; rejections
              do not count
     spec     check one CTL formula against the model (atoms are boolean
-             variables or spec labels); --lint as for check
+             variables or spec labels); --lint and --coi as for check
+             (the cone is seeded from the formula's atoms; label atoms
+             fall back to the full model)
     lint     run the multi-pass analyzer: syntactic checks (unused and
              undeclared variables, shadowed branches, ...), symbolic
              checks (deadlocks, dead case branches, degenerate
              fairness) and SPEC vacuity detection with interesting
-             witnesses; --json emits one machine-readable JSON object
-             per file. Exit 0 clean / 1 warnings / 2 errors / 3 budget
+             witnesses; --json emits one machine-readable JSON array
+             with one object per readable file. Exit 0 clean / 1
+             warnings / 2 errors / 3 budget
+    deps     print the variable dependency graph of the flattened
+             model: per-variable dependencies, strongly connected
+             components (reverse topological), per-spec cones of
+             influence, fairness support and provably frozen
+             variables; --dot writes Graphviz DOT instead
     reach    print model statistics (variables, reachable states)
     dot      write the requested BDD as Graphviz DOT to stdout
     bench    run the benchmark observatory (families: mutex, arbiter2,
@@ -493,8 +514,11 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     }
     let session = TeleSession::new(&opts)?;
     // Multi-file: every file is analyzed; the exit code is the worst
-    // outcome (3 exhausted > 2 errors > 1 warnings > 0 clean).
+    // outcome (3 exhausted > 2 errors > 1 warnings > 0 clean). JSON
+    // mode collects one object per readable file and emits a single
+    // array, so multi-file output stays one parseable document.
     let mut worst: i32 = 0;
+    let mut json_reports = Vec::new();
     for file in &opts.positionals {
         let source = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -511,11 +535,14 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         };
         let report = analyze(&source, &aopts);
         if json {
-            println!("{}", report.render_json(file, &source));
+            json_reports.push(report.render_json(file, &source));
         } else {
             print!("{}", report.render_human(file, &source));
         }
         worst = worst.max(report.exit_code());
+    }
+    if json {
+        println!("[{}]", json_reports.join(","));
     }
     session.finish();
     Ok(ExitCode::from(worst as u8))
@@ -524,11 +551,13 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut trace = false;
     let mut lint = false;
+    let mut coi = false;
     let mut strategy = CycleStrategy::Restart;
     let opts = parse_common(args, |args, i| {
         match args[*i].as_str() {
             "--trace" => trace = true,
             "--lint" => lint = true,
+            "--coi" => coi = true,
             "--strategy" => {
                 *i += 1;
                 match args.get(*i).map(String::as_str) {
@@ -551,6 +580,11 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let session = TeleSession::new(&opts)?;
     if lint {
         lint_to_stderr(file, opts.budget.to_budget());
+    }
+    if coi {
+        if let Some(code) = check_with_coi(file, &opts, &session, trace, strategy)? {
+            return Ok(code);
+        }
     }
     let mut compiled = match load_governed(file, opts.budget.to_budget(), session.tele.clone()) {
         Ok(compiled) => compiled,
@@ -632,6 +666,167 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     Ok(if all_hold { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
 
+/// Parses and flattens `path` quietly for `--coi` planning and
+/// `smc deps`. `None` on any read/parse/flatten problem — `--coi`
+/// callers then fall back to the ordinary loader, which owns the
+/// diagnostics rendering.
+fn coi_module_for(path: &str) -> Option<smc::smv::Module> {
+    let source = std::fs::read_to_string(path).ok()?;
+    let program = smc::smv::parse(&source).ok()?;
+    smc::smv::flatten(&program).ok()
+}
+
+/// The `smc check --coi` fast path: plan per-spec cones, print one
+/// report line per spec to stderr, and check each SPEC on its sliced
+/// model (fallback specs share one full compile). The stdout verdict
+/// lines are byte-identical to a run without `--coi`.
+///
+/// Returns `Ok(None)` when the run must fall back to the ordinary
+/// full-model path: the model does not parse, there are no specs,
+/// nothing slices, traces were requested (they render every variable),
+/// or some compile fails.
+fn check_with_coi(
+    file: &str,
+    opts: &CommonOptions,
+    session: &TeleSession,
+    trace: bool,
+    strategy: CycleStrategy,
+) -> Result<Option<ExitCode>, Box<dyn std::error::Error>> {
+    use smc::smv::{compile_module_with_options, CompileOptions};
+
+    let Some(module) = coi_module_for(file) else { return Ok(None) };
+    let plan = smc::analysis::plan_coi(&module);
+    for spec in &plan.specs {
+        eprintln!("{}", spec.report);
+    }
+    if trace || plan.specs.is_empty() || !plan.any_sliced() {
+        return Ok(None);
+    }
+    // Compile every model up front (sliced specs their slice, fallback
+    // specs one shared full model), so any compile problem can still
+    // fall back before the first verdict prints.
+    let compile = |m: &smc::smv::Module| {
+        compile_module_with_options(
+            m,
+            opts.budget.to_budget(),
+            session.tele.clone(),
+            CompileOptions::default(),
+        )
+    };
+    let mut models: Vec<Option<CompiledModel>> = Vec::with_capacity(plan.specs.len());
+    let mut full: Option<CompiledModel> = None;
+    for spec in &plan.specs {
+        match &spec.module {
+            Some(sliced) => match compile(sliced) {
+                Ok(c) if c.specs.len() == 1 => models.push(Some(c)),
+                _ => return Ok(None),
+            },
+            None => {
+                if full.is_none() {
+                    match compile(&module) {
+                        Ok(c) if c.specs.len() == plan.specs.len() => full = Some(c),
+                        _ => return Ok(None),
+                    }
+                }
+                models.push(None);
+            }
+        }
+    }
+    let mut all_hold = true;
+    for (spec, slot) in plan.specs.iter().zip(models.iter_mut()) {
+        let (compiled, spec_at) = match slot {
+            Some(c) => (c, 0),
+            None => (full.as_mut().expect("fallback model compiled"), spec.index),
+        };
+        let formula = compiled.specs[spec_at].formula.clone();
+        let outcome = {
+            let mut checker = Checker::new(&mut compiled.model).with_strategy(strategy);
+            checker.check(&formula)
+        };
+        match outcome {
+            Ok(v) => {
+                all_hold &= v.holds();
+                println!("SPEC {}: {}", spec.index, if v.holds() { "holds" } else { "FAILS" });
+            }
+            Err(CheckError::ResourceExhausted { phase, reason, partial }) => {
+                eprintln!("SPEC {}: not decided", spec.index);
+                if opts.stats {
+                    print_stats(compiled.model.manager());
+                }
+                session.record_model(&compiled.model);
+                session.finish();
+                return Ok(Some(report_exhausted(phase, &reason, &partial)));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    // --stats and the metrics snapshot report the last manager used —
+    // under COI every spec may run on its own manager.
+    if let Some(c) = models.last().and_then(Option::as_ref).or(full.as_ref()) {
+        if opts.stats {
+            print_stats(c.model.manager());
+        }
+        session.record_model(&c.model);
+    }
+    session.finish();
+    Ok(Some(if all_hold { ExitCode::SUCCESS } else { ExitCode::from(1) }))
+}
+
+/// The `smc spec --coi` fast path: seed the cone from the formula's
+/// atoms and check on the sliced model. `Ok(None)` falls back to the
+/// ordinary path (unparseable formula or model, unresolvable atoms, no
+/// sound slice, compile failure).
+fn spec_with_coi(
+    file: &str,
+    formula: &str,
+    opts: &CommonOptions,
+    session: &TeleSession,
+) -> Result<Option<ExitCode>, Box<dyn std::error::Error>> {
+    use smc::smv::{compile_module_with_options, CompileOptions};
+
+    let Ok(ctl) = smc::logic::ctl::parse(formula) else { return Ok(None) };
+    let atoms: Vec<String> =
+        smc::logic::atom_occurrences(&ctl).into_iter().map(|a| a.name).collect();
+    let Some(module) = coi_module_for(file) else { return Ok(None) };
+    let Some((sliced, report)) = smc::analysis::plan_adhoc_coi(&module, &atoms) else {
+        return Ok(None);
+    };
+    eprintln!("{report}");
+    let Ok(mut compiled) = compile_module_with_options(
+        &sliced,
+        opts.budget.to_budget(),
+        session.tele.clone(),
+        CompileOptions::default(),
+    ) else {
+        return Ok(None);
+    };
+    let outcome = {
+        let mut checker = Checker::new(&mut compiled.model);
+        checker.check(&ctl)
+    };
+    match outcome {
+        Ok(v) => {
+            println!("{ctl}: {}", if v.holds() { "holds" } else { "FAILS" });
+            if opts.stats {
+                print_stats(compiled.model.manager());
+            }
+            session.record_model(&compiled.model);
+            session.finish();
+            Ok(Some(if v.holds() { ExitCode::SUCCESS } else { ExitCode::from(1) }))
+        }
+        Err(CheckError::ResourceExhausted { phase, reason, partial }) => {
+            eprintln!("{ctl}: not decided");
+            if opts.stats {
+                print_stats(compiled.model.manager());
+            }
+            session.record_model(&compiled.model);
+            session.finish();
+            Ok(Some(report_exhausted(phase, &reason, &partial)))
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
 /// One line of `smc batch` output state: a job the engine ran, or a
 /// manifest entry whose model file could not be read (reported in
 /// place, in manifest order, without aborting the batch).
@@ -682,6 +877,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut workers: usize = 1;
     let mut json = false;
     let mut trace = false;
+    let mut coi = false;
     let mut no_cache = false;
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut cache_cap: usize = smc::engine::DEFAULT_CACHE_CAP;
@@ -699,6 +895,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 }
                 "--json" => json = true,
                 "--trace" => trace = true,
+                "--coi" => coi = true,
                 "--no-cache" => no_cache = true,
                 "--cache-dir" => {
                     *i += 1;
@@ -773,6 +970,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         timeout: opts.budget.timeout_secs.map(Duration::from_secs),
         node_limit: opts.budget.node_limit,
         max_iters: opts.budget.max_iters,
+        coi,
         cancel: None,
         strategy,
         metrics: session.metrics.clone(),
@@ -889,6 +1087,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut dump_cap: usize = smc::engine::DEFAULT_DUMP_CAP;
     let mut recorder_cap: usize = 0;
     let mut trace = false;
+    let mut coi = false;
     let mut no_cache = false;
     let mut strategy = CycleStrategy::Restart;
     let opts =
@@ -973,6 +1172,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                         })?;
                 }
                 "--trace" => trace = true,
+                "--coi" => coi = true,
                 "--no-cache" => no_cache = true,
                 "--strategy" => {
                     *i += 1;
@@ -1013,6 +1213,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         timeout: opts.budget.timeout_secs.map(Duration::from_secs),
         node_limit: opts.budget.node_limit,
         max_iters: opts.budget.max_iters,
+        coi,
         cancel: None,
         strategy,
         metrics: metrics.clone(),
@@ -1059,19 +1260,29 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 
 fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut lint = false;
+    let mut coi = false;
     let opts = parse_common(args, |args, i| match args[*i].as_str() {
         "--lint" => {
             lint = true;
             Ok(true)
         }
+        "--coi" => {
+            coi = true;
+            Ok(true)
+        }
         _ => Ok(false),
     })?;
     let [file, formula] = &opts.positionals[..] else {
-        return Err("usage: smc spec [--lint] [COMMON] FILE.smv FORMULA".into());
+        return Err("usage: smc spec [--lint] [--coi] [COMMON] FILE.smv FORMULA".into());
     };
     let session = TeleSession::new(&opts)?;
     if lint {
         lint_to_stderr(file, opts.budget.to_budget());
+    }
+    if coi {
+        if let Some(code) = spec_with_coi(file, formula, &opts, &session)? {
+            return Ok(code);
+        }
     }
     let mut compiled = match load_governed(file, opts.budget.to_budget(), session.tele.clone()) {
         Ok(compiled) => compiled,
@@ -1123,6 +1334,79 @@ fn cmd_dot(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         other => return Err(format!("unknown BDD {other:?} (init|trans|reach)").into()),
     };
     print!("{}", compiled.model.manager().to_dot(&[bdd]));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_deps(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    const USAGE: &str = "usage: smc deps [--dot] FILE.smv";
+    let mut dot = false;
+    let mut file: Option<&String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--dot" => dot = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}\n{USAGE}").into())
+            }
+            _ => {
+                if file.replace(arg).is_some() {
+                    return Err(USAGE.into());
+                }
+            }
+        }
+    }
+    let file = file.ok_or(USAGE)?;
+    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+    let module = match smc::smv::parse(&source).and_then(|p| smc::smv::flatten(&p)) {
+        Ok(m) => m,
+        Err(e) => {
+            let mut report = Report::new();
+            report.push(smc::analysis::smv_diag(&e));
+            eprint!("{}", report.render_human(file, &source));
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let graph = smc::analysis::DepGraph::build(&module);
+    if dot {
+        print!("{}", graph.to_dot());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let join = |set: &std::collections::BTreeSet<String>| -> String {
+        if set.is_empty() {
+            "(none)".to_string()
+        } else {
+            set.iter().cloned().collect::<Vec<_>>().join(" ")
+        }
+    };
+    println!("file      : {file}");
+    println!("variables : {}", graph.vars.len());
+    println!("edges     : {}", graph.edge_count());
+    println!("deps:");
+    for v in &graph.vars {
+        let reads = graph.deps.get(v).map(join).unwrap_or_else(|| "(none)".to_string());
+        println!("  {v} <- {reads}");
+    }
+    let sccs = graph.sccs();
+    println!("sccs (reverse topological):");
+    for (i, scc) in sccs.iter().enumerate() {
+        println!("  {i}: {}", scc.join(" "));
+    }
+    println!("fairness support: {}", join(&graph.fairness_support));
+    println!("spec cones (fairness included):");
+    if graph.spec_support.is_empty() {
+        println!("  (no SPEC sections)");
+    }
+    for (i, support) in graph.spec_support.iter().enumerate() {
+        let cone = graph.cone(support.union(&graph.fairness_support));
+        println!("  spec {i}: {}/{} — {}", cone.len(), graph.vars.len(), join(&cone));
+    }
+    let consts = smc::analysis::frozen_constants(&module);
+    println!("frozen constants:");
+    if consts.is_empty() {
+        println!("  (none)");
+    }
+    for (v, c) in &consts {
+        println!("  {v} = {c}");
+    }
     Ok(ExitCode::SUCCESS)
 }
 

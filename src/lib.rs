@@ -23,7 +23,7 @@
 //!   metrics registry and the profiling report,
 //! - [`circuits`] — speed-independent gate-level circuits, including the
 //!   Seitz arbiter of the paper's case study,
-//! - [`bench`] — workload generators and the benchmark observatory
+//! - [`mod@bench`] — workload generators and the benchmark observatory
 //!   behind `smc bench`,
 //! - [`engine`] — the parallel checking engine behind `smc batch`: a
 //!   work-stealing job pool with per-job governors and a warm-start

@@ -359,13 +359,13 @@ fn lint_reports_seeded_diagnostics_and_exits_1() {
     let out = smc().arg("lint").arg(model("lint_demo.smv")).output().expect("runs");
     assert_eq!(out.status.code(), Some(1), "warnings exit 1");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for code in ["W001", "W002", "W003", "W005", "W010", "W011", "W020"] {
+    for code in ["W001", "W002", "W003", "W005", "W010", "W011", "W020", "W021", "W022"] {
         assert!(stdout.contains(&format!("warning[{code}]")), "{code} missing:\n{stdout}");
     }
     // Human rendering: location, snippet gutter, caret, summary line.
-    assert!(stdout.contains("lint_demo.smv:18:3"), "{stdout}");
+    assert!(stdout.contains("lint_demo.smv:21:3"), "{stdout}");
     assert!(stdout.contains("^"), "{stdout}");
-    assert!(stdout.contains("0 errors, 8 warnings"), "{stdout}");
+    assert!(stdout.contains("0 errors, 12 warnings"), "{stdout}");
     // The vacuity finding names the leaf and shows its witness.
     assert!(stdout.contains("`ack`"), "{stdout}");
     assert!(stdout.contains("interesting witness"), "{stdout}");
@@ -384,16 +384,42 @@ fn lint_json_is_machine_readable() {
     let out = smc().arg("lint").arg("--json").arg(model("lint_demo.smv")).output().expect("runs");
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    let v = smc::obs::Json::parse(stdout.trim()).expect("valid JSON document");
-    assert_eq!(v.get("warnings").and_then(|w| w.as_u64()), Some(8), "{stdout}");
+    // One JSON array per invocation, one object per file — even for a
+    // single file, so consumers parse one shape.
+    let doc = smc::obs::Json::parse(stdout.trim()).expect("valid JSON document");
+    let smc::obs::Json::Arr(files) = &doc else { panic!("top level must be an array: {stdout}") };
+    assert_eq!(files.len(), 1);
+    let v = &files[0];
+    assert_eq!(v.get("warnings").and_then(|w| w.as_u64()), Some(12), "{stdout}");
     assert_eq!(v.get("errors").and_then(|e| e.as_u64()), Some(0));
     match v.get("diagnostics") {
         Some(smc::obs::Json::Arr(items)) => {
-            assert_eq!(items.len(), 8);
+            assert_eq!(items.len(), 12);
             assert!(items.iter().all(|d| d.get("code").and_then(|c| c.as_str()).is_some()));
         }
         other => panic!("diagnostics array missing: {other:?}"),
     }
+}
+
+#[test]
+fn lint_json_multi_file_emits_one_array_keyed_by_path() {
+    let out = smc()
+        .arg("lint")
+        .arg("--json")
+        .arg(model("mutex.smv"))
+        .arg(model("lint_demo.smv"))
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "worst outcome wins: clean + warnings = 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = smc::obs::Json::parse(stdout.trim()).expect("valid JSON document");
+    let smc::obs::Json::Arr(files) = &doc else { panic!("top level must be an array: {stdout}") };
+    assert_eq!(files.len(), 2);
+    let file_of = |v: &smc::obs::Json| v.get("file").and_then(|f| f.as_str().map(String::from));
+    assert!(file_of(&files[0]).is_some_and(|f| f.ends_with("mutex.smv")), "{stdout}");
+    assert!(file_of(&files[1]).is_some_and(|f| f.ends_with("lint_demo.smv")), "{stdout}");
+    assert_eq!(files[0].get("warnings").and_then(|w| w.as_u64()), Some(0));
+    assert_eq!(files[1].get("warnings").and_then(|w| w.as_u64()), Some(12));
 }
 
 #[test]
@@ -407,7 +433,7 @@ fn lint_multiple_files_exits_with_the_worst_code() {
     assert_eq!(out.status.code(), Some(1), "clean + warnings = 1");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("mutex.smv: 0 errors, 0 warnings"), "{stdout}");
-    assert!(stdout.contains("lint_demo.smv: 0 errors, 8 warnings"), "{stdout}");
+    assert!(stdout.contains("lint_demo.smv: 0 errors, 12 warnings"), "{stdout}");
 }
 
 #[test]
@@ -705,4 +731,101 @@ fn profile_report_supports_json_and_top() {
         .expect("runs");
     assert!(String::from_utf8_lossy(&out.stdout).contains("hidden by --top 2"));
     std::fs::remove_file(trace).ok();
+}
+
+// ---------------------------------------------------- deps + --coi
+
+#[test]
+fn deps_prints_the_dependency_graph_and_cones() {
+    let out = smc().arg("deps").arg(model("pipeline.smv")).output().expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("variables : 6"), "{stdout}");
+    assert!(stdout.contains("buf <- buf produced"), "{stdout}");
+    assert!(stdout.contains("spec 3: 1/6"), "{stdout}");
+    assert!(stdout.contains("frozen constants:"), "{stdout}");
+    // beat reads only itself: its own little SCC, in no cone.
+    assert!(stdout.contains("beat <- beat"), "{stdout}");
+}
+
+#[test]
+fn deps_dot_writes_graphviz() {
+    let out = smc().arg("deps").arg("--dot").arg(model("pipeline.smv")).output().expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph deps {"), "{stdout}");
+    assert!(stdout.contains("\"consumed\" -> \"buf\""), "{stdout}");
+    assert!(stdout.trim_end().ends_with('}'), "{stdout}");
+}
+
+#[test]
+fn deps_routes_load_errors_through_diagnostics() {
+    let path = write_temp("deps_err", "MODULE main\nVAR x boolean;\n");
+    let out = smc().arg("deps").arg(&path).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error[E001]"));
+    std::fs::remove_file(path).ok();
+}
+
+/// `--coi` must not change a single stdout byte or the exit code of
+/// `smc check`, with or without traces, on every bundled model — the
+/// end-to-end face of the verdict-preservation property.
+#[test]
+fn check_coi_stdout_is_byte_identical_on_every_bundled_model() {
+    let dir = format!("{}/models", env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("models dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("smv") {
+            continue;
+        }
+        for trace in [false, true] {
+            let mut plain = smc();
+            let mut coi = smc();
+            plain.arg("check");
+            coi.arg("check").arg("--coi");
+            if trace {
+                plain.arg("--trace");
+                coi.arg("--trace");
+            }
+            let plain = plain.arg(&path).output().expect("runs");
+            let coi = coi.arg(&path).output().expect("runs");
+            assert_eq!(plain.status.code(), coi.status.code(), "{path:?} trace={trace}");
+            assert_eq!(
+                String::from_utf8_lossy(&plain.stdout),
+                String::from_utf8_lossy(&coi.stdout),
+                "{path:?} trace={trace}"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected the bundled models, saw {checked}");
+}
+
+#[test]
+fn check_coi_reports_the_slices_on_stderr() {
+    let out = smc().arg("check").arg("--coi").arg(model("pipeline.smv")).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1), "spec 1 fails with or without --coi");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("coi: spec 3 uses 1/6 vars (5 sliced away)"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SPEC 1: FAILS"), "{stdout}");
+    assert!(stdout.contains("SPEC 2: holds"), "{stdout}");
+}
+
+#[test]
+fn spec_coi_slices_from_the_formula_atoms() {
+    let plain =
+        smc().arg("spec").arg(model("pipeline.smv")).arg("EF blink").output().expect("runs");
+    let coi = smc()
+        .arg("spec")
+        .arg("--coi")
+        .arg(model("pipeline.smv"))
+        .arg("EF blink")
+        .output()
+        .expect("runs");
+    assert_eq!(plain.status.code(), coi.status.code());
+    assert_eq!(String::from_utf8_lossy(&plain.stdout), String::from_utf8_lossy(&coi.stdout));
+    let stderr = String::from_utf8_lossy(&coi.stderr);
+    assert!(stderr.contains("coi: formula uses 2/6 vars"), "{stderr}");
 }

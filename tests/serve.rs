@@ -322,3 +322,26 @@ fn bad_requests_are_rejected_without_killing_the_server() {
     assert!(lines[3].contains(r#""outcome":"pass""#), "server survives garbage: {}", lines[3]);
     assert_eq!(code, 0, "bad requests are rejections, not failures");
 }
+
+#[test]
+fn coi_serve_answers_with_identical_verdicts() {
+    // `AF b0` depends only on b0, so the COI planner slices COUNTER down
+    // to 1/2 variables for that spec — the verdict payload must not move.
+    let req = format!(r#"{{"op":"check","id":"c","source":"{}"}}"#, esc(COUNTER));
+    let (plain_code, plain) = serve(&[], std::slice::from_ref(&req));
+    let (coi_code, coi) = serve(&["--coi"], &[req]);
+    assert_eq!((plain_code, coi_code), (0, 0), "{plain:?} vs {coi:?}");
+    // Work counters (wall_us, created_nodes, ...) legitimately differ
+    // under slicing; the per-spec verdict array must be byte-identical.
+    let verdicts = |line: &str| {
+        let at = line.find("\"specs\":").unwrap_or_else(|| panic!("no specs field: {line}"));
+        line[at..].to_string()
+    };
+    assert_eq!(verdicts(&plain[0]), verdicts(&coi[0]));
+    assert!(coi[0].contains(r#""outcome":"pass""#), "{}", coi[0]);
+    assert!(
+        coi[1].starts_with(r#"{"schema":1,"op":"drained","served":1,"rejected":0,"worst_exit":0"#),
+        "{}",
+        coi[1]
+    );
+}
