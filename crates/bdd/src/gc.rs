@@ -64,6 +64,10 @@ impl BddManager {
                 live_after: self.num_nodes() as u64,
                 pause_us: started.elapsed().as_micros() as u64,
             });
+            // Collections are the natural heap checkpoints: the tables
+            // were just rewritten, and the O(levels) brief is noise
+            // next to the sweep we already paid for.
+            self.tele.emit(self.heap_sample());
         }
         self.debug_validate("gc");
         reclaimed

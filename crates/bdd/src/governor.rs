@@ -438,6 +438,11 @@ impl BddManager {
     fn emit_trip(&self, reason: &TripReason) {
         if self.tele.enabled() {
             self.tele.emit(smc_obs::Event::Trip { reason: reason.to_string() });
+            // The heap at trip time is the black box's best structural
+            // signal, and a trip can precede the first cadence-gated
+            // fixpoint sample — emit a brief so every exhausted job's
+            // dump header carries one.
+            self.tele.emit(self.heap_sample());
         }
     }
 

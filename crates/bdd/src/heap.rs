@@ -1,0 +1,376 @@
+//! The heap observatory's kernel side: structural scans over the
+//! manager's tables, surfaced as [`smc_obs::HeapSnapshot`] reports and
+//! cheap [`smc_obs::Event::HeapSample`] briefs.
+//!
+//! Per-level node counts need no extra bookkeeping: each variable's
+//! unique table *is* the level census, updated by every `mk`, `remove`
+//! and GC retain — so the brief is one `O(levels)` fold over table
+//! lengths and the hot paths pay nothing. The deep scans (probe
+//! histograms, computed-table occupancy, sharing, sifting gains) walk
+//! the tables read-only and are on-demand only: `smc inspect`,
+//! `--heap`, and end-of-run metrics.
+
+use std::collections::HashSet;
+
+use crate::manager::{BddManager, CACHE_OP_NAMES};
+use crate::node::{Var, TERMINAL_VAR};
+use smc_obs::{Event, HeapComputed, HeapLevel, HeapSnapshot, HeapUnique, HeapWidest, SiftGain};
+
+impl BddManager {
+    /// The cheap structural brief: `O(levels)` table-length folds, no
+    /// slot scans. This is what rides the event stream at fixpoint and
+    /// GC checkpoints.
+    pub fn heap_sample(&self) -> Event {
+        let mut table_len = 0u64;
+        let mut table_slots = 0u64;
+        let mut widest_level = 0u64;
+        let mut widest_width = 0u64;
+        for (level, &var) in self.level2var.iter().enumerate() {
+            let t = &self.tables[var as usize];
+            let len = t.len() as u64;
+            table_len += len;
+            if len > 0 {
+                table_slots += t.slot_count() as u64;
+            }
+            if len > widest_width {
+                widest_width = len;
+                widest_level = level as u64;
+            }
+        }
+        Event::HeapSample {
+            live_nodes: self.num_nodes() as u64,
+            free_nodes: self.free.len() as u64,
+            widest_level,
+            widest_width,
+            table_len,
+            table_slots,
+        }
+    }
+
+    /// Aggregate unique-table health: one read-only pass over every
+    /// level's slots. Load is computed over non-empty tables only, so a
+    /// manager holding any node reports a load in (0, 1] (the growth
+    /// policy caps per-table load at 3/4).
+    pub(crate) fn unique_health(&self) -> HeapUnique {
+        let mut hist: Vec<u64> = Vec::new();
+        let mut entries = 0u64;
+        let mut slots = 0u64;
+        let mut longest = 0u64;
+        for t in &self.tables {
+            if t.len() == 0 {
+                continue;
+            }
+            entries += t.len() as u64;
+            slots += t.slot_count() as u64;
+            longest = longest.max(t.probe_stats(&mut hist));
+        }
+        let load = if slots > 0 { entries as f64 / slots as f64 } else { 0.0 };
+        HeapUnique { entries, slots, load, longest_probe: longest, probe_hist: hist }
+    }
+
+    /// The full structural report: per-level census with table health,
+    /// top-`top_k` widest levels, computed-table occupancy by op,
+    /// dead-node ratio, sharing factor, and a sifting-gain estimate for
+    /// every adjacent level pair. Read-only (`&self`): nothing is
+    /// swapped, allocated or invalidated.
+    pub fn heap_snapshot(&self, top_k: usize) -> HeapSnapshot {
+        let n = self.num_vars();
+        let mut levels = Vec::with_capacity(n);
+        for (level, &var) in self.level2var.iter().enumerate() {
+            let t = &self.tables[var as usize];
+            let mut local = Vec::new();
+            let longest = t.probe_stats(&mut local);
+            let (nodes, slots) = (t.len() as u64, t.slot_count() as u64);
+            levels.push(HeapLevel {
+                level: level as u64,
+                var: self.var_name(Var(var)).to_string(),
+                nodes,
+                slots,
+                load: if nodes > 0 { nodes as f64 / slots as f64 } else { 0.0 },
+                longest_probe: longest,
+            });
+        }
+        let mut by_width: Vec<&HeapLevel> = levels.iter().filter(|l| l.nodes > 0).collect();
+        by_width.sort_by_key(|l| (std::cmp::Reverse(l.nodes), l.level));
+        let widest = by_width
+            .into_iter()
+            .take(top_k)
+            .map(|l| HeapWidest { level: l.level, var: l.var.clone(), nodes: l.nodes })
+            .collect();
+
+        let (per_op, live) = self.cache.occupancy();
+        let capacity = self.cache.capacity() as u64;
+        let computed = HeapComputed {
+            capacity,
+            live,
+            occupancy: if capacity > 0 { live as f64 / capacity as f64 } else { 0.0 },
+            ops: CACHE_OP_NAMES
+                .iter()
+                .zip(per_op.iter())
+                .filter(|(_, &c)| c > 0)
+                .map(|(&op, &c)| smc_obs::HeapCacheOp { op: op.to_string(), live: c })
+                .collect(),
+        };
+
+        let live_nodes = self.num_nodes() as u64;
+        let internal = live_nodes - 2;
+        let free_nodes = self.free.len() as u64;
+        let dead_ratio = if internal + free_nodes > 0 {
+            free_nodes as f64 / (internal + free_nodes) as f64
+        } else {
+            0.0
+        };
+
+        // Sharing factor: in-edges per internal node. Every live node
+        // contributes its non-terminal child edges; protected roots add
+        // one external reference each. 1.0 would be a forest of chains.
+        let mut refs = 0u64;
+        for t in &self.tables {
+            for (lo, hi, _) in t.entries() {
+                if self.nodes[lo as usize].var != TERMINAL_VAR {
+                    refs += 1;
+                }
+                if self.nodes[hi as usize].var != TERMINAL_VAR {
+                    refs += 1;
+                }
+            }
+        }
+        refs += self
+            .protected
+            .keys()
+            .filter(|&&id| self.nodes[id as usize].var != TERMINAL_VAR)
+            .count() as u64;
+        let sharing_factor = if internal > 0 { refs as f64 / internal as f64 } else { 0.0 };
+
+        let sift = (0..n.saturating_sub(1)).map(|l| self.sift_gain(l)).collect();
+
+        HeapSnapshot {
+            live_nodes,
+            terminals: 2,
+            free_nodes,
+            peak_nodes: self.peak_nodes() as u64,
+            dead_ratio,
+            sharing_factor,
+            levels,
+            widest,
+            unique: self.unique_health(),
+            computed,
+            sift,
+        }
+    }
+
+    /// Estimates the node count at levels `level` and `level + 1` after
+    /// an adjacent swap — a read-only mirror of
+    /// [`swap_levels`](BddManager::swap_levels) plus the garbage
+    /// collection a sifting pass would run after it. Exact on a freshly
+    /// collected heap (pinned by the tests against the real swap);
+    /// uncollected garbage at other levels can only inflate the
+    /// survivor count.
+    pub(crate) fn sift_gain(&self, level: usize) -> SiftGain {
+        let u = self.level2var[level];
+        let w = self.level2var[level + 1];
+        let current = (self.tables[u as usize].len() + self.tables[w as usize].len()) as u64;
+
+        // Classify the upper level: a node is affected iff a child is
+        // rooted at w. Unaffected nodes keep their key; affected nodes
+        // are repurposed in place to w-nodes, and their swap-created
+        // u-children dedup against unaffected keys and one another.
+        let mut unaffected: HashSet<(u32, u32)> = HashSet::new();
+        let mut new_pairs: HashSet<(u32, u32)> = HashSet::new();
+        let mut affected = 0u64;
+        for (lo, hi, _) in self.tables[u as usize].entries() {
+            let lo_is_w = self.nodes[lo as usize].var == w;
+            let hi_is_w = self.nodes[hi as usize].var == w;
+            if !lo_is_w && !hi_is_w {
+                unaffected.insert((lo, hi));
+                continue;
+            }
+            affected += 1;
+            let (a0, a1) = if lo_is_w {
+                let a = self.nodes[lo as usize];
+                (a.lo.0, a.hi.0)
+            } else {
+                (lo, lo)
+            };
+            let (b0, b1) = if hi_is_w {
+                let b = self.nodes[hi as usize];
+                (b.lo.0, b.hi.0)
+            } else {
+                (hi, hi)
+            };
+            // New children (w=0 and w=1 cofactors); equal cofactor
+            // pairs are degenerate and allocate nothing.
+            if a0 != b0 {
+                new_pairs.insert((a0, b0));
+            }
+            if a1 != b1 {
+                new_pairs.insert((a1, b1));
+            }
+        }
+        let new_children = new_pairs.iter().filter(|p| !unaffected.contains(p)).count() as u64;
+
+        // Lower level survivors: w-nodes still referenced after the
+        // swap consumes the affected nodes' references — i.e. those
+        // reachable from any level other than u, or protected. (An
+        // unaffected u-node has no w-child by definition.)
+        let mut survivors: HashSet<u32> = HashSet::new();
+        for &var in &self.level2var {
+            if var == u {
+                continue;
+            }
+            for (lo, hi, _) in self.tables[var as usize].entries() {
+                if self.nodes[lo as usize].var == w {
+                    survivors.insert(lo);
+                }
+                if self.nodes[hi as usize].var == w {
+                    survivors.insert(hi);
+                }
+            }
+        }
+        for &root in self.protected.keys() {
+            if self.nodes[root as usize].var == w {
+                survivors.insert(root);
+            }
+        }
+
+        let estimated = unaffected.len() as u64 + affected + new_children + survivors.len() as u64;
+        SiftGain {
+            upper: level as u64,
+            lower: (level + 1) as u64,
+            current,
+            estimated,
+            gain: current as i64 - estimated as i64,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::node::Bdd;
+    use smc_obs::Event;
+
+    /// A manager holding a function with real structure: 6 variables,
+    /// f = (a & b) | (c & d) | (e & f) plus a parity tail, protected.
+    fn populated() -> (BddManager, Bdd) {
+        let mut m = BddManager::new();
+        let vars: Vec<Var> = (0..6).map(|i| m.new_var(&format!("v{i}")).unwrap()).collect();
+        let mut acc = Bdd::FALSE;
+        for pair in vars.chunks(2) {
+            let a = m.var(pair[0]);
+            let b = m.var(pair[1]);
+            let ab = m.and(a, b);
+            acc = m.or(acc, ab);
+        }
+        let mut parity = Bdd::FALSE;
+        for &v in &vars {
+            let lit = m.var(v);
+            parity = m.xor(parity, lit);
+        }
+        let root = m.or(acc, parity);
+        m.protect(root);
+        m.gc(&[root]);
+        (m, root)
+    }
+
+    #[test]
+    fn sample_counts_agree_with_the_manager() {
+        let (m, _root) = populated();
+        let Event::HeapSample {
+            live_nodes, free_nodes, table_len, table_slots, widest_width, ..
+        } = m.heap_sample()
+        else {
+            panic!("wrong event kind")
+        };
+        assert_eq!(live_nodes, m.num_nodes() as u64);
+        assert_eq!(table_len, live_nodes - 2);
+        assert_eq!(free_nodes, m.free.len() as u64);
+        assert!(table_slots >= table_len);
+        assert!(widest_width > 0);
+    }
+
+    #[test]
+    fn snapshot_levels_sum_to_num_nodes_and_loads_are_bounded() {
+        let (m, _root) = populated();
+        let snap = m.heap_snapshot(3);
+        let level_sum: u64 = snap.levels.iter().map(|l| l.nodes).sum();
+        assert_eq!(level_sum + snap.terminals, snap.live_nodes);
+        assert_eq!(snap.live_nodes, m.num_nodes() as u64);
+        for l in &snap.levels {
+            if l.nodes > 0 {
+                assert!(l.load > 0.0 && l.load <= 1.0, "level {} load {}", l.level, l.load);
+            } else {
+                assert_eq!(l.load, 0.0);
+            }
+        }
+        assert!(snap.unique.load > 0.0 && snap.unique.load <= 1.0);
+        assert_eq!(snap.unique.entries, level_sum);
+        assert_eq!(
+            snap.unique.probe_hist.iter().sum::<u64>(),
+            snap.unique.entries,
+            "every entry appears in the probe histogram once"
+        );
+        assert_eq!(snap.sift.len(), m.num_vars() - 1);
+        assert!(snap.widest.len() <= 3);
+        assert!(snap.sharing_factor >= 1.0, "a protected DAG has in-degree >= 1");
+        // populated() ends with a gc, which stales the whole computed
+        // table (generation bump) — the snapshot must agree.
+        assert_eq!(snap.computed.live, 0);
+    }
+
+    #[test]
+    fn computed_occupancy_counts_current_generation_entries() {
+        let mut m = BddManager::new();
+        let x = m.new_var("x").unwrap();
+        let y = m.new_var("y").unwrap();
+        let (fx, fy) = (m.var(x), m.var(y));
+        let f = m.and(fx, fy);
+        let _ = m.or(f, fx);
+        let snap = m.heap_snapshot(2);
+        assert!(snap.computed.live > 0, "and/or traffic leaves live entries");
+        assert!(snap.computed.ops.iter().all(|o| o.live > 0));
+        let op_sum: u64 = snap.computed.ops.iter().map(|o| o.live).sum();
+        assert_eq!(op_sum, snap.computed.live);
+        assert!(snap.computed.occupancy > 0.0 && snap.computed.occupancy <= 1.0);
+        // A collection stales every entry in one generation bump.
+        m.protect(f);
+        m.gc(&[f]);
+        assert_eq!(m.heap_snapshot(2).computed.live, 0);
+    }
+
+    #[test]
+    fn sift_gain_matches_the_real_swap_on_a_collected_heap() {
+        let (mut m, root) = populated();
+        for level in 0..m.num_vars() - 1 {
+            let est = m.sift_gain(level);
+            assert_eq!(est.current, {
+                let u = m.level2var[level] as usize;
+                let w = m.level2var[level + 1] as usize;
+                (m.tables[u].len() + m.tables[w].len()) as u64
+            });
+            m.swap_levels(level);
+            m.gc(&[root]);
+            let u = m.level2var[level] as usize;
+            let w = m.level2var[level + 1] as usize;
+            let actual = (m.tables[u].len() + m.tables[w].len()) as u64;
+            assert_eq!(
+                est.estimated, actual,
+                "level {level}: estimator disagrees with swap_levels + gc"
+            );
+            // Undo so each level is estimated from the same base order.
+            m.swap_levels(level);
+            m.gc(&[root]);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_read_only() {
+        let (m, _root) = populated();
+        let before = (m.num_nodes(), m.stats().created_nodes, m.free.len());
+        let _ = m.heap_snapshot(5);
+        let _ = m.heap_sample();
+        let after = (m.num_nodes(), m.stats().created_nodes, m.free.len());
+        assert_eq!(before, after);
+    }
+}

@@ -63,6 +63,7 @@ mod error;
 mod faults;
 mod gc;
 mod governor;
+mod heap;
 mod io;
 mod manager;
 mod node;

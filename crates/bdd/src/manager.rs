@@ -140,6 +140,39 @@ impl UniqueTable {
         }
     }
 
+    /// Open-addressing slots currently allocated (0 before the first
+    /// insert). With [`len`](Self::len) this is the load factor; the
+    /// growth policy in [`insert`](Self::insert) keeps `len/slots` at
+    /// or below 3/4, so a non-empty table's load is always in (0, 1].
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Probe-length census: adds each entry's circular distance from
+    /// its home slot into `hist` (growing it as needed) and returns the
+    /// longest distance seen. The heap observatory's deep-scan
+    /// primitive — read-only, one pass over the slots.
+    pub(crate) fn probe_stats(&self, hist: &mut Vec<u64>) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let mask = self.mask();
+        let mut longest = 0u64;
+        for (i, &(lo, hi, id)) in self.slots.iter().enumerate() {
+            if id == EMPTY {
+                continue;
+            }
+            let home = hash_pair(lo, hi) as usize & mask;
+            let d = i.wrapping_sub(home) & mask;
+            if hist.len() <= d {
+                hist.resize(d + 1, 0);
+            }
+            hist[d] += 1;
+            longest = longest.max(d as u64);
+        }
+        longest
+    }
+
     /// All node ids currently stored (snapshot).
     pub(crate) fn ids(&self) -> Vec<u32> {
         self.slots.iter().filter(|s| s.2 != EMPTY).map(|s| s.2).collect()
@@ -302,6 +335,21 @@ impl ComputedCache {
             gen: self.gen,
         };
         evicted
+    }
+
+    /// Live (current-generation) entries per operation tag, indexed
+    /// like [`CACHE_OP_NAMES`], plus the total. One read-only pass —
+    /// generation-stale and never-filled entries both count as dead.
+    pub(crate) fn occupancy(&self) -> ([u64; NUM_CACHE_OPS], u64) {
+        let mut per_op = [0u64; NUM_CACHE_OPS];
+        let mut total = 0u64;
+        for e in &self.entries {
+            if e.result != EMPTY && e.gen == self.gen {
+                per_op[e.op as usize] += 1;
+                total += 1;
+            }
+        }
+        (per_op, total)
     }
 
     /// Invalidates every entry in O(1).
@@ -543,6 +591,25 @@ impl BddManager {
             metrics.counter_set("smc_cache_lookups_total", &labels, c.lookups);
             metrics.counter_set("smc_cache_hits_total", &labels, c.hits);
             metrics.counter_set("smc_cache_evictions_total", &labels, c.evictions);
+        }
+        // Heap structure series (deep scan — fine here, end-of-run).
+        let unique = self.unique_health();
+        if unique.entries > 0 {
+            metrics.gauge_set("smc_bdd_table_load", &[], unique.load);
+            metrics.gauge_set("smc_bdd_longest_probe", &[], unique.longest_probe as f64);
+            for (d, &count) in unique.probe_hist.iter().enumerate() {
+                for _ in 0..count {
+                    metrics.observe("smc_bdd_probe_length", &[], d as u64);
+                }
+            }
+        }
+        for (level, &var) in self.level2var.iter().enumerate() {
+            let label = level.to_string();
+            metrics.gauge_set(
+                "smc_bdd_level_nodes",
+                &[("level", label.as_str())],
+                self.tables[var as usize].len() as f64,
+            );
         }
     }
 

@@ -56,6 +56,13 @@ pub struct BenchConfig {
     /// `telemetry`; the batch family runs its jobs with the engine's
     /// per-job recorder instead.
     pub recorder: bool,
+    /// Ask every batch job for a final heap brief
+    /// ([`EngineConfig::heap`](smc_engine::EngineConfig)) on top of the
+    /// cadence-gated samples that ride any enabled telemetry, so the
+    /// batch walls measure the whole heap-observatory lane. Implies
+    /// nothing by itself on families that never enable telemetry;
+    /// compose with `recorder` for the A/B the stress drill gates.
+    pub heap: bool,
     /// Families to run; empty means [`ALL_FAMILIES`].
     pub families: Vec<String>,
     /// Test hook: inflate every measured wall time by this percentage
@@ -70,6 +77,7 @@ impl Default for BenchConfig {
             repetitions: 5,
             telemetry: false,
             recorder: false,
+            heap: false,
             families: Vec::new(),
             inject_slowdown_pct: 0.0,
         }
@@ -169,12 +177,15 @@ fn batch_jobs() -> Vec<smc_engine::Job> {
 /// One timed pass of the 16-job manifest on `workers` workers, caching
 /// off so every job does its full, deterministic amount of work. With
 /// `recorder` on, every job carries the serve-default flight-recorder
-/// ring, so the batch walls measure the recorder's capture overhead.
-fn timed_batch(workers: usize, recorder: bool) -> (f64, Vec<smc_engine::JobResult>) {
+/// ring, so the batch walls measure the recorder's capture overhead —
+/// which, since the ring enables telemetry, includes the cadence-gated
+/// heap samples. `heap` additionally requests the per-job heap brief.
+fn timed_batch(workers: usize, recorder: bool, heap: bool) -> (f64, Vec<smc_engine::JobResult>) {
     let cfg = smc_engine::EngineConfig {
         workers,
         use_cache: false,
         recorder_cap: if recorder { smc_obs::DEFAULT_RECORDER_CAP } else { 0 },
+        heap,
         ..smc_engine::EngineConfig::default()
     };
     let t = Instant::now();
@@ -194,8 +205,8 @@ fn run_batch_family(reps: u64, config: &BenchConfig) -> Result<FamilyRecord, Str
     let mut walls4 = Vec::with_capacity(reps as usize);
     let mut counters = Vec::new();
     for _ in 0..reps {
-        let (w1, r1) = timed_batch(1, config.recorder);
-        let (w4, r4) = timed_batch(4, config.recorder);
+        let (w1, r1) = timed_batch(1, config.recorder, config.heap);
+        let (w4, r4) = timed_batch(4, config.recorder, config.heap);
         if r1.len() != BATCH_JOBS || r4.len() != BATCH_JOBS {
             return Err(format!("batch: expected {BATCH_JOBS} results"));
         }

@@ -7,7 +7,7 @@
 
 use smc_bdd::Bdd;
 use smc_kripke::SymbolicModel;
-use smc_obs::{FixKind, IterTracker, SpanId, SpanKind, Telemetry};
+use smc_obs::{FixKind, IterTracker, SpanId, SpanKind, Telemetry, HEAP_SAMPLE_CADENCE};
 
 /// Opens a span; [`SpanId::NONE`] when telemetry is disabled.
 pub(crate) fn span_start(model: &SymbolicModel, kind: SpanKind, label: Option<&str>) -> SpanId {
@@ -93,6 +93,12 @@ impl FixObserver {
                 m.stats_snapshot(),
             );
             self.tele.emit(event);
+            // Structural heap brief, cadence-gated: the first iteration
+            // anchors the lane, then every eighth keeps the sample
+            // volume well below the FixpointIter stream it rides on.
+            if iteration == 1 || iteration.is_multiple_of(HEAP_SAMPLE_CADENCE) {
+                self.tele.emit(m.heap_sample());
+            }
         }
     }
 }

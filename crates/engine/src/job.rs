@@ -81,6 +81,10 @@ pub struct EngineConfig {
     /// `0` disables recording. The recorder is an ordinary telemetry
     /// sink, so it cannot perturb verdicts (pinned by the purity tests).
     pub recorder_cap: usize,
+    /// Attach a post-run heap brief (live nodes, widest level) to every
+    /// job result (`smc batch --heap`). One `O(levels)` read-only fold
+    /// per job after its verdicts are in; off by default.
+    pub heap: bool,
     /// Deterministic fault plan injected into every job's manager after
     /// compile — the recovery-drill hook for the service tests. Only
     /// compiled for tests or under the `fault-injection` feature.
@@ -104,6 +108,7 @@ impl Default for EngineConfig {
             cache_dir: None,
             cache_cap: DEFAULT_CACHE_CAP,
             recorder_cap: 0,
+            heap: false,
             #[cfg(any(test, feature = "fault-injection"))]
             fault_plan: None,
         }
@@ -236,6 +241,20 @@ impl JobOutcome {
     }
 }
 
+/// The post-run heap brief a job carries when the engine runs with
+/// [`EngineConfig::heap`]: the same numbers an
+/// [`Event::HeapSample`](smc_obs::Event::HeapSample) reports, taken from
+/// the job's manager after its last verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobHeap {
+    /// Live BDD nodes (terminals included) at job end.
+    pub live_nodes: u64,
+    /// Level holding the most nodes.
+    pub widest_level: u64,
+    /// Node count of that level.
+    pub widest_width: u64,
+}
+
 /// Everything the pool reports back for one job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobResult {
@@ -263,6 +282,10 @@ pub struct JobResult {
     pub cache_lookups: u64,
     /// The job's manager's total created nodes (work counter, ditto).
     pub created_nodes: u64,
+    /// Post-run heap brief; `None` unless the engine ran with
+    /// [`EngineConfig::heap`] (COI jobs spread over several managers
+    /// also report `None` — there is no single heap to summarize).
+    pub heap: Option<JobHeap>,
 }
 
 /// Worst-of exit code over a batch (3 exhausted > 2 input error > 1
@@ -403,6 +426,7 @@ pub(crate) fn run_job_with(
 
     let mut cache_hit = false;
     let mut counters = (0u64, 0u64);
+    let mut heap = None;
     // The COI fast path: whole-model, traceless jobs check each SPEC on
     // its sliced model. Any snag (no sound slice, a sliced compile
     // failing) returns None and the ordinary full-model path runs; the
@@ -427,6 +451,13 @@ pub(crate) fn run_job_with(
                 let outcome = check_specs(job, cfg, &mut compiled, want_trace);
                 let stats = compiled.model.manager().stats();
                 counters = (stats.cache_lookups, stats.created_nodes);
+                if cfg.heap {
+                    if let Event::HeapSample { live_nodes, widest_level, widest_width, .. } =
+                        compiled.model.manager().heap_sample()
+                    {
+                        heap = Some(JobHeap { live_nodes, widest_level, widest_width });
+                    }
+                }
                 outcome
             }
         },
@@ -455,6 +486,7 @@ pub(crate) fn run_job_with(
         reach_iters: reach_iters.load(Ordering::Relaxed),
         cache_lookups: counters.0,
         created_nodes: counters.1,
+        heap,
     }
 }
 

@@ -50,7 +50,7 @@ mod wire;
 
 pub use cache::{source_key, ArtifactCache, DEFAULT_CACHE_CAP};
 pub use job::{
-    derive_trace_id, worst_exit, EngineConfig, Job, JobOutcome, JobResult, RenderedTrace,
+    derive_trace_id, worst_exit, EngineConfig, Job, JobHeap, JobOutcome, JobResult, RenderedTrace,
     SpecResult,
 };
 pub use manifest::{parse_manifest, Manifest, ManifestEntry, ManifestError};

@@ -379,8 +379,11 @@ impl StatusBoard {
                 s.push(',');
             }
             first = false;
+            // Heap numbers come from the job's last HeapSample on the
+            // slot recorder; (0, 0) until the job emits one.
+            let (live_nodes, widest_level) = w.recorder.heap_brief().unwrap_or((0, 0));
             s.push_str(&format!(
-                "{{\"slot\":{slot},\"name\":\"{}\",\"trace_id\":\"{}\",\"elapsed_us\":{},\"phase\":\"{}\"}}",
+                "{{\"slot\":{slot},\"name\":\"{}\",\"trace_id\":\"{}\",\"elapsed_us\":{},\"phase\":\"{}\",\"live_nodes\":{live_nodes},\"widest_level\":{widest_level}}}",
                 json_escape(&w.name),
                 json_escape(&w.trace_id),
                 w.started.elapsed().as_micros() as u64,

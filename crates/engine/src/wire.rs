@@ -42,6 +42,13 @@ pub fn job_json_fields(r: &JobResult) -> String {
         r.cache_lookups,
         r.created_nodes
     );
+    // Append-only: v2 parsers that ignore unknown keys keep working.
+    if let Some(h) = &r.heap {
+        out.push_str(&format!(
+            ",\"heap\":{{\"live_nodes\":{},\"widest_level\":{},\"widest_width\":{}}}",
+            h.live_nodes, h.widest_level, h.widest_width
+        ));
+    }
     let specs = match &r.outcome {
         JobOutcome::Checked { specs } => Some(specs),
         JobOutcome::Exhausted { decided, .. } => Some(decided),

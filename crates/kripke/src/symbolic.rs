@@ -419,6 +419,12 @@ impl SymbolicModel {
                     self.manager.size(reach) as u64,
                     self.manager.stats_snapshot(),
                 ));
+                // Structural heap brief, cadence-gated like the
+                // checker's EU/EG loops: iteration 1 anchors the lane,
+                // then every eighth keeps sample volume low.
+                if iters == 1 || iters.is_multiple_of(smc_obs::HEAP_SAMPLE_CADENCE) {
+                    tele.emit(self.manager.heap_sample());
+                }
             }
         }
         self.manager.check_budget()?;

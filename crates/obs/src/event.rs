@@ -17,6 +17,7 @@
 //! | `cycle_close`   | `closed`, `arc_len` |
 //! | `restart`       | `count`, `stay_exit`, `frontier` |
 //! | `gc`            | `reclaimed`, `live_before`, `live_after` (+ optional `pause_us`) |
+//! | `heap_sample`   | `live_nodes`, `free_nodes`, `widest_level`, `widest_width`, `table_len`, `table_slots` |
 //! | `ladder`        | `stage` |
 //! | `trip`          | `reason` |
 //! | `diagnostic`    | `code`, `severity` |
@@ -222,6 +223,24 @@ pub enum Event {
         /// the wire (absent in pre-0.6 traces, read back as 0).
         pause_us: u64,
     },
+    /// A cadence-gated structural heap sample: the cheap (`O(levels)`)
+    /// brief the manager can afford at fixpoint-iteration and GC
+    /// checkpoints. Deep scans (probe histograms, sift gains) are
+    /// on-demand only and never ride the event stream.
+    HeapSample {
+        /// Live nodes, terminals included.
+        live_nodes: u64,
+        /// Dead slots on the free list.
+        free_nodes: u64,
+        /// Level with the most nodes (ties to the upper level).
+        widest_level: u64,
+        /// Node count of that level.
+        widest_width: u64,
+        /// Total unique-table entries across every level.
+        table_len: u64,
+        /// Total unique-table slots across non-empty levels.
+        table_slots: u64,
+    },
     /// The governor's degradation ladder escalated one step.
     Ladder {
         /// `"gc"`, `"sift"` or `"cache_shrink"`.
@@ -254,6 +273,7 @@ impl Event {
             Event::CycleClose { .. } => "cycle_close",
             Event::Restart { .. } => "restart",
             Event::Gc { .. } => "gc",
+            Event::HeapSample { .. } => "heap_sample",
             Event::Ladder { .. } => "ladder",
             Event::Trip { .. } => "trip",
             Event::Diagnostic { .. } => "diagnostic",
@@ -329,6 +349,20 @@ impl Event {
                 s.push_str(&format!(
                     ",\"reclaimed\":{reclaimed},\"live_before\":{live_before},\
                      \"live_after\":{live_after},\"pause_us\":{pause_us}"
+                ));
+            }
+            Event::HeapSample {
+                live_nodes,
+                free_nodes,
+                widest_level,
+                widest_width,
+                table_len,
+                table_slots,
+            } => {
+                s.push_str(&format!(
+                    ",\"live_nodes\":{live_nodes},\"free_nodes\":{free_nodes},\
+                     \"widest_level\":{widest_level},\"widest_width\":{widest_width},\
+                     \"table_len\":{table_len},\"table_slots\":{table_slots}"
                 ));
             }
             Event::Ladder { stage } => {
@@ -410,6 +444,14 @@ impl Event {
                 live_before: u("live_before")?,
                 live_after: u("live_after")?,
                 pause_us: u("pause_us").unwrap_or(0),
+            },
+            "heap_sample" => Event::HeapSample {
+                live_nodes: u("live_nodes")?,
+                free_nodes: u("free_nodes")?,
+                widest_level: u("widest_level")?,
+                widest_width: u("widest_width")?,
+                table_len: u("table_len")?,
+                table_slots: u("table_slots")?,
             },
             "ladder" => Event::Ladder {
                 stage: match j.get("stage")?.as_str()? {
@@ -501,6 +543,14 @@ mod tests {
         roundtrip(Event::CycleClose { closed: true, arc_len: 7 });
         roundtrip(Event::Restart { count: 1, stay_exit: true, frontier: "0101".into() });
         roundtrip(Event::Gc { reclaimed: 100, live_before: 300, live_after: 200, pause_us: 42 });
+        roundtrip(Event::HeapSample {
+            live_nodes: 120,
+            free_nodes: 8,
+            widest_level: 3,
+            widest_width: 40,
+            table_len: 118,
+            table_slots: 256,
+        });
         roundtrip(Event::Ladder { stage: "cache_shrink" });
         roundtrip(Event::Trip { reason: "deadline expired after 1s".into() });
         roundtrip(Event::Diagnostic { code: "W010".into(), severity: "warning" });

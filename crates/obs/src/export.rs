@@ -77,6 +77,17 @@ pub fn export_chrome(text: &str) -> Result<String, String> {
                     ctx.t_us, delta.cache_lookups, delta.cache_hits
                 ));
             }
+            // Heap samples render as a Chrome counter lane ("ph":"C"):
+            // stacked live/free series plus the widest level's width,
+            // drawn as a timeline track above the span flame.
+            Event::HeapSample { live_nodes, free_nodes, widest_width, .. } => {
+                str_field(&mut e, "name", "heap");
+                e.push_str(&format!(
+                    ",\"ph\":\"C\",\"ts\":{},\"args\":{{\"live_nodes\":{live_nodes},\
+                     \"free_nodes\":{free_nodes},\"widest_width\":{widest_width}}}",
+                    ctx.t_us
+                ));
+            }
             other => {
                 str_field(&mut e, "name", other.kind_name());
                 e.push_str(&format!(",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}", ctx.t_us));
@@ -310,6 +321,41 @@ mod tests {
             events[3].get("frame").unwrap().as_u64(),
             events[0].get("frame").unwrap().as_u64()
         );
+    }
+
+    #[test]
+    fn heap_samples_become_a_chrome_counter_lane_and_speedscope_ignores_them() {
+        let sample = Event::HeapSample {
+            live_nodes: 120,
+            free_nodes: 8,
+            widest_level: 3,
+            widest_width: 40,
+            table_len: 118,
+            table_slots: 256,
+        };
+        let trace = sample_trace() + &sample.to_json_line(&EventCtx::new(9, 15)) + "\n";
+        let out = export_chrome(&trace).unwrap();
+        let j = Json::parse(&out).unwrap();
+        let Json::Arr(events) = j.get("traceEvents").unwrap() else { panic!("traceEvents") };
+        let lane = events.last().unwrap();
+        assert_eq!(lane.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(lane.get("name").unwrap().as_str(), Some("heap"));
+        assert_eq!(lane.get("args").unwrap().get("live_nodes").unwrap().as_u64(), Some(120));
+        assert_eq!(lane.get("args").unwrap().get("widest_width").unwrap().as_u64(), Some(40));
+        // Speedscope has no counter concept; the sample adds no frame
+        // and no open/close event (it only advances the EOF clock that
+        // closes the truncated witness span).
+        let ss = Json::parse(&export_speedscope(&trace).unwrap()).unwrap();
+        let Json::Arr(frames) = ss.get("shared").unwrap().get("frames").unwrap() else {
+            panic!("frames")
+        };
+        assert_eq!(frames.len(), 2);
+        let profile = match ss.get("profiles").unwrap() {
+            Json::Arr(p) => &p[0],
+            _ => panic!("profiles"),
+        };
+        let Json::Arr(ss_events) = profile.get("events").unwrap() else { panic!("events") };
+        assert_eq!(ss_events.len(), 4);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 mod event;
 mod export;
+mod heap;
 mod json;
 mod ledger;
 mod metrics;
@@ -52,6 +53,10 @@ mod sink;
 
 pub use event::{Event, FixKind, SpanKind, SPAN_KINDS};
 pub use export::{export_chrome, export_speedscope};
+pub use heap::{
+    HeapCacheOp, HeapComputed, HeapLevel, HeapSnapshot, HeapUnique, HeapWidest, SiftGain,
+    HEAP_SAMPLE_CADENCE, HEAP_SCHEMA_VERSION, HEAP_SNAPSHOT_KEYS,
+};
 pub use json::Json;
 pub use ledger::{FamilyRecord, Ledger, PhaseRecord, RunRecord, LEDGER_SCHEMA_VERSION};
 pub use metrics::{metric_help, Metrics, METRICS_SCHEMA_VERSION};
@@ -97,7 +102,10 @@ pub const STATUS_REQUIRED_KEYS: &[&str] = &[
 ];
 
 /// Required keys of each entry in the status `workers` array.
-pub const STATUS_WORKER_KEYS: &[&str] = &["slot", "name", "trace_id", "elapsed_us", "phase"];
+/// `live_nodes` / `widest_level` carry the worker's latest heap sample
+/// (0 until its job emits one) — an append-only addition.
+pub const STATUS_WORKER_KEYS: &[&str] =
+    &["slot", "name", "trace_id", "elapsed_us", "phase", "live_nodes", "widest_level"];
 
 /// Required keys of each entry in the status `quarantine` array.
 pub const STATUS_QUARANTINE_KEYS: &[&str] = &["source", "strikes", "diagnostic"];

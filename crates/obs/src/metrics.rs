@@ -130,6 +130,10 @@ const HELP: &[(&str, &str)] = &[
     ("smc_recorder_events_total", "Telemetry events captured by flight recorders."),
     ("smc_recorder_dropped_total", "Flight-recorder events overwritten because a ring was full."),
     ("smc_recorder_dumps_total", "Flight-recorder black-box dumps written."),
+    ("smc_bdd_level_nodes", "Live BDD nodes per variable level, by level."),
+    ("smc_bdd_table_load", "Unique-table load factor (entries over slots of non-empty tables)."),
+    ("smc_bdd_longest_probe", "Longest unique-table probe chain (slots from home)."),
+    ("smc_bdd_probe_length", "Unique-table probe distances at snapshot time."),
 ];
 
 /// The first metric name registered more than once in `table`, if any.
@@ -291,6 +295,29 @@ impl Metrics {
                 self.counter_add("smc_gc_runs_total", &[], 1);
                 self.counter_add("smc_gc_reclaimed_nodes_total", &[], *reclaimed);
                 self.observe("smc_gc_pause_us", &[], *pause_us);
+            }
+            Event::HeapSample {
+                live_nodes,
+                widest_level,
+                widest_width,
+                table_len,
+                table_slots,
+                ..
+            } => {
+                self.gauge_set("smc_bdd_live_nodes", &[], *live_nodes as f64);
+                if *table_slots > 0 {
+                    self.gauge_set(
+                        "smc_bdd_table_load",
+                        &[],
+                        *table_len as f64 / *table_slots as f64,
+                    );
+                }
+                let level = widest_level.to_string();
+                self.gauge_set(
+                    "smc_bdd_level_nodes",
+                    &[("level", level.as_str())],
+                    *widest_width as f64,
+                );
             }
             Event::Ladder { stage } => {
                 self.counter_add("smc_governor_ladder_steps_total", &[("stage", stage)], 1);
@@ -461,6 +488,15 @@ impl Metrics {
             totals.2
         ));
         out.push_str(&op_lines);
+        // Unique-table health, present once a heap snapshot populated
+        // the gauges (the manager's end-of-run record is authoritative).
+        if let Some(load) = self.gauge("smc_bdd_table_load", &[]) {
+            out.push_str(&format!("unique tables   : {load:.3} load factor\n"));
+            out.push_str(&format!(
+                "longest probe   : {} slots from home\n",
+                fmt_f64(self.gauge("smc_bdd_longest_probe", &[]).unwrap_or(0.0))
+            ));
+        }
         out.push_str(&format!(
             "gc              : {} runs, {} nodes reclaimed\n",
             self.counter("smc_gc_runs_total", &[]),
@@ -699,11 +735,31 @@ smc_cache_lookups_total{op=\"or\"} 7
         m.counter_set("smc_cache_lookups_total", &[("op", "xor")], 0);
         m.counter_set("smc_gc_runs_total", &[], 2);
         m.counter_set("smc_gc_reclaimed_nodes_total", &[], 500);
+        m.gauge_set("smc_bdd_table_load", &[], 0.625);
+        m.gauge_set("smc_bdd_longest_probe", &[], 3.0);
         let text = m.render_stats();
         assert!(text.contains("-- bdd manager stats --"), "{text}");
         assert!(text.contains("10 live, 20 peak, 30 created"), "{text}");
         assert!(text.contains("100 lookups, 40 hits (40.0%), 1 evictions"), "{text}");
         assert!(!text.contains("xor"), "zero-traffic ops are hidden: {text}");
         assert!(text.contains("2 runs, 500 nodes reclaimed"), "{text}");
+        assert!(text.contains("unique tables   : 0.625 load factor"), "{text}");
+        assert!(text.contains("longest probe   : 3 slots from home"), "{text}");
+    }
+
+    #[test]
+    fn heap_sample_folds_into_the_table_gauges() {
+        let m = Metrics::new();
+        m.fold_event(&Event::HeapSample {
+            live_nodes: 120,
+            free_nodes: 8,
+            widest_level: 3,
+            widest_width: 40,
+            table_len: 118,
+            table_slots: 236,
+        });
+        assert_eq!(m.gauge("smc_bdd_live_nodes", &[]), Some(120.0));
+        assert_eq!(m.gauge("smc_bdd_table_load", &[]), Some(0.5));
+        assert_eq!(m.gauge("smc_bdd_level_nodes", &[("level", "3")]), Some(40.0));
     }
 }

@@ -235,8 +235,10 @@ impl Sink for ProfileAggregator {
                 }
             }
             Event::Trip { reason } => d.trips.push(reason.clone()),
-            // Lint findings carry no timing information.
-            Event::Diagnostic { .. } => {}
+            // Lint findings carry no timing information, and heap
+            // samples are structural (the heap lane lives in the
+            // Chrome export, not the span profile).
+            Event::Diagnostic { .. } | Event::HeapSample { .. } => {}
         }
     }
 }

@@ -145,7 +145,10 @@ impl<W: Write> Sink for ProgressSink<W> {
             Event::Diagnostic { code, severity } => {
                 self.announce(&format!("[lint] {severity} {code}"));
             }
-            Event::Gc { .. } | Event::Ladder { .. } | Event::CycleClose { .. } => {}
+            Event::Gc { .. }
+            | Event::Ladder { .. }
+            | Event::CycleClose { .. }
+            | Event::HeapSample { .. } => {}
         }
     }
 

@@ -50,6 +50,10 @@ struct RecorderInner {
     /// Open-span name stack mirrored from the event stream, so a status
     /// snapshot can say which phase an in-flight job is in right now.
     phases: Mutex<Vec<&'static str>>,
+    /// The most recent [`Event::HeapSample`] seen, kept outside the
+    /// ring so it survives overwrites: a status snapshot or dump can
+    /// always say where the nodes were, however busy the ring got.
+    heap: Mutex<Option<Event>>,
 }
 
 /// A bounded ring buffer of the last N telemetry events. Cloning is
@@ -84,6 +88,7 @@ impl Recorder {
                 captured: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
                 phases: Mutex::new(Vec::new()),
+                heap: Mutex::new(None),
             }),
         }
     }
@@ -125,12 +130,24 @@ impl Recorder {
         lock(&self.inner.ring).iter().cloned().collect()
     }
 
+    /// The worker's latest heap sample as `(live_nodes, widest_level)`,
+    /// or `None` before the job's first [`Event::HeapSample`].
+    pub fn heap_brief(&self) -> Option<(u64, u64)> {
+        match *lock(&self.inner.heap) {
+            Some(Event::HeapSample { live_nodes, widest_level, .. }) => {
+                Some((live_nodes, widest_level))
+            }
+            _ => None,
+        }
+    }
+
     fn push(&self, ctx: &EventCtx, event: &Event) {
         match event {
             Event::SpanStart { kind, .. } => lock(&self.inner.phases).push(kind.name()),
             Event::SpanEnd { .. } => {
                 lock(&self.inner.phases).pop();
             }
+            Event::HeapSample { .. } => *lock(&self.inner.heap) = Some(event.clone()),
             _ => {}
         }
         self.inner.captured.fetch_add(1, Ordering::Relaxed);
@@ -154,11 +171,30 @@ impl Recorder {
         out.push_str(&format!("\",\"worker\":{},\"reason\":\"", meta.worker));
         esc(&mut out, meta.reason);
         out.push_str(&format!(
-            "\",\"captured\":{},\"dropped\":{},\"events\":{}}}\n",
+            "\",\"captured\":{},\"dropped\":{},\"events\":{}",
             self.captured(),
             self.dropped(),
             events.len()
         ));
+        // Appended (optional) header field: the last heap sample the
+        // job emitted, so a governor trip shows where the nodes went
+        // even when the sample itself was overwritten in the ring.
+        if let Some(Event::HeapSample {
+            live_nodes,
+            free_nodes,
+            widest_level,
+            widest_width,
+            table_len,
+            table_slots,
+        }) = *lock(&self.inner.heap)
+        {
+            out.push_str(&format!(
+                ",\"heap\":{{\"live_nodes\":{live_nodes},\"free_nodes\":{free_nodes},\
+                 \"widest_level\":{widest_level},\"widest_width\":{widest_width},\
+                 \"table_len\":{table_len},\"table_slots\":{table_slots}}}"
+            ));
+        }
+        out.push_str("}\n");
         for (ctx, event) in &events {
             out.push_str(&event.to_json_line(ctx));
             out.push('\n');
@@ -259,6 +295,37 @@ mod tests {
             assert_eq!(&*tag.trace_id, "cafe0123");
             assert_eq!(tag.worker, 1);
         }
+    }
+
+    #[test]
+    fn last_heap_sample_survives_ring_overwrites_and_reaches_the_dump() {
+        let rec = Recorder::new(2);
+        assert_eq!(rec.heap_brief(), None);
+        let sample = Event::HeapSample {
+            live_nodes: 120,
+            free_nodes: 8,
+            widest_level: 3,
+            widest_width: 40,
+            table_len: 118,
+            table_slots: 256,
+        };
+        rec.push(&EventCtx::new(0, 0), &sample);
+        // Flood the ring so the sample itself is overwritten.
+        for i in 1..5 {
+            rec.push(&EventCtx::new(i, i), &hop(i));
+        }
+        assert_eq!(rec.heap_brief(), Some((120, 3)));
+        let dump = rec.dump_jsonl(&DumpMeta {
+            trace_id: "cafe0123",
+            job: "m.smv",
+            worker: 0,
+            reason: "exhausted: node limit",
+        });
+        let head = Json::parse(dump.lines().next().unwrap()).unwrap();
+        let heap = head.get("heap").expect("dump header carries the heap sample");
+        assert_eq!(heap.get("live_nodes").unwrap().as_u64(), Some(120));
+        assert_eq!(heap.get("widest_level").unwrap().as_u64(), Some(3));
+        assert_eq!(heap.get("table_slots").unwrap().as_u64(), Some(256));
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! silent break.
 
 use smc_obs::{
-    DumpMeta, Event, EventCtx, FixKind, Json, Recorder, SpanKind, Telemetry, DUMP_SCHEMA_VERSION,
-    SCHEMA_VERSION, STATUS_QUARANTINE_KEYS, STATUS_REQUIRED_KEYS, STATUS_SCHEMA_VERSION,
-    STATUS_WORKER_KEYS,
+    DumpMeta, Event, EventCtx, FixKind, HeapSnapshot, Json, Recorder, SpanKind, Telemetry,
+    DUMP_SCHEMA_VERSION, HEAP_SCHEMA_VERSION, HEAP_SNAPSHOT_KEYS, SCHEMA_VERSION,
+    STATUS_QUARANTINE_KEYS, STATUS_REQUIRED_KEYS, STATUS_SCHEMA_VERSION, STATUS_WORKER_KEYS,
 };
 
 /// The pinned contract: (kind, required keys beyond the common ones).
@@ -49,6 +49,10 @@ const GOLDEN: &[(&str, &[&str])] = &[
     ("restart", &["count", "stay_exit", "frontier"]),
     // `pause_us` is an optional key (absent in pre-0.6 traces).
     ("gc", &["reclaimed", "live_before", "live_after"]),
+    (
+        "heap_sample",
+        &["live_nodes", "free_nodes", "widest_level", "widest_width", "table_len", "table_slots"],
+    ),
     ("ladder", &["stage"]),
     ("trip", &["reason"]),
     ("diagnostic", &["code", "severity"]),
@@ -80,6 +84,14 @@ fn representatives() -> Vec<Event> {
         Event::CycleClose { closed: false, arc_len: 0 },
         Event::Restart { count: 1, stay_exit: false, frontier: "10".into() },
         Event::Gc { reclaimed: 9, live_before: 19, live_after: 10, pause_us: 5 },
+        Event::HeapSample {
+            live_nodes: 120,
+            free_nodes: 8,
+            widest_level: 3,
+            widest_width: 40,
+            table_len: 118,
+            table_slots: 256,
+        },
         Event::Ladder { stage: "sift" },
         Event::Trip { reason: "node limit".into() },
         Event::Diagnostic { code: "E010".into(), severity: "error" },
@@ -169,6 +181,10 @@ fn serve_metric_vocabulary_is_pinned() {
         "smc_recorder_dumps_total",
         "smc_batch_cache_evictions_total",
         "smc_batch_cache_corrupt_total",
+        "smc_bdd_level_nodes",
+        "smc_bdd_table_load",
+        "smc_bdd_longest_probe",
+        "smc_bdd_probe_length",
     ] {
         assert!(
             smc_obs::metric_help(name).is_some(),
@@ -239,8 +255,106 @@ fn status_snapshot_vocabulary_is_pinned() {
             "cache",
         ]
     );
-    assert_eq!(STATUS_WORKER_KEYS, ["slot", "name", "trace_id", "elapsed_us", "phase"]);
+    // v1.1 appended the two heap keys; appends do not bump the schema.
+    assert_eq!(
+        STATUS_WORKER_KEYS,
+        ["slot", "name", "trace_id", "elapsed_us", "phase", "live_nodes", "widest_level"]
+    );
     assert_eq!(STATUS_QUARANTINE_KEYS, ["source", "strikes", "diagnostic"]);
+}
+
+#[test]
+fn heap_snapshot_vocabulary_is_pinned() {
+    // Bumping the heap schema is a conscious act: update the key table,
+    // `smc inspect` docs and DESIGN.md §15 in the same change.
+    assert_eq!(HEAP_SCHEMA_VERSION, 1);
+    assert_eq!(
+        HEAP_SNAPSHOT_KEYS,
+        [
+            "heap_schema",
+            "live_nodes",
+            "terminals",
+            "free_nodes",
+            "peak_nodes",
+            "dead_ratio",
+            "sharing_factor",
+            "levels",
+            "widest",
+            "unique",
+            "computed",
+            "sift",
+        ]
+    );
+    // A rendered snapshot carries every required key, stamped with the
+    // version, and the keys appear in the pinned order.
+    let snapshot = HeapSnapshot {
+        live_nodes: 7,
+        terminals: 2,
+        free_nodes: 1,
+        peak_nodes: 9,
+        dead_ratio: 1.0 / 6.0,
+        sharing_factor: 1.2,
+        levels: vec![],
+        widest: vec![],
+        unique: smc_obs::HeapUnique {
+            entries: 5,
+            slots: 16,
+            load: 5.0 / 16.0,
+            longest_probe: 1,
+            probe_hist: vec![4, 1],
+        },
+        computed: smc_obs::HeapComputed {
+            capacity: 64,
+            live: 3,
+            occupancy: 3.0 / 64.0,
+            ops: vec![],
+        },
+        sift: vec![],
+    };
+    let rendered = snapshot.to_json();
+    let j = Json::parse(&rendered).unwrap_or_else(|| panic!("invalid JSON: {rendered}"));
+    assert_eq!(j.get("heap_schema").and_then(Json::as_u64), Some(HEAP_SCHEMA_VERSION));
+    let mut at = 0;
+    for key in HEAP_SNAPSHOT_KEYS {
+        assert!(j.get(key).is_some(), "snapshot lost required key {key}: {rendered}");
+        let pos = rendered.find(&format!("\"{key}\":")).expect("key rendered");
+        assert!(pos >= at, "key {key} out of pinned order: {rendered}");
+        at = pos;
+    }
+    // And it round-trips through the parser.
+    assert_eq!(HeapSnapshot::from_json(&j), Some(snapshot));
+}
+
+#[test]
+fn dump_header_carries_the_last_heap_sample() {
+    let rec = Recorder::new(2);
+    let tele = Telemetry::new();
+    tele.set_trace("feedface00000000", 1);
+    tele.add_sink(Box::new(rec.clone()));
+    tele.emit(Event::HeapSample {
+        live_nodes: 120,
+        free_nodes: 8,
+        widest_level: 3,
+        widest_width: 40,
+        table_len: 118,
+        table_slots: 256,
+    });
+    // Flood the two-slot ring: the header's heap brief must survive the
+    // overwrites, because it is tracked outside the ring.
+    for ring in 0..8 {
+        tele.emit(Event::WitnessHop { constraint: 0, ring });
+    }
+    let dump = rec.dump_jsonl(&DumpMeta {
+        trace_id: "feedface00000000",
+        job: "m.smv",
+        worker: 1,
+        reason: "panic",
+    });
+    let head = Json::parse(dump.lines().next().expect("header")).expect("valid header");
+    let heap = head.get("heap").expect("header heap key (append-only addition)");
+    assert_eq!(heap.get("live_nodes").and_then(Json::as_u64), Some(120));
+    assert_eq!(heap.get("widest_level").and_then(Json::as_u64), Some(3));
+    assert_eq!(heap.get("table_slots").and_then(Json::as_u64), Some(256));
 }
 
 #[test]

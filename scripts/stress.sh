@@ -141,7 +141,7 @@ echo "== recorder overhead gate: flight recorder must cost <3% =="
 # — the most noise-resistant stat — and the whole comparison retries a
 # few times so one noisy machine moment cannot fail the drill.
 batch_best_wall() {
-  ./target/release/smc bench --reps 3 --no-gate --families batch $1 \
+  ./target/release/smc bench --reps "${BENCH_REPS:-3}" --no-gate --families batch $1 \
     | awk '/^batch/ { for (i = 1; i < NF; i++)
              if ($i == "jobs1" && $(i+1) == "best") {
                t = $(i+2); sub(/s,?$/, "", t); print t; exit
@@ -165,6 +165,42 @@ while :; do
     exit 1
   fi
   echo "recorder gate: attempt $n noisy (${base}s vs ${rec}s), retrying"
+  n=$((n + 1))
+done
+
+echo "== heap sampling gate: heap observatory must cost <3% =="
+# Same A/B as the recorder gate, but with the whole heap-observatory
+# lane on top: the ring enables telemetry (so the cadence-gated
+# Event::HeapSample briefs fire at GC, governor-trip and fixpoint
+# checkpoints) and --heap additionally requests the per-job heap brief
+# the batch report carries. The disabled path costs one branch and is
+# covered by the purity proptests; this gates the *enabled* path's wall
+# cost. The batch walls are ~10ms, so single measurements are noise-
+# dominated: each attempt interleaves two best-of-7 runs per lane
+# (base, sampled, base, sampled) and compares the per-lane minima —
+# the noise-resistant estimator for additive wall noise — without
+# loosening the 3% budget.
+n=1
+while :; do
+  base1="$(BENCH_REPS=7 batch_best_wall "")"
+  heap1="$(BENCH_REPS=7 batch_best_wall "--recorder --heap")"
+  base2="$(BENCH_REPS=7 batch_best_wall "")"
+  heap2="$(BENCH_REPS=7 batch_best_wall "--recorder --heap")"
+  if [ -z "$base1" ] || [ -z "$heap1" ] || [ -z "$base2" ] || [ -z "$heap2" ]; then
+    echo "heap gate: could not parse bench output" >&2
+    exit 1
+  fi
+  base="$(awk -v a="$base1" -v b="$base2" 'BEGIN { print (a < b) ? a : b }')"
+  heap="$(awk -v a="$heap1" -v b="$heap2" 'BEGIN { print (a < b) ? a : b }')"
+  if awk -v a="$base" -v b="$heap" 'BEGIN { exit !(b <= a * 1.03) }'; then
+    echo "heap sampling overhead within budget: ${base}s plain vs ${heap}s sampled (ok)"
+    break
+  fi
+  if [ "$n" -ge "$attempts" ]; then
+    echo "heap gate: ${heap}s sampled exceeds ${base}s plain by >3% after $attempts attempts" >&2
+    exit 1
+  fi
+  echo "heap gate: attempt $n noisy (${base}s vs ${heap}s), retrying"
   n=$((n + 1))
 done
 

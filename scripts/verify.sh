@@ -52,9 +52,34 @@ dump="$dumps/verify-drill.dump.jsonl"
 [ -f "$dump" ] || { echo "dump drill: $dump missing"; exit 1; }
 head -1 "$dump" | grep -q '"dump_schema":1' || { echo "dump drill: bad header: $(head -1 "$dump")"; exit 1; }
 head -1 "$dump" | grep -q '"trace_id":"verify-drill"' || { echo "dump drill: header lost the trace id"; exit 1; }
-./target/release/smc debug dump "$dump" >/dev/null \
+# The header carries the job's last heap sample (it lives outside the
+# ring, so overwrites cannot evict it) and the renderer shows it.
+head -1 "$dump" | grep -q '"heap":{' || { echo "dump drill: header lost the heap brief"; exit 1; }
+out=$(./target/release/smc debug dump "$dump") \
     || { echo "dump drill: smc debug dump cannot read its own format"; exit 1; }
+grep -q 'heap        : ' <<<"$out" || { echo "dump drill: rendered dump lost the heap line"; exit 1; }
+# The same renderer reads stdin, and a truncated header is a rendered
+# diagnostic with the input-error exit class, not a panic.
+./target/release/smc debug dump - < "$dump" >/dev/null \
+    || { echo "dump drill: stdin path failed"; exit 1; }
+head -c 40 "$dump" | ./target/release/smc debug dump - >/dev/null 2>&1 && rc=0 || rc=$?
+[ "$rc" -eq 2 ] || { echo "dump drill: truncated header should exit 2, got $rc"; exit 1; }
 rm -rf "$dumps"
+
+echo "== heap inspection smoke =="
+# The JSON report is one schema-versioned object; spot-check the stamp
+# and that the structural sections are present.
+out=$(./target/release/smc inspect models/pipeline.smv --json) || { echo "inspect smoke failed"; exit 1; }
+grep -q '"heap_schema":1' <<<"$out" || { echo "inspect smoke: schema stamp missing: $out"; exit 1; }
+grep -q '"levels":\[' <<<"$out" || { echo "inspect smoke: per-level section missing"; exit 1; }
+grep -q '"sift":\[' <<<"$out" || { echo "inspect smoke: sift section missing"; exit 1; }
+out=$(./target/release/smc inspect models/pipeline.smv --at check --spec 0) \
+    || { echo "inspect smoke: --at check failed"; exit 1; }
+grep -q 'inspected at    : check' <<<"$out" || { echo "inspect smoke: wrong point: $out"; exit 1; }
+# --heap appends the same snapshot to a plain check without moving the
+# verdict lines.
+out=$(./target/release/smc check --heap models/counter8.smv) || { echo "check --heap failed"; exit 1; }
+grep -q -- '-- heap snapshot --' <<<"$out" || { echo "check --heap: snapshot missing"; exit 1; }
 
 echo "== lint goldens over bundled models =="
 # lint_demo.smv seeds one trigger per warning: exit 1, every code shown.

@@ -8,6 +8,8 @@
 //! smc lint   [--json] [COMMON] FILE.smv...        static + symbolic analysis
 //! smc deps   [--dot] FILE.smv                     variable dependency graph
 //! smc reach  [COMMON] FILE.smv                    reachability statistics
+//! smc inspect [--spec N] [--json] [--top K] [--at compile|reach|check]
+//!            [COMMON] FILE.smv                    BDD heap observatory
 //! smc bench  [--baseline F] [--update] ...        benchmark observatory
 //! smc profile report FILE.jsonl [--json] [--top N]
 //! smc profile export FILE.jsonl (--chrome|--speedscope) [--out FILE]
@@ -62,6 +64,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "lint" => cmd_lint(&args[1..]),
         "deps" => cmd_deps(&args[1..]),
         "reach" => cmd_reach(&args[1..]),
+        "inspect" => cmd_inspect(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
@@ -83,9 +86,9 @@ fn print_usage() {
         "smc — symbolic model checking with counterexamples and witnesses
 
 USAGE:
-    smc check  [--trace] [--lint] [--coi] [--strategy restart|stayset]
-               [COMMON] FILE.smv
-    smc batch  [--jobs N] [--json] [--trace] [--coi] [--no-cache]
+    smc check  [--trace] [--lint] [--coi] [--heap]
+               [--strategy restart|stayset] [COMMON] FILE.smv
+    smc batch  [--jobs N] [--json] [--trace] [--coi] [--heap] [--no-cache]
                [--cache-dir DIR] [--cache-cap N]
                [--strategy restart|stayset] [COMMON] MANIFEST
     smc serve  [--jobs N] [--listen ADDR] [--metrics-addr ADDR]
@@ -94,16 +97,18 @@ USAGE:
                [--cache-cap N] [--dump-dir DIR] [--dump-cap N]
                [--recorder-cap N] [--trace] [--coi] [--no-cache]
                [--strategy restart|stayset] [COMMON]
-    smc spec   [--lint] [--coi] [COMMON] FILE.smv FORMULA
+    smc spec   [--lint] [--coi] [--heap] [COMMON] FILE.smv FORMULA
     smc lint   [--json] [COMMON] FILE.smv...
     smc deps   [--dot] FILE.smv
     smc reach  [COMMON] FILE.smv
+    smc inspect [--spec N] [--json] [--top K] [--at compile|reach|check]
+               [COMMON] FILE.smv
     smc dot    FILE.smv (init|trans|reach)
     smc bench  [--baseline FILE] [--update] [--reps N] [--tolerance PCT]
-               [--no-gate] [--telemetry] [--recorder] [--families LIST]
+               [--no-gate] [--telemetry] [--recorder] [--heap] [--families LIST]
     smc profile report FILE.jsonl [--json] [--top N]
     smc profile export FILE.jsonl (--chrome|--speedscope) [--out FILE]
-    smc debug dump FILE.dump.jsonl
+    smc debug dump (FILE.dump.jsonl | -)
     smc help
 
 COMMON (any combination; shared by check, spec, lint and reach):
@@ -195,6 +200,16 @@ COMMANDS:
              influence, fairness support and provably frozen
              variables; --dot writes Graphviz DOT instead
     reach    print model statistics (variables, reachable states)
+    inspect  the BDD heap observatory: drive the model to a pipeline
+             point (--at compile, reach [default], or check — --spec N
+             checks just that SPEC first) and print a structural report
+             of the manager's heap: per-level node census with unique-
+             table load and probe health, the --top K widest levels,
+             computed-table occupancy by operation, dead-node ratio,
+             sharing factor, and a read-only sifting-gain estimate per
+             adjacent level pair; --json emits the schema-versioned
+             snapshot document instead. The same report rides `check`,
+             `spec` and `batch` as --heap
     dot      write the requested BDD as Graphviz DOT to stdout
     bench    run the benchmark observatory (families: mutex, arbiter2,
              seitz, ring9; phases: compile, reach, check, witness) and
@@ -437,6 +452,16 @@ fn print_stats(manager: &BddManager) {
     print!("{}", m.render_stats());
 }
 
+/// Default number of widest levels shown by `--heap` and `smc inspect`.
+const HEAP_TOP_DEFAULT: usize = 5;
+
+/// Renders the full heap observatory report for `--heap`: per-level
+/// census, unique/computed table health, sharing, and the sifting-gain
+/// estimate — the same deep scan `smc inspect` runs.
+fn print_heap(manager: &BddManager) {
+    print!("{}", manager.heap_snapshot(HEAP_TOP_DEFAULT).render_human());
+}
+
 /// Why a governed load did not produce a model.
 enum LoadFailure {
     /// The budget tripped during the load-time reachability (totality)
@@ -552,12 +577,14 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut trace = false;
     let mut lint = false;
     let mut coi = false;
+    let mut heap = false;
     let mut strategy = CycleStrategy::Restart;
     let opts = parse_common(args, |args, i| {
         match args[*i].as_str() {
             "--trace" => trace = true,
             "--lint" => lint = true,
             "--coi" => coi = true,
+            "--heap" => heap = true,
             "--strategy" => {
                 *i += 1;
                 match args.get(*i).map(String::as_str) {
@@ -582,7 +609,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         lint_to_stderr(file, opts.budget.to_budget());
     }
     if coi {
-        if let Some(code) = check_with_coi(file, &opts, &session, trace, strategy)? {
+        if let Some(code) = check_with_coi(file, &opts, &session, trace, heap, strategy)? {
             return Ok(code);
         }
     }
@@ -658,6 +685,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if opts.stats {
         print_stats(compiled.model.manager());
     }
+    if heap {
+        print_heap(compiled.model.manager());
+    }
     session.record_model(&compiled.model);
     session.finish();
     if let Some((phase, reason, partial)) = exhausted {
@@ -690,6 +720,7 @@ fn check_with_coi(
     opts: &CommonOptions,
     session: &TeleSession,
     trace: bool,
+    heap: bool,
     strategy: CycleStrategy,
 ) -> Result<Option<ExitCode>, Box<dyn std::error::Error>> {
     use smc::smv::{compile_module_with_options, CompileOptions};
@@ -753,6 +784,9 @@ fn check_with_coi(
                 if opts.stats {
                     print_stats(compiled.model.manager());
                 }
+                if heap {
+                    print_heap(compiled.model.manager());
+                }
                 session.record_model(&compiled.model);
                 session.finish();
                 return Ok(Some(report_exhausted(phase, &reason, &partial)));
@@ -760,11 +794,14 @@ fn check_with_coi(
             Err(e) => return Err(e.into()),
         }
     }
-    // --stats and the metrics snapshot report the last manager used —
-    // under COI every spec may run on its own manager.
+    // --stats, --heap and the metrics snapshot report the last manager
+    // used — under COI every spec may run on its own manager.
     if let Some(c) = models.last().and_then(Option::as_ref).or(full.as_ref()) {
         if opts.stats {
             print_stats(c.model.manager());
+        }
+        if heap {
+            print_heap(c.model.manager());
         }
         session.record_model(&c.model);
     }
@@ -781,6 +818,7 @@ fn spec_with_coi(
     formula: &str,
     opts: &CommonOptions,
     session: &TeleSession,
+    heap: bool,
 ) -> Result<Option<ExitCode>, Box<dyn std::error::Error>> {
     use smc::smv::{compile_module_with_options, CompileOptions};
 
@@ -810,6 +848,9 @@ fn spec_with_coi(
             if opts.stats {
                 print_stats(compiled.model.manager());
             }
+            if heap {
+                print_heap(compiled.model.manager());
+            }
             session.record_model(&compiled.model);
             session.finish();
             Ok(Some(if v.holds() { ExitCode::SUCCESS } else { ExitCode::from(1) }))
@@ -818,6 +859,9 @@ fn spec_with_coi(
             eprintln!("{ctl}: not decided");
             if opts.stats {
                 print_stats(compiled.model.manager());
+            }
+            if heap {
+                print_heap(compiled.model.manager());
             }
             session.record_model(&compiled.model);
             session.finish();
@@ -879,12 +923,14 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut trace = false;
     let mut coi = false;
     let mut no_cache = false;
+    let mut heap = false;
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut cache_cap: usize = smc::engine::DEFAULT_CACHE_CAP;
     let mut strategy = CycleStrategy::Restart;
     let opts =
         parse_common(args, |args, i| {
             match args[*i].as_str() {
+                "--heap" => heap = true,
                 "--jobs" => {
                     *i += 1;
                     let v = args.get(*i).ok_or("--jobs expects a number")?;
@@ -977,6 +1023,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         cache_dir,
         cache_cap,
         recorder_cap: 0,
+        heap,
     };
     let results = run_batch(jobs, &cfg);
     for result in results {
@@ -1046,6 +1093,12 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                             println!("SPEC {}: not decided", decided.len());
                             eprintln!("resource budget exhausted during {phase}: {reason}");
                         }
+                    }
+                    if let Some(h) = &r.heap {
+                        println!(
+                            "heap: {} live nodes, widest level {} ({} nodes)",
+                            h.live_nodes, h.widest_level, h.widest_width
+                        );
                     }
                 }
             }
@@ -1220,6 +1273,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         cache_dir,
         cache_cap,
         recorder_cap,
+        heap: false,
     };
     // One introspection surface shared by {"op":"status"} and the HTTP
     // /status route of the metrics endpoint.
@@ -1261,6 +1315,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut lint = false;
     let mut coi = false;
+    let mut heap = false;
     let opts = parse_common(args, |args, i| match args[*i].as_str() {
         "--lint" => {
             lint = true;
@@ -1270,17 +1325,21 @@ fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             coi = true;
             Ok(true)
         }
+        "--heap" => {
+            heap = true;
+            Ok(true)
+        }
         _ => Ok(false),
     })?;
     let [file, formula] = &opts.positionals[..] else {
-        return Err("usage: smc spec [--lint] [--coi] [COMMON] FILE.smv FORMULA".into());
+        return Err("usage: smc spec [--lint] [--coi] [--heap] [COMMON] FILE.smv FORMULA".into());
     };
     let session = TeleSession::new(&opts)?;
     if lint {
         lint_to_stderr(file, opts.budget.to_budget());
     }
     if coi {
-        if let Some(code) = spec_with_coi(file, formula, &opts, &session)? {
+        if let Some(code) = spec_with_coi(file, formula, &opts, &session, heap)? {
             return Ok(code);
         }
     }
@@ -1307,6 +1366,9 @@ fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             if opts.stats {
                 print_stats(checker.model().manager());
             }
+            if heap {
+                print_heap(checker.model().manager());
+            }
             session.record_model(checker.model());
             session.finish();
             return Ok(report_exhausted(phase, &reason, &partial));
@@ -1316,6 +1378,9 @@ fn cmd_spec(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     println!("{spec}: {}", if verdict.holds() { "holds" } else { "FAILS" });
     if opts.stats {
         print_stats(compiled.model.manager());
+    }
+    if heap {
+        print_heap(compiled.model.manager());
     }
     session.record_model(&compiled.model);
     session.finish();
@@ -1459,6 +1524,132 @@ fn cmd_reach(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_inspect(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    const USAGE: &str = "usage: smc inspect [--spec N] [--json] [--top K] \
+                         [--at compile|reach|check] [COMMON] FILE.smv";
+    let mut json = false;
+    let mut top: usize = HEAP_TOP_DEFAULT;
+    let mut at: Option<String> = None;
+    let mut spec_index: Option<usize> = None;
+    let opts = parse_common(args, |args, i| {
+        match args[*i].as_str() {
+            "--json" => json = true,
+            "--top" => {
+                *i += 1;
+                let v = args.get(*i).ok_or("--top expects a number")?;
+                top = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--top expects a positive number, got {v:?}"))?;
+            }
+            "--at" => {
+                *i += 1;
+                match args.get(*i).map(String::as_str) {
+                    Some(point @ ("compile" | "reach" | "check")) => at = Some(point.to_string()),
+                    other => {
+                        return Err(format!(
+                            "--at expects 'compile', 'reach' or 'check', got {other:?}"
+                        ))
+                    }
+                }
+            }
+            "--spec" => {
+                *i += 1;
+                let v = args.get(*i).ok_or("--spec expects a spec index")?;
+                spec_index = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--spec expects a spec index, got {v:?}"))?,
+                );
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    // --spec only makes sense once checking has run; it selects the
+    // point (after that one spec) the snapshot is taken at.
+    let at = at.unwrap_or_else(|| {
+        if spec_index.is_some() {
+            "check".to_string()
+        } else {
+            "reach".to_string()
+        }
+    });
+    if spec_index.is_some() && at != "check" {
+        return Err(format!("--spec requires --at check (got --at {at})").into());
+    }
+    let [file] = &opts.positionals[..] else {
+        return Err(USAGE.into());
+    };
+    let session = TeleSession::new(&opts)?;
+    let mut compiled = match load_governed(file, opts.budget.to_budget(), session.tele.clone()) {
+        Ok(compiled) => compiled,
+        Err(LoadFailure::Exhausted(phase, reason, partial)) => {
+            session.finish();
+            return Ok(report_exhausted(phase, &reason, &partial));
+        }
+        Err(LoadFailure::Diagnostic(text)) => {
+            eprint!("{text}");
+            session.finish();
+            return Ok(ExitCode::from(2));
+        }
+        Err(LoadFailure::Other(e)) => return Err(e),
+    };
+    // Drive the manager to the requested point. A budget trip does NOT
+    // suppress the report: the heap at trip time is exactly what an
+    // inspection is for — the snapshot prints, then the exit-3 path.
+    let mut exhausted: Option<(Phase, TripReason, PartialProgress)> = None;
+    if at != "compile" {
+        if let Err(e) = compiled.model.reachable() {
+            match CheckError::from(e) {
+                CheckError::ResourceExhausted { phase, reason, partial } => {
+                    exhausted = Some((phase, reason, partial));
+                }
+                other => return Err(other.into()),
+            }
+        }
+    }
+    if at == "check" && exhausted.is_none() {
+        let formulas: Vec<_> = match spec_index {
+            Some(n) => {
+                let spec = compiled.specs.get(n).ok_or_else(|| {
+                    format!(
+                        "--spec {n} is out of range: {file} has {} SPEC section(s)",
+                        compiled.specs.len()
+                    )
+                })?;
+                vec![spec.formula.clone()]
+            }
+            None => compiled.specs.iter().map(|s| s.formula.clone()).collect(),
+        };
+        let mut checker = Checker::new(&mut compiled.model);
+        for formula in &formulas {
+            match checker.check(formula) {
+                Ok(_) => {}
+                Err(CheckError::ResourceExhausted { phase, reason, partial }) => {
+                    exhausted = Some((phase, reason, partial));
+                    break;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    let snapshot = compiled.model.manager().heap_snapshot(top);
+    if json {
+        println!("{}", snapshot.to_json());
+    } else {
+        println!("file            : {file}");
+        println!("inspected at    : {at}");
+        print!("{}", snapshot.render_human());
+    }
+    session.record_model(&compiled.model);
+    session.finish();
+    if let Some((phase, reason, partial)) = exhausted {
+        return Ok(report_exhausted(phase, &reason, &partial));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_profile(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     const USAGE: &str = "usage: smc profile report FILE.jsonl [--json] [--top N]\n\
                          \x20      smc profile export FILE.jsonl (--chrome|--speedscope) [--out FILE]";
@@ -1546,7 +1737,7 @@ fn cmd_profile(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> 
 }
 
 fn cmd_debug(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    const USAGE: &str = "usage: smc debug dump FILE.dump.jsonl";
+    const USAGE: &str = "usage: smc debug dump (FILE.dump.jsonl | -)";
     let Some(action) = args.first() else { return Err(USAGE.into()) };
     match action.as_str() {
         "dump" => {
@@ -1560,13 +1751,47 @@ fn cmd_debug(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 }
             }
             let file = file.ok_or(USAGE)?;
-            let text =
-                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+            // `-` reads the dump from stdin — the natural shape when the
+            // dump path comes out of a serve response pipeline.
+            let text = if file == "-" {
+                use std::io::Read;
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("cannot read stdin: {e}"))?;
+                buf
+            } else {
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?
+            };
             let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-            let header_line = lines.next().ok_or_else(|| format!("{file}: empty dump"))?;
-            let header = Json::parse(header_line)
-                .filter(|h| h.get("dump_schema").is_some())
-                .ok_or_else(|| format!("{file}: first line is not a dump header"))?;
+            // A missing or mangled header (truncated write, wrong file)
+            // gets a rendered multi-line diagnostic, not a bare error:
+            // show what the first line actually was and what a dump
+            // starts with, then exit with the input-error class.
+            let header = match lines.next() {
+                None => {
+                    eprintln!("error: {file}: empty dump");
+                    eprintln!("  = a flight-recorder dump starts with a {{\"dump_schema\":...}} header line");
+                    eprintln!(
+                        "  = was the file truncated at write time, or is it still being written?"
+                    );
+                    return Ok(ExitCode::from(2));
+                }
+                Some(first) => {
+                    match Json::parse(first).filter(|h| h.get("dump_schema").is_some()) {
+                        Some(header) => header,
+                        None => {
+                            let shown: String = first.chars().take(80).collect();
+                            let ellipsis = if first.chars().count() > 80 { "…" } else { "" };
+                            eprintln!("error: {file}: first line is not a dump header");
+                            eprintln!("  | {shown}{ellipsis}");
+                            eprintln!("  = a flight-recorder dump starts with a {{\"dump_schema\":...}} header line");
+                            eprintln!("  = expected a .dump.jsonl written by `smc serve --dump-dir` (was the header line truncated?)");
+                            return Ok(ExitCode::from(2));
+                        }
+                    }
+                }
+            };
             let str_of =
                 |key: &str| header.get(key).and_then(Json::as_str).unwrap_or("?").to_string();
             let num_of = |key: &str| header.get(key).and_then(Json::as_u64).unwrap_or(0);
@@ -1581,6 +1806,20 @@ fn cmd_debug(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 num_of("dropped"),
                 num_of("captured")
             );
+            // The header's last heap brief survives ring overwrites, so
+            // it is often the only structural signal in a short ring.
+            if let Some(heap) = header.get("heap") {
+                let h = |key: &str| heap.get(key).and_then(Json::as_u64).unwrap_or(0);
+                println!(
+                    "heap        : {} live nodes ({} free), widest level {} ({} nodes), unique tables {}/{}",
+                    h("live_nodes"),
+                    h("free_nodes"),
+                    h("widest_level"),
+                    h("widest_width"),
+                    h("table_len"),
+                    h("table_slots")
+                );
+            }
             println!();
             let mut shown = 0u64;
             let mut skipped = 0u64;
@@ -1633,6 +1872,9 @@ fn debug_event_line(event: &Event) -> String {
         Event::Ladder { stage } => format!("ladder     escalated to {stage}"),
         Event::Trip { reason } => format!("trip       {reason}"),
         Event::Diagnostic { code, severity } => format!("diagnostic {severity} {code}"),
+        Event::HeapSample { live_nodes, widest_level, widest_width, .. } => format!(
+            "heap       {live_nodes} live, widest level {widest_level} ({widest_width} nodes)"
+        ),
     }
 }
 
@@ -1668,6 +1910,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "--no-gate" => no_gate = true,
             "--telemetry" => config.telemetry = true,
             "--recorder" => config.recorder = true,
+            "--heap" => config.heap = true,
             "--reps" => {
                 let v = value(args, &mut i, "--reps")?;
                 config.repetitions =

@@ -829,3 +829,174 @@ fn spec_coi_slices_from_the_formula_atoms() {
     let stderr = String::from_utf8_lossy(&coi.stderr);
     assert!(stderr.contains("coi: formula uses 2/6 vars"), "{stderr}");
 }
+
+// ---------------------------------------------------- inspect + --heap
+
+/// `smc inspect --json` must emit one schema-versioned snapshot whose
+/// per-level counts sum to the live heap, whose non-empty table loads
+/// are bounded, and which round-trips byte-for-byte through the
+/// library parser — on every bundled model.
+#[test]
+fn inspect_json_round_trips_on_every_bundled_model() {
+    use smc::obs::{HeapSnapshot, Json, HEAP_SCHEMA_VERSION};
+    let dir = format!("{}/models", env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("models dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("smv") {
+            continue;
+        }
+        let out = smc().arg("inspect").arg(&path).arg("--json").output().expect("runs");
+        if out.status.code() == Some(2) {
+            // lint_demo is deliberately broken (it exists to exercise
+            // the analyzer); inspect must route its load failure
+            // through the rendered diagnostics, not a panic.
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(stderr.contains("error["), "{path:?}: {stderr}");
+            continue;
+        }
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{path:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout.trim();
+        let doc = Json::parse(line).unwrap_or_else(|| panic!("{path:?}: invalid JSON: {line}"));
+        assert_eq!(doc.get("heap_schema").and_then(|v| v.as_u64()), Some(HEAP_SCHEMA_VERSION));
+        let snap = HeapSnapshot::from_json(&doc)
+            .unwrap_or_else(|| panic!("{path:?}: snapshot does not parse: {line}"));
+        let level_sum: u64 = snap.levels.iter().map(|l| l.nodes).sum();
+        assert_eq!(level_sum + snap.terminals, snap.live_nodes, "{path:?}: levels must sum");
+        for l in &snap.levels {
+            if l.nodes > 0 {
+                assert!(
+                    l.load > 0.0 && l.load <= 1.0,
+                    "{path:?} level {} load {} out of (0,1]",
+                    l.level,
+                    l.load
+                );
+            }
+        }
+        assert_eq!(snap.sift.len() + 1, snap.levels.len(), "{path:?}: one gain per adjacent pair");
+        assert_eq!(snap.to_json(), line, "{path:?}: snapshot does not round-trip");
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected the bundled models, saw {checked}");
+}
+
+#[test]
+fn inspect_human_report_names_the_inspection_point() {
+    for at in ["compile", "reach", "check"] {
+        let out = smc()
+            .arg("inspect")
+            .arg(model("pipeline.smv"))
+            .arg("--at")
+            .arg(at)
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(0), "--at {at}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(&format!("inspected at    : {at}")), "--at {at}: {stdout}");
+        assert!(stdout.contains("-- heap snapshot --"), "--at {at}: {stdout}");
+        assert!(stdout.contains("unique tables"), "--at {at}: {stdout}");
+    }
+    // --spec selects one formula and implies --at check...
+    let out = smc()
+        .arg("inspect")
+        .arg(model("pipeline.smv"))
+        .arg("--spec")
+        .arg("0")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("inspected at    : check"));
+    // ...and is rejected at earlier points and out of range.
+    let bad = smc()
+        .arg("inspect")
+        .arg(model("pipeline.smv"))
+        .arg("--spec")
+        .arg("0")
+        .arg("--at")
+        .arg("reach")
+        .output()
+        .expect("runs");
+    assert_eq!(bad.status.code(), Some(2));
+    let oob = smc()
+        .arg("inspect")
+        .arg(model("pipeline.smv"))
+        .arg("--spec")
+        .arg("99")
+        .output()
+        .expect("runs");
+    assert_eq!(oob.status.code(), Some(2));
+}
+
+/// `--heap` appends the snapshot to `smc check` without touching the
+/// verdict lines or the exit code.
+#[test]
+fn check_heap_appends_the_snapshot_without_changing_verdicts() {
+    let plain = smc().arg("check").arg(model("counter8.smv")).output().expect("runs");
+    let heap = smc().arg("check").arg("--heap").arg(model("counter8.smv")).output().expect("runs");
+    assert_eq!(plain.status.code(), heap.status.code());
+    let plain_out = String::from_utf8_lossy(&plain.stdout);
+    let heap_out = String::from_utf8_lossy(&heap.stdout);
+    assert!(!plain_out.contains("-- heap snapshot --"), "{plain_out}");
+    assert!(heap_out.contains("-- heap snapshot --"), "{heap_out}");
+    assert!(heap_out.starts_with(plain_out.as_ref()), "--heap must only append:\n{heap_out}");
+}
+
+// ---------------------------------------------------- debug dump
+
+#[test]
+fn debug_dump_diagnoses_truncated_headers_and_reads_stdin() {
+    use std::process::Stdio;
+    let dump = |input: &[u8]| {
+        let mut child = smc()
+            .arg("debug")
+            .arg("dump")
+            .arg("-")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawns");
+        child.stdin.as_mut().expect("stdin").write_all(input).expect("write");
+        drop(child.stdin.take());
+        child.wait_with_output().expect("runs")
+    };
+
+    // Empty input: a rendered diagnostic and the input-error exit class,
+    // not a panic.
+    let out = dump(b"");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("empty dump"));
+
+    // A first line truncated mid-header: the diagnostic shows the
+    // offending bytes and explains what a dump starts with.
+    let out = dump(b"{\"dump_sch");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("first line is not a dump header"), "{stderr}");
+    assert!(stderr.contains("{\"dump_sch"), "{stderr}");
+    assert!(stderr.contains("dump_schema"), "{stderr}");
+
+    // A well-formed header through stdin renders, including the heap
+    // brief carried in the header.
+    let out = dump(
+        b"{\"dump_schema\":1,\"trace_id\":\"feedface00000000\",\"job\":\"m.smv\",\
+          \"worker\":1,\"reason\":\"panic\",\"events\":0,\"dropped\":0,\"captured\":0,\
+          \"heap\":{\"live_nodes\":120,\"free_nodes\":8,\"widest_level\":3,\
+          \"widest_width\":40,\"table_len\":118,\"table_slots\":256}}\n",
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace_id    : feedface00000000"), "{stdout}");
+    assert!(
+        stdout.contains(
+            "heap        : 120 live nodes (8 free), widest level 3 (40 nodes), unique tables 118/256"
+        ),
+        "{stdout}"
+    );
+}
